@@ -1,0 +1,25 @@
+# One binary per paper table/figure (see DESIGN.md section 4). Included from
+# the top-level CMakeLists (not add_subdirectory) so ${CMAKE_BINARY_DIR}/bench
+# holds ONLY the bench executables and `for b in build/bench/*` runs cleanly.
+function(simcard_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} simcard benchmark::benchmark)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+simcard_bench(bench_table4_search_accuracy)
+simcard_bench(bench_fig8_search_mape)
+simcard_bench(bench_fig9_penalty_missing_rate)
+simcard_bench(bench_fig10_training_size)
+simcard_bench(bench_fig11_num_segments)
+simcard_bench(bench_table5_model_size)
+simcard_bench(bench_table6_search_latency)
+simcard_bench(bench_fig14_training_time)
+simcard_bench(bench_fig15_incremental)
+simcard_bench(bench_table7_join_accuracy)
+simcard_bench(bench_fig12_join_setsize)
+simcard_bench(bench_fig13_join_latency)
+simcard_bench(bench_ablation_segmentation)
+simcard_bench(bench_ablation_tuning)

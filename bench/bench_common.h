@@ -1,0 +1,109 @@
+// Shared plumbing for the bench binaries: flag parsing, environment caching,
+// and method-table helpers. Every bench accepts
+//   --scale=tiny|small|full   (default small)
+//   --datasets=a,b,c          (default per bench)
+//   --segments=N              (default 16)
+//   --seed=N                  (default 2026)
+#ifndef SIMCARD_BENCH_BENCH_COMMON_H_
+#define SIMCARD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "eval/harness.h"
+#include "eval/reporter.h"
+
+namespace simcard {
+namespace bench {
+
+struct BenchArgs {
+  Scale scale = Scale::kSmall;
+  std::vector<std::string> datasets;
+  size_t segments = 16;
+  uint64_t seed = 2026;
+  CommandLine cl;
+};
+
+/// Parses the common flags (plus any in `extra_flags`); exits on error.
+inline BenchArgs ParseArgs(int argc, char** argv,
+                           std::vector<std::string> default_datasets,
+                           std::vector<std::string> extra_flags = {}) {
+  std::vector<std::string> known = {"scale", "datasets", "segments", "seed"};
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+  auto cl_or = CommandLine::Parse(argc, argv, known);
+  if (!cl_or.ok()) {
+    std::fprintf(stderr, "%s\n", cl_or.status().ToString().c_str());
+    std::exit(2);
+  }
+  BenchArgs args;
+  args.cl = std::move(cl_or.value());
+  auto scale_or = ParseScale(args.cl.GetString("scale", "small"));
+  if (!scale_or.ok()) {
+    std::fprintf(stderr, "%s\n", scale_or.status().ToString().c_str());
+    std::exit(2);
+  }
+  args.scale = scale_or.value();
+  args.datasets = args.cl.GetStringList("datasets", default_datasets);
+  args.segments = static_cast<size_t>(args.cl.GetInt("segments", 16));
+  args.seed = static_cast<uint64_t>(args.cl.GetInt("seed", 2026));
+  return args;
+}
+
+/// Builds an environment or exits with a message.
+inline ExperimentEnv MustBuildEnv(const std::string& dataset,
+                                  const BenchArgs& args) {
+  EnvOptions opts;
+  opts.num_segments = args.segments;
+  opts.seed = args.seed;
+  auto env_or = BuildEnvironment(dataset, args.scale, opts);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "building %s: %s\n", dataset.c_str(),
+                 env_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(env_or).value();
+}
+
+/// Trains an estimator by name or exits; logs training time to stderr.
+inline std::unique_ptr<Estimator> MustTrain(const std::string& name,
+                                            const ExperimentEnv& env,
+                                            const BenchArgs& args,
+                                            size_t equal_target_bytes = 0) {
+  auto est_or = MakeEstimatorByName(name, args.scale, equal_target_bytes);
+  if (!est_or.ok()) {
+    std::fprintf(stderr, "%s\n", est_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto est = std::move(est_or).value();
+  TrainContext ctx = MakeTrainContext(env);
+  Stopwatch watch;
+  Status st = est->Train(ctx);
+  if (!st.ok()) {
+    std::fprintf(stderr, "training %s: %s\n", name.c_str(),
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  SIMCARD_LOG(INFO) << env.spec.name << " / " << name << ": trained in "
+                    << watch.ElapsedSeconds() << "s";
+  return est;
+}
+
+/// Prints the standard experiment banner.
+inline void PrintBanner(const std::string& title, const BenchArgs& args) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "scale=" << ScaleName(args.scale)
+            << " segments=" << args.segments << " seed=" << args.seed
+            << "\n";
+  std::cout << "(synthetic paper-analog datasets; compare method ordering "
+               "and ratios, not absolute values)\n\n";
+}
+
+}  // namespace bench
+}  // namespace simcard
+
+#endif  // SIMCARD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,74 @@
+// Figure 13 (Exp-13): latency of estimating one join set with 200 queries —
+// batch (sum-pooled) GLJoin+ vs per-query GL+ vs sampling.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/join_estimator.h"
+#include "workload/join_sets.h"
+
+namespace simcard {
+namespace bench {
+namespace {
+
+struct JoinBenchEnv {
+  std::shared_ptr<ExperimentEnv> env;
+  JoinSet big_set;  // ~200 members from the test queries
+};
+
+JoinBenchEnv MakeJoinBenchEnv(const std::string& dataset,
+                              const BenchArgs& args) {
+  JoinBenchEnv out;
+  out.env = std::make_shared<ExperimentEnv>(MustBuildEnv(dataset, args));
+  Rng rng(args.seed + 11);
+  const size_t n_test = out.env->workload.test.size();
+  out.big_set.from_test_queries = true;
+  out.big_set.query_rows.resize(200);
+  for (auto& row : out.big_set.query_rows) {
+    row = static_cast<uint32_t>(rng.NextBounded(n_test));
+  }
+  out.big_set.tau = out.env->workload.test[0].thresholds[5].tau;
+  return out;
+}
+
+void RegisterJoinBenchmarks(const std::string& dataset,
+                            const BenchArgs& args) {
+  JoinBenchEnv jbe = MakeJoinBenchEnv(dataset, args);
+  for (const char* method :
+       {"GLJoin+", "GLJoin", "CNNJoin", "GL+", "Sampling (10%)"}) {
+    std::shared_ptr<Estimator> est = MustTrain(method, *jbe.env, args);
+    ::benchmark::RegisterBenchmark(
+        (dataset + "/" + method).c_str(),
+        [est, jbe](::benchmark::State& state) {
+          for (auto _ : state) {
+            ::benchmark::DoNotOptimize(est->EstimateJoin(
+                jbe.env->workload.test_queries, jbe.big_set.query_rows,
+                jbe.big_set.tau));
+          }
+        })
+        ->Unit(::benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcard
+
+int main(int argc, char** argv) {
+  using namespace simcard;
+  using namespace simcard::bench;
+  BenchArgs args = ParseArgs(argc, argv, {"glove-sim", "dblp-sim"});
+  PrintBanner("Figure 13: avg latency for one 200-query similarity join",
+              args);
+  for (const auto& dataset : args.datasets) {
+    RegisterJoinBenchmarks(dataset, args);
+  }
+  std::cout << "Expected shape (paper Fig 13): batch GLJoin+/GLJoin beat "
+               "per-query GL+; Sampling (10%) is slowest (|sample| x |Q| "
+               "distance computations).\n\n";
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 8 (Exp-3..5): MAPE of the learned methods on every dataset analog.
+#include "bench_common.h"
+
+namespace simcard {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv, AnalogNames(), {"methods"});
+  PrintBanner("Figure 8: MAPE of different methods", args);
+
+  const std::vector<std::string> methods = args.cl.GetStringList(
+      "methods", {"MLP", "CardNet", "QES", "GL-MLP", "GL-CNN", "GL+"});
+
+  TableReporter table([&] {
+    std::vector<std::string> cols = {"Dataset"};
+    cols.insert(cols.end(), methods.begin(), methods.end());
+    return cols;
+  }());
+
+  for (const auto& dataset : args.datasets) {
+    ExperimentEnv env = MustBuildEnv(dataset, args);
+    std::vector<std::string> row = {dataset};
+    for (const auto& method : methods) {
+      auto est = MustTrain(method, env, args);
+      EvalResult result = EvaluateSearch(est.get(), env.workload);
+      row.push_back(FormatPaperNumber(result.mape.mean));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper Fig 8): GL+ lowest, then GL-CNN < "
+               "GL-MLP < QES < CardNet/MLP on most datasets.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcard
+
+int main(int argc, char** argv) {
+  return simcard::bench::Run(argc, argv);
+}

@@ -1,0 +1,61 @@
+// Table 4 (Exp-1..5): Q-error of every similarity-search method on every
+// dataset analog. Prints one paper-shaped summary table per dataset, methods
+// ordered as in the paper.
+#include "bench_common.h"
+
+namespace simcard {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv, AnalogNames(), {"methods"});
+  PrintBanner("Table 4: test Q-errors for similarity search", args);
+
+  const std::vector<std::string> methods = args.cl.GetStringList(
+      "methods",
+      {"GL+", "Local+", "Sampling (10%)", "GL-CNN", "GL-MLP", "QES",
+       "CardNet", "MLP", "Kernel-based", "Sampling (equal)",
+       "Sampling (1%)"});
+
+  for (const auto& dataset : args.datasets) {
+    ExperimentEnv env = MustBuildEnv(dataset, args);
+    std::cout << "--- " << dataset << " (paper: " << env.spec.paper_name
+              << ", d=" << env.dataset.dim() << ", n=" << env.dataset.size()
+              << ", metric=" << MetricName(env.dataset.metric()) << ") ---\n";
+    TableReporter table(SummaryColumns("Method"));
+
+    // "Sampling (equal)" is sized to GL+'s model; train GL+ first and keep
+    // its size.
+    size_t gl_plus_bytes = 0;
+    for (const auto& method : methods) {
+      std::unique_ptr<Estimator> est;
+      if (method == "Sampling (equal)") {
+        if (gl_plus_bytes == 0) {
+          // GL+ not in the method list; size against GL-CNN instead.
+          auto sizing = MustTrain("GL-CNN", env, args);
+          gl_plus_bytes = sizing->ModelSizeBytes();
+        }
+        est = MustTrain(method, env, args, gl_plus_bytes);
+      } else {
+        est = MustTrain(method, env, args);
+        if (method == "GL+") gl_plus_bytes = est->ModelSizeBytes();
+      }
+      EvalResult result = EvaluateSearch(est.get(), env.workload);
+      table.AddSummaryRow(method, result.qerror);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape (paper Table 4): GL+ <= Local+ < GL-CNN < "
+               "GL-MLP < QES < {CardNet, MLP}; learned methods beat "
+               "Kernel-based and small samples; GL+ ~ Sampling (10%).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcard
+
+int main(int argc, char** argv) {
+  return simcard::bench::Run(argc, argv);
+}

@@ -1,0 +1,86 @@
+// Table 6 (Exp-9): average per-query estimation latency. Learned methods
+// run a fixed-size forward pass; sampling/kernel/SimSelect scan retained
+// data, so they slow down with dataset size.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "index/pivot_index.h"
+
+namespace simcard {
+namespace bench {
+namespace {
+
+// Cycles through test queries/thresholds so each iteration is a fresh query.
+struct QueryCycle {
+  const SearchWorkload* workload;
+  size_t index = 0;
+
+  std::pair<const float*, float> Next() {
+    const auto& lq = workload->test[index % workload->test.size()];
+    const auto& t =
+        lq.thresholds[(index / workload->test.size()) % lq.thresholds.size()];
+    ++index;
+    return {workload->test_queries.Row(lq.row), t.tau};
+  }
+};
+
+void RegisterEstimatorBenchmarks(const std::string& dataset,
+                                 const BenchArgs& args,
+                                 std::shared_ptr<ExperimentEnv> env) {
+  const std::vector<std::string> methods = {
+      "Kernel-based",  "Sampling (10%)", "Sampling (1%)", "CardNet",
+      "Local+",        "GL-MLP",         "GL-CNN",        "GL+",
+      "MLP",           "QES"};
+  for (const auto& method : methods) {
+    std::shared_ptr<Estimator> est = MustTrain(method, *env, args);
+    ::benchmark::RegisterBenchmark(
+        (dataset + "/" + method).c_str(),
+        [est, env](::benchmark::State& state) {
+          QueryCycle cycle{&env->workload};
+          for (auto _ : state) {
+            auto [q, tau] = cycle.Next();
+            ::benchmark::DoNotOptimize(est->EstimateSearch(q, tau));
+          }
+        })
+        ->Unit(::benchmark::kMicrosecond);
+  }
+  // SimSelect stand-in: exact counting with a pivot index.
+  ExactPivotIndex::Options pivot_opts;
+  auto index = std::make_shared<ExactPivotIndex>(
+      std::move(ExactPivotIndex::Build(&env->dataset, pivot_opts).value()));
+  ::benchmark::RegisterBenchmark(
+      (dataset + "/SimSelect (exact)").c_str(),
+      [index, env](::benchmark::State& state) {
+        QueryCycle cycle{&env->workload};
+        for (auto _ : state) {
+          auto [q, tau] = cycle.Next();
+          ::benchmark::DoNotOptimize(index->Count(q, tau));
+        }
+      })
+      ->Unit(::benchmark::kMicrosecond);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcard
+
+int main(int argc, char** argv) {
+  using namespace simcard;
+  using namespace simcard::bench;
+  BenchArgs args = ParseArgs(argc, argv, {"glove-sim", "dblp-sim"});
+  PrintBanner("Table 6: avg estimation latency for similarity search", args);
+  // Environments live for the whole benchmark run.
+  for (const auto& dataset : args.datasets) {
+    auto env = std::make_shared<ExperimentEnv>(MustBuildEnv(dataset, args));
+    RegisterEstimatorBenchmarks(dataset, args, env);
+  }
+  std::cout << "Expected shape (paper Table 6): QES < MLP < GL+/GL-CNN < "
+               "GL-MLP < Local+ << Sampling/Kernel; SimSelect scales with "
+               "data size.\n\n";
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

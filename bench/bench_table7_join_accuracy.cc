@@ -1,0 +1,78 @@
+// Table 7 (Exp-12): Q-errors of similarity-join estimation for query-set
+// sizes in [50, 100). Join models are transfer-trained from the search
+// models and fine-tuned on pooled join sets.
+#include "core/join_estimator.h"
+#include "workload/join_sets.h"
+
+#include "bench_common.h"
+
+namespace simcard {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(
+      argc, argv, {"bms-sim", "glove-sim", "imagenet-sim", "dblp-sim"},
+      {"methods"});
+  PrintBanner("Table 7: test Q-errors for similarity join, |Q| in [50,100)",
+              args);
+
+  const std::vector<std::string> methods = args.cl.GetStringList(
+      "methods", {"GLJoin+", "GL+", "Sampling (10%)", "GLJoin", "CNNJoin",
+                  "CardNet", "Sampling (1%)"});
+
+  for (const auto& dataset : args.datasets) {
+    ExperimentEnv env = MustBuildEnv(dataset, args);
+    JoinWorkloadOptions join_opts;
+    join_opts.seed = args.seed + 5;
+    auto joins_or = BuildJoinWorkload(
+        env.workload, env.segmentation.num_segments(), join_opts);
+    if (!joins_or.ok()) {
+      std::fprintf(stderr, "%s\n", joins_or.status().ToString().c_str());
+      return 1;
+    }
+    const JoinWorkload joins = std::move(joins_or).value();
+
+    std::cout << "--- " << dataset << " ---\n";
+    TableReporter table(SummaryColumns("Method"));
+    for (const auto& method : methods) {
+      auto est = MustTrain(method, env, args);
+      TrainContext ctx = MakeTrainContext(env);
+      // Join-specific phase 2 (the paper's "2-3 iterations" transfer).
+      if (auto* cnn_join = dynamic_cast<CnnJoinEstimator*>(est.get())) {
+        Status st = cnn_join->FineTuneOnJoins(ctx, joins);
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          return 1;
+        }
+      } else if (auto* gl_join = dynamic_cast<GlJoinEstimator*>(est.get())) {
+        Status st = gl_join->FineTuneOnJoins(ctx, joins);
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+      EvalResult result =
+          EvaluateJoin(est.get(), env.workload, joins.test_buckets[0]);
+      table.AddSummaryRow(method, result.qerror);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape (paper Table 7): segmented join models "
+               "(GLJoin/GLJoin+) beat CNNJoin; learned methods beat "
+               "Sampling (1%) by 1-2 orders of magnitude in the tail; "
+               "Sampling (10%) is strong on joins (set aggregation averages "
+               "its noise — the paper shows the same). At this reduced "
+               "join-training scale per-query GL+ can edge out batch "
+               "GLJoin+ on accuracy; Fig 13 shows GLJoin+'s latency win.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcard
+
+int main(int argc, char** argv) {
+  return simcard::bench::Run(argc, argv);
+}

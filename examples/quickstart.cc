@@ -1,0 +1,69 @@
+// Quickstart: the minimal end-to-end use of simcard's public API.
+//
+//   1. obtain a dataset (here: a synthetic analog of GloVe word vectors);
+//   2. segment it (PCA + mini-batch K-means, Section 3.3 of the paper);
+//   3. label a training workload with exact cardinalities;
+//   4. train the paper's GL-CNN estimator;
+//   5. ask it for card(q, tau) estimates and compare with the exact count.
+//
+// Run:  ./build/examples/quickstart [--scale=tiny|small]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "core/gl_estimator.h"
+#include "data/generators.h"
+#include "eval/harness.h"
+#include "index/ground_truth.h"
+
+using namespace simcard;
+
+int main(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc, argv, {"scale"});
+  if (!cl.ok()) {
+    std::fprintf(stderr, "%s\n", cl.status().ToString().c_str());
+    return 2;
+  }
+  Scale scale =
+      ParseScale(cl.value().GetString("scale", "tiny")).value();
+
+  // Steps 1-3 in one call: dataset + segmentation + labeled workload.
+  EnvOptions options;
+  options.num_segments = 8;
+  auto env_or = BuildEnvironment("glove-sim", scale, options);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  ExperimentEnv env = std::move(env_or).value();
+  std::printf("dataset: %zu points, %zu dims, metric %s, %zu segments\n",
+              env.dataset.size(), env.dataset.dim(),
+              MetricName(env.dataset.metric()),
+              env.segmentation.num_segments());
+
+  // Step 4: train the global-local estimator.
+  GlEstimator estimator(GlEstimatorConfig::GlCnn());
+  TrainContext ctx = MakeTrainContext(env);
+  if (Status st = estimator.Train(ctx); !st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained GL-CNN in %.1fs (%zu local models, %.2f MB)\n\n",
+              estimator.training_seconds(), estimator.num_local_models(),
+              estimator.ModelSizeBytes() / 1e6);
+
+  // Step 5: estimate vs exact for a few held-out queries.
+  GroundTruth exact(&env.dataset);
+  std::printf("%8s %10s %10s %8s\n", "tau", "estimate", "exact", "q-error");
+  for (size_t i = 0; i < 3; ++i) {
+    const auto& lq = env.workload.test[i];
+    const float* q = env.workload.test_queries.Row(lq.row);
+    for (size_t t = 2; t < lq.thresholds.size(); t += 3) {
+      const float tau = lq.thresholds[t].tau;
+      const double est = estimator.EstimateSearch(q, tau);
+      const size_t truth = exact.Count(q, tau);
+      std::printf("%8.3f %10.1f %10zu %8.2f\n", tau, est, truth,
+                  QError(est, static_cast<double>(truth)));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, test, and regenerate every table/figure.
+#
+#   scripts/reproduce.sh [scale]   # scale in {tiny, small, full}; default small
+#
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-small}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  "$b" --scale="$SCALE"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,225 @@
+#include "app/cli_app.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/gl_estimator.h"
+#include "eval/harness.h"
+#include "eval/reporter.h"
+
+namespace simcard {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: simcard_cli <generate|train|estimate|evaluate> [flags]\n"
+    "  generate --dataset=<analog> [--scale=S] [--seed=N] --out=FILE\n"
+    "  train    --data=FILE --method=M [--segments=N] [--scale=S]\n"
+    "           [--seed=N] --out=FILE        (M in GL+/Local+/GL-CNN/GL-MLP)\n"
+    "  estimate --data=FILE --model=FILE --query-row=N --tau=X\n"
+    "  evaluate --data=FILE --model=FILE [--segments=N] [--seed=N]\n";
+
+Result<CommandLine> ParseFlags(int argc, const char* const* argv,
+                               std::vector<std::string> known) {
+  // Skip argv[1] (the subcommand) by shifting.
+  std::vector<char*> shifted;
+  shifted.push_back(const_cast<char*>(argv[0]));
+  for (int i = 2; i < argc; ++i) {
+    shifted.push_back(const_cast<char*>(argv[i]));
+  }
+  return CommandLine::Parse(static_cast<int>(shifted.size()), shifted.data(),
+                            known);
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  auto in_or = Deserializer::FromFile(path);
+  if (!in_or.ok()) return in_or.status();
+  Deserializer in = std::move(in_or).value();
+  return Dataset::Deserialize(&in);
+}
+
+// Deterministically rebuilds segmentation + workload for a dataset file, so
+// train/evaluate agree on the split without persisting labels.
+Result<ExperimentEnv> RebuildEnv(Dataset dataset, size_t segments,
+                                 uint64_t seed, Scale scale) {
+  ExperimentEnv env;
+  auto spec_or = GetAnalogSpec(dataset.name(), scale);
+  if (!spec_or.ok()) return spec_or.status();
+  env.spec = spec_or.value();
+  env.scale = scale;
+  env.seed = seed;
+  env.dataset = std::move(dataset);
+
+  SegmentationOptions seg_opts;
+  seg_opts.target_segments = segments;
+  seg_opts.seed = seed + 1;
+  auto seg_or = SegmentData(env.dataset, seg_opts);
+  if (!seg_or.ok()) return seg_or.status();
+  env.segmentation = std::move(seg_or.value());
+
+  WorkloadOptions wl_opts;
+  wl_opts.num_train = std::min<size_t>(env.spec.train_queries,
+                                       env.dataset.size() / 4);
+  wl_opts.num_test = std::min<size_t>(env.spec.test_queries,
+                                      env.dataset.size() / 8);
+  wl_opts.seed = seed + 2;
+  wl_opts.keep_profiles = false;
+  auto wl_or = BuildSearchWorkload(env.dataset, &env.segmentation, wl_opts);
+  if (!wl_or.ok()) return wl_or.status();
+  env.workload = std::move(wl_or).value();
+  return env;
+}
+
+int Fail(std::ostream& err, const Status& status) {
+  err << status.ToString() << "\n";
+  return 1;
+}
+
+int CmdGenerate(const CommandLine& cl, std::ostream& out, std::ostream& err) {
+  const std::string name = cl.GetString("dataset", "");
+  const std::string path = cl.GetString("out", "");
+  if (name.empty() || path.empty()) {
+    err << "generate: --dataset and --out are required\n";
+    return 2;
+  }
+  auto scale_or = ParseScale(cl.GetString("scale", "small"));
+  if (!scale_or.ok()) return Fail(err, scale_or.status());
+  const uint64_t seed = static_cast<uint64_t>(cl.GetInt("seed", 2026));
+  auto data_or = MakeAnalogDataset(name, scale_or.value(), seed);
+  if (!data_or.ok()) return Fail(err, data_or.status());
+  Serializer ser;
+  data_or.value().Serialize(&ser);
+  if (Status st = ser.SaveToFile(path); !st.ok()) return Fail(err, st);
+  out << "wrote " << data_or.value().size() << " points ("
+      << data_or.value().dim() << " dims, "
+      << MetricName(data_or.value().metric()) << ") to " << path << "\n";
+  return 0;
+}
+
+int CmdTrain(const CommandLine& cl, std::ostream& out, std::ostream& err) {
+  const std::string data_path = cl.GetString("data", "");
+  const std::string model_path = cl.GetString("out", "");
+  const std::string method = cl.GetString("method", "GL-CNN");
+  if (data_path.empty() || model_path.empty()) {
+    err << "train: --data and --out are required\n";
+    return 2;
+  }
+  auto scale_or = ParseScale(cl.GetString("scale", "small"));
+  if (!scale_or.ok()) return Fail(err, scale_or.status());
+  auto data_or = LoadDataset(data_path);
+  if (!data_or.ok()) return Fail(err, data_or.status());
+  const uint64_t seed = static_cast<uint64_t>(cl.GetInt("seed", 2026));
+  const size_t segments = static_cast<size_t>(cl.GetInt("segments", 16));
+  auto env_or = RebuildEnv(std::move(data_or).value(), segments, seed,
+                           scale_or.value());
+  if (!env_or.ok()) return Fail(err, env_or.status());
+  ExperimentEnv env = std::move(env_or).value();
+
+  auto est_or = MakeEstimatorByName(method, scale_or.value());
+  if (!est_or.ok()) return Fail(err, est_or.status());
+  auto* gl = dynamic_cast<GlEstimator*>(est_or.value().get());
+  if (gl == nullptr) {
+    err << "train: only GL-family methods can be saved (got " << method
+        << ")\n";
+    return 2;
+  }
+  TrainContext ctx = MakeTrainContext(env);
+  if (Status st = gl->Train(ctx); !st.ok()) return Fail(err, st);
+  if (Status st = gl->SaveToFile(model_path); !st.ok()) return Fail(err, st);
+  out << "trained " << method << " in " << FormatPaperNumber(
+             gl->training_seconds())
+      << "s (" << gl->num_local_models() << " local models, "
+      << FormatPaperNumber(gl->ModelSizeBytes() / 1e6) << " MB) -> "
+      << model_path << "\n";
+  return 0;
+}
+
+// Loads a model with a neutral config (behavioral knobs only matter for
+// further training).
+Result<std::unique_ptr<GlEstimator>> LoadModel(const std::string& path) {
+  auto est = std::make_unique<GlEstimator>(GlEstimatorConfig::GlCnn());
+  SIMCARD_RETURN_IF_ERROR(est->LoadFromFile(path));
+  return est;
+}
+
+int CmdEstimate(const CommandLine& cl, std::ostream& out, std::ostream& err) {
+  const std::string data_path = cl.GetString("data", "");
+  const std::string model_path = cl.GetString("model", "");
+  if (data_path.empty() || model_path.empty()) {
+    err << "estimate: --data and --model are required\n";
+    return 2;
+  }
+  auto data_or = LoadDataset(data_path);
+  if (!data_or.ok()) return Fail(err, data_or.status());
+  const Dataset& dataset = data_or.value();
+  auto est_or = LoadModel(model_path);
+  if (!est_or.ok()) return Fail(err, est_or.status());
+  const size_t row = static_cast<size_t>(cl.GetInt("query-row", 0));
+  if (row >= dataset.size()) {
+    err << "estimate: --query-row out of range\n";
+    return 2;
+  }
+  const float tau = static_cast<float>(cl.GetDouble("tau", 0.1));
+  const double estimate =
+      est_or.value()->EstimateSearch(dataset.Point(row), tau);
+  out << "card(row " << row << ", tau " << tau
+      << ") ~= " << FormatPaperNumber(estimate) << "\n";
+  return 0;
+}
+
+int CmdEvaluate(const CommandLine& cl, std::ostream& out, std::ostream& err) {
+  const std::string data_path = cl.GetString("data", "");
+  const std::string model_path = cl.GetString("model", "");
+  if (data_path.empty() || model_path.empty()) {
+    err << "evaluate: --data and --model are required\n";
+    return 2;
+  }
+  auto scale_or = ParseScale(cl.GetString("scale", "small"));
+  if (!scale_or.ok()) return Fail(err, scale_or.status());
+  auto data_or = LoadDataset(data_path);
+  if (!data_or.ok()) return Fail(err, data_or.status());
+  const uint64_t seed = static_cast<uint64_t>(cl.GetInt("seed", 2026));
+  const size_t segments = static_cast<size_t>(cl.GetInt("segments", 16));
+  auto env_or = RebuildEnv(std::move(data_or).value(), segments, seed,
+                           scale_or.value());
+  if (!env_or.ok()) return Fail(err, env_or.status());
+  auto est_or = LoadModel(model_path);
+  if (!est_or.ok()) return Fail(err, est_or.status());
+
+  EvalResult result =
+      EvaluateSearch(est_or.value().get(), env_or.value().workload);
+  TableReporter table(SummaryColumns("Metric"));
+  table.AddSummaryRow("Q-error", result.qerror);
+  table.AddSummaryRow("MAPE", result.mape);
+  table.Print(out);
+  out << "mean latency: " << FormatPaperNumber(result.mean_latency_ms)
+      << " ms/query over " << result.qerror.count << " test samples\n";
+  return 0;
+}
+
+}  // namespace
+
+int RunCliApp(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  const std::vector<std::string> known = {
+      "dataset", "scale", "seed", "out",  "data",
+      "method",  "segments", "model", "query-row", "tau"};
+  auto cl_or = ParseFlags(argc, argv, known);
+  if (!cl_or.ok()) return Fail(err, cl_or.status());
+  const CommandLine& cl = cl_or.value();
+
+  if (command == "generate") return CmdGenerate(cl, out, err);
+  if (command == "train") return CmdTrain(cl, out, err);
+  if (command == "estimate") return CmdEstimate(cl, out, err);
+  if (command == "evaluate") return CmdEvaluate(cl, out, err);
+  err << "unknown command: " << command << "\n" << kUsage;
+  return 2;
+}
+
+}  // namespace simcard

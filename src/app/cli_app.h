@@ -1,0 +1,28 @@
+// Implementation of the `simcard_cli` tool as a library entry point so its
+// subcommands are unit-testable. Subcommands:
+//
+//   generate  --dataset=<analog> [--scale=..] [--seed=..] --out=FILE
+//       materialize a paper-analog dataset to a binary file;
+//   train     --data=FILE --method=GL-CNN|GL+|Local+|GL-MLP
+//             [--segments=N] [--scale=..] [--seed=..] --out=FILE
+//       segment + label + train a GL-family estimator and save it;
+//   estimate  --data=FILE --model=FILE --query-row=N --tau=X
+//       load a saved model and print one cardinality estimate;
+//   evaluate  --data=FILE --model=FILE [--segments=N] [--seed=..]
+//       rebuild the (deterministic) test workload and print the Q-error /
+//       MAPE summary of the saved model.
+#ifndef SIMCARD_APP_CLI_APP_H_
+#define SIMCARD_APP_CLI_APP_H_
+
+#include <iosfwd>
+
+namespace simcard {
+
+/// Runs the CLI; returns the process exit code. Output goes to `out`,
+/// errors to `err` (tests pass string streams).
+int RunCliApp(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_APP_CLI_APP_H_

@@ -1,0 +1,13 @@
+#include "baselines/mlp_estimator.h"
+
+namespace simcard {
+
+std::unique_ptr<FlatCardEstimator> MakeMlpEstimator() {
+  return std::make_unique<FlatCardEstimator>(FlatCardEstimatorConfig::Mlp());
+}
+
+std::unique_ptr<FlatCardEstimator> MakeQesEstimator() {
+  return std::make_unique<FlatCardEstimator>(FlatCardEstimatorConfig::Qes());
+}
+
+}  // namespace simcard

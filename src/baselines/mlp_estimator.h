@@ -1,0 +1,22 @@
+// The DL-based MLP baseline (Table 2 row 9): fully-connected embeddings for
+// query, distance, and threshold features — i.e. the FlatCardEstimator with
+// its MLP query tower. Kept as a distinct factory so benches read like the
+// paper's method list.
+#ifndef SIMCARD_BASELINES_MLP_ESTIMATOR_H_
+#define SIMCARD_BASELINES_MLP_ESTIMATOR_H_
+
+#include <memory>
+
+#include "core/qes_estimator.h"
+
+namespace simcard {
+
+/// Creates the "MLP" baseline estimator.
+std::unique_ptr<FlatCardEstimator> MakeMlpEstimator();
+
+/// Creates the "QES" method (query segmentation, no data segmentation).
+std::unique_ptr<FlatCardEstimator> MakeQesEstimator();
+
+}  // namespace simcard
+
+#endif  // SIMCARD_BASELINES_MLP_ESTIMATOR_H_

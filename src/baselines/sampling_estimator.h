@@ -1,0 +1,49 @@
+// Sampling baseline (Table 2 row 7; Exp-1/2).
+//
+// Retains a uniform sample of the dataset; card(q, tau) is the sample count
+// within tau scaled by the inverse sampling ratio. The paper evaluates 1%,
+// 10%, and "equal" (a sample occupying the same bytes as the GL+ model).
+// Suffers the 0-tuple problem on low-selectivity queries, which is exactly
+// what the learned methods fix.
+#ifndef SIMCARD_BASELINES_SAMPLING_ESTIMATOR_H_
+#define SIMCARD_BASELINES_SAMPLING_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/estimator.h"
+
+namespace simcard {
+
+/// \brief Uniform-sample scaling estimator.
+class SamplingEstimator : public Estimator {
+ public:
+  /// `fraction` in (0,1]: sample size as a share of the dataset.
+  SamplingEstimator(std::string name, double fraction)
+      : name_(std::move(name)), fraction_(fraction) {}
+
+  /// Constructs the "Sampling (equal)" variant: the sample is sized to
+  /// `target_bytes` (a learned model's size).
+  static std::unique_ptr<SamplingEstimator> Equal(size_t target_bytes);
+
+  std::string Name() const override { return name_; }
+  Status Train(const TrainContext& ctx) override;
+  double EstimateSearch(const float* query, float tau) override;
+  size_t ModelSizeBytes() const override;
+
+  size_t sample_rows() const { return sample_.rows(); }
+
+ private:
+  std::string name_;
+  double fraction_ = 0.01;
+  size_t target_bytes_ = 0;  ///< nonzero -> "equal" sizing
+  double scale_ = 1.0;       ///< dataset_size / sample_size
+  Metric metric_ = Metric::kL2;
+  Matrix sample_;
+  BitMatrix sample_bits_;  ///< fast path for Hamming
+  bool use_bits_ = false;
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_BASELINES_SAMPLING_ESTIMATOR_H_

@@ -1,0 +1,101 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/rng.h"
+#include "dist/metric.h"
+
+namespace simcard {
+
+Result<std::vector<uint32_t>> DbscanSegment(const Matrix& data,
+                                            const DbscanOptions& options,
+                                            size_t* num_segments) {
+  if (data.rows() == 0) {
+    return Status::InvalidArgument("DbscanSegment: empty data");
+  }
+  if (options.eps <= 0.0f) {
+    return Status::InvalidArgument("DbscanSegment: eps must be positive");
+  }
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  Rng rng(options.seed);
+
+  const size_t m = std::min(n, options.max_core_rows);
+  auto sample = rng.SampleWithoutReplacement(n, m);
+
+  // Pairwise neighborhoods within the sample (O(m^2) distances).
+  const float eps_sq = options.eps * options.eps;
+  std::vector<std::vector<uint32_t>> neighbors(m);
+  for (size_t i = 0; i < m; ++i) {
+    const float* xi = data.Row(sample[i]);
+    for (size_t j = i + 1; j < m; ++j) {
+      if (L2Squared(xi, data.Row(sample[j]), d) <= eps_sq) {
+        neighbors[i].push_back(static_cast<uint32_t>(j));
+        neighbors[j].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+
+  constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+  constexpr uint32_t kNoise = kUnvisited - 1;
+  std::vector<uint32_t> sample_label(m, kUnvisited);
+  uint32_t next_cluster = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (sample_label[i] != kUnvisited) continue;
+    if (neighbors[i].size() + 1 < options.min_pts) {
+      sample_label[i] = kNoise;
+      continue;
+    }
+    const uint32_t cluster = next_cluster++;
+    sample_label[i] = cluster;
+    std::queue<uint32_t> frontier;
+    for (uint32_t nb : neighbors[i]) frontier.push(nb);
+    while (!frontier.empty()) {
+      const uint32_t j = frontier.front();
+      frontier.pop();
+      if (sample_label[j] == kNoise) sample_label[j] = cluster;
+      if (sample_label[j] != kUnvisited) continue;
+      sample_label[j] = cluster;
+      if (neighbors[j].size() + 1 >= options.min_pts) {
+        for (uint32_t nb : neighbors[j]) frontier.push(nb);
+      }
+    }
+  }
+
+  // Degenerate outcome (all noise): one segment holding everything.
+  if (next_cluster == 0) {
+    if (num_segments != nullptr) *num_segments = 1;
+    return std::vector<uint32_t>(n, 0);
+  }
+
+  // Collect clustered sample points for nearest-core extension.
+  std::vector<size_t> anchors;       // row indices in `data`
+  std::vector<uint32_t> anchor_lab;  // their cluster labels
+  for (size_t i = 0; i < m; ++i) {
+    if (sample_label[i] < kNoise) {
+      anchors.push_back(sample[i]);
+      anchor_lab.push_back(sample_label[i]);
+    }
+  }
+
+  std::vector<uint32_t> assignment(n);
+  for (size_t i = 0; i < n; ++i) {
+    const float* x = data.Row(i);
+    float best = std::numeric_limits<float>::infinity();
+    uint32_t best_lab = 0;
+    for (size_t a = 0; a < anchors.size(); ++a) {
+      const float sq = L2Squared(x, data.Row(anchors[a]), d);
+      if (sq < best) {
+        best = sq;
+        best_lab = anchor_lab[a];
+      }
+    }
+    assignment[i] = best_lab;
+  }
+  if (num_segments != nullptr) *num_segments = next_cluster;
+  return assignment;
+}
+
+}  // namespace simcard

@@ -1,0 +1,31 @@
+// DBSCAN on a subsample with nearest-core extension, the second alternative
+// segmentation strategy the paper compared against PCA+K-means (Section 3.3).
+#ifndef SIMCARD_CLUSTER_DBSCAN_H_
+#define SIMCARD_CLUSTER_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace simcard {
+
+/// \brief Options for DbscanSegment.
+struct DbscanOptions {
+  float eps = 0.5f;       ///< neighborhood radius (L2 in the given space)
+  size_t min_pts = 8;     ///< core-point density threshold
+  size_t max_core_rows = 2500;  ///< DBSCAN runs on at most this many rows
+  uint64_t seed = 17;
+};
+
+/// Clusters a row subsample with classic DBSCAN, then assigns every
+/// remaining row (and noise) to the cluster of its nearest clustered sample.
+/// Returns per-row segment ids in [0, *num_segments).
+Result<std::vector<uint32_t>> DbscanSegment(const Matrix& data,
+                                            const DbscanOptions& options,
+                                            size_t* num_segments);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CLUSTER_DBSCAN_H_

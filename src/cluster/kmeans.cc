@@ -1,0 +1,112 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dist/metric.h"
+
+namespace simcard {
+namespace {
+
+// K-means++ seeding on a subsample: pick each next center with probability
+// proportional to squared distance from the nearest existing center.
+Matrix KMeansPlusPlusInit(const Matrix& data, size_t k, Rng* rng) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t pool_size = std::min<size_t>(n, 2048 + 16 * k);
+  auto pool = rng->SampleWithoutReplacement(n, pool_size);
+
+  Matrix centers(k, d);
+  std::vector<float> best_sq(pool.size(),
+                             std::numeric_limits<float>::infinity());
+  // First center: uniform.
+  centers.SetRow(0, data.Row(pool[rng->NextBounded(pool.size())]));
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const float sq = L2Squared(data.Row(pool[i]), centers.Row(c - 1), d);
+      best_sq[i] = std::min(best_sq[i], sq);
+      total += best_sq[i];
+    }
+    if (total <= 0.0) {
+      // Degenerate data: duplicate an arbitrary pool point.
+      centers.SetRow(c, data.Row(pool[rng->NextBounded(pool.size())]));
+      continue;
+    }
+    double target = rng->NextDouble() * total;
+    size_t chosen = pool.size() - 1;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      target -= best_sq[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.SetRow(c, data.Row(pool[chosen]));
+  }
+  return centers;
+}
+
+}  // namespace
+
+size_t NearestCentroid(const Matrix& centroids, const float* v) {
+  size_t best = 0;
+  float best_sq = std::numeric_limits<float>::infinity();
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    const float sq = L2Squared(centroids.Row(c), v, centroids.cols());
+    if (sq < best_sq) {
+      best_sq = sq;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Result<KMeansResult> MiniBatchKMeans(const Matrix& data,
+                                     const KMeansOptions& options) {
+  if (data.rows() == 0) {
+    return Status::InvalidArgument("MiniBatchKMeans: empty data");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("MiniBatchKMeans: k must be positive");
+  }
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = std::min(options.k, n);
+  Rng rng(options.seed);
+
+  KMeansResult result;
+  result.centroids = KMeansPlusPlusInit(data, k, &rng);
+  std::vector<uint64_t> counts(k, 0);
+
+  // Mini-batch updates (Sculley-style per-center learning rates).
+  const size_t batch = std::min(options.batch_size, n);
+  for (size_t it = 0; it < options.iterations; ++it) {
+    for (size_t b = 0; b < batch; ++b) {
+      const size_t i = rng.NextBounded(n);
+      const float* x = data.Row(i);
+      const size_t c = NearestCentroid(result.centroids, x);
+      counts[c] += 1;
+      const float eta = 1.0f / static_cast<float>(counts[c]);
+      float* center = result.centroids.Row(c);
+      for (size_t j = 0; j < d; ++j) {
+        center[j] += eta * (x[j] - center[j]);
+      }
+    }
+  }
+
+  // Final full assignment + inertia.
+  result.assignment.resize(n);
+  double inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const float* x = data.Row(i);
+    const size_t c = NearestCentroid(result.centroids, x);
+    result.assignment[i] = static_cast<uint32_t>(c);
+    inertia += L2Squared(result.centroids.Row(c), x, d);
+  }
+  result.inertia = inertia / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace simcard

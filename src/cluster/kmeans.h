@@ -1,0 +1,41 @@
+// Mini-batch K-means with K-means++ seeding (the paper's data-segmentation
+// clustering, Section 3.3).
+#ifndef SIMCARD_CLUSTER_KMEANS_H_
+#define SIMCARD_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace simcard {
+
+/// \brief K-means output: centroids (in the clustering space), a full
+/// assignment, and the final inertia (mean squared distance to centroid).
+struct KMeansResult {
+  Matrix centroids;                  ///< [k, d]
+  std::vector<uint32_t> assignment;  ///< point -> cluster
+  double inertia = 0.0;
+};
+
+/// \brief Options for MiniBatchKMeans.
+struct KMeansOptions {
+  size_t k = 16;
+  size_t batch_size = 512;
+  size_t iterations = 60;
+  uint64_t seed = 11;
+};
+
+/// Runs K-means++ seeding followed by mini-batch updates and a final full
+/// assignment pass. Distances are Euclidean in the given space.
+Result<KMeansResult> MiniBatchKMeans(const Matrix& data,
+                                     const KMeansOptions& options);
+
+/// Index of the centroid nearest (L2) to `v`.
+size_t NearestCentroid(const Matrix& centroids, const float* v);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CLUSTER_KMEANS_H_

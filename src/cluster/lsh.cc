@@ -1,0 +1,78 @@
+#include "cluster/lsh.h"
+
+#include <algorithm>
+#include <map>
+
+#include "dist/metric.h"
+
+namespace simcard {
+
+uint64_t LshModel::Hash(const float* v) const {
+  uint64_t code = 0;
+  for (size_t b = 0; b < hyperplanes.cols(); ++b) {
+    float acc = 0.0f;
+    for (size_t r = 0; r < hyperplanes.rows(); ++r) {
+      acc += v[r] * hyperplanes.at(r, b);
+    }
+    if (acc >= 0.0f) code |= uint64_t{1} << b;
+  }
+  return code;
+}
+
+Result<std::vector<uint32_t>> LshSegment(const Matrix& data,
+                                         const LshOptions& options,
+                                         size_t* num_segments) {
+  if (data.rows() == 0) {
+    return Status::InvalidArgument("LshSegment: empty data");
+  }
+  if (options.bits == 0 || options.bits > 20) {
+    return Status::InvalidArgument("LshSegment: bits must be in [1,20]");
+  }
+  Rng rng(options.seed);
+  LshModel model;
+  model.hyperplanes = Matrix::Gaussian(data.cols(), options.bits, 1.0f, &rng);
+
+  const size_t n = data.rows();
+  std::vector<uint64_t> codes(n);
+  std::map<uint64_t, size_t> bucket_sizes;
+  for (size_t i = 0; i < n; ++i) {
+    codes[i] = model.Hash(data.Row(i));
+    bucket_sizes[codes[i]] += 1;
+  }
+
+  // Sort buckets by size descending; the largest `target_segments - 1`
+  // buckets become their own segments, everything else merges into one
+  // overflow segment. (LSH gives no control over bucket balance, which is
+  // exactly why the paper rejects it; we keep the behavior observable.)
+  std::vector<std::pair<size_t, uint64_t>> ordered;
+  ordered.reserve(bucket_sizes.size());
+  for (const auto& [code, size] : bucket_sizes) ordered.emplace_back(size, code);
+  std::sort(ordered.rbegin(), ordered.rend());
+
+  std::map<uint64_t, uint32_t> code_to_segment;
+  const size_t own_buckets =
+      std::min(ordered.size(), options.target_segments > 0
+                                   ? options.target_segments - 1
+                                   : size_t{0});
+  for (size_t i = 0; i < own_buckets; ++i) {
+    code_to_segment[ordered[i].second] = static_cast<uint32_t>(i);
+  }
+  const uint32_t overflow = static_cast<uint32_t>(own_buckets);
+  size_t used = own_buckets;
+  bool overflow_used = false;
+  std::vector<uint32_t> assignment(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto it = code_to_segment.find(codes[i]);
+    if (it != code_to_segment.end()) {
+      assignment[i] = it->second;
+    } else {
+      assignment[i] = overflow;
+      overflow_used = true;
+    }
+  }
+  if (overflow_used) ++used;
+  if (num_segments != nullptr) *num_segments = used;
+  return assignment;
+}
+
+}  // namespace simcard

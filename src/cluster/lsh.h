@@ -1,0 +1,40 @@
+// Random-hyperplane LSH bucketing, the alternative segmentation strategy the
+// paper compared against PCA+K-means (Section 3.3) and found inferior; kept
+// here for the segmentation ablation bench.
+#ifndef SIMCARD_CLUSTER_LSH_H_
+#define SIMCARD_CLUSTER_LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace simcard {
+
+/// \brief Signed-projection LSH: hash(v) = sign bits of v * H.
+struct LshModel {
+  Matrix hyperplanes;  ///< [d, bits]
+
+  /// Bucket id (bit pattern of the projections) for one vector.
+  uint64_t Hash(const float* v) const;
+};
+
+/// \brief Options for LshSegment.
+struct LshOptions {
+  size_t bits = 6;             ///< 2^bits raw buckets before merging
+  size_t target_segments = 16; ///< small buckets are merged down to this
+  uint64_t seed = 13;
+};
+
+/// Buckets every row of `data` and greedily merges the smallest buckets
+/// until at most `target_segments` remain. Returns a per-row segment id in
+/// [0, num_segments).
+Result<std::vector<uint32_t>> LshSegment(const Matrix& data,
+                                         const LshOptions& options,
+                                         size_t* num_segments);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CLUSTER_LSH_H_

@@ -1,0 +1,114 @@
+#include "cluster/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace simcard {
+namespace {
+
+// Gram-Schmidt orthonormalization of the columns of `m` (in place).
+void OrthonormalizeColumns(Matrix* m) {
+  const size_t d = m->rows();
+  const size_t k = m->cols();
+  for (size_t c = 0; c < k; ++c) {
+    // Remove projections onto previous columns.
+    for (size_t p = 0; p < c; ++p) {
+      double dot = 0.0;
+      for (size_t r = 0; r < d; ++r) {
+        dot += static_cast<double>(m->at(r, c)) * m->at(r, p);
+      }
+      for (size_t r = 0; r < d; ++r) {
+        m->at(r, c) -= static_cast<float>(dot) * m->at(r, p);
+      }
+    }
+    double norm = 0.0;
+    for (size_t r = 0; r < d; ++r) {
+      norm += static_cast<double>(m->at(r, c)) * m->at(r, c);
+    }
+    norm = std::sqrt(norm);
+    const float inv = norm > 1e-12 ? static_cast<float>(1.0 / norm) : 0.0f;
+    for (size_t r = 0; r < d; ++r) m->at(r, c) *= inv;
+  }
+}
+
+}  // namespace
+
+Matrix PcaModel::Project(const Matrix& rows) const {
+  Matrix centered = rows;
+  const float* mu = mean.data();
+  for (size_t r = 0; r < centered.rows(); ++r) {
+    float* row = centered.Row(r);
+    for (size_t c = 0; c < centered.cols(); ++c) row[c] -= mu[c];
+  }
+  return MatMul(centered, components);
+}
+
+void PcaModel::ProjectRow(const float* row, float* out) const {
+  const size_t d = input_dim();
+  const size_t k = output_dim();
+  const float* mu = mean.data();
+  for (size_t c = 0; c < k; ++c) out[c] = 0.0f;
+  for (size_t r = 0; r < d; ++r) {
+    const float v = row[r] - mu[r];
+    if (v == 0.0f) continue;
+    const float* comp_row = components.Row(r);
+    for (size_t c = 0; c < k; ++c) out[c] += v * comp_row[c];
+  }
+}
+
+Result<PcaModel> FitPca(const Matrix& data, const PcaOptions& options) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("FitPca: empty data");
+  }
+  const size_t d = data.cols();
+  const size_t k = std::min(options.num_components, d);
+  Rng rng(options.seed);
+
+  // Subsample rows for the covariance estimate.
+  Matrix sample;
+  if (data.rows() > options.max_fit_rows) {
+    auto idx = rng.SampleWithoutReplacement(data.rows(), options.max_fit_rows);
+    sample = Matrix(idx.size(), d);
+    for (size_t i = 0; i < idx.size(); ++i) sample.SetRow(i, data.Row(idx[i]));
+  } else {
+    sample = data;
+  }
+  const size_t n = sample.rows();
+
+  PcaModel model;
+  model.mean = Scale(SumRows(sample), 1.0f / static_cast<float>(n));
+  const float* mu = model.mean.data();
+  for (size_t r = 0; r < n; ++r) {
+    float* row = sample.Row(r);
+    for (size_t c = 0; c < d; ++c) row[c] -= mu[c];
+  }
+
+  // Covariance = X^T X / n.
+  Matrix cov = Scale(MatMulTransposeA(sample, sample),
+                     1.0f / static_cast<float>(n));
+
+  // Subspace iteration for the top-k eigenvectors.
+  Matrix q = Matrix::Gaussian(d, k, 1.0f, &rng);
+  OrthonormalizeColumns(&q);
+  for (size_t it = 0; it < options.power_iterations; ++it) {
+    q = MatMul(cov, q);
+    OrthonormalizeColumns(&q);
+  }
+  model.components = q;
+
+  // Eigenvalue estimates: lambda_i = q_i^T C q_i.
+  Matrix cq = MatMul(cov, q);
+  model.explained_variance.resize(k);
+  for (size_t c = 0; c < k; ++c) {
+    double lambda = 0.0;
+    for (size_t r = 0; r < d; ++r) {
+      lambda += static_cast<double>(q.at(r, c)) * cq.at(r, c);
+    }
+    model.explained_variance[c] = static_cast<float>(lambda);
+  }
+  return model;
+}
+
+}  // namespace simcard

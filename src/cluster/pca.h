@@ -1,0 +1,44 @@
+// Principal component analysis via subspace (orthogonal power) iteration.
+//
+// The paper's data segmentation reduces dimensionality with PCA before
+// running batch K-means (Section 3.3, citing Ding & He). Fitting uses the
+// covariance of a row subsample to stay cheap at high dimensions.
+#ifndef SIMCARD_CLUSTER_PCA_H_
+#define SIMCARD_CLUSTER_PCA_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace simcard {
+
+/// \brief Fitted PCA transform.
+struct PcaModel {
+  Matrix mean;        ///< [1, d]
+  Matrix components;  ///< [d, k], orthonormal columns
+  std::vector<float> explained_variance;  ///< per-component eigenvalue
+
+  size_t input_dim() const { return components.rows(); }
+  size_t output_dim() const { return components.cols(); }
+
+  /// Projects a batch of rows into the k-dimensional PCA space.
+  Matrix Project(const Matrix& rows) const;
+
+  /// Projects one row; `out` must hold output_dim() floats.
+  void ProjectRow(const float* row, float* out) const;
+};
+
+/// \brief Options for FitPca.
+struct PcaOptions {
+  size_t num_components = 8;
+  size_t power_iterations = 30;
+  size_t max_fit_rows = 4000;  ///< covariance is estimated on a subsample
+  uint64_t seed = 7;
+};
+
+/// Fits PCA on `data`. `num_components` is clamped to the data dimension.
+Result<PcaModel> FitPca(const Matrix& data, const PcaOptions& options);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CLUSTER_PCA_H_

@@ -1,0 +1,265 @@
+#include "cluster/segmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "cluster/lsh.h"
+#include "cluster/pca.h"
+#include "common/rng.h"
+
+namespace simcard {
+
+const char* SegmentationMethodName(SegmentationMethod method) {
+  switch (method) {
+    case SegmentationMethod::kPcaKMeans:
+      return "pca-kmeans";
+    case SegmentationMethod::kLsh:
+      return "lsh";
+    case SegmentationMethod::kDbscan:
+      return "dbscan";
+  }
+  return "?";
+}
+
+Result<SegmentationMethod> ParseSegmentationMethod(const std::string& name) {
+  if (name == "pca-kmeans" || name == "kmeans") {
+    return SegmentationMethod::kPcaKMeans;
+  }
+  if (name == "lsh") return SegmentationMethod::kLsh;
+  if (name == "dbscan") return SegmentationMethod::kDbscan;
+  return Status::InvalidArgument("unknown segmentation method: " + name);
+}
+
+std::vector<float> Segmentation::CentroidDistances(const float* q, size_t dim,
+                                                   Metric metric) const {
+  std::vector<float> out(num_segments());
+  for (size_t s = 0; s < num_segments(); ++s) {
+    out[s] = Distance(q, centroids.Row(s), dim, metric);
+  }
+  return out;
+}
+
+size_t Segmentation::NearestSegment(const float* point, size_t dim,
+                                    Metric metric) const {
+  size_t best = 0;
+  float best_dist = std::numeric_limits<float>::infinity();
+  for (size_t s = 0; s < num_segments(); ++s) {
+    const float dist = Distance(point, centroids.Row(s), dim, metric);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void Segmentation::AddPoint(size_t seg, uint32_t index, const float* point,
+                            size_t dim, Metric metric) {
+  if (index >= assignment.size()) assignment.resize(index + 1);
+  assignment[index] = static_cast<uint32_t>(seg);
+  members[seg].push_back(index);
+  // Running mean update of the centroid.
+  const float eta = 1.0f / static_cast<float>(members[seg].size());
+  float* center = centroids.Row(seg);
+  for (size_t j = 0; j < dim; ++j) {
+    center[j] += eta * (point[j] - center[j]);
+  }
+  radius[seg] = std::max(radius[seg], Distance(point, center, dim, metric));
+}
+
+std::vector<size_t> Segmentation::RemoveTrailingPoints(size_t n) {
+  n = std::min(n, assignment.size());
+  const uint32_t first_removed =
+      static_cast<uint32_t>(assignment.size() - n);
+  std::set<size_t> touched;
+  for (size_t i = first_removed; i < assignment.size(); ++i) {
+    touched.insert(assignment[i]);
+  }
+  for (size_t s : touched) {
+    auto& m = members[s];
+    m.erase(std::remove_if(m.begin(), m.end(),
+                           [first_removed](uint32_t idx) {
+                             return idx >= first_removed;
+                           }),
+            m.end());
+  }
+  assignment.resize(first_removed);
+  return std::vector<size_t>(touched.begin(), touched.end());
+}
+
+void Segmentation::Serialize(Serializer* out) const {
+  std::vector<uint64_t> assignment64(assignment.begin(), assignment.end());
+  out->WriteU64Vector(assignment64);
+  centroids.Serialize(out);
+  out->WriteFloatVector(radius);
+}
+
+Status Segmentation::Deserialize(Deserializer* in) {
+  std::vector<uint64_t> assignment64;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64Vector(&assignment64));
+  SIMCARD_RETURN_IF_ERROR(centroids.Deserialize(in));
+  SIMCARD_RETURN_IF_ERROR(in->ReadFloatVector(&radius));
+  if (radius.size() != centroids.rows()) {
+    return Status::Internal("segmentation: radius/centroid count mismatch");
+  }
+  assignment.assign(assignment64.begin(), assignment64.end());
+  members.assign(centroids.rows(), {});
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] >= members.size()) {
+      return Status::Internal("segmentation: assignment out of range");
+    }
+    members[assignment[i]].push_back(static_cast<uint32_t>(i));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Builds members/centroids/radius from a raw assignment, dropping empty
+// segments and remapping ids densely.
+Segmentation Finalize(const Dataset& dataset, std::vector<uint32_t> assignment,
+                      size_t raw_segments) {
+  const size_t n = dataset.size();
+  const size_t dim = dataset.dim();
+
+  std::vector<uint32_t> remap(raw_segments,
+                              std::numeric_limits<uint32_t>::max());
+  std::vector<std::vector<uint32_t>> members;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t& slot = remap[assignment[i]];
+    if (slot == std::numeric_limits<uint32_t>::max()) {
+      slot = static_cast<uint32_t>(members.size());
+      members.emplace_back();
+    }
+    assignment[i] = slot;
+    members[slot].push_back(static_cast<uint32_t>(i));
+  }
+
+  Segmentation seg;
+  seg.assignment = std::move(assignment);
+  seg.centroids = Matrix(members.size(), dim);
+  seg.radius.assign(members.size(), 0.0f);
+  for (size_t s = 0; s < members.size(); ++s) {
+    float* center = seg.centroids.Row(s);
+    for (uint32_t idx : members[s]) {
+      const float* p = dataset.Point(idx);
+      for (size_t j = 0; j < dim; ++j) center[j] += p[j];
+    }
+    const float inv = 1.0f / static_cast<float>(members[s].size());
+    for (size_t j = 0; j < dim; ++j) center[j] *= inv;
+    for (uint32_t idx : members[s]) {
+      seg.radius[s] = std::max(
+          seg.radius[s],
+          Distance(dataset.Point(idx), center, dim, dataset.metric()));
+    }
+  }
+  seg.members = std::move(members);
+  return seg;
+}
+
+}  // namespace
+
+Result<Segmentation> SegmentData(const Dataset& dataset,
+                                 const SegmentationOptions& options) {
+  if (dataset.size() == 0) {
+    return Status::InvalidArgument("SegmentData: empty dataset");
+  }
+  if (options.target_segments == 0) {
+    return Status::InvalidArgument("SegmentData: target_segments must be > 0");
+  }
+
+  // One segment: trivial partition, no clustering needed.
+  if (options.target_segments == 1) {
+    return Finalize(dataset, std::vector<uint32_t>(dataset.size(), 0), 1);
+  }
+
+  // All methods cluster in a PCA-reduced space (Section 3.3).
+  PcaOptions pca_opts;
+  pca_opts.num_components = std::min(options.pca_components, dataset.dim());
+  pca_opts.seed = options.seed;
+  auto pca_or = FitPca(dataset.points(), pca_opts);
+  if (!pca_or.ok()) return pca_or.status();
+  Matrix reduced = pca_or.value().Project(dataset.points());
+
+  switch (options.method) {
+    case SegmentationMethod::kPcaKMeans: {
+      KMeansOptions km;
+      km.k = options.target_segments;
+      km.seed = options.seed;
+      auto km_or = MiniBatchKMeans(reduced, km);
+      if (!km_or.ok()) return km_or.status();
+      return Finalize(dataset, std::move(km_or.value().assignment),
+                      km_or.value().centroids.rows());
+    }
+    case SegmentationMethod::kLsh: {
+      LshOptions lsh;
+      lsh.target_segments = options.target_segments;
+      // Enough bits that raw buckets outnumber targets.
+      lsh.bits = 1;
+      while ((size_t{1} << lsh.bits) < options.target_segments * 4 &&
+             lsh.bits < 16) {
+        ++lsh.bits;
+      }
+      lsh.seed = options.seed;
+      size_t num_segments = 0;
+      auto lsh_or = LshSegment(reduced, lsh, &num_segments);
+      if (!lsh_or.ok()) return lsh_or.status();
+      return Finalize(dataset, std::move(lsh_or.value()), num_segments);
+    }
+    case SegmentationMethod::kDbscan: {
+      // Resolve eps from the PCA-space spread: mean pairwise distance of a
+      // small sample, scaled by the configured fraction.
+      Rng rng(options.seed);
+      const size_t probe = std::min<size_t>(reduced.rows(), 256);
+      auto idx = rng.SampleWithoutReplacement(reduced.rows(), probe);
+      double mean_dist = 0.0;
+      size_t pairs = 0;
+      for (size_t a = 0; a + 1 < idx.size(); a += 2) {
+        mean_dist += std::sqrt(L2Squared(reduced.Row(idx[a]),
+                                         reduced.Row(idx[a + 1]),
+                                         reduced.cols()));
+        ++pairs;
+      }
+      mean_dist = pairs > 0 ? mean_dist / pairs : 1.0;
+
+      DbscanOptions db;
+      db.eps = static_cast<float>(mean_dist * options.dbscan_eps_fraction);
+      db.seed = options.seed;
+      size_t num_segments = 0;
+      auto db_or = DbscanSegment(reduced, db, &num_segments);
+      if (!db_or.ok()) return db_or.status();
+      return Finalize(dataset, std::move(db_or.value()), num_segments);
+    }
+  }
+  return Status::Internal("unreachable segmentation method");
+}
+
+double SegmentationCohesion(const Dataset& dataset, const Segmentation& seg,
+                            size_t sample_size, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = dataset.size();
+  auto idx = rng.SampleWithoutReplacement(n, std::min(sample_size, n));
+  if (seg.num_segments() < 2) return 0.0;
+  double total = 0.0;
+  for (size_t i : idx) {
+    const float* p = dataset.Point(i);
+    const size_t own = seg.assignment[i];
+    const float a =
+        Distance(p, seg.centroids.Row(own), dataset.dim(), dataset.metric());
+    float b = std::numeric_limits<float>::infinity();
+    for (size_t s = 0; s < seg.num_segments(); ++s) {
+      if (s == own) continue;
+      b = std::min(b, Distance(p, seg.centroids.Row(s), dataset.dim(),
+                               dataset.metric()));
+    }
+    const float denom = std::max(a, b);
+    total += denom > 0.0f ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(idx.size());
+}
+
+}  // namespace simcard

@@ -1,0 +1,82 @@
+// Data segmentation pipeline (Section 3.3): group similar objects into
+// non-overlapping segments, each of which gets its own local model.
+//
+// The default strategy is the paper's PCA + mini-batch K-means; LSH and
+// DBSCAN are available for the ablation that motivated that choice.
+#ifndef SIMCARD_CLUSTER_SEGMENTATION_H_
+#define SIMCARD_CLUSTER_SEGMENTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace simcard {
+
+enum class SegmentationMethod { kPcaKMeans, kLsh, kDbscan };
+
+const char* SegmentationMethodName(SegmentationMethod method);
+Result<SegmentationMethod> ParseSegmentationMethod(const std::string& name);
+
+/// \brief A partition of a dataset into segments.
+///
+/// Centroids live in the *original* feature space (segment member means), so
+/// distances from a query to centroids — the paper's x_C feature — use the
+/// dataset's own metric. `radius` is each segment's max member-to-centroid
+/// distance, enabling the triangle-inequality bound mentioned in Sec 5.1.
+struct Segmentation {
+  std::vector<uint32_t> assignment;            ///< point -> segment
+  std::vector<std::vector<uint32_t>> members;  ///< segment -> points
+  Matrix centroids;                            ///< [num_segments, dim]
+  std::vector<float> radius;                   ///< per-segment radius
+
+  size_t num_segments() const { return members.size(); }
+
+  /// Distances from `q` to every centroid under `metric` (the x_C feature).
+  std::vector<float> CentroidDistances(const float* q, size_t dim,
+                                       Metric metric) const;
+
+  /// Segment whose centroid is nearest to `point` under `metric`; this is
+  /// how incremental inserts are routed (Section 5.3).
+  size_t NearestSegment(const float* point, size_t dim, Metric metric) const;
+
+  /// Adds point `index` (data row) with features `point` to segment `seg`,
+  /// updating the running centroid mean and radius.
+  void AddPoint(size_t seg, uint32_t index, const float* point, size_t dim,
+                Metric metric);
+
+  /// Removes the trailing `n` points (indices >= assignment.size() - n)
+  /// from their segments; used when the dataset is truncated (deletions,
+  /// Section 5.3). Centroids/radii are left as-is — they are summaries that
+  /// the subsequent fine-tune absorbs; returns the set of touched segments.
+  std::vector<size_t> RemoveTrailingPoints(size_t n);
+
+  void Serialize(Serializer* out) const;
+  Status Deserialize(Deserializer* in);
+};
+
+/// \brief Options for SegmentData.
+struct SegmentationOptions {
+  size_t target_segments = 16;
+  SegmentationMethod method = SegmentationMethod::kPcaKMeans;
+  size_t pca_components = 8;
+  uint64_t seed = 19;
+  // DBSCAN-only: neighborhood radius as a fraction of the PCA-space data
+  // spread (resolved internally).
+  float dbscan_eps_fraction = 0.25f;
+};
+
+/// Partitions `dataset` into at most `target_segments` non-empty segments.
+Result<Segmentation> SegmentData(const Dataset& dataset,
+                                 const SegmentationOptions& options);
+
+/// Mean silhouette-like cohesion score in [−1, 1] on a subsample: how much
+/// closer points are to their own centroid than to the nearest other
+/// centroid. Used by the segmentation ablation.
+double SegmentationCohesion(const Dataset& dataset, const Segmentation& seg,
+                            size_t sample_size, uint64_t seed);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CLUSTER_SEGMENTATION_H_

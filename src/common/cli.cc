@@ -1,0 +1,87 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace simcard {
+
+Result<CommandLine> CommandLine::Parse(
+    int argc, char** argv, const std::vector<std::string>& known_flags) {
+  CommandLine cl;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      // Tolerate google-benchmark's own positional/flag arguments.
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    // google-benchmark flags all start with "benchmark_"; pass them through.
+    if (name.rfind("benchmark", 0) == 0) continue;
+    if (std::find(known_flags.begin(), known_flags.end(), name) ==
+        known_flags.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    cl.values_[name] = value;
+  }
+  return cl;
+}
+
+bool CommandLine::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string CommandLine::GetString(const std::string& name,
+                                   const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t CommandLine::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CommandLine::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> CommandLine::GetStringList(
+    const std::string& name, const std::vector<std::string>& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : it->second) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace simcard

@@ -1,0 +1,44 @@
+// Tiny command-line flag parser used by the bench and example binaries.
+//
+// Supports "--name=value" and "--name value" forms plus bare "--flag" for
+// booleans. Unknown flags are reported so typos in experiment sweeps fail
+// loudly instead of silently running defaults.
+#ifndef SIMCARD_COMMON_CLI_H_
+#define SIMCARD_COMMON_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simcard {
+
+/// \brief Parsed command-line flags.
+class CommandLine {
+ public:
+  /// Parses argv. `known_flags` lists every accepted flag name (without the
+  /// leading dashes); an unknown flag yields InvalidArgument.
+  static Result<CommandLine> Parse(int argc, char** argv,
+                                   const std::vector<std::string>& known_flags);
+
+  bool Has(const std::string& name) const;
+
+  /// Accessors return `fallback` when the flag was not given.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Splits a comma-separated flag value; returns `fallback` if absent.
+  std::vector<std::string> GetStringList(
+      const std::string& name, const std::vector<std::string>& fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_COMMON_CLI_H_

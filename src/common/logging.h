@@ -1,0 +1,63 @@
+// Minimal leveled logging to stderr.
+//
+// Usage:
+//   SIMCARD_LOG(INFO) << "trained " << n << " local models";
+// The default level is kInfo; set SIMCARD_LOG_LEVEL=debug|info|warn|error in
+// the environment, or call SetLogLevel(), to change it. Logging is
+// synchronized so interleaved worker-thread messages stay line-atomic.
+#ifndef SIMCARD_COMMON_LOGGING_H_
+#define SIMCARD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace simcard {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level (initialized once from the
+/// SIMCARD_LOG_LEVEL environment variable).
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One in-flight log statement; flushes its buffer on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace simcard
+
+#define SIMCARD_SEVERITY_DEBUG ::simcard::LogLevel::kDebug
+#define SIMCARD_SEVERITY_INFO ::simcard::LogLevel::kInfo
+#define SIMCARD_SEVERITY_WARN ::simcard::LogLevel::kWarn
+#define SIMCARD_SEVERITY_ERROR ::simcard::LogLevel::kError
+
+#define SIMCARD_LOG(severity)                                 \
+  if (SIMCARD_SEVERITY_##severity >= ::simcard::GetLogLevel())\
+  ::simcard::internal::LogMessage(SIMCARD_SEVERITY_##severity,\
+                                  __FILE__, __LINE__)         \
+      .stream()
+
+#endif  // SIMCARD_COMMON_LOGGING_H_

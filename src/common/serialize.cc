@@ -1,0 +1,74 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+
+namespace simcard {
+
+void Serializer::WriteRaw(const void* data, size_t size) {
+  if (size == 0) return;
+  const size_t old_size = bytes_.size();
+  bytes_.resize(old_size + size);
+  std::memcpy(bytes_.data() + old_size, data, size);
+}
+
+Status Serializer::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  size_t written = bytes_.empty()
+                       ? 0
+                       : std::fwrite(bytes_.data(), 1, bytes_.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != bytes_.size() || close_rc != 0) {
+    return Status::IoError("short write to: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Deserializer> Deserializer::FromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat: " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t read = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return Status::IoError("short read from: " + path);
+  }
+  return Deserializer(std::move(bytes));
+}
+
+Status Deserializer::ReadString(std::string* s) {
+  uint64_t n = 0;
+  SIMCARD_RETURN_IF_ERROR(ReadU64(&n));
+  s->resize(n);
+  if (n == 0) return Status::OK();
+  return ReadRaw(s->data(), n);
+}
+
+Status Deserializer::ReadFloatVector(std::vector<float>* v) {
+  uint64_t n = 0;
+  SIMCARD_RETURN_IF_ERROR(ReadU64(&n));
+  v->resize(n);
+  if (n == 0) return Status::OK();
+  return ReadRaw(v->data(), n * sizeof(float));
+}
+
+Status Deserializer::ReadU64Vector(std::vector<uint64_t>* v) {
+  uint64_t n = 0;
+  SIMCARD_RETURN_IF_ERROR(ReadU64(&n));
+  v->resize(n);
+  if (n == 0) return Status::OK();
+  return ReadRaw(v->data(), n * sizeof(uint64_t));
+}
+
+}  // namespace simcard

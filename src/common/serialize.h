@@ -1,0 +1,97 @@
+// Binary (de)serialization for model checkpoints and datasets.
+//
+// The format is a flat little-endian byte stream; every simcard object that
+// persists itself writes primitive fields through these helpers so model
+// files are portable across runs. Sizes are written as uint64 so the format
+// is independent of the host's size_t.
+#ifndef SIMCARD_COMMON_SERIALIZE_H_
+#define SIMCARD_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simcard {
+
+/// \brief Append-only binary buffer writer.
+class Serializer {
+ public:
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+  void WriteFloatVector(const std::vector<float>& v) {
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(float));
+  }
+
+  void WriteU64Vector(const std::vector<uint64_t>& v) {
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(uint64_t));
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  /// Writes the accumulated bytes to `path`, replacing any existing file.
+  Status SaveToFile(const std::string& path) const;
+
+ private:
+  // Out of line: GCC 12 at -O3 emits spurious array-bounds/stringop
+  // warnings when vector growth + memcpy are inlined together.
+  void WriteRaw(const void* data, size_t size);
+
+  std::vector<uint8_t> bytes_;
+};
+
+/// \brief Sequential reader over a byte buffer produced by Serializer.
+///
+/// Every Read* checks bounds and returns a Status instead of reading past
+/// the end of the buffer.
+class Deserializer {
+ public:
+  explicit Deserializer(std::vector<uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  /// Loads a whole file into a new Deserializer.
+  static Result<Deserializer> FromFile(const std::string& path);
+
+  Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadF32(float* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadF64(double* v) { return ReadRaw(v, sizeof(*v)); }
+
+  Status ReadString(std::string* s);
+  Status ReadFloatVector(std::vector<float>* v);
+  Status ReadU64Vector(std::vector<uint64_t>* v);
+
+  /// True when the whole buffer has been consumed.
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+
+ private:
+  Status ReadRaw(void* out, size_t size) {
+    if (offset_ + size > bytes_.size()) {
+      return Status::OutOfRange("deserializer read past end of buffer");
+    }
+    std::memcpy(out, bytes_.data() + offset_, size);
+    offset_ += size;
+    return Status::OK();
+  }
+
+  std::vector<uint8_t> bytes_;
+  size_t offset_ = 0;
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_COMMON_SERIALIZE_H_

@@ -1,0 +1,34 @@
+// Wall-clock timing helper used by the benchmark harnesses and the
+// training-time experiments (Figure 14 / Table 6 of the paper).
+#ifndef SIMCARD_COMMON_STOPWATCH_H_
+#define SIMCARD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace simcard {
+
+/// \brief Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Microseconds elapsed since construction or the last Restart().
+  int64_t ElapsedMicros() const;
+
+  /// Milliseconds elapsed (fractional).
+  double ElapsedMillis() const;
+
+  /// Seconds elapsed (fractional).
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_COMMON_STOPWATCH_H_

@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace simcard {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+namespace {
+// True on threads owned by a pool; ParallelFor falls back to inline
+// execution there to avoid self-deadlock on nested Wait().
+thread_local bool t_is_pool_worker = false;
+}  // namespace
+
+void ThreadPool::WorkerLoop() {
+  t_is_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool* GlobalThreadPool() {
+  static ThreadPool pool;
+  return &pool;
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, size_t min_chunk) {
+  if (begin >= end) return;
+  ThreadPool* pool = GlobalThreadPool();
+  const size_t n = end - begin;
+  const size_t workers = pool->num_threads();
+  if (workers <= 1 || n <= min_chunk || t_is_pool_worker) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t chunks = std::min(workers * 4, (n + min_chunk - 1) / min_chunk);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = begin + c * chunk_size;
+    const size_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) break;
+    pool->Submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace simcard

@@ -1,0 +1,65 @@
+// Fixed-size thread pool and a ParallelFor helper.
+//
+// Ground-truth label construction computes millions of high-dimensional
+// distances (the paper notes this dominates offline cost; see Exp-10), so it
+// is written against ParallelFor. On a single-core machine the pool degrades
+// gracefully to sequential execution with no thread overhead.
+#ifndef SIMCARD_COMMON_THREAD_POOL_H_
+#define SIMCARD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace simcard {
+
+/// \brief A fixed pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. `num_threads == 0` means "hardware
+  /// concurrency", which may itself be 1.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Returns the process-wide shared pool (sized to hardware concurrency).
+ThreadPool* GlobalThreadPool();
+
+/// \brief Runs fn(i) for every i in [begin, end), splitting the range into
+/// contiguous chunks across the global pool.
+///
+/// Executes inline when the range is small or only one worker exists. `fn`
+/// must be safe to call concurrently for distinct i.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 size_t min_chunk = 256);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_COMMON_THREAD_POOL_H_

@@ -1,0 +1,28 @@
+#include "core/estimator.h"
+
+namespace simcard {
+
+double Estimator::EstimateJoin(const Matrix& queries,
+                               const std::vector<uint32_t>& rows, float tau) {
+  double total = 0.0;
+  for (uint32_t row : rows) {
+    total += EstimateSearch(queries.Row(row), tau);
+  }
+  return total;
+}
+
+float InvertCardinality(Estimator* estimator, const float* query,
+                        double target, float lo, float hi, int iterations) {
+  if (estimator->EstimateSearch(query, hi) < target) return hi;
+  for (int i = 0; i < iterations && lo < hi; ++i) {
+    const float mid = 0.5f * (lo + hi);
+    if (estimator->EstimateSearch(query, mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace simcard

@@ -1,0 +1,75 @@
+// Common interface implemented by every cardinality estimator (the paper's
+// methods 1-13 in Table 2 plus the non-learned baselines).
+#ifndef SIMCARD_CORE_ESTIMATOR_H_
+#define SIMCARD_CORE_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/segmentation.h"
+#include "data/dataset.h"
+#include "workload/queries.h"
+
+namespace simcard {
+
+/// \brief Everything an estimator may use during training.
+///
+/// All pointers are borrowed and must outlive the estimator. `segmentation`
+/// is null for methods that do not segment data.
+struct TrainContext {
+  const Dataset* dataset = nullptr;
+  const SearchWorkload* workload = nullptr;
+  const Segmentation* segmentation = nullptr;
+  uint64_t seed = 51;
+};
+
+/// \brief A similarity-query cardinality estimator.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Display name matching the paper's Table 2 labels, e.g. "GL+".
+  virtual std::string Name() const = 0;
+
+  /// Fits the estimator. Must be called before any Estimate*.
+  virtual Status Train(const TrainContext& ctx) = 0;
+
+  /// Estimated card(q, tau, D). Non-const because implementations reuse
+  /// internal forward-pass buffers.
+  virtual double EstimateSearch(const float* query, float tau) = 0;
+
+  /// Estimated card(Q, tau, D) for the multiset of rows of `queries`
+  /// selected by `rows`. The default sums per-query search estimates; join
+  /// models override with batch (sum-pooled) evaluation.
+  virtual double EstimateJoin(const Matrix& queries,
+                              const std::vector<uint32_t>& rows, float tau);
+
+  /// Serialized model size in bytes (Table 5). For sampling baselines this
+  /// is the retained sample; for learned models, float32 weights.
+  virtual size_t ModelSizeBytes() const = 0;
+
+  /// Wall-clock seconds of the last Train call (Figure 14).
+  double training_seconds() const { return training_seconds_; }
+
+ protected:
+  void set_training_seconds(double s) { training_seconds_ = s; }
+
+ private:
+  double training_seconds_ = 0.0;
+};
+
+/// \brief Finds the smallest threshold in [lo, hi] whose estimated
+/// cardinality reaches `target`, by binary search on tau.
+///
+/// Sound because simcard estimators are monotone non-decreasing in tau (the
+/// paper's third desired property, Section 2) — this is the classic
+/// downstream use of that property: "return roughly K similar objects"
+/// without knowing the right radius up front. If even `hi` falls short of
+/// `target`, returns `hi`.
+float InvertCardinality(Estimator* estimator, const float* query,
+                        double target, float lo, float hi,
+                        int iterations = 32);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CORE_ESTIMATOR_H_

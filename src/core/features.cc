@@ -1,0 +1,69 @@
+#include "core/features.h"
+
+#include <cassert>
+
+namespace simcard {
+
+std::vector<float> SampleDistanceRow(const float* query, const Matrix& samples,
+                                     Metric metric) {
+  std::vector<float> out(samples.rows());
+  for (size_t i = 0; i < samples.rows(); ++i) {
+    out[i] = Distance(query, samples.Row(i), samples.cols(), metric);
+  }
+  return out;
+}
+
+Matrix BuildSampleDistanceFeatures(const Matrix& queries,
+                                   const Matrix& samples, Metric metric) {
+  assert(queries.cols() == samples.cols());
+  Matrix out(queries.rows(), samples.rows());
+  for (size_t r = 0; r < queries.rows(); ++r) {
+    const float* q = queries.Row(r);
+    float* dst = out.Row(r);
+    for (size_t i = 0; i < samples.rows(); ++i) {
+      dst[i] = Distance(q, samples.Row(i), samples.cols(), metric);
+    }
+  }
+  return out;
+}
+
+std::vector<float> CentroidDistanceRow(const float* query,
+                                       const Segmentation& seg, size_t dim,
+                                       Metric metric) {
+  return seg.CentroidDistances(query, dim, metric);
+}
+
+Matrix BuildCentroidDistanceFeatures(const Matrix& queries,
+                                     const Segmentation& seg, Metric metric) {
+  Matrix out(queries.rows(), seg.num_segments());
+  for (size_t r = 0; r < queries.rows(); ++r) {
+    auto row = seg.CentroidDistances(queries.Row(r), queries.cols(), metric);
+    out.SetRow(r, row.data());
+  }
+  return out;
+}
+
+Batch GatherBatch(const Matrix& queries, const Matrix* aux_features,
+                  const std::vector<SampleRef>& samples, size_t first,
+                  size_t count) {
+  assert(first + count <= samples.size());
+  Batch batch;
+  batch.xq = Matrix(count, queries.cols());
+  batch.xtau = Matrix(count, 1);
+  if (aux_features != nullptr) {
+    batch.xaux = Matrix(count, aux_features->cols());
+  }
+  batch.targets = Matrix(count, 1);
+  for (size_t i = 0; i < count; ++i) {
+    const SampleRef& s = samples[first + i];
+    batch.xq.SetRow(i, queries.Row(s.query_row));
+    batch.xtau.at(i, 0) = s.tau;
+    if (aux_features != nullptr) {
+      batch.xaux.SetRow(i, aux_features->Row(s.query_row));
+    }
+    batch.targets.at(i, 0) = s.card;
+  }
+  return batch;
+}
+
+}  // namespace simcard

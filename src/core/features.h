@@ -1,0 +1,57 @@
+// Feature construction for the DNN estimators (Section 3.1 / Figure 5).
+//
+//   x_q   — the raw query vector (rows of a query matrix);
+//   x_tau — the 1-dimensional threshold feature;
+//   x_D   — distances from the query to k fixed data samples (E3's input);
+//   x_C   — distances from the query to every segment centroid (E6's input,
+//           and the local models' aux input under the global-local frame).
+//
+// Because each query appears under ~10 thresholds, per-query features are
+// precomputed once per query row and gathered by index at batch time.
+#ifndef SIMCARD_CORE_FEATURES_H_
+#define SIMCARD_CORE_FEATURES_H_
+
+#include <vector>
+
+#include "cluster/segmentation.h"
+#include "data/dataset.h"
+#include "workload/labels.h"
+
+namespace simcard {
+
+/// x_D for one query: distances to each row of `samples`.
+std::vector<float> SampleDistanceRow(const float* query, const Matrix& samples,
+                                     Metric metric);
+
+/// x_D for every row of `queries`: returns [num_queries, samples.rows()].
+Matrix BuildSampleDistanceFeatures(const Matrix& queries,
+                                   const Matrix& samples, Metric metric);
+
+/// x_C for one query: distances to every segment centroid.
+std::vector<float> CentroidDistanceRow(const float* query,
+                                       const Segmentation& seg, size_t dim,
+                                       Metric metric);
+
+/// x_C for every row of `queries`: returns [num_queries, num_segments].
+Matrix BuildCentroidDistanceFeatures(const Matrix& queries,
+                                     const Segmentation& seg, Metric metric);
+
+/// \brief Assembles one training batch for a multi-tower model.
+///
+/// Gathers, for samples[first:first+count), the query rows (x_q), threshold
+/// column (x_tau), optional per-query aux features (x_D or x_C rows), and
+/// the raw cardinality targets.
+struct Batch {
+  Matrix xq;       ///< [B, d]
+  Matrix xtau;     ///< [B, 1]
+  Matrix xaux;     ///< [B, aux_dim] or empty
+  Matrix targets;  ///< [B, 1] raw cardinalities
+};
+
+Batch GatherBatch(const Matrix& queries, const Matrix* aux_features,
+                  const std::vector<SampleRef>& samples, size_t first,
+                  size_t count);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CORE_FEATURES_H_

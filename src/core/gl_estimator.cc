@@ -1,0 +1,417 @@
+#include "core/gl_estimator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/features.h"
+
+namespace simcard {
+
+GlEstimatorConfig GlEstimatorConfig::LocalPlus() {
+  GlEstimatorConfig c;
+  c.name = "Local+";
+  c.use_cnn_query_tower = true;
+  c.use_global_model = false;
+  c.auto_tune = true;
+  return c;
+}
+
+GlEstimatorConfig GlEstimatorConfig::GlMlp() {
+  GlEstimatorConfig c;
+  c.name = "GL-MLP";
+  c.use_cnn_query_tower = false;
+  c.use_global_model = true;
+  c.auto_tune = false;
+  return c;
+}
+
+GlEstimatorConfig GlEstimatorConfig::GlCnn() {
+  GlEstimatorConfig c;
+  c.name = "GL-CNN";
+  c.use_cnn_query_tower = true;
+  c.use_global_model = true;
+  c.auto_tune = false;
+  return c;
+}
+
+GlEstimatorConfig GlEstimatorConfig::GlPlus() {
+  GlEstimatorConfig c;
+  c.name = "GL+";
+  c.use_cnn_query_tower = true;
+  c.use_global_model = true;
+  c.auto_tune = true;
+  return c;
+}
+
+CardModelConfig GlEstimator::LocalConfig() const {
+  CardModelConfig config;
+  config.query_dim = dim_;
+  config.use_cnn_query_tower = config_.use_cnn_query_tower;
+  config.qes = tuned_qes_;
+  config.mlp_hidden = config_.mlp_hidden;
+  config.query_embed = config_.query_embed;
+  config.tau_hidden = config_.tau_hidden;
+  config.tau_embed = config_.tau_embed;
+  config.aux_dim = segmentation_.num_segments();
+  config.aux_hidden = config_.aux_hidden;
+  config.head_hidden = config_.head_hidden;
+  return config;
+}
+
+Status GlEstimator::Train(const TrainContext& ctx) {
+  if (ctx.dataset == nullptr || ctx.workload == nullptr) {
+    return Status::InvalidArgument("GlEstimator: dataset/workload required");
+  }
+  if (ctx.segmentation == nullptr) {
+    return Status::InvalidArgument(
+        "GlEstimator: a segmentation is required (Table 2: all GL-family "
+        "methods use data segmentation)");
+  }
+  Stopwatch watch;
+  segmentation_ = *ctx.segmentation;  // own a mutable copy
+  metric_ = ctx.dataset->metric();
+  dim_ = ctx.dataset->dim();
+  tuned_qes_ = config_.qes;
+
+  const Matrix& queries = ctx.workload->train_queries;
+  const Matrix xc =
+      BuildCentroidDistanceFeatures(queries, segmentation_, metric_);
+  const size_t n_seg = segmentation_.num_segments();
+
+  // Algorithm 3: tune the QES geometry. By default one tuning run on the
+  // densest segment's samples is shared by all local models (single-core
+  // budget); tune_per_segment restores the paper's per-segment runs.
+  if (config_.auto_tune && config_.use_cnn_query_tower &&
+      !config_.tune_per_segment) {
+    size_t densest = 0;
+    for (size_t s = 1; s < n_seg; ++s) {
+      if (segmentation_.members[s].size() >
+          segmentation_.members[densest].size()) {
+        densest = s;
+      }
+    }
+    Rng rng(ctx.seed);
+    auto samples = FlattenSegment(ctx.workload->train, densest,
+                                  config_.zero_keep_prob, &rng);
+    CardModelConfig base = LocalConfig();
+    TunerOptions tuner_opts = config_.tuner;
+    tuner_opts.seed = ctx.seed + 17;
+    auto tuned_or = GreedyTuneQes(queries, &xc, samples, base, tuner_opts);
+    if (tuned_or.ok()) {
+      tuned_qes_ = tuned_or.value().config;
+      SIMCARD_LOG(DEBUG) << Name() << ": tuned " << tuned_qes_.ToString();
+    }
+  }
+
+  // Phase 1 (Algorithm 1 per segment): local regression models.
+  locals_.clear();
+  locals_.reserve(n_seg);
+  for (size_t s = 0; s < n_seg; ++s) {
+    if (config_.auto_tune && config_.use_cnn_query_tower &&
+        config_.tune_per_segment) {
+      Rng rng(ctx.seed + s);
+      auto samples = FlattenSegment(ctx.workload->train, s,
+                                    config_.zero_keep_prob, &rng);
+      if (samples.size() >= 10) {
+        TunerOptions tuner_opts = config_.tuner;
+        tuner_opts.seed = ctx.seed + 17 + s;
+        auto tuned_or =
+            GreedyTuneQes(queries, &xc, samples, LocalConfig(), tuner_opts);
+        if (tuned_or.ok()) tuned_qes_ = tuned_or.value().config;
+      }
+    }
+    Rng rng(ctx.seed + 31 * s + 1);
+    CardModelConfig config = LocalConfig();
+    auto local_or = LocalModel::Build(s, config, &rng);
+    if (!local_or.ok()) return local_or.status();
+    locals_.push_back(std::move(local_or.value()));
+    locals_.back()->set_max_card(
+        static_cast<double>(segmentation_.members[s].size()));
+    CardTrainOptions train_opts = config_.local_train;
+    train_opts.seed = ctx.seed + 101 * s;
+    locals_.back()->Train(queries, xc, ctx.workload->train,
+                          config_.zero_keep_prob, train_opts);
+  }
+
+  // Phase 2 (Algorithm 2): the global discriminative model.
+  global_.reset();
+  if (config_.use_global_model) {
+    GlobalModelConfig gconfig;
+    gconfig.query_dim = dim_;
+    gconfig.num_segments = n_seg;
+    gconfig.use_cnn_query_tower =
+        config_.use_cnn_query_tower && config_.global_use_cnn_query_tower;
+    gconfig.qes = config_.qes;  // default geometry, not the tuned one
+    gconfig.mlp_hidden = config_.mlp_hidden;
+    gconfig.query_embed = config_.query_embed;
+    gconfig.tau_hidden = config_.tau_hidden;
+    gconfig.tau_embed = config_.tau_embed;
+    gconfig.aux_hidden = config_.aux_hidden;
+    gconfig.head_hidden = config_.head_hidden;
+    gconfig.sigma = config_.sigma;
+    Rng rng(ctx.seed + 997);
+    auto global_or = GlobalModel::Build(gconfig, &rng);
+    if (!global_or.ok()) return global_or.status();
+    global_ = std::move(global_or.value());
+
+    GlobalLabels labels = BuildGlobalLabels(ctx.workload->train, n_seg);
+    GlobalTrainOptions gopts = config_.global_train;
+    gopts.use_penalty = config_.use_penalty;
+    gopts.seed = ctx.seed + 499;
+    TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
+  }
+
+  set_training_seconds(watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
+    const float* query, float tau) {
+  std::vector<float> xc =
+      segmentation_.CentroidDistances(query, dim_, metric_);
+  std::vector<size_t> selected;
+  if (global_ != nullptr) {
+    selected = global_->SelectSegments(
+        global_->Probabilities(query, tau, xc.data()));
+    if (config_.use_triangle_guards) {
+      // Exclusion: |d(q,p) - d(q,c)| <= d(c,p) <= radius for all members p,
+      // so xc[s] > tau + radius[s] proves the segment holds no match.
+      std::vector<char> keep(locals_.size(), 0);
+      for (size_t s : selected) {
+        keep[s] = xc[s] <= tau + segmentation_.radius[s];
+      }
+      // Inclusion: a centroid within tau strongly indicates matches; back-
+      // stop a global-model miss.
+      for (size_t s = 0; s < locals_.size(); ++s) {
+        if (xc[s] <= tau) keep[s] = 1;
+      }
+      selected.clear();
+      for (size_t s = 0; s < locals_.size(); ++s) {
+        if (keep[s]) selected.push_back(s);
+      }
+    }
+  } else {
+    selected.resize(locals_.size());
+    for (size_t s = 0; s < locals_.size(); ++s) selected[s] = s;
+  }
+  std::vector<std::pair<size_t, double>> out;
+  out.reserve(selected.size());
+  for (size_t s : selected) {
+    out.emplace_back(s, locals_[s]->Estimate(query, tau, xc.data()));
+  }
+  return out;
+}
+
+double GlEstimator::EstimateSearch(const float* query, float tau) {
+  double total = 0.0;
+  for (const auto& [seg, est] : EstimatePerSegment(query, tau)) {
+    total += est;
+  }
+  return total;
+}
+
+size_t GlEstimator::ModelSizeBytes() const {
+  size_t scalars = 0;
+  for (const auto& local : locals_) {
+    scalars += const_cast<LocalModel*>(local.get())->NumScalars();
+  }
+  if (global_ != nullptr) scalars += global_->NumScalars();
+  // Centroids are part of the deployed model (x_C needs them).
+  scalars += segmentation_.centroids.size();
+  return scalars * sizeof(float);
+}
+
+double GlEstimator::MissingRate(const SearchWorkload& workload) {
+  if (global_ == nullptr) return 0.0;
+  double missing = 0.0;
+  size_t counted = 0;
+  for (const auto& lq : workload.test) {
+    const float* q = workload.test_queries.Row(lq.row);
+    for (const auto& t : lq.thresholds) {
+      if (t.card <= 0.0f || t.seg_cards.empty()) continue;
+      std::vector<float> xc = segmentation_.CentroidDistances(q, dim_, metric_);
+      auto selected = global_->SelectSegments(
+          global_->Probabilities(q, t.tau, xc.data()));
+      std::set<size_t> chosen(selected.begin(), selected.end());
+      double missed = 0.0;
+      for (size_t s = 0; s < t.seg_cards.size(); ++s) {
+        if (chosen.count(s) == 0) missed += t.seg_cards[s];
+      }
+      missing += missed / t.card;
+      ++counted;
+    }
+  }
+  return counted > 0 ? missing / static_cast<double>(counted) : 0.0;
+}
+
+double GlEstimator::MeanSelectedSegments(const SearchWorkload& workload) {
+  if (global_ == nullptr) return static_cast<double>(locals_.size());
+  double total = 0.0;
+  size_t counted = 0;
+  for (const auto& lq : workload.test) {
+    const float* q = workload.test_queries.Row(lq.row);
+    for (const auto& t : lq.thresholds) {
+      std::vector<float> xc = segmentation_.CentroidDistances(q, dim_, metric_);
+      total += static_cast<double>(
+          global_->SelectSegments(global_->Probabilities(q, t.tau, xc.data()))
+              .size());
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+Status GlEstimator::ApplyDeletions(const Dataset& dataset,
+                                   SearchWorkload* workload,
+                                   size_t num_removed, uint64_t seed,
+                                   size_t fine_tune_epochs) {
+  if (locals_.empty()) {
+    return Status::FailedPrecondition("ApplyDeletions: estimator not trained");
+  }
+  if (workload == nullptr) {
+    return Status::InvalidArgument("ApplyDeletions: workload required");
+  }
+  if (dataset.size() + num_removed != segmentation_.assignment.size()) {
+    return Status::InvalidArgument(
+        "ApplyDeletions: dataset must already be truncated by num_removed");
+  }
+  const std::vector<size_t> touched =
+      segmentation_.RemoveTrailingPoints(num_removed);
+  for (size_t s : touched) {
+    locals_[s]->set_max_card(
+        static_cast<double>(segmentation_.members[s].size()));
+  }
+  SIMCARD_RETURN_IF_ERROR(RelabelWorkload(dataset, &segmentation_, workload));
+
+  const Matrix& queries = workload->train_queries;
+  const Matrix xc =
+      BuildCentroidDistanceFeatures(queries, segmentation_, metric_);
+  for (size_t s : touched) {
+    CardTrainOptions opts = config_.local_train;
+    opts.seed = seed + 41 * s + 3;
+    locals_[s]->FineTune(queries, xc, workload->train,
+                         config_.zero_keep_prob, opts, fine_tune_epochs);
+  }
+  if (global_ != nullptr) {
+    GlobalLabels labels =
+        BuildGlobalLabels(workload->train, segmentation_.num_segments());
+    GlobalTrainOptions gopts = config_.global_train;
+    gopts.use_penalty = config_.use_penalty;
+    gopts.epochs = fine_tune_epochs;
+    gopts.seed = seed + 43;
+    TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
+  }
+  return Status::OK();
+}
+
+Status GlEstimator::SaveToFile(const std::string& path) const {
+  if (locals_.empty()) {
+    return Status::FailedPrecondition("SaveToFile: estimator not trained");
+  }
+  Serializer out;
+  out.WriteString("simcard.gl.v1");
+  out.WriteU32(static_cast<uint32_t>(metric_));
+  out.WriteU64(dim_);
+  segmentation_.Serialize(&out);
+  tuned_qes_.Serialize(&out);
+  out.WriteU64(locals_.size());
+  for (const auto& local : locals_) local->Save(&out);
+  out.WriteU32(global_ != nullptr ? 1 : 0);
+  if (global_ != nullptr) global_->SaveWithConfig(&out);
+  return out.SaveToFile(path);
+}
+
+Status GlEstimator::LoadFromFile(const std::string& path) {
+  auto in_or = Deserializer::FromFile(path);
+  if (!in_or.ok()) return in_or.status();
+  Deserializer in = std::move(in_or).value();
+  std::string magic;
+  SIMCARD_RETURN_IF_ERROR(in.ReadString(&magic));
+  if (magic != "simcard.gl.v1") {
+    return Status::InvalidArgument("not a simcard GL model file: " + path);
+  }
+  uint32_t metric = 0;
+  uint64_t dim = 0;
+  SIMCARD_RETURN_IF_ERROR(in.ReadU32(&metric));
+  SIMCARD_RETURN_IF_ERROR(in.ReadU64(&dim));
+  metric_ = static_cast<Metric>(metric);
+  dim_ = dim;
+  SIMCARD_RETURN_IF_ERROR(segmentation_.Deserialize(&in));
+  SIMCARD_RETURN_IF_ERROR(tuned_qes_.Deserialize(&in));
+  uint64_t n_locals = 0;
+  SIMCARD_RETURN_IF_ERROR(in.ReadU64(&n_locals));
+  locals_.clear();
+  locals_.reserve(n_locals);
+  for (uint64_t s = 0; s < n_locals; ++s) {
+    auto local_or = LocalModel::Load(&in);
+    if (!local_or.ok()) return local_or.status();
+    locals_.push_back(std::move(local_or.value()));
+  }
+  uint32_t has_global = 0;
+  SIMCARD_RETURN_IF_ERROR(in.ReadU32(&has_global));
+  global_.reset();
+  if (has_global != 0) {
+    auto global_or = GlobalModel::LoadWithConfig(&in);
+    if (!global_or.ok()) return global_or.status();
+    global_ = std::move(global_or.value());
+  }
+  return Status::OK();
+}
+
+Status GlEstimator::ApplyUpdates(const Dataset& dataset,
+                                 SearchWorkload* workload,
+                                 const std::vector<uint32_t>& new_rows,
+                                 uint64_t seed, size_t fine_tune_epochs) {
+  if (locals_.empty()) {
+    return Status::FailedPrecondition("ApplyUpdates: estimator not trained");
+  }
+  if (workload == nullptr) {
+    return Status::InvalidArgument("ApplyUpdates: workload required");
+  }
+  for (uint32_t row : new_rows) {
+    if (row >= dataset.size()) {
+      return Status::InvalidArgument(
+          "ApplyUpdates: new_rows must index appended dataset rows");
+    }
+  }
+
+  // Step 1 (Section 5.3): route each inserted point to its nearest segment.
+  std::set<size_t> touched;
+  for (uint32_t row : new_rows) {
+    const float* p = dataset.Point(row);
+    const size_t seg = segmentation_.NearestSegment(p, dim_, metric_);
+    segmentation_.AddPoint(seg, row, p, dim_, metric_);
+    touched.insert(seg);
+    // Keep the clamp consistent with the grown segment.
+    locals_[seg]->set_max_card(
+        static_cast<double>(segmentation_.members[seg].size()));
+  }
+
+  // Step 2: refresh query labels against the grown dataset.
+  SIMCARD_RETURN_IF_ERROR(RelabelWorkload(dataset, &segmentation_, workload));
+
+  // Step 3: fine-tune the affected local models and the global model.
+  const Matrix& queries = workload->train_queries;
+  const Matrix xc =
+      BuildCentroidDistanceFeatures(queries, segmentation_, metric_);
+  for (size_t s : touched) {
+    CardTrainOptions opts = config_.local_train;
+    opts.seed = seed + 13 * s + 7;
+    locals_[s]->FineTune(queries, xc, workload->train,
+                         config_.zero_keep_prob, opts, fine_tune_epochs);
+  }
+  if (global_ != nullptr) {
+    GlobalLabels labels =
+        BuildGlobalLabels(workload->train, segmentation_.num_segments());
+    GlobalTrainOptions gopts = config_.global_train;
+    gopts.use_penalty = config_.use_penalty;
+    gopts.epochs = fine_tune_epochs;
+    gopts.seed = seed + 29;
+    TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
+  }
+  return Status::OK();
+}
+
+}  // namespace simcard

@@ -1,0 +1,151 @@
+// The global-local estimator family (Sections 3.3 & 5, Table 2 rows 2-5).
+//
+//   Local+  — data segmentation, no global model (every local model is
+//             evaluated), auto-tuned CNN query towers;
+//   GL-MLP  — global-local, MLP query towers (no query segmentation);
+//   GL-CNN  — global-local, QES CNN query towers, fixed hyperparameters;
+//   GL+     — GL-CNN plus Algorithm 3's greedy hyperparameter tuning.
+//
+// One class covers all four via GlEstimatorConfig presets. The estimator
+// owns a mutable copy of the segmentation so incremental updates (Section
+// 5.3) can reroute points and fine-tune models without touching the
+// caller's segmentation.
+#ifndef SIMCARD_CORE_GL_ESTIMATOR_H_
+#define SIMCARD_CORE_GL_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/global_model.h"
+#include "core/local_model.h"
+#include "core/tuner.h"
+
+namespace simcard {
+
+/// \brief Configuration selecting a member of the GL family.
+struct GlEstimatorConfig {
+  std::string name = "GL+";
+  bool use_cnn_query_tower = true;  ///< false -> GL-MLP
+  bool use_global_model = true;     ///< false -> Local+
+  /// Query-tower type of the *global* model; follows the local towers by
+  /// default (Table 2's Embed column). The global model always uses the
+  /// DEFAULT QES geometry rather than Algorithm 3's tuned one: the tuner
+  /// optimizes per-segment regression error, which is the wrong objective
+  /// for the routing task.
+  bool global_use_cnn_query_tower = true;
+  bool auto_tune = false;           ///< true  -> GL+ (and Local+)
+  bool use_penalty = true;          ///< Exp-6 ablation switch
+  float sigma = 0.5f;               ///< global selection threshold
+  /// Triangle-inequality routing guards (Section 5.1 motivates the bound
+  /// "distance upper bound between a query and a data object in a data
+  /// segment ... using triangle inequality on the distance of the query to
+  /// the centroid, and this segment's radius"):
+  ///   - exclude a selected segment when xc[s] > tau + radius[s] (it
+  ///     provably contains no match — removes false-positive inclusions);
+  ///   - force-include a segment when xc[s] <= tau (its centroid itself is
+  ///     within the threshold — backstops global-model misses).
+  bool use_triangle_guards = true;
+
+  /// When true (default, as in the paper) Algorithm 3 runs per segment;
+  /// when false it runs once on the densest segment and the tuned geometry
+  /// is shared by all local models — a cheaper variant used at tiny scale.
+  bool tune_per_segment = true;
+
+  QesConfig qes;            ///< base CNN geometry (before tuning)
+  size_t mlp_hidden = 64;   ///< MLP tower width (GL-MLP)
+  size_t query_embed = 32;
+  size_t tau_hidden = 16;
+  size_t tau_embed = 8;
+  size_t aux_hidden = 24;
+  size_t head_hidden = 48;
+
+  double zero_keep_prob = 0.15;  ///< zero-card sample retention per segment
+  CardTrainOptions local_train;
+  GlobalTrainOptions global_train;
+  TunerOptions tuner;
+
+  /// Preset factories matching the paper's method names.
+  static GlEstimatorConfig LocalPlus();
+  static GlEstimatorConfig GlMlp();
+  static GlEstimatorConfig GlCnn();
+  static GlEstimatorConfig GlPlus();
+};
+
+/// \brief Global-local cardinality estimator.
+class GlEstimator : public Estimator {
+ public:
+  explicit GlEstimator(GlEstimatorConfig config)
+      : config_(std::move(config)) {}
+
+  std::string Name() const override { return config_.name; }
+  Status Train(const TrainContext& ctx) override;
+  double EstimateSearch(const float* query, float tau) override;
+  size_t ModelSizeBytes() const override;
+
+  /// Per-segment estimates for the selected segments only; used by tests
+  /// and the join estimator. Output pairs are (segment, estimate).
+  std::vector<std::pair<size_t, double>> EstimatePerSegment(const float* query,
+                                                            float tau);
+
+  /// Fraction of the true cardinality that falls in segments the global
+  /// model did NOT select, averaged over all test samples with nonzero
+  /// cardinality (the Figure 9 "missing rate"). Requires per-segment labels
+  /// in the workload.
+  double MissingRate(const SearchWorkload& workload);
+
+  /// Average number of local models evaluated per test sample.
+  double MeanSelectedSegments(const SearchWorkload& workload);
+
+  /// \brief Incremental update (Section 5.3).
+  ///
+  /// `new_rows` index rows already appended to `dataset`. Each is routed to
+  /// its nearest segment (updating this estimator's own segmentation copy),
+  /// then `workload` is relabeled against the grown dataset and the
+  /// affected local models plus the global model are fine-tuned for
+  /// `fine_tune_epochs`.
+  Status ApplyUpdates(const Dataset& dataset, SearchWorkload* workload,
+                      const std::vector<uint32_t>& new_rows, uint64_t seed,
+                      size_t fine_tune_epochs = 3);
+
+  /// \brief Incremental deletion (Section 5.3): the caller has already
+  /// Truncate()d the trailing `num_removed` rows off `dataset`; the removed
+  /// points are dropped from their segments, labels are refreshed, and the
+  /// touched local models plus the global model are fine-tuned.
+  Status ApplyDeletions(const Dataset& dataset, SearchWorkload* workload,
+                        size_t num_removed, uint64_t seed,
+                        size_t fine_tune_epochs = 3);
+
+  /// \brief Persists the trained estimator (segmentation + every model,
+  /// self-describing) so inference can resume in a fresh process.
+  ///
+  /// The query-tower geometry — including per-segment tuned configs — is
+  /// embedded in the file; LoadFromFile needs only a GlEstimatorConfig for
+  /// the behavioral knobs (sigma, zero_keep_prob, training options for
+  /// later fine-tunes).
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  const Segmentation& segmentation() const { return segmentation_; }
+  GlobalModel* global_model() { return global_.get(); }
+  size_t num_local_models() const { return locals_.size(); }
+  LocalModel* local_model(size_t i) { return locals_[i].get(); }
+  const GlEstimatorConfig& config() const { return config_; }
+  const QesConfig& tuned_qes() const { return tuned_qes_; }
+
+ private:
+  CardModelConfig LocalConfig() const;
+
+  GlEstimatorConfig config_;
+  Segmentation segmentation_;  // owned mutable copy
+  Metric metric_ = Metric::kL2;
+  size_t dim_ = 0;
+  QesConfig tuned_qes_;
+  std::vector<std::unique_ptr<LocalModel>> locals_;
+  std::unique_ptr<GlobalModel> global_;  // null for Local+
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CORE_GL_ESTIMATOR_H_

@@ -1,0 +1,264 @@
+#include "core/join_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "core/features.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace simcard {
+
+double FineTunePooled(CardModel* model, const Matrix& queries,
+                      const Matrix* aux, std::vector<PooledSample> sets,
+                      const PooledTrainOptions& options) {
+  if (sets.empty()) return 0.0;
+  Rng rng(options.seed);
+  nn::Adam opt(model->Parameters(), options.lr);
+  nn::HybridCardLoss loss(options.lambda);
+
+  double epoch_loss = 0.0;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&sets);
+    epoch_loss = 0.0;
+    size_t in_step = 0;
+    opt.ZeroGrad();
+    for (const PooledSample& set : sets) {
+      // Gather member rows.
+      Matrix xq(set.member_rows.size(), queries.cols());
+      Matrix xaux;
+      if (aux != nullptr) xaux = Matrix(set.member_rows.size(), aux->cols());
+      for (size_t i = 0; i < set.member_rows.size(); ++i) {
+        xq.SetRow(i, queries.Row(set.member_rows[i]));
+        if (aux != nullptr) xaux.SetRow(i, aux->Row(set.member_rows[i]));
+      }
+      Matrix pred = model->ForwardPooled(xq, set.tau, xaux, options.mode);
+      Matrix target(1, 1);
+      // Mean mode regresses the average member cardinality.
+      target.at(0, 0) =
+          options.mode == CardModel::PooledMode::kMeanScaled
+              ? set.card / static_cast<float>(set.member_rows.size())
+              : set.card;
+      Matrix grad;
+      epoch_loss += loss.Compute(pred, target, &grad);
+      model->BackwardPooled(grad);
+      if (++in_step == options.sets_per_step) {
+        opt.ClipGradNorm(options.grad_clip_norm);
+        opt.Step();
+        opt.ZeroGrad();
+        in_step = 0;
+      }
+    }
+    if (in_step > 0) {
+      opt.ClipGradNorm(options.grad_clip_norm);
+      opt.Step();
+      opt.ZeroGrad();
+    }
+    epoch_loss /= static_cast<double>(sets.size());
+  }
+  return epoch_loss;
+}
+
+// ---------------------------------------------------------------------------
+// CNNJoin
+// ---------------------------------------------------------------------------
+
+Status CnnJoinEstimator::Train(const TrainContext& ctx) {
+  Stopwatch watch;
+  metric_ = ctx.dataset->metric();
+  dataset_size_ = static_cast<double>(ctx.dataset->size());
+  flat_ = std::make_unique<FlatCardEstimator>(config_.base);
+  SIMCARD_RETURN_IF_ERROR(flat_->Train(ctx));
+  set_training_seconds(watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status CnnJoinEstimator::FineTuneOnJoins(const TrainContext& ctx,
+                                         const JoinWorkload& joins) {
+  if (flat_ == nullptr) {
+    return Status::FailedPrecondition("CNNJoin: Train before FineTuneOnJoins");
+  }
+  Stopwatch watch;
+  const Matrix& queries = ctx.workload->train_queries;
+  const Matrix xd =
+      BuildSampleDistanceFeatures(queries, flat_->samples(), metric_);
+  std::vector<PooledSample> sets;
+  sets.reserve(joins.train.size());
+  for (const JoinSet& js : joins.train) {
+    sets.push_back({js.query_rows, js.tau, static_cast<float>(js.card)});
+  }
+  PooledTrainOptions opts = config_.pooled;
+  opts.seed = ctx.seed + 71;
+  FineTunePooled(flat_->model(), queries, &xd, std::move(sets), opts);
+  set_training_seconds(training_seconds() + watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+double CnnJoinEstimator::EstimateSearch(const float* query, float tau) {
+  return flat_->EstimateSearch(query, tau);
+}
+
+double CnnJoinEstimator::EstimateJoin(const Matrix& queries,
+                                      const std::vector<uint32_t>& rows,
+                                      float tau) {
+  Matrix xq(rows.size(), queries.cols());
+  Matrix xaux(rows.size(), flat_->samples().rows());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const float* q = queries.Row(rows[i]);
+    xq.SetRow(i, q);
+    const auto xd = SampleDistanceRow(q, flat_->samples(), metric_);
+    xaux.SetRow(i, xd.data());
+  }
+  const float u =
+      flat_->model()->ForwardPooled(xq, tau, xaux, config_.pooled.mode)
+          .at(0, 0);
+  double est =
+      std::exp(static_cast<double>(std::min(25.0f, std::max(-10.0f, u))));
+  if (config_.pooled.mode == CardModel::PooledMode::kMeanScaled) {
+    est *= static_cast<double>(rows.size());
+  }
+  // A join's cardinality cannot exceed |Q| * |D|.
+  return std::min(est, static_cast<double>(rows.size()) * dataset_size_);
+}
+
+size_t CnnJoinEstimator::ModelSizeBytes() const {
+  return flat_->ModelSizeBytes();
+}
+
+// ---------------------------------------------------------------------------
+// GLJoin / GLJoin+
+// ---------------------------------------------------------------------------
+
+GlJoinEstimator::Config GlJoinEstimator::Config::GlJoin() {
+  Config c;
+  c.base = GlEstimatorConfig::GlMlp();
+  c.base.name = "GLJoin";
+  return c;
+}
+
+GlJoinEstimator::Config GlJoinEstimator::Config::GlJoinPlus() {
+  Config c;
+  c.base = GlEstimatorConfig::GlPlus();
+  c.base.name = "GLJoin+";
+  return c;
+}
+
+Status GlJoinEstimator::Train(const TrainContext& ctx) {
+  Stopwatch watch;
+  metric_ = ctx.dataset->metric();
+  dim_ = ctx.dataset->dim();
+  gl_ = std::make_unique<GlEstimator>(config_.base);
+  SIMCARD_RETURN_IF_ERROR(gl_->Train(ctx));
+  set_training_seconds(watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status GlJoinEstimator::FineTuneOnJoins(const TrainContext& ctx,
+                                        const JoinWorkload& joins) {
+  if (gl_ == nullptr) {
+    return Status::FailedPrecondition("GLJoin: Train before FineTuneOnJoins");
+  }
+  Stopwatch watch;
+  const Matrix& queries = ctx.workload->train_queries;
+  const Segmentation& seg = gl_->segmentation();
+  const Matrix xc = BuildCentroidDistanceFeatures(queries, seg, metric_);
+
+  // Per segment: pooled fine-tuning samples whose members are the queries
+  // the (trained) global model routes to that segment, with the exact
+  // segment-level join cardinality as target.
+  const size_t n_seg = seg.num_segments();
+  std::vector<std::vector<PooledSample>> per_segment(n_seg);
+  for (const JoinSet& js : joins.train) {
+    // Route every member through the global model once.
+    std::vector<std::vector<uint32_t>> routed(n_seg);
+    for (uint32_t row : js.query_rows) {
+      const float* q = queries.Row(row);
+      std::vector<size_t> selected;
+      if (gl_->global_model() != nullptr) {
+        selected = gl_->global_model()->SelectSegments(
+            gl_->global_model()->Probabilities(q, js.tau, xc.Row(row)));
+      } else {
+        selected.resize(n_seg);
+        for (size_t s = 0; s < n_seg; ++s) selected[s] = s;
+      }
+      for (size_t s : selected) routed[s].push_back(row);
+    }
+    for (size_t s = 0; s < n_seg; ++s) {
+      if (routed[s].empty()) continue;
+      per_segment[s].push_back({std::move(routed[s]), js.tau,
+                                static_cast<float>(js.seg_cards[s])});
+    }
+  }
+  for (size_t s = 0; s < n_seg; ++s) {
+    if (per_segment[s].empty()) continue;
+    PooledTrainOptions opts = config_.pooled;
+    opts.seed = ctx.seed + 83 + s;
+    FineTunePooled(gl_->local_model(s)->model(), queries, &xc,
+                   std::move(per_segment[s]), opts);
+  }
+  set_training_seconds(training_seconds() + watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+double GlJoinEstimator::EstimateSearch(const float* query, float tau) {
+  return gl_->EstimateSearch(query, tau);
+}
+
+double GlJoinEstimator::EstimateJoin(const Matrix& queries,
+                                     const std::vector<uint32_t>& rows,
+                                     float tau) {
+  const Segmentation& seg = gl_->segmentation();
+  const size_t n_seg = seg.num_segments();
+
+  // Indicating matrix M: route each member to its selected segments; the
+  // transposed view (per-segment member lists) is the mask of Figure 6.
+  std::vector<std::vector<uint32_t>> routed(n_seg);
+  std::vector<std::vector<float>> member_xc(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const float* q = queries.Row(rows[i]);
+    member_xc[i] = seg.CentroidDistances(q, dim_, metric_);
+    std::vector<size_t> selected;
+    if (gl_->global_model() != nullptr) {
+      selected = gl_->global_model()->SelectSegments(
+          gl_->global_model()->Probabilities(q, tau, member_xc[i].data()));
+    } else {
+      selected.resize(n_seg);
+      for (size_t s = 0; s < n_seg; ++s) selected[s] = s;
+    }
+    for (size_t s : selected) routed[s].push_back(static_cast<uint32_t>(i));
+  }
+
+  double total = 0.0;
+  for (size_t s = 0; s < n_seg; ++s) {
+    if (routed[s].empty()) continue;
+    Matrix xq(routed[s].size(), queries.cols());
+    Matrix xaux(routed[s].size(), n_seg);
+    for (size_t i = 0; i < routed[s].size(); ++i) {
+      const uint32_t member = routed[s][i];
+      xq.SetRow(i, queries.Row(rows[member]));
+      xaux.SetRow(i, member_xc[member].data());
+    }
+    const float u =
+        gl_->local_model(s)
+            ->model()
+            ->ForwardPooled(xq, tau, xaux, config_.pooled.mode)
+            .at(0, 0);
+    double est =
+        std::exp(static_cast<double>(std::min(25.0f, std::max(-10.0f, u))));
+    if (config_.pooled.mode == CardModel::PooledMode::kMeanScaled) {
+      est *= static_cast<double>(routed[s].size());
+    }
+    // A segment contributes at most (#routed members) * (#segment members).
+    total += std::min(est, static_cast<double>(routed[s].size()) *
+                               static_cast<double>(seg.members[s].size()));
+  }
+  return total;
+}
+
+size_t GlJoinEstimator::ModelSizeBytes() const {
+  return gl_->ModelSizeBytes();
+}
+
+}  // namespace simcard

@@ -1,0 +1,128 @@
+// Similarity-join estimators (Section 4, Figure 6; Table 2 rows 11-13).
+//
+//   CNNJoin — no data segmentation: one QES model over the whole dataset
+//             whose member-query embeddings are sum-pooled into a set
+//             embedding, so the output module runs once per join set;
+//   GLJoin  — global-local with MLP towers: the global model produces the
+//             indicating matrix M per member query, M^T's rows act as
+//             per-segment masks routing members to local models, and each
+//             local model evaluates its routed members in one pooled pass;
+//   GLJoin+ — GLJoin with QES towers and the same tuned hyperparameters as
+//             GL+.
+//
+// All three are transfer-trained: first on single-query search supervision
+// (Algorithm 1), then a short pooled fine-tune on join sets — the paper's
+// "easily transferred from the original model by training on a few samples
+// and by only 2-3 iterations".
+#ifndef SIMCARD_CORE_JOIN_ESTIMATOR_H_
+#define SIMCARD_CORE_JOIN_ESTIMATOR_H_
+
+#include <memory>
+
+#include "core/gl_estimator.h"
+#include "core/qes_estimator.h"
+#include "workload/join_sets.h"
+
+namespace simcard {
+
+/// \brief One pooled fine-tuning sample: a member multiset + tau + target.
+struct PooledSample {
+  std::vector<uint32_t> member_rows;
+  float tau = 0.0f;
+  float card = 0.0f;
+};
+
+/// \brief Options for pooled fine-tuning and pooled inference.
+struct PooledTrainOptions {
+  size_t epochs = 3;  ///< the paper's "2-3 iterations"
+  /// kSum = the paper's sum pooling; kMeanScaled = the scaled variant that
+  /// extrapolates beyond the training set-size range (see CardModel).
+  CardModel::PooledMode mode = CardModel::PooledMode::kSum;
+  size_t sets_per_step = 8;
+  float lr = 1e-3f;
+  float lambda = 0.2f;
+  double grad_clip_norm = 5.0;
+  uint64_t seed = 53;
+};
+
+/// Fine-tunes `model` in pooled (join) mode. `aux` rows align with query
+/// rows, as in TrainCardModel. Returns the final epoch loss.
+double FineTunePooled(CardModel* model, const Matrix& queries,
+                      const Matrix* aux, std::vector<PooledSample> sets,
+                      const PooledTrainOptions& options);
+
+/// \brief Join training inputs, passed alongside the search TrainContext.
+struct JoinTrainContext {
+  const JoinWorkload* join_workload = nullptr;
+};
+
+/// \brief CNNJoin (Table 2 row 11).
+class CnnJoinEstimator : public Estimator {
+ public:
+  /// \brief Configuration.
+  struct Config {
+    FlatCardEstimatorConfig base = FlatCardEstimatorConfig::Qes();
+    PooledTrainOptions pooled;
+    Config() { base.name = "CNNJoin"; }
+  };
+
+  explicit CnnJoinEstimator(Config config) : config_(std::move(config)) {}
+
+  std::string Name() const override { return config_.base.name; }
+
+  /// Phase 1: search-supervised training (delegates to FlatCardEstimator).
+  Status Train(const TrainContext& ctx) override;
+
+  /// Phase 2: pooled fine-tune on the join workload's training sets.
+  Status FineTuneOnJoins(const TrainContext& ctx, const JoinWorkload& joins);
+
+  double EstimateSearch(const float* query, float tau) override;
+  double EstimateJoin(const Matrix& queries, const std::vector<uint32_t>& rows,
+                      float tau) override;
+  size_t ModelSizeBytes() const override;
+
+ private:
+  Config config_;
+  std::unique_ptr<FlatCardEstimator> flat_;
+  Metric metric_ = Metric::kL2;
+  double dataset_size_ = 0.0;
+};
+
+/// \brief GLJoin / GLJoin+ (Table 2 rows 12-13).
+class GlJoinEstimator : public Estimator {
+ public:
+  /// \brief Configuration.
+  struct Config {
+    GlEstimatorConfig base = GlEstimatorConfig::GlPlus();
+    PooledTrainOptions pooled;
+    Config() { base.name = "GLJoin+"; }
+
+    static Config GlJoin();      ///< MLP towers, no tuning (row 12)
+    static Config GlJoinPlus();  ///< QES towers + tuning (row 13)
+  };
+
+  explicit GlJoinEstimator(Config config) : config_(std::move(config)) {}
+
+  std::string Name() const override { return config_.base.name; }
+  Status Train(const TrainContext& ctx) override;
+  Status FineTuneOnJoins(const TrainContext& ctx, const JoinWorkload& joins);
+
+  double EstimateSearch(const float* query, float tau) override;
+
+  /// Mask-based routing + per-segment pooled evaluation (Figure 6).
+  double EstimateJoin(const Matrix& queries, const std::vector<uint32_t>& rows,
+                      float tau) override;
+  size_t ModelSizeBytes() const override;
+
+  GlEstimator* gl() { return gl_.get(); }
+
+ private:
+  Config config_;
+  std::unique_ptr<GlEstimator> gl_;
+  Metric metric_ = Metric::kL2;
+  size_t dim_ = 0;
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CORE_JOIN_ESTIMATOR_H_

@@ -1,0 +1,80 @@
+#include "core/local_model.h"
+
+namespace simcard {
+
+Result<std::unique_ptr<LocalModel>> LocalModel::Build(
+    size_t segment_index, const CardModelConfig& config, Rng* rng) {
+  auto model_or = CardModel::Build(config, rng);
+  if (!model_or.ok()) return model_or.status();
+  auto local = std::unique_ptr<LocalModel>(new LocalModel());
+  local->segment_index_ = segment_index;
+  local->model_ = std::move(model_or.value());
+  return local;
+}
+
+void LocalModel::Save(Serializer* out) const {
+  out->WriteU64(segment_index_);
+  out->WriteF64(max_card_);
+  out->WriteU32(trained_ ? 1 : 0);
+  model_->SaveWithConfig(out);
+}
+
+Result<std::unique_ptr<LocalModel>> LocalModel::Load(Deserializer* in) {
+  auto local = std::unique_ptr<LocalModel>(new LocalModel());
+  uint64_t seg = 0;
+  uint32_t trained = 0;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&seg));
+  SIMCARD_RETURN_IF_ERROR(in->ReadF64(&local->max_card_));
+  SIMCARD_RETURN_IF_ERROR(in->ReadU32(&trained));
+  local->segment_index_ = seg;
+  local->trained_ = trained != 0;
+  auto model_or = CardModel::LoadWithConfig(in);
+  if (!model_or.ok()) return model_or.status();
+  local->model_ = std::move(model_or.value());
+  return local;
+}
+
+double LocalModel::Train(const Matrix& queries, const Matrix& xc_features,
+                         const std::vector<LabeledQuery>& labeled,
+                         double zero_keep_prob,
+                         const CardTrainOptions& options) {
+  Rng rng(options.seed + segment_index_);
+  auto samples =
+      FlattenSegment(labeled, segment_index_, zero_keep_prob, &rng);
+  if (samples.empty()) {
+    // Segment never matched any training query; Estimate() answers 0 until
+    // an update brings real samples.
+    trained_ = false;
+    return 0.0;
+  }
+  trained_ = true;
+  CardTrainOptions opts = options;
+  opts.seed = options.seed + 1000 + segment_index_;
+  return TrainCardModel(model_.get(), queries, &xc_features,
+                        std::move(samples), opts);
+}
+
+double LocalModel::FineTune(const Matrix& queries, const Matrix& xc_features,
+                            const std::vector<LabeledQuery>& labeled,
+                            double zero_keep_prob, CardTrainOptions options,
+                            size_t epochs) {
+  Rng rng(options.seed + 7777 + segment_index_);
+  auto samples =
+      FlattenSegment(labeled, segment_index_, zero_keep_prob, &rng);
+  if (samples.empty()) return 0.0;
+  if (!trained_) {
+    // First real samples for this segment: do a normal (anchored) fit.
+    trained_ = true;
+    options.epochs = std::max(options.epochs, epochs);
+    options.seed += 9000 + segment_index_;
+    return TrainCardModel(model_.get(), queries, &xc_features,
+                          std::move(samples), options);
+  }
+  options.epochs = epochs;
+  options.seed += 9000 + segment_index_;
+  options.reset_output_bias = false;  // keep the learned anchor
+  return TrainCardModel(model_.get(), queries, &xc_features,
+                        std::move(samples), options);
+}
+
+}  // namespace simcard

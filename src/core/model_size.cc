@@ -1,0 +1,23 @@
+#include "core/model_size.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simcard {
+
+double BytesToMb(size_t bytes) {
+  return static_cast<double>(bytes) / 1e6;
+}
+
+size_t SampleModelBytes(const Dataset& dataset, double fraction) {
+  const double rows = std::ceil(fraction * static_cast<double>(dataset.size()));
+  return static_cast<size_t>(rows) * dataset.dim() * sizeof(float);
+}
+
+size_t SampleRowsForBytes(const Dataset& dataset, size_t target_bytes) {
+  const size_t row_bytes = dataset.dim() * sizeof(float);
+  const size_t rows = std::max<size_t>(1, target_bytes / row_bytes);
+  return std::min(rows, dataset.size());
+}
+
+}  // namespace simcard

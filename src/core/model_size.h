@@ -1,0 +1,24 @@
+// Model-size accounting helpers (Table 5).
+#ifndef SIMCARD_CORE_MODEL_SIZE_H_
+#define SIMCARD_CORE_MODEL_SIZE_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+
+namespace simcard {
+
+/// Bytes -> megabytes (10^6, as the paper's table reads).
+double BytesToMb(size_t bytes);
+
+/// Size in bytes of retaining `fraction` of the dataset as float32 rows —
+/// the "model" of a sampling baseline.
+size_t SampleModelBytes(const Dataset& dataset, double fraction);
+
+/// Number of sample rows whose retained bytes best match `target_bytes`
+/// (used to configure "Sampling (equal)" against a learned model's size).
+size_t SampleRowsForBytes(const Dataset& dataset, size_t target_bytes);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CORE_MODEL_SIZE_H_

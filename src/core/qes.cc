@@ -1,0 +1,149 @@
+#include "core/qes.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/linear.h"
+
+namespace simcard {
+
+std::string ConvLayerSpec::ToString() const {
+  std::ostringstream out;
+  out << "{ch=" << channels << " k=" << kernel << " s=" << stride
+      << " p=" << pad << " pool=" << pool_kernel << "/"
+      << nn::PoolOpName(pool_op) << "}";
+  return out.str();
+}
+
+QesConfig QesConfig::Default(size_t query_dim) {
+  QesConfig config;
+  config.num_segments = query_dim >= 64 ? 8 : 4;
+  config.seg_channels = 8;
+  ConvLayerSpec merge;
+  merge.channels = 8;
+  merge.kernel = 2;
+  merge.stride = 1;
+  merge.pad = 0;
+  merge.pool_kernel = 2;
+  merge.pool_op = nn::PoolOp::kAvg;
+  config.merge_layers = {merge, merge};
+  config.embed_dim = 32;
+  return config;
+}
+
+std::string QesConfig::ToString() const {
+  std::ostringstream out;
+  out << "QES{segments=" << num_segments << " seg_ch=" << seg_channels
+      << " merge=[";
+  for (size_t i = 0; i < merge_layers.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << merge_layers[i].ToString();
+  }
+  out << "] embed=" << embed_dim << "}";
+  return out.str();
+}
+
+void QesConfig::Serialize(Serializer* out) const {
+  out->WriteU64(num_segments);
+  out->WriteU64(seg_channels);
+  out->WriteU64(embed_dim);
+  out->WriteU64(merge_layers.size());
+  for (const ConvLayerSpec& spec : merge_layers) {
+    out->WriteU64(spec.channels);
+    out->WriteU64(spec.kernel);
+    out->WriteU64(spec.stride);
+    out->WriteU64(spec.pad);
+    out->WriteU64(spec.pool_kernel);
+    out->WriteU32(static_cast<uint32_t>(spec.pool_op));
+  }
+}
+
+Status QesConfig::Deserialize(Deserializer* in) {
+  uint64_t v = 0;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&v));
+  num_segments = v;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&v));
+  seg_channels = v;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&v));
+  embed_dim = v;
+  uint64_t layers = 0;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&layers));
+  merge_layers.resize(layers);
+  for (auto& spec : merge_layers) {
+    SIMCARD_RETURN_IF_ERROR(in->ReadU64(&v));
+    spec.channels = v;
+    SIMCARD_RETURN_IF_ERROR(in->ReadU64(&v));
+    spec.kernel = v;
+    SIMCARD_RETURN_IF_ERROR(in->ReadU64(&v));
+    spec.stride = v;
+    SIMCARD_RETURN_IF_ERROR(in->ReadU64(&v));
+    spec.pad = v;
+    SIMCARD_RETURN_IF_ERROR(in->ReadU64(&v));
+    spec.pool_kernel = v;
+    uint32_t op = 0;
+    SIMCARD_RETURN_IF_ERROR(in->ReadU32(&op));
+    spec.pool_op = static_cast<nn::PoolOp>(op);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<nn::Sequential>> BuildQesTower(size_t query_dim,
+                                                      const QesConfig& config,
+                                                      Rng* rng,
+                                                      size_t* embed_dim) {
+  if (query_dim == 0) {
+    return Status::InvalidArgument("BuildQesTower: zero query dimension");
+  }
+  if (config.num_segments == 0 || config.seg_channels == 0 ||
+      config.embed_dim == 0) {
+    return Status::InvalidArgument("BuildQesTower: zero-sized component");
+  }
+  const size_t segments = std::min(config.num_segments, query_dim);
+
+  auto tower = std::make_unique<nn::Sequential>();
+
+  // Segment layer: kernel == stride == segment width; symmetric zero padding
+  // rounds the query up to a whole number of segments.
+  const size_t seg_w = (query_dim + segments - 1) / segments;
+  const size_t needed = seg_w * segments;
+  const size_t pad = (needed - query_dim + 1) / 2;
+  auto* seg_conv = tower->Emplace<nn::Conv1D>(/*in_channels=*/1, query_dim,
+                                              config.seg_channels, seg_w,
+                                              seg_w, pad, rng);
+  tower->Emplace<nn::Relu>();
+  size_t channels = seg_conv->out_channels();
+  size_t length = seg_conv->out_length();
+
+  // Merge layers (the learned g()); infeasible geometries are skipped.
+  for (const ConvLayerSpec& spec : config.merge_layers) {
+    if (spec.channels == 0 || spec.kernel == 0 || spec.stride == 0) continue;
+    if (nn::Conv1D::ComputeOutLength(length, spec.kernel, spec.stride,
+                                     spec.pad) == 0) {
+      continue;
+    }
+    auto* conv = tower->Emplace<nn::Conv1D>(channels, length, spec.channels,
+                                            spec.kernel, spec.stride, spec.pad,
+                                            rng);
+    tower->Emplace<nn::Relu>();
+    channels = conv->out_channels();
+    length = conv->out_length();
+    if (spec.pool_kernel > 1 &&
+        nn::Pool1D::ComputeOutLength(length, spec.pool_kernel,
+                                     spec.pool_kernel) > 0) {
+      auto* pool = tower->Emplace<nn::Pool1D>(channels, length,
+                                              spec.pool_kernel,
+                                              spec.pool_kernel, spec.pool_op);
+      length = pool->out_length();
+    }
+  }
+
+  // Final projection to the query embedding z_q.
+  tower->Emplace<nn::Linear>(channels * length, config.embed_dim, rng);
+  tower->Emplace<nn::Relu>();
+  if (embed_dim != nullptr) *embed_dim = config.embed_dim;
+  return tower;
+}
+
+}  // namespace simcard

@@ -1,0 +1,63 @@
+// Query-embedding segmentation (QES) tower builder — the paper's E1 as a
+// CNN (Section 3.2, Figures 3/4/7).
+//
+// The first convolution has kernel == stride == segment width, so one shared
+// filter bank maps every query segment to a channel vector (the learned
+// per-segment distance-density function f()); the following convolutions and
+// poolings merge neighboring segment distributions (the learned combine
+// function g()); a final linear layer produces the query embedding z_q.
+//
+// Every geometry knob here is a tunable hyperparameter of Section 5.2
+// (theta_ch, theta_ker, theta_stri, theta_pad, theta_pker, theta_op) and is
+// what Algorithm 3's greedy tuner searches over.
+#ifndef SIMCARD_CORE_QES_H_
+#define SIMCARD_CORE_QES_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/pool1d.h"
+#include "nn/sequential.h"
+
+namespace simcard {
+
+/// \brief Hyperparameters of one merge layer (conv + optional pooling).
+struct ConvLayerSpec {
+  size_t channels = 8;     ///< theta_ch
+  size_t kernel = 2;       ///< theta_ker
+  size_t stride = 1;       ///< theta_stri
+  size_t pad = 0;          ///< theta_pad
+  size_t pool_kernel = 1;  ///< theta_pker; 1 disables pooling
+  nn::PoolOp pool_op = nn::PoolOp::kAvg;  ///< theta_op
+
+  std::string ToString() const;
+};
+
+/// \brief Full configuration of the QES query tower.
+struct QesConfig {
+  size_t num_segments = 8;   ///< query segments (first-layer windows)
+  size_t seg_channels = 8;   ///< first-layer filter count
+  std::vector<ConvLayerSpec> merge_layers;
+  size_t embed_dim = 32;     ///< z_q width
+
+  /// Reasonable default: two merge layers with average pooling.
+  static QesConfig Default(size_t query_dim);
+
+  std::string ToString() const;
+
+  void Serialize(Serializer* out) const;
+  Status Deserialize(Deserializer* in);
+};
+
+/// Builds the tower. Infeasible merge layers (kernel exceeding the remaining
+/// signal) are skipped rather than failing, so the greedy tuner can probe
+/// aggressive geometries safely; at least the segment layer and the final
+/// projection always exist. Returns the tower; `*embed_dim` gets z_q's width.
+Result<std::unique_ptr<nn::Sequential>> BuildQesTower(size_t query_dim,
+                                                      const QesConfig& config,
+                                                      Rng* rng,
+                                                      size_t* embed_dim);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CORE_QES_H_

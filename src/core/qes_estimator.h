@@ -1,0 +1,67 @@
+// Whole-dataset (non-segmented) learned estimators: the paper's QES
+// (Table 2 row 1) and the DL-based MLP baseline (row 9) share everything
+// except the query tower, so both are FlatCardEstimator presets.
+//
+// The model is Figure 2/3: query tower E1 (QES CNN or plain MLP), threshold
+// tower E2, sample-distance tower E3 over x_D (distances from the query to
+// k fixed data samples), and output head F, trained end-to-end with
+// Algorithm 1.
+#ifndef SIMCARD_CORE_QES_ESTIMATOR_H_
+#define SIMCARD_CORE_QES_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/card_model.h"
+#include "core/estimator.h"
+#include "core/tuner.h"
+
+namespace simcard {
+
+/// \brief Configuration of a whole-dataset estimator.
+struct FlatCardEstimatorConfig {
+  std::string name = "QES";
+  bool use_cnn_query_tower = true;  ///< false -> the MLP baseline
+  bool auto_tune = false;           ///< Algorithm 3 before training
+  size_t num_samples = 64;          ///< k data samples for x_D
+
+  QesConfig qes;
+  size_t mlp_hidden = 64;
+  size_t query_embed = 32;
+  size_t tau_hidden = 16;
+  size_t tau_embed = 8;
+  size_t aux_hidden = 32;
+  size_t head_hidden = 64;
+
+  CardTrainOptions train;
+  TunerOptions tuner;
+
+  static FlatCardEstimatorConfig Qes();
+  static FlatCardEstimatorConfig Mlp();
+};
+
+/// \brief Single-model estimator over the whole dataset.
+class FlatCardEstimator : public Estimator {
+ public:
+  explicit FlatCardEstimator(FlatCardEstimatorConfig config)
+      : config_(std::move(config)) {}
+
+  std::string Name() const override { return config_.name; }
+  Status Train(const TrainContext& ctx) override;
+  double EstimateSearch(const float* query, float tau) override;
+  size_t ModelSizeBytes() const override;
+
+  CardModel* model() { return model_.get(); }
+  const Matrix& samples() const { return samples_; }
+
+ private:
+  FlatCardEstimatorConfig config_;
+  Matrix samples_;  ///< the k retained data samples (part of the model)
+  Metric metric_ = Metric::kL2;
+  double max_card_ = 0.0;  ///< dataset size; estimates are clamped to it
+  std::unique_ptr<CardModel> model_;
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CORE_QES_ESTIMATOR_H_

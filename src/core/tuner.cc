@@ -1,0 +1,192 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "eval/metrics.h"
+
+namespace simcard {
+namespace {
+
+// Discrete search ranges ("the range of hyperparameters", Section 5.2).
+const size_t kChannelRange[] = {4, 8, 16};
+const size_t kKernelRange[] = {2, 3, 4};
+const size_t kStrideRange[] = {1, 2};
+const size_t kPadRange[] = {0, 1};
+const size_t kPoolKernelRange[] = {1, 2, 3};
+const nn::PoolOp kPoolOpRange[] = {nn::PoolOp::kMax, nn::PoolOp::kAvg,
+                                   nn::PoolOp::kSum};
+
+template <typename T, size_t N>
+T PickRandom(const T (&range)[N], Rng* rng) {
+  return range[rng->NextBounded(N)];
+}
+
+ConvLayerSpec RandomLayer(Rng* rng) {
+  ConvLayerSpec spec;
+  spec.channels = PickRandom(kChannelRange, rng);
+  spec.kernel = PickRandom(kKernelRange, rng);
+  spec.stride = PickRandom(kStrideRange, rng);
+  spec.pad = PickRandom(kPadRange, rng);
+  spec.pool_kernel = PickRandom(kPoolKernelRange, rng);
+  spec.pool_op = PickRandom(kPoolOpRange, rng);
+  return spec;
+}
+
+/// Runs one trial: short fit on the train subsample, mean Q-error on the
+/// validation subsample.
+class TrialRunner {
+ public:
+  TrialRunner(const Matrix& queries, const Matrix* aux,
+              std::vector<SampleRef> train, std::vector<SampleRef> val,
+              const CardModelConfig& base, const TunerOptions& options)
+      : queries_(queries),
+        aux_(aux),
+        train_(std::move(train)),
+        val_(std::move(val)),
+        base_(base),
+        options_(options) {}
+
+  double Evaluate(const QesConfig& qes, uint64_t seed) {
+    ++trials_;
+    CardModelConfig config = base_;
+    config.use_cnn_query_tower = true;
+    config.qes = qes;
+    Rng rng(seed);
+    auto model_or = CardModel::Build(config, &rng);
+    if (!model_or.ok()) return std::numeric_limits<double>::infinity();
+    CardModel* model = model_or.value().get();
+
+    CardTrainOptions train_opts;
+    train_opts.epochs = options_.trial_epochs;
+    train_opts.seed = seed + 1;
+    TrainCardModel(model, queries_, aux_, train_, train_opts);
+
+    // Geometric-mean Q-error: robust to the single-sample blowups that
+    // dominate an arithmetic mean on a ~150-sample validation split.
+    double log_total = 0.0;
+    for (const SampleRef& s : val_) {
+      const float* aux_row = aux_ != nullptr ? aux_->Row(s.query_row) : nullptr;
+      const double est =
+          model->EstimateCard(queries_.Row(s.query_row), s.tau, aux_row);
+      log_total += std::log(QError(est, s.card));
+    }
+    return val_.empty()
+               ? 0.0
+               : std::exp(log_total / static_cast<double>(val_.size()));
+  }
+
+  size_t trials() const { return trials_; }
+  bool BudgetExhausted() const { return trials_ >= options_.max_trials; }
+
+ private:
+  const Matrix& queries_;
+  const Matrix* aux_;
+  std::vector<SampleRef> train_;
+  std::vector<SampleRef> val_;
+  CardModelConfig base_;
+  TunerOptions options_;
+  size_t trials_ = 0;
+};
+
+}  // namespace
+
+Result<TunerResult> GreedyTuneQes(const Matrix& queries, const Matrix* aux,
+                                  const std::vector<SampleRef>& samples,
+                                  const CardModelConfig& base,
+                                  const TunerOptions& options) {
+  if (samples.size() < 10) {
+    return Status::InvalidArgument("GreedyTuneQes: too few samples to tune");
+  }
+  Rng rng(options.seed);
+
+  // Algorithm 3 lines 1-2: disjoint train/validate subsamples.
+  std::vector<SampleRef> shuffled = samples;
+  rng.Shuffle(&shuffled);
+  const size_t n_train = std::min(options.train_subsample,
+                                  shuffled.size() * 4 / 5);
+  const size_t n_val =
+      std::min(options.val_subsample, shuffled.size() - n_train);
+  std::vector<SampleRef> s_train(shuffled.begin(), shuffled.begin() + n_train);
+  std::vector<SampleRef> s_val(shuffled.begin() + n_train,
+                               shuffled.begin() + n_train + n_val);
+  TrialRunner runner(queries, aux, std::move(s_train), std::move(s_val), base,
+                     options);
+
+  // All trials share one weight-init/shuffle seed so configuration
+  // comparisons are not dominated by initialization variance.
+  const uint64_t trial_seed = rng.NextU64();
+
+  // Cold start (lines 3-6): the caller's base configuration plus a few
+  // random segment-layer widths without merge layers. Seeding the search
+  // with the base config guarantees tuning never returns something worse
+  // than the untuned default on the validation split.
+  QesConfig best_config = base.qes;
+  double best_error = runner.Evaluate(best_config, trial_seed);
+  for (size_t c = 0; c < options.cold_start_configs; ++c) {
+    QesConfig candidate = base.qes;
+    candidate.merge_layers.clear();
+    candidate.seg_channels = PickRandom(kChannelRange, &rng);
+    const double err = runner.Evaluate(candidate, trial_seed);
+    if (err < best_error) {
+      best_error = err;
+      best_config = candidate;
+    }
+  }
+
+  // Outer loop (lines 7-13): keep appending tuned layers while the
+  // validation error drops by at least improve_threshold.
+  while (best_config.merge_layers.size() < options.max_layers &&
+         !runner.BudgetExhausted()) {
+    QesConfig grown = best_config;
+    grown.merge_layers.push_back(RandomLayer(&rng));
+    ConvLayerSpec& layer = grown.merge_layers.back();
+    double grown_error = runner.Evaluate(grown, trial_seed);
+
+    // Inner loop (lines 9-11): coordinate descent over the 6
+    // hyperparameters of the new layer.
+    bool improved = true;
+    while (improved && !runner.BudgetExhausted()) {
+      improved = false;
+      auto try_update = [&](auto& field, const auto& range) {
+        for (auto value : range) {
+          if (value == field || runner.BudgetExhausted()) continue;
+          auto saved = field;
+          field = value;
+          const double err = runner.Evaluate(grown, trial_seed);
+          if (err < grown_error * (1.0 - options.improve_threshold)) {
+            grown_error = err;
+            improved = true;
+          } else {
+            field = saved;
+          }
+        }
+      };
+      try_update(layer.channels, kChannelRange);
+      try_update(layer.kernel, kKernelRange);
+      try_update(layer.stride, kStrideRange);
+      try_update(layer.pad, kPadRange);
+      try_update(layer.pool_kernel, kPoolKernelRange);
+      try_update(layer.pool_op, kPoolOpRange);
+    }
+
+    if (grown_error < best_error * (1.0 - options.improve_threshold)) {
+      best_error = grown_error;
+      best_config = grown;
+    } else {
+      break;  // appending this layer did not help enough
+    }
+  }
+
+  SIMCARD_LOG(DEBUG) << "tuner: " << best_config.ToString() << " val-qerr="
+                     << best_error << " trials=" << runner.trials();
+  TunerResult result;
+  result.config = best_config;
+  result.validation_error = best_error;
+  result.trials = runner.trials();
+  return result;
+}
+
+}  // namespace simcard

@@ -1,0 +1,49 @@
+// Greedy hyperparameter tuning for the QES query-embedding network
+// (Section 5.2, Algorithm 3).
+//
+// The search space is the per-layer tuple
+//   Theta = {theta_ch, theta_ker, theta_stri, theta_pad, theta_pker,
+//            theta_op},
+// grown layer by layer: starting from the best of a few cold-start
+// configurations, coordinates of the newest layer are updated one at a time
+// (coordinate descent) until the validation error stops improving by 2%,
+// then another layer is appended, until that also stops helping. Trials run
+// on small train/validation subsamples, exactly as Algorithm 3 samples
+// S_train and S_validate.
+#ifndef SIMCARD_CORE_TUNER_H_
+#define SIMCARD_CORE_TUNER_H_
+
+#include "core/card_model.h"
+
+namespace simcard {
+
+/// \brief Budget/behavior knobs for GreedyTuneQes.
+struct TunerOptions {
+  size_t train_subsample = 600;   ///< Algorithm 3's S_train (paper: 1000)
+  size_t val_subsample = 150;     ///< Algorithm 3's S_validate (paper: 200)
+  size_t trial_epochs = 10;       ///< epochs per trial fit
+  size_t max_layers = 3;          ///< cap on appended merge layers
+  size_t cold_start_configs = 3;  ///< random initial configurations
+  double improve_threshold = 0.02;  ///< Algorithm 3's 2% stopping rule
+  size_t max_trials = 40;         ///< hard budget on trial fits
+  uint64_t seed = 47;
+};
+
+/// \brief Outcome of a tuning run.
+struct TunerResult {
+  QesConfig config;
+  double validation_error = 0.0;  ///< mean Q-error on S_validate
+  size_t trials = 0;              ///< trial fits performed
+};
+
+/// Tunes the QES merge-layer stack for the given training distribution.
+/// `base` supplies everything but the QES geometry (tau/aux/head sizes and
+/// aux width); `aux` may be null when base.aux_dim == 0.
+Result<TunerResult> GreedyTuneQes(const Matrix& queries, const Matrix* aux,
+                                  const std::vector<SampleRef>& samples,
+                                  const CardModelConfig& base,
+                                  const TunerOptions& options);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CORE_TUNER_H_

@@ -1,0 +1,57 @@
+#include "data/dataset.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace simcard {
+
+Dataset::Dataset(std::string name, Matrix points, Metric metric,
+                 float tau_max)
+    : name_(std::move(name)),
+      points_(std::move(points)),
+      metric_(metric),
+      tau_max_(tau_max) {}
+
+const BitMatrix& Dataset::bits() const {
+  if (bits_ == nullptr) {
+    bits_ = std::make_unique<BitMatrix>(BitMatrix::FromMatrix(points_));
+  }
+  return *bits_;
+}
+
+void Dataset::Append(const Matrix& extra) {
+  assert(extra.cols() == points_.cols());
+  Matrix merged(points_.rows() + extra.rows(), points_.cols());
+  std::memcpy(merged.data(), points_.data(),
+              points_.size() * sizeof(float));
+  std::memcpy(merged.data() + points_.size(), extra.data(),
+              extra.size() * sizeof(float));
+  points_ = std::move(merged);
+  bits_.reset();
+}
+
+void Dataset::Truncate(size_t n) {
+  assert(n <= points_.rows());
+  points_ = points_.SliceRows(0, points_.rows() - n);
+  bits_.reset();
+}
+
+void Dataset::Serialize(Serializer* out) const {
+  out->WriteString(name_);
+  out->WriteU32(static_cast<uint32_t>(metric_));
+  out->WriteF32(tau_max_);
+  points_.Serialize(out);
+}
+
+Result<Dataset> Dataset::Deserialize(Deserializer* in) {
+  Dataset d;
+  SIMCARD_RETURN_IF_ERROR(in->ReadString(&d.name_));
+  uint32_t metric = 0;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU32(&metric));
+  d.metric_ = static_cast<Metric>(metric);
+  SIMCARD_RETURN_IF_ERROR(in->ReadF32(&d.tau_max_));
+  SIMCARD_RETURN_IF_ERROR(d.points_.Deserialize(in));
+  return d;
+}
+
+}  // namespace simcard

@@ -1,0 +1,270 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simcard {
+namespace {
+
+// Base specs at Scale::kSmall, mirroring the structure (not the absolute
+// size) of the paper's Table 3. Dimensions and cardinalities are scaled to a
+// single-core budget; kFull grows toward the paper's regime.
+const AnalogSpec kBaseSpecs[] = {
+    // name, paper, dim, n, clusters, metric, tau_max, train_q, test_q
+    {"bms-sim", "BMS", 128, 20000, 50, Metric::kHamming, 0.30f, 400, 100},
+    {"glove-sim", "GloVe300", 64, 20000, 50, Metric::kAngular, 0.50f, 400,
+     100},
+    {"imagenet-sim", "ImageNET", 64, 20000, 50, Metric::kHamming, 0.50f, 400,
+     100},
+    {"aminer-sim", "Aminer", 256, 10000, 40, Metric::kHamming, 0.15f, 200,
+     50},
+    {"youtube-sim", "YouTube", 128, 10000, 40, Metric::kL2, 2.00f, 160, 40},
+    {"dblp-sim", "DBLP", 384, 10000, 40, Metric::kHamming, 0.20f, 160, 40},
+};
+
+AnalogSpec ApplyScale(AnalogSpec spec, Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      spec.dim = std::max<size_t>(16, spec.dim / 4);
+      spec.num_points = std::max<size_t>(1500, spec.num_points / 10);
+      spec.num_clusters = std::max<size_t>(8, spec.num_clusters / 4);
+      spec.train_queries = std::max<size_t>(60, spec.train_queries / 5);
+      spec.test_queries = std::max<size_t>(20, spec.test_queries / 5);
+      break;
+    case Scale::kSmall:
+      break;
+    case Scale::kFull:
+      spec.dim *= 2;
+      spec.num_points *= 5;
+      spec.num_clusters *= 2;
+      spec.train_queries *= 4;
+      spec.test_queries *= 4;
+      break;
+  }
+  return spec;
+}
+
+// Generates points + appended update rows in one deterministic stream so
+// updates come from the same cluster structure as the base data.
+Matrix GenerateAnalogPoints(const AnalogSpec& spec, size_t total_points,
+                            uint64_t seed) {
+  Rng rng(seed);
+  if (spec.metric == Metric::kL2 || spec.metric == Metric::kAngular ||
+      spec.metric == Metric::kCosine) {
+    const bool normalize = spec.metric != Metric::kL2;
+    const float anisotropy = spec.paper_name == "YouTube" ? 0.6f : 0.0f;
+    return GenerateGaussianMixture(total_points, spec.dim, spec.num_clusters,
+                                   /*cluster_spread=*/1.0f,
+                                   /*within_spread=*/0.22f, anisotropy,
+                                   normalize, &rng);
+  }
+  // Hamming family. ImageNET-like codes are dense; the set-based analogs
+  // (BMS/Aminer/DBLP) are sparse with token-frequency-like bit densities.
+  if (spec.paper_name == "ImageNET") {
+    return GenerateBinaryPrototypes(total_points, spec.dim, spec.num_clusters,
+                                    /*uniform_density=*/0.5f, {},
+                                    /*flip_prob=*/0.08f, &rng);
+  }
+  const float expected_ones = std::max(8.0f, spec.dim * 0.08f);
+  auto density = PowerLawBitDensity(spec.dim, /*exponent=*/1.2f,
+                                    expected_ones, &rng);
+  return GenerateBinaryPrototypes(total_points, spec.dim, spec.num_clusters,
+                                  /*uniform_density=*/0.0f, density,
+                                  /*flip_prob=*/0.02f, &rng);
+}
+
+}  // namespace
+
+Result<Scale> ParseScale(const std::string& name) {
+  if (name == "tiny") return Scale::kTiny;
+  if (name == "small") return Scale::kSmall;
+  if (name == "full") return Scale::kFull;
+  return Status::InvalidArgument("unknown scale: " + name +
+                                 " (expected tiny|small|full)");
+}
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return "tiny";
+    case Scale::kSmall:
+      return "small";
+    case Scale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+Matrix GenerateGaussianMixture(size_t n, size_t dim, size_t clusters,
+                               float cluster_spread, float within_spread,
+                               float anisotropy, bool normalize, Rng* rng) {
+  // Cluster centers.
+  Matrix centers = Matrix::Gaussian(clusters, dim, cluster_spread, rng);
+  // Optional per-cluster axis scales (anisotropy).
+  Matrix axis_scales = Matrix::Full(clusters, dim, 1.0f);
+  if (anisotropy > 0.0f) {
+    for (size_t c = 0; c < clusters; ++c) {
+      for (size_t j = 0; j < dim; ++j) {
+        axis_scales.at(c, j) =
+            std::exp(anisotropy * static_cast<float>(rng->NextGaussian()));
+      }
+    }
+  }
+  // Zipf-ish cluster popularity so segment cardinalities vary (the paper's
+  // penalty experiment needs skew across segments).
+  std::vector<double> weights(clusters);
+  double total = 0.0;
+  for (size_t c = 0; c < clusters; ++c) {
+    weights[c] = 1.0 / static_cast<double>(c + 1);
+    total += weights[c];
+  }
+  std::vector<double> cdf(clusters);
+  double acc = 0.0;
+  for (size_t c = 0; c < clusters; ++c) {
+    acc += weights[c] / total;
+    cdf[c] = acc;
+  }
+
+  Matrix points(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng->NextDouble();
+    size_t c = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (c >= clusters) c = clusters - 1;
+    float* row = points.Row(i);
+    const float* center = centers.Row(c);
+    const float* scales = axis_scales.Row(c);
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = center[j] + within_spread * scales[j] *
+                               static_cast<float>(rng->NextGaussian());
+    }
+    if (normalize) NormalizeRow(row, dim);
+  }
+  return points;
+}
+
+Matrix GenerateBinaryPrototypes(size_t n, size_t dim, size_t clusters,
+                                float uniform_density,
+                                const std::vector<float>& bit_density,
+                                float flip_prob, Rng* rng) {
+  // Prototype codes.
+  Matrix protos(clusters, dim);
+  for (size_t c = 0; c < clusters; ++c) {
+    float* row = protos.Row(c);
+    for (size_t j = 0; j < dim; ++j) {
+      const float p = bit_density.empty() ? uniform_density : bit_density[j];
+      row[j] = rng->NextBernoulli(p) ? 1.0f : 0.0f;
+    }
+  }
+  // Zipf-ish popularity, as in the dense generator.
+  std::vector<double> cdf(clusters);
+  double total = 0.0;
+  for (size_t c = 0; c < clusters; ++c) total += 1.0 / (c + 1.0);
+  double acc = 0.0;
+  for (size_t c = 0; c < clusters; ++c) {
+    acc += 1.0 / ((c + 1.0) * total);
+    cdf[c] = acc;
+  }
+
+  Matrix points(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng->NextDouble();
+    size_t c = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (c >= clusters) c = clusters - 1;
+    float* row = points.Row(i);
+    const float* proto = protos.Row(c);
+    for (size_t j = 0; j < dim; ++j) {
+      const bool bit = proto[j] >= 0.5f;
+      row[j] = (rng->NextBernoulli(flip_prob) ? !bit : bit) ? 1.0f : 0.0f;
+    }
+  }
+  return points;
+}
+
+std::vector<float> PowerLawBitDensity(size_t dim, float exponent,
+                                      float expected_ones, Rng* rng) {
+  std::vector<float> density(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    density[j] = std::pow(static_cast<float>(j + 1), -exponent);
+  }
+  // Water-filling calibration: scale the unclamped entries so the total
+  // probability mass hits expected_ones even though head "tokens" saturate
+  // at the 0.95 cap.
+  constexpr float kCap = 0.95f;
+  const double target =
+      std::min<double>(expected_ones, kCap * static_cast<double>(dim));
+  std::vector<bool> capped(dim, false);
+  for (;;) {
+    size_t n_capped = 0;
+    double free_mass = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      if (capped[j]) {
+        ++n_capped;
+      } else {
+        free_mass += density[j];
+      }
+    }
+    const double remaining = target - kCap * static_cast<double>(n_capped);
+    if (remaining <= 0.0 || free_mass <= 0.0) break;
+    const double s = remaining / free_mass;
+    bool newly_capped = false;
+    for (size_t j = 0; j < dim; ++j) {
+      if (!capped[j] && density[j] * s >= kCap) {
+        capped[j] = true;
+        newly_capped = true;
+      }
+    }
+    if (!newly_capped) {
+      for (size_t j = 0; j < dim; ++j) {
+        if (!capped[j]) density[j] = static_cast<float>(density[j] * s);
+      }
+      break;
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    if (capped[j]) density[j] = kCap;
+  }
+  // Shuffle so frequent "tokens" are not all in the leading dimensions
+  // (otherwise query segmentation would see trivially imbalanced segments).
+  for (size_t j = dim - 1; j > 0; --j) {
+    size_t k = static_cast<size_t>(rng->NextBounded(j + 1));
+    std::swap(density[j], density[k]);
+  }
+  return density;
+}
+
+std::vector<std::string> AnalogNames() {
+  std::vector<std::string> names;
+  for (const auto& spec : kBaseSpecs) names.push_back(spec.name);
+  return names;
+}
+
+Result<AnalogSpec> GetAnalogSpec(const std::string& name, Scale scale) {
+  for (const auto& spec : kBaseSpecs) {
+    if (spec.name == name) return ApplyScale(spec, scale);
+  }
+  return Status::NotFound("unknown analog dataset: " + name);
+}
+
+Result<Dataset> MakeAnalogDataset(const std::string& name, Scale scale,
+                                  uint64_t seed) {
+  auto spec_or = GetAnalogSpec(name, scale);
+  if (!spec_or.ok()) return spec_or.status();
+  const AnalogSpec& spec = spec_or.value();
+  Matrix points = GenerateAnalogPoints(spec, spec.num_points, seed);
+  return Dataset(spec.name, std::move(points), spec.metric, spec.tau_max);
+}
+
+Result<Matrix> MakeAnalogUpdates(const std::string& name, Scale scale,
+                                 size_t n, uint64_t seed) {
+  auto spec_or = GetAnalogSpec(name, scale);
+  if (!spec_or.ok()) return spec_or.status();
+  const AnalogSpec& spec = spec_or.value();
+  // Generate base + tail in one deterministic stream, then return the tail:
+  // updates are fresh draws from the same cluster structure.
+  Matrix all = GenerateAnalogPoints(spec, spec.num_points + n, seed);
+  return all.SliceRows(spec.num_points, spec.num_points + n);
+}
+
+}  // namespace simcard

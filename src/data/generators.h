@@ -1,0 +1,81 @@
+// Synthetic analogs of the paper's six evaluation datasets (Table 3).
+//
+// The real corpora (BMS, GloVe300, ImageNET/HashNet, Aminer, YouTube Faces,
+// DBLP) are not available offline; each generator below produces data with
+// the same *structure* the corresponding dataset contributes to the paper's
+// evaluation — clustered sparse binary sets, unit-norm dense word vectors,
+// short binary hash codes, very high-dimensional sparse title vectors, dense
+// face embeddings — under the same (transformed) metric. See DESIGN.md
+// Section 2 for the substitution rationale.
+#ifndef SIMCARD_DATA_GENERATORS_H_
+#define SIMCARD_DATA_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace simcard {
+
+/// Experiment sizing knob shared by tests, examples, and benches.
+enum class Scale { kTiny, kSmall, kFull };
+
+Result<Scale> ParseScale(const std::string& name);
+const char* ScaleName(Scale scale);
+
+/// \brief Low-level generator: mixture of Gaussian clusters.
+///
+/// `anisotropy` > 0 stretches each cluster along random axes (YouTube-like);
+/// `normalize` projects points to the unit sphere (GloVe-like).
+Matrix GenerateGaussianMixture(size_t n, size_t dim, size_t clusters,
+                               float cluster_spread, float within_spread,
+                               float anisotropy, bool normalize, Rng* rng);
+
+/// \brief Low-level generator: binary vectors around prototype codes.
+///
+/// Each cluster has a prototype whose bits are 1 with probability
+/// `bit_density[j]` per dimension j (pass an empty vector for uniform
+/// density `uniform_density`); members flip each prototype bit with
+/// probability `flip_prob`.
+Matrix GenerateBinaryPrototypes(size_t n, size_t dim, size_t clusters,
+                                float uniform_density,
+                                const std::vector<float>& bit_density,
+                                float flip_prob, Rng* rng);
+
+/// Power-law per-dimension bit densities (token-frequency-like), scaled so
+/// the expected number of set bits is `expected_ones`.
+std::vector<float> PowerLawBitDensity(size_t dim, float exponent,
+                                      float expected_ones, Rng* rng);
+
+/// \brief Static description of one paper-analog dataset at a given scale.
+struct AnalogSpec {
+  std::string name;          ///< e.g. "glove-sim"
+  std::string paper_name;    ///< e.g. "GloVe300"
+  size_t dim = 0;
+  size_t num_points = 0;
+  size_t num_clusters = 0;
+  Metric metric = Metric::kL2;
+  float tau_max = 1.0f;
+  size_t train_queries = 0;  ///< query objects (each gets 10 thresholds)
+  size_t test_queries = 0;
+};
+
+/// Names of all six analogs, in the paper's Table 3 order.
+std::vector<std::string> AnalogNames();
+
+/// Spec for `name` at `scale`; NotFound for unknown names.
+Result<AnalogSpec> GetAnalogSpec(const std::string& name, Scale scale);
+
+/// Materializes the analog dataset deterministically from `seed`.
+Result<Dataset> MakeAnalogDataset(const std::string& name, Scale scale,
+                                  uint64_t seed);
+
+/// Generates `n` extra rows drawn from the same distribution family as the
+/// analog `name` (used by the incremental-update experiment, Exp-11).
+Result<Matrix> MakeAnalogUpdates(const std::string& name, Scale scale,
+                                 size_t n, uint64_t seed);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_DATA_GENERATORS_H_

@@ -1,0 +1,20 @@
+#include "data/sampling.h"
+
+#include <cstring>
+
+namespace simcard {
+
+std::vector<size_t> SampleIndices(const Dataset& dataset, size_t k, Rng* rng) {
+  return rng->SampleWithoutReplacement(dataset.size(), k);
+}
+
+Matrix GatherRows(const Matrix& points, const std::vector<size_t>& indices) {
+  Matrix out(indices.size(), points.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    std::memcpy(out.Row(i), points.Row(indices[i]),
+                points.cols() * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace simcard

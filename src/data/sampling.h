@@ -1,0 +1,21 @@
+// Data-sample selection shared by the basic model's x_D feature (k samples,
+// Section 3.1) and the sampling baselines (Exp-1/2).
+#ifndef SIMCARD_DATA_SAMPLING_H_
+#define SIMCARD_DATA_SAMPLING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace simcard {
+
+/// Uniformly samples `k` distinct row indices of `dataset`.
+std::vector<size_t> SampleIndices(const Dataset& dataset, size_t k, Rng* rng);
+
+/// Materializes sampled rows into their own matrix (rows in sample order).
+Matrix GatherRows(const Matrix& points, const std::vector<size_t>& indices);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_DATA_SAMPLING_H_

@@ -1,0 +1,165 @@
+#include "dist/metric.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace simcard {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL1:
+      return "L1";
+    case Metric::kL2:
+      return "L2";
+    case Metric::kCosine:
+      return "Cosine";
+    case Metric::kAngular:
+      return "Angular";
+    case Metric::kHamming:
+      return "Hamming";
+  }
+  return "?";
+}
+
+Result<Metric> ParseMetric(const std::string& name) {
+  if (name == "L1" || name == "l1") return Metric::kL1;
+  if (name == "L2" || name == "l2" || name == "euclidean") return Metric::kL2;
+  if (name == "Cosine" || name == "cosine") return Metric::kCosine;
+  if (name == "Angular" || name == "angular") return Metric::kAngular;
+  if (name == "Hamming" || name == "hamming") return Metric::kHamming;
+  return Status::InvalidArgument("unknown metric: " + name);
+}
+
+float DotProduct(const float* a, const float* b, size_t d) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < d; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float L2Squared(const float* a, const float* b, size_t d) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+float Distance(const float* a, const float* b, size_t d, Metric metric) {
+  switch (metric) {
+    case Metric::kL1: {
+      float acc = 0.0f;
+      for (size_t i = 0; i < d; ++i) acc += std::fabs(a[i] - b[i]);
+      return acc;
+    }
+    case Metric::kL2:
+      return std::sqrt(L2Squared(a, b, d));
+    case Metric::kCosine: {
+      const float dot = DotProduct(a, b, d);
+      const float na = std::sqrt(DotProduct(a, a, d));
+      const float nb = std::sqrt(DotProduct(b, b, d));
+      if (na == 0.0f || nb == 0.0f) return 1.0f;
+      return 1.0f - dot / (na * nb);
+    }
+    case Metric::kAngular: {
+      const float dot = DotProduct(a, b, d);
+      const float na = std::sqrt(DotProduct(a, a, d));
+      const float nb = std::sqrt(DotProduct(b, b, d));
+      float c = (na == 0.0f || nb == 0.0f) ? 0.0f : dot / (na * nb);
+      c = std::min(1.0f, std::max(-1.0f, c));
+      return std::acos(c) / static_cast<float>(M_PI);
+    }
+    case Metric::kHamming: {
+      uint32_t mismatches = 0;
+      for (size_t i = 0; i < d; ++i) {
+        // Binary data is stored as 0.0/1.0 floats; compare as booleans.
+        mismatches += (a[i] >= 0.5f) != (b[i] >= 0.5f);
+      }
+      return static_cast<float>(mismatches) / static_cast<float>(d);
+    }
+  }
+  return 0.0f;
+}
+
+void NormalizeRow(float* v, size_t d) {
+  float norm = std::sqrt(DotProduct(v, v, d));
+  if (norm <= 0.0f) return;
+  const float inv = 1.0f / norm;
+  for (size_t i = 0; i < d; ++i) v[i] *= inv;
+}
+
+float MergeSegmentDistances(Metric metric, const std::vector<float>& seg_dists,
+                            const std::vector<size_t>& seg_lens) {
+  switch (metric) {
+    case Metric::kL1: {
+      float acc = 0.0f;
+      for (float s : seg_dists) acc += s;
+      return acc;
+    }
+    case Metric::kL2: {
+      float acc = 0.0f;
+      for (float s : seg_dists) acc += s * s;
+      return std::sqrt(acc);
+    }
+    case Metric::kHamming: {
+      assert(seg_lens.size() == seg_dists.size());
+      float mismatches = 0.0f;
+      size_t total = 0;
+      for (size_t i = 0; i < seg_dists.size(); ++i) {
+        mismatches += seg_dists[i] * static_cast<float>(seg_lens[i]);
+        total += seg_lens[i];
+      }
+      return mismatches / static_cast<float>(total);
+    }
+    case Metric::kCosine: {
+      // seg_dists holds per-segment partial dot products of unit vectors.
+      float dot = 0.0f;
+      for (float s : seg_dists) dot += s;
+      return 1.0f - dot;
+    }
+    case Metric::kAngular: {
+      float dot = 0.0f;
+      for (float s : seg_dists) dot += s;
+      dot = std::min(1.0f, std::max(-1.0f, dot));
+      return std::acos(dot) / static_cast<float>(M_PI);
+    }
+  }
+  return 0.0f;
+}
+
+BitMatrix BitMatrix::FromMatrix(const Matrix& m) {
+  BitMatrix out;
+  out.rows_ = m.rows();
+  out.dim_ = m.cols();
+  out.words_per_row_ = (m.cols() + 63) / 64;
+  out.words_.assign(out.rows_ * out.words_per_row_, 0);
+  for (size_t r = 0; r < out.rows_; ++r) {
+    const float* src = m.Row(r);
+    uint64_t* dst = out.words_.data() + r * out.words_per_row_;
+    for (size_t c = 0; c < out.dim_; ++c) {
+      if (src[c] >= 0.5f) dst[c >> 6] |= uint64_t{1} << (c & 63);
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> BitMatrix::PackVector(const float* v) const {
+  std::vector<uint64_t> out(words_per_row_, 0);
+  for (size_t c = 0; c < dim_; ++c) {
+    if (v[c] >= 0.5f) out[c >> 6] |= uint64_t{1} << (c & 63);
+  }
+  return out;
+}
+
+uint32_t BitMatrix::HammingRaw(size_t r, const uint64_t* q) const {
+  const uint64_t* row = Row(r);
+  uint32_t acc = 0;
+  for (size_t w = 0; w < words_per_row_; ++w) {
+    acc += static_cast<uint32_t>(std::popcount(row[w] ^ q[w]));
+  }
+  return acc;
+}
+
+}  // namespace simcard

@@ -1,0 +1,213 @@
+#include "eval/harness.h"
+
+#include "baselines/cardnet_estimator.h"
+#include "baselines/kernel_estimator.h"
+#include "baselines/mlp_estimator.h"
+#include "baselines/sampling_estimator.h"
+#include "common/stopwatch.h"
+#include "core/join_estimator.h"
+
+namespace simcard {
+namespace {
+
+// Training budgets by scale: tiny favors turnaround, full favors accuracy.
+void ApplyScaleToCardTraining(Scale scale, CardTrainOptions* opts) {
+  switch (scale) {
+    case Scale::kTiny:
+      opts->epochs = 20;
+      break;
+    case Scale::kSmall:
+      opts->epochs = 40;
+      break;
+    case Scale::kFull:
+      opts->epochs = 60;
+      break;
+  }
+}
+
+void ApplyScaleToGl(Scale scale, GlEstimatorConfig* config) {
+  ApplyScaleToCardTraining(scale, &config->local_train);
+  switch (scale) {
+    case Scale::kTiny:
+      config->global_train.epochs = 20;
+      config->tune_per_segment = false;  // one shared tuning run
+      config->tuner.max_trials = 8;
+      config->tuner.trial_epochs = 20;
+      config->tuner.train_subsample = 300;
+      config->tuner.val_subsample = 80;
+      break;
+    case Scale::kSmall:
+      config->global_train.epochs = 40;
+      config->tuner.max_trials = 8;
+      // Trials train as long as the real local models so the proxy ranking
+      // transfers; the subsample keeps each trial cheap.
+      config->tuner.trial_epochs = config->local_train.epochs;
+      config->tuner.train_subsample = 300;
+      config->tuner.val_subsample = 80;
+      break;
+    case Scale::kFull:
+      config->global_train.epochs = 60;
+      config->tuner.max_trials = 12;
+      config->tuner.trial_epochs = config->local_train.epochs;
+      break;
+  }
+}
+
+void ApplyScaleToFlat(Scale scale, FlatCardEstimatorConfig* config) {
+  ApplyScaleToCardTraining(scale, &config->train);
+}
+
+}  // namespace
+
+Result<ExperimentEnv> BuildEnvironment(const std::string& dataset_name,
+                                       Scale scale,
+                                       const EnvOptions& options) {
+  auto spec_or = GetAnalogSpec(dataset_name, scale);
+  if (!spec_or.ok()) return spec_or.status();
+
+  ExperimentEnv env;
+  env.spec = spec_or.value();
+  env.scale = scale;
+  env.seed = options.seed;
+
+  auto data_or = MakeAnalogDataset(dataset_name, scale, options.seed);
+  if (!data_or.ok()) return data_or.status();
+  env.dataset = std::move(data_or.value());
+
+  SegmentationOptions seg_opts;
+  seg_opts.target_segments = options.num_segments;
+  seg_opts.method = options.segmentation_method;
+  seg_opts.seed = options.seed + 1;
+  auto seg_or = SegmentData(env.dataset, seg_opts);
+  if (!seg_or.ok()) return seg_or.status();
+  env.segmentation = std::move(seg_or.value());
+
+  WorkloadOptions wl_opts;
+  wl_opts.num_train = options.train_queries_override > 0
+                          ? options.train_queries_override
+                          : env.spec.train_queries;
+  wl_opts.num_test = options.test_queries_override > 0
+                         ? options.test_queries_override
+                         : env.spec.test_queries;
+  wl_opts.seed = options.seed + 2;
+  wl_opts.keep_profiles = options.keep_profiles;
+  auto wl_or = BuildSearchWorkload(env.dataset, &env.segmentation, wl_opts);
+  if (!wl_or.ok()) return wl_or.status();
+  env.workload = std::move(wl_or.value());
+  return env;
+}
+
+Result<std::unique_ptr<Estimator>> MakeEstimatorByName(
+    const std::string& name, Scale scale, size_t equal_target_bytes) {
+  if (name == "GL+" || name == "Local+" || name == "GL-CNN" ||
+      name == "GL-MLP") {
+    GlEstimatorConfig config;
+    if (name == "GL+") config = GlEstimatorConfig::GlPlus();
+    if (name == "Local+") config = GlEstimatorConfig::LocalPlus();
+    if (name == "GL-CNN") config = GlEstimatorConfig::GlCnn();
+    if (name == "GL-MLP") config = GlEstimatorConfig::GlMlp();
+    ApplyScaleToGl(scale, &config);
+    return std::unique_ptr<Estimator>(new GlEstimator(std::move(config)));
+  }
+  if (name == "QES" || name == "MLP") {
+    FlatCardEstimatorConfig config = name == "QES"
+                                         ? FlatCardEstimatorConfig::Qes()
+                                         : FlatCardEstimatorConfig::Mlp();
+    ApplyScaleToFlat(scale, &config);
+    return std::unique_ptr<Estimator>(
+        new FlatCardEstimator(std::move(config)));
+  }
+  if (name == "CardNet") {
+    CardNetEstimator::Config config;
+    config.epochs = scale == Scale::kTiny ? 20 : 40;
+    return std::unique_ptr<Estimator>(new CardNetEstimator(config));
+  }
+  if (name == "Kernel-based") {
+    return std::unique_ptr<Estimator>(new KernelEstimator(0.01));
+  }
+  if (name == "Sampling (1%)") {
+    return std::unique_ptr<Estimator>(
+        new SamplingEstimator("Sampling (1%)", 0.01));
+  }
+  if (name == "Sampling (10%)") {
+    return std::unique_ptr<Estimator>(
+        new SamplingEstimator("Sampling (10%)", 0.10));
+  }
+  if (name == "Sampling (equal)") {
+    if (equal_target_bytes == 0) {
+      return Status::InvalidArgument(
+          "Sampling (equal) needs equal_target_bytes (a learned model size)");
+    }
+    return std::unique_ptr<Estimator>(
+        SamplingEstimator::Equal(equal_target_bytes).release());
+  }
+  if (name == "CNNJoin") {
+    CnnJoinEstimator::Config config;
+    ApplyScaleToFlat(scale, &config.base);
+    return std::unique_ptr<Estimator>(new CnnJoinEstimator(std::move(config)));
+  }
+  if (name == "GLJoin" || name == "GLJoin+") {
+    GlJoinEstimator::Config config = name == "GLJoin"
+                                         ? GlJoinEstimator::Config::GlJoin()
+                                         : GlJoinEstimator::Config::GlJoinPlus();
+    ApplyScaleToGl(scale, &config.base);
+    return std::unique_ptr<Estimator>(new GlJoinEstimator(std::move(config)));
+  }
+  return Status::NotFound("unknown estimator: " + name);
+}
+
+TrainContext MakeTrainContext(const ExperimentEnv& env) {
+  TrainContext ctx;
+  ctx.dataset = &env.dataset;
+  ctx.workload = &env.workload;
+  ctx.segmentation = &env.segmentation;
+  ctx.seed = env.seed + 7;
+  return ctx;
+}
+
+EvalResult EvaluateSearch(Estimator* estimator,
+                          const SearchWorkload& workload) {
+  EvalResult result;
+  Stopwatch watch;
+  double total_ms = 0.0;
+  for (const auto& lq : workload.test) {
+    const float* q = workload.test_queries.Row(lq.row);
+    for (const auto& t : lq.thresholds) {
+      watch.Restart();
+      const double est = estimator->EstimateSearch(q, t.tau);
+      total_ms += watch.ElapsedMillis();
+      result.qerrors.push_back(QError(est, t.card));
+      result.mapes.push_back(Mape(est, t.card));
+    }
+  }
+  result.qerror = Summarize(result.qerrors);
+  result.mape = Summarize(result.mapes);
+  result.mean_latency_ms =
+      result.qerrors.empty()
+          ? 0.0
+          : total_ms / static_cast<double>(result.qerrors.size());
+  return result;
+}
+
+EvalResult EvaluateJoin(Estimator* estimator, const SearchWorkload& workload,
+                        const std::vector<JoinSet>& sets) {
+  EvalResult result;
+  Stopwatch watch;
+  double total_ms = 0.0;
+  for (const JoinSet& js : sets) {
+    const Matrix& queries =
+        js.from_test_queries ? workload.test_queries : workload.train_queries;
+    watch.Restart();
+    const double est = estimator->EstimateJoin(queries, js.query_rows, js.tau);
+    total_ms += watch.ElapsedMillis();
+    result.qerrors.push_back(QError(est, js.card));
+    result.mapes.push_back(Mape(est, js.card));
+  }
+  result.qerror = Summarize(result.qerrors);
+  result.mape = Summarize(result.mapes);
+  result.mean_latency_ms =
+      sets.empty() ? 0.0 : total_ms / static_cast<double>(sets.size());
+  return result;
+}
+
+}  // namespace simcard

@@ -1,0 +1,73 @@
+// Shared experiment harness: builds one dataset's environment (data,
+// segmentation, labeled workload), constructs estimators by their Table 2
+// names, and evaluates search/join accuracy and latency. Every bench binary
+// is a thin driver over these helpers, so the experiments stay consistent
+// with each other.
+#ifndef SIMCARD_EVAL_HARNESS_H_
+#define SIMCARD_EVAL_HARNESS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/estimator.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+#include "workload/join_sets.h"
+
+namespace simcard {
+
+/// \brief Fully-prepared single-dataset experiment environment.
+struct ExperimentEnv {
+  AnalogSpec spec;
+  Dataset dataset;
+  Segmentation segmentation;
+  SearchWorkload workload;
+  Scale scale = Scale::kSmall;
+  uint64_t seed = 0;
+};
+
+/// \brief Options for BuildEnvironment.
+struct EnvOptions {
+  size_t num_segments = 16;
+  SegmentationMethod segmentation_method = SegmentationMethod::kPcaKMeans;
+  /// Overrides the spec's query counts when nonzero.
+  size_t train_queries_override = 0;
+  size_t test_queries_override = 0;
+  bool keep_profiles = true;
+  uint64_t seed = 2026;
+};
+
+Result<ExperimentEnv> BuildEnvironment(const std::string& dataset_name,
+                                       Scale scale, const EnvOptions& options);
+
+/// Builds an estimator by its Table 2 name: "GL+", "Local+", "GL-CNN",
+/// "GL-MLP", "QES", "MLP", "CardNet", "Kernel-based", "Sampling (1%)",
+/// "Sampling (10%)", "Sampling (equal)", "CNNJoin", "GLJoin", "GLJoin+".
+/// `equal_target_bytes` sizes "Sampling (equal)" (pass a learned model's
+/// ModelSizeBytes()). The returned estimator is untrained.
+Result<std::unique_ptr<Estimator>> MakeEstimatorByName(
+    const std::string& name, Scale scale, size_t equal_target_bytes = 0);
+
+/// Shorthand: training context over an environment.
+TrainContext MakeTrainContext(const ExperimentEnv& env);
+
+/// \brief Accuracy + latency over a test workload.
+struct EvalResult {
+  std::vector<double> qerrors;
+  std::vector<double> mapes;
+  ErrorSummary qerror;
+  ErrorSummary mape;
+  double mean_latency_ms = 0.0;
+};
+
+/// Evaluates every (test query, threshold) sample.
+EvalResult EvaluateSearch(Estimator* estimator, const SearchWorkload& workload);
+
+/// Evaluates every join set in `sets` (rows resolve against the workload's
+/// train or test query matrix per JoinSet::from_test_queries).
+EvalResult EvaluateJoin(Estimator* estimator, const SearchWorkload& workload,
+                        const std::vector<JoinSet>& sets);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_EVAL_HARNESS_H_

@@ -1,0 +1,50 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simcard {
+namespace {
+
+constexpr double kZeroFloor = 0.1;
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double QError(double estimate, double truth) {
+  double e = std::max(std::fabs(estimate), kZeroFloor);
+  double t = std::max(truth, kZeroFloor);
+  return e > t ? e / t : t / e;
+}
+
+double Mape(double estimate, double truth) {
+  const double t = std::max(truth, kZeroFloor);
+  return std::fabs(estimate - truth) / t;
+}
+
+ErrorSummary Summarize(const std::vector<double>& errors) {
+  ErrorSummary s;
+  s.count = errors.size();
+  if (errors.empty()) return s;
+  std::vector<double> sorted = errors;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (double e : sorted) total += e;
+  s.mean = total / static_cast<double>(sorted.size());
+  s.median = Percentile(sorted, 0.5);
+  s.p90 = Percentile(sorted, 0.90);
+  s.p95 = Percentile(sorted, 0.95);
+  s.p99 = Percentile(sorted, 0.99);
+  s.max = sorted.back();
+  return s;
+}
+
+}  // namespace simcard

@@ -1,0 +1,34 @@
+// Error metrics for cardinality estimation (Section 2 of the paper).
+#ifndef SIMCARD_EVAL_METRICS_H_
+#define SIMCARD_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace simcard {
+
+/// Q-error = max(est, truth) / min(est, truth), with a 0.1 floor on either
+/// side when it is zero (the paper's convention). Always >= 1.
+double QError(double estimate, double truth);
+
+/// MAPE = |est - truth| / truth, with the same 0.1 floor on a zero truth.
+double Mape(double estimate, double truth);
+
+/// \brief Distribution summary in the shape of the paper's tables
+/// (mean / median / 90th / 95th / 99th / max).
+struct ErrorSummary {
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+};
+
+/// Summarizes `errors` (copied and sorted internally).
+ErrorSummary Summarize(const std::vector<double>& errors);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_EVAL_METRICS_H_

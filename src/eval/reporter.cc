@@ -1,0 +1,69 @@
+#include "eval/reporter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace simcard {
+
+std::string FormatPaperNumber(double value) {
+  char buf[64];
+  const double a = std::fabs(value);
+  if (a > 0 && a < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+  } else if (a >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else if (a >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else if (a >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+  }
+  return buf;
+}
+
+void TableReporter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableReporter::AddSummaryRow(const std::string& label,
+                                  const ErrorSummary& summary) {
+  AddRow({label, FormatPaperNumber(summary.mean),
+          FormatPaperNumber(summary.median), FormatPaperNumber(summary.p90),
+          FormatPaperNumber(summary.p95), FormatPaperNumber(summary.p99),
+          FormatPaperNumber(summary.max)});
+}
+
+void TableReporter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(columns_);
+  os << "|";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::vector<std::string> SummaryColumns(const std::string& label_header) {
+  return {label_header, "Mean", "Median", "90th", "95th", "99th", "Max"};
+}
+
+}  // namespace simcard

@@ -1,0 +1,40 @@
+// Plain-text table rendering in the shape of the paper's tables.
+#ifndef SIMCARD_EVAL_REPORTER_H_
+#define SIMCARD_EVAL_REPORTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace simcard {
+
+/// Formats like the paper's tables: 3 significant digits ("2.34", "19.7",
+/// "111", "3526").
+std::string FormatPaperNumber(double value);
+
+/// \brief Column-aligned ASCII table writer.
+class TableReporter {
+ public:
+  explicit TableReporter(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: "Method | mean | median | 90th | 95th | 99th | max" row.
+  void AddSummaryRow(const std::string& label, const ErrorSummary& summary);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// The paper's summary-table header after a leading label column.
+std::vector<std::string> SummaryColumns(const std::string& label_header);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_EVAL_REPORTER_H_

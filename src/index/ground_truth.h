@@ -1,0 +1,61 @@
+// Exact cardinality ground truth.
+//
+// Label construction is the dominant offline cost in the paper (Exp-10:
+// "the construction computes the distances between all pairs of datasets and
+// queries"). We compute each query's distances to the whole dataset once and
+// keep them sorted — overall and per data segment — after which the exact
+// card(q, tau) for *any* tau is a binary search, and thresholds can be
+// derived from target selectivities by rank lookup (how the paper picks its
+// 10 thresholds per query).
+#ifndef SIMCARD_INDEX_GROUND_TRUTH_H_
+#define SIMCARD_INDEX_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "cluster/segmentation.h"
+#include "data/dataset.h"
+
+namespace simcard {
+
+/// \brief Sorted distance lists for one query: whole dataset and, when a
+/// segmentation was supplied, per segment.
+struct QueryDistanceProfile {
+  std::vector<float> sorted_all;                  ///< ascending
+  std::vector<std::vector<float>> sorted_by_seg;  ///< may be empty
+
+  /// Exact card(q, tau): number of objects with distance <= tau.
+  size_t CountAt(float tau) const;
+
+  /// Exact per-segment cardinality card^{[s]}(q, tau).
+  size_t SegCountAt(size_t s, float tau) const;
+
+  /// Smallest threshold whose cardinality is >= ceil(selectivity * n);
+  /// clamps to the extremes. This inverts selectivity -> tau by rank.
+  float TauForSelectivity(double selectivity) const;
+};
+
+/// \brief Brute-force (but bit-accelerated for Hamming) exact counter.
+class GroundTruth {
+ public:
+  explicit GroundTruth(const Dataset* dataset);
+
+  /// Writes all n distances from `q` into `out` (resized).
+  void ComputeAllDistances(const float* q, std::vector<float>* out) const;
+
+  /// Exact cardinality by a full scan.
+  size_t Count(const float* q, float tau) const;
+
+  /// Builds the sorted profile; includes per-segment lists when `seg` is
+  /// non-null. Cost: one full scan + sorts.
+  QueryDistanceProfile BuildProfile(const float* q,
+                                    const Segmentation* seg) const;
+
+  const Dataset& dataset() const { return *dataset_; }
+
+ private:
+  const Dataset* dataset_;  // borrowed; must outlive this object
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_INDEX_GROUND_TRUTH_H_

@@ -1,0 +1,88 @@
+#include "index/pivot_index.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace simcard {
+
+Result<ExactPivotIndex> ExactPivotIndex::Build(const Dataset* dataset,
+                                               const Options& options) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument("ExactPivotIndex: empty dataset");
+  }
+  if (options.num_pivots == 0) {
+    return Status::InvalidArgument("ExactPivotIndex: need at least 1 pivot");
+  }
+  ExactPivotIndex index;
+  index.dataset_ = dataset;
+  Rng rng(options.seed);
+  index.pivot_rows_ =
+      rng.SampleWithoutReplacement(dataset->size(),
+                                   std::min(options.num_pivots,
+                                            dataset->size()));
+  const size_t n = dataset->size();
+  const size_t m = index.pivot_rows_.size();
+  index.pivot_dists_.resize(m * n);
+  float* table = index.pivot_dists_.data();
+  for (size_t p = 0; p < m; ++p) {
+    const float* pivot = dataset->Point(index.pivot_rows_[p]);
+    ParallelFor(0, n, [&, p](size_t i) {
+      table[p * n + i] = dataset->DistanceTo(pivot, i);
+    });
+  }
+  return index;
+}
+
+size_t ExactPivotIndex::Count(const float* q, float tau) const {
+  const size_t n = dataset_->size();
+  const size_t m = pivot_rows_.size();
+  // Distances from the query to every pivot.
+  std::vector<float> qp(m);
+  for (size_t p = 0; p < m; ++p) {
+    qp[p] = Distance(q, dataset_->Point(pivot_rows_[p]), dataset_->dim(),
+                     dataset_->metric());
+  }
+  // Conservative slack on both bounds: quantized metrics (normalized
+  // Hamming = k/d) land exactly on threshold values, where float rounding
+  // of |a/d - b/d| vs tau = t/d could otherwise flip a comparison and
+  // wrongly prune a true match. Borderline points fall through to the
+  // exact distance check, so exactness is preserved at negligible cost.
+  constexpr float kBoundSlack = 1e-5f;
+  size_t count = 0;
+  size_t pruned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Triangle-inequality bounds from every pivot:
+    //   lower: |d(q,pivot) - d(pivot,i)|, upper: d(q,pivot) + d(pivot,i).
+    bool exclude = false;
+    bool include = false;
+    for (size_t p = 0; p < m; ++p) {
+      const float dpi = pivot_dists_[p * n + i];
+      const float lower = std::fabs(qp[p] - dpi);
+      if (lower > tau + kBoundSlack) {
+        exclude = true;
+        break;
+      }
+      const float upper = qp[p] + dpi;
+      if (upper <= tau - kBoundSlack) {
+        include = true;
+        break;
+      }
+    }
+    if (exclude) {
+      ++pruned;
+      continue;
+    }
+    if (include) {
+      ++pruned;
+      ++count;
+      continue;
+    }
+    if (dataset_->DistanceTo(q, i) <= tau) ++count;
+  }
+  last_prune_fraction_ = static_cast<double>(pruned) / static_cast<double>(n);
+  return count;
+}
+
+}  // namespace simcard

@@ -1,0 +1,49 @@
+// Exact threshold-search counting with pivot pruning.
+//
+// Stand-in for SimSelect [44] in the paper's latency comparison (Table 6):
+// an *exact* method whose cost grows with the dataset, against which the
+// learned estimators' constant-time inference is contrasted. Pruning uses
+// the triangle inequality |d(q,p) - d(pivot,p)| <= d(q,pivot) <= ..., valid
+// for the metric distances used here (L1, L2, angular, Hamming).
+#ifndef SIMCARD_INDEX_PIVOT_INDEX_H_
+#define SIMCARD_INDEX_PIVOT_INDEX_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace simcard {
+
+/// \brief Pivot table over a dataset supporting exact Count(q, tau).
+class ExactPivotIndex {
+ public:
+  /// \brief Options for Build.
+  struct Options {
+    size_t num_pivots = 8;
+    uint64_t seed = 23;
+  };
+
+  /// Precomputes pivot-to-point distances (O(num_pivots * n) space/time).
+  static Result<ExactPivotIndex> Build(const Dataset* dataset,
+                                       const Options& options);
+
+  /// Exact cardinality of the threshold query (q, tau).
+  size_t Count(const float* q, float tau) const;
+
+  /// Fraction of points whose distance computation was pruned on the last
+  /// Count call (diagnostic for tests/benches).
+  double last_prune_fraction() const { return last_prune_fraction_; }
+
+  size_t num_pivots() const { return pivot_rows_.size(); }
+
+ private:
+  const Dataset* dataset_ = nullptr;  // borrowed
+  std::vector<size_t> pivot_rows_;
+  // pivot_dists_[p * n + i] = distance(pivot p, point i)
+  std::vector<float> pivot_dists_;
+  mutable double last_prune_fraction_ = 0.0;
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_INDEX_PIVOT_INDEX_H_

@@ -1,0 +1,92 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace simcard {
+namespace nn {
+
+float SigmoidScalar(float x) {
+  if (x >= 0.0f) {
+    float e = std::exp(-x);
+    return 1.0f / (1.0f + e);
+  }
+  float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+float SoftplusScalar(float x) {
+  if (x > 20.0f) return x;
+  if (x < -20.0f) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+Matrix Relu::Forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input;
+  float* d = out.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (d[i] < 0.0f) d[i] = 0.0f;
+  }
+  return out;
+}
+
+Matrix Relu::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  const float* x = cached_input_.data();
+  float* gd = g.data();
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (x[i] <= 0.0f) gd[i] = 0.0f;
+  }
+  return g;
+}
+
+Matrix Sigmoid::Forward(const Matrix& input) {
+  Matrix out = input;
+  float* d = out.data();
+  for (size_t i = 0; i < out.size(); ++i) d[i] = SigmoidScalar(d[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Sigmoid::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  const float* y = cached_output_.data();
+  float* gd = g.data();
+  for (size_t i = 0; i < g.size(); ++i) gd[i] *= y[i] * (1.0f - y[i]);
+  return g;
+}
+
+Matrix Tanh::Forward(const Matrix& input) {
+  Matrix out = input;
+  float* d = out.data();
+  for (size_t i = 0; i < out.size(); ++i) d[i] = std::tanh(d[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Tanh::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  const float* y = cached_output_.data();
+  float* gd = g.data();
+  for (size_t i = 0; i < g.size(); ++i) gd[i] *= 1.0f - y[i] * y[i];
+  return g;
+}
+
+Matrix Softplus::Forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input;
+  float* d = out.data();
+  for (size_t i = 0; i < out.size(); ++i) d[i] = SoftplusScalar(d[i]);
+  return out;
+}
+
+Matrix Softplus::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  const float* x = cached_input_.data();
+  float* gd = g.data();
+  for (size_t i = 0; i < g.size(); ++i) gd[i] *= SigmoidScalar(x[i]);
+  return g;
+}
+
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,66 @@
+// Element-wise activation layers. All of these are monotone non-decreasing,
+// which the monotonicity guarantee of the threshold path relies on.
+#ifndef SIMCARD_NN_ACTIVATIONS_H_
+#define SIMCARD_NN_ACTIVATIONS_H_
+
+#include "nn/layer.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief max(0, x).
+class Relu : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Relu"; }
+  size_t OutputCols(size_t input_cols) const override { return input_cols; }
+
+ private:
+  Matrix cached_input_;
+};
+
+/// \brief Logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Sigmoid"; }
+  size_t OutputCols(size_t input_cols) const override { return input_cols; }
+
+ private:
+  Matrix cached_output_;
+};
+
+/// \brief Hyperbolic tangent.
+class Tanh : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Tanh"; }
+  size_t OutputCols(size_t input_cols) const override { return input_cols; }
+
+ private:
+  Matrix cached_output_;
+};
+
+/// \brief log(1 + e^x); smooth positive activation.
+class Softplus : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Softplus"; }
+  size_t OutputCols(size_t input_cols) const override { return input_cols; }
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Scalar helpers shared with loss code.
+float SigmoidScalar(float x);
+float SoftplusScalar(float x);
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_ACTIVATIONS_H_

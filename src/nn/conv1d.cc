@@ -1,0 +1,124 @@
+#include "nn/conv1d.h"
+
+#include <cassert>
+
+#include "nn/init.h"
+
+namespace simcard {
+namespace nn {
+
+size_t Conv1D::ComputeOutLength(size_t in_length, size_t kernel, size_t stride,
+                                size_t pad) {
+  const size_t padded = in_length + 2 * pad;
+  if (kernel == 0 || stride == 0 || kernel > padded) return 0;
+  return (padded - kernel) / stride + 1;
+}
+
+Conv1D::Conv1D(size_t in_channels, size_t in_length, size_t out_channels,
+               size_t kernel, size_t stride, size_t pad, Rng* rng)
+    : in_channels_(in_channels),
+      in_length_(in_length),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      out_length_(ComputeOutLength(in_length, kernel, stride, pad)),
+      weight_("conv1d.weight",
+              XavierUniform(in_channels * kernel, out_channels, rng)),
+      bias_("conv1d.bias", Matrix(1, out_channels)) {
+  assert(out_length_ > 0 && "infeasible conv geometry");
+  // Store the weight as [out_channels, in_channels*kernel] for row-major
+  // filter access in the inner loop.
+  Matrix w(out_channels_, in_channels_ * kernel_);
+  for (size_t oc = 0; oc < out_channels_; ++oc) {
+    for (size_t i = 0; i < in_channels_ * kernel_; ++i) {
+      w.at(oc, i) = weight_.value().at(i, oc);
+    }
+  }
+  weight_ = Parameter("conv1d.weight", std::move(w));
+}
+
+Matrix Conv1D::Forward(const Matrix& input) {
+  assert(input.cols() == in_channels_ * in_length_);
+  cached_input_ = input;
+  const size_t batch = input.rows();
+  Matrix out(batch, out_channels_ * out_length_);
+  const Matrix& w = weight_.value();
+  const float* bias = bias_.value().data();
+  for (size_t b = 0; b < batch; ++b) {
+    const float* x = input.Row(b);
+    float* y = out.Row(b);
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* filter = w.Row(oc);
+      float* ychan = y + oc * out_length_;
+      for (size_t ot = 0; ot < out_length_; ++ot) {
+        // Window start in (unpadded) input coordinates; may be negative.
+        const long s =
+            static_cast<long>(ot * stride_) - static_cast<long>(pad_);
+        float acc = bias[oc];
+        for (size_t ic = 0; ic < in_channels_; ++ic) {
+          const float* xchan = x + ic * in_length_;
+          const float* fk = filter + ic * kernel_;
+          for (size_t k = 0; k < kernel_; ++k) {
+            const long t = s + static_cast<long>(k);
+            if (t < 0 || t >= static_cast<long>(in_length_)) continue;
+            acc += fk[k] * xchan[t];
+          }
+        }
+        ychan[ot] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Conv1D::Backward(const Matrix& grad_output) {
+  assert(grad_output.cols() == out_channels_ * out_length_);
+  const size_t batch = grad_output.rows();
+  assert(batch == cached_input_.rows());
+  Matrix grad_input(batch, in_channels_ * in_length_);
+  Matrix& gw = weight_.grad();
+  float* gb = bias_.grad().data();
+  const Matrix& w = weight_.value();
+  for (size_t b = 0; b < batch; ++b) {
+    const float* x = cached_input_.Row(b);
+    const float* gy = grad_output.Row(b);
+    float* gx = grad_input.Row(b);
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* filter = w.Row(oc);
+      float* gfilter = gw.Row(oc);
+      const float* gychan = gy + oc * out_length_;
+      for (size_t ot = 0; ot < out_length_; ++ot) {
+        const float g = gychan[ot];
+        if (g == 0.0f) continue;
+        gb[oc] += g;
+        const long s =
+            static_cast<long>(ot * stride_) - static_cast<long>(pad_);
+        for (size_t ic = 0; ic < in_channels_; ++ic) {
+          const float* xchan = x + ic * in_length_;
+          float* gxchan = gx + ic * in_length_;
+          const float* fk = filter + ic * kernel_;
+          float* gfk = gfilter + ic * kernel_;
+          for (size_t k = 0; k < kernel_; ++k) {
+            const long t = s + static_cast<long>(k);
+            if (t < 0 || t >= static_cast<long>(in_length_)) continue;
+            gfk[k] += g * xchan[t];
+            gxchan[t] += g * fk[k];
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv1D::Parameters() { return {&weight_, &bias_}; }
+
+size_t Conv1D::OutputCols(size_t input_cols) const {
+  assert(input_cols == in_channels_ * in_length_);
+  (void)input_cols;
+  return out_channels_ * out_length_;
+}
+
+}  // namespace nn
+}  // namespace simcard

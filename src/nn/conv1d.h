@@ -1,0 +1,57 @@
+// 1-D convolution over channel-major flattened signals.
+//
+// This layer implements the paper's query-segmentation embedding (Fig 3 /
+// Fig 7): with kernel == stride == segment length, the first convolution
+// applies one shared filter bank to every query segment (the per-segment
+// distance-density function f()), and subsequent convolutions with smaller
+// kernels merge neighboring segment distributions (the combine function g()).
+// Weight sharing across positions is exactly the paper's "all e_i's in the
+// same layer are identical".
+//
+// A batch row encodes a [channels, length] signal flattened channel-major:
+// element (c, t) lives at column c*length + t.
+#ifndef SIMCARD_NN_CONV1D_H_
+#define SIMCARD_NN_CONV1D_H_
+
+#include "nn/layer.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief Shape-checked 1-D convolution with zero padding.
+class Conv1D : public Layer {
+ public:
+  Conv1D(size_t in_channels, size_t in_length, size_t out_channels,
+         size_t kernel, size_t stride, size_t pad, Rng* rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override { return "Conv1D"; }
+  size_t OutputCols(size_t input_cols) const override;
+
+  size_t out_channels() const { return out_channels_; }
+  size_t out_length() const { return out_length_; }
+
+  /// Output length for the given geometry, or 0 when the configuration is
+  /// infeasible (kernel larger than the padded signal).
+  static size_t ComputeOutLength(size_t in_length, size_t kernel,
+                                 size_t stride, size_t pad);
+
+ private:
+  size_t in_channels_;
+  size_t in_length_;
+  size_t out_channels_;
+  size_t kernel_;
+  size_t stride_;
+  size_t pad_;
+  size_t out_length_;
+  Parameter weight_;  // [out_channels, in_channels * kernel]
+  Parameter bias_;    // [1, out_channels]
+  Matrix cached_input_;
+};
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_CONV1D_H_

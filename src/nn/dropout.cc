@@ -1,0 +1,36 @@
+#include "nn/dropout.h"
+
+#include <cassert>
+
+#include "tensor/ops.h"
+
+namespace simcard {
+namespace nn {
+
+Dropout::Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  assert(rate_ >= 0.0f && rate_ < 1.0f);
+}
+
+Matrix Dropout::Forward(const Matrix& input) {
+  if (!training_ || rate_ == 0.0f) {
+    mask_ = Matrix();
+    return input;
+  }
+  mask_ = Matrix(input.rows(), input.cols());
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  float* m = mask_.data();
+  for (size_t i = 0; i < mask_.size(); ++i) {
+    m[i] = rng_.NextBernoulli(rate_) ? 0.0f : keep_scale;
+  }
+  return Mul(input, mask_);
+}
+
+Matrix Dropout::Backward(const Matrix& grad_output) {
+  if (mask_.empty()) return grad_output;
+  assert(grad_output.rows() == mask_.rows() &&
+         grad_output.cols() == mask_.cols());
+  return Mul(grad_output, mask_);
+}
+
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,41 @@
+// Inverted dropout.
+//
+// The paper attributes part of its inference speed to "the dropout for
+// DNN" (Exp-9); simcard's default models train without it (they are small
+// enough that early stopping regularizes adequately), but the layer is part
+// of the framework for larger user-defined towers. Uses inverted scaling so
+// inference is a no-op: call SetTraining(false) before evaluation.
+#ifndef SIMCARD_NN_DROPOUT_H_
+#define SIMCARD_NN_DROPOUT_H_
+
+#include "nn/layer.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief Inverted dropout with per-layer RNG stream.
+class Dropout : public Layer {
+ public:
+  /// `rate` in [0, 1): probability of zeroing each activation.
+  Dropout(float rate, uint64_t seed);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Dropout"; }
+  size_t OutputCols(size_t input_cols) const override { return input_cols; }
+
+  /// Training mode applies the mask; inference mode is the identity.
+  void SetTraining(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+ private:
+  float rate_;
+  bool training_ = true;
+  Rng rng_;
+  Matrix mask_;  // cached keep/scale mask from the last training forward
+};
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_DROPOUT_H_

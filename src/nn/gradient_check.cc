@@ -1,0 +1,127 @@
+#include "nn/gradient_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simcard {
+namespace nn {
+namespace {
+
+double SquaredErrorLoss(const Matrix& out, const Matrix& target) {
+  double loss = 0.0;
+  const float* o = out.data();
+  const float* t = target.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    const double d = static_cast<double>(o[i]) - t[i];
+    loss += 0.5 * d * d;
+  }
+  return loss;
+}
+
+Matrix SquaredErrorGrad(const Matrix& out, const Matrix& target) {
+  Matrix g = out;
+  const float* t = target.data();
+  float* gd = g.data();
+  for (size_t i = 0; i < g.size(); ++i) gd[i] -= t[i];
+  return g;
+}
+
+double RelError(double analytic, double numeric) {
+  const double denom =
+      std::max({std::fabs(analytic), std::fabs(numeric), 1e-4});
+  return std::fabs(analytic - numeric) / denom;
+}
+
+}  // namespace
+
+GradCheckReport CheckLayerGradients(Layer* layer, const Matrix& input,
+                                    const Matrix& target, Rng* rng,
+                                    size_t max_checks_per_param, double h) {
+  GradCheckReport report;
+
+  // Analytic pass.
+  for (Parameter* p : layer->Parameters()) p->ZeroGrad();
+  Matrix out = layer->Forward(input);
+  Matrix grad_in = layer->Backward(SquaredErrorGrad(out, target));
+
+  // Parameter coordinates.
+  for (Parameter* p : layer->Parameters()) {
+    const size_t n = p->value().size();
+    auto picks = rng->SampleWithoutReplacement(
+        n, std::min(n, max_checks_per_param));
+    for (size_t idx : picks) {
+      float* w = p->value().data() + idx;
+      const float saved = *w;
+      *w = saved + static_cast<float>(h);
+      const double lp = SquaredErrorLoss(layer->Forward(input), target);
+      *w = saved - static_cast<float>(h);
+      const double lm = SquaredErrorLoss(layer->Forward(input), target);
+      *w = saved;
+      const double numeric = (lp - lm) / (2.0 * h);
+      const double analytic = p->grad().data()[idx];
+      report.max_param_error =
+          std::max(report.max_param_error, RelError(analytic, numeric));
+      ++report.checked_params;
+    }
+  }
+
+  // Input coordinates.
+  {
+    Matrix x = input;
+    const size_t n = x.size();
+    auto picks = rng->SampleWithoutReplacement(
+        n, std::min(n, max_checks_per_param));
+    for (size_t idx : picks) {
+      float* xi = x.data() + idx;
+      const float saved = *xi;
+      *xi = saved + static_cast<float>(h);
+      const double lp = SquaredErrorLoss(layer->Forward(x), target);
+      *xi = saved - static_cast<float>(h);
+      const double lm = SquaredErrorLoss(layer->Forward(x), target);
+      *xi = saved;
+      const double numeric = (lp - lm) / (2.0 * h);
+      const double analytic = grad_in.data()[idx];
+      report.max_input_error =
+          std::max(report.max_input_error, RelError(analytic, numeric));
+      ++report.checked_inputs;
+    }
+  }
+
+  // Restore forward cache to match `input` for any subsequent Backward.
+  layer->Forward(input);
+  return report;
+}
+
+double CheckLossGradients(const std::function<double(bool)>& loss_fn,
+                          const std::vector<Parameter*>& params, Rng* rng,
+                          size_t max_checks_per_param, double h) {
+  for (Parameter* p : params) p->ZeroGrad();
+  loss_fn(/*fill_grads=*/true);
+  // Snapshot the analytic gradients before finite differencing perturbs state.
+  std::vector<Matrix> analytic;
+  analytic.reserve(params.size());
+  for (Parameter* p : params) analytic.push_back(p->grad());
+
+  double max_err = 0.0;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter* p = params[pi];
+    const size_t n = p->value().size();
+    auto picks = rng->SampleWithoutReplacement(
+        n, std::min(n, max_checks_per_param));
+    for (size_t idx : picks) {
+      float* w = p->value().data() + idx;
+      const float saved = *w;
+      *w = saved + static_cast<float>(h);
+      const double lp = loss_fn(false);
+      *w = saved - static_cast<float>(h);
+      const double lm = loss_fn(false);
+      *w = saved;
+      const double numeric = (lp - lm) / (2.0 * h);
+      max_err = std::max(max_err, RelError(analytic[pi].data()[idx], numeric));
+    }
+  }
+  return max_err;
+}
+
+}  // namespace nn
+}  // namespace simcard

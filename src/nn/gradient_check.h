@@ -1,0 +1,49 @@
+// Numerical gradient verification.
+//
+// Every layer's Backward is checked in tests against central finite
+// differences through an arbitrary scalar loss. This is the safety net that
+// lets simcard implement backprop by hand instead of depending on libtorch.
+#ifndef SIMCARD_NN_GRADIENT_CHECK_H_
+#define SIMCARD_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+
+#include "nn/layer.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief Result of one gradient check.
+struct GradCheckReport {
+  double max_param_error = 0.0;  ///< worst relative error over checked weights
+  double max_input_error = 0.0;  ///< worst relative error over input coords
+  size_t checked_params = 0;
+  size_t checked_inputs = 0;
+};
+
+/// \brief Compares `layer`'s analytic gradients against central differences.
+///
+/// The scalar objective is 0.5*||Forward(x) - target||^2 summed over all
+/// elements, whose output-gradient is (Forward(x) - target). At most
+/// `max_checks_per_param` randomly-chosen coordinates per parameter (and of
+/// the input) are probed with step `h`. Relative error uses an absolute
+/// floor so near-zero gradients do not blow the ratio up.
+GradCheckReport CheckLayerGradients(Layer* layer, const Matrix& input,
+                                    const Matrix& target, Rng* rng,
+                                    size_t max_checks_per_param = 24,
+                                    double h = 1e-3);
+
+/// \brief Checks analytic gradients of a scalar loss functor.
+///
+/// `loss_fn` must return the loss for the current parameter values and, when
+/// `fill_grads` is true, leave fresh gradients accumulated on `params`
+/// (starting from zero). Used to verify the hybrid and BCE losses end-to-end
+/// through whole models.
+double CheckLossGradients(const std::function<double(bool fill_grads)>& loss_fn,
+                          const std::vector<Parameter*>& params, Rng* rng,
+                          size_t max_checks_per_param = 16, double h = 1e-3);
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_GRADIENT_CHECK_H_

@@ -1,0 +1,42 @@
+#include "nn/init.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simcard {
+namespace nn {
+
+Matrix XavierUniform(size_t fan_in, size_t fan_out, Rng* rng) {
+  Matrix w(fan_in, fan_out);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  float* d = w.data();
+  for (size_t i = 0; i < w.size(); ++i) {
+    d[i] = limit * (2.0f * rng->NextFloat() - 1.0f);
+  }
+  return w;
+}
+
+Matrix HeGaussian(size_t fan_in, size_t fan_out, Rng* rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Matrix::Gaussian(fan_in, fan_out, stddev, rng);
+}
+
+float InverseSoftplus(float y) {
+  // softplus(x) = log1p(exp(x)); inverse is log(exp(y) - 1) = y + log1p(-exp(-y)).
+  y = std::max(y, 1e-6f);
+  if (y > 20.0f) return y;  // softplus is identity-like far from zero
+  return y + std::log1p(-std::exp(-y));
+}
+
+Matrix PositiveRawInit(size_t fan_in, size_t fan_out, Rng* rng) {
+  Matrix w = XavierUniform(fan_in, fan_out, rng);
+  float* d = w.data();
+  for (size_t i = 0; i < w.size(); ++i) {
+    d[i] = InverseSoftplus(std::fabs(d[i]) + 1e-3f);
+  }
+  return w;
+}
+
+}  // namespace nn
+}  // namespace simcard

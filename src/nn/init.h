@@ -1,0 +1,29 @@
+// Weight initialization schemes.
+#ifndef SIMCARD_NN_INIT_H_
+#define SIMCARD_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace simcard {
+namespace nn {
+
+/// Glorot/Xavier uniform init for a [fan_in, fan_out] weight matrix.
+Matrix XavierUniform(size_t fan_in, size_t fan_out, Rng* rng);
+
+/// He (Kaiming) Gaussian init, suited to ReLU networks.
+Matrix HeGaussian(size_t fan_in, size_t fan_out, Rng* rng);
+
+/// Inverse of softplus: returns x such that log(1+exp(x)) == y (y > 0).
+/// Used to initialize raw weights of positive-reparameterized layers so the
+/// *effective* weights start at a Xavier-like magnitude.
+float InverseSoftplus(float y);
+
+/// Raw-weight init for positive layers: effective weights softplus(raw) are
+/// |Xavier| distributed.
+Matrix PositiveRawInit(size_t fan_in, size_t fan_out, Rng* rng);
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_INIT_H_

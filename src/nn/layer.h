@@ -1,0 +1,87 @@
+// Layer interface for the manual-backpropagation framework.
+//
+// simcard's models (the paper's E1..E6, F, G modules) are compositions of
+// small layers. Each layer implements an exact Forward/Backward pair; the
+// Backward of every layer is verified against numerical differentiation in
+// tests/nn/gradient_check_test.cc. There is no tape/autograd: composite
+// models (towers + concat + head) wire gradients explicitly, which keeps the
+// framework small and the memory profile predictable.
+#ifndef SIMCARD_NN_LAYER_H_
+#define SIMCARD_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/matrix.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief One differentiable computation stage.
+///
+/// Contract: Backward(g) must be called after Forward(x) with g shaped like
+/// Forward's output; it accumulates parameter gradients (+=) and returns the
+/// gradient with respect to the input. Layers cache whatever Forward state
+/// Backward needs, so a layer instance is not reentrant across batches.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch (rows = batch).
+  virtual Matrix Forward(const Matrix& input) = 0;
+
+  /// Propagates `grad_output` through the cached forward pass; accumulates
+  /// parameter gradients and returns the gradient w.r.t. the input.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Trainable parameters, if any.
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+
+  /// Layer type tag for debugging/serialization sanity checks.
+  virtual std::string Name() const = 0;
+
+  /// Output width for a given input width (used by model builders).
+  virtual size_t OutputCols(size_t input_cols) const = 0;
+
+  /// Persists trainable state (default: every parameter in order).
+  virtual void Serialize(Serializer* out) const;
+
+  /// Restores trainable state written by Serialize.
+  virtual Status Deserialize(Deserializer* in);
+};
+
+/// Total scalar-parameter count over a set of layers.
+size_t CountScalars(const std::vector<Parameter*>& params);
+
+inline void Layer::Serialize(Serializer* out) const {
+  // const_cast is safe: Parameters() is non-const only to hand mutable
+  // pointers to optimizers; serialization just reads values.
+  auto params = const_cast<Layer*>(this)->Parameters();
+  out->WriteU64(params.size());
+  for (const Parameter* p : params) p->Serialize(out);
+}
+
+inline Status Layer::Deserialize(Deserializer* in) {
+  auto params = Parameters();
+  uint64_t n = 0;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&n));
+  if (n != params.size()) {
+    return Status::Internal("layer " + Name() + ": parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    SIMCARD_RETURN_IF_ERROR(p->Deserialize(in));
+  }
+  return Status::OK();
+}
+
+inline size_t CountScalars(const std::vector<Parameter*>& params) {
+  size_t n = 0;
+  for (const Parameter* p : params) n += p->NumScalars();
+  return n;
+}
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_LAYER_H_

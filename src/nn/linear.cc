@@ -1,0 +1,43 @@
+#include "nn/linear.h"
+
+#include <cassert>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace simcard {
+namespace nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng* rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_("linear.weight", XavierUniform(in_dim, out_dim, rng)),
+      bias_("linear.bias", Matrix(1, out_dim)) {}
+
+Matrix Linear::Forward(const Matrix& input) {
+  assert(input.cols() == in_dim_);
+  cached_input_ = input;
+  return AddRowBroadcast(MatMul(input, weight_.value()), bias_.value());
+}
+
+Matrix Linear::Backward(const Matrix& grad_output) {
+  assert(grad_output.cols() == out_dim_);
+  assert(grad_output.rows() == cached_input_.rows());
+  AddScaledInPlace(&weight_.grad(),
+                   MatMulTransposeA(cached_input_, grad_output), 1.0f);
+  AddScaledInPlace(&bias_.grad(), SumRows(grad_output), 1.0f);
+  return MatMulTransposeB(grad_output, weight_.value());
+}
+
+std::vector<Parameter*> Linear::Parameters() { return {&weight_, &bias_}; }
+
+size_t Linear::OutputCols(size_t input_cols) const {
+  assert(input_cols == in_dim_);
+  (void)input_cols;
+  return out_dim_;
+}
+
+void Linear::SetBias(float value) { bias_.value().Fill(value); }
+
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,39 @@
+// Fully-connected layer: y = x W + b.
+#ifndef SIMCARD_NN_LINEAR_H_
+#define SIMCARD_NN_LINEAR_H_
+
+#include "nn/layer.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief Affine layer with weight [in_dim, out_dim] and bias [1, out_dim].
+class Linear : public Layer {
+ public:
+  Linear(size_t in_dim, size_t out_dim, Rng* rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override { return "Linear"; }
+  size_t OutputCols(size_t input_cols) const override;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+  /// Overwrites the bias (used to warm-start the output head at the mean
+  /// log-cardinality of the training labels).
+  void SetBias(float value);
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  Parameter weight_;
+  Parameter bias_;
+  Matrix cached_input_;
+};
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_LINEAR_H_

@@ -1,0 +1,123 @@
+#include "nn/losses.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace simcard {
+namespace nn {
+namespace {
+
+// Clamp for the exponentiation of log-card predictions. 25 covers
+// cardinalities up to ~7e10, far beyond any dataset here; the clamp only
+// keeps early-training gradients finite. The gradient is passed straight
+// through the clamp so saturated predictions are still pushed back.
+constexpr float kLogCardLo = -10.0f;
+constexpr float kLogCardHi = 25.0f;
+
+}  // namespace
+
+double HybridCardLoss::Compute(const Matrix& pred, const Matrix& target,
+                               Matrix* grad) const {
+  assert(pred.rows() == target.rows());
+  assert(pred.cols() == 1 && target.cols() == 1);
+  const size_t batch = pred.rows();
+  if (grad != nullptr) *grad = Matrix(batch, 1);
+  double total = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    const float u =
+        std::min(kLogCardHi, std::max(kLogCardLo, pred.at(i, 0)));
+    const float e = std::exp(u);
+    const float y = target.at(i, 0);
+    const float yc = std::max(y, 0.1f);
+    const float mape = std::fabs(e - y) / yc;
+    float dmape = (e >= y ? 1.0f : -1.0f) * e / yc;
+    float q;
+    float dq;
+    if (e >= yc) {
+      q = e / yc;
+      dq = e / yc;
+    } else {
+      q = yc / e;
+      dq = -yc / e;
+    }
+    total += mape + lambda_ * q;
+    if (grad != nullptr) {
+      float g = dmape + lambda_ * dq;
+      g = std::min(grad_clip_, std::max(-grad_clip_, g));
+      grad->at(i, 0) = g * inv_batch;
+    }
+  }
+  return total / static_cast<double>(batch);
+}
+
+double WeightedBceLoss::Compute(const Matrix& logits, const Matrix& labels,
+                                const Matrix& penalty, Matrix* grad) const {
+  assert(logits.rows() == labels.rows() && logits.cols() == labels.cols());
+  assert(logits.rows() == penalty.rows() && logits.cols() == penalty.cols());
+  const size_t total_elems = logits.size();
+  if (grad != nullptr) *grad = Matrix(logits.rows(), logits.cols());
+  const float inv_n = 1.0f / static_cast<float>(total_elems);
+  const float* x = logits.data();
+  const float* r = labels.data();
+  const float* eps = penalty.data();
+  float* g = grad != nullptr ? grad->data() : nullptr;
+  double total = 0.0;
+  for (size_t i = 0; i < total_elems; ++i) {
+    const float prob = SigmoidScalar(x[i]);
+    // Numerically stable: log(sigmoid(x)) = -softplus(-x),
+    //                     log(1-sigmoid(x)) = -softplus(x).
+    const float log_i = -SoftplusScalar(-x[i]);
+    const float log_not_i = -SoftplusScalar(x[i]);
+    const float w_pos = 1.0f + eps[i];
+    total += -(r[i] * log_i * w_pos + (1.0f - r[i]) * log_not_i);
+    if (g != nullptr) {
+      g[i] = (r[i] * w_pos * (prob - 1.0f) + (1.0f - r[i]) * prob) * inv_n;
+    }
+  }
+  return total * inv_n;
+}
+
+double MseLoss::Compute(const Matrix& pred, const Matrix& target,
+                        Matrix* grad) const {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  const size_t n = pred.size();
+  if (grad != nullptr) *grad = Matrix(pred.rows(), pred.cols());
+  const float* p = pred.data();
+  const float* t = target.data();
+  float* g = grad != nullptr ? grad->data() : nullptr;
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const float d = p[i] - t[i];
+    total += static_cast<double>(d) * d;
+    if (g != nullptr) g[i] = 2.0f * d * inv_n;
+  }
+  return total / static_cast<double>(n);
+}
+
+Matrix MinMaxNormalizeRows(const Matrix& card) {
+  Matrix out(card.rows(), card.cols());
+  for (size_t r = 0; r < card.rows(); ++r) {
+    const float* src = card.Row(r);
+    float lo = src[0];
+    float hi = src[0];
+    for (size_t c = 1; c < card.cols(); ++c) {
+      lo = std::min(lo, src[c]);
+      hi = std::max(hi, src[c]);
+    }
+    float* dst = out.Row(r);
+    const float span = hi - lo;
+    if (span <= 0.0f) continue;  // constant row -> zero weights
+    for (size_t c = 0; c < card.cols(); ++c) {
+      dst[c] = (src[c] - lo) / span;
+    }
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace simcard

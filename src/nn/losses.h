@@ -1,0 +1,69 @@
+// Loss functions.
+//
+// HybridCardLoss is the paper's regression loss (Section 3.1):
+//     J = |e^u - y| / y  +  lambda * max(e^u, y) / min(e^u, y)
+// where u is the model's log-cardinality prediction and y the true
+// cardinality (floored at 0.1 when zero, per Section 2). The MAPE term
+// punishes relative error; the Q-error term counteracts MAPE's tendency to
+// underestimate. The loss is computed on the *exponentiated* output, so the
+// model regresses log(card), which compresses the zero-to-millions label
+// range (the paper's answer to "hard to fit them all").
+//
+// WeightedBceLoss is the paper's global-model loss (Section 3.3):
+//     -1/(n*Bs) * sum  R*log(I)*(1+eps) + (1-R)*log(1-I)
+// with eps the min-max-normalized per-query segment cardinality; the (1+eps)
+// term penalizes missing segments that hold many similar objects (Exp-6).
+#ifndef SIMCARD_NN_LOSSES_H_
+#define SIMCARD_NN_LOSSES_H_
+
+#include "tensor/matrix.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief Regression loss on log-cardinality predictions.
+class HybridCardLoss {
+ public:
+  /// `lambda` weights the Q-error term; `grad_clip` bounds per-sample
+  /// gradients (e^u explodes early in training otherwise).
+  explicit HybridCardLoss(float lambda = 0.2f, float grad_clip = 5.0f)
+      : lambda_(lambda), grad_clip_(grad_clip) {}
+
+  /// `pred` is [B,1] log-card estimates u; `target` is [B,1] true (raw)
+  /// cardinalities. Returns the mean loss; writes d(mean loss)/du into
+  /// `grad` ([B,1]) when non-null.
+  double Compute(const Matrix& pred, const Matrix& target, Matrix* grad) const;
+
+  float lambda() const { return lambda_; }
+
+ private:
+  float lambda_;
+  float grad_clip_;
+};
+
+/// \brief Cardinality-weighted binary cross-entropy on logits.
+class WeightedBceLoss {
+ public:
+  /// `logits` is [B,n] pre-sigmoid segment scores; `labels` is [B,n] in
+  /// {0,1}; `penalty` is [B,n] eps weights in [0,1] (pass an all-zero matrix
+  /// to disable the paper's penalty — the Exp-6 ablation). Returns mean
+  /// loss; writes d(mean)/dlogit into `grad` when non-null.
+  double Compute(const Matrix& logits, const Matrix& labels,
+                 const Matrix& penalty, Matrix* grad) const;
+};
+
+/// \brief Plain mean-squared-error, used by unit tests and the tuner's
+/// sanity fits.
+class MseLoss {
+ public:
+  double Compute(const Matrix& pred, const Matrix& target, Matrix* grad) const;
+};
+
+/// Min-max normalizes each row of `card` ([B,n] per-segment cardinalities)
+/// into the paper's eps weights. Rows with a constant value map to zeros.
+Matrix MinMaxNormalizeRows(const Matrix& card);
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_LOSSES_H_

@@ -1,0 +1,120 @@
+#include "nn/monotone_head.h"
+
+#include <cassert>
+
+#include "tensor/ops.h"
+
+namespace simcard {
+namespace nn {
+namespace {
+
+// Drops the tau slice from a batch of rows.
+Matrix DropSlice(const Matrix& input, size_t begin, size_t end) {
+  Matrix out(input.rows(), input.cols() - (end - begin));
+  for (size_t r = 0; r < input.rows(); ++r) {
+    const float* src = input.Row(r);
+    float* dst = out.Row(r);
+    for (size_t c = 0; c < begin; ++c) dst[c] = src[c];
+    for (size_t c = end; c < input.cols(); ++c) {
+      dst[begin + (c - end)] = src[c];
+    }
+  }
+  return out;
+}
+
+// Scatters a gradient over the reduced (tau-less) coordinates back into the
+// full coordinate space, adding into `full`.
+void ScatterSliceGrad(const Matrix& reduced, size_t begin, size_t end,
+                      Matrix* full) {
+  for (size_t r = 0; r < reduced.rows(); ++r) {
+    const float* src = reduced.Row(r);
+    float* dst = full->Row(r);
+    for (size_t c = 0; c < begin; ++c) dst[c] += src[c];
+    for (size_t c = end; c < full->cols(); ++c) {
+      dst[c] += src[begin + (c - end)];
+    }
+  }
+}
+
+void ReluInPlace(Matrix* m) {
+  float* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) {
+    if (d[i] < 0.0f) d[i] = 0.0f;
+  }
+}
+
+void ReluBackInPlace(const Matrix& pre, Matrix* grad) {
+  const float* p = pre.data();
+  float* g = grad->data();
+  for (size_t i = 0; i < grad->size(); ++i) {
+    if (p[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+}  // namespace
+
+MonotoneHead::MonotoneHead(size_t in_dim, size_t tau_begin, size_t tau_end,
+                           size_t mono_hidden, size_t free_hidden,
+                           size_t out_dim, Rng* rng)
+    : in_dim_(in_dim),
+      tau_begin_(tau_begin),
+      tau_end_(tau_end),
+      out_dim_(out_dim),
+      mono1_(in_dim, mono_hidden, tau_begin, tau_end, rng),
+      mono2_(mono_hidden, out_dim, rng),
+      free1_(in_dim - (tau_end - tau_begin), free_hidden, rng),
+      free2_(free_hidden, out_dim, rng) {
+  assert(tau_begin_ <= tau_end_ && tau_end_ <= in_dim_);
+}
+
+Matrix MonotoneHead::Forward(const Matrix& input) {
+  assert(input.cols() == in_dim_);
+  cached_mono_pre_ = mono1_.Forward(input);
+  Matrix h_mono = cached_mono_pre_;
+  ReluInPlace(&h_mono);
+
+  cached_free_pre_ = free1_.Forward(DropSlice(input, tau_begin_, tau_end_));
+  Matrix h_free = cached_free_pre_;
+  ReluInPlace(&h_free);
+
+  return Add(mono2_.Forward(h_mono), free2_.Forward(h_free));
+}
+
+Matrix MonotoneHead::Backward(const Matrix& grad_output) {
+  assert(grad_output.cols() == out_dim_);
+  // Mono branch.
+  Matrix g_mono = mono2_.Backward(grad_output);
+  ReluBackInPlace(cached_mono_pre_, &g_mono);
+  Matrix grad_input = mono1_.Backward(g_mono);
+  // Free branch.
+  Matrix g_free = free2_.Backward(grad_output);
+  ReluBackInPlace(cached_free_pre_, &g_free);
+  Matrix g_free_in = free1_.Backward(g_free);
+  ScatterSliceGrad(g_free_in, tau_begin_, tau_end_, &grad_input);
+  return grad_input;
+}
+
+std::vector<Parameter*> MonotoneHead::Parameters() {
+  std::vector<Parameter*> out;
+  for (Layer* layer :
+       {static_cast<Layer*>(&mono1_), static_cast<Layer*>(&mono2_),
+        static_cast<Layer*>(&free1_), static_cast<Layer*>(&free2_)}) {
+    auto ps = layer->Parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+size_t MonotoneHead::OutputCols(size_t input_cols) const {
+  assert(input_cols == in_dim_);
+  (void)input_cols;
+  return out_dim_;
+}
+
+void MonotoneHead::SetOutputBias(float value) {
+  free2_.SetBias(value);
+  mono2_.SetBias(0.0f);
+}
+
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,63 @@
+// Output head that is provably monotone in the threshold embedding while
+// remaining fully expressive in the other inputs.
+//
+// The paper requires estimates to be non-decreasing in tau (Section 2) and
+// achieves it with positive weights on the threshold path plus a "learnable
+// threshold before the Sigmoid" (Section 5.1). Forcing *all* output weights
+// positive would also make the output monotone in the query/distance
+// embeddings, which cripples discrimination (every output becomes an
+// increasing function of the same shared hidden features). MonotoneHead
+// instead splits the computation:
+//
+//   h_mono = ReLU(W_mono x),  W_mono rows for the tau slice positive
+//   h_free = ReLU(W_free x_without_tau)         (unconstrained)
+//   out    = V_pos h_mono + V_free h_free + b,  V_pos positive
+//
+// Every tau -> out path crosses only positive weights and monotone
+// activations, so out is non-decreasing in each tau-embedding coordinate;
+// the free branch never sees tau, so it is unconstrained.
+#ifndef SIMCARD_NN_MONOTONE_HEAD_H_
+#define SIMCARD_NN_MONOTONE_HEAD_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/positive_linear.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief Two-branch monotone output head.
+class MonotoneHead : public Layer {
+ public:
+  /// `tau_begin/tau_end` select the tau-embedding slice of the input.
+  MonotoneHead(size_t in_dim, size_t tau_begin, size_t tau_end,
+               size_t mono_hidden, size_t free_hidden, size_t out_dim,
+               Rng* rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override { return "MonotoneHead"; }
+  size_t OutputCols(size_t input_cols) const override;
+
+  /// Sets the additive output bias (warm start at mean log-card).
+  void SetOutputBias(float value);
+
+ private:
+  size_t in_dim_;
+  size_t tau_begin_;
+  size_t tau_end_;
+  size_t out_dim_;
+  PartialPositiveLinear mono1_;
+  PositiveLinear mono2_;
+  Linear free1_;  // input: columns outside the tau slice
+  Linear free2_;
+  Matrix cached_mono_pre_;  // pre-ReLU activations of the mono branch
+  Matrix cached_free_pre_;
+};
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_MONOTONE_HEAD_H_

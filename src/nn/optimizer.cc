@@ -1,0 +1,88 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace simcard {
+namespace nn {
+
+void Optimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double sq = 0.0;
+  for (Parameter* p : params_) {
+    const float* g = p->grad().data();
+    for (size_t i = 0; i < p->grad().size(); ++i) {
+      sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params_) {
+      float* g = p->grad().data();
+      for (size_t i = 0; i < p->grad().size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value().data();
+    const float* g = p->grad().data();
+    float* vel = velocity_[i].data();
+    for (size_t j = 0; j < p->value().size(); ++j) {
+      vel[j] = momentum_ * vel[j] - lr_ * g[j];
+      w[j] += vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value().rows(), p->value().cols());
+    v_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value().data();
+    const float* g = p->grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (size_t j = 0; j < p->value().size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace simcard

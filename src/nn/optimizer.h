@@ -1,0 +1,73 @@
+// Gradient-descent optimizers (Algorithm 1 / Algorithm 2 use plain
+// backward-propagation with gradient descent; Adam is the default here as it
+// is what PyTorch-era training pipelines of the paper's vintage used).
+#ifndef SIMCARD_NN_OPTIMIZER_H_
+#define SIMCARD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief Base optimizer over a fixed set of borrowed parameters.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears gradient accumulators on every parameter.
+  void ZeroGrad();
+
+  /// Scales all gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// \brief SGD with classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.9f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_OPTIMIZER_H_

@@ -1,0 +1,21 @@
+#include "nn/parameter.h"
+
+namespace simcard {
+namespace nn {
+
+void Parameter::ZeroGrad() { grad_.Fill(0.0f); }
+
+void Parameter::Serialize(Serializer* out) const {
+  out->WriteString(name_);
+  value_.Serialize(out);
+}
+
+Status Parameter::Deserialize(Deserializer* in) {
+  SIMCARD_RETURN_IF_ERROR(in->ReadString(&name_));
+  SIMCARD_RETURN_IF_ERROR(value_.Deserialize(in));
+  grad_ = Matrix(value_.rows(), value_.cols());
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,46 @@
+// Trainable parameter: a value matrix plus its gradient accumulator.
+#ifndef SIMCARD_NN_PARAMETER_H_
+#define SIMCARD_NN_PARAMETER_H_
+
+#include <string>
+
+#include "tensor/matrix.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief A named trainable tensor. Layers own their Parameters; optimizers
+/// hold raw pointers to them and must not outlive the owning layer.
+class Parameter {
+ public:
+  Parameter() = default;
+  Parameter(std::string name, Matrix value)
+      : name_(std::move(name)),
+        value_(std::move(value)),
+        grad_(value_.rows(), value_.cols()) {}
+
+  const std::string& name() const { return name_; }
+  Matrix& value() { return value_; }
+  const Matrix& value() const { return value_; }
+  Matrix& grad() { return grad_; }
+  const Matrix& grad() const { return grad_; }
+
+  /// Resets the gradient accumulator to zero.
+  void ZeroGrad();
+
+  /// Number of scalar weights (used for model-size accounting, Table 5).
+  size_t NumScalars() const { return value_.size(); }
+
+  void Serialize(Serializer* out) const;
+  Status Deserialize(Deserializer* in);
+
+ private:
+  std::string name_;
+  Matrix value_;
+  Matrix grad_;
+};
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_PARAMETER_H_

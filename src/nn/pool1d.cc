@@ -1,0 +1,133 @@
+#include "nn/pool1d.h"
+
+#include <cassert>
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace simcard {
+namespace nn {
+
+const char* PoolOpName(PoolOp op) {
+  switch (op) {
+    case PoolOp::kMax:
+      return "MAX";
+    case PoolOp::kAvg:
+      return "AVG";
+    case PoolOp::kSum:
+      return "SUM";
+  }
+  return "?";
+}
+
+size_t Pool1D::ComputeOutLength(size_t in_length, size_t kernel,
+                                size_t stride) {
+  if (kernel == 0 || stride == 0 || kernel > in_length) return 0;
+  return (in_length - kernel) / stride + 1;
+}
+
+Pool1D::Pool1D(size_t channels, size_t in_length, size_t kernel, size_t stride,
+               PoolOp op)
+    : channels_(channels),
+      in_length_(in_length),
+      kernel_(kernel),
+      stride_(stride),
+      op_(op),
+      out_length_(ComputeOutLength(in_length, kernel, stride)) {
+  assert(out_length_ > 0 && "infeasible pooling geometry");
+}
+
+Matrix Pool1D::Forward(const Matrix& input) {
+  assert(input.cols() == channels_ * in_length_);
+  const size_t batch = input.rows();
+  cached_batch_ = batch;
+  Matrix out(batch, channels_ * out_length_);
+  if (op_ == PoolOp::kMax) {
+    argmax_.assign(batch * channels_ * out_length_, 0);
+  }
+  for (size_t b = 0; b < batch; ++b) {
+    const float* x = input.Row(b);
+    float* y = out.Row(b);
+    for (size_t c = 0; c < channels_; ++c) {
+      const float* xchan = x + c * in_length_;
+      float* ychan = y + c * out_length_;
+      for (size_t ot = 0; ot < out_length_; ++ot) {
+        const size_t s = ot * stride_;
+        switch (op_) {
+          case PoolOp::kMax: {
+            float best = -std::numeric_limits<float>::infinity();
+            size_t best_t = s;
+            for (size_t k = 0; k < kernel_; ++k) {
+              if (xchan[s + k] > best) {
+                best = xchan[s + k];
+                best_t = s + k;
+              }
+            }
+            ychan[ot] = best;
+            argmax_[(b * channels_ + c) * out_length_ + ot] =
+                static_cast<uint32_t>(c * in_length_ + best_t);
+            break;
+          }
+          case PoolOp::kAvg: {
+            float acc = 0.0f;
+            for (size_t k = 0; k < kernel_; ++k) acc += xchan[s + k];
+            ychan[ot] = acc / static_cast<float>(kernel_);
+            break;
+          }
+          case PoolOp::kSum: {
+            float acc = 0.0f;
+            for (size_t k = 0; k < kernel_; ++k) acc += xchan[s + k];
+            ychan[ot] = acc;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Pool1D::Backward(const Matrix& grad_output) {
+  assert(grad_output.cols() == channels_ * out_length_);
+  const size_t batch = grad_output.rows();
+  assert(batch == cached_batch_);
+  Matrix grad_input(batch, channels_ * in_length_);
+  for (size_t b = 0; b < batch; ++b) {
+    const float* gy = grad_output.Row(b);
+    float* gx = grad_input.Row(b);
+    for (size_t c = 0; c < channels_; ++c) {
+      const float* gychan = gy + c * out_length_;
+      float* gxchan = gx + c * in_length_;
+      for (size_t ot = 0; ot < out_length_; ++ot) {
+        const float g = gychan[ot];
+        if (g == 0.0f) continue;
+        const size_t s = ot * stride_;
+        switch (op_) {
+          case PoolOp::kMax:
+            gx[argmax_[(b * channels_ + c) * out_length_ + ot]] += g;
+            break;
+          case PoolOp::kAvg: {
+            const float share = g / static_cast<float>(kernel_);
+            for (size_t k = 0; k < kernel_; ++k) gxchan[s + k] += share;
+            break;
+          }
+          case PoolOp::kSum:
+            for (size_t k = 0; k < kernel_; ++k) gxchan[s + k] += g;
+            break;
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+size_t Pool1D::OutputCols(size_t input_cols) const {
+  assert(input_cols == channels_ * in_length_);
+  (void)input_cols;
+  return channels_ * out_length_;
+}
+
+Matrix SumPoolRows(const Matrix& rows) { return SumRows(rows); }
+
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,60 @@
+// 1-D pooling (max / average / sum) over channel-major flattened signals.
+//
+// Pooling is one of the tunable hyperparameters of the paper's query
+// embedding network (theta_pker, theta_op in Section 5.2); sum pooling is
+// additionally the mechanism that aggregates query-set embeddings for
+// similarity joins (Section 4), implemented there as SumPoolRows.
+#ifndef SIMCARD_NN_POOL1D_H_
+#define SIMCARD_NN_POOL1D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace simcard {
+namespace nn {
+
+/// Pooling operator choice (the paper's theta_op in {MAX, AVG, SUM}).
+enum class PoolOp { kMax, kAvg, kSum };
+
+const char* PoolOpName(PoolOp op);
+
+/// \brief Non-padded 1-D pooling layer.
+class Pool1D : public Layer {
+ public:
+  Pool1D(size_t channels, size_t in_length, size_t kernel, size_t stride,
+         PoolOp op);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Pool1D"; }
+  size_t OutputCols(size_t input_cols) const override;
+
+  size_t out_length() const { return out_length_; }
+  size_t channels() const { return channels_; }
+
+  static size_t ComputeOutLength(size_t in_length, size_t kernel,
+                                 size_t stride);
+
+ private:
+  size_t channels_;
+  size_t in_length_;
+  size_t kernel_;
+  size_t stride_;
+  PoolOp op_;
+  size_t out_length_;
+  // For max pooling: flat index (within the row) of each output's argmax.
+  std::vector<uint32_t> argmax_;
+  size_t cached_batch_ = 0;
+};
+
+/// \brief Sum-pools a set of row vectors into one row (the paper's query-set
+/// embedding). Gradient of the sum w.r.t. each member row is the identity,
+/// so callers simply broadcast the output gradient back to every member.
+Matrix SumPoolRows(const Matrix& rows);
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_POOL1D_H_

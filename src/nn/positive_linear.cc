@@ -1,0 +1,101 @@
+#include "nn/positive_linear.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace simcard {
+namespace nn {
+namespace {
+
+float Softplus(float x) {
+  if (x > 20.0f) return x;
+  if (x < -20.0f) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+float SigmoidF(float x) {
+  if (x >= 0.0f) {
+    float e = std::exp(-x);
+    return 1.0f / (1.0f + e);
+  }
+  float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+}  // namespace
+
+PartialPositiveLinear::PartialPositiveLinear(size_t in_dim, size_t out_dim,
+                                             size_t pos_row_begin,
+                                             size_t pos_row_end, Rng* rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      pos_row_begin_(pos_row_begin),
+      pos_row_end_(pos_row_end),
+      raw_weight_("ppl.raw_weight", XavierUniform(in_dim, out_dim, rng)),
+      bias_("ppl.bias", Matrix(1, out_dim)) {
+  assert(pos_row_begin_ <= pos_row_end_ && pos_row_end_ <= in_dim_);
+  // Re-initialize the constrained rows so softplus(raw) has Xavier-like
+  // magnitude rather than softplus(~0) = 0.69 everywhere.
+  Matrix pos_init = PositiveRawInit(in_dim, out_dim, rng);
+  for (size_t r = pos_row_begin_; r < pos_row_end_; ++r) {
+    for (size_t c = 0; c < out_dim_; ++c) {
+      raw_weight_.value().at(r, c) = pos_init.at(r, c);
+    }
+  }
+}
+
+Matrix PartialPositiveLinear::EffectiveWeight() const {
+  Matrix w = raw_weight_.value();
+  for (size_t r = pos_row_begin_; r < pos_row_end_; ++r) {
+    float* row = w.Row(r);
+    for (size_t c = 0; c < out_dim_; ++c) row[c] = Softplus(row[c]);
+  }
+  return w;
+}
+
+Matrix PartialPositiveLinear::Forward(const Matrix& input) {
+  assert(input.cols() == in_dim_);
+  cached_input_ = input;
+  cached_effective_ = EffectiveWeight();
+  return AddRowBroadcast(MatMul(input, cached_effective_), bias_.value());
+}
+
+Matrix PartialPositiveLinear::Backward(const Matrix& grad_output) {
+  assert(grad_output.cols() == out_dim_);
+  Matrix grad_eff = MatMulTransposeA(cached_input_, grad_output);
+  // Chain rule through the reparameterization on constrained rows:
+  // d softplus(r) / d r = sigmoid(r).
+  for (size_t r = pos_row_begin_; r < pos_row_end_; ++r) {
+    const float* raw = raw_weight_.value().Row(r);
+    float* g = grad_eff.Row(r);
+    for (size_t c = 0; c < out_dim_; ++c) g[c] *= SigmoidF(raw[c]);
+  }
+  AddScaledInPlace(&raw_weight_.grad(), grad_eff, 1.0f);
+  AddScaledInPlace(&bias_.grad(), SumRows(grad_output), 1.0f);
+  return MatMulTransposeB(grad_output, cached_effective_);
+}
+
+std::vector<Parameter*> PartialPositiveLinear::Parameters() {
+  return {&raw_weight_, &bias_};
+}
+
+size_t PartialPositiveLinear::OutputCols(size_t input_cols) const {
+  assert(input_cols == in_dim_);
+  (void)input_cols;
+  return out_dim_;
+}
+
+void PartialPositiveLinear::SetBias(float value) { bias_.value().Fill(value); }
+
+void PartialPositiveLinear::InitBiasUniform(float lo, float hi, Rng* rng) {
+  float* b = bias_.value().data();
+  for (size_t i = 0; i < bias_.value().size(); ++i) {
+    b[i] = lo + (hi - lo) * rng->NextFloat();
+  }
+}
+
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,71 @@
+// Affine layers whose (selected) weights are constrained positive.
+//
+// The paper (Section 5.1) requires the threshold-embedding networks E2/E5 to
+// have all-positive weights so the cardinality estimate is monotone in the
+// distance threshold tau. We implement the constraint by softplus
+// reparameterization: the stored raw weight r maps to an effective weight
+// softplus(r) > 0, so unconstrained gradient steps preserve positivity
+// exactly (no clipping artifacts).
+//
+// PartialPositiveLinear generalizes this to the output head F: only the
+// weight *rows* corresponding to the tau-embedding slice of the concatenated
+// input are constrained, which together with monotone activations makes the
+// whole model provably non-decreasing in tau while leaving the query/data
+// towers unconstrained.
+#ifndef SIMCARD_NN_POSITIVE_LINEAR_H_
+#define SIMCARD_NN_POSITIVE_LINEAR_H_
+
+#include "nn/layer.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief Affine layer where weight rows [pos_row_begin, pos_row_end) are
+/// reparameterized to be strictly positive.
+class PartialPositiveLinear : public Layer {
+ public:
+  /// `pos_row_begin/end` select the *input* coordinates whose outgoing
+  /// weights must be positive. Rows outside the range behave like Linear.
+  PartialPositiveLinear(size_t in_dim, size_t out_dim, size_t pos_row_begin,
+                        size_t pos_row_end, Rng* rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override { return "PartialPositiveLinear"; }
+  size_t OutputCols(size_t input_cols) const override;
+
+  /// Effective (post-reparameterization) weight matrix; exposed for tests.
+  Matrix EffectiveWeight() const;
+
+  void SetBias(float value);
+
+  /// Initializes biases i.i.d. uniform in [lo, hi]. With positive weights
+  /// and ReLU, staggered biases make the units activate at different input
+  /// thresholds — a monotone hinge basis over the (standardized) input
+  /// range, which the tau towers need to resolve small threshold changes.
+  void InitBiasUniform(float lo, float hi, Rng* rng);
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  size_t pos_row_begin_;
+  size_t pos_row_end_;
+  Parameter raw_weight_;
+  Parameter bias_;
+  Matrix cached_input_;
+  Matrix cached_effective_;
+};
+
+/// \brief Affine layer with *all* weights positive (the paper's E2/E5).
+class PositiveLinear : public PartialPositiveLinear {
+ public:
+  PositiveLinear(size_t in_dim, size_t out_dim, Rng* rng)
+      : PartialPositiveLinear(in_dim, out_dim, 0, in_dim, rng) {}
+  std::string Name() const override { return "PositiveLinear"; }
+};
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_POSITIVE_LINEAR_H_

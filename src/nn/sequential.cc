@@ -1,0 +1,71 @@
+#include "nn/sequential.h"
+
+namespace simcard {
+namespace nn {
+
+Layer* Sequential::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return layers_.back().get();
+}
+
+Matrix Sequential::Forward(const Matrix& input) {
+  Matrix x = input;
+  for (auto& layer : layers_) {
+    x = layer->Forward(x);
+  }
+  return x;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    auto ps = layer->Parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+size_t Sequential::OutputCols(size_t input_cols) const {
+  size_t cols = input_cols;
+  for (const auto& layer : layers_) {
+    cols = layer->OutputCols(cols);
+  }
+  return cols;
+}
+
+void Sequential::Serialize(Serializer* out) const {
+  out->WriteU64(layers_.size());
+  for (const auto& layer : layers_) {
+    out->WriteString(layer->Name());
+    layer->Serialize(out);
+  }
+}
+
+Status Sequential::Deserialize(Deserializer* in) {
+  uint64_t n = 0;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&n));
+  if (n != layers_.size()) {
+    return Status::Internal("sequential layer count mismatch");
+  }
+  for (auto& layer : layers_) {
+    std::string name;
+    SIMCARD_RETURN_IF_ERROR(in->ReadString(&name));
+    if (name != layer->Name()) {
+      return Status::Internal("sequential layer type mismatch: expected " +
+                              layer->Name() + ", found " + name);
+    }
+    SIMCARD_RETURN_IF_ERROR(layer->Deserialize(in));
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,51 @@
+// Sequential container chaining layers.
+#ifndef SIMCARD_NN_SEQUENTIAL_H_
+#define SIMCARD_NN_SEQUENTIAL_H_
+
+#include <memory>
+
+#include "nn/layer.h"
+
+namespace simcard {
+namespace nn {
+
+/// \brief Runs layers in order; Backward replays them in reverse.
+///
+/// Used for every tower (E1..E6) and head (F, G) in simcard's models.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a borrowed pointer for further configuration.
+  Layer* Add(std::unique_ptr<Layer> layer);
+
+  /// Convenience: constructs L in place.
+  template <typename L, typename... Args>
+  L* Emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override { return "Sequential"; }
+  size_t OutputCols(size_t input_cols) const override;
+
+  void Serialize(Serializer* out) const override;
+  Status Deserialize(Deserializer* in) override;
+
+  size_t NumLayers() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+  bool empty() const { return layers_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace nn
+}  // namespace simcard
+
+#endif  // SIMCARD_NN_SEQUENTIAL_H_

@@ -1,0 +1,109 @@
+// Dense row-major float32 matrix.
+//
+// All neural-network state and activations in simcard are Matrix objects.
+// Rows are the batch dimension by convention; a vector is a 1xN matrix.
+// The class is deliberately small: shape bookkeeping, element access, and a
+// few whole-matrix helpers. Numerical kernels live in tensor/ops.h.
+#ifndef SIMCARD_TENSOR_MATRIX_H_
+#define SIMCARD_TENSOR_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace simcard {
+
+/// \brief Row-major float32 matrix with value semantics.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  Matrix(size_t rows, size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  /// All-zeros matrix.
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  /// Constant-filled matrix.
+  static Matrix Full(size_t rows, size_t cols, float value);
+
+  /// I.i.d. N(0, stddev^2) entries drawn from `rng`.
+  static Matrix Gaussian(size_t rows, size_t cols, float stddev, Rng* rng);
+
+  /// Wraps one row of external data (copies it) as a 1xN matrix.
+  static Matrix RowVector(const std::vector<float>& values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* Row(size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Copies `src` (length cols()) into row `r`.
+  void SetRow(size_t r, const float* src);
+
+  /// Returns a copy of rows [begin, end).
+  Matrix SliceRows(size_t begin, size_t end) const;
+
+  /// Returns a copy of columns [begin, end).
+  Matrix SliceCols(size_t begin, size_t end) const;
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  /// Frobenius norm.
+  double Norm() const;
+
+  /// Largest absolute element.
+  float MaxAbs() const;
+
+  /// True when shapes and all elements match `other` within `tol`.
+  bool AllClose(const Matrix& other, float tol = 1e-5f) const;
+
+  /// Debug rendering of shape + leading elements.
+  std::string ToString(size_t max_elems = 16) const;
+
+  void Serialize(Serializer* out) const;
+  Status Deserialize(Deserializer* in);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_TENSOR_MATRIX_H_

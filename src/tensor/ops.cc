@@ -1,0 +1,163 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace simcard {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const size_t n = a.rows();
+  const size_t k = a.cols();
+  const size_t m = b.cols();
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (size_t j = 0; j < m; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  const size_t k = a.cols();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (size_t p = 0; p < a.rows(); ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      t.at(j, i) = a.at(i, j);
+    }
+  }
+  return t;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c = a;
+  float* cd = c.data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < c.size(); ++i) cd[i] += bd[i];
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c = a;
+  float* cd = c.data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < c.size(); ++i) cd[i] -= bd[i];
+  return c;
+}
+
+Matrix Mul(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c = a;
+  float* cd = c.data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < c.size(); ++i) cd[i] *= bd[i];
+  return c;
+}
+
+Matrix Scale(const Matrix& a, float s) {
+  Matrix c = a;
+  float* cd = c.data();
+  for (size_t i = 0; i < c.size(); ++i) cd[i] *= s;
+  return c;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == a.cols());
+  Matrix c = a;
+  const float* bd = bias.data();
+  for (size_t r = 0; r < c.rows(); ++r) {
+    float* row = c.Row(r);
+    for (size_t j = 0; j < c.cols(); ++j) row[j] += bd[j];
+  }
+  return c;
+}
+
+Matrix SumRows(const Matrix& a) {
+  Matrix s(1, a.cols());
+  float* sd = s.data();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.Row(r);
+    for (size_t j = 0; j < a.cols(); ++j) sd[j] += row[j];
+  }
+  return s;
+}
+
+Matrix ConcatCols(const std::vector<Matrix>& parts) {
+  assert(!parts.empty());
+  size_t rows = parts[0].rows();
+  size_t cols = 0;
+  for (const auto& p : parts) {
+    assert(p.rows() == rows);
+    cols += p.cols();
+  }
+  Matrix out(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    float* dst = out.Row(r);
+    for (const auto& p : parts) {
+      const float* src = p.Row(r);
+      std::copy(src, src + p.cols(), dst);
+      dst += p.cols();
+    }
+  }
+  return out;
+}
+
+void AddScaledInPlace(Matrix* a, const Matrix& b, float s) {
+  assert(a->rows() == b.rows() && a->cols() == b.cols());
+  float* ad = a->data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < a->size(); ++i) ad[i] += s * bd[i];
+}
+
+void ClampInPlace(Matrix* a, float lo, float hi) {
+  float* ad = a->data();
+  for (size_t i = 0; i < a->size(); ++i) {
+    ad[i] = std::min(hi, std::max(lo, ad[i]));
+  }
+}
+
+}  // namespace simcard

@@ -1,0 +1,59 @@
+#include "workload/labels.h"
+
+#include <algorithm>
+
+#include "nn/losses.h"
+
+namespace simcard {
+
+std::vector<SampleRef> FlattenSearch(
+    const std::vector<LabeledQuery>& queries) {
+  std::vector<SampleRef> out;
+  for (const auto& q : queries) {
+    for (const auto& t : q.thresholds) {
+      out.push_back({q.row, t.tau, t.card});
+    }
+  }
+  return out;
+}
+
+std::vector<SampleRef> FlattenSegment(const std::vector<LabeledQuery>& queries,
+                                      size_t segment, double zero_keep_prob,
+                                      Rng* rng) {
+  std::vector<SampleRef> out;
+  for (const auto& q : queries) {
+    for (const auto& t : q.thresholds) {
+      const float seg_card =
+          segment < t.seg_cards.size() ? t.seg_cards[segment] : 0.0f;
+      if (seg_card <= 0.0f && rng != nullptr &&
+          !rng->NextBernoulli(zero_keep_prob)) {
+        continue;
+      }
+      out.push_back({q.row, t.tau, seg_card});
+    }
+  }
+  return out;
+}
+
+GlobalLabels BuildGlobalLabels(const std::vector<LabeledQuery>& queries,
+                               size_t num_segments) {
+  GlobalLabels out;
+  out.samples = FlattenSearch(queries);
+  const size_t s = out.samples.size();
+  out.labels = Matrix(s, num_segments);
+  Matrix seg_cards(s, num_segments);
+  size_t row = 0;
+  for (const auto& q : queries) {
+    for (const auto& t : q.thresholds) {
+      for (size_t i = 0; i < num_segments && i < t.seg_cards.size(); ++i) {
+        seg_cards.at(row, i) = t.seg_cards[i];
+        out.labels.at(row, i) = t.seg_cards[i] > 0.0f ? 1.0f : 0.0f;
+      }
+      ++row;
+    }
+  }
+  out.penalty = nn::MinMaxNormalizeRows(seg_cards);
+  return out;
+}
+
+}  // namespace simcard

@@ -1,0 +1,53 @@
+// Flattening labeled workloads into per-sample training views.
+//
+// A "sample" is one (query, tau) pair. Estimators gather query feature rows
+// by index at batch time instead of duplicating them 10x in memory.
+#ifndef SIMCARD_WORKLOAD_LABELS_H_
+#define SIMCARD_WORKLOAD_LABELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+#include "workload/queries.h"
+
+namespace simcard {
+
+/// \brief One flattened supervision sample.
+struct SampleRef {
+  uint32_t query_row = 0;  ///< row in the query matrix
+  float tau = 0.0f;
+  float card = 0.0f;  ///< target cardinality for this sample's scope
+};
+
+/// Flattens (query, tau, card) triples over the whole dataset.
+std::vector<SampleRef> FlattenSearch(const std::vector<LabeledQuery>& queries);
+
+/// Flattens per-segment samples for local-model training: card becomes the
+/// segment-level cardinality. Zero-cardinality samples are kept with
+/// probability `zero_keep_prob` (they teach the local model to output ~0
+/// for queries the global model routes in by mistake, without swamping the
+/// positives).
+std::vector<SampleRef> FlattenSegment(const std::vector<LabeledQuery>& queries,
+                                      size_t segment, double zero_keep_prob,
+                                      Rng* rng);
+
+/// \brief Global-model supervision (Algorithm 2).
+///
+/// For each sample j and segment i:
+///   labels R^{j}[i]  = 1 iff the segment holds at least one similar object;
+///   penalty eps^{j}[i] = min-max-normalized segment cardinality (the loss
+///   weight that stops the model from dropping high-cardinality segments).
+struct GlobalLabels {
+  std::vector<SampleRef> samples;  ///< card = total cardinality
+  Matrix labels;                   ///< [S, num_segments], 0/1
+  Matrix penalty;                  ///< [S, num_segments], in [0,1]
+};
+
+GlobalLabels BuildGlobalLabels(const std::vector<LabeledQuery>& queries,
+                               size_t num_segments);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_WORKLOAD_LABELS_H_

@@ -1,0 +1,126 @@
+#include "app/cli_app.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace simcard {
+namespace {
+
+int RunCli(std::vector<const char*> argv, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  argv.insert(argv.begin(), "simcard_cli");
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc =
+      RunCliApp(static_cast<int>(argv.size()), argv.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return rc;
+}
+
+TEST(CliAppTest, NoCommandPrintsUsage) {
+  std::string err;
+  EXPECT_EQ(RunCli({}, nullptr, &err), 2);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST(CliAppTest, UnknownCommandFails) {
+  std::string err;
+  EXPECT_EQ(RunCli({"frobnicate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliAppTest, GenerateRequiresFlags) {
+  std::string err;
+  EXPECT_EQ(RunCli({"generate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--dataset"), std::string::npos);
+}
+
+TEST(CliAppTest, GenerateUnknownDatasetFails) {
+  const std::string path = testing::TempDir() + "/cli_bad.bin";
+  std::string err;
+  EXPECT_EQ(RunCli({"generate", "--dataset=nope", ("--out=" + path).c_str()},
+                nullptr, &err),
+            1);
+}
+
+TEST(CliAppTest, FullPipelineGenerateTrainEstimateEvaluate) {
+  const std::string data_path = testing::TempDir() + "/cli_data.bin";
+  const std::string model_path = testing::TempDir() + "/cli_model.bin";
+  std::string out;
+  std::string err;
+
+  ASSERT_EQ(RunCli({"generate", "--dataset=glove-sim", "--scale=tiny",
+                 ("--out=" + data_path).c_str()},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+
+  ASSERT_EQ(RunCli({"train", ("--data=" + data_path).c_str(),
+                 "--method=GL-CNN", "--segments=4", "--scale=tiny",
+                 ("--out=" + model_path).c_str()},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("trained GL-CNN"), std::string::npos);
+
+  ASSERT_EQ(RunCli({"estimate", ("--data=" + data_path).c_str(),
+                 ("--model=" + model_path).c_str(), "--query-row=3",
+                 "--tau=0.1"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("card(row 3"), std::string::npos);
+
+  ASSERT_EQ(RunCli({"evaluate", ("--data=" + data_path).c_str(),
+                 ("--model=" + model_path).c_str(), "--segments=4",
+                 "--scale=tiny"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("Q-error"), std::string::npos);
+  EXPECT_NE(out.find("mean latency"), std::string::npos);
+
+  std::remove(data_path.c_str());
+  std::remove(model_path.c_str());
+}
+
+TEST(CliAppTest, TrainRejectsNonGlMethods) {
+  const std::string data_path = testing::TempDir() + "/cli_data2.bin";
+  std::string err;
+  ASSERT_EQ(RunCli({"generate", "--dataset=glove-sim", "--scale=tiny",
+                 ("--out=" + data_path).c_str()}),
+            0);
+  EXPECT_EQ(RunCli({"train", ("--data=" + data_path).c_str(), "--method=QES",
+                 "--scale=tiny", "--out=/tmp/x.bin"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("GL-family"), std::string::npos);
+  std::remove(data_path.c_str());
+}
+
+TEST(CliAppTest, EstimateRejectsBadRow) {
+  const std::string data_path = testing::TempDir() + "/cli_data3.bin";
+  const std::string model_path = testing::TempDir() + "/cli_model3.bin";
+  ASSERT_EQ(RunCli({"generate", "--dataset=glove-sim", "--scale=tiny",
+                 ("--out=" + data_path).c_str()}),
+            0);
+  ASSERT_EQ(RunCli({"train", ("--data=" + data_path).c_str(), "--segments=3",
+                 "--scale=tiny", ("--out=" + model_path).c_str()}),
+            0);
+  std::string err;
+  EXPECT_EQ(RunCli({"estimate", ("--data=" + data_path).c_str(),
+                 ("--model=" + model_path).c_str(), "--query-row=99999999",
+                 "--tau=0.1"},
+                nullptr, &err),
+            2);
+  std::remove(data_path.c_str());
+  std::remove(model_path.c_str());
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,98 @@
+#include "cluster/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace simcard {
+namespace {
+
+Matrix TwoBlobs(size_t per_blob, Rng* rng) {
+  Matrix m(per_blob * 2, 2);
+  for (size_t b = 0; b < 2; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      const size_t r = b * per_blob + i;
+      m.at(r, 0) = (b == 0 ? 0.0f : 20.0f) +
+                   0.3f * static_cast<float>(rng->NextGaussian());
+      m.at(r, 1) = 0.3f * static_cast<float>(rng->NextGaussian());
+    }
+  }
+  return m;
+}
+
+TEST(DbscanTest, RejectsBadInputs) {
+  DbscanOptions opts;
+  size_t n = 0;
+  EXPECT_FALSE(DbscanSegment(Matrix(), opts, &n).ok());
+  Matrix data(5, 2);
+  opts.eps = 0.0f;
+  EXPECT_FALSE(DbscanSegment(data, opts, &n).ok());
+}
+
+TEST(DbscanTest, SeparatesTwoBlobs) {
+  Rng rng(1);
+  Matrix data = TwoBlobs(150, &rng);
+  DbscanOptions opts;
+  opts.eps = 1.0f;
+  opts.min_pts = 5;
+  size_t num_segments = 0;
+  auto assignment = DbscanSegment(data, opts, &num_segments).value();
+  EXPECT_EQ(num_segments, 2u);
+  std::set<uint32_t> first(assignment.begin(), assignment.begin() + 150);
+  std::set<uint32_t> second(assignment.begin() + 150, assignment.end());
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_NE(*first.begin(), *second.begin());
+}
+
+TEST(DbscanTest, AllNoiseFallsBackToOneSegment) {
+  // Points too sparse for any core point.
+  Rng rng(2);
+  Matrix data = Matrix::Gaussian(60, 2, 100.0f, &rng);
+  DbscanOptions opts;
+  opts.eps = 0.01f;
+  opts.min_pts = 5;
+  size_t num_segments = 0;
+  auto assignment = DbscanSegment(data, opts, &num_segments).value();
+  EXPECT_EQ(num_segments, 1u);
+  for (uint32_t a : assignment) EXPECT_EQ(a, 0u);
+}
+
+TEST(DbscanTest, NoiseAssignedToNearestCluster) {
+  Rng rng(3);
+  Matrix data = TwoBlobs(100, &rng);
+  // Add two isolated outliers near each blob.
+  Matrix with_outliers(202, 2);
+  for (size_t r = 0; r < 200; ++r) {
+    with_outliers.at(r, 0) = data.at(r, 0);
+    with_outliers.at(r, 1) = data.at(r, 1);
+  }
+  with_outliers.at(200, 0) = 3.0f;   // nearer blob 0
+  with_outliers.at(201, 0) = 17.0f;  // nearer blob 1
+  DbscanOptions opts;
+  opts.eps = 1.0f;
+  opts.min_pts = 5;
+  size_t num_segments = 0;
+  auto assignment = DbscanSegment(with_outliers, opts, &num_segments).value();
+  ASSERT_EQ(num_segments, 2u);
+  EXPECT_EQ(assignment[200], assignment[0]);
+  EXPECT_EQ(assignment[201], assignment[150]);
+}
+
+TEST(DbscanTest, SubsamplingStillCoversAllRows) {
+  Rng rng(4);
+  Matrix data = TwoBlobs(2000, &rng);  // above max_core_rows
+  DbscanOptions opts;
+  opts.eps = 1.0f;
+  opts.min_pts = 5;
+  opts.max_core_rows = 500;
+  size_t num_segments = 0;
+  auto assignment = DbscanSegment(data, opts, &num_segments).value();
+  EXPECT_EQ(assignment.size(), 4000u);
+  EXPECT_EQ(num_segments, 2u);
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,121 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dist/metric.h"
+
+namespace simcard {
+namespace {
+
+// Four well-separated blobs in 2-D.
+Matrix FourBlobs(size_t per_blob, Rng* rng) {
+  const float centers[4][2] = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  Matrix m(per_blob * 4, 2);
+  for (size_t b = 0; b < 4; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      const size_t r = b * per_blob + i;
+      m.at(r, 0) = centers[b][0] + 0.3f * static_cast<float>(rng->NextGaussian());
+      m.at(r, 1) = centers[b][1] + 0.3f * static_cast<float>(rng->NextGaussian());
+    }
+  }
+  return m;
+}
+
+TEST(KMeansTest, RejectsBadInputs) {
+  KMeansOptions opts;
+  EXPECT_FALSE(MiniBatchKMeans(Matrix(), opts).ok());
+  opts.k = 0;
+  Matrix data(10, 2);
+  EXPECT_FALSE(MiniBatchKMeans(data, opts).ok());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  Matrix data = FourBlobs(100, &rng);
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.seed = 3;
+  auto result = MiniBatchKMeans(data, opts).value();
+  // Points from the same blob share a cluster; different blobs differ.
+  for (size_t b = 0; b < 4; ++b) {
+    std::set<uint32_t> labels;
+    for (size_t i = 0; i < 100; ++i) {
+      labels.insert(result.assignment[b * 100 + i]);
+    }
+    EXPECT_EQ(labels.size(), 1u) << "blob " << b << " split across clusters";
+  }
+  std::set<uint32_t> blob_labels;
+  for (size_t b = 0; b < 4; ++b) blob_labels.insert(result.assignment[b * 100]);
+  EXPECT_EQ(blob_labels.size(), 4u);
+}
+
+TEST(KMeansTest, InertiaSmallOnTightBlobs) {
+  Rng rng(2);
+  Matrix data = FourBlobs(80, &rng);
+  KMeansOptions opts;
+  opts.k = 4;
+  auto result = MiniBatchKMeans(data, opts).value();
+  EXPECT_LT(result.inertia, 1.0);  // within-blob variance ~0.18
+}
+
+TEST(KMeansTest, AssignmentMatchesNearestCentroid) {
+  Rng rng(3);
+  Matrix data = FourBlobs(50, &rng);
+  KMeansOptions opts;
+  opts.k = 4;
+  auto result = MiniBatchKMeans(data, opts).value();
+  for (size_t i = 0; i < data.rows(); ++i) {
+    EXPECT_EQ(result.assignment[i],
+              NearestCentroid(result.centroids, data.Row(i)));
+  }
+}
+
+TEST(KMeansTest, KClampedToDataSize) {
+  Matrix data(3, 2);
+  data.at(0, 0) = 1;
+  data.at(1, 0) = 2;
+  data.at(2, 0) = 3;
+  KMeansOptions opts;
+  opts.k = 10;
+  auto result = MiniBatchKMeans(data, opts).value();
+  EXPECT_EQ(result.centroids.rows(), 3u);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(4);
+  Matrix data = FourBlobs(60, &rng);
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.seed = 77;
+  auto a = MiniBatchKMeans(data, opts).value();
+  auto b = MiniBatchKMeans(data, opts).value();
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_TRUE(a.centroids.AllClose(b.centroids, 0.0f));
+}
+
+TEST(KMeansTest, DegenerateIdenticalPoints) {
+  Matrix data = Matrix::Full(20, 3, 1.0f);
+  KMeansOptions opts;
+  opts.k = 4;
+  auto result_or = MiniBatchKMeans(data, opts);
+  ASSERT_TRUE(result_or.ok());
+  EXPECT_NEAR(result_or.value().inertia, 0.0, 1e-9);
+}
+
+TEST(NearestCentroidTest, PicksClosest) {
+  Matrix centroids(3, 1);
+  centroids.at(0, 0) = 0.0f;
+  centroids.at(1, 0) = 5.0f;
+  centroids.at(2, 0) = 10.0f;
+  const float q1 = 1.0f;
+  const float q2 = 6.0f;
+  const float q3 = 100.0f;
+  EXPECT_EQ(NearestCentroid(centroids, &q1), 0u);
+  EXPECT_EQ(NearestCentroid(centroids, &q2), 1u);
+  EXPECT_EQ(NearestCentroid(centroids, &q3), 2u);
+}
+
+}  // namespace
+}  // namespace simcard

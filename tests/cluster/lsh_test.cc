@@ -1,0 +1,80 @@
+#include "cluster/lsh.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace simcard {
+namespace {
+
+TEST(LshTest, RejectsBadInputs) {
+  LshOptions opts;
+  size_t n = 0;
+  EXPECT_FALSE(LshSegment(Matrix(), opts, &n).ok());
+  Matrix data(10, 2);
+  opts.bits = 0;
+  EXPECT_FALSE(LshSegment(data, opts, &n).ok());
+}
+
+TEST(LshTest, AssignsEveryRow) {
+  Rng rng(1);
+  Matrix data = Matrix::Gaussian(500, 8, 1.0f, &rng);
+  LshOptions opts;
+  opts.bits = 5;
+  opts.target_segments = 8;
+  size_t num_segments = 0;
+  auto assignment = LshSegment(data, opts, &num_segments).value();
+  EXPECT_EQ(assignment.size(), 500u);
+  EXPECT_LE(num_segments, 8u);
+  EXPECT_GE(num_segments, 2u);
+  for (uint32_t a : assignment) EXPECT_LT(a, num_segments);
+}
+
+TEST(LshTest, IdenticalVectorsShareSegment) {
+  Rng rng(2);
+  Matrix data(100, 4);
+  // Two groups of identical rows.
+  for (size_t r = 0; r < 100; ++r) {
+    data.at(r, 0) = r < 50 ? 1.0f : -1.0f;
+    data.at(r, 1) = r < 50 ? 2.0f : -2.0f;
+  }
+  LshOptions opts;
+  opts.bits = 4;
+  opts.target_segments = 4;
+  size_t num_segments = 0;
+  auto assignment = LshSegment(data, opts, &num_segments).value();
+  std::set<uint32_t> first(assignment.begin(), assignment.begin() + 50);
+  std::set<uint32_t> second(assignment.begin() + 50, assignment.end());
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_NE(*first.begin(), *second.begin());
+}
+
+TEST(LshTest, DeterministicForSeed) {
+  Rng rng(3);
+  Matrix data = Matrix::Gaussian(200, 6, 1.0f, &rng);
+  LshOptions opts;
+  opts.seed = 9;
+  size_t n1 = 0;
+  size_t n2 = 0;
+  auto a = LshSegment(data, opts, &n1).value();
+  auto b = LshSegment(data, opts, &n2).value();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(n1, n2);
+}
+
+TEST(LshModelTest, HashIsSignPattern) {
+  LshModel model;
+  model.hyperplanes = Matrix(2, 2);
+  model.hyperplanes.at(0, 0) = 1.0f;  // bit0: sign of x
+  model.hyperplanes.at(1, 1) = 1.0f;  // bit1: sign of y
+  const float pp[] = {1.0f, 1.0f};
+  const float pn[] = {1.0f, -1.0f};
+  const float nn[] = {-1.0f, -1.0f};
+  EXPECT_EQ(model.Hash(pp), 0b11u);
+  EXPECT_EQ(model.Hash(pn), 0b01u);
+  EXPECT_EQ(model.Hash(nn), 0b00u);
+}
+
+}  // namespace
+}  // namespace simcard

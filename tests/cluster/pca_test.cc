@@ -1,0 +1,126 @@
+#include "cluster/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/metric.h"
+
+namespace simcard {
+namespace {
+
+// Data with variance concentrated along a known direction.
+Matrix AnisotropicData(size_t n, size_t d, Rng* rng) {
+  Matrix m(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    const float main_axis = 10.0f * static_cast<float>(rng->NextGaussian());
+    for (size_t c = 0; c < d; ++c) {
+      m.at(r, c) = 0.1f * static_cast<float>(rng->NextGaussian());
+    }
+    m.at(r, 0) += main_axis;        // dominant direction e0
+    m.at(r, 1) += 0.5f * main_axis; // correlated
+  }
+  return m;
+}
+
+TEST(PcaTest, RejectsEmptyData) {
+  PcaOptions opts;
+  EXPECT_FALSE(FitPca(Matrix(), opts).ok());
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  Rng rng(1);
+  Matrix data = AnisotropicData(500, 10, &rng);
+  PcaOptions opts;
+  opts.num_components = 4;
+  auto model = FitPca(data, opts).value();
+  const Matrix& c = model.components;
+  for (size_t i = 0; i < c.cols(); ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double dot = 0;
+      for (size_t r = 0; r < c.rows(); ++r) {
+        dot += static_cast<double>(c.at(r, i)) * c.at(r, j);
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-3) << i << "," << j;
+    }
+  }
+}
+
+TEST(PcaTest, FirstComponentAlignsWithDominantDirection) {
+  Rng rng(2);
+  Matrix data = AnisotropicData(1000, 8, &rng);
+  PcaOptions opts;
+  opts.num_components = 2;
+  auto model = FitPca(data, opts).value();
+  // The dominant direction is (1, 0.5, 0, ...)/norm.
+  float expected[8] = {0};
+  expected[0] = 1.0f;
+  expected[1] = 0.5f;
+  NormalizeRow(expected, 8);
+  double dot = 0;
+  for (size_t r = 0; r < 8; ++r) {
+    dot += static_cast<double>(model.components.at(r, 0)) * expected[r];
+  }
+  EXPECT_GT(std::fabs(dot), 0.99);
+}
+
+TEST(PcaTest, EigenvaluesDescending) {
+  Rng rng(3);
+  Matrix data = AnisotropicData(800, 6, &rng);
+  PcaOptions opts;
+  opts.num_components = 3;
+  auto model = FitPca(data, opts).value();
+  EXPECT_GE(model.explained_variance[0], model.explained_variance[1]);
+  EXPECT_GE(model.explained_variance[1], model.explained_variance[2]);
+  EXPECT_GT(model.explained_variance[0], 10.0f);  // dominant axis var ~100
+}
+
+TEST(PcaTest, ProjectReducesDimension) {
+  Rng rng(4);
+  Matrix data = AnisotropicData(200, 12, &rng);
+  PcaOptions opts;
+  opts.num_components = 5;
+  auto model = FitPca(data, opts).value();
+  Matrix projected = model.Project(data);
+  EXPECT_EQ(projected.rows(), 200u);
+  EXPECT_EQ(projected.cols(), 5u);
+}
+
+TEST(PcaTest, ProjectRowMatchesBatchProject) {
+  Rng rng(5);
+  Matrix data = AnisotropicData(100, 7, &rng);
+  PcaOptions opts;
+  opts.num_components = 3;
+  auto model = FitPca(data, opts).value();
+  Matrix batch = model.Project(data);
+  std::vector<float> row(3);
+  for (size_t r = 0; r < 10; ++r) {
+    model.ProjectRow(data.Row(r), row.data());
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(row[c], batch.at(r, c), 1e-4f);
+    }
+  }
+}
+
+TEST(PcaTest, ComponentCountClampedToDim) {
+  Rng rng(6);
+  Matrix data = AnisotropicData(100, 4, &rng);
+  PcaOptions opts;
+  opts.num_components = 99;
+  auto model = FitPca(data, opts).value();
+  EXPECT_EQ(model.output_dim(), 4u);
+}
+
+TEST(PcaTest, DeterministicForSeed) {
+  Rng rng(7);
+  Matrix data = AnisotropicData(300, 6, &rng);
+  PcaOptions opts;
+  opts.num_components = 2;
+  opts.seed = 42;
+  auto a = FitPca(data, opts).value();
+  auto b = FitPca(data, opts).value();
+  EXPECT_TRUE(a.components.AllClose(b.components, 0.0f));
+}
+
+}  // namespace
+}  // namespace simcard

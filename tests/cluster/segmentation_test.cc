@@ -1,0 +1,149 @@
+#include "cluster/segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace simcard {
+namespace {
+
+Dataset TinyClustered(uint64_t seed = 5) {
+  return MakeAnalogDataset("glove-sim", Scale::kTiny, seed).value();
+}
+
+TEST(SegmentationMethodTest, NamesRoundTrip) {
+  for (SegmentationMethod m :
+       {SegmentationMethod::kPcaKMeans, SegmentationMethod::kLsh,
+        SegmentationMethod::kDbscan}) {
+    auto parsed = ParseSegmentationMethod(SegmentationMethodName(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), m);
+  }
+  EXPECT_FALSE(ParseSegmentationMethod("foo").ok());
+}
+
+TEST(SegmentationTest, RejectsBadInputs) {
+  SegmentationOptions opts;
+  EXPECT_FALSE(SegmentData(Dataset(), opts).ok());
+  Dataset d = TinyClustered();
+  opts.target_segments = 0;
+  EXPECT_FALSE(SegmentData(d, opts).ok());
+}
+
+TEST(SegmentationTest, PartitionIsComplete) {
+  Dataset d = TinyClustered();
+  SegmentationOptions opts;
+  opts.target_segments = 8;
+  auto seg = SegmentData(d, opts).value();
+  EXPECT_LE(seg.num_segments(), 8u);
+  EXPECT_GE(seg.num_segments(), 2u);
+  EXPECT_EQ(seg.assignment.size(), d.size());
+  size_t total = 0;
+  for (size_t s = 0; s < seg.num_segments(); ++s) {
+    EXPECT_FALSE(seg.members[s].empty()) << "empty segment " << s;
+    total += seg.members[s].size();
+    for (uint32_t idx : seg.members[s]) {
+      EXPECT_EQ(seg.assignment[idx], s);
+    }
+  }
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(SegmentationTest, SingleSegmentTrivial) {
+  Dataset d = TinyClustered();
+  SegmentationOptions opts;
+  opts.target_segments = 1;
+  auto seg = SegmentData(d, opts).value();
+  EXPECT_EQ(seg.num_segments(), 1u);
+  EXPECT_EQ(seg.members[0].size(), d.size());
+}
+
+TEST(SegmentationTest, RadiusCoversMembers) {
+  Dataset d = TinyClustered();
+  SegmentationOptions opts;
+  opts.target_segments = 6;
+  auto seg = SegmentData(d, opts).value();
+  for (size_t s = 0; s < seg.num_segments(); ++s) {
+    for (uint32_t idx : seg.members[s]) {
+      const float dist = Distance(d.Point(idx), seg.centroids.Row(s), d.dim(),
+                                  d.metric());
+      EXPECT_LE(dist, seg.radius[s] + 1e-5f);
+    }
+  }
+}
+
+TEST(SegmentationTest, CentroidDistancesWidth) {
+  Dataset d = TinyClustered();
+  SegmentationOptions opts;
+  opts.target_segments = 5;
+  auto seg = SegmentData(d, opts).value();
+  auto xc = seg.CentroidDistances(d.Point(0), d.dim(), d.metric());
+  EXPECT_EQ(xc.size(), seg.num_segments());
+  for (float v : xc) EXPECT_GE(v, 0.0f);
+}
+
+TEST(SegmentationTest, NearestSegmentAgreesWithOwnAssignmentMostly) {
+  Dataset d = TinyClustered();
+  SegmentationOptions opts;
+  opts.target_segments = 8;
+  auto seg = SegmentData(d, opts).value();
+  size_t agree = 0;
+  const size_t probes = 200;
+  for (size_t i = 0; i < probes; ++i) {
+    if (seg.NearestSegment(d.Point(i), d.dim(), d.metric()) ==
+        seg.assignment[i]) {
+      ++agree;
+    }
+  }
+  // K-means in PCA space vs centroid distance in original space mostly
+  // agree on clustered data.
+  EXPECT_GT(agree, probes * 6 / 10);
+}
+
+TEST(SegmentationTest, AddPointUpdatesState) {
+  Dataset d = TinyClustered();
+  SegmentationOptions opts;
+  opts.target_segments = 4;
+  auto seg = SegmentData(d, opts).value();
+  const size_t target = 2;
+  const size_t before = seg.members[target].size();
+  std::vector<float> point(seg.centroids.Row(target),
+                           seg.centroids.Row(target) + d.dim());
+  const uint32_t new_index = static_cast<uint32_t>(d.size());
+  seg.AddPoint(target, new_index, point.data(), d.dim(), d.metric());
+  EXPECT_EQ(seg.members[target].size(), before + 1);
+  EXPECT_EQ(seg.assignment[new_index], target);
+}
+
+TEST(SegmentationTest, AllMethodsProducePartitions) {
+  Dataset d = TinyClustered();
+  for (SegmentationMethod m :
+       {SegmentationMethod::kPcaKMeans, SegmentationMethod::kLsh,
+        SegmentationMethod::kDbscan}) {
+    SegmentationOptions opts;
+    opts.target_segments = 8;
+    opts.method = m;
+    auto seg_or = SegmentData(d, opts);
+    ASSERT_TRUE(seg_or.ok()) << SegmentationMethodName(m);
+    const auto& seg = seg_or.value();
+    size_t total = 0;
+    for (const auto& members : seg.members) total += members.size();
+    EXPECT_EQ(total, d.size()) << SegmentationMethodName(m);
+  }
+}
+
+TEST(SegmentationTest, PcaKMeansCohesionBeatsLsh) {
+  // The paper's stated reason for choosing PCA+K-means (Section 3.3).
+  Dataset d = TinyClustered();
+  SegmentationOptions opts;
+  opts.target_segments = 8;
+  auto km = SegmentData(d, opts).value();
+  opts.method = SegmentationMethod::kLsh;
+  auto lsh = SegmentData(d, opts).value();
+  const double km_score = SegmentationCohesion(d, km, 300, 1);
+  const double lsh_score = SegmentationCohesion(d, lsh, 300, 1);
+  EXPECT_GT(km_score, lsh_score);
+}
+
+}  // namespace
+}  // namespace simcard

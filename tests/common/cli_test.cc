@@ -1,0 +1,87 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simcard {
+namespace {
+
+CommandLine MustParse(std::vector<const char*> argv,
+                      std::vector<std::string> known) {
+  auto result = CommandLine::Parse(static_cast<int>(argv.size()),
+                                   const_cast<char**>(argv.data()), known);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+TEST(CliTest, ParsesEqualsForm) {
+  auto cl = MustParse({"prog", "--scale=small", "--segments=32"},
+                      {"scale", "segments"});
+  EXPECT_EQ(cl.GetString("scale", ""), "small");
+  EXPECT_EQ(cl.GetInt("segments", 0), 32);
+}
+
+TEST(CliTest, ParsesSpaceForm) {
+  auto cl = MustParse({"prog", "--scale", "tiny"}, {"scale"});
+  EXPECT_EQ(cl.GetString("scale", ""), "tiny");
+}
+
+TEST(CliTest, BareFlagIsTrue) {
+  auto cl = MustParse({"prog", "--verbose"}, {"verbose"});
+  EXPECT_TRUE(cl.GetBool("verbose", false));
+}
+
+TEST(CliTest, UnknownFlagFails) {
+  const char* argv[] = {"prog", "--nope=1"};
+  auto result = CommandLine::Parse(2, const_cast<char**>(argv), {"scale"});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, FallbacksWhenAbsent) {
+  auto cl = MustParse({"prog"}, {"scale", "n", "x", "flag"});
+  EXPECT_EQ(cl.GetString("scale", "small"), "small");
+  EXPECT_EQ(cl.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cl.GetDouble("x", 2.5), 2.5);
+  EXPECT_TRUE(cl.GetBool("flag", true));
+  EXPECT_FALSE(cl.Has("scale"));
+}
+
+TEST(CliTest, ParsesDouble) {
+  auto cl = MustParse({"prog", "--sigma=0.25"}, {"sigma"});
+  EXPECT_DOUBLE_EQ(cl.GetDouble("sigma", 0.0), 0.25);
+}
+
+TEST(CliTest, ParsesStringList) {
+  auto cl = MustParse({"prog", "--datasets=a,b,c"}, {"datasets"});
+  auto list = cl.GetStringList("datasets", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], "a");
+  EXPECT_EQ(list[2], "c");
+}
+
+TEST(CliTest, StringListFallback) {
+  auto cl = MustParse({"prog"}, {"datasets"});
+  auto list = cl.GetStringList("datasets", {"x", "y"});
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[1], "y");
+}
+
+TEST(CliTest, BenchmarkFlagsArePassedThrough) {
+  auto cl = MustParse({"prog", "--benchmark_filter=abc", "--scale=tiny"},
+                      {"scale"});
+  EXPECT_EQ(cl.GetString("scale", ""), "tiny");
+}
+
+TEST(CliTest, BoolParsesVariants) {
+  auto cl = MustParse({"prog", "--a=true", "--b=1", "--c=yes", "--d=false"},
+                      {"a", "b", "c", "d"});
+  EXPECT_TRUE(cl.GetBool("a", false));
+  EXPECT_TRUE(cl.GetBool("b", false));
+  EXPECT_TRUE(cl.GetBool("c", false));
+  EXPECT_FALSE(cl.GetBool("d", true));
+}
+
+}  // namespace
+}  // namespace simcard

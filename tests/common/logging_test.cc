@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, MacroCompilesForAllSeverities) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);  // suppress output during the test
+  SIMCARD_LOG(DEBUG) << "debug " << 1;
+  SIMCARD_LOG(INFO) << "info " << 2;
+  SIMCARD_LOG(WARN) << "warn " << 3;
+  SIMCARD_LOG(ERROR) << "error " << 4;
+  SetLogLevel(saved);
+  SUCCEED();
+}
+
+TEST(LoggingTest, BelowThresholdStreamNotEvaluated) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  SIMCARD_LOG(DEBUG) << count();
+  EXPECT_EQ(evaluations, 0);  // the whole statement is guarded by the level
+  SIMCARD_LOG(ERROR) << count();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(saved);
+}
+
+}  // namespace
+}  // namespace simcard

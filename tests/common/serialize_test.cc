@@ -1,0 +1,114 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace simcard {
+namespace {
+
+TEST(SerializeTest, PrimitivesRoundTrip) {
+  Serializer out;
+  out.WriteU32(7);
+  out.WriteU64(1ULL << 40);
+  out.WriteI64(-12345);
+  out.WriteF32(3.5f);
+  out.WriteF64(-2.25);
+  out.WriteString("hello world");
+
+  Deserializer in(out.bytes());
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  std::string s;
+  ASSERT_TRUE(in.ReadU32(&u32).ok());
+  ASSERT_TRUE(in.ReadU64(&u64).ok());
+  ASSERT_TRUE(in.ReadI64(&i64).ok());
+  ASSERT_TRUE(in.ReadF32(&f32).ok());
+  ASSERT_TRUE(in.ReadF64(&f64).ok());
+  ASSERT_TRUE(in.ReadString(&s).ok());
+  EXPECT_EQ(u32, 7u);
+  EXPECT_EQ(u64, 1ULL << 40);
+  EXPECT_EQ(i64, -12345);
+  EXPECT_EQ(f32, 3.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_EQ(s, "hello world");
+  EXPECT_TRUE(in.AtEnd());
+}
+
+TEST(SerializeTest, VectorsRoundTrip) {
+  Serializer out;
+  std::vector<float> floats{1.0f, -2.0f, 0.5f};
+  std::vector<uint64_t> ints{9, 8, 7, 6};
+  out.WriteFloatVector(floats);
+  out.WriteU64Vector(ints);
+
+  Deserializer in(out.bytes());
+  std::vector<float> f2;
+  std::vector<uint64_t> i2;
+  ASSERT_TRUE(in.ReadFloatVector(&f2).ok());
+  ASSERT_TRUE(in.ReadU64Vector(&i2).ok());
+  EXPECT_EQ(f2, floats);
+  EXPECT_EQ(i2, ints);
+}
+
+TEST(SerializeTest, EmptyVectorAndStringRoundTrip) {
+  Serializer out;
+  out.WriteString("");
+  out.WriteFloatVector({});
+  Deserializer in(out.bytes());
+  std::string s = "junk";
+  std::vector<float> v{1.0f};
+  ASSERT_TRUE(in.ReadString(&s).ok());
+  ASSERT_TRUE(in.ReadFloatVector(&v).ok());
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SerializeTest, ReadPastEndFails) {
+  Serializer out;
+  out.WriteU32(1);
+  Deserializer in(out.bytes());
+  uint64_t v = 0;
+  Status s = in.ReadU64(&v);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, TruncatedVectorFails) {
+  Serializer out;
+  out.WriteU64(1000);  // claims 1000 floats but provides none
+  Deserializer in(out.bytes());
+  std::vector<float> v;
+  EXPECT_FALSE(in.ReadFloatVector(&v).ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/simcard_serialize_test.bin";
+  Serializer out;
+  out.WriteString("file payload");
+  out.WriteF64(1.125);
+  ASSERT_TRUE(out.SaveToFile(path).ok());
+
+  auto in_or = Deserializer::FromFile(path);
+  ASSERT_TRUE(in_or.ok()) << in_or.status().ToString();
+  Deserializer in = std::move(in_or).value();
+  std::string s;
+  double d = 0;
+  ASSERT_TRUE(in.ReadString(&s).ok());
+  ASSERT_TRUE(in.ReadF64(&d).ok());
+  EXPECT_EQ(s, "file payload");
+  EXPECT_EQ(d, 1.125);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  auto in_or = Deserializer::FromFile("/nonexistent/simcard.bin");
+  EXPECT_FALSE(in_or.ok());
+  EXPECT_EQ(in_or.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace simcard

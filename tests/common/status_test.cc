@@ -1,0 +1,90 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Internal("e"), StatusCode::kInternal, "Internal"},
+      {Status::IoError("f"), StatusCode::kIoError, "IoError"},
+      {Status::Unimplemented("g"), StatusCode::kUnimplemented,
+       "Unimplemented"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::InvalidArgument("bad dimension");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dimension");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, NonDefaultConstructibleValueWorks) {
+  struct NoDefault {
+    explicit NoDefault(int x) : x(x) {}
+    int x;
+  };
+  Result<NoDefault> ok_result(NoDefault(3));
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value().x, 3);
+  Result<NoDefault> err_result(Status::Internal("boom"));
+  EXPECT_FALSE(err_result.ok());
+}
+
+Status FailingHelper() { return Status::Internal("inner"); }
+
+Status UsesReturnIfError() {
+  SIMCARD_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = UsesReturnIfError();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,46 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace simcard {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const int64_t micros = watch.ElapsedMicros();
+  EXPECT_GE(micros, 15000);
+  EXPECT_LT(micros, 2000000);  // generous upper bound for loaded machines
+}
+
+TEST(StopwatchTest, UnitsAgree) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const int64_t micros = watch.ElapsedMicros();
+  const double millis = watch.ElapsedMillis();
+  const double seconds = watch.ElapsedSeconds();
+  EXPECT_NEAR(millis, micros / 1000.0, 2.0);
+  EXPECT_NEAR(seconds, micros / 1e6, 0.002);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMicros(), 8000);
+}
+
+TEST(StopwatchTest, MonotoneNonDecreasing) {
+  Stopwatch watch;
+  int64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const int64_t now = watch.ElapsedMicros();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace simcard

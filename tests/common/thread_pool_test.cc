@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace simcard {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter(0);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter(0);
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter(0);
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelForTest, CoversEntireRange) {
+  std::vector<int> hits(10000, 0);
+  ParallelFor(0, hits.size(), [&](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, RespectsOffsets) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(10, 20, [&](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], (i >= 10 && i < 20) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  std::atomic<int> counter(0);
+  ParallelFor(
+      0, 2000,
+      [&](size_t) {
+        // Nested ParallelFor must fall back to inline execution on pool
+        // workers rather than deadlocking on Wait().
+        ParallelFor(0, 4, [&](size_t) { counter.fetch_add(1); }, 1);
+      },
+      1);
+  EXPECT_EQ(counter.load(), 8000);
+}
+
+TEST(ParallelForTest, SmallRangeRunsInline) {
+  // With min_chunk larger than the range the body runs on this thread.
+  std::thread::id main_id = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(8);
+  ParallelFor(0, ids.size(),
+              [&](size_t i) { ids[i] = std::this_thread::get_id(); }, 256);
+  for (const auto& id : ids) EXPECT_EQ(id, main_id);
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,91 @@
+// Deletion-side incremental maintenance (Section 5.3 covers inserts and
+// deletes; inserts are tested in gl_estimator_test.cc).
+#include <gtest/gtest.h>
+
+#include "core/gl_estimator.h"
+#include "eval/harness.h"
+
+namespace simcard {
+namespace {
+
+TEST(SegmentationDeletionTest, RemoveTrailingPointsUpdatesMembership) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 3).value();
+  SegmentationOptions opts;
+  opts.target_segments = 5;
+  auto seg = SegmentData(d, opts).value();
+  const size_t n = d.size();
+  const size_t removed = 100;
+  auto touched = seg.RemoveTrailingPoints(removed);
+  EXPECT_FALSE(touched.empty());
+  EXPECT_EQ(seg.assignment.size(), n - removed);
+  size_t total = 0;
+  for (size_t s = 0; s < seg.num_segments(); ++s) {
+    for (uint32_t idx : seg.members[s]) {
+      EXPECT_LT(idx, n - removed);
+    }
+    total += seg.members[s].size();
+  }
+  EXPECT_EQ(total, n - removed);
+}
+
+TEST(SegmentationDeletionTest, RemoveAllIsSafe) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 4).value();
+  SegmentationOptions opts;
+  opts.target_segments = 3;
+  auto seg = SegmentData(d, opts).value();
+  seg.RemoveTrailingPoints(d.size() * 2);  // more than present
+  EXPECT_TRUE(seg.assignment.empty());
+  for (const auto& m : seg.members) EXPECT_TRUE(m.empty());
+}
+
+TEST(GlDeletionTest, ApplyDeletionsKeepsAccuracy) {
+  EnvOptions opts;
+  opts.num_segments = 5;
+  auto env =
+      std::move(BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+  GlEstimatorConfig config = GlEstimatorConfig::GlCnn();
+  config.local_train.epochs = 12;
+  config.global_train.epochs = 12;
+  GlEstimator est(config);
+  TrainContext ctx = MakeTrainContext(env);
+  ASSERT_TRUE(est.Train(ctx).ok());
+  const double before = EvaluateSearch(&est, env.workload).qerror.median;
+
+  // Delete the trailing 5% of the dataset.
+  const size_t removed = env.dataset.size() / 20;
+  env.dataset.Truncate(removed);
+  ASSERT_TRUE(
+      est.ApplyDeletions(env.dataset, &env.workload, removed, 11).ok());
+
+  // Labels now reflect the shrunken dataset; accuracy stays bounded.
+  const double after = EvaluateSearch(&est, env.workload).qerror.median;
+  EXPECT_LT(after, std::max(4.0, 2.5 * before));
+}
+
+TEST(GlDeletionTest, RequiresConsistentTruncation) {
+  EnvOptions opts;
+  opts.num_segments = 4;
+  auto env =
+      std::move(BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+  GlEstimatorConfig config = GlEstimatorConfig::GlCnn();
+  config.local_train.epochs = 5;
+  config.global_train.epochs = 5;
+  GlEstimator est(config);
+  TrainContext ctx = MakeTrainContext(env);
+  ASSERT_TRUE(est.Train(ctx).ok());
+  // Dataset NOT truncated: the size check must reject the call.
+  EXPECT_FALSE(
+      est.ApplyDeletions(env.dataset, &env.workload, 50, 11).ok());
+}
+
+TEST(GlDeletionTest, RequiresTrainedEstimator) {
+  EnvOptions opts;
+  opts.num_segments = 4;
+  auto env =
+      std::move(BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+  GlEstimator est(GlEstimatorConfig::GlCnn());
+  EXPECT_FALSE(est.ApplyDeletions(env.dataset, &env.workload, 1, 1).ok());
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,81 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace simcard {
+namespace {
+
+TEST(FeaturesTest, SampleDistanceRow) {
+  Matrix samples(2, 2);
+  samples.at(0, 0) = 3.0f;
+  samples.at(0, 1) = 4.0f;
+  samples.at(1, 0) = 1.0f;
+  const float q[] = {0.0f, 0.0f};
+  auto xd = SampleDistanceRow(q, samples, Metric::kL2);
+  ASSERT_EQ(xd.size(), 2u);
+  EXPECT_FLOAT_EQ(xd[0], 5.0f);
+  EXPECT_FLOAT_EQ(xd[1], 1.0f);
+}
+
+TEST(FeaturesTest, BatchSampleFeaturesMatchRowVersion) {
+  Rng rng(1);
+  Matrix queries = Matrix::Gaussian(5, 4, 1.0f, &rng);
+  Matrix samples = Matrix::Gaussian(7, 4, 1.0f, &rng);
+  Matrix batch = BuildSampleDistanceFeatures(queries, samples, Metric::kL1);
+  EXPECT_EQ(batch.rows(), 5u);
+  EXPECT_EQ(batch.cols(), 7u);
+  for (size_t r = 0; r < 5; ++r) {
+    auto row = SampleDistanceRow(queries.Row(r), samples, Metric::kL1);
+    for (size_t c = 0; c < 7; ++c) {
+      EXPECT_FLOAT_EQ(batch.at(r, c), row[c]);
+    }
+  }
+}
+
+TEST(FeaturesTest, CentroidFeaturesMatchSegmentation) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 2).value();
+  SegmentationOptions seg_opts;
+  seg_opts.target_segments = 5;
+  auto seg = SegmentData(d, seg_opts).value();
+  Matrix queries = d.points().SliceRows(0, 4);
+  Matrix xc = BuildCentroidDistanceFeatures(queries, seg, d.metric());
+  EXPECT_EQ(xc.cols(), seg.num_segments());
+  for (size_t r = 0; r < 4; ++r) {
+    auto expected = seg.CentroidDistances(queries.Row(r), d.dim(), d.metric());
+    for (size_t s = 0; s < seg.num_segments(); ++s) {
+      EXPECT_FLOAT_EQ(xc.at(r, s), expected[s]);
+    }
+  }
+}
+
+TEST(FeaturesTest, GatherBatchAssemblesSamples) {
+  Rng rng(3);
+  Matrix queries = Matrix::Gaussian(4, 3, 1.0f, &rng);
+  Matrix aux = Matrix::Gaussian(4, 2, 1.0f, &rng);
+  std::vector<SampleRef> samples = {
+      {2, 0.5f, 10.0f}, {0, 0.1f, 3.0f}, {2, 0.9f, 25.0f}};
+  Batch batch = GatherBatch(queries, &aux, samples, 0, 3);
+  EXPECT_EQ(batch.xq.rows(), 3u);
+  EXPECT_FLOAT_EQ(batch.xq.at(0, 0), queries.at(2, 0));
+  EXPECT_FLOAT_EQ(batch.xq.at(1, 2), queries.at(0, 2));
+  EXPECT_FLOAT_EQ(batch.xtau.at(2, 0), 0.9f);
+  EXPECT_FLOAT_EQ(batch.targets.at(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(batch.xaux.at(2, 1), aux.at(2, 1));
+}
+
+TEST(FeaturesTest, GatherBatchWindow) {
+  Rng rng(4);
+  Matrix queries = Matrix::Gaussian(3, 2, 1.0f, &rng);
+  std::vector<SampleRef> samples = {
+      {0, 0.1f, 1.0f}, {1, 0.2f, 2.0f}, {2, 0.3f, 3.0f}, {0, 0.4f, 4.0f}};
+  Batch batch = GatherBatch(queries, nullptr, samples, 1, 2);
+  EXPECT_EQ(batch.xq.rows(), 2u);
+  EXPECT_FLOAT_EQ(batch.targets.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(batch.targets.at(1, 0), 3.0f);
+  EXPECT_TRUE(batch.xaux.empty());
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,132 @@
+#include "core/local_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "eval/harness.h"
+
+namespace simcard {
+namespace {
+
+struct LocalEnv {
+  ExperimentEnv env;
+  Matrix xc;
+  CardModelConfig config;
+};
+
+LocalEnv MakeLocalEnv() {
+  LocalEnv out;
+  EnvOptions opts;
+  opts.num_segments = 5;
+  out.env =
+      std::move(BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+  out.xc = BuildCentroidDistanceFeatures(out.env.workload.train_queries,
+                                         out.env.segmentation,
+                                         out.env.dataset.metric());
+  out.config.query_dim = out.env.dataset.dim();
+  out.config.use_cnn_query_tower = false;
+  out.config.mlp_hidden = 16;
+  out.config.query_embed = 8;
+  out.config.aux_dim = out.env.segmentation.num_segments();
+  out.config.aux_hidden = 8;
+  out.config.head_hidden = 16;
+  return out;
+}
+
+TEST(LocalModelTest, BuildsWithSegmentIndex) {
+  LocalEnv le = MakeLocalEnv();
+  Rng rng(1);
+  auto local = LocalModel::Build(3, le.config, &rng).value();
+  EXPECT_EQ(local->segment_index(), 3u);
+  EXPECT_GT(local->NumScalars(), 0u);
+}
+
+TEST(LocalModelTest, TrainFitsSegmentCards) {
+  LocalEnv le = MakeLocalEnv();
+  Rng rng(2);
+  const size_t seg = 0;
+  auto local = LocalModel::Build(seg, le.config, &rng).value();
+  CardTrainOptions opts;
+  opts.epochs = 40;
+  local->Train(le.env.workload.train_queries, le.xc, le.env.workload.train,
+               0.2, opts);
+  // Median q-error on this segment's own (train) positives should be small.
+  std::vector<double> qerrs;
+  for (const auto& lq : le.env.workload.train) {
+    const float* q = le.env.workload.train_queries.Row(lq.row);
+    for (const auto& t : lq.thresholds) {
+      if (t.seg_cards[seg] <= 0) continue;
+      const double est = local->Estimate(q, t.tau, le.xc.Row(lq.row));
+      qerrs.push_back(QError(est, t.seg_cards[seg]));
+    }
+  }
+  ASSERT_GT(qerrs.size(), 10u);
+  std::sort(qerrs.begin(), qerrs.end());
+  EXPECT_LT(qerrs[qerrs.size() / 2], 4.0);
+}
+
+TEST(LocalModelTest, EmptySegmentStillEstimatesNearZero) {
+  LocalEnv le = MakeLocalEnv();
+  Rng rng(3);
+  // Segment index beyond any label -> zero training samples.
+  auto local = LocalModel::Build(99, le.config, &rng).value();
+  CardTrainOptions opts;
+  opts.epochs = 5;
+  const double loss =
+      local->Train(le.env.workload.train_queries, le.xc,
+                   le.env.workload.train, 0.0, opts);
+  EXPECT_EQ(loss, 0.0);  // nothing to train on
+  const float* q = le.env.workload.test_queries.Row(0);
+  std::vector<float> xc_row(le.config.aux_dim, 0.3f);
+  // An untrained local model must answer 0, not network noise.
+  EXPECT_EQ(local->Estimate(q, 0.1f, xc_row.data()), 0.0);
+}
+
+TEST(LocalModelTest, MaxCardClampRespected) {
+  LocalEnv le = MakeLocalEnv();
+  Rng rng(4);
+  auto local = LocalModel::Build(0, le.config, &rng).value();
+  local->set_max_card(7.0);
+  local->model()->SetOutputBias(20.0f);  // would otherwise estimate e^20
+  const float* q = le.env.workload.test_queries.Row(0);
+  std::vector<float> xc_row(le.config.aux_dim, 0.3f);
+  EXPECT_LE(local->Estimate(q, 0.5f, xc_row.data()), 7.0);
+}
+
+TEST(LocalModelTest, FineTuneImprovesAfterLabelShift) {
+  LocalEnv le = MakeLocalEnv();
+  Rng rng(5);
+  const size_t seg = 1;
+  auto local = LocalModel::Build(seg, le.config, &rng).value();
+  CardTrainOptions opts;
+  opts.epochs = 30;
+  local->Train(le.env.workload.train_queries, le.xc, le.env.workload.train,
+               0.2, opts);
+  // Shift every label on this segment up 3x and fine-tune.
+  auto shifted = le.env.workload.train;
+  for (auto& lq : shifted) {
+    for (auto& t : lq.thresholds) t.seg_cards[seg] *= 3.0f;
+  }
+  auto error_on = [&](const std::vector<LabeledQuery>& labeled) {
+    double total = 0;
+    size_t n = 0;
+    for (const auto& lq : labeled) {
+      const float* q = le.env.workload.train_queries.Row(lq.row);
+      for (const auto& t : lq.thresholds) {
+        if (t.seg_cards[seg] <= 0) continue;
+        total += QError(local->Estimate(q, t.tau, le.xc.Row(lq.row)),
+                        t.seg_cards[seg]);
+        ++n;
+      }
+    }
+    return total / std::max<size_t>(1, n);
+  };
+  const double before = error_on(shifted);
+  local->FineTune(le.env.workload.train_queries, le.xc, shifted, 0.2, opts,
+                  /*epochs=*/15);
+  const double after = error_on(shifted);
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,38 @@
+#include "core/model_size.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace simcard {
+namespace {
+
+TEST(ModelSizeTest, BytesToMb) {
+  EXPECT_DOUBLE_EQ(BytesToMb(1000000), 1.0);
+  EXPECT_DOUBLE_EQ(BytesToMb(0), 0.0);
+  EXPECT_DOUBLE_EQ(BytesToMb(2500000), 2.5);
+}
+
+TEST(ModelSizeTest, SampleModelBytes) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 1).value();
+  const size_t bytes = SampleModelBytes(d, 0.01);
+  const size_t rows = (d.size() + 99) / 100;
+  EXPECT_EQ(bytes, rows * d.dim() * sizeof(float));
+}
+
+TEST(ModelSizeTest, SampleRowsForBytesRoundTrips) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 2).value();
+  const size_t target = 32 * 1024;
+  const size_t rows = SampleRowsForBytes(d, target);
+  EXPECT_LE(rows * d.dim() * sizeof(float), target);
+  EXPECT_GT((rows + 1) * d.dim() * sizeof(float), target);
+}
+
+TEST(ModelSizeTest, SampleRowsClampedToDataset) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 3).value();
+  EXPECT_EQ(SampleRowsForBytes(d, size_t{1} << 40), d.size());
+  EXPECT_EQ(SampleRowsForBytes(d, 1), 1u);  // at least one row
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,121 @@
+// Model persistence: a trained estimator saved to disk and loaded into a
+// fresh object must produce bit-identical estimates — the paper's workflow
+// of "trained in PyTorch, copied into a C++ implementation for testing"
+// needs exactly this property.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/gl_estimator.h"
+#include "eval/harness.h"
+
+namespace simcard {
+namespace {
+
+GlEstimatorConfig FastGlConfig() {
+  GlEstimatorConfig config = GlEstimatorConfig::GlCnn();
+  config.local_train.epochs = 10;
+  config.global_train.epochs = 10;
+  return config;
+}
+
+TEST(PersistenceTest, SaveRequiresTrainedEstimator) {
+  GlEstimator est(FastGlConfig());
+  EXPECT_FALSE(est.SaveToFile(testing::TempDir() + "/untrained.bin").ok());
+}
+
+TEST(PersistenceTest, GlRoundTripEstimatesIdentically) {
+  EnvOptions opts;
+  opts.num_segments = 4;
+  auto env =
+      std::move(BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+  GlEstimator trained(FastGlConfig());
+  TrainContext ctx = MakeTrainContext(env);
+  ASSERT_TRUE(trained.Train(ctx).ok());
+
+  const std::string path = testing::TempDir() + "/simcard_gl_model.bin";
+  ASSERT_TRUE(trained.SaveToFile(path).ok());
+
+  GlEstimator restored(FastGlConfig());
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_EQ(restored.num_local_models(), trained.num_local_models());
+  EXPECT_NE(restored.global_model(), nullptr);
+
+  for (size_t i = 0; i < 5; ++i) {
+    const auto& lq = env.workload.test[i];
+    const float* q = env.workload.test_queries.Row(lq.row);
+    for (const auto& t : lq.thresholds) {
+      EXPECT_DOUBLE_EQ(restored.EstimateSearch(q, t.tau),
+                       trained.EstimateSearch(q, t.tau));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, LocalPlusRoundTripWithoutGlobal) {
+  EnvOptions opts;
+  opts.num_segments = 3;
+  auto env =
+      std::move(BuildEnvironment("imagenet-sim", Scale::kTiny, opts).value());
+  GlEstimatorConfig config = GlEstimatorConfig::LocalPlus();
+  config.auto_tune = false;
+  config.local_train.epochs = 8;
+  GlEstimator trained(config);
+  TrainContext ctx = MakeTrainContext(env);
+  ASSERT_TRUE(trained.Train(ctx).ok());
+
+  const std::string path = testing::TempDir() + "/simcard_localplus.bin";
+  ASSERT_TRUE(trained.SaveToFile(path).ok());
+  GlEstimator restored(config);
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_EQ(restored.global_model(), nullptr);
+  const float* q = env.workload.test_queries.Row(0);
+  EXPECT_DOUBLE_EQ(restored.EstimateSearch(q, 0.2f),
+                   trained.EstimateSearch(q, 0.2f));
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, LoadRejectsGarbageFile) {
+  const std::string path = testing::TempDir() + "/simcard_garbage.bin";
+  Serializer out;
+  out.WriteString("not a model");
+  ASSERT_TRUE(out.SaveToFile(path).ok());
+  GlEstimator est(FastGlConfig());
+  EXPECT_FALSE(est.LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, LoadRejectsMissingFile) {
+  GlEstimator est(FastGlConfig());
+  EXPECT_FALSE(est.LoadFromFile("/nonexistent/model.bin").ok());
+}
+
+TEST(PersistenceTest, LoadedModelSupportsFurtherUpdates) {
+  EnvOptions opts;
+  opts.num_segments = 4;
+  auto env =
+      std::move(BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+  GlEstimator trained(FastGlConfig());
+  TrainContext ctx = MakeTrainContext(env);
+  ASSERT_TRUE(trained.Train(ctx).ok());
+  const std::string path = testing::TempDir() + "/simcard_updatable.bin";
+  ASSERT_TRUE(trained.SaveToFile(path).ok());
+
+  GlEstimator restored(FastGlConfig());
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  // Stream an update batch through the restored estimator.
+  Matrix updates =
+      MakeAnalogUpdates("glove-sim", Scale::kTiny, 20, env.seed).value();
+  const uint32_t first_new = static_cast<uint32_t>(env.dataset.size());
+  env.dataset.Append(updates);
+  std::vector<uint32_t> new_rows(20);
+  for (size_t i = 0; i < 20; ++i) {
+    new_rows[i] = first_new + static_cast<uint32_t>(i);
+  }
+  EXPECT_TRUE(
+      restored.ApplyUpdates(env.dataset, &env.workload, new_rows, 7).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,106 @@
+// Pooling-mode tests: the paper's sum pooling vs the mean-scaled extension
+// (see CardModel::PooledMode).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/card_model.h"
+#include "core/join_estimator.h"
+
+namespace simcard {
+namespace {
+
+CardModelConfig SmallConfig() {
+  CardModelConfig config;
+  config.query_dim = 6;
+  config.use_cnn_query_tower = false;
+  config.mlp_hidden = 8;
+  config.query_embed = 4;
+  config.head_hidden = 8;
+  return config;
+}
+
+TEST(PooledModeTest, SingleMemberModesAgree) {
+  // With |Q| = 1, sum and mean-scaled pooling are the same computation
+  // (up to the caller's x1 scaling).
+  Rng rng(1);
+  auto model = CardModel::Build(SmallConfig(), &rng).value();
+  Matrix xq = Matrix::Gaussian(1, 6, 1.0f, &rng);
+  const float sum_u =
+      model->ForwardPooled(xq, 0.3f, Matrix(), CardModel::PooledMode::kSum)
+          .at(0, 0);
+  const float mean_u = model->ForwardPooled(
+      xq, 0.3f, Matrix(), CardModel::PooledMode::kMeanScaled).at(0, 0);
+  EXPECT_NEAR(sum_u, mean_u, 1e-5f);
+}
+
+TEST(PooledModeTest, MeanScaledIsInvariantToMemberDuplication) {
+  // Duplicating every member leaves the mean-pooled embedding unchanged,
+  // so the per-member estimate is identical; the caller's x|Q| scaling then
+  // exactly doubles the set estimate — the correct behavior for a multiset
+  // join. Sum pooling has no such guarantee.
+  Rng rng(2);
+  auto model = CardModel::Build(SmallConfig(), &rng).value();
+  Matrix members = Matrix::Gaussian(4, 6, 1.0f, &rng);
+  Matrix doubled(8, 6);
+  for (size_t r = 0; r < 8; ++r) doubled.SetRow(r, members.Row(r % 4));
+  const float u1 = model->ForwardPooled(
+      members, 0.2f, Matrix(), CardModel::PooledMode::kMeanScaled).at(0, 0);
+  const float u2 = model->ForwardPooled(
+      doubled, 0.2f, Matrix(), CardModel::PooledMode::kMeanScaled).at(0, 0);
+  EXPECT_NEAR(u1, u2, 1e-4f);
+}
+
+TEST(PooledModeTest, BackwardConsistentWithForwardScaling) {
+  // Gradient check through mean-scaled pooling: perturbing a weight must
+  // change the output consistently with the accumulated gradient.
+  Rng rng(3);
+  auto model = CardModel::Build(SmallConfig(), &rng).value();
+  Matrix members = Matrix::Gaussian(3, 6, 1.0f, &rng);
+  auto params = model->Parameters();
+  for (auto* p : params) p->ZeroGrad();
+  model->ForwardPooled(members, 0.4f, Matrix(),
+                       CardModel::PooledMode::kMeanScaled);
+  Matrix g(1, 1);
+  g.at(0, 0) = 1.0f;
+  model->BackwardPooled(g);
+
+  nn::Parameter* probe = params[0];
+  const size_t idx = 0;
+  const double analytic = probe->grad().data()[idx];
+  const double h = 1e-3;
+  float* w = probe->value().data() + idx;
+  const float saved = *w;
+  *w = saved + static_cast<float>(h);
+  const double up = model->ForwardPooled(members, 0.4f, Matrix(),
+                                         CardModel::PooledMode::kMeanScaled)
+                        .at(0, 0);
+  *w = saved - static_cast<float>(h);
+  const double down = model->ForwardPooled(members, 0.4f, Matrix(),
+                                           CardModel::PooledMode::kMeanScaled)
+                          .at(0, 0);
+  *w = saved;
+  EXPECT_NEAR(analytic, (up - down) / (2 * h), 5e-3);
+}
+
+TEST(PooledModeTest, FineTunePooledLearnsInMeanMode) {
+  Rng rng(4);
+  auto model = CardModel::Build(SmallConfig(), &rng).value();
+  Matrix queries = Matrix::Gaussian(10, 6, 1.0f, &rng);
+  std::vector<PooledSample> sets;
+  for (int i = 0; i < 8; ++i) {
+    sets.push_back({{0, 1, 2, 3}, 0.3f, 400.0f});  // avg 100 per member
+  }
+  PooledTrainOptions opts;
+  opts.mode = CardModel::PooledMode::kMeanScaled;
+  opts.epochs = 1;
+  const double first = FineTunePooled(model.get(), queries, nullptr, sets,
+                                      opts);
+  opts.epochs = 40;
+  const double later = FineTunePooled(model.get(), queries, nullptr, sets,
+                                      opts);
+  EXPECT_LT(later, first);
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,118 @@
+#include "core/qes.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/conv1d.h"
+
+namespace simcard {
+namespace {
+
+TEST(QesConfigTest, DefaultAdaptsToDimension) {
+  QesConfig big = QesConfig::Default(300);
+  QesConfig small = QesConfig::Default(16);
+  EXPECT_GT(big.num_segments, small.num_segments);
+  EXPECT_FALSE(big.merge_layers.empty());
+}
+
+TEST(QesConfigTest, ToStringMentionsGeometry) {
+  QesConfig config = QesConfig::Default(64);
+  const std::string s = config.ToString();
+  EXPECT_NE(s.find("segments="), std::string::npos);
+  EXPECT_NE(s.find("embed="), std::string::npos);
+}
+
+TEST(BuildQesTowerTest, RejectsBadInputs) {
+  Rng rng(1);
+  size_t embed = 0;
+  EXPECT_FALSE(BuildQesTower(0, QesConfig::Default(64), &rng, &embed).ok());
+  QesConfig zero = QesConfig::Default(64);
+  zero.embed_dim = 0;
+  EXPECT_FALSE(BuildQesTower(64, zero, &rng, &embed).ok());
+}
+
+TEST(BuildQesTowerTest, OutputWidthIsEmbedDim) {
+  Rng rng(2);
+  QesConfig config = QesConfig::Default(64);
+  config.embed_dim = 24;
+  size_t embed = 0;
+  auto tower = BuildQesTower(64, config, &rng, &embed).value();
+  EXPECT_EQ(embed, 24u);
+  EXPECT_EQ(tower->OutputCols(64), 24u);
+  Matrix x = Matrix::Gaussian(3, 64, 1.0f, &rng);
+  EXPECT_EQ(tower->Forward(x).cols(), 24u);
+}
+
+TEST(BuildQesTowerTest, NonDivisibleDimensionIsPadded) {
+  // 30 dims into 8 segments needs padding; the tower must still build.
+  Rng rng(3);
+  QesConfig config = QesConfig::Default(30);
+  config.num_segments = 8;
+  size_t embed = 0;
+  auto tower = BuildQesTower(30, config, &rng, &embed).value();
+  Matrix x = Matrix::Gaussian(2, 30, 1.0f, &rng);
+  EXPECT_EQ(tower->Forward(x).cols(), config.embed_dim);
+}
+
+TEST(BuildQesTowerTest, SegmentsClampedToDim) {
+  Rng rng(4);
+  QesConfig config = QesConfig::Default(4);
+  config.num_segments = 64;  // more segments than dimensions
+  size_t embed = 0;
+  auto tower_or = BuildQesTower(4, config, &rng, &embed);
+  ASSERT_TRUE(tower_or.ok());
+  Matrix x = Matrix::Gaussian(1, 4, 1.0f, &rng);
+  tower_or.value()->Forward(x);
+}
+
+TEST(BuildQesTowerTest, InfeasibleMergeLayersSkipped) {
+  Rng rng(5);
+  QesConfig config;
+  config.num_segments = 4;
+  config.seg_channels = 4;
+  ConvLayerSpec monster;
+  monster.kernel = 100;  // cannot fit on a 4-long signal
+  config.merge_layers = {monster};
+  config.embed_dim = 8;
+  size_t embed = 0;
+  auto tower = BuildQesTower(32, config, &rng, &embed).value();
+  Matrix x = Matrix::Gaussian(1, 32, 1.0f, &rng);
+  EXPECT_EQ(tower->Forward(x).cols(), 8u);
+}
+
+TEST(BuildQesTowerTest, FirstLayerIsSegmentConv) {
+  Rng rng(6);
+  QesConfig config = QesConfig::Default(64);
+  config.num_segments = 8;
+  size_t embed = 0;
+  auto tower = BuildQesTower(64, config, &rng, &embed).value();
+  auto* conv = dynamic_cast<nn::Conv1D*>(tower->layer(0));
+  ASSERT_NE(conv, nullptr);
+  // kernel == stride == segment width 8 -> out length = #segments.
+  EXPECT_EQ(conv->out_length(), 8u);
+  EXPECT_EQ(conv->out_channels(), config.seg_channels);
+}
+
+TEST(BuildQesTowerTest, PoolingLayersApplied) {
+  Rng rng(7);
+  QesConfig config;
+  config.num_segments = 8;
+  config.seg_channels = 4;
+  ConvLayerSpec merge;
+  merge.channels = 4;
+  merge.kernel = 2;
+  merge.stride = 1;
+  merge.pool_kernel = 2;
+  merge.pool_op = nn::PoolOp::kMax;
+  config.merge_layers = {merge};
+  config.embed_dim = 8;
+  size_t embed = 0;
+  auto tower = BuildQesTower(64, config, &rng, &embed).value();
+  bool has_pool = false;
+  for (size_t i = 0; i < tower->NumLayers(); ++i) {
+    if (tower->layer(i)->Name() == "Pool1D") has_pool = true;
+  }
+  EXPECT_TRUE(has_pool);
+}
+
+}  // namespace
+}  // namespace simcard

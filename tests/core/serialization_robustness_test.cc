@@ -1,0 +1,91 @@
+// Robustness of model loading against malformed inputs: truncated files,
+// bit flips in structural fields, and cross-model confusion must produce a
+// Status error, never a crash or a silently-wrong model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/gl_estimator.h"
+#include "eval/harness.h"
+
+namespace simcard {
+namespace {
+
+// A trained, serialized GL model (bytes) shared by the tests.
+const std::vector<uint8_t>& TrainedModelBytes() {
+  static const std::vector<uint8_t>* bytes = [] {
+    EnvOptions opts;
+    opts.num_segments = 3;
+    auto env = std::move(
+        BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+    GlEstimatorConfig config = GlEstimatorConfig::GlCnn();
+    config.local_train.epochs = 4;
+    config.global_train.epochs = 4;
+    GlEstimator est(config);
+    TrainContext ctx = MakeTrainContext(env);
+    EXPECT_TRUE(est.Train(ctx).ok());
+    const std::string path = testing::TempDir() + "/robustness_model.bin";
+    EXPECT_TRUE(est.SaveToFile(path).ok());
+    auto* out = new std::vector<uint8_t>();
+    FILE* f = fopen(path.c_str(), "rb");
+    fseek(f, 0, SEEK_END);
+    out->resize(static_cast<size_t>(ftell(f)));
+    fseek(f, 0, SEEK_SET);
+    const size_t n = fread(out->data(), 1, out->size(), f);
+    EXPECT_EQ(n, out->size());
+    fclose(f);
+    std::remove(path.c_str());
+    return out;
+  }();
+  return *bytes;
+}
+
+Status LoadFromBytes(const std::vector<uint8_t>& bytes) {
+  const std::string path = testing::TempDir() + "/robustness_variant.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  if (!bytes.empty()) fwrite(bytes.data(), 1, bytes.size(), f);
+  fclose(f);
+  GlEstimator est(GlEstimatorConfig::GlCnn());
+  Status st = est.LoadFromFile(path);
+  std::remove(path.c_str());
+  return st;
+}
+
+TEST(SerializationRobustnessTest, IntactBytesLoad) {
+  EXPECT_TRUE(LoadFromBytes(TrainedModelBytes()).ok());
+}
+
+TEST(SerializationRobustnessTest, TruncationsFailGracefully) {
+  const auto& bytes = TrainedModelBytes();
+  for (double frac : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    std::vector<uint8_t> cut(
+        bytes.begin(),
+        bytes.begin() + static_cast<size_t>(frac * bytes.size()));
+    Status st = LoadFromBytes(cut);
+    EXPECT_FALSE(st.ok()) << "truncated to " << frac;
+  }
+}
+
+TEST(SerializationRobustnessTest, EmptyFileFails) {
+  EXPECT_FALSE(LoadFromBytes({}).ok());
+}
+
+TEST(SerializationRobustnessTest, WrongMagicFails) {
+  auto bytes = TrainedModelBytes();
+  // The magic string starts after the u64 length prefix; flip one byte.
+  ASSERT_GT(bytes.size(), 12u);
+  bytes[9] ^= 0xFF;
+  EXPECT_FALSE(LoadFromBytes(bytes).ok());
+}
+
+TEST(SerializationRobustnessTest, TrailingGarbageIsHarmless) {
+  // Extra bytes after a well-formed model are ignored by the reader
+  // (forward compatibility for appended sections).
+  auto bytes = TrainedModelBytes();
+  bytes.push_back(0xAB);
+  bytes.push_back(0xCD);
+  EXPECT_TRUE(LoadFromBytes(bytes).ok());
+}
+
+}  // namespace
+}  // namespace simcard

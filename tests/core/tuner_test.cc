@@ -1,0 +1,116 @@
+#include "core/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/features.h"
+#include "eval/harness.h"
+#include "workload/labels.h"
+
+namespace simcard {
+namespace {
+
+struct TunerEnv {
+  Matrix queries;
+  Matrix aux;
+  std::vector<SampleRef> samples;
+  CardModelConfig base;
+};
+
+TunerEnv MakeTunerEnv() {
+  EnvOptions opts;
+  opts.num_segments = 4;
+  auto env =
+      std::move(BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+  TunerEnv out;
+  out.queries = env.workload.train_queries;
+  out.aux = BuildCentroidDistanceFeatures(out.queries, env.segmentation,
+                                          env.dataset.metric());
+  out.samples = FlattenSearch(env.workload.train);
+  out.base.query_dim = env.dataset.dim();
+  out.base.use_cnn_query_tower = true;
+  out.base.qes = QesConfig::Default(env.dataset.dim());
+  out.base.aux_dim = env.segmentation.num_segments();
+  out.base.tau_hidden = 8;
+  out.base.tau_embed = 4;
+  out.base.aux_hidden = 8;
+  out.base.head_hidden = 16;
+  return out;
+}
+
+TunerOptions FastTuner() {
+  TunerOptions opts;
+  opts.max_trials = 6;
+  opts.trial_epochs = 4;
+  opts.train_subsample = 150;
+  opts.val_subsample = 50;
+  return opts;
+}
+
+TEST(TunerTest, RejectsTooFewSamples) {
+  TunerEnv env = MakeTunerEnv();
+  std::vector<SampleRef> few(env.samples.begin(), env.samples.begin() + 5);
+  EXPECT_FALSE(
+      GreedyTuneQes(env.queries, &env.aux, few, env.base, FastTuner()).ok());
+}
+
+TEST(TunerTest, ReturnsFeasibleConfigWithinBudget) {
+  TunerEnv env = MakeTunerEnv();
+  auto result =
+      GreedyTuneQes(env.queries, &env.aux, env.samples, env.base, FastTuner())
+          .value();
+  EXPECT_LE(result.trials, FastTuner().max_trials + 1);
+  EXPECT_GT(result.trials, 0u);
+  EXPECT_TRUE(std::isfinite(result.validation_error));
+  // The returned config must build a working tower.
+  Rng rng(1);
+  CardModelConfig config = env.base;
+  config.qes = result.config;
+  EXPECT_TRUE(CardModel::Build(config, &rng).ok());
+}
+
+TEST(TunerTest, DeterministicForSeed) {
+  TunerEnv env = MakeTunerEnv();
+  TunerOptions opts = FastTuner();
+  opts.seed = 7;
+  auto a = GreedyTuneQes(env.queries, &env.aux, env.samples, env.base, opts)
+               .value();
+  auto b = GreedyTuneQes(env.queries, &env.aux, env.samples, env.base, opts)
+               .value();
+  EXPECT_EQ(a.config.ToString(), b.config.ToString());
+  EXPECT_EQ(a.validation_error, b.validation_error);
+}
+
+TEST(TunerTest, RespectsMaxLayers) {
+  TunerEnv env = MakeTunerEnv();
+  TunerOptions opts = FastTuner();
+  opts.max_layers = 1;
+  opts.max_trials = 30;
+  auto result =
+      GreedyTuneQes(env.queries, &env.aux, env.samples, env.base, opts)
+          .value();
+  EXPECT_LE(result.config.merge_layers.size(), 1u);
+}
+
+TEST(TunerTest, ValidationNeverWorseThanBaseConfig) {
+  // The search is seeded with the base config, so the returned validation
+  // error can only be <= the base config's error on the same split.
+  TunerEnv env = MakeTunerEnv();
+  TunerOptions opts = FastTuner();
+  opts.max_trials = 10;
+  auto tuned =
+      GreedyTuneQes(env.queries, &env.aux, env.samples, env.base, opts)
+          .value();
+  TunerOptions base_only = opts;
+  base_only.max_trials = 1;  // budget for exactly the base evaluation
+  base_only.cold_start_configs = 0;
+  base_only.max_layers = 0;
+  auto base = GreedyTuneQes(env.queries, &env.aux, env.samples, env.base,
+                            base_only)
+                  .value();
+  EXPECT_LE(tuned.validation_error, base.validation_error + 1e-9);
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,82 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace simcard {
+namespace {
+
+Dataset MakeSmall() {
+  Matrix points(3, 2);
+  points.at(0, 0) = 0.0f;
+  points.at(1, 0) = 3.0f;
+  points.at(1, 1) = 4.0f;
+  points.at(2, 0) = 1.0f;
+  return Dataset("tiny", std::move(points), Metric::kL2, 10.0f);
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeSmall();
+  EXPECT_EQ(d.name(), "tiny");
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_EQ(d.metric(), Metric::kL2);
+  EXPECT_FLOAT_EQ(d.tau_max(), 10.0f);
+  EXPECT_FLOAT_EQ(d.Point(1)[1], 4.0f);
+}
+
+TEST(DatasetTest, DistanceTo) {
+  Dataset d = MakeSmall();
+  const float origin[] = {0.0f, 0.0f};
+  EXPECT_FLOAT_EQ(d.DistanceTo(origin, 0), 0.0f);
+  EXPECT_FLOAT_EQ(d.DistanceTo(origin, 1), 5.0f);
+}
+
+TEST(DatasetTest, AppendGrowsAndKeepsData) {
+  Dataset d = MakeSmall();
+  Matrix extra(2, 2);
+  extra.at(0, 0) = 9.0f;
+  d.Append(extra);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_FLOAT_EQ(d.Point(3)[0], 9.0f);
+  EXPECT_FLOAT_EQ(d.Point(1)[1], 4.0f);  // original rows intact
+}
+
+TEST(DatasetTest, TruncateRemovesTail) {
+  Dataset d = MakeSmall();
+  d.Truncate(2);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_FLOAT_EQ(d.Point(0)[0], 0.0f);
+}
+
+TEST(DatasetTest, BitsCacheInvalidatedByAppend) {
+  Rng rng(1);
+  Matrix points(4, 8);
+  for (size_t i = 0; i < points.size(); ++i) {
+    points.data()[i] = rng.NextBernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  Dataset d("bits", std::move(points), Metric::kHamming, 1.0f);
+  EXPECT_EQ(d.bits().rows(), 4u);
+  Matrix extra(1, 8);
+  extra.Fill(1.0f);
+  d.Append(extra);
+  EXPECT_EQ(d.bits().rows(), 5u);
+}
+
+TEST(DatasetTest, SerializationRoundTrip) {
+  Dataset d = MakeSmall();
+  Serializer out;
+  d.Serialize(&out);
+  Deserializer in(out.bytes());
+  auto restored_or = Dataset::Deserialize(&in);
+  ASSERT_TRUE(restored_or.ok());
+  const Dataset& r = restored_or.value();
+  EXPECT_EQ(r.name(), "tiny");
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.metric(), Metric::kL2);
+  EXPECT_TRUE(r.points().AllClose(d.points(), 0.0f));
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,151 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simcard {
+namespace {
+
+TEST(ScaleTest, ParseAndName) {
+  for (Scale s : {Scale::kTiny, Scale::kSmall, Scale::kFull}) {
+    auto parsed = ParseScale(ScaleName(s));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), s);
+  }
+  EXPECT_FALSE(ParseScale("huge").ok());
+}
+
+TEST(GeneratorsTest, AnalogNamesMatchPaperOrder) {
+  auto names = AnalogNames();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "bms-sim");
+  EXPECT_EQ(names[1], "glove-sim");
+  EXPECT_EQ(names[2], "imagenet-sim");
+  EXPECT_EQ(names[3], "aminer-sim");
+  EXPECT_EQ(names[4], "youtube-sim");
+  EXPECT_EQ(names[5], "dblp-sim");
+}
+
+TEST(GeneratorsTest, SpecsHaveSaneShapes) {
+  for (const auto& name : AnalogNames()) {
+    auto spec_or = GetAnalogSpec(name, Scale::kSmall);
+    ASSERT_TRUE(spec_or.ok()) << name;
+    const AnalogSpec& spec = spec_or.value();
+    EXPECT_GT(spec.dim, 0u);
+    EXPECT_GT(spec.num_points, 1000u);
+    EXPECT_GT(spec.num_clusters, 4u);
+    EXPECT_GT(spec.train_queries, 0u);
+    EXPECT_GT(spec.test_queries, 0u);
+    EXPECT_GT(spec.tau_max, 0.0f);
+  }
+  EXPECT_FALSE(GetAnalogSpec("unknown", Scale::kSmall).ok());
+}
+
+TEST(GeneratorsTest, ScalingShrinksAndGrows) {
+  auto tiny = GetAnalogSpec("glove-sim", Scale::kTiny).value();
+  auto small = GetAnalogSpec("glove-sim", Scale::kSmall).value();
+  auto full = GetAnalogSpec("glove-sim", Scale::kFull).value();
+  EXPECT_LT(tiny.num_points, small.num_points);
+  EXPECT_LT(small.num_points, full.num_points);
+  EXPECT_LE(tiny.dim, small.dim);
+  EXPECT_LT(small.dim, full.dim);
+}
+
+TEST(GeneratorsTest, DatasetIsDeterministic) {
+  auto a = MakeAnalogDataset("imagenet-sim", Scale::kTiny, 99).value();
+  auto b = MakeAnalogDataset("imagenet-sim", Scale::kTiny, 99).value();
+  EXPECT_TRUE(a.points().AllClose(b.points(), 0.0f));
+  auto c = MakeAnalogDataset("imagenet-sim", Scale::kTiny, 100).value();
+  EXPECT_FALSE(a.points().AllClose(c.points(), 0.0f));
+}
+
+TEST(GeneratorsTest, HammingAnalogsAreBinary) {
+  for (const char* name : {"bms-sim", "imagenet-sim", "aminer-sim"}) {
+    auto d = MakeAnalogDataset(name, Scale::kTiny, 1).value();
+    EXPECT_EQ(d.metric(), Metric::kHamming);
+    for (size_t i = 0; i < d.points().size(); ++i) {
+      const float v = d.points().data()[i];
+      EXPECT_TRUE(v == 0.0f || v == 1.0f) << name;
+    }
+  }
+}
+
+TEST(GeneratorsTest, AngularAnalogIsUnitNorm) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 2).value();
+  EXPECT_EQ(d.metric(), Metric::kAngular);
+  for (size_t r = 0; r < d.size(); ++r) {
+    EXPECT_NEAR(DotProduct(d.Point(r), d.Point(r), d.dim()), 1.0f, 1e-4f);
+  }
+}
+
+TEST(GeneratorsTest, SparseAnalogsAreSparse) {
+  auto d = MakeAnalogDataset("bms-sim", Scale::kTiny, 3).value();
+  double ones = 0;
+  for (size_t i = 0; i < d.points().size(); ++i) ones += d.points().data()[i];
+  const double density = ones / d.points().size();
+  EXPECT_LT(density, 0.35);
+  EXPECT_GT(density, 0.005);
+}
+
+TEST(GeneratorsTest, DenseAnalogHasClusterStructure) {
+  // Average pairwise distance should clearly exceed average distance to the
+  // nearest of a handful of sampled neighbors, i.e. data is not uniform.
+  auto d = MakeAnalogDataset("youtube-sim", Scale::kTiny, 4).value();
+  Rng rng(5);
+  double nn_sum = 0;
+  double rand_sum = 0;
+  const int probes = 30;
+  for (int p = 0; p < probes; ++p) {
+    size_t i = rng.NextBounded(d.size());
+    float best = 1e30f;
+    for (int j = 0; j < 200; ++j) {
+      size_t k = rng.NextBounded(d.size());
+      if (k == i) continue;
+      best = std::min(best, d.DistanceTo(d.Point(i), k));
+    }
+    nn_sum += best;
+    rand_sum += d.DistanceTo(d.Point(i), rng.NextBounded(d.size()));
+  }
+  EXPECT_LT(nn_sum, 0.7 * rand_sum);
+}
+
+TEST(GeneratorsTest, UpdatesComeFromSameDistribution) {
+  const uint64_t seed = 11;
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, seed).value();
+  auto updates_or = MakeAnalogUpdates("glove-sim", Scale::kTiny, 50, seed);
+  ASSERT_TRUE(updates_or.ok());
+  const Matrix& updates = updates_or.value();
+  EXPECT_EQ(updates.rows(), 50u);
+  EXPECT_EQ(updates.cols(), d.dim());
+  // Update rows are unit-norm like the base data.
+  for (size_t r = 0; r < updates.rows(); ++r) {
+    EXPECT_NEAR(DotProduct(updates.Row(r), updates.Row(r), updates.cols()),
+                1.0f, 1e-4f);
+  }
+  // And deterministic.
+  auto again = MakeAnalogUpdates("glove-sim", Scale::kTiny, 50, seed).value();
+  EXPECT_TRUE(updates.AllClose(again, 0.0f));
+}
+
+TEST(GeneratorsTest, PowerLawDensityExpectedOnes) {
+  Rng rng(13);
+  auto density = PowerLawBitDensity(256, 1.2f, 20.0f, &rng);
+  double total = 0;
+  for (float p : density) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 0.95f);
+    total += p;
+  }
+  EXPECT_NEAR(total, 20.0, 2.0);
+}
+
+TEST(GeneratorsTest, GaussianMixtureShapes) {
+  Rng rng(17);
+  Matrix m = GenerateGaussianMixture(100, 8, 4, 1.0f, 0.1f, 0.0f, false, &rng);
+  EXPECT_EQ(m.rows(), 100u);
+  EXPECT_EQ(m.cols(), 8u);
+}
+
+}  // namespace
+}  // namespace simcard

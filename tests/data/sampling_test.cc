@@ -1,0 +1,45 @@
+#include "data/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace simcard {
+namespace {
+
+Dataset MakeDataset(size_t n, size_t d) {
+  Matrix points(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    points.at(r, 0) = static_cast<float>(r);
+  }
+  return Dataset("s", std::move(points), Metric::kL2, 1.0f);
+}
+
+TEST(SamplingTest, SampleIndicesDistinctAndInRange) {
+  Dataset d = MakeDataset(50, 3);
+  Rng rng(1);
+  auto idx = SampleIndices(d, 20, &rng);
+  EXPECT_EQ(idx.size(), 20u);
+  std::set<size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t i : idx) EXPECT_LT(i, 50u);
+}
+
+TEST(SamplingTest, GatherRowsPreservesOrder) {
+  Dataset d = MakeDataset(10, 3);
+  Matrix rows = GatherRows(d.points(), {7, 2, 9});
+  EXPECT_EQ(rows.rows(), 3u);
+  EXPECT_FLOAT_EQ(rows.at(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(rows.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(rows.at(2, 0), 9.0f);
+}
+
+TEST(SamplingTest, SampleLargerThanDatasetReturnsAll) {
+  Dataset d = MakeDataset(5, 2);
+  Rng rng(2);
+  auto idx = SampleIndices(d, 100, &rng);
+  EXPECT_EQ(idx.size(), 5u);
+}
+
+}  // namespace
+}  // namespace simcard

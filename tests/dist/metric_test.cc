@@ -1,0 +1,223 @@
+#include "dist/metric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace simcard {
+namespace {
+
+TEST(MetricTest, NamesAndParsing) {
+  for (Metric m : {Metric::kL1, Metric::kL2, Metric::kCosine, Metric::kAngular,
+                   Metric::kHamming}) {
+    auto parsed = ParseMetric(MetricName(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), m);
+  }
+  EXPECT_FALSE(ParseMetric("nonsense").ok());
+}
+
+TEST(MetricTest, L1KnownValue) {
+  const float a[] = {1, 2, 3};
+  const float b[] = {2, 0, 3};
+  EXPECT_FLOAT_EQ(Distance(a, b, 3, Metric::kL1), 3.0f);
+}
+
+TEST(MetricTest, L2KnownValue) {
+  const float a[] = {0, 0};
+  const float b[] = {3, 4};
+  EXPECT_FLOAT_EQ(Distance(a, b, 2, Metric::kL2), 5.0f);
+}
+
+TEST(MetricTest, CosineOrthogonalAndParallel) {
+  const float x[] = {1, 0};
+  const float y[] = {0, 1};
+  const float x2[] = {2, 0};
+  EXPECT_NEAR(Distance(x, y, 2, Metric::kCosine), 1.0f, 1e-6f);
+  EXPECT_NEAR(Distance(x, x2, 2, Metric::kCosine), 0.0f, 1e-6f);
+}
+
+TEST(MetricTest, AngularRange) {
+  const float x[] = {1, 0};
+  const float y[] = {0, 1};
+  const float neg[] = {-1, 0};
+  EXPECT_NEAR(Distance(x, y, 2, Metric::kAngular), 0.5f, 1e-6f);
+  EXPECT_NEAR(Distance(x, neg, 2, Metric::kAngular), 1.0f, 1e-6f);
+  EXPECT_NEAR(Distance(x, x, 2, Metric::kAngular), 0.0f, 1e-6f);
+}
+
+TEST(MetricTest, HammingNormalized) {
+  const float a[] = {1, 1, 0, 0};
+  const float b[] = {1, 0, 1, 0};
+  EXPECT_FLOAT_EQ(Distance(a, b, 4, Metric::kHamming), 0.5f);
+}
+
+TEST(MetricTest, JaccardExampleFromPaper) {
+  // Paper Section 3.2: universe {a,b,c,d}, u={a,b,c}, v={a,b,d}:
+  // Jaccard distance 0.5 == Hamming distance on the binary encodings.
+  const float u[] = {1, 1, 1, 0};
+  const float v[] = {1, 1, 0, 1};
+  EXPECT_FLOAT_EQ(Distance(u, v, 4, Metric::kHamming), 0.5f);
+}
+
+TEST(MetricTest, CosineEqualsHalfSquaredL2OnUnitVectors) {
+  // Paper identity: dis_cos(u,v) = ||u-v||^2 / 2 for unit vectors.
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    float u[8];
+    float v[8];
+    for (int i = 0; i < 8; ++i) {
+      u[i] = static_cast<float>(rng.NextGaussian());
+      v[i] = static_cast<float>(rng.NextGaussian());
+    }
+    NormalizeRow(u, 8);
+    NormalizeRow(v, 8);
+    const float cos_dist = Distance(u, v, 8, Metric::kCosine);
+    const float l2 = Distance(u, v, 8, Metric::kL2);
+    EXPECT_NEAR(cos_dist, l2 * l2 / 2.0f, 1e-4f);
+  }
+}
+
+// Metric-space axioms on random vectors, for every metric.
+class MetricAxiomsTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricAxiomsTest, NonNegativityIdentitySymmetryTriangle) {
+  const Metric metric = GetParam();
+  Rng rng(42);
+  const size_t d = 16;
+  for (int trial = 0; trial < 50; ++trial) {
+    float a[16], b[16], c[16];
+    for (size_t i = 0; i < d; ++i) {
+      if (metric == Metric::kHamming) {
+        a[i] = rng.NextBernoulli(0.5) ? 1.0f : 0.0f;
+        b[i] = rng.NextBernoulli(0.5) ? 1.0f : 0.0f;
+        c[i] = rng.NextBernoulli(0.5) ? 1.0f : 0.0f;
+      } else {
+        a[i] = static_cast<float>(rng.NextGaussian());
+        b[i] = static_cast<float>(rng.NextGaussian());
+        c[i] = static_cast<float>(rng.NextGaussian());
+      }
+    }
+    const float dab = Distance(a, b, d, metric);
+    const float dba = Distance(b, a, d, metric);
+    const float daa = Distance(a, a, d, metric);
+    const float dac = Distance(a, c, d, metric);
+    const float dcb = Distance(c, b, d, metric);
+    EXPECT_GE(dab, 0.0f);
+    // arccos amplifies the float error of dot/(|a||a|) ~ 1-eps.
+    EXPECT_NEAR(daa, 0.0f, metric == Metric::kAngular ? 1e-3f : 1e-4f);
+    EXPECT_NEAR(dab, dba, 1e-5f);
+    if (metric != Metric::kCosine) {
+      // Cosine distance is not a metric; all others obey the triangle
+      // inequality (needed by the pivot index's pruning).
+      // Angular uses arccos whose derivative blows up near dot = 1, so the
+      // float slack is looser there.
+      const float slack = metric == Metric::kAngular ? 2e-3f : 1e-4f;
+      EXPECT_LE(dab, dac + dcb + slack);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
+                         ::testing::Values(Metric::kL1, Metric::kL2,
+                                           Metric::kCosine, Metric::kAngular,
+                                           Metric::kHamming),
+                         [](const ::testing::TestParamInfo<Metric>& info) {
+                           return MetricName(info.param);
+                         });
+
+// Section 3.2: whole-vector distances decompose over query segments.
+class SegmentDecompositionTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(SegmentDecompositionTest, MergeMatchesDirect) {
+  const Metric metric = GetParam();
+  Rng rng(7);
+  const size_t d = 24;
+  const size_t num_segments = 4;
+  const size_t seg_len = d / num_segments;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<float> u(d), v(d);
+    for (size_t i = 0; i < d; ++i) {
+      if (metric == Metric::kHamming) {
+        u[i] = rng.NextBernoulli(0.4) ? 1.0f : 0.0f;
+        v[i] = rng.NextBernoulli(0.4) ? 1.0f : 0.0f;
+      } else {
+        u[i] = static_cast<float>(rng.NextGaussian());
+        v[i] = static_cast<float>(rng.NextGaussian());
+      }
+    }
+    if (metric == Metric::kCosine || metric == Metric::kAngular) {
+      NormalizeRow(u.data(), d);
+      NormalizeRow(v.data(), d);
+    }
+    std::vector<float> seg_vals(num_segments);
+    std::vector<size_t> seg_lens(num_segments, seg_len);
+    for (size_t s = 0; s < num_segments; ++s) {
+      const float* us = u.data() + s * seg_len;
+      const float* vs = v.data() + s * seg_len;
+      if (metric == Metric::kCosine || metric == Metric::kAngular) {
+        // These merge from per-segment partial dot products.
+        seg_vals[s] = DotProduct(us, vs, seg_len);
+      } else {
+        seg_vals[s] = Distance(us, vs, seg_len, metric);
+      }
+    }
+    const float merged = MergeSegmentDistances(metric, seg_vals, seg_lens);
+    const float direct = Distance(u.data(), v.data(), d, metric);
+    EXPECT_NEAR(merged, direct, 1e-4f) << MetricName(metric);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, SegmentDecompositionTest,
+                         ::testing::Values(Metric::kL1, Metric::kL2,
+                                           Metric::kCosine, Metric::kAngular,
+                                           Metric::kHamming),
+                         [](const ::testing::TestParamInfo<Metric>& info) {
+                           return MetricName(info.param);
+                         });
+
+TEST(MetricTest, HammingMergeWithUnevenSegments) {
+  // 6 dims split 2+4; normalized per-segment distances recombine by length.
+  const float u[] = {1, 0, 1, 1, 0, 0};
+  const float v[] = {0, 0, 1, 0, 0, 1};
+  std::vector<float> seg_vals = {
+      Distance(u, v, 2, Metric::kHamming),
+      Distance(u + 2, v + 2, 4, Metric::kHamming)};
+  const float merged =
+      MergeSegmentDistances(Metric::kHamming, seg_vals, {2, 4});
+  EXPECT_FLOAT_EQ(merged, Distance(u, v, 6, Metric::kHamming));
+}
+
+TEST(BitMatrixTest, MatchesFloatHamming) {
+  Rng rng(9);
+  Matrix m(20, 70);  // spans multiple 64-bit words
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.NextBernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  BitMatrix bits = BitMatrix::FromMatrix(m);
+  EXPECT_EQ(bits.rows(), 20u);
+  EXPECT_EQ(bits.dim(), 70u);
+  EXPECT_EQ(bits.words_per_row(), 2u);
+  std::vector<float> q(70);
+  for (auto& v : q) v = rng.NextBernoulli(0.5) ? 1.0f : 0.0f;
+  const auto packed = bits.PackVector(q.data());
+  for (size_t r = 0; r < 20; ++r) {
+    EXPECT_FLOAT_EQ(bits.HammingNormalized(r, packed.data()),
+                    Distance(q.data(), m.Row(r), 70, Metric::kHamming));
+  }
+}
+
+TEST(NormalizeRowTest, UnitNormAndZeroSafe) {
+  float v[] = {3.0f, 4.0f};
+  NormalizeRow(v, 2);
+  EXPECT_NEAR(v[0], 0.6f, 1e-6f);
+  EXPECT_NEAR(v[1], 0.8f, 1e-6f);
+  float zero[] = {0.0f, 0.0f};
+  NormalizeRow(zero, 2);  // must not produce NaN
+  EXPECT_EQ(zero[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace simcard

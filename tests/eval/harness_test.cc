@@ -1,0 +1,86 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace {
+
+TEST(HarnessTest, BuildEnvironmentWiresEverything) {
+  EnvOptions opts;
+  opts.num_segments = 5;
+  auto env_or = BuildEnvironment("imagenet-sim", Scale::kTiny, opts);
+  ASSERT_TRUE(env_or.ok());
+  const ExperimentEnv& env = env_or.value();
+  EXPECT_EQ(env.spec.name, "imagenet-sim");
+  EXPECT_EQ(env.dataset.size(), env.spec.num_points);
+  EXPECT_LE(env.segmentation.num_segments(), 5u);
+  EXPECT_EQ(env.workload.train.size(), env.spec.train_queries);
+  EXPECT_EQ(env.workload.test.size(), env.spec.test_queries);
+}
+
+TEST(HarnessTest, BuildEnvironmentUnknownDatasetFails) {
+  EXPECT_FALSE(BuildEnvironment("nope", Scale::kTiny, EnvOptions()).ok());
+}
+
+TEST(HarnessTest, QueryOverridesRespected) {
+  EnvOptions opts;
+  opts.num_segments = 4;
+  opts.train_queries_override = 30;
+  opts.test_queries_override = 8;
+  auto env = std::move(
+      BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+  EXPECT_EQ(env.workload.train.size(), 30u);
+  EXPECT_EQ(env.workload.test.size(), 8u);
+}
+
+TEST(HarnessTest, MakeEstimatorByNameCoversTable2) {
+  for (const char* name :
+       {"GL+", "Local+", "GL-CNN", "GL-MLP", "QES", "MLP", "CardNet",
+        "Kernel-based", "Sampling (1%)", "Sampling (10%)", "CNNJoin",
+        "GLJoin", "GLJoin+"}) {
+    auto est = MakeEstimatorByName(name, Scale::kTiny);
+    ASSERT_TRUE(est.ok()) << name;
+    EXPECT_EQ(est.value()->Name(), name);
+  }
+  EXPECT_FALSE(MakeEstimatorByName("DoesNotExist", Scale::kTiny).ok());
+}
+
+TEST(HarnessTest, SamplingEqualRequiresTargetBytes) {
+  EXPECT_FALSE(MakeEstimatorByName("Sampling (equal)", Scale::kTiny).ok());
+  auto est = MakeEstimatorByName("Sampling (equal)", Scale::kTiny, 1 << 16);
+  ASSERT_TRUE(est.ok());
+}
+
+TEST(HarnessTest, EvaluateSearchProducesConsistentSummaries) {
+  EnvOptions opts;
+  opts.num_segments = 4;
+  auto env = std::move(
+      BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+  auto est = std::move(
+      MakeEstimatorByName("Sampling (10%)", Scale::kTiny).value());
+  TrainContext ctx = MakeTrainContext(env);
+  ASSERT_TRUE(est->Train(ctx).ok());
+  EvalResult result = EvaluateSearch(est.get(), env.workload);
+  const size_t expected_samples =
+      env.workload.test.size() * env.workload.test[0].thresholds.size();
+  EXPECT_EQ(result.qerrors.size(), expected_samples);
+  EXPECT_EQ(result.mapes.size(), expected_samples);
+  EXPECT_EQ(result.qerror.count, expected_samples);
+  EXPECT_GE(result.qerror.max, result.qerror.median);
+  EXPECT_GE(result.qerror.median, 1.0);
+  EXPECT_GE(result.mean_latency_ms, 0.0);
+}
+
+TEST(HarnessTest, TrainContextBorrowsEnvironment) {
+  EnvOptions opts;
+  opts.num_segments = 4;
+  auto env = std::move(
+      BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+  TrainContext ctx = MakeTrainContext(env);
+  EXPECT_EQ(ctx.dataset, &env.dataset);
+  EXPECT_EQ(ctx.workload, &env.workload);
+  EXPECT_EQ(ctx.segmentation, &env.segmentation);
+}
+
+}  // namespace
+}  // namespace simcard

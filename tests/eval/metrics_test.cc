@@ -1,0 +1,70 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace {
+
+TEST(QErrorTest, SymmetricRatio) {
+  EXPECT_DOUBLE_EQ(QError(200, 100), 2.0);
+  EXPECT_DOUBLE_EQ(QError(50, 100), 2.0);
+  EXPECT_DOUBLE_EQ(QError(100, 100), 1.0);
+}
+
+TEST(QErrorTest, AlwaysAtLeastOne) {
+  EXPECT_GE(QError(0.0, 0.0), 1.0);
+  EXPECT_GE(QError(1e-9, 100), 1.0);
+}
+
+TEST(QErrorTest, ZeroFloorMatchesPaperConvention) {
+  // Paper: "If min(est, card) = 0, we set it with a small value, e.g. 0.1".
+  EXPECT_DOUBLE_EQ(QError(0.0, 10.0), 100.0);
+  EXPECT_DOUBLE_EQ(QError(10.0, 0.0), 100.0);
+}
+
+TEST(MapeTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(Mape(150, 100), 0.5);
+  EXPECT_DOUBLE_EQ(Mape(50, 100), 0.5);
+  EXPECT_DOUBLE_EQ(Mape(100, 100), 0.0);
+}
+
+TEST(MapeTest, ZeroTruthUsesFloor) {
+  EXPECT_DOUBLE_EQ(Mape(1.0, 0.0), 10.0);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  ErrorSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  ErrorSummary s = Summarize({3.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.max, 3.0);
+}
+
+TEST(SummarizeTest, KnownDistribution) {
+  std::vector<double> errors;
+  for (int i = 1; i <= 100; ++i) errors.push_back(i);
+  ErrorSummary s = Summarize(errors);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.median, 50.5, 0.01);
+  EXPECT_NEAR(s.p90, 90.1, 0.5);
+  EXPECT_NEAR(s.p95, 95.05, 0.5);
+  EXPECT_NEAR(s.p99, 99.01, 0.5);
+  EXPECT_EQ(s.max, 100.0);
+}
+
+TEST(SummarizeTest, OrderIndependent) {
+  ErrorSummary a = Summarize({5, 1, 3, 2, 4});
+  ErrorSummary b = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.mean, b.mean);
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,68 @@
+#include "eval/reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace simcard {
+namespace {
+
+TEST(FormatPaperNumberTest, SignificantDigitsByMagnitude) {
+  EXPECT_EQ(FormatPaperNumber(2.3456), "2.35");
+  EXPECT_EQ(FormatPaperNumber(19.73), "19.7");
+  EXPECT_EQ(FormatPaperNumber(111.4), "111");
+  EXPECT_EQ(FormatPaperNumber(3526.0), "3526");
+  EXPECT_EQ(FormatPaperNumber(0.25), "0.25");
+}
+
+TEST(TableReporterTest, AlignedOutput) {
+  TableReporter table({"Method", "Mean"});
+  table.AddRow({"GL+", "2.34"});
+  table.AddRow({"Sampling (1%)", "19.6"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Method"), std::string::npos);
+  EXPECT_NE(text.find("Sampling (1%)"), std::string::npos);
+  // All lines share the same width.
+  std::istringstream lines(text);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TableReporterTest, SummaryRowUsesPaperColumns) {
+  auto cols = SummaryColumns("Method");
+  ASSERT_EQ(cols.size(), 7u);
+  EXPECT_EQ(cols[0], "Method");
+  EXPECT_EQ(cols[1], "Mean");
+  EXPECT_EQ(cols[6], "Max");
+
+  TableReporter table(cols);
+  ErrorSummary s;
+  s.mean = 2.34;
+  s.median = 1.09;
+  s.p90 = 2.47;
+  s.p95 = 4.32;
+  s.p99 = 19.7;
+  s.max = 111;
+  table.AddSummaryRow("GL+", s);
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("2.34"), std::string::npos);
+  EXPECT_NE(out.str().find("111"), std::string::npos);
+}
+
+TEST(TableReporterTest, ShortRowsPadded) {
+  TableReporter table({"A", "B", "C"});
+  table.AddRow({"x"});  // missing cells become empty
+  std::ostringstream out;
+  table.Print(out);
+  SUCCEED();  // must not crash
+}
+
+}  // namespace
+}  // namespace simcard

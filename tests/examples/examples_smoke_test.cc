@@ -1,0 +1,75 @@
+// Smoke test for the example binaries: each must run to completion at tiny
+// scale and print its headline output. Paths are injected by CMake.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace simcard {
+namespace {
+
+// Runs a command, captures stdout, returns the exit code.
+int RunCapture(const std::string& command, std::string* output) {
+  output->clear();
+  FILE* pipe = popen((command + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  std::array<char, 4096> buffer;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output->append(buffer.data());
+  }
+  return pclose(pipe);
+}
+
+TEST(ExamplesSmokeTest, Quickstart) {
+  std::string out;
+  ASSERT_EQ(RunCapture(std::string(SIMCARD_QUICKSTART_BIN) + " --scale=tiny",
+                       &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("trained GL-CNN"), std::string::npos);
+  EXPECT_NE(out.find("q-error"), std::string::npos);
+}
+
+TEST(ExamplesSmokeTest, ImageSearch) {
+  std::string out;
+  ASSERT_EQ(RunCapture(std::string(SIMCARD_IMAGE_SEARCH_BIN) +
+                           " --scale=tiny",
+                       &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("planner agreement with oracle"), std::string::npos);
+}
+
+TEST(ExamplesSmokeTest, JoinPlanning) {
+  std::string out;
+  ASSERT_EQ(RunCapture(std::string(SIMCARD_JOIN_PLANNING_BIN) +
+                           " --scale=tiny",
+                       &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("batch (sum-pooled) estimation"), std::string::npos);
+}
+
+TEST(ExamplesSmokeTest, DataUpdates) {
+  std::string out;
+  ASSERT_EQ(RunCapture(std::string(SIMCARD_DATA_UPDATES_BIN) +
+                           " --scale=tiny --batches=2",
+                       &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("incremental update"), std::string::npos);
+}
+
+TEST(ExamplesSmokeTest, RadiusTuning) {
+  std::string out;
+  ASSERT_EQ(RunCapture(std::string(SIMCARD_RADIUS_TUNING_BIN) +
+                           " --scale=tiny --target=10",
+                       &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("geometric-mean deviation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,102 @@
+#include "index/ground_truth.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace simcard {
+namespace {
+
+TEST(GroundTruthTest, CountMatchesBruteForce) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 1).value();
+  GroundTruth gt(&d);
+  const float* q = d.Point(5);
+  for (float tau : {0.05f, 0.2f, 0.5f}) {
+    size_t expected = 0;
+    for (size_t i = 0; i < d.size(); ++i) {
+      expected += d.DistanceTo(q, i) <= tau;
+    }
+    EXPECT_EQ(gt.Count(q, tau), expected) << "tau=" << tau;
+  }
+}
+
+TEST(GroundTruthTest, HammingBitPathMatchesFloatPath) {
+  auto d = MakeAnalogDataset("imagenet-sim", Scale::kTiny, 2).value();
+  GroundTruth gt(&d);
+  const float* q = d.Point(3);
+  std::vector<float> fast;
+  gt.ComputeAllDistances(q, &fast);
+  for (size_t i = 0; i < d.size(); i += 37) {
+    EXPECT_FLOAT_EQ(fast[i],
+                    Distance(q, d.Point(i), d.dim(), Metric::kHamming));
+  }
+}
+
+TEST(GroundTruthTest, ProfileCountsMatchDirectCounts) {
+  auto d = MakeAnalogDataset("youtube-sim", Scale::kTiny, 3).value();
+  GroundTruth gt(&d);
+  const float* q = d.Point(0);
+  auto profile = gt.BuildProfile(q, nullptr);
+  EXPECT_EQ(profile.sorted_all.size(), d.size());
+  for (float tau : {0.1f, 0.5f, 1.0f, 3.0f}) {
+    EXPECT_EQ(profile.CountAt(tau), gt.Count(q, tau));
+  }
+  // Sorted ascending.
+  for (size_t i = 1; i < profile.sorted_all.size(); ++i) {
+    EXPECT_LE(profile.sorted_all[i - 1], profile.sorted_all[i]);
+  }
+}
+
+TEST(GroundTruthTest, SegmentCountsSumToTotal) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 4).value();
+  SegmentationOptions seg_opts;
+  seg_opts.target_segments = 6;
+  auto seg = SegmentData(d, seg_opts).value();
+  GroundTruth gt(&d);
+  const float* q = d.Point(7);
+  auto profile = gt.BuildProfile(q, &seg);
+  ASSERT_EQ(profile.sorted_by_seg.size(), seg.num_segments());
+  for (float tau : {0.05f, 0.15f, 0.4f}) {
+    size_t sum = 0;
+    for (size_t s = 0; s < seg.num_segments(); ++s) {
+      sum += profile.SegCountAt(s, tau);
+    }
+    EXPECT_EQ(sum, profile.CountAt(tau)) << "tau=" << tau;
+  }
+}
+
+TEST(GroundTruthTest, TauForSelectivityInvertsCount) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 5).value();
+  GroundTruth gt(&d);
+  auto profile = gt.BuildProfile(d.Point(11), nullptr);
+  for (double sel : {0.001, 0.01, 0.1}) {
+    const float tau = profile.TauForSelectivity(sel);
+    const size_t target =
+        static_cast<size_t>(std::ceil(sel * static_cast<double>(d.size())));
+    // Count at tau reaches the target rank (ties can push it higher).
+    EXPECT_GE(profile.CountAt(tau), target);
+  }
+}
+
+TEST(GroundTruthTest, TauForSelectivityMonotone) {
+  auto d = MakeAnalogDataset("imagenet-sim", Scale::kTiny, 6).value();
+  GroundTruth gt(&d);
+  auto profile = gt.BuildProfile(d.Point(2), nullptr);
+  float prev = -1.0f;
+  for (double sel = 0.001; sel <= 0.5; sel *= 2) {
+    const float tau = profile.TauForSelectivity(sel);
+    EXPECT_GE(tau, prev);
+    prev = tau;
+  }
+}
+
+TEST(GroundTruthTest, QueryFromDatasetCountsItself) {
+  auto d = MakeAnalogDataset("youtube-sim", Scale::kTiny, 7).value();
+  GroundTruth gt(&d);
+  // Distance to itself is 0, so card at tau=0 is at least 1.
+  EXPECT_GE(gt.Count(d.Point(9), 0.0f), 1u);
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,47 @@
+// Pivot-index exactness on the sparse Hamming analogs (the dense/angular
+// analogs are covered in pivot_index_test.cc). Sparse binary data has very
+// concentrated distances, the hardest case for triangle-inequality pruning
+// — exactness must hold even when pruning is useless.
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "index/ground_truth.h"
+#include "index/pivot_index.h"
+
+namespace simcard {
+namespace {
+
+class SparsePivotTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SparsePivotTest, ExactOnSparseHamming) {
+  auto d = MakeAnalogDataset(GetParam(), Scale::kTiny, 21).value();
+  ASSERT_EQ(d.metric(), Metric::kHamming);
+  ExactPivotIndex::Options opts;
+  opts.num_pivots = 4;
+  auto index = ExactPivotIndex::Build(&d, opts).value();
+  GroundTruth gt(&d);
+  Rng rng(22);
+  for (int trial = 0; trial < 8; ++trial) {
+    const float* q = d.Point(rng.NextBounded(d.size()));
+    auto profile = gt.BuildProfile(q, nullptr);
+    for (double sel : {0.001, 0.01, 0.2}) {
+      const float tau = profile.TauForSelectivity(sel);
+      EXPECT_EQ(index.Count(q, tau), gt.Count(q, tau))
+          << GetParam() << " tau=" << tau;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SparseAnalogs, SparsePivotTest,
+                         ::testing::Values("bms-sim", "aminer-sim",
+                                           "dblp-sim"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name = i.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,84 @@
+#include "index/pivot_index.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "index/ground_truth.h"
+
+namespace simcard {
+namespace {
+
+TEST(PivotIndexTest, RejectsBadInputs) {
+  ExactPivotIndex::Options opts;
+  EXPECT_FALSE(ExactPivotIndex::Build(nullptr, opts).ok());
+  Dataset empty;
+  EXPECT_FALSE(ExactPivotIndex::Build(&empty, opts).ok());
+}
+
+// Exactness across metrics: the pivot index must agree with brute force.
+class PivotIndexExactnessTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(PivotIndexExactnessTest, CountsAreExact) {
+  auto d = MakeAnalogDataset(GetParam(), Scale::kTiny, 8).value();
+  ExactPivotIndex::Options opts;
+  opts.num_pivots = 6;
+  auto index = ExactPivotIndex::Build(&d, opts).value();
+  GroundTruth gt(&d);
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const float* q = d.Point(rng.NextBounded(d.size()));
+    auto profile = gt.BuildProfile(q, nullptr);
+    for (double sel : {0.002, 0.01, 0.05}) {
+      const float tau = profile.TauForSelectivity(sel);
+      EXPECT_EQ(index.Count(q, tau), gt.Count(q, tau))
+          << GetParam() << " tau=" << tau;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, PivotIndexExactnessTest,
+                         ::testing::Values("glove-sim", "imagenet-sim",
+                                           "youtube-sim"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name = i.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(PivotIndexTest, PruningActuallyHappens) {
+  auto d = MakeAnalogDataset("glove-sim", Scale::kTiny, 9).value();
+  ExactPivotIndex::Options opts;
+  opts.num_pivots = 8;
+  auto index = ExactPivotIndex::Build(&d, opts).value();
+  GroundTruth gt(&d);
+  auto profile = gt.BuildProfile(d.Point(0), nullptr);
+  // Low-selectivity query: the triangle bound should prune most points.
+  index.Count(d.Point(0), profile.TauForSelectivity(0.005));
+  EXPECT_GT(index.last_prune_fraction(), 0.3);
+}
+
+TEST(PivotIndexTest, MorePivotsPruneMore) {
+  auto d = MakeAnalogDataset("youtube-sim", Scale::kTiny, 10).value();
+  GroundTruth gt(&d);
+  auto profile = gt.BuildProfile(d.Point(1), nullptr);
+  const float tau = profile.TauForSelectivity(0.005);
+
+  ExactPivotIndex::Options few;
+  few.num_pivots = 1;
+  auto index_few = ExactPivotIndex::Build(&d, few).value();
+  index_few.Count(d.Point(1), tau);
+
+  ExactPivotIndex::Options many;
+  many.num_pivots = 16;
+  auto index_many = ExactPivotIndex::Build(&d, many).value();
+  index_many.Count(d.Point(1), tau);
+
+  EXPECT_GE(index_many.last_prune_fraction(),
+            index_few.last_prune_fraction());
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,60 @@
+// Cross-dataset integration sweep: the full pipeline (generate -> segment ->
+// label -> train -> estimate) must work on every paper-analog dataset, i.e.
+// across all three metric families (Hamming sparse/dense, angular, L2) and
+// all dimensionalities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/harness.h"
+
+namespace simcard {
+namespace {
+
+class CrossDatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CrossDatasetTest, GlCnnPipelineEndToEnd) {
+  const std::string dataset = GetParam();
+  EnvOptions opts;
+  opts.num_segments = 5;
+  auto env_or = BuildEnvironment(dataset, Scale::kTiny, opts);
+  ASSERT_TRUE(env_or.ok()) << env_or.status().ToString();
+  ExperimentEnv env = std::move(env_or).value();
+
+  // Environment sanity across metrics.
+  EXPECT_EQ(env.dataset.size(), env.spec.num_points);
+  EXPECT_EQ(env.workload.train.size(), env.spec.train_queries);
+  for (const auto& lq : env.workload.test) {
+    float prev_card = -1.0f;
+    for (const auto& t : lq.thresholds) {
+      EXPECT_GE(t.card, prev_card);  // labels monotone in tau
+      prev_card = t.card;
+      float seg_sum = 0.0f;
+      for (float c : t.seg_cards) seg_sum += c;
+      EXPECT_FLOAT_EQ(seg_sum, t.card);
+    }
+  }
+
+  auto est = std::move(MakeEstimatorByName("GL-CNN", Scale::kTiny).value());
+  TrainContext ctx = MakeTrainContext(env);
+  ASSERT_TRUE(est->Train(ctx).ok());
+  EvalResult result = EvaluateSearch(est.get(), env.workload);
+  EXPECT_TRUE(std::isfinite(result.qerror.mean)) << dataset;
+  // Loose accuracy bar: far better than the 1%-sampling failure mode and
+  // sane for a tiny training budget.
+  EXPECT_LT(result.qerror.median, 10.0) << dataset;
+  EXPECT_GT(result.qerror.median, 0.99) << dataset;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAnalogs, CrossDatasetTest, ::testing::ValuesIn(AnalogNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,99 @@
+#include "nn/activations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simcard {
+namespace nn {
+namespace {
+
+TEST(ActivationsTest, ReluClampsNegatives) {
+  Relu relu;
+  Matrix x = Matrix::RowVector({-2.0f, 0.0f, 3.0f});
+  Matrix y = relu.Forward(x);
+  EXPECT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_EQ(y.at(0, 1), 0.0f);
+  EXPECT_EQ(y.at(0, 2), 3.0f);
+}
+
+TEST(ActivationsTest, ReluBackwardMasksNegatives) {
+  Relu relu;
+  Matrix x = Matrix::RowVector({-1.0f, 2.0f});
+  relu.Forward(x);
+  Matrix g = Matrix::RowVector({5.0f, 5.0f});
+  Matrix gx = relu.Backward(g);
+  EXPECT_EQ(gx.at(0, 0), 0.0f);
+  EXPECT_EQ(gx.at(0, 1), 5.0f);
+}
+
+TEST(ActivationsTest, SigmoidRangeAndSymmetry) {
+  Sigmoid s;
+  Matrix x = Matrix::RowVector({-100.0f, -1.0f, 0.0f, 1.0f, 100.0f});
+  Matrix y = s.Forward(x);
+  EXPECT_NEAR(y.at(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(y.at(0, 2), 0.5f, 1e-6f);
+  EXPECT_NEAR(y.at(0, 4), 1.0f, 1e-6f);
+  EXPECT_NEAR(y.at(0, 1) + y.at(0, 3), 1.0f, 1e-5f);
+}
+
+TEST(ActivationsTest, TanhMatchesStd) {
+  Tanh t;
+  Matrix x = Matrix::RowVector({-0.7f, 0.3f});
+  Matrix y = t.Forward(x);
+  EXPECT_NEAR(y.at(0, 0), std::tanh(-0.7f), 1e-6f);
+  EXPECT_NEAR(y.at(0, 1), std::tanh(0.3f), 1e-6f);
+}
+
+TEST(ActivationsTest, SoftplusPositiveAndSmooth) {
+  Softplus sp;
+  Matrix x = Matrix::RowVector({-30.0f, 0.0f, 30.0f});
+  Matrix y = sp.Forward(x);
+  EXPECT_GE(y.at(0, 0), 0.0f);
+  EXPECT_NEAR(y.at(0, 1), std::log(2.0f), 1e-5f);
+  EXPECT_NEAR(y.at(0, 2), 30.0f, 1e-4f);
+}
+
+TEST(ActivationsTest, ScalarHelpersStableAtExtremes) {
+  EXPECT_NEAR(SigmoidScalar(500.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(SigmoidScalar(-500.0f), 0.0f, 1e-6f);
+  EXPECT_TRUE(std::isfinite(SoftplusScalar(500.0f)));
+  EXPECT_TRUE(std::isfinite(SoftplusScalar(-500.0f)));
+  EXPECT_GE(SoftplusScalar(-500.0f), 0.0f);
+}
+
+// All activations used on the tau path must be monotone non-decreasing;
+// the model's monotonicity proof depends on it.
+class MonotoneActivationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotoneActivationTest, NonDecreasing) {
+  std::unique_ptr<Layer> act;
+  switch (GetParam()) {
+    case 0:
+      act = std::make_unique<Relu>();
+      break;
+    case 1:
+      act = std::make_unique<Sigmoid>();
+      break;
+    case 2:
+      act = std::make_unique<Tanh>();
+      break;
+    default:
+      act = std::make_unique<Softplus>();
+      break;
+  }
+  float prev = -std::numeric_limits<float>::infinity();
+  for (float x = -5.0f; x <= 5.0f; x += 0.25f) {
+    Matrix in = Matrix::RowVector({x});
+    const float y = act->Forward(in).at(0, 0);
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, MonotoneActivationTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,129 @@
+#include "nn/conv1d.h"
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace nn {
+namespace {
+
+TEST(Conv1DTest, ComputeOutLength) {
+  EXPECT_EQ(Conv1D::ComputeOutLength(10, 3, 1, 0), 8u);
+  EXPECT_EQ(Conv1D::ComputeOutLength(10, 3, 2, 0), 4u);
+  EXPECT_EQ(Conv1D::ComputeOutLength(10, 3, 1, 1), 10u);
+  EXPECT_EQ(Conv1D::ComputeOutLength(8, 4, 4, 0), 2u);
+  EXPECT_EQ(Conv1D::ComputeOutLength(3, 5, 1, 0), 0u);  // infeasible
+  EXPECT_EQ(Conv1D::ComputeOutLength(3, 5, 1, 1), 1u);  // feasible w/ pad
+  EXPECT_EQ(Conv1D::ComputeOutLength(4, 0, 1, 0), 0u);
+  EXPECT_EQ(Conv1D::ComputeOutLength(4, 2, 0, 0), 0u);
+}
+
+// Sets the conv filter to known values via the parameter interface.
+void SetFilter(Conv1D* conv, const std::vector<float>& weights, float bias) {
+  auto params = conv->Parameters();
+  Matrix& w = params[0]->value();
+  ASSERT_EQ(w.size(), weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) w.data()[i] = weights[i];
+  params[1]->value().Fill(bias);
+}
+
+TEST(Conv1DTest, KnownConvolution) {
+  Rng rng(1);
+  // 1 channel, length 4, 1 filter of kernel 2, stride 1, no pad.
+  Conv1D conv(1, 4, 1, 2, 1, 0, &rng);
+  SetFilter(&conv, {1.0f, -1.0f}, 0.5f);
+  Matrix x = Matrix::RowVector({1.0f, 3.0f, 2.0f, 5.0f});
+  Matrix y = conv.Forward(x);
+  ASSERT_EQ(y.cols(), 3u);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.0f - 3.0f + 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 3.0f - 2.0f + 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 2.0f - 5.0f + 0.5f);
+}
+
+TEST(Conv1DTest, SegmentLayerSharesWeightsAcrossSegments) {
+  // kernel == stride == segment width: each output position applies the
+  // same filter to one segment (the paper's shared f()).
+  Rng rng(2);
+  Conv1D conv(1, 6, 1, 3, 3, 0, &rng);
+  SetFilter(&conv, {1.0f, 2.0f, 3.0f}, 0.0f);
+  Matrix x = Matrix::RowVector({1, 0, 0, 0, 1, 0});
+  Matrix y = conv.Forward(x);
+  ASSERT_EQ(y.cols(), 2u);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.0f);
+}
+
+TEST(Conv1DTest, PaddingContributesZeros) {
+  Rng rng(3);
+  Conv1D conv(1, 2, 1, 3, 1, 1, &rng);
+  SetFilter(&conv, {1.0f, 1.0f, 1.0f}, 0.0f);
+  Matrix x = Matrix::RowVector({4.0f, 6.0f});
+  Matrix y = conv.Forward(x);
+  ASSERT_EQ(y.cols(), 2u);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 10.0f);  // 0+4+6
+  EXPECT_FLOAT_EQ(y.at(0, 1), 10.0f);  // 4+6+0
+}
+
+TEST(Conv1DTest, MultiChannelSumsAcrossInputChannels) {
+  Rng rng(4);
+  Conv1D conv(2, 3, 1, 1, 1, 0, &rng);
+  // Filter: channel0 weight 1, channel1 weight 10.
+  SetFilter(&conv, {1.0f, 10.0f}, 0.0f);
+  // Row layout is channel-major: [c0: 1 2 3][c1: 4 5 6].
+  Matrix x = Matrix::RowVector({1, 2, 3, 4, 5, 6});
+  Matrix y = conv.Forward(x);
+  ASSERT_EQ(y.cols(), 3u);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 41.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 52.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 63.0f);
+}
+
+TEST(Conv1DTest, OutputLayoutIsChannelMajor) {
+  Rng rng(5);
+  Conv1D conv(1, 4, 2, 2, 2, 0, &rng);
+  auto params = conv.Parameters();
+  // Filter 0 = [1,0] (picks first element), filter 1 = [0,1] (second).
+  Matrix& w = params[0]->value();
+  w.at(0, 0) = 1.0f;
+  w.at(0, 1) = 0.0f;
+  w.at(1, 0) = 0.0f;
+  w.at(1, 1) = 1.0f;
+  params[1]->value().Fill(0.0f);
+  Matrix x = Matrix::RowVector({7, 8, 9, 10});
+  Matrix y = conv.Forward(x);
+  ASSERT_EQ(y.cols(), 4u);  // 2 channels x out_len 2
+  EXPECT_FLOAT_EQ(y.at(0, 0), 7.0f);   // ch0 pos0
+  EXPECT_FLOAT_EQ(y.at(0, 1), 9.0f);   // ch0 pos1
+  EXPECT_FLOAT_EQ(y.at(0, 2), 8.0f);   // ch1 pos0
+  EXPECT_FLOAT_EQ(y.at(0, 3), 10.0f);  // ch1 pos1
+}
+
+TEST(Conv1DTest, BatchRowsIndependent) {
+  Rng rng(6);
+  Conv1D conv(1, 5, 2, 3, 1, 1, &rng);
+  Matrix x = Matrix::Gaussian(3, 5, 1.0f, &rng);
+  Matrix all = conv.Forward(x);
+  for (size_t r = 0; r < 3; ++r) {
+    Matrix single = conv.Forward(x.SliceRows(r, r + 1));
+    for (size_t c = 0; c < all.cols(); ++c) {
+      EXPECT_FLOAT_EQ(single.at(0, c), all.at(r, c));
+    }
+  }
+}
+
+TEST(Conv1DTest, SerializationRoundTrip) {
+  Rng rng(7);
+  Conv1D conv(2, 6, 3, 2, 2, 0, &rng);
+  Matrix x = Matrix::Gaussian(2, 12, 1.0f, &rng);
+  Matrix before = conv.Forward(x);
+  Serializer out;
+  conv.Serialize(&out);
+  Rng rng2(1000);
+  Conv1D restored(2, 6, 3, 2, 2, 0, &rng2);
+  Deserializer in(out.bytes());
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_TRUE(restored.Forward(x).AllClose(before, 0.0f));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,62 @@
+#include "nn/dropout.h"
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace nn {
+namespace {
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Dropout layer(0.5f, 1);
+  layer.SetTraining(false);
+  Rng rng(2);
+  Matrix x = Matrix::Gaussian(4, 8, 1.0f, &rng);
+  EXPECT_TRUE(layer.Forward(x).AllClose(x, 0.0f));
+  EXPECT_TRUE(layer.Backward(x).AllClose(x, 0.0f));
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityInTraining) {
+  Dropout layer(0.0f, 1);
+  Rng rng(3);
+  Matrix x = Matrix::Gaussian(2, 5, 1.0f, &rng);
+  EXPECT_TRUE(layer.Forward(x).AllClose(x, 0.0f));
+}
+
+TEST(DropoutTest, TrainingZeroesApproximatelyRateFraction) {
+  Dropout layer(0.3f, 4);
+  Matrix x = Matrix::Full(100, 100, 1.0f);
+  Matrix y = layer.Forward(x);
+  size_t zeros = 0;
+  for (size_t i = 0; i < y.size(); ++i) zeros += y.data()[i] == 0.0f;
+  EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.3, 0.02);
+}
+
+TEST(DropoutTest, InvertedScalingPreservesExpectation) {
+  Dropout layer(0.4f, 5);
+  Matrix x = Matrix::Full(200, 200, 1.0f);
+  Matrix y = layer.Forward(x);
+  EXPECT_NEAR(y.Sum() / y.size(), 1.0, 0.02);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout layer(0.5f, 6);
+  Matrix x = Matrix::Full(10, 10, 1.0f);
+  Matrix y = layer.Forward(x);
+  Matrix g = Matrix::Full(10, 10, 1.0f);
+  Matrix gx = layer.Backward(g);
+  // Gradient flows exactly where activations survived.
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_EQ(gx.data()[i] == 0.0f, y.data()[i] == 0.0f);
+  }
+}
+
+TEST(DropoutTest, DeterministicPerSeed) {
+  Dropout a(0.5f, 7);
+  Dropout b(0.5f, 7);
+  Matrix x = Matrix::Full(8, 8, 1.0f);
+  EXPECT_TRUE(a.Forward(x).AllClose(b.Forward(x), 0.0f));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

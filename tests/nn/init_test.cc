@@ -1,0 +1,60 @@
+#include "nn/init.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace simcard {
+namespace nn {
+namespace {
+
+TEST(InitTest, XavierUniformBounds) {
+  Rng rng(1);
+  const size_t fan_in = 30;
+  const size_t fan_out = 50;
+  Matrix w = XavierUniform(fan_in, fan_out, &rng);
+  const float limit = std::sqrt(6.0f / (fan_in + fan_out));
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w.data()[i]), limit);
+  }
+  // Roughly zero-mean.
+  EXPECT_NEAR(w.Sum() / w.size(), 0.0, limit / 10);
+}
+
+TEST(InitTest, HeGaussianVariance) {
+  Rng rng(2);
+  const size_t fan_in = 100;
+  Matrix w = HeGaussian(fan_in, 200, &rng);
+  double sq = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    sq += static_cast<double>(w.data()[i]) * w.data()[i];
+  }
+  EXPECT_NEAR(sq / w.size(), 2.0 / fan_in, 0.2 / fan_in * 10);
+}
+
+TEST(InitTest, InverseSoftplusInvertsSoftplus) {
+  for (float y : {0.01f, 0.1f, 0.7f, 1.0f, 5.0f, 25.0f}) {
+    const float x = InverseSoftplus(y);
+    EXPECT_NEAR(SoftplusScalar(x), y, 1e-4f * std::max(1.0f, y)) << y;
+  }
+}
+
+TEST(InitTest, PositiveRawInitYieldsPositiveEffectiveWeights) {
+  Rng rng(3);
+  Matrix raw = PositiveRawInit(20, 20, &rng);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_GT(SoftplusScalar(raw.data()[i]), 0.0f);
+  }
+}
+
+TEST(InitTest, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_TRUE(XavierUniform(5, 5, &a).AllClose(XavierUniform(5, 5, &b), 0.0f));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,96 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace simcard {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ForwardComputesAffine) {
+  Rng rng(1);
+  Linear layer(2, 2, &rng);
+  // Overwrite weights with known values through the parameter interface.
+  auto params = layer.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  Matrix& w = params[0]->value();
+  w.at(0, 0) = 1.0f;
+  w.at(0, 1) = 2.0f;
+  w.at(1, 0) = 3.0f;
+  w.at(1, 1) = 4.0f;
+  params[1]->value().at(0, 0) = 10.0f;
+  params[1]->value().at(0, 1) = 20.0f;
+
+  Matrix x = Matrix::RowVector({1.0f, 1.0f});
+  Matrix y = layer.Forward(x);
+  EXPECT_EQ(y.at(0, 0), 14.0f);  // 1+3+10
+  EXPECT_EQ(y.at(0, 1), 26.0f);  // 2+4+20
+}
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(2);
+  Linear layer(5, 3, &rng);
+  Matrix x = Matrix::Gaussian(7, 5, 1.0f, &rng);
+  Matrix y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 7u);
+  EXPECT_EQ(y.cols(), 3u);
+  EXPECT_EQ(layer.OutputCols(5), 3u);
+}
+
+TEST(LinearTest, BackwardAccumulatesGrads) {
+  Rng rng(3);
+  Linear layer(3, 2, &rng);
+  Matrix x = Matrix::Gaussian(4, 3, 1.0f, &rng);
+  layer.Forward(x);
+  Matrix g = Matrix::Full(4, 2, 1.0f);
+  layer.Backward(g);
+  // Bias gradient = column sums of g = batch size.
+  auto params = layer.Parameters();
+  EXPECT_EQ(params[1]->grad().at(0, 0), 4.0f);
+  // Backward called twice accumulates.
+  layer.Backward(g);
+  EXPECT_EQ(params[1]->grad().at(0, 1), 8.0f);
+}
+
+TEST(LinearTest, BackwardInputGradUsesWeights) {
+  Rng rng(4);
+  Linear layer(2, 1, &rng);
+  auto params = layer.Parameters();
+  params[0]->value().at(0, 0) = 2.0f;
+  params[0]->value().at(1, 0) = -3.0f;
+  Matrix x = Matrix::RowVector({1.0f, 1.0f});
+  layer.Forward(x);
+  Matrix g = Matrix::Full(1, 1, 1.0f);
+  Matrix gx = layer.Backward(g);
+  EXPECT_EQ(gx.at(0, 0), 2.0f);
+  EXPECT_EQ(gx.at(0, 1), -3.0f);
+}
+
+TEST(LinearTest, SetBiasOverwrites) {
+  Rng rng(5);
+  Linear layer(2, 3, &rng);
+  layer.SetBias(7.5f);
+  Matrix y = layer.Forward(Matrix::Zeros(1, 2));
+  for (size_t c = 0; c < 3; ++c) EXPECT_EQ(y.at(0, c), 7.5f);
+}
+
+TEST(LinearTest, SerializationRoundTrip) {
+  Rng rng(6);
+  Linear layer(4, 3, &rng);
+  Matrix x = Matrix::Gaussian(2, 4, 1.0f, &rng);
+  Matrix before = layer.Forward(x);
+
+  Serializer out;
+  layer.Serialize(&out);
+
+  Rng rng2(999);
+  Linear restored(4, 3, &rng2);
+  Deserializer in(out.bytes());
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_TRUE(restored.Forward(x).AllClose(before, 0.0f));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

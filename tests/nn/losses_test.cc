@@ -1,0 +1,218 @@
+#include "nn/losses.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simcard {
+namespace nn {
+namespace {
+
+// Central-difference check of an analytic gradient of a loss w.r.t. pred.
+template <typename LossFn>
+void CheckLossGrad(const LossFn& compute, const Matrix& pred, double tol) {
+  Matrix grad;
+  compute(pred, &grad);
+  const double h = 1e-3;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    Matrix p = pred;
+    p.data()[i] += static_cast<float>(h);
+    const double lp = compute(p, nullptr);
+    p.data()[i] -= static_cast<float>(2 * h);
+    const double lm = compute(p, nullptr);
+    const double numeric = (lp - lm) / (2 * h);
+    EXPECT_NEAR(grad.data()[i], numeric, tol) << "coord " << i;
+  }
+}
+
+TEST(HybridCardLossTest, ZeroErrorAtPerfectPrediction) {
+  HybridCardLoss loss(0.5f);
+  Matrix pred(1, 1);
+  pred.at(0, 0) = std::log(100.0f);
+  Matrix target(1, 1);
+  target.at(0, 0) = 100.0f;
+  const double value = loss.Compute(pred, target, nullptr);
+  // MAPE term 0; Q-error term lambda * 1.
+  EXPECT_NEAR(value, 0.5, 1e-3);
+}
+
+TEST(HybridCardLossTest, PenalizesOverAndUnderestimates) {
+  HybridCardLoss loss(0.2f);
+  Matrix target(1, 1);
+  target.at(0, 0) = 100.0f;
+  Matrix exact(1, 1);
+  exact.at(0, 0) = std::log(100.0f);
+  Matrix over(1, 1);
+  over.at(0, 0) = std::log(200.0f);
+  Matrix under(1, 1);
+  under.at(0, 0) = std::log(50.0f);
+  const double l_exact = loss.Compute(exact, target, nullptr);
+  EXPECT_GT(loss.Compute(over, target, nullptr), l_exact);
+  EXPECT_GT(loss.Compute(under, target, nullptr), l_exact);
+}
+
+TEST(HybridCardLossTest, ZeroCardinalityUsesFloor) {
+  HybridCardLoss loss(0.2f);
+  Matrix pred(1, 1);
+  pred.at(0, 0) = 0.0f;  // estimate e^0 = 1
+  Matrix target(1, 1);
+  target.at(0, 0) = 0.0f;
+  const double value = loss.Compute(pred, target, nullptr);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_GT(value, 0.0);
+}
+
+TEST(HybridCardLossTest, GradientMatchesNumeric) {
+  HybridCardLoss loss(0.3f);
+  Matrix target(4, 1);
+  target.at(0, 0) = 10.0f;
+  target.at(1, 0) = 100.0f;
+  target.at(2, 0) = 3.0f;
+  target.at(3, 0) = 1000.0f;
+  Matrix pred(4, 1);
+  pred.at(0, 0) = std::log(15.0f);   // overestimate
+  pred.at(1, 0) = std::log(40.0f);   // underestimate
+  // Avoid landing exactly on the |e^u - y| kink, where one-sided
+  // subgradients legitimately disagree with central differences.
+  pred.at(2, 0) = std::log(3.4f);
+  pred.at(3, 0) = std::log(900.0f);  // close
+  CheckLossGrad(
+      [&](const Matrix& p, Matrix* g) { return loss.Compute(p, target, g); },
+      pred, 5e-3);
+}
+
+TEST(HybridCardLossTest, GradientIsClipped) {
+  HybridCardLoss loss(0.2f, /*grad_clip=*/5.0f);
+  Matrix pred(1, 1);
+  pred.at(0, 0) = 20.0f;  // e^20 vastly over target
+  Matrix target(1, 1);
+  target.at(0, 0) = 1.0f;
+  Matrix grad;
+  loss.Compute(pred, target, &grad);
+  EXPECT_LE(std::fabs(grad.at(0, 0)), 5.0f);
+}
+
+TEST(HybridCardLossTest, LambdaWeightsQError) {
+  Matrix pred(1, 1);
+  pred.at(0, 0) = std::log(200.0f);
+  Matrix target(1, 1);
+  target.at(0, 0) = 100.0f;
+  HybridCardLoss small(0.0f);
+  HybridCardLoss big(1.0f);
+  // With q-error = 2 the difference should be exactly lambda * 2.
+  EXPECT_NEAR(big.Compute(pred, target, nullptr) -
+                  small.Compute(pred, target, nullptr),
+              2.0, 1e-2);
+}
+
+TEST(WeightedBceLossTest, PerfectPredictionsHaveLowLoss) {
+  WeightedBceLoss loss;
+  Matrix logits(1, 2);
+  logits.at(0, 0) = 20.0f;
+  logits.at(0, 1) = -20.0f;
+  Matrix labels(1, 2);
+  labels.at(0, 0) = 1.0f;
+  labels.at(0, 1) = 0.0f;
+  Matrix penalty(1, 2);
+  EXPECT_LT(loss.Compute(logits, labels, penalty, nullptr), 1e-6);
+}
+
+TEST(WeightedBceLossTest, WrongPredictionsHaveHighLoss) {
+  WeightedBceLoss loss;
+  Matrix logits(1, 1);
+  logits.at(0, 0) = -10.0f;
+  Matrix labels(1, 1);
+  labels.at(0, 0) = 1.0f;
+  Matrix penalty(1, 1);
+  EXPECT_GT(loss.Compute(logits, labels, penalty, nullptr), 5.0);
+}
+
+TEST(WeightedBceLossTest, PenaltyAmplifiesPositiveTerm) {
+  WeightedBceLoss loss;
+  Matrix logits(1, 1);
+  logits.at(0, 0) = 0.0f;
+  Matrix labels(1, 1);
+  labels.at(0, 0) = 1.0f;
+  Matrix no_penalty(1, 1);
+  Matrix full_penalty(1, 1);
+  full_penalty.at(0, 0) = 1.0f;
+  const double base = loss.Compute(logits, labels, no_penalty, nullptr);
+  const double weighted = loss.Compute(logits, labels, full_penalty, nullptr);
+  EXPECT_NEAR(weighted, 2.0 * base, 1e-6);
+}
+
+TEST(WeightedBceLossTest, PenaltyDoesNotAffectNegatives) {
+  WeightedBceLoss loss;
+  Matrix logits(1, 1);
+  logits.at(0, 0) = 1.0f;
+  Matrix labels(1, 1);  // negative label
+  Matrix no_penalty(1, 1);
+  Matrix full_penalty(1, 1);
+  full_penalty.at(0, 0) = 1.0f;
+  EXPECT_EQ(loss.Compute(logits, labels, no_penalty, nullptr),
+            loss.Compute(logits, labels, full_penalty, nullptr));
+}
+
+TEST(WeightedBceLossTest, GradientMatchesNumeric) {
+  WeightedBceLoss loss;
+  Matrix logits(2, 3);
+  Matrix labels(2, 3);
+  Matrix penalty(2, 3);
+  Rng rng(11);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = static_cast<float>(rng.NextGaussian());
+    labels.data()[i] = rng.NextBernoulli(0.5) ? 1.0f : 0.0f;
+    penalty.data()[i] = rng.NextFloat();
+  }
+  CheckLossGrad(
+      [&](const Matrix& p, Matrix* g) {
+        return loss.Compute(p, labels, penalty, g);
+      },
+      logits, 5e-3);
+}
+
+TEST(WeightedBceLossTest, StableAtExtremeLogits) {
+  WeightedBceLoss loss;
+  Matrix logits(1, 2);
+  logits.at(0, 0) = 500.0f;
+  logits.at(0, 1) = -500.0f;
+  Matrix labels(1, 2);
+  labels.at(0, 0) = 0.0f;
+  labels.at(0, 1) = 1.0f;
+  Matrix penalty(1, 2);
+  Matrix grad;
+  const double value = loss.Compute(logits, labels, penalty, &grad);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_TRUE(std::isfinite(grad.at(0, 0)));
+  EXPECT_TRUE(std::isfinite(grad.at(0, 1)));
+}
+
+TEST(MseLossTest, ValueAndGradient) {
+  MseLoss loss;
+  Matrix pred = Matrix::RowVector({2.0f, -1.0f});
+  Matrix target = Matrix::RowVector({0.0f, -1.0f});
+  Matrix grad;
+  const double value = loss.Compute(pred, target, &grad);
+  EXPECT_NEAR(value, 2.0, 1e-6);  // (4+0)/2
+  EXPECT_NEAR(grad.at(0, 0), 2.0f, 1e-6f);
+  EXPECT_NEAR(grad.at(0, 1), 0.0f, 1e-6f);
+}
+
+TEST(MinMaxNormalizeRowsTest, NormalizesEachRow) {
+  Matrix card(2, 3);
+  card.at(0, 0) = 10.0f;
+  card.at(0, 1) = 20.0f;
+  card.at(0, 2) = 30.0f;
+  card.at(1, 0) = 5.0f;
+  card.at(1, 1) = 5.0f;
+  card.at(1, 2) = 5.0f;  // constant row
+  Matrix eps = MinMaxNormalizeRows(card);
+  EXPECT_EQ(eps.at(0, 0), 0.0f);
+  EXPECT_EQ(eps.at(0, 1), 0.5f);
+  EXPECT_EQ(eps.at(0, 2), 1.0f);
+  for (size_t c = 0; c < 3; ++c) EXPECT_EQ(eps.at(1, c), 0.0f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

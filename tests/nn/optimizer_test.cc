@@ -1,0 +1,126 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "nn/sequential.h"
+#include "nn/activations.h"
+
+namespace simcard {
+namespace nn {
+namespace {
+
+// Minimizes f(w) = (w - 3)^2 with one scalar parameter.
+template <typename Opt>
+double MinimizeQuadratic(Opt* opt, Parameter* p, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    const float w = p->value().at(0, 0);
+    p->grad().at(0, 0) = 2.0f * (w - 3.0f);
+    opt->Step();
+  }
+  return p->value().at(0, 0);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Parameter p("w", Matrix::Zeros(1, 1));
+  Sgd opt({&p}, /*lr=*/0.1f, /*momentum=*/0.0f);
+  EXPECT_NEAR(MinimizeQuadratic(&opt, &p, 100), 3.0, 1e-4);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Parameter p("w", Matrix::Zeros(1, 1));
+  Sgd opt({&p}, /*lr=*/0.05f, /*momentum=*/0.9f);
+  EXPECT_NEAR(MinimizeQuadratic(&opt, &p, 200), 3.0, 1e-3);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Parameter p("w", Matrix::Zeros(1, 1));
+  Adam opt({&p}, /*lr=*/0.1f);
+  EXPECT_NEAR(MinimizeQuadratic(&opt, &p, 300), 3.0, 1e-3);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  Parameter p("w", Matrix::Zeros(2, 2));
+  p.grad().Fill(5.0f);
+  Sgd opt({&p}, 0.1f);
+  opt.ZeroGrad();
+  EXPECT_EQ(p.grad().Sum(), 0.0);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Parameter p("w", Matrix::Zeros(1, 2));
+  p.grad().at(0, 0) = 3.0f;
+  p.grad().at(0, 1) = 4.0f;  // norm 5
+  Sgd opt({&p}, 0.1f);
+  const double pre = opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(p.grad().Norm(), 1.0, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallGradients) {
+  Parameter p("w", Matrix::Zeros(1, 2));
+  p.grad().at(0, 0) = 0.3f;
+  Sgd opt({&p}, 0.1f);
+  opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(p.grad().at(0, 0), 0.3f, 1e-7f);
+}
+
+TEST(AdamTest, TrainsSmallRegressionEndToEnd) {
+  // y = 2*x0 - x1 + 0.5, learned by a linear model under MSE.
+  Rng rng(3);
+  Sequential model;
+  model.Emplace<Linear>(2, 1, &rng);
+  Adam opt(model.Parameters(), 0.05f);
+  MseLoss loss;
+
+  Matrix x = Matrix::Gaussian(64, 2, 1.0f, &rng);
+  Matrix y(64, 1);
+  for (size_t r = 0; r < 64; ++r) {
+    y.at(r, 0) = 2.0f * x.at(r, 0) - x.at(r, 1) + 0.5f;
+  }
+  double final_loss = 0.0;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    opt.ZeroGrad();
+    Matrix pred = model.Forward(x);
+    Matrix grad;
+    final_loss = loss.Compute(pred, y, &grad);
+    model.Backward(grad);
+    opt.Step();
+  }
+  EXPECT_LT(final_loss, 1e-4);
+}
+
+TEST(SgdTest, MlpLearnsNonlinearFunction) {
+  // y = |x| is learnable by a tiny ReLU MLP but not by a linear model.
+  Rng rng(5);
+  Sequential model;
+  model.Emplace<Linear>(1, 8, &rng);
+  model.Emplace<Relu>();
+  model.Emplace<Linear>(8, 1, &rng);
+  Adam opt(model.Parameters(), 0.02f);
+  MseLoss loss;
+
+  Matrix x(32, 1);
+  Matrix y(32, 1);
+  for (size_t r = 0; r < 32; ++r) {
+    x.at(r, 0) = -2.0f + 4.0f * static_cast<float>(r) / 31.0f;
+    y.at(r, 0) = std::fabs(x.at(r, 0));
+  }
+  double final_loss = 0.0;
+  for (int epoch = 0; epoch < 1500; ++epoch) {
+    opt.ZeroGrad();
+    Matrix grad;
+    final_loss = loss.Compute(model.Forward(x), y, &grad);
+    model.Backward(grad);
+    opt.Step();
+  }
+  EXPECT_LT(final_loss, 0.01);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

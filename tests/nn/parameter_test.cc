@@ -1,0 +1,46 @@
+#include "nn/parameter.h"
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace nn {
+namespace {
+
+TEST(ParameterTest, ConstructionInitializesGradToZero) {
+  Matrix value = Matrix::Full(2, 3, 1.5f);
+  Parameter p("w", value);
+  EXPECT_EQ(p.name(), "w");
+  EXPECT_EQ(p.value().at(1, 2), 1.5f);
+  EXPECT_EQ(p.grad().rows(), 2u);
+  EXPECT_EQ(p.grad().cols(), 3u);
+  EXPECT_EQ(p.grad().Sum(), 0.0);
+}
+
+TEST(ParameterTest, ZeroGradClears) {
+  Parameter p("w", Matrix::Full(2, 2, 1.0f));
+  p.grad().Fill(3.0f);
+  p.ZeroGrad();
+  EXPECT_EQ(p.grad().Sum(), 0.0);
+}
+
+TEST(ParameterTest, NumScalars) {
+  Parameter p("w", Matrix(4, 5));
+  EXPECT_EQ(p.NumScalars(), 20u);
+}
+
+TEST(ParameterTest, SerializationRoundTrip) {
+  Rng rng(1);
+  Parameter p("weights", Matrix::Gaussian(3, 4, 1.0f, &rng));
+  Serializer out;
+  p.Serialize(&out);
+  Deserializer in(out.bytes());
+  Parameter restored;
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_EQ(restored.name(), "weights");
+  EXPECT_TRUE(restored.value().AllClose(p.value(), 0.0f));
+  EXPECT_EQ(restored.grad().Sum(), 0.0);  // grads never persist
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,110 @@
+#include "nn/pool1d.h"
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace nn {
+namespace {
+
+TEST(Pool1DTest, ComputeOutLength) {
+  EXPECT_EQ(Pool1D::ComputeOutLength(6, 2, 2), 3u);
+  EXPECT_EQ(Pool1D::ComputeOutLength(7, 2, 2), 3u);
+  EXPECT_EQ(Pool1D::ComputeOutLength(6, 3, 1), 4u);
+  EXPECT_EQ(Pool1D::ComputeOutLength(2, 3, 1), 0u);
+  EXPECT_EQ(Pool1D::ComputeOutLength(4, 0, 1), 0u);
+}
+
+TEST(Pool1DTest, MaxPool) {
+  Pool1D pool(1, 6, 2, 2, PoolOp::kMax);
+  Matrix x = Matrix::RowVector({1, 5, 2, 2, -3, -1});
+  Matrix y = pool.Forward(x);
+  ASSERT_EQ(y.cols(), 3u);
+  EXPECT_EQ(y.at(0, 0), 5.0f);
+  EXPECT_EQ(y.at(0, 1), 2.0f);
+  EXPECT_EQ(y.at(0, 2), -1.0f);
+}
+
+TEST(Pool1DTest, AvgPool) {
+  Pool1D pool(1, 4, 2, 2, PoolOp::kAvg);
+  Matrix x = Matrix::RowVector({1, 3, 5, 7});
+  Matrix y = pool.Forward(x);
+  EXPECT_EQ(y.at(0, 0), 2.0f);
+  EXPECT_EQ(y.at(0, 1), 6.0f);
+}
+
+TEST(Pool1DTest, SumPool) {
+  Pool1D pool(1, 4, 2, 2, PoolOp::kSum);
+  Matrix x = Matrix::RowVector({1, 3, 5, 7});
+  Matrix y = pool.Forward(x);
+  EXPECT_EQ(y.at(0, 0), 4.0f);
+  EXPECT_EQ(y.at(0, 1), 12.0f);
+}
+
+TEST(Pool1DTest, OverlappingStride) {
+  Pool1D pool(1, 4, 2, 1, PoolOp::kMax);
+  Matrix x = Matrix::RowVector({1, 4, 2, 8});
+  Matrix y = pool.Forward(x);
+  ASSERT_EQ(y.cols(), 3u);
+  EXPECT_EQ(y.at(0, 0), 4.0f);
+  EXPECT_EQ(y.at(0, 1), 4.0f);
+  EXPECT_EQ(y.at(0, 2), 8.0f);
+}
+
+TEST(Pool1DTest, ChannelsPooledIndependently) {
+  Pool1D pool(2, 4, 2, 2, PoolOp::kMax);
+  // channel-major: [c0: 1 2 3 4][c1: 40 30 20 10]
+  Matrix x = Matrix::RowVector({1, 2, 3, 4, 40, 30, 20, 10});
+  Matrix y = pool.Forward(x);
+  ASSERT_EQ(y.cols(), 4u);
+  EXPECT_EQ(y.at(0, 0), 2.0f);
+  EXPECT_EQ(y.at(0, 1), 4.0f);
+  EXPECT_EQ(y.at(0, 2), 40.0f);
+  EXPECT_EQ(y.at(0, 3), 20.0f);
+}
+
+TEST(Pool1DTest, MaxBackwardRoutesToArgmax) {
+  Pool1D pool(1, 4, 2, 2, PoolOp::kMax);
+  Matrix x = Matrix::RowVector({1, 5, 7, 2});
+  pool.Forward(x);
+  Matrix g = Matrix::RowVector({10.0f, 20.0f});
+  Matrix gx = pool.Backward(g);
+  EXPECT_EQ(gx.at(0, 0), 0.0f);
+  EXPECT_EQ(gx.at(0, 1), 10.0f);
+  EXPECT_EQ(gx.at(0, 2), 20.0f);
+  EXPECT_EQ(gx.at(0, 3), 0.0f);
+}
+
+TEST(Pool1DTest, AvgBackwardDistributesEvenly) {
+  Pool1D pool(1, 4, 2, 2, PoolOp::kAvg);
+  Matrix x = Matrix::RowVector({1, 2, 3, 4});
+  pool.Forward(x);
+  Matrix g = Matrix::RowVector({2.0f, 4.0f});
+  Matrix gx = pool.Backward(g);
+  EXPECT_EQ(gx.at(0, 0), 1.0f);
+  EXPECT_EQ(gx.at(0, 1), 1.0f);
+  EXPECT_EQ(gx.at(0, 2), 2.0f);
+  EXPECT_EQ(gx.at(0, 3), 2.0f);
+}
+
+TEST(Pool1DTest, PoolOpNames) {
+  EXPECT_STREQ(PoolOpName(PoolOp::kMax), "MAX");
+  EXPECT_STREQ(PoolOpName(PoolOp::kAvg), "AVG");
+  EXPECT_STREQ(PoolOpName(PoolOp::kSum), "SUM");
+}
+
+TEST(SumPoolRowsTest, SumsAndKeepsWidth) {
+  Matrix rows(3, 2);
+  rows.at(0, 0) = 1.0f;
+  rows.at(1, 0) = 2.0f;
+  rows.at(2, 0) = 3.0f;
+  rows.at(0, 1) = -1.0f;
+  Matrix pooled = SumPoolRows(rows);
+  EXPECT_EQ(pooled.rows(), 1u);
+  EXPECT_EQ(pooled.cols(), 2u);
+  EXPECT_EQ(pooled.at(0, 0), 6.0f);
+  EXPECT_EQ(pooled.at(0, 1), -1.0f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

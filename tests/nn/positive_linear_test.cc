@@ -1,0 +1,110 @@
+#include "nn/positive_linear.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace simcard {
+namespace nn {
+namespace {
+
+TEST(PositiveLinearTest, EffectiveWeightsAreStrictlyPositive) {
+  Rng rng(1);
+  PositiveLinear layer(6, 4, &rng);
+  Matrix w = layer.EffectiveWeight();
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GT(w.data()[i], 0.0f);
+  }
+}
+
+TEST(PositiveLinearTest, PositivityHoldsAfterTraining) {
+  // Gradient steps on the raw weights must never break positivity.
+  Rng rng(2);
+  PositiveLinear layer(3, 2, &rng);
+  Sgd opt(layer.Parameters(), /*lr=*/0.5f, /*momentum=*/0.0f);
+  for (int step = 0; step < 50; ++step) {
+    Matrix x = Matrix::Gaussian(4, 3, 1.0f, &rng);
+    layer.Forward(x);
+    // Push outputs strongly negative, which drives weights downward.
+    Matrix g = Matrix::Full(4, 2, 1.0f);
+    opt.ZeroGrad();
+    layer.Backward(g);
+    opt.Step();
+  }
+  Matrix w = layer.EffectiveWeight();
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GT(w.data()[i], 0.0f);
+  }
+}
+
+TEST(PartialPositiveLinearTest, OnlySelectedRowsConstrained) {
+  Rng rng(3);
+  // Rows [1,3) constrained positive; rows 0 and 3 free.
+  PartialPositiveLinear layer(4, 8, 1, 3, &rng);
+  Matrix w = layer.EffectiveWeight();
+  bool saw_negative_free = false;
+  for (size_t c = 0; c < 8; ++c) {
+    EXPECT_GT(w.at(1, c), 0.0f);
+    EXPECT_GT(w.at(2, c), 0.0f);
+    if (w.at(0, c) < 0.0f || w.at(3, c) < 0.0f) saw_negative_free = true;
+  }
+  EXPECT_TRUE(saw_negative_free)
+      << "free rows should carry some negative Xavier weights";
+}
+
+TEST(PartialPositiveLinearTest, MonotoneInConstrainedInputs) {
+  Rng rng(4);
+  PartialPositiveLinear layer(3, 5, 0, 3, &rng);
+  Matrix lo = Matrix::RowVector({0.1f, 0.2f, 0.3f});
+  Matrix hi = Matrix::RowVector({0.2f, 0.5f, 0.9f});
+  Matrix ylo = layer.Forward(lo);
+  Matrix yhi = layer.Forward(hi);
+  for (size_t c = 0; c < 5; ++c) {
+    EXPECT_GE(yhi.at(0, c), ylo.at(0, c));
+  }
+}
+
+TEST(PartialPositiveLinearTest, ForwardMatchesEffectiveWeight) {
+  Rng rng(5);
+  PartialPositiveLinear layer(4, 3, 1, 2, &rng);
+  Matrix x = Matrix::Gaussian(2, 4, 1.0f, &rng);
+  Matrix expected = MatMul(x, layer.EffectiveWeight());
+  Matrix y = layer.Forward(x);  // bias starts at zero
+  EXPECT_TRUE(y.AllClose(expected, 1e-5f));
+}
+
+TEST(PartialPositiveLinearTest, InitBiasUniformInRange) {
+  Rng rng(6);
+  PartialPositiveLinear layer(2, 64, 0, 2, &rng);
+  layer.InitBiasUniform(-2.0f, 2.0f, &rng);
+  Matrix y0 = layer.Forward(Matrix::Zeros(1, 2));
+  float lo = y0.at(0, 0);
+  float hi = y0.at(0, 0);
+  for (size_t c = 0; c < 64; ++c) {
+    EXPECT_GE(y0.at(0, c), -2.0f);
+    EXPECT_LE(y0.at(0, c), 2.0f);
+    lo = std::min(lo, y0.at(0, c));
+    hi = std::max(hi, y0.at(0, c));
+  }
+  EXPECT_LT(lo, -0.5f);  // biases actually spread out
+  EXPECT_GT(hi, 0.5f);
+}
+
+TEST(PartialPositiveLinearTest, SerializationRoundTrip) {
+  Rng rng(7);
+  PartialPositiveLinear layer(5, 4, 2, 4, &rng);
+  Matrix x = Matrix::Gaussian(3, 5, 1.0f, &rng);
+  Matrix before = layer.Forward(x);
+  Serializer out;
+  layer.Serialize(&out);
+  Rng rng2(100);
+  PartialPositiveLinear restored(5, 4, 2, 4, &rng2);
+  Deserializer in(out.bytes());
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_TRUE(restored.Forward(x).AllClose(before, 0.0f));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

@@ -1,0 +1,107 @@
+#include "nn/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+
+namespace simcard {
+namespace nn {
+namespace {
+
+TEST(SequentialTest, ForwardChainsLayers) {
+  Rng rng(1);
+  Sequential seq;
+  auto* l1 = seq.Emplace<Linear>(2, 2, &rng);
+  seq.Emplace<Relu>();
+  // Identity-ish weights for a predictable result.
+  auto params = l1->Parameters();
+  params[0]->value().Fill(0.0f);
+  params[0]->value().at(0, 0) = 1.0f;
+  params[0]->value().at(1, 1) = -1.0f;
+  Matrix x = Matrix::RowVector({2.0f, 3.0f});
+  Matrix y = seq.Forward(x);
+  EXPECT_EQ(y.at(0, 0), 2.0f);
+  EXPECT_EQ(y.at(0, 1), 0.0f);  // -3 clipped by ReLU
+}
+
+TEST(SequentialTest, EmptySequentialIsIdentity) {
+  Sequential seq;
+  Matrix x = Matrix::RowVector({1.0f, 2.0f});
+  EXPECT_TRUE(seq.Forward(x).AllClose(x, 0.0f));
+  EXPECT_TRUE(seq.Backward(x).AllClose(x, 0.0f));
+  EXPECT_TRUE(seq.empty());
+}
+
+TEST(SequentialTest, ParametersAggregated) {
+  Rng rng(2);
+  Sequential seq;
+  seq.Emplace<Linear>(3, 4, &rng);
+  seq.Emplace<Relu>();
+  seq.Emplace<Linear>(4, 2, &rng);
+  auto params = seq.Parameters();
+  EXPECT_EQ(params.size(), 4u);  // two weights + two biases
+  EXPECT_EQ(CountScalars(params), 3u * 4 + 4 + 4u * 2 + 2);
+}
+
+TEST(SequentialTest, OutputColsChains) {
+  Rng rng(3);
+  Sequential seq;
+  seq.Emplace<Linear>(5, 8, &rng);
+  seq.Emplace<Relu>();
+  seq.Emplace<Linear>(8, 2, &rng);
+  EXPECT_EQ(seq.OutputCols(5), 2u);
+}
+
+TEST(SequentialTest, SerializationRoundTrip) {
+  Rng rng(4);
+  Sequential seq;
+  seq.Emplace<Linear>(3, 5, &rng);
+  seq.Emplace<Tanh>();
+  seq.Emplace<Linear>(5, 1, &rng);
+  Matrix x = Matrix::Gaussian(2, 3, 1.0f, &rng);
+  Matrix before = seq.Forward(x);
+
+  Serializer out;
+  seq.Serialize(&out);
+
+  Rng rng2(55);
+  Sequential restored;
+  restored.Emplace<Linear>(3, 5, &rng2);
+  restored.Emplace<Tanh>();
+  restored.Emplace<Linear>(5, 1, &rng2);
+  Deserializer in(out.bytes());
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  EXPECT_TRUE(restored.Forward(x).AllClose(before, 0.0f));
+}
+
+TEST(SequentialTest, DeserializeRejectsStructureMismatch) {
+  Rng rng(5);
+  Sequential seq;
+  seq.Emplace<Linear>(3, 5, &rng);
+  Serializer out;
+  seq.Serialize(&out);
+
+  Sequential wrong_count;
+  Deserializer in1(out.bytes());
+  EXPECT_FALSE(wrong_count.Deserialize(&in1).ok());
+
+  Sequential wrong_type;
+  wrong_type.Emplace<Relu>();
+  Deserializer in2(out.bytes());
+  EXPECT_FALSE(wrong_type.Deserialize(&in2).ok());
+}
+
+TEST(SequentialTest, LayerAccessors) {
+  Rng rng(6);
+  Sequential seq;
+  seq.Emplace<Linear>(2, 2, &rng);
+  seq.Emplace<Relu>();
+  EXPECT_EQ(seq.NumLayers(), 2u);
+  EXPECT_EQ(seq.layer(0)->Name(), "Linear");
+  EXPECT_EQ(seq.layer(1)->Name(), "Relu");
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard

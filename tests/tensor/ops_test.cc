@@ -1,0 +1,129 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace simcard {
+namespace {
+
+Matrix FromRows(std::vector<std::vector<float>> rows) {
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) m.SetRow(r, rows[r].data());
+  return m;
+}
+
+TEST(OpsTest, MatMulKnownValues) {
+  Matrix a = FromRows({{1, 2}, {3, 4}});
+  Matrix b = FromRows({{5, 6}, {7, 8}});
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(OpsTest, MatMulRectangular) {
+  Matrix a(2, 3);
+  a.Fill(1.0f);
+  Matrix b(3, 4);
+  b.Fill(2.0f);
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 6.0f);
+}
+
+TEST(OpsTest, MatMulTransposeBMatchesExplicit) {
+  Rng rng(3);
+  Matrix a = Matrix::Gaussian(4, 6, 1.0f, &rng);
+  Matrix b = Matrix::Gaussian(5, 6, 1.0f, &rng);
+  Matrix expected = MatMul(a, Transpose(b));
+  EXPECT_TRUE(MatMulTransposeB(a, b).AllClose(expected, 1e-4f));
+}
+
+TEST(OpsTest, MatMulTransposeAMatchesExplicit) {
+  Rng rng(4);
+  Matrix a = Matrix::Gaussian(6, 4, 1.0f, &rng);
+  Matrix b = Matrix::Gaussian(6, 5, 1.0f, &rng);
+  Matrix expected = MatMul(Transpose(a), b);
+  EXPECT_TRUE(MatMulTransposeA(a, b).AllClose(expected, 1e-4f));
+}
+
+TEST(OpsTest, TransposeInvolution) {
+  Rng rng(5);
+  Matrix a = Matrix::Gaussian(3, 7, 1.0f, &rng);
+  EXPECT_TRUE(Transpose(Transpose(a)).AllClose(a, 0.0f));
+}
+
+TEST(OpsTest, ElementwiseOps) {
+  Matrix a = FromRows({{1, 2}, {3, 4}});
+  Matrix b = FromRows({{10, 20}, {30, 40}});
+  EXPECT_EQ(Add(a, b).at(1, 1), 44.0f);
+  EXPECT_EQ(Sub(b, a).at(0, 0), 9.0f);
+  EXPECT_EQ(Mul(a, b).at(0, 1), 40.0f);
+  EXPECT_EQ(Scale(a, -2.0f).at(1, 0), -6.0f);
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Matrix a = FromRows({{1, 2}, {3, 4}});
+  Matrix bias = Matrix::RowVector({10, 100});
+  Matrix out = AddRowBroadcast(a, bias);
+  EXPECT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_EQ(out.at(0, 1), 102.0f);
+  EXPECT_EQ(out.at(1, 0), 13.0f);
+  EXPECT_EQ(out.at(1, 1), 104.0f);
+}
+
+TEST(OpsTest, SumRows) {
+  Matrix a = FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix s = SumRows(a);
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_EQ(s.at(0, 0), 9.0f);
+  EXPECT_EQ(s.at(0, 1), 12.0f);
+}
+
+TEST(OpsTest, ConcatCols) {
+  Matrix a = FromRows({{1}, {2}});
+  Matrix b = FromRows({{3, 4}, {5, 6}});
+  Matrix c = ConcatCols({a, b});
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_EQ(c.at(0, 0), 1.0f);
+  EXPECT_EQ(c.at(0, 2), 4.0f);
+  EXPECT_EQ(c.at(1, 1), 5.0f);
+}
+
+TEST(OpsTest, ConcatColsSingle) {
+  Matrix a = FromRows({{1, 2}});
+  Matrix c = ConcatCols({a});
+  EXPECT_TRUE(c.AllClose(a, 0.0f));
+}
+
+TEST(OpsTest, AddScaledInPlace) {
+  Matrix a = FromRows({{1, 1}});
+  Matrix b = FromRows({{2, 4}});
+  AddScaledInPlace(&a, b, 0.5f);
+  EXPECT_EQ(a.at(0, 0), 2.0f);
+  EXPECT_EQ(a.at(0, 1), 3.0f);
+}
+
+TEST(OpsTest, ClampInPlace) {
+  Matrix a = FromRows({{-5, 0.5, 5}});
+  ClampInPlace(&a, -1.0f, 1.0f);
+  EXPECT_EQ(a.at(0, 0), -1.0f);
+  EXPECT_EQ(a.at(0, 1), 0.5f);
+  EXPECT_EQ(a.at(0, 2), 1.0f);
+}
+
+TEST(OpsTest, MatMulAssociativityProperty) {
+  Rng rng(6);
+  Matrix a = Matrix::Gaussian(3, 4, 1.0f, &rng);
+  Matrix b = Matrix::Gaussian(4, 5, 1.0f, &rng);
+  Matrix c = Matrix::Gaussian(5, 2, 1.0f, &rng);
+  Matrix left = MatMul(MatMul(a, b), c);
+  Matrix right = MatMul(a, MatMul(b, c));
+  EXPECT_TRUE(left.AllClose(right, 1e-3f));
+}
+
+}  // namespace
+}  // namespace simcard

@@ -1,0 +1,85 @@
+#include "workload/labels.h"
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace {
+
+std::vector<LabeledQuery> MakeLabeled() {
+  // Two queries, two thresholds each, three segments.
+  std::vector<LabeledQuery> out(2);
+  out[0].row = 0;
+  out[0].thresholds = {
+      {0.1f, 5.0f, {5.0f, 0.0f, 0.0f}},
+      {0.2f, 12.0f, {8.0f, 4.0f, 0.0f}},
+  };
+  out[1].row = 1;
+  out[1].thresholds = {
+      {0.05f, 0.0f, {0.0f, 0.0f, 0.0f}},
+      {0.3f, 9.0f, {0.0f, 3.0f, 6.0f}},
+  };
+  return out;
+}
+
+TEST(LabelsTest, FlattenSearchKeepsAllSamples) {
+  auto flat = FlattenSearch(MakeLabeled());
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_EQ(flat[0].query_row, 0u);
+  EXPECT_FLOAT_EQ(flat[0].tau, 0.1f);
+  EXPECT_FLOAT_EQ(flat[0].card, 5.0f);
+  EXPECT_EQ(flat[3].query_row, 1u);
+  EXPECT_FLOAT_EQ(flat[3].card, 9.0f);
+}
+
+TEST(LabelsTest, FlattenSegmentTargetsSegmentCards) {
+  auto flat = FlattenSegment(MakeLabeled(), /*segment=*/1,
+                             /*zero_keep_prob=*/1.0, nullptr);
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_FLOAT_EQ(flat[0].card, 0.0f);
+  EXPECT_FLOAT_EQ(flat[1].card, 4.0f);
+  EXPECT_FLOAT_EQ(flat[3].card, 3.0f);
+}
+
+TEST(LabelsTest, FlattenSegmentDropsZerosWithProbabilityZero) {
+  Rng rng(1);
+  auto flat = FlattenSegment(MakeLabeled(), /*segment=*/2,
+                             /*zero_keep_prob=*/0.0, &rng);
+  ASSERT_EQ(flat.size(), 1u);  // only the 6.0 sample survives
+  EXPECT_FLOAT_EQ(flat[0].card, 6.0f);
+}
+
+TEST(LabelsTest, FlattenSegmentOutOfRangeSegmentIsAllZeros) {
+  Rng rng(2);
+  auto flat = FlattenSegment(MakeLabeled(), /*segment=*/99,
+                             /*zero_keep_prob=*/0.0, &rng);
+  EXPECT_TRUE(flat.empty());
+}
+
+TEST(LabelsTest, GlobalLabelsShapeAndContent) {
+  auto labels = BuildGlobalLabels(MakeLabeled(), 3);
+  ASSERT_EQ(labels.samples.size(), 4u);
+  ASSERT_EQ(labels.labels.rows(), 4u);
+  ASSERT_EQ(labels.labels.cols(), 3u);
+  // Sample 0: seg cards {5,0,0} -> labels {1,0,0}.
+  EXPECT_EQ(labels.labels.at(0, 0), 1.0f);
+  EXPECT_EQ(labels.labels.at(0, 1), 0.0f);
+  // Sample 3: seg cards {0,3,6} -> labels {0,1,1}.
+  EXPECT_EQ(labels.labels.at(3, 0), 0.0f);
+  EXPECT_EQ(labels.labels.at(3, 1), 1.0f);
+  EXPECT_EQ(labels.labels.at(3, 2), 1.0f);
+}
+
+TEST(LabelsTest, GlobalPenaltyIsMinMaxNormalized) {
+  auto labels = BuildGlobalLabels(MakeLabeled(), 3);
+  // Sample 1: seg cards {8,4,0} -> eps {1, 0.5, 0}.
+  EXPECT_FLOAT_EQ(labels.penalty.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(labels.penalty.at(1, 1), 0.5f);
+  EXPECT_FLOAT_EQ(labels.penalty.at(1, 2), 0.0f);
+  // Sample 2: all-zero seg cards -> eps all zero (constant row).
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_FLOAT_EQ(labels.penalty.at(2, s), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace simcard

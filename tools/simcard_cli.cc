@@ -1,0 +1,8 @@
+// Command-line front end; all logic lives in src/app/cli_app.cc.
+#include <iostream>
+
+#include "app/cli_app.h"
+
+int main(int argc, char** argv) {
+  return simcard::RunCliApp(argc, argv, std::cout, std::cerr);
+}
