@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tuning.dir/bench/bench_ablation_tuning.cc.o"
+  "CMakeFiles/bench_ablation_tuning.dir/bench/bench_ablation_tuning.cc.o.d"
+  "bench/bench_ablation_tuning"
+  "bench/bench_ablation_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

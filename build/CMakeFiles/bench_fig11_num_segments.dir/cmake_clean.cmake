@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_num_segments.dir/bench/bench_fig11_num_segments.cc.o"
+  "CMakeFiles/bench_fig11_num_segments.dir/bench/bench_fig11_num_segments.cc.o.d"
+  "bench/bench_fig11_num_segments"
+  "bench/bench_fig11_num_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_num_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_join_setsize.dir/bench/bench_fig12_join_setsize.cc.o"
+  "CMakeFiles/bench_fig12_join_setsize.dir/bench/bench_fig12_join_setsize.cc.o.d"
+  "bench/bench_fig12_join_setsize"
+  "bench/bench_fig12_join_setsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_join_setsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_incremental.dir/bench/bench_fig15_incremental.cc.o"
+  "CMakeFiles/bench_fig15_incremental.dir/bench/bench_fig15_incremental.cc.o.d"
+  "bench/bench_fig15_incremental"
+  "bench/bench_fig15_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_search_mape.dir/bench/bench_fig8_search_mape.cc.o"
+  "CMakeFiles/bench_fig8_search_mape.dir/bench/bench_fig8_search_mape.cc.o.d"
+  "bench/bench_fig8_search_mape"
+  "bench/bench_fig8_search_mape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_search_mape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

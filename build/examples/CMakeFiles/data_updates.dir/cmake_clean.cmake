@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_updates.dir/data_updates.cc.o"
+  "CMakeFiles/data_updates.dir/data_updates.cc.o.d"
+  "data_updates"
+  "data_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

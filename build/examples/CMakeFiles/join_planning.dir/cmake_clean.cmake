@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_planning.dir/join_planning.cc.o"
+  "CMakeFiles/join_planning.dir/join_planning.cc.o.d"
+  "join_planning"
+  "join_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_tuning.dir/radius_tuning.cc.o"
+  "CMakeFiles/radius_tuning.dir/radius_tuning.cc.o.d"
+  "radius_tuning"
+  "radius_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

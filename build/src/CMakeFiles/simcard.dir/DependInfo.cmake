@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/cli_app.cc" "src/CMakeFiles/simcard.dir/app/cli_app.cc.o" "gcc" "src/CMakeFiles/simcard.dir/app/cli_app.cc.o.d"
+  "/root/repo/src/baselines/cardnet_estimator.cc" "src/CMakeFiles/simcard.dir/baselines/cardnet_estimator.cc.o" "gcc" "src/CMakeFiles/simcard.dir/baselines/cardnet_estimator.cc.o.d"
+  "/root/repo/src/baselines/kernel_estimator.cc" "src/CMakeFiles/simcard.dir/baselines/kernel_estimator.cc.o" "gcc" "src/CMakeFiles/simcard.dir/baselines/kernel_estimator.cc.o.d"
+  "/root/repo/src/baselines/mlp_estimator.cc" "src/CMakeFiles/simcard.dir/baselines/mlp_estimator.cc.o" "gcc" "src/CMakeFiles/simcard.dir/baselines/mlp_estimator.cc.o.d"
+  "/root/repo/src/baselines/sampling_estimator.cc" "src/CMakeFiles/simcard.dir/baselines/sampling_estimator.cc.o" "gcc" "src/CMakeFiles/simcard.dir/baselines/sampling_estimator.cc.o.d"
+  "/root/repo/src/cluster/dbscan.cc" "src/CMakeFiles/simcard.dir/cluster/dbscan.cc.o" "gcc" "src/CMakeFiles/simcard.dir/cluster/dbscan.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/simcard.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/simcard.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/lsh.cc" "src/CMakeFiles/simcard.dir/cluster/lsh.cc.o" "gcc" "src/CMakeFiles/simcard.dir/cluster/lsh.cc.o.d"
+  "/root/repo/src/cluster/pca.cc" "src/CMakeFiles/simcard.dir/cluster/pca.cc.o" "gcc" "src/CMakeFiles/simcard.dir/cluster/pca.cc.o.d"
+  "/root/repo/src/cluster/segmentation.cc" "src/CMakeFiles/simcard.dir/cluster/segmentation.cc.o" "gcc" "src/CMakeFiles/simcard.dir/cluster/segmentation.cc.o.d"
+  "/root/repo/src/common/cli.cc" "src/CMakeFiles/simcard.dir/common/cli.cc.o" "gcc" "src/CMakeFiles/simcard.dir/common/cli.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/simcard.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/simcard.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/simcard.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/simcard.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/serialize.cc" "src/CMakeFiles/simcard.dir/common/serialize.cc.o" "gcc" "src/CMakeFiles/simcard.dir/common/serialize.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/simcard.dir/common/status.cc.o" "gcc" "src/CMakeFiles/simcard.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/simcard.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/simcard.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/simcard.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/simcard.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/card_model.cc" "src/CMakeFiles/simcard.dir/core/card_model.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/card_model.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/CMakeFiles/simcard.dir/core/estimator.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/estimator.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/CMakeFiles/simcard.dir/core/features.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/features.cc.o.d"
+  "/root/repo/src/core/gl_estimator.cc" "src/CMakeFiles/simcard.dir/core/gl_estimator.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/gl_estimator.cc.o.d"
+  "/root/repo/src/core/global_model.cc" "src/CMakeFiles/simcard.dir/core/global_model.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/global_model.cc.o.d"
+  "/root/repo/src/core/join_estimator.cc" "src/CMakeFiles/simcard.dir/core/join_estimator.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/join_estimator.cc.o.d"
+  "/root/repo/src/core/local_model.cc" "src/CMakeFiles/simcard.dir/core/local_model.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/local_model.cc.o.d"
+  "/root/repo/src/core/model_size.cc" "src/CMakeFiles/simcard.dir/core/model_size.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/model_size.cc.o.d"
+  "/root/repo/src/core/qes.cc" "src/CMakeFiles/simcard.dir/core/qes.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/qes.cc.o.d"
+  "/root/repo/src/core/qes_estimator.cc" "src/CMakeFiles/simcard.dir/core/qes_estimator.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/qes_estimator.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/CMakeFiles/simcard.dir/core/tuner.cc.o" "gcc" "src/CMakeFiles/simcard.dir/core/tuner.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/simcard.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/simcard.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/simcard.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/simcard.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/sampling.cc" "src/CMakeFiles/simcard.dir/data/sampling.cc.o" "gcc" "src/CMakeFiles/simcard.dir/data/sampling.cc.o.d"
+  "/root/repo/src/dist/metric.cc" "src/CMakeFiles/simcard.dir/dist/metric.cc.o" "gcc" "src/CMakeFiles/simcard.dir/dist/metric.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "src/CMakeFiles/simcard.dir/eval/harness.cc.o" "gcc" "src/CMakeFiles/simcard.dir/eval/harness.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/simcard.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/simcard.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/reporter.cc" "src/CMakeFiles/simcard.dir/eval/reporter.cc.o" "gcc" "src/CMakeFiles/simcard.dir/eval/reporter.cc.o.d"
+  "/root/repo/src/index/ground_truth.cc" "src/CMakeFiles/simcard.dir/index/ground_truth.cc.o" "gcc" "src/CMakeFiles/simcard.dir/index/ground_truth.cc.o.d"
+  "/root/repo/src/index/pivot_index.cc" "src/CMakeFiles/simcard.dir/index/pivot_index.cc.o" "gcc" "src/CMakeFiles/simcard.dir/index/pivot_index.cc.o.d"
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/simcard.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/conv1d.cc" "src/CMakeFiles/simcard.dir/nn/conv1d.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/conv1d.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/simcard.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/gradient_check.cc" "src/CMakeFiles/simcard.dir/nn/gradient_check.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/gradient_check.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/simcard.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/simcard.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/CMakeFiles/simcard.dir/nn/losses.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/losses.cc.o.d"
+  "/root/repo/src/nn/monotone_head.cc" "src/CMakeFiles/simcard.dir/nn/monotone_head.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/monotone_head.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/simcard.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/parameter.cc" "src/CMakeFiles/simcard.dir/nn/parameter.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/parameter.cc.o.d"
+  "/root/repo/src/nn/pool1d.cc" "src/CMakeFiles/simcard.dir/nn/pool1d.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/pool1d.cc.o.d"
+  "/root/repo/src/nn/positive_linear.cc" "src/CMakeFiles/simcard.dir/nn/positive_linear.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/positive_linear.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/simcard.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/simcard.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/simcard.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/simcard.dir/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/simcard.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/simcard.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/workload/join_sets.cc" "src/CMakeFiles/simcard.dir/workload/join_sets.cc.o" "gcc" "src/CMakeFiles/simcard.dir/workload/join_sets.cc.o.d"
+  "/root/repo/src/workload/labels.cc" "src/CMakeFiles/simcard.dir/workload/labels.cc.o" "gcc" "src/CMakeFiles/simcard.dir/workload/labels.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/simcard.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/simcard.dir/workload/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

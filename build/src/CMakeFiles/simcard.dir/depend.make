@@ -1,0 +1,2 @@
+# Empty dependencies file for simcard.
+# This may be replaced when dependencies are built.

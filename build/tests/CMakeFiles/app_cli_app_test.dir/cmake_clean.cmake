@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_cli_app_test.dir/app/cli_app_test.cc.o"
+  "CMakeFiles/app_cli_app_test.dir/app/cli_app_test.cc.o.d"
+  "app_cli_app_test"
+  "app_cli_app_test.pdb"
+  "app_cli_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_cli_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_cardnet_estimator_test.dir/baselines/cardnet_estimator_test.cc.o"
+  "CMakeFiles/baselines_cardnet_estimator_test.dir/baselines/cardnet_estimator_test.cc.o.d"
+  "baselines_cardnet_estimator_test"
+  "baselines_cardnet_estimator_test.pdb"
+  "baselines_cardnet_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_cardnet_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

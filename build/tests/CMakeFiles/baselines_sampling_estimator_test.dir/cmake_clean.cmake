@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_sampling_estimator_test.dir/baselines/sampling_estimator_test.cc.o"
+  "CMakeFiles/baselines_sampling_estimator_test.dir/baselines/sampling_estimator_test.cc.o.d"
+  "baselines_sampling_estimator_test"
+  "baselines_sampling_estimator_test.pdb"
+  "baselines_sampling_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_sampling_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

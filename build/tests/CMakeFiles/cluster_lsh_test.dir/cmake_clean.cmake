@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_lsh_test.dir/cluster/lsh_test.cc.o"
+  "CMakeFiles/cluster_lsh_test.dir/cluster/lsh_test.cc.o.d"
+  "cluster_lsh_test"
+  "cluster_lsh_test.pdb"
+  "cluster_lsh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_segmentation_test.dir/cluster/segmentation_test.cc.o"
+  "CMakeFiles/cluster_segmentation_test.dir/cluster/segmentation_test.cc.o.d"
+  "cluster_segmentation_test"
+  "cluster_segmentation_test.pdb"
+  "cluster_segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_cli_test.dir/common/cli_test.cc.o"
+  "CMakeFiles/common_cli_test.dir/common/cli_test.cc.o.d"
+  "common_cli_test"
+  "common_cli_test.pdb"
+  "common_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

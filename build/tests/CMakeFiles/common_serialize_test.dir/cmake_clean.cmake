@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_serialize_test.dir/common/serialize_test.cc.o"
+  "CMakeFiles/common_serialize_test.dir/common/serialize_test.cc.o.d"
+  "common_serialize_test"
+  "common_serialize_test.pdb"
+  "common_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_stopwatch_test.dir/common/stopwatch_test.cc.o"
+  "CMakeFiles/common_stopwatch_test.dir/common/stopwatch_test.cc.o.d"
+  "common_stopwatch_test"
+  "common_stopwatch_test.pdb"
+  "common_stopwatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_stopwatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

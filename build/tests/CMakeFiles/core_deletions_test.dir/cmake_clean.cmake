@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_deletions_test.dir/core/deletions_test.cc.o"
+  "CMakeFiles/core_deletions_test.dir/core/deletions_test.cc.o.d"
+  "core_deletions_test"
+  "core_deletions_test.pdb"
+  "core_deletions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_deletions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

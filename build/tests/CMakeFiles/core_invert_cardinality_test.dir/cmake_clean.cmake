@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_invert_cardinality_test.dir/core/invert_cardinality_test.cc.o"
+  "CMakeFiles/core_invert_cardinality_test.dir/core/invert_cardinality_test.cc.o.d"
+  "core_invert_cardinality_test"
+  "core_invert_cardinality_test.pdb"
+  "core_invert_cardinality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_invert_cardinality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

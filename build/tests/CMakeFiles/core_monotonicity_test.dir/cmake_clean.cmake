@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_monotonicity_test.dir/core/monotonicity_test.cc.o"
+  "CMakeFiles/core_monotonicity_test.dir/core/monotonicity_test.cc.o.d"
+  "core_monotonicity_test"
+  "core_monotonicity_test.pdb"
+  "core_monotonicity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_monotonicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pooled_mode_test.dir/core/pooled_mode_test.cc.o"
+  "CMakeFiles/core_pooled_mode_test.dir/core/pooled_mode_test.cc.o.d"
+  "core_pooled_mode_test"
+  "core_pooled_mode_test.pdb"
+  "core_pooled_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pooled_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_qes_test.dir/core/qes_test.cc.o"
+  "CMakeFiles/core_qes_test.dir/core/qes_test.cc.o.d"
+  "core_qes_test"
+  "core_qes_test.pdb"
+  "core_qes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_qes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

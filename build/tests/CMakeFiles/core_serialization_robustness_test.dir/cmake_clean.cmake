@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_serialization_robustness_test.dir/core/serialization_robustness_test.cc.o"
+  "CMakeFiles/core_serialization_robustness_test.dir/core/serialization_robustness_test.cc.o.d"
+  "core_serialization_robustness_test"
+  "core_serialization_robustness_test.pdb"
+  "core_serialization_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_serialization_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

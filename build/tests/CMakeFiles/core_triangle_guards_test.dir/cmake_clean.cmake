@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_triangle_guards_test.dir/core/triangle_guards_test.cc.o"
+  "CMakeFiles/core_triangle_guards_test.dir/core/triangle_guards_test.cc.o.d"
+  "core_triangle_guards_test"
+  "core_triangle_guards_test.pdb"
+  "core_triangle_guards_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_triangle_guards_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_metric_test.dir/dist/metric_test.cc.o"
+  "CMakeFiles/dist_metric_test.dir/dist/metric_test.cc.o.d"
+  "dist_metric_test"
+  "dist_metric_test.pdb"
+  "dist_metric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_metric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_reporter_test.dir/eval/reporter_test.cc.o"
+  "CMakeFiles/eval_reporter_test.dir/eval/reporter_test.cc.o.d"
+  "eval_reporter_test"
+  "eval_reporter_test.pdb"
+  "eval_reporter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_reporter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_examples_smoke_test.dir/examples/examples_smoke_test.cc.o"
+  "CMakeFiles/examples_examples_smoke_test.dir/examples/examples_smoke_test.cc.o.d"
+  "examples_examples_smoke_test"
+  "examples_examples_smoke_test.pdb"
+  "examples_examples_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_examples_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

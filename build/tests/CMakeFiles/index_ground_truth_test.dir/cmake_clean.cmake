@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_ground_truth_test.dir/index/ground_truth_test.cc.o"
+  "CMakeFiles/index_ground_truth_test.dir/index/ground_truth_test.cc.o.d"
+  "index_ground_truth_test"
+  "index_ground_truth_test.pdb"
+  "index_ground_truth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_ground_truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

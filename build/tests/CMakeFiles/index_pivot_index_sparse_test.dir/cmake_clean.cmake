@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_pivot_index_sparse_test.dir/index/pivot_index_sparse_test.cc.o"
+  "CMakeFiles/index_pivot_index_sparse_test.dir/index/pivot_index_sparse_test.cc.o.d"
+  "index_pivot_index_sparse_test"
+  "index_pivot_index_sparse_test.pdb"
+  "index_pivot_index_sparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_pivot_index_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

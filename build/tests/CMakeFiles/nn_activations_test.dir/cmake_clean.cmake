@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_activations_test.dir/nn/activations_test.cc.o"
+  "CMakeFiles/nn_activations_test.dir/nn/activations_test.cc.o.d"
+  "nn_activations_test"
+  "nn_activations_test.pdb"
+  "nn_activations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_activations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_conv1d_test.dir/nn/conv1d_test.cc.o"
+  "CMakeFiles/nn_conv1d_test.dir/nn/conv1d_test.cc.o.d"
+  "nn_conv1d_test"
+  "nn_conv1d_test.pdb"
+  "nn_conv1d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_conv1d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_dropout_test.dir/nn/dropout_test.cc.o"
+  "CMakeFiles/nn_dropout_test.dir/nn/dropout_test.cc.o.d"
+  "nn_dropout_test"
+  "nn_dropout_test.pdb"
+  "nn_dropout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_dropout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_init_test.dir/nn/init_test.cc.o"
+  "CMakeFiles/nn_init_test.dir/nn/init_test.cc.o.d"
+  "nn_init_test"
+  "nn_init_test.pdb"
+  "nn_init_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_init_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

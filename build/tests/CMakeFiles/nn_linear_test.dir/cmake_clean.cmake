@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_linear_test.dir/nn/linear_test.cc.o"
+  "CMakeFiles/nn_linear_test.dir/nn/linear_test.cc.o.d"
+  "nn_linear_test"
+  "nn_linear_test.pdb"
+  "nn_linear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_monotone_head_test.dir/nn/monotone_head_test.cc.o"
+  "CMakeFiles/nn_monotone_head_test.dir/nn/monotone_head_test.cc.o.d"
+  "nn_monotone_head_test"
+  "nn_monotone_head_test.pdb"
+  "nn_monotone_head_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_monotone_head_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

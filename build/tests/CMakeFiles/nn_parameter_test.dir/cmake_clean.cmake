@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_parameter_test.dir/nn/parameter_test.cc.o"
+  "CMakeFiles/nn_parameter_test.dir/nn/parameter_test.cc.o.d"
+  "nn_parameter_test"
+  "nn_parameter_test.pdb"
+  "nn_parameter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_parameter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

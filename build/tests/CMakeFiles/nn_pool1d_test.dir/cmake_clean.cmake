@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_pool1d_test.dir/nn/pool1d_test.cc.o"
+  "CMakeFiles/nn_pool1d_test.dir/nn/pool1d_test.cc.o.d"
+  "nn_pool1d_test"
+  "nn_pool1d_test.pdb"
+  "nn_pool1d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_pool1d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_positive_linear_test.dir/nn/positive_linear_test.cc.o"
+  "CMakeFiles/nn_positive_linear_test.dir/nn/positive_linear_test.cc.o.d"
+  "nn_positive_linear_test"
+  "nn_positive_linear_test.pdb"
+  "nn_positive_linear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_positive_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

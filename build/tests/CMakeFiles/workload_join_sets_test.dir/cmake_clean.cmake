@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_join_sets_test.dir/workload/join_sets_test.cc.o"
+  "CMakeFiles/workload_join_sets_test.dir/workload/join_sets_test.cc.o.d"
+  "workload_join_sets_test"
+  "workload_join_sets_test.pdb"
+  "workload_join_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_join_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

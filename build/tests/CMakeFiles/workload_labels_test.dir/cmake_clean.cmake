@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_labels_test.dir/workload/labels_test.cc.o"
+  "CMakeFiles/workload_labels_test.dir/workload/labels_test.cc.o.d"
+  "workload_labels_test"
+  "workload_labels_test.pdb"
+  "workload_labels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_labels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

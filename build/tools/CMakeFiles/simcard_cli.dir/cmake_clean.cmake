@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcard_cli.dir/simcard_cli.cc.o"
+  "CMakeFiles/simcard_cli.dir/simcard_cli.cc.o.d"
+  "simcard_cli"
+  "simcard_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
