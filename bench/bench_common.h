@@ -4,10 +4,14 @@
 //   --datasets=a,b,c          (default per bench)
 //   --segments=N              (default 16)
 //   --seed=N                  (default 2026)
+//   --json=PATH               enable metrics and write a JSON run report
+//                             (the "simcard.metrics.v1" schema; validate
+//                             with scripts/check_metrics_json.py)
 #ifndef SIMCARD_BENCH_BENCH_COMMON_H_
 #define SIMCARD_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +21,7 @@
 #include "common/stopwatch.h"
 #include "eval/harness.h"
 #include "eval/reporter.h"
+#include "obs/metrics.h"
 
 namespace simcard {
 namespace bench {
@@ -26,14 +31,39 @@ struct BenchArgs {
   std::vector<std::string> datasets;
   size_t segments = 16;
   uint64_t seed = 2026;
+  std::string json_out;  ///< empty = no report
   CommandLine cl;
 };
+
+namespace internal {
+
+// The report is written from an atexit hook so every bench gets it without
+// touching its main(); google-benchmark exits through normal return paths.
+inline std::string& JsonOutPath() {
+  static std::string path;
+  return path;
+}
+
+inline void WriteReportAtExit() {
+  const std::string& path = JsonOutPath();
+  if (path.empty()) return;
+  Status st = obs::DumpMetricsJson(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "writing metrics report: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "metrics report -> %s\n", path.c_str());
+}
+
+}  // namespace internal
 
 /// Parses the common flags (plus any in `extra_flags`); exits on error.
 inline BenchArgs ParseArgs(int argc, char** argv,
                            std::vector<std::string> default_datasets,
                            std::vector<std::string> extra_flags = {}) {
-  std::vector<std::string> known = {"scale", "datasets", "segments", "seed"};
+  std::vector<std::string> known = {"scale", "datasets", "segments", "seed",
+                                    "json"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   auto cl_or = CommandLine::Parse(argc, argv, known);
   if (!cl_or.ok()) {
@@ -51,6 +81,23 @@ inline BenchArgs ParseArgs(int argc, char** argv,
   args.datasets = args.cl.GetStringList("datasets", default_datasets);
   args.segments = static_cast<size_t>(args.cl.GetInt("segments", 16));
   args.seed = static_cast<uint64_t>(args.cl.GetInt("seed", 2026));
+  args.json_out = args.cl.GetString("json", "");
+  if (!args.json_out.empty()) {
+    obs::SetMetricsEnabled(true);
+    auto& registry = obs::MetricsRegistry::Default();
+    registry.SetMetaString("binary", argc > 0 ? argv[0] : "bench");
+    registry.SetMetaString("scale", ScaleName(args.scale));
+    registry.SetMetaNumber("segments", static_cast<double>(args.segments));
+    registry.SetMetaNumber("seed", static_cast<double>(args.seed));
+    std::string datasets;
+    for (const auto& d : args.datasets) {
+      if (!datasets.empty()) datasets += ",";
+      datasets += d;
+    }
+    registry.SetMetaString("datasets", datasets);
+    internal::JsonOutPath() = args.json_out;
+    std::atexit(internal::WriteReportAtExit);
+  }
   return args;
 }
 
@@ -90,7 +137,42 @@ inline std::unique_ptr<Estimator> MustTrain(const std::string& name,
   }
   SIMCARD_LOG(INFO) << env.spec.name << " / " << name << ": trained in "
                     << watch.ElapsedSeconds() << "s";
+  if (obs::MetricsEnabled()) {
+    obs::GetGauge("bench.train_seconds." + env.spec.name + "." + name)
+        ->Set(watch.ElapsedSeconds());
+  }
   return est;
+}
+
+/// \brief Runs `count` throwaway queries before measurement so first-query
+/// allocation noise (lazy buffer growth, page faults, branch-predictor
+/// cold start) does not pollute steady-state latency numbers.
+///
+/// The very first query is timed into the "latency.cold_first_query_us"
+/// histogram and the remaining warm-up queries into "latency.warmup_us",
+/// so cold vs. warm behavior is reported separately instead of averaged
+/// together.
+inline void WarmUpEstimator(Estimator* est, const SearchWorkload& workload,
+                            size_t count = 8) {
+  if (workload.test.empty()) return;
+  obs::Histogram* cold = obs::GetHistogram("latency.cold_first_query_us");
+  obs::Histogram* warm = obs::GetHistogram("latency.warmup_us");
+  const bool record = obs::MetricsEnabled();
+  size_t done = 0;
+  Stopwatch watch;
+  for (const auto& lq : workload.test) {
+    const float* q = workload.test_queries.Row(lq.row);
+    for (const auto& t : lq.thresholds) {
+      watch.Restart();
+      volatile double sink = est->EstimateSearch(q, t.tau);
+      (void)sink;
+      if (record) {
+        (done == 0 ? cold : warm)->Record(
+            static_cast<double>(watch.ElapsedMicros()));
+      }
+      if (++done >= count) return;
+    }
+  }
 }
 
 /// Prints the standard experiment banner.
@@ -101,6 +183,9 @@ inline void PrintBanner(const std::string& title, const BenchArgs& args) {
             << "\n";
   std::cout << "(synthetic paper-analog datasets; compare method ordering "
                "and ratios, not absolute values)\n\n";
+  if (!args.json_out.empty()) {
+    obs::MetricsRegistry::Default().SetMetaString("experiment", title);
+  }
 }
 
 }  // namespace bench

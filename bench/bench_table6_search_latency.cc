@@ -35,6 +35,10 @@ void RegisterEstimatorBenchmarks(const std::string& dataset,
       "MLP",           "QES"};
   for (const auto& method : methods) {
     std::shared_ptr<Estimator> est = MustTrain(method, *env, args);
+    // First-query allocation noise (lazy forward-pass buffers) used to leak
+    // into the measured distribution; warm up each estimator before the
+    // benchmark loop and report cold vs. warm separately in the run report.
+    WarmUpEstimator(est.get(), env->workload);
     ::benchmark::RegisterBenchmark(
         (dataset + "/" + method).c_str(),
         [est, env](::benchmark::State& state) {

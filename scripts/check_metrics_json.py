@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Sanity-checks a simcard metrics JSON run report.
+
+Validates the "simcard.metrics.v1" schema produced by obs::DumpMetricsJson
+(simcard_cli --metrics-out, bench --json): required sections, histogram
+internal consistency (count == sum of bucket counts, min <= p50 <= p99 <=
+max), well-formed [step, value] series points, and non-negative counters.
+
+Usage:
+  check_metrics_json.py report.json [report2.json ...]
+  check_metrics_json.py --emit-with /path/to/simcard_cli
+      Runs a tiny generate+train+evaluate pipeline with --metrics-out into a
+      temp directory and validates the reports it produces (the ctest entry
+      point, so the checker is exercised against a fresh binary).
+
+Exits 0 when every report passes, 1 with a list of problems otherwise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "simcard.metrics.v1"
+REQUIRED_SECTIONS = ("schema", "meta", "counters", "gauges", "histograms",
+                     "series")
+HISTOGRAM_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p90",
+                    "p95", "p99", "buckets")
+
+
+def check_histogram(name, hist, problems):
+    for field in HISTOGRAM_FIELDS:
+        if field not in hist:
+            problems.append(f"histogram {name}: missing field '{field}'")
+            return
+    count = hist["count"]
+    if count < 0:
+        problems.append(f"histogram {name}: negative count")
+    bucket_total = 0
+    for bucket in hist["buckets"]:
+        if "le" not in bucket or "count" not in bucket:
+            problems.append(f"histogram {name}: malformed bucket {bucket}")
+            return
+        if bucket["count"] <= 0:
+            # Buckets are sparse; zero-count entries should be omitted.
+            problems.append(f"histogram {name}: empty bucket emitted")
+        bucket_total += bucket["count"]
+    if bucket_total != count:
+        problems.append(
+            f"histogram {name}: bucket counts sum to {bucket_total}, "
+            f"count is {count}")
+    if count > 0:
+        lo, hi = hist["min"], hist["max"]
+        quantiles = [hist["p50"], hist["p90"], hist["p95"], hist["p99"]]
+        if sorted(quantiles) != quantiles:
+            problems.append(f"histogram {name}: quantiles not monotone "
+                            f"{quantiles}")
+        for q in quantiles:
+            if not (lo - 1e-9 <= q <= hi + 1e-9):
+                problems.append(
+                    f"histogram {name}: quantile {q} outside [min, max] = "
+                    f"[{lo}, {hi}]")
+        if not (lo <= hist["mean"] <= hi):
+            problems.append(f"histogram {name}: mean outside [min, max]")
+
+
+def check_report(path):
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"cannot parse: {e}"]
+
+    for section in REQUIRED_SECTIONS:
+        if section not in report:
+            problems.append(f"missing top-level section '{section}'")
+    if problems:
+        return problems
+    if report["schema"] != SCHEMA:
+        problems.append(f"schema is '{report['schema']}', expected "
+                        f"'{SCHEMA}'")
+    if "timestamp_utc" not in report["meta"]:
+        problems.append("meta: missing timestamp_utc")
+
+    for name, value in report["counters"].items():
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"counter {name}: bad value {value!r}")
+    for name, hist in report["histograms"].items():
+        check_histogram(name, hist, problems)
+    for name, points in report["series"].items():
+        if any(not isinstance(p, list) or len(p) != 2 for p in points):
+            problems.append(f"series {name}: points must be [step, value]")
+            continue
+        if any(not all(isinstance(x, (int, float)) for x in p)
+               for p in points):
+            problems.append(f"series {name}: non-numeric point")
+            continue
+        # No ordering constraint on steps: one process may train several
+        # estimators, each appending its own epoch numbering to the same
+        # series, so steps legitimately reset or repeat across runs.
+    return problems
+
+
+def emit_with(cli_path):
+    """Runs the CLI pipeline on a tiny dataset, returns report paths."""
+    tmp = tempfile.mkdtemp(prefix="simcard_metrics_check_")
+    data = os.path.join(tmp, "data.bin")
+    model = os.path.join(tmp, "model.bin")
+    reports = []
+
+    def run(args, report_name=None):
+        cmd = [cli_path] + args
+        if report_name is not None:
+            report = os.path.join(tmp, report_name)
+            cmd.append(f"--metrics-out={report}")
+            reports.append(report)
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
+                       timeout=600)
+
+    run(["generate", "--dataset=glove-sim", "--scale=tiny", f"--out={data}"])
+    run(["train", f"--data={data}", "--segments=4", "--scale=tiny",
+         f"--out={model}"], report_name="train.json")
+    run(["evaluate", f"--data={data}", f"--model={model}", "--segments=4",
+         "--scale=tiny"], report_name="evaluate.json")
+    return reports
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--emit-with":
+        paths = emit_with(argv[1])
+    elif argv:
+        paths = argv
+    else:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in paths:
+        problems = check_report(path)
+        if problems:
+            failures += 1
+            print(f"FAIL {path}")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            print(f"OK   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -3,7 +3,9 @@
 #
 #   scripts/reproduce.sh [scale]   # scale in {tiny, small, full}; default small
 #
-# Outputs land in test_output.txt and bench_output.txt at the repo root.
+# Outputs land in test_output.txt and bench_output.txt at the repo root,
+# plus one BENCH_<binary>.json metrics report per bench (validated with
+# scripts/check_metrics_json.py).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 SCALE="${1:-small}"
@@ -13,5 +15,7 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 for b in build/bench/*; do
-  "$b" --scale="$SCALE"
+  "$b" --scale="$SCALE" --json="BENCH_$(basename "$b").json"
 done 2>&1 | tee bench_output.txt
+
+python3 scripts/check_metrics_json.py BENCH_*.json

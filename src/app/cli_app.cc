@@ -8,6 +8,7 @@
 #include "core/gl_estimator.h"
 #include "eval/harness.h"
 #include "eval/reporter.h"
+#include "obs/metrics.h"
 
 namespace simcard {
 namespace {
@@ -18,7 +19,9 @@ constexpr char kUsage[] =
     "  train    --data=FILE --method=M [--segments=N] [--scale=S]\n"
     "           [--seed=N] --out=FILE        (M in GL+/Local+/GL-CNN/GL-MLP)\n"
     "  estimate --data=FILE --model=FILE --query-row=N --tau=X\n"
-    "  evaluate --data=FILE --model=FILE [--segments=N] [--seed=N]\n";
+    "  evaluate --data=FILE --model=FILE [--segments=N] [--seed=N]\n"
+    "every command also accepts --metrics-out=FILE to write a JSON metrics\n"
+    "report (SIMCARD_METRICS=1 enables collection without a report file)\n";
 
 Result<CommandLine> ParseFlags(int argc, const char* const* argv,
                                std::vector<std::string> known) {
@@ -208,18 +211,41 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
   }
   const std::string command = argv[1];
   const std::vector<std::string> known = {
-      "dataset", "scale", "seed", "out",  "data",
-      "method",  "segments", "model", "query-row", "tau"};
+      "dataset", "scale", "seed", "out",  "data",        "method",
+      "segments", "model", "query-row", "tau", "metrics-out"};
   auto cl_or = ParseFlags(argc, argv, known);
   if (!cl_or.ok()) return Fail(err, cl_or.status());
   const CommandLine& cl = cl_or.value();
 
-  if (command == "generate") return CmdGenerate(cl, out, err);
-  if (command == "train") return CmdTrain(cl, out, err);
-  if (command == "estimate") return CmdEstimate(cl, out, err);
-  if (command == "evaluate") return CmdEvaluate(cl, out, err);
-  err << "unknown command: " << command << "\n" << kUsage;
-  return 2;
+  const std::string metrics_out = cl.GetString("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::SetMetricsEnabled(true);
+    obs::MetricsRegistry::Default().SetMetaString("command", command);
+  }
+
+  int rc;
+  if (command == "generate") {
+    rc = CmdGenerate(cl, out, err);
+  } else if (command == "train") {
+    rc = CmdTrain(cl, out, err);
+  } else if (command == "estimate") {
+    rc = CmdEstimate(cl, out, err);
+  } else if (command == "evaluate") {
+    rc = CmdEvaluate(cl, out, err);
+  } else {
+    err << "unknown command: " << command << "\n" << kUsage;
+    return 2;
+  }
+
+  if (!metrics_out.empty()) {
+    if (Status st = obs::DumpMetricsJson(metrics_out); !st.ok()) {
+      err << "writing metrics report: " << st.ToString() << "\n";
+      if (rc == 0) rc = 1;
+    } else {
+      out << "metrics report -> " << metrics_out << "\n";
+    }
+  }
+  return rc;
 }
 
 }  // namespace simcard

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "common/stopwatch.h"
 #include "dist/metric.h"
+#include "obs/metrics.h"
+#include "obs/training_observer.h"
 
 namespace simcard {
 namespace {
@@ -74,6 +77,7 @@ Result<KMeansResult> MiniBatchKMeans(const Matrix& data,
   const size_t n = data.rows();
   const size_t d = data.cols();
   const size_t k = std::min(options.k, n);
+  Stopwatch watch;
   Rng rng(options.seed);
 
   KMeansResult result;
@@ -106,6 +110,14 @@ Result<KMeansResult> MiniBatchKMeans(const Matrix& data,
     inertia += L2Squared(result.centroids.Row(c), x, d);
   }
   result.inertia = inertia / static_cast<double>(n);
+  // The final inertia is the clustering's "loss"; reported as a one-point
+  // training run so segmentation quality lands in run reports.
+  obs::NotifyTrainEpoch("kmeans", options.iterations, result.inertia,
+                        watch.ElapsedSeconds());
+  if (obs::MetricsEnabled()) {
+    obs::GetGauge("kmeans.inertia")->Set(result.inertia);
+    obs::GetGauge("kmeans.seconds")->Set(watch.ElapsedSeconds());
+  }
   return result;
 }
 

@@ -1,8 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
@@ -55,6 +58,29 @@ const char* Basename(const char* path) {
   return base;
 }
 
+// Compact per-process thread ids (main thread = 0, workers in spawn order)
+// instead of opaque pthread handles; far easier to eyeball in a log tail.
+int ThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// "HH:MM:SS.mmm" wall-clock timestamp; date is omitted because a run never
+// spans days and the shorter prefix keeps lines under terminal width.
+void FormatTimestamp(char* buf, size_t buf_size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  std::snprintf(buf, buf_size, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms));
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -69,8 +95,10 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  char ts[16];
+  FormatTimestamp(ts, sizeof(ts));
+  stream_ << "[" << LevelTag(level) << " " << ts << " t" << ThreadId() << " "
+          << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -2,6 +2,10 @@
 //
 // Usage:
 //   SIMCARD_LOG(INFO) << "trained " << n << " local models";
+// emits
+//   [I 14:02:31.208 t0 gl_estimator.cc:171] trained 16 local models
+// where "t0" is a compact per-process thread id (main thread is t0, worker
+// threads number up in spawn order) and the timestamp is local wall-clock.
 // The default level is kInfo; set SIMCARD_LOG_LEVEL=debug|info|warn|error in
 // the environment, or call SetLogLevel(), to change it. Logging is
 // synchronized so interleaved worker-thread messages stay line-atomic.

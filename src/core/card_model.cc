@@ -5,10 +5,12 @@
 #include <cmath>
 #include <limits>
 
+#include "common/stopwatch.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
 #include "nn/optimizer.h"
 #include "nn/positive_linear.h"
+#include "obs/training_observer.h"
 #include "tensor/ops.h"
 
 namespace simcard {
@@ -386,10 +388,14 @@ double TrainCardModel(CardModel* model, const Matrix& queries,
   nn::Adam opt(model->Parameters(), options.lr);
   nn::HybridCardLoss loss(options.lambda);
 
+  Stopwatch total_watch;
+  Stopwatch epoch_watch;
   double best = std::numeric_limits<double>::infinity();
   size_t stall = 0;
+  size_t epochs_run = 0;
   double epoch_loss = 0.0;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    epoch_watch.Restart();
     rng.Shuffle(&samples);
     epoch_loss = 0.0;
     size_t batches = 0;
@@ -408,6 +414,9 @@ double TrainCardModel(CardModel* model, const Matrix& queries,
       ++batches;
     }
     epoch_loss /= static_cast<double>(std::max<size_t>(1, batches));
+    epochs_run = epoch + 1;
+    obs::NotifyTrainEpoch(options.observer_tag, epoch, epoch_loss,
+                          epoch_watch.ElapsedSeconds());
     if (epoch_loss < best * (1.0 - options.min_improvement)) {
       best = epoch_loss;
       stall = 0;
@@ -415,6 +424,8 @@ double TrainCardModel(CardModel* model, const Matrix& queries,
       break;
     }
   }
+  obs::NotifyTrainEnd(options.observer_tag, epochs_run, epoch_loss,
+                      total_watch.ElapsedSeconds());
   return epoch_loss;
 }
 

@@ -154,6 +154,9 @@ struct CardTrainOptions {
   /// Warm-start the output bias at the mean log-cardinality of the training
   /// labels. Disable when fine-tuning an already-trained model.
   bool reset_output_bias = true;
+  /// Name under which per-epoch loss/time are reported to the observability
+  /// layer (obs::NotifyTrainEpoch); empty = silent (e.g. tuner trial fits).
+  std::string observer_tag;
 };
 
 /// Trains with Adam + the hybrid MAPE/Q-error loss (Algorithm 1). `aux` may

@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/features.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simcard {
 
@@ -69,6 +71,7 @@ Status GlEstimator::Train(const TrainContext& ctx) {
         "GlEstimator: a segmentation is required (Table 2: all GL-family "
         "methods use data segmentation)");
   }
+  obs::TraceSpan train_span("gl.train");
   Stopwatch watch;
   segmentation_ = *ctx.segmentation;  // own a mutable copy
   metric_ = ctx.dataset->metric();
@@ -108,31 +111,34 @@ Status GlEstimator::Train(const TrainContext& ctx) {
   // Phase 1 (Algorithm 1 per segment): local regression models.
   locals_.clear();
   locals_.reserve(n_seg);
-  for (size_t s = 0; s < n_seg; ++s) {
-    if (config_.auto_tune && config_.use_cnn_query_tower &&
-        config_.tune_per_segment) {
-      Rng rng(ctx.seed + s);
-      auto samples = FlattenSegment(ctx.workload->train, s,
-                                    config_.zero_keep_prob, &rng);
-      if (samples.size() >= 10) {
-        TunerOptions tuner_opts = config_.tuner;
-        tuner_opts.seed = ctx.seed + 17 + s;
-        auto tuned_or =
-            GreedyTuneQes(queries, &xc, samples, LocalConfig(), tuner_opts);
-        if (tuned_or.ok()) tuned_qes_ = tuned_or.value().config;
+  {
+    obs::TraceSpan locals_span("gl.train.locals");
+    for (size_t s = 0; s < n_seg; ++s) {
+      if (config_.auto_tune && config_.use_cnn_query_tower &&
+          config_.tune_per_segment) {
+        Rng rng(ctx.seed + s);
+        auto samples = FlattenSegment(ctx.workload->train, s,
+                                      config_.zero_keep_prob, &rng);
+        if (samples.size() >= 10) {
+          TunerOptions tuner_opts = config_.tuner;
+          tuner_opts.seed = ctx.seed + 17 + s;
+          auto tuned_or =
+              GreedyTuneQes(queries, &xc, samples, LocalConfig(), tuner_opts);
+          if (tuned_or.ok()) tuned_qes_ = tuned_or.value().config;
+        }
       }
+      Rng rng(ctx.seed + 31 * s + 1);
+      CardModelConfig config = LocalConfig();
+      auto local_or = LocalModel::Build(s, config, &rng);
+      if (!local_or.ok()) return local_or.status();
+      locals_.push_back(std::move(local_or.value()));
+      locals_.back()->set_max_card(
+          static_cast<double>(segmentation_.members[s].size()));
+      CardTrainOptions train_opts = config_.local_train;
+      train_opts.seed = ctx.seed + 101 * s;
+      locals_.back()->Train(queries, xc, ctx.workload->train,
+                            config_.zero_keep_prob, train_opts);
     }
-    Rng rng(ctx.seed + 31 * s + 1);
-    CardModelConfig config = LocalConfig();
-    auto local_or = LocalModel::Build(s, config, &rng);
-    if (!local_or.ok()) return local_or.status();
-    locals_.push_back(std::move(local_or.value()));
-    locals_.back()->set_max_card(
-        static_cast<double>(segmentation_.members[s].size()));
-    CardTrainOptions train_opts = config_.local_train;
-    train_opts.seed = ctx.seed + 101 * s;
-    locals_.back()->Train(queries, xc, ctx.workload->train,
-                          config_.zero_keep_prob, train_opts);
   }
 
   // Phase 2 (Algorithm 2): the global discriminative model.
@@ -156,6 +162,7 @@ Status GlEstimator::Train(const TrainContext& ctx) {
     if (!global_or.ok()) return global_or.status();
     global_ = std::move(global_or.value());
 
+    obs::TraceSpan global_span("gl.train.global");
     GlobalLabels labels = BuildGlobalLabels(ctx.workload->train, n_seg);
     GlobalTrainOptions gopts = config_.global_train;
     gopts.use_penalty = config_.use_penalty;
@@ -164,28 +171,76 @@ Status GlEstimator::Train(const TrainContext& ctx) {
   }
 
   set_training_seconds(watch.ElapsedSeconds());
+  if (obs::MetricsEnabled()) {
+    obs::GetGauge("gl.train_seconds")->Set(training_seconds());
+    obs::GetGauge("gl.num_segments")->Set(static_cast<double>(n_seg));
+  }
   return Status::OK();
 }
 
+namespace {
+
+// Per-query instrumentation for the GL estimation path. Metric objects are
+// resolved once and cached (registry pointers are stable); every recording
+// site is gated on the per-query `enabled` flag so a disabled run pays one
+// relaxed atomic load and branch.
+struct GlQueryMetrics {
+  obs::Counter* queries = obs::GetCounter("gl.queries");
+  obs::Counter* evaluated = obs::GetCounter("gl.segments_evaluated");
+  obs::Counter* pruned = obs::GetCounter("gl.segments_pruned");
+  obs::Counter* triangle_excluded = obs::GetCounter("gl.triangle_excluded");
+  obs::Counter* triangle_forced = obs::GetCounter("gl.triangle_forced");
+  obs::Histogram* global_prob = obs::GetHistogram(
+      "gl.global_prob", obs::Histogram::LinearBuckets(0.05, 0.05, 20));
+  obs::Histogram* selected_hist = obs::GetHistogram(
+      "gl.selected_segments", obs::Histogram::LinearBuckets(1.0, 1.0, 64));
+  obs::Histogram* features_us = obs::GetHistogram("gl.latency.features_us");
+  obs::Histogram* global_us = obs::GetHistogram("gl.latency.global_us");
+  obs::Histogram* locals_us = obs::GetHistogram("gl.latency.locals_us");
+  obs::Histogram* total_us = obs::GetHistogram("gl.latency.total_us");
+};
+
+GlQueryMetrics& QueryMetrics() {
+  static GlQueryMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
     const float* query, float tau) {
+  const bool enabled = obs::MetricsEnabled();
+  GlQueryMetrics& m = QueryMetrics();
+  Stopwatch total;
+  Stopwatch phase;
   std::vector<float> xc =
       segmentation_.CentroidDistances(query, dim_, metric_);
+  if (enabled) m.features_us->Record(phase.ElapsedMicros());
   std::vector<size_t> selected;
   if (global_ != nullptr) {
-    selected = global_->SelectSegments(
-        global_->Probabilities(query, tau, xc.data()));
+    if (enabled) phase.Restart();
+    const std::vector<float> probs = global_->Probabilities(query, tau,
+                                                            xc.data());
+    selected = global_->SelectSegments(probs);
+    if (enabled) {
+      m.global_us->Record(phase.ElapsedMicros());
+      for (float p : probs) m.global_prob->Record(p);
+    }
     if (config_.use_triangle_guards) {
       // Exclusion: |d(q,p) - d(q,c)| <= d(c,p) <= radius for all members p,
       // so xc[s] > tau + radius[s] proves the segment holds no match.
       std::vector<char> keep(locals_.size(), 0);
       for (size_t s : selected) {
         keep[s] = xc[s] <= tau + segmentation_.radius[s];
+        if (enabled && keep[s] == 0) m.triangle_excluded->Increment();
       }
       // Inclusion: a centroid within tau strongly indicates matches; back-
       // stop a global-model miss.
       for (size_t s = 0; s < locals_.size(); ++s) {
-        if (xc[s] <= tau) keep[s] = 1;
+        if (xc[s] <= tau) {
+          if (enabled && keep[s] == 0) m.triangle_forced->Increment();
+          keep[s] = 1;
+        }
       }
       selected.clear();
       for (size_t s = 0; s < locals_.size(); ++s) {
@@ -196,10 +251,19 @@ std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
     selected.resize(locals_.size());
     for (size_t s = 0; s < locals_.size(); ++s) selected[s] = s;
   }
+  if (enabled) phase.Restart();
   std::vector<std::pair<size_t, double>> out;
   out.reserve(selected.size());
   for (size_t s : selected) {
     out.emplace_back(s, locals_[s]->Estimate(query, tau, xc.data()));
+  }
+  if (enabled) {
+    m.locals_us->Record(phase.ElapsedMicros());
+    m.total_us->Record(total.ElapsedMicros());
+    m.queries->Increment();
+    m.evaluated->Add(static_cast<int64_t>(selected.size()));
+    m.pruned->Add(static_cast<int64_t>(locals_.size() - selected.size()));
+    m.selected_hist->Record(static_cast<double>(selected.size()));
   }
   return out;
 }

@@ -117,6 +117,8 @@ struct GlobalTrainOptions {
   uint64_t seed = 43;
   double min_improvement = 0.003;
   size_t patience = 6;
+  /// Observability tag for per-epoch loss reporting (see CardTrainOptions).
+  std::string observer_tag = "global";
 };
 
 /// Trains on the flattened global labels; `xc_features` is the per-query

@@ -50,6 +50,9 @@ double LocalModel::Train(const Matrix& queries, const Matrix& xc_features,
   trained_ = true;
   CardTrainOptions opts = options;
   opts.seed = options.seed + 1000 + segment_index_;
+  if (opts.observer_tag.empty()) {
+    opts.observer_tag = "local." + std::to_string(segment_index_);
+  }
   return TrainCardModel(model_.get(), queries, &xc_features,
                         std::move(samples), opts);
 }
@@ -62,6 +65,9 @@ double LocalModel::FineTune(const Matrix& queries, const Matrix& xc_features,
   auto samples =
       FlattenSegment(labeled, segment_index_, zero_keep_prob, &rng);
   if (samples.empty()) return 0.0;
+  if (options.observer_tag.empty()) {
+    options.observer_tag = "local." + std::to_string(segment_index_) + ".ft";
+  }
   if (!trained_) {
     // First real samples for this segment: do a normal (anchored) fit.
     trained_ = true;

@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simcard {
 namespace {
@@ -73,9 +75,15 @@ class TrialRunner {
           model->EstimateCard(queries_.Row(s.query_row), s.tau, aux_row);
       log_total += std::log(QError(est, s.card));
     }
-    return val_.empty()
-               ? 0.0
-               : std::exp(log_total / static_cast<double>(val_.size()));
+    const double val_error =
+        val_.empty() ? 0.0
+                     : std::exp(log_total / static_cast<double>(val_.size()));
+    if (obs::MetricsEnabled()) {
+      obs::GetCounter("tuner.trials")->Increment();
+      obs::GetTimeSeries("tuner.val_qerror")
+          ->Append(static_cast<double>(trials_), val_error);
+    }
+    return val_error;
   }
 
   size_t trials() const { return trials_; }
@@ -100,6 +108,7 @@ Result<TunerResult> GreedyTuneQes(const Matrix& queries, const Matrix* aux,
   if (samples.size() < 10) {
     return Status::InvalidArgument("GreedyTuneQes: too few samples to tune");
   }
+  obs::TraceSpan tune_span("tuner.greedy_tune");
   Rng rng(options.seed);
 
   // Algorithm 3 lines 1-2: disjoint train/validate subsamples.

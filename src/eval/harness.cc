@@ -6,6 +6,7 @@
 #include "baselines/sampling_estimator.h"
 #include "common/stopwatch.h"
 #include "core/join_estimator.h"
+#include "obs/metrics.h"
 
 namespace simcard {
 namespace {
@@ -168,6 +169,10 @@ TrainContext MakeTrainContext(const ExperimentEnv& env) {
 EvalResult EvaluateSearch(Estimator* estimator,
                           const SearchWorkload& workload) {
   EvalResult result;
+  const bool record = obs::MetricsEnabled();
+  obs::Histogram* latency_us = obs::GetHistogram("eval.query_latency_us");
+  obs::Histogram* qerror_hist = obs::GetHistogram(
+      "eval.qerror", obs::Histogram::ExponentialBuckets(1.0, 1.5, 24));
   Stopwatch watch;
   double total_ms = 0.0;
   for (const auto& lq : workload.test) {
@@ -175,10 +180,19 @@ EvalResult EvaluateSearch(Estimator* estimator,
     for (const auto& t : lq.thresholds) {
       watch.Restart();
       const double est = estimator->EstimateSearch(q, t.tau);
-      total_ms += watch.ElapsedMillis();
+      const double elapsed_ms = watch.ElapsedMillis();
+      total_ms += elapsed_ms;
       result.qerrors.push_back(QError(est, t.card));
       result.mapes.push_back(Mape(est, t.card));
+      if (record) {
+        latency_us->Record(elapsed_ms * 1e3);
+        qerror_hist->Record(result.qerrors.back());
+      }
     }
+  }
+  if (record) {
+    obs::GetCounter("eval.samples")
+        ->Add(static_cast<int64_t>(result.qerrors.size()));
   }
   result.qerror = Summarize(result.qerrors);
   result.mape = Summarize(result.mapes);
@@ -192,6 +206,8 @@ EvalResult EvaluateSearch(Estimator* estimator,
 EvalResult EvaluateJoin(Estimator* estimator, const SearchWorkload& workload,
                         const std::vector<JoinSet>& sets) {
   EvalResult result;
+  const bool record = obs::MetricsEnabled();
+  obs::Histogram* latency_us = obs::GetHistogram("eval.join_latency_us");
   Stopwatch watch;
   double total_ms = 0.0;
   for (const JoinSet& js : sets) {
@@ -199,9 +215,11 @@ EvalResult EvaluateJoin(Estimator* estimator, const SearchWorkload& workload,
         js.from_test_queries ? workload.test_queries : workload.train_queries;
     watch.Restart();
     const double est = estimator->EstimateJoin(queries, js.query_rows, js.tau);
-    total_ms += watch.ElapsedMillis();
+    const double elapsed_ms = watch.ElapsedMillis();
+    total_ms += elapsed_ms;
     result.qerrors.push_back(QError(est, js.card));
     result.mapes.push_back(Mape(est, js.card));
+    if (record) latency_us->Record(elapsed_ms * 1e3);
   }
   result.qerror = Summarize(result.qerrors);
   result.mape = Summarize(result.mapes);

@@ -1,0 +1,411 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace simcard {
+namespace obs {
+namespace {
+
+const JsonValue& SharedNull() {
+  static const JsonValue null;
+  return null;
+}
+
+// Shortest representation that survives a double round-trip; integral
+// values (the common case for counters) print without a fraction.
+std::string FormatNumber(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips exactly.
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%.12g", v);
+  if (std::strtod(shorter, nullptr) == v) return shorter;
+  return buf;
+}
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t value) {
+  return Number(static_cast<double>(value));
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+void JsonValue::Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  return SharedNull();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) * (depth + 1), ' ')
+                 : "";
+  const std::string close_pad =
+      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) * depth, ' ')
+                 : "";
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      *out += FormatNumber(number_);
+      return;
+    case Type::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      return;
+    case Type::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) *out += ',';
+        *out += pad;
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!items_.empty()) *out += close_pad;
+      *out += ']';
+      return;
+    }
+    case Type::kObject: {
+      *out += '{';
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) *out += ',';
+        *out += pad;
+        *out += '"';
+        *out += JsonEscape(object_[i].first);
+        *out += indent > 0 ? "\": " : "\":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) *out += close_pad;
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over a raw char range.
+class Parser {
+ public:
+  Parser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  Result<JsonValue> ParseDocument() {
+    auto v = ParseValue();
+    if (!v.ok()) return v;
+    SkipSpace();
+    if (p_ != end_) return Err("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& message) const {
+    return Status::InvalidArgument(
+        "json: " + message + " at offset " + std::to_string(offset_));
+  }
+
+  void SkipSpace() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) {
+      Advance();
+    }
+  }
+
+  void Advance() {
+    ++p_;
+    ++offset_;
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const char* q = p_;
+    size_t n = 0;
+    while (lit[n] != '\0') {
+      if (q == end_ || *q != lit[n]) return false;
+      ++q;
+      ++n;
+    }
+    p_ = q;
+    offset_ += n;
+    return true;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (p_ == end_) return Err("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        std::string s;
+        SIMCARD_RETURN_IF_ERROR(ParseString(&s));
+        return JsonValue::Str(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+        return Err("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+        return Err("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::Null();
+        return Err("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const char* start = p_;
+    if (Consume('-')) {
+    }
+    while (p_ != end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+            *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+      Advance();
+    }
+    if (p_ == start) return Err("invalid number");
+    char* parse_end = nullptr;
+    const std::string text(start, p_);
+    const double v = std::strtod(text.c_str(), &parse_end);
+    if (parse_end != text.c_str() + text.size()) return Err("invalid number");
+    return JsonValue::Number(v);
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Err("expected '\"'");
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_;
+      Advance();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) return Err("unterminated escape");
+      char esc = *p_;
+      Advance();
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (end_ - p_ < 4) return Err("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_;
+            Advance();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Err("invalid \\u escape");
+            }
+          }
+          // Reports only ever escape control characters; emit Latin-1
+          // directly and UTF-8-encode the rest.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Err("invalid escape");
+      }
+    }
+    if (!Consume('"')) return Err("unterminated string");
+    return Status::OK();
+  }
+
+  Result<JsonValue> ParseArray() {
+    Advance();  // '['
+    JsonValue out = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) return out;
+    while (true) {
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      out.Append(std::move(v).value());
+      SkipSpace();
+      if (Consume(']')) return out;
+      if (!Consume(',')) return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    Advance();  // '{'
+    JsonValue out = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      SIMCARD_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Err("expected ':'");
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      out.Set(key, std::move(v).value());
+      SkipSpace();
+      if (Consume('}')) return out;
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.ParseDocument();
+}
+
+}  // namespace obs
+}  // namespace simcard

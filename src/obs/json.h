@@ -1,0 +1,86 @@
+// Minimal JSON document model used by the observability exporters.
+//
+// JsonValue covers the subset of JSON the metrics reports need — null,
+// bool, double, string, array, object (insertion-ordered) — with a writer
+// (Dump) and a strict reader (Parse) so reports can be round-tripped in
+// tests and post-processed by scripts/check_metrics_json.py. It is not a
+// general-purpose JSON library: numbers are always doubles, and object keys
+// keep first-insertion order so diffs between two runs line up.
+#ifndef SIMCARD_OBS_JSON_H_
+#define SIMCARD_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simcard {
+namespace obs {
+
+/// \brief One JSON value (recursive).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue Int(int64_t v);  ///< stored as double; emitted unfractioned
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Array access.
+  void Append(JsonValue v);
+  size_t size() const { return items_.size(); }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+
+  /// Object access. Set overwrites an existing key in place.
+  void Set(const std::string& key, JsonValue v);
+  bool Has(const std::string& key) const;
+  /// Returns the member or a shared null value when absent.
+  const JsonValue& Get(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage is an
+  /// error). Accepts integers and floats as numbers.
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> object_;   // kObject
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace simcard
+
+#endif  // SIMCARD_OBS_JSON_H_

@@ -1,0 +1,395 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace simcard {
+namespace obs {
+namespace {
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("SIMCARD_METRICS");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled(EnabledFromEnv());
+  return enabled;
+}
+
+// fetch_add for atomic<double> without requiring C++20 library support.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value < expected && !target->compare_exchange_weak(
+                                 expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value > expected && !target->compare_exchange_weak(
+                                 expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::string WallClockIso8601() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (buckets_.size() != bounds_.size() + 1) {
+    // Duplicates were removed; re-size (only reachable pre-publication, so
+    // this is not racy).
+    std::vector<std::atomic<uint64_t>> fresh(bounds_.size() + 1);
+    buckets_.swap(fresh);
+  }
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Histogram::Record(double value) {
+  // lower_bound keeps buckets upper-inclusive — bucket i is (b{i-1}, b{i}]
+  // — matching the "le" bound the JSON report advertises.
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Min() const {
+  return Count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Max() const {
+  return Count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (rank <= next || i + 1 == counts.size()) {
+      // Interpolate inside bucket i. Bucket edges: lo = previous bound (or
+      // the observed min for the first populated region), hi = this bound
+      // (or the observed max for the overflow bucket).
+      double lo = i == 0 ? Min() : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : Max();
+      lo = std::max(lo, Min());
+      hi = std::min(hi, Max());
+      if (hi < lo) hi = lo;
+      const double frac =
+          std::min(1.0, std::max(0.0, (rank - cumulative) /
+                                          static_cast<double>(counts[i])));
+      return lo + (hi - lo) * frac;
+    }
+    cumulative = next;
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::LatencyBucketsUs() {
+  return ExponentialBuckets(1.0, 2.0, 21);  // 1us .. ~1.05s
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+std::vector<double> Histogram::LinearBuckets(double start, double width,
+                                             size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(start + width * static_cast<double>(i));
+  }
+  return out;
+}
+
+void TimeSeries::Append(double step, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.emplace_back(step, value);
+}
+
+std::vector<std::pair<double, double>> TimeSeries::Points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_;
+}
+
+size_t TimeSeries::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_.size();
+}
+
+void TimeSeries::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = Histogram::LatencyBucketsUs();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+TimeSeries* MetricsRegistry::GetTimeSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (slot == nullptr) slot = std::make_unique<TimeSeries>();
+  return slot.get();
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, s] : series_) s->Reset();
+  meta_.clear();
+}
+
+void MetricsRegistry::SetMetaString(const std::string& key,
+                                    const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = JsonValue::Str(value);
+      return;
+    }
+  }
+  meta_.emplace_back(key, JsonValue::Str(value));
+}
+
+void MetricsRegistry::SetMetaNumber(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = JsonValue::Number(value);
+      return;
+    }
+  }
+  meta_.emplace_back(key, JsonValue::Number(value));
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::Object();
+  root.Set("schema", JsonValue::Str("simcard.metrics.v1"));
+
+  JsonValue meta = JsonValue::Object();
+  meta.Set("timestamp_utc", JsonValue::Str(WallClockIso8601()));
+  meta.Set("metrics_enabled", JsonValue::Bool(MetricsEnabled()));
+  for (const auto& [k, v] : meta_) meta.Set(k, v);
+  root.Set("meta", std::move(meta));
+
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, c] : counters_) {
+    counters.Set(name, JsonValue::Int(c->Value()));
+  }
+  root.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.Set(name, JsonValue::Number(g->Value()));
+  }
+  root.Set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, h] : histograms_) {
+    JsonValue hj = JsonValue::Object();
+    hj.Set("count", JsonValue::Int(static_cast<int64_t>(h->Count())));
+    hj.Set("sum", JsonValue::Number(h->Sum()));
+    hj.Set("mean", JsonValue::Number(h->Mean()));
+    hj.Set("min", JsonValue::Number(h->Min()));
+    hj.Set("max", JsonValue::Number(h->Max()));
+    hj.Set("p50", JsonValue::Number(h->Quantile(0.50)));
+    hj.Set("p90", JsonValue::Number(h->Quantile(0.90)));
+    hj.Set("p95", JsonValue::Number(h->Quantile(0.95)));
+    hj.Set("p99", JsonValue::Number(h->Quantile(0.99)));
+    JsonValue buckets = JsonValue::Array();
+    const auto counts = h->BucketCounts();
+    const auto& bounds = h->bounds();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;  // sparse: empty buckets add no info
+      JsonValue b = JsonValue::Object();
+      if (i < bounds.size()) {
+        b.Set("le", JsonValue::Number(bounds[i]));
+      } else {
+        b.Set("le", JsonValue::Str("inf"));
+      }
+      b.Set("count", JsonValue::Int(static_cast<int64_t>(counts[i])));
+      buckets.Append(std::move(b));
+    }
+    hj.Set("buckets", std::move(buckets));
+    histograms.Set(name, std::move(hj));
+  }
+  root.Set("histograms", std::move(histograms));
+
+  JsonValue series = JsonValue::Object();
+  for (const auto& [name, s] : series_) {
+    JsonValue points = JsonValue::Array();
+    for (const auto& [step, value] : s->Points()) {
+      JsonValue p = JsonValue::Array();
+      p.Append(JsonValue::Number(step));
+      p.Append(JsonValue::Number(value));
+      points.Append(std::move(p));
+    }
+    series.Set(name, std::move(points));
+  }
+  root.Set("series", std::move(series));
+  return root;
+}
+
+std::string MetricsRegistry::ToCsv() const {
+  const JsonValue root = ToJson();
+  std::ostringstream out;
+  out << "kind,name,field,value\n";
+  auto quote = [](const std::string& s) {
+    return '"' + s + '"';  // metric names contain no quotes/commas
+  };
+  for (const auto& [name, v] : root.Get("counters").members()) {
+    out << "counter," << quote(name) << ",value," << v.Dump() << "\n";
+  }
+  for (const auto& [name, v] : root.Get("gauges").members()) {
+    out << "gauge," << quote(name) << ",value," << v.Dump() << "\n";
+  }
+  for (const auto& [name, h] : root.Get("histograms").members()) {
+    for (const char* field :
+         {"count", "sum", "mean", "min", "max", "p50", "p90", "p95", "p99"}) {
+      out << "histogram," << quote(name) << "," << field << ","
+          << h.Get(field).Dump() << "\n";
+    }
+  }
+  for (const auto& [name, points] : root.Get("series").members()) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      out << "series," << quote(name) << "," << points.at(i).at(0).Dump()
+          << "," << points.at(i).at(1).Dump() << "\n";
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << contents;
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DumpMetricsJson(const std::string& path) {
+  return WriteFile(path,
+                   MetricsRegistry::Default().ToJson().Dump(/*indent=*/2) +
+                       "\n");
+}
+
+Status DumpMetricsCsv(const std::string& path) {
+  return WriteFile(path, MetricsRegistry::Default().ToCsv());
+}
+
+}  // namespace obs
+}  // namespace simcard

@@ -1,0 +1,194 @@
+// Process-wide metrics: counters, gauges, fixed-bucket histograms, and
+// append-only time series, exported as a structured JSON/CSV run report.
+//
+// Design goals (mirroring how CardNet / MSCN-style estimators are judged —
+// per-query counters and latency quantiles — and the paper's own Tables
+// 4-6 / Figures 9 & 14):
+//
+//  * Cheap enough for hot paths: counters/histograms are lock-free atomics;
+//    instrumentation sites gate on MetricsEnabled() (a relaxed atomic load)
+//    so a disabled build path costs one branch.
+//  * Stable pointers: Get* registers on first use and never invalidates, so
+//    call sites may cache the returned pointer in a function-local static.
+//    ResetForTesting() zeroes values but keeps registrations.
+//  * Diffable output: DumpMetricsJson emits insertion-stable, sorted-name
+//    sections so two runs can be compared with a text diff.
+//
+// Enablement: off by default; turned on by SIMCARD_METRICS=1 in the
+// environment, a bench's --json flag, or simcard_cli --metrics-out.
+#ifndef SIMCARD_OBS_METRICS_H_
+#define SIMCARD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace simcard {
+namespace obs {
+
+/// True when instrumentation sites should record. Initialized once from the
+/// SIMCARD_METRICS environment variable ("1"/"true" enable).
+bool MetricsEnabled();
+
+/// Flips recording on/off process-wide (e.g. when --metrics-out is given).
+void SetMetricsEnabled(bool enabled);
+
+/// \brief Monotonically increasing counter.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Last-write-wins scalar.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram with quantile extraction.
+///
+/// Buckets are defined by sorted upper bounds b0 < b1 < ... < b{n-1}:
+/// bucket i counts samples in (b{i-1}, b{i}] (bucket 0 is (-inf, b0]), plus
+/// one overflow bucket (b{n-1}, +inf). Record is wait-free; Quantile is
+/// approximate (linear interpolation inside the bucket, clamped to the
+/// observed min/max) which is the standard fixed-bucket trade-off.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  double Min() const;  ///< 0 when empty
+  double Max() const;  ///< 0 when empty
+
+  /// q in [0,1]; 0.5 -> median. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+
+  void Reset();
+
+  /// Upper bounds 2^0..2^20 microseconds (~1us .. ~1s): the default for
+  /// latency histograms.
+  static std::vector<double> LatencyBucketsUs();
+  /// `count` bounds starting at `start`, each `factor` times the previous.
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                size_t count);
+  /// `count` bounds start, start+width, ...
+  static std::vector<double> LinearBuckets(double start, double width,
+                                           size_t count);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// \brief Append-only (step, value) series, e.g. per-epoch training loss.
+class TimeSeries {
+ public:
+  void Append(double step, double value);
+  std::vector<std::pair<double, double>> Points() const;
+  size_t Size() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// \brief Named metric store. Use MetricsRegistry::Default() — a process
+/// has exactly one unless a test constructs its own.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Default();
+
+  /// Finds or creates; returned pointers stay valid for the registry's
+  /// lifetime. `bounds` applies only on first creation; empty means
+  /// LatencyBucketsUs().
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+  TimeSeries* GetTimeSeries(const std::string& name);
+
+  /// Zeroes every metric's value, keeping registrations (and therefore any
+  /// cached pointers) intact.
+  void ResetForTesting();
+
+  /// Attaches a string to the report's "meta" section (scale, seed, ...).
+  void SetMetaString(const std::string& key, const std::string& value);
+  void SetMetaNumber(const std::string& key, double value);
+
+  /// The full report as a JSON document (see DumpMetricsJson for schema).
+  JsonValue ToJson() const;
+
+  /// Flat "kind,name,field,value" rows for spreadsheet ingestion.
+  std::string ToCsv() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+  std::vector<std::pair<std::string, JsonValue>> meta_;
+};
+
+/// Shorthands against the default registry.
+inline Counter* GetCounter(const std::string& name) {
+  return MetricsRegistry::Default().GetCounter(name);
+}
+inline Gauge* GetGauge(const std::string& name) {
+  return MetricsRegistry::Default().GetGauge(name);
+}
+inline Histogram* GetHistogram(const std::string& name,
+                               std::vector<double> bounds = {}) {
+  return MetricsRegistry::Default().GetHistogram(name, std::move(bounds));
+}
+inline TimeSeries* GetTimeSeries(const std::string& name) {
+  return MetricsRegistry::Default().GetTimeSeries(name);
+}
+
+/// Writes the default registry's JSON report ("simcard.metrics.v1" schema:
+/// top-level {schema, meta, counters, gauges, histograms, series}).
+Status DumpMetricsJson(const std::string& path);
+
+/// Writes the default registry's CSV report.
+Status DumpMetricsCsv(const std::string& path);
+
+}  // namespace obs
+}  // namespace simcard
+
+#endif  // SIMCARD_OBS_METRICS_H_

@@ -1,0 +1,46 @@
+#include "obs/trace.h"
+
+#include "common/logging.h"
+
+namespace simcard {
+namespace obs {
+namespace {
+
+thread_local int g_span_depth = 0;
+
+int64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int64_t ScopedTimer::Stop() {
+  if (hist_ == nullptr) return 0;
+  const int64_t us = ElapsedUs(start_);
+  hist_->Record(static_cast<double>(us));
+  hist_ = nullptr;
+  return us;
+}
+
+TraceSpan::TraceSpan(std::string name) : name_(std::move(name)) {
+  if (!MetricsEnabled()) return;
+  active_ = true;
+  start_ = std::chrono::steady_clock::now();
+  ++g_span_depth;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const int64_t us = ElapsedUs(start_);
+  --g_span_depth;
+  GetHistogram("span." + name_ + "_us")->Record(static_cast<double>(us));
+  SIMCARD_LOG(DEBUG) << std::string(static_cast<size_t>(g_span_depth) * 2, ' ')
+                     << "span " << name_ << ": " << us << "us";
+}
+
+int TraceSpan::CurrentDepth() { return g_span_depth; }
+
+}  // namespace obs
+}  // namespace simcard

@@ -1,0 +1,74 @@
+// RAII timing helpers that record into named latency histograms.
+//
+//   void GlEstimator::Train(...) {
+//     obs::TraceSpan span("gl.train");          // histogram span.gl.train_us
+//     ...
+//   }
+//
+//   {
+//     obs::ScopedTimer t(obs::GetHistogram("gl.latency.features_us"));
+//     BuildFeatures();
+//   }
+//
+// Both are no-ops (no clock read) while MetricsEnabled() is false, so they
+// can sit on hot paths. TraceSpan additionally tracks per-thread nesting
+// depth and, at SIMCARD_LOG_LEVEL=debug, logs an indented enter/exit line —
+// a poor man's flame graph for single runs.
+#ifndef SIMCARD_OBS_TRACE_H_
+#define SIMCARD_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace simcard {
+namespace obs {
+
+/// \brief Records wall-clock microseconds into a histogram on destruction.
+class ScopedTimer {
+ public:
+  /// `hist` may be null (timer disabled). The clock is read only when both
+  /// the histogram exists and metrics are enabled at construction time.
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(MetricsEnabled() ? hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now instead of at scope exit; returns elapsed microseconds
+  /// (0 when disabled). Idempotent.
+  int64_t Stop();
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Named span: histogram "span.<name>_us" + nesting-aware debug log.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Current nesting depth on this thread (0 outside any span).
+  static int CurrentDepth();
+
+ private:
+  std::string name_;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace simcard
+
+#endif  // SIMCARD_OBS_TRACE_H_

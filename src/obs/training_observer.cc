@@ -1,0 +1,70 @@
+#include "obs/training_observer.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace simcard {
+namespace obs {
+namespace {
+
+std::mutex& ObserverMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<TrainingObserver*>& Observers() {
+  static std::vector<TrainingObserver*> observers;
+  return observers;
+}
+
+std::vector<TrainingObserver*> SnapshotObservers() {
+  std::lock_guard<std::mutex> lock(ObserverMutex());
+  return Observers();
+}
+
+}  // namespace
+
+void AddTrainingObserver(TrainingObserver* observer) {
+  if (observer == nullptr) return;
+  std::lock_guard<std::mutex> lock(ObserverMutex());
+  Observers().push_back(observer);
+}
+
+void RemoveTrainingObserver(TrainingObserver* observer) {
+  std::lock_guard<std::mutex> lock(ObserverMutex());
+  auto& observers = Observers();
+  observers.erase(std::remove(observers.begin(), observers.end(), observer),
+                  observers.end());
+}
+
+void NotifyTrainEpoch(const std::string& tag, size_t epoch, double loss,
+                      double seconds) {
+  if (tag.empty()) return;
+  if (MetricsEnabled()) {
+    GetTimeSeries("train." + tag + ".loss")
+        ->Append(static_cast<double>(epoch), loss);
+    GetHistogram("train.epoch_us")->Record(seconds * 1e6);
+  }
+  for (TrainingObserver* obs : SnapshotObservers()) {
+    obs->OnEpochEnd(tag, epoch, loss, seconds);
+  }
+}
+
+void NotifyTrainEnd(const std::string& tag, size_t epochs_run,
+                    double final_loss, double total_seconds) {
+  if (tag.empty()) return;
+  if (MetricsEnabled()) {
+    GetCounter("train.runs")->Increment();
+    GetTimeSeries("train." + tag + ".seconds")
+        ->Append(static_cast<double>(epochs_run), total_seconds);
+  }
+  for (TrainingObserver* obs : SnapshotObservers()) {
+    obs->OnTrainEnd(tag, epochs_run, final_loss, total_seconds);
+  }
+}
+
+}  // namespace obs
+}  // namespace simcard

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
+
+#include "obs/json.h"
 
 namespace simcard {
 namespace {
@@ -87,6 +90,48 @@ TEST(CliAppTest, FullPipelineGenerateTrainEstimateEvaluate) {
 
   std::remove(data_path.c_str());
   std::remove(model_path.c_str());
+}
+
+TEST(CliAppTest, MetricsOutWritesValidReport) {
+  const std::string data_path = testing::TempDir() + "/cli_data_m.bin";
+  const std::string model_path = testing::TempDir() + "/cli_model_m.bin";
+  const std::string report_path = testing::TempDir() + "/cli_report_m.json";
+  std::string out;
+  std::string err;
+
+  ASSERT_EQ(RunCli({"generate", "--dataset=glove-sim", "--scale=tiny",
+                 ("--out=" + data_path).c_str()}),
+            0);
+  ASSERT_EQ(RunCli({"train", ("--data=" + data_path).c_str(), "--segments=4",
+                 "--scale=tiny", ("--out=" + model_path).c_str()}),
+            0);
+  ASSERT_EQ(RunCli({"evaluate", ("--data=" + data_path).c_str(),
+                 ("--model=" + model_path).c_str(), "--segments=4",
+                 "--scale=tiny", ("--metrics-out=" + report_path).c_str()},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("metrics report -> " + report_path), std::string::npos);
+
+  std::ifstream in(report_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = obs::JsonValue::Parse(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& root = parsed.value();
+  EXPECT_EQ(root.Get("schema").string_value(), "simcard.metrics.v1");
+  EXPECT_EQ(root.Get("meta").Get("command").string_value(), "evaluate");
+  EXPECT_TRUE(root.Get("counters").Has("gl.queries"));
+  EXPECT_GT(root.Get("histograms")
+                .Get("eval.query_latency_us")
+                .Get("count")
+                .number_value(),
+            0.0);
+
+  std::remove(data_path.c_str());
+  std::remove(model_path.c_str());
+  std::remove(report_path.c_str());
 }
 
 TEST(CliAppTest, TrainRejectsNonGlMethods) {

@@ -1,0 +1,131 @@
+// JsonValue writer/reader round-trip tests.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace obs {
+namespace {
+
+TEST(JsonTest, ScalarsDump) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Int(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Int(-7).Dump(), "-7");
+  EXPECT_EQ(JsonValue::Number(1.5).Dump(), "1.5");
+  EXPECT_EQ(JsonValue::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, IntegralDoublesDumpWithoutFraction) {
+  // Counters are stored as doubles; the report must not print "12.000000".
+  EXPECT_EQ(JsonValue::Number(12.0).Dump(), "12");
+  EXPECT_EQ(JsonValue::Number(-3.0).Dump(), "-3");
+  EXPECT_EQ(JsonValue::Number(0.0).Dump(), "0");
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  const std::string dumped = JsonValue::Str("line\nbreak").Dump();
+  EXPECT_EQ(dumped, "\"line\\nbreak\"");
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", JsonValue::Int(1));
+  obj.Set("alpha", JsonValue::Int(2));
+  obj.Set("mid", JsonValue::Int(3));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // Overwrite updates in place, order unchanged.
+  obj.Set("alpha", JsonValue::Int(9));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(JsonTest, ObjectAccessors) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", JsonValue::Str("v"));
+  EXPECT_TRUE(obj.Has("k"));
+  EXPECT_FALSE(obj.Has("missing"));
+  EXPECT_EQ(obj.Get("k").string_value(), "v");
+  EXPECT_TRUE(obj.Get("missing").is_null());
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null").value().is_null());
+  EXPECT_TRUE(JsonValue::Parse("true").value().bool_value());
+  EXPECT_FALSE(JsonValue::Parse("false").value().bool_value());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("3.25").value().number_value(), 3.25);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-17").value().number_value(), -17.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3").value().number_value(), 1000.0);
+  EXPECT_EQ(JsonValue::Parse("\"abc\"").value().string_value(), "abc");
+}
+
+TEST(JsonTest, ParseEscapes) {
+  auto v = JsonValue::Parse("\"a\\n\\t\\\"\\\\b\\u0041\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string_value(), "a\n\t\"\\bA");
+}
+
+TEST(JsonTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, RoundTripNestedDocument) {
+  JsonValue root = JsonValue::Object();
+  root.Set("schema", JsonValue::Str("simcard.metrics.v1"));
+  JsonValue hist = JsonValue::Object();
+  hist.Set("count", JsonValue::Int(3));
+  hist.Set("p50", JsonValue::Number(12.5));
+  JsonValue buckets = JsonValue::Array();
+  JsonValue b = JsonValue::Object();
+  b.Set("le", JsonValue::Number(16.0));
+  b.Set("count", JsonValue::Int(3));
+  buckets.Append(std::move(b));
+  hist.Set("buckets", std::move(buckets));
+  root.Set("hist", std::move(hist));
+  JsonValue series = JsonValue::Array();
+  for (int i = 0; i < 3; ++i) {
+    JsonValue p = JsonValue::Array();
+    p.Append(JsonValue::Int(i));
+    p.Append(JsonValue::Number(1.0 / (i + 1)));
+    series.Append(std::move(p));
+  }
+  root.Set("series", std::move(series));
+
+  for (int indent : {0, 2}) {
+    const std::string text = root.Dump(indent);
+    auto parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    // A second dump of the parsed tree must be byte-identical to the
+    // compact dump of the original (structure + order fully preserved).
+    EXPECT_EQ(parsed.value().Dump(), root.Dump());
+  }
+}
+
+TEST(JsonTest, RoundTripPreservesDoublePrecision) {
+  const double values[] = {0.1, 1.0 / 3.0, 1e-9, 123456789.123456, 2e20};
+  for (double v : values) {
+    auto parsed = JsonValue::Parse(JsonValue::Number(v).Dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_DOUBLE_EQ(parsed.value().number_value(), v);
+  }
+}
+
+TEST(JsonTest, PrettyPrintIsIndented) {
+  JsonValue root = JsonValue::Object();
+  root.Set("a", JsonValue::Int(1));
+  const std::string pretty = root.Dump(/*indent=*/2);
+  EXPECT_NE(pretty.find("\n  \"a\": 1"), std::string::npos) << pretty;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace simcard

@@ -1,0 +1,274 @@
+// Unit tests for counters, gauges, histograms, time series, the registry,
+// and the RAII timers.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+
+namespace simcard {
+namespace obs {
+namespace {
+
+// Restores the process-wide enablement flag on scope exit so tests cannot
+// leak state into each other.
+class ScopedMetricsEnabled {
+ public:
+  explicit ScopedMetricsEnabled(bool enabled) : saved_(MetricsEnabled()) {
+    SetMetricsEnabled(enabled);
+  }
+  ~ScopedMetricsEnabled() { SetMetricsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(CounterTest, AtomicUnderThreadPool) {
+  Counter c;
+  Histogram h(Histogram::LinearBuckets(0.0, 1.0, 8));
+  constexpr int kTasks = 8;
+  constexpr int kPerTask = 10000;
+  ThreadPool pool(4);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.Submit([&c, &h] {
+      for (int i = 0; i < kPerTask; ++i) {
+        c.Increment();
+        h.Record(static_cast<double>(i % 8));
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(c.Value(), kTasks * kPerTask);
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kTasks * kPerTask));
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h.BucketCounts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.Count());
+}
+
+TEST(GaugeTest, SetAndReset) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreUpperInclusive) {
+  Histogram h({1.0, 2.0, 4.0});
+  // Bucket i covers (b{i-1}, b{i}]; a sample exactly on a bound lands in
+  // that bound's bucket, one past it spills into the next.
+  h.Record(1.0);   // bucket 0: (-inf, 1]
+  h.Record(1.01);  // bucket 1: (1, 2]
+  h.Record(2.0);   // bucket 1
+  h.Record(4.0);   // bucket 2: (2, 4]
+  h.Record(4.01);  // bucket 3: overflow (4, inf)
+  const auto counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(HistogramTest, BoundsAreSortedAndDeduplicated) {
+  Histogram h({4.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[1], 2.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[2], 4.0);
+  EXPECT_EQ(h.BucketCounts().size(), 4u);
+}
+
+TEST(HistogramTest, SummaryStatistics) {
+  Histogram h(Histogram::LinearBuckets(10.0, 10.0, 10));
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  for (int v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
+  // 1..100 over ten equal-width buckets: rank boundaries land exactly on
+  // bucket edges, so the interpolated quantiles are exact.
+  Histogram h(Histogram::LinearBuckets(10.0, 10.0, 10));
+  for (int v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_NEAR(h.Quantile(0.50), 50.0, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.90), 90.0, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 1e-9);
+  // Clamped to the observed range at the extremes.
+  EXPECT_NEAR(h.Quantile(1.0), 100.0, 1e-9);
+  EXPECT_GE(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram({1.0}).Quantile(0.5), 0.0);  // empty -> 0
+}
+
+TEST(HistogramTest, OverflowQuantileClampsToObservedMax) {
+  Histogram h({10.0});
+  h.Record(200.0);
+  h.Record(300.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 300.0);
+  EXPECT_LE(h.Quantile(0.5), 300.0);
+  EXPECT_GE(h.Quantile(0.5), 200.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h({1.0, 2.0});
+  h.Record(1.5);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  for (uint64_t b : h.BucketCounts()) EXPECT_EQ(b, 0u);
+}
+
+TEST(HistogramTest, BucketFactories) {
+  const auto exp = Histogram::ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[3], 8.0);
+  const auto lin = Histogram::LinearBuckets(5.0, 2.5, 3);
+  ASSERT_EQ(lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin[2], 10.0);
+  EXPECT_EQ(Histogram::LatencyBucketsUs().size(), 21u);
+}
+
+TEST(TimeSeriesTest, AppendAndReset) {
+  TimeSeries s;
+  s.Append(0, 1.5);
+  s.Append(1, 1.2);
+  ASSERT_EQ(s.Size(), 2u);
+  const auto points = s.Points();
+  EXPECT_DOUBLE_EQ(points[1].second, 1.2);
+  s.Reset();
+  EXPECT_EQ(s.Size(), 0u);
+}
+
+TEST(RegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("a");
+  Counter* c2 = registry.GetCounter("a");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(registry.GetCounter("b"), c1);
+  Histogram* h1 = registry.GetHistogram("h", {1.0, 2.0});
+  // Bounds apply on first creation only; later callers get the same object.
+  Histogram* h2 = registry.GetHistogram("h", {99.0});
+  EXPECT_EQ(h1, h2);
+  ASSERT_EQ(h1->bounds().size(), 2u);
+}
+
+TEST(RegistryTest, DefaultBoundsAreLatencyBuckets) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetHistogram("lat")->bounds().size(),
+            Histogram::LatencyBucketsUs().size());
+}
+
+TEST(RegistryTest, ResetForTestingZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Histogram* h = registry.GetHistogram("h", {1.0});
+  TimeSeries* s = registry.GetTimeSeries("s");
+  c->Add(5);
+  h->Record(0.5);
+  s->Append(0, 1.0);
+  registry.ResetForTesting();
+  EXPECT_EQ(registry.GetCounter("c"), c);  // pointer still valid
+  EXPECT_EQ(c->Value(), 0);
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_EQ(s->Size(), 0u);
+}
+
+TEST(RegistryTest, ToJsonSections) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits")->Add(3);
+  registry.GetGauge("ratio")->Set(0.75);
+  registry.GetHistogram("lat", {10.0, 20.0})->Record(15.0);
+  registry.GetTimeSeries("loss")->Append(0, 2.0);
+  registry.SetMetaString("scale", "tiny");
+  registry.SetMetaNumber("seed", 7);
+
+  const JsonValue root = registry.ToJson();
+  EXPECT_EQ(root.Get("schema").string_value(), "simcard.metrics.v1");
+  EXPECT_EQ(root.Get("meta").Get("scale").string_value(), "tiny");
+  EXPECT_DOUBLE_EQ(root.Get("meta").Get("seed").number_value(), 7.0);
+  EXPECT_TRUE(root.Get("meta").Has("timestamp_utc"));
+  EXPECT_DOUBLE_EQ(root.Get("counters").Get("hits").number_value(), 3.0);
+  EXPECT_DOUBLE_EQ(root.Get("gauges").Get("ratio").number_value(), 0.75);
+  const JsonValue& lat = root.Get("histograms").Get("lat");
+  EXPECT_DOUBLE_EQ(lat.Get("count").number_value(), 1.0);
+  EXPECT_TRUE(lat.Has("p50"));
+  EXPECT_TRUE(lat.Has("p99"));
+  ASSERT_EQ(lat.Get("buckets").size(), 1u);  // sparse: only non-empty buckets
+  EXPECT_DOUBLE_EQ(lat.Get("buckets").at(0).Get("le").number_value(), 20.0);
+  const JsonValue& loss = root.Get("series").Get("loss");
+  ASSERT_EQ(loss.size(), 1u);
+  EXPECT_DOUBLE_EQ(loss.at(0).at(1).number_value(), 2.0);
+  // The emitted document must parse back.
+  EXPECT_TRUE(JsonValue::Parse(root.Dump(2)).ok());
+}
+
+TEST(RegistryTest, ToCsvHasHeaderAndRows) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits")->Add(3);
+  const std::string csv = registry.ToCsv();
+  EXPECT_EQ(csv.rfind("kind,name,field,value\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,\"hits\",value,3"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, RecordsOnlyWhenEnabled) {
+  Histogram h({1e9});
+  {
+    ScopedMetricsEnabled off(false);
+    ScopedTimer t(&h);
+    EXPECT_EQ(t.Stop(), 0);
+  }
+  EXPECT_EQ(h.Count(), 0u);
+  {
+    ScopedMetricsEnabled on(true);
+    ScopedTimer t(&h);
+  }
+  EXPECT_EQ(h.Count(), 1u);
+  {
+    ScopedMetricsEnabled on(true);
+    ScopedTimer t(&h);
+    t.Stop();
+    t.Stop();  // idempotent: second Stop must not double-record
+  }
+  EXPECT_EQ(h.Count(), 2u);
+  ScopedTimer null_timer(nullptr);  // must be harmless
+}
+
+TEST(TraceSpanTest, TracksNestingDepth) {
+  ScopedMetricsEnabled on(true);
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+  {
+    TraceSpan outer("test.outer");
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1);
+    {
+      TraceSpan inner("test.inner");
+      EXPECT_EQ(TraceSpan::CurrentDepth(), 2);
+    }
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1);
+  }
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+  EXPECT_GE(GetHistogram("span.test.outer_us")->Count(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace simcard
