@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UBSan and runs the tier-1 suite.
+#
+# Usage: scripts/check_sanitize.sh [build_dir] [extra ctest args...]
+#   build_dir defaults to build-sanitize (kept separate from the normal
+#   build so the instrumented objects never mix with release ones).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-"${REPO_ROOT}/build-sanitize"}"
+shift || true
+
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  "-DSIMCARD_SANITIZE=address;undefined"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the test instead of just logging.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
+echo "sanitizer suite passed"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/fault.h"
 #include "core/gl_estimator.h"
 #include "eval/harness.h"
 #include "eval/reporter.h"
@@ -21,7 +22,11 @@ constexpr char kUsage[] =
     "  estimate --data=FILE --model=FILE --query-row=N --tau=X\n"
     "  evaluate --data=FILE --model=FILE [--segments=N] [--seed=N]\n"
     "every command also accepts --metrics-out=FILE to write a JSON metrics\n"
-    "report (SIMCARD_METRICS=1 enables collection without a report file)\n";
+    "report (SIMCARD_METRICS=1 enables collection without a report file),\n"
+    "--fault=SPEC to arm deterministic fault injection (e.g.\n"
+    "\"points=io.load;prob=0.5;seed=7\"; see SIMCARD_FAULT_* env knobs),\n"
+    "and estimate/evaluate accept --degraded to quarantine corrupt model\n"
+    "sections instead of failing the load\n";
 
 Result<CommandLine> ParseFlags(int argc, const char* const* argv,
                                std::vector<std::string> known) {
@@ -140,9 +145,13 @@ int CmdTrain(const CommandLine& cl, std::ostream& out, std::ostream& err) {
 
 // Loads a model with a neutral config (behavioral knobs only matter for
 // further training).
-Result<std::unique_ptr<GlEstimator>> LoadModel(const std::string& path) {
+Result<std::unique_ptr<GlEstimator>> LoadModel(const CommandLine& cl,
+                                               const std::string& path) {
   auto est = std::make_unique<GlEstimator>(GlEstimatorConfig::GlCnn());
-  SIMCARD_RETURN_IF_ERROR(est->LoadFromFile(path));
+  const auto mode = cl.GetBool("degraded", false)
+                        ? GlEstimator::LoadMode::kDegraded
+                        : GlEstimator::LoadMode::kStrict;
+  SIMCARD_RETURN_IF_ERROR(est->LoadFromFile(path, mode));
   return est;
 }
 
@@ -156,7 +165,7 @@ int CmdEstimate(const CommandLine& cl, std::ostream& out, std::ostream& err) {
   auto data_or = LoadDataset(data_path);
   if (!data_or.ok()) return Fail(err, data_or.status());
   const Dataset& dataset = data_or.value();
-  auto est_or = LoadModel(model_path);
+  auto est_or = LoadModel(cl, model_path);
   if (!est_or.ok()) return Fail(err, est_or.status());
   const size_t row = static_cast<size_t>(cl.GetInt("query-row", 0));
   if (row >= dataset.size()) {
@@ -187,7 +196,7 @@ int CmdEvaluate(const CommandLine& cl, std::ostream& out, std::ostream& err) {
   auto env_or = RebuildEnv(std::move(data_or).value(), segments, seed,
                            scale_or.value());
   if (!env_or.ok()) return Fail(err, env_or.status());
-  auto est_or = LoadModel(model_path);
+  auto est_or = LoadModel(cl, model_path);
   if (!est_or.ok()) return Fail(err, est_or.status());
 
   EvalResult result =
@@ -212,7 +221,8 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
   const std::string command = argv[1];
   const std::vector<std::string> known = {
       "dataset", "scale", "seed", "out",  "data",        "method",
-      "segments", "model", "query-row", "tau", "metrics-out"};
+      "segments", "model", "query-row", "tau", "metrics-out",
+      "fault", "degraded"};
   auto cl_or = ParseFlags(argc, argv, known);
   if (!cl_or.ok()) return Fail(err, cl_or.status());
   const CommandLine& cl = cl_or.value();
@@ -221,6 +231,12 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
   if (!metrics_out.empty()) {
     obs::SetMetricsEnabled(true);
     obs::MetricsRegistry::Default().SetMetaString("command", command);
+  }
+  const std::string fault_spec = cl.GetString("fault", "");
+  if (!fault_spec.empty()) {
+    if (Status st = fault::ConfigureFromSpec(fault_spec); !st.ok()) {
+      return Fail(err, st);
+    }
   }
 
   int rc;

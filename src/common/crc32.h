@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges.
+//
+// Used by the checked model-file container (common/checked_file.h) to detect
+// corruption in persisted models: every section payload and the file header
+// carry a CRC that is validated before any byte is interpreted.
+#ifndef SIMCARD_COMMON_CRC32_H_
+#define SIMCARD_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace simcard {
+
+/// CRC-32 of `size` bytes at `data`. `seed` chains incremental computation:
+/// Crc32(b, n) == Crc32(b + k, n - k, Crc32(b, k)).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace simcard
+
+#endif  // SIMCARD_COMMON_CRC32_H_

@@ -1,0 +1,212 @@
+#include "common/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace simcard {
+namespace fault {
+namespace {
+
+// splitmix64: cheap, well-mixed hash for the per-hit firing decision.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (unsigned char c : s) {
+    h = (h ^ c) * 1099511628211ull;
+  }
+  return h;
+}
+
+struct State {
+  std::mutex mu;
+  FaultConfig config;
+  bool match_all = false;
+  std::vector<std::string> site_list;
+  std::map<std::string, uint64_t> hits;  // armed hits per site
+  uint64_t armed_hits = 0;               // across all armed sites
+  uint64_t injected = 0;
+};
+
+State& GetState() {
+  static State* state = new State();
+  return *state;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    std::string item = csv.substr(start, comma - start);
+    if (!item.empty()) out.push_back(std::move(item));
+    start = comma + 1;
+  }
+  return out;
+}
+
+void ApplyLocked(State* state, const FaultConfig& config) {
+  state->config = config;
+  state->site_list = SplitList(config.sites);
+  state->match_all = false;
+  for (const auto& s : state->site_list) {
+    if (s == "*") state->match_all = true;
+  }
+  state->hits.clear();
+  state->armed_hits = 0;
+  state->injected = 0;
+  EnabledFlag().store(!state->site_list.empty(),
+                      std::memory_order_relaxed);
+}
+
+// One-time import of the SIMCARD_FAULT_* environment knobs. Runs on the
+// first ShouldFail so library users get env gating without an init call.
+void InitFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* points = std::getenv("SIMCARD_FAULT_POINTS");
+    if (points == nullptr || points[0] == '\0') return;
+    FaultConfig config;
+    config.sites = points;
+    if (const char* v = std::getenv("SIMCARD_FAULT_PROB")) {
+      config.probability = std::atof(v);
+    }
+    if (const char* v = std::getenv("SIMCARD_FAULT_SEED")) {
+      config.seed = std::strtoull(v, nullptr, 10);
+    }
+    if (const char* v = std::getenv("SIMCARD_FAULT_MAX")) {
+      config.max_injections = std::strtoull(v, nullptr, 10);
+    }
+    if (const char* v = std::getenv("SIMCARD_FAULT_SKIP")) {
+      config.skip_first = std::strtoull(v, nullptr, 10);
+    }
+    State& state = GetState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    ApplyLocked(&state, config);
+  });
+}
+
+}  // namespace
+
+#ifndef SIMCARD_NO_FAULT_INJECTION
+
+bool Enabled() {
+  InitFromEnvOnce();
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+bool ShouldFail(const char* site) {
+  if (!Enabled()) return false;
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  bool armed = state.match_all;
+  if (!armed) {
+    for (const auto& s : state.site_list) {
+      if (s == site) {
+        armed = true;
+        break;
+      }
+    }
+  }
+  if (!armed) return false;
+  const uint64_t hit = state.hits[site]++;
+  if (state.armed_hits < state.config.skip_first) {
+    ++state.armed_hits;
+    return false;
+  }
+  ++state.armed_hits;
+  if (state.injected >= state.config.max_injections) return false;
+  // Deterministic per-hit decision from (seed, site, hit index).
+  const uint64_t h = Mix64(state.config.seed ^ Mix64(HashString(site) + hit));
+  const double roll =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  if (roll >= state.config.probability) return false;
+  ++state.injected;
+  return true;
+}
+
+#endif  // SIMCARD_NO_FAULT_INJECTION
+
+void Configure(const FaultConfig& config) {
+  InitFromEnvOnce();  // settle env init before overriding it
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  ApplyLocked(&state, config);
+}
+
+Status ConfigureFromSpec(const std::string& spec) {
+  FaultConfig config;
+  for (const std::string& part : [&spec] {
+         std::vector<std::string> parts;
+         size_t start = 0;
+         while (start <= spec.size()) {
+           size_t semi = spec.find(';', start);
+           if (semi == std::string::npos) semi = spec.size();
+           std::string item = spec.substr(start, semi - start);
+           if (!item.empty()) parts.push_back(std::move(item));
+           start = semi + 1;
+         }
+         return parts;
+       }()) {
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault spec entry needs key=value: " +
+                                     part);
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "points" || key == "sites") {
+      config.sites = value;
+    } else if (key == "prob") {
+      config.probability = std::atof(value.c_str());
+    } else if (key == "seed") {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "max") {
+      config.max_injections = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "skip") {
+      config.skip_first = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      return Status::InvalidArgument("unknown fault spec key: " + key);
+    }
+  }
+  if (config.sites.empty()) {
+    return Status::InvalidArgument(
+        "fault spec must name points=... (or sites=...)");
+  }
+  Configure(config);
+  return Status::OK();
+}
+
+void Disable() {
+  InitFromEnvOnce();
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  ApplyLocked(&state, FaultConfig{});
+}
+
+uint64_t InjectionCount() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.injected;
+}
+
+Status InjectedError(const char* site) {
+  return Status::IoError(std::string("injected fault at ") + site);
+}
+
+}  // namespace fault
+}  // namespace simcard

@@ -1,0 +1,79 @@
+// Deterministic fault injection for robustness tests.
+//
+// A fault *site* is a short dotted name compiled into the code path that can
+// fail ("io.load", "gl.local_eval", ...). Tests — or an operator via the
+// SIMCARD_FAULT_* environment knobs — arm a set of sites; each time an armed
+// site is reached, a seeded per-site decision determines whether the fault
+// fires. Decisions depend only on (seed, site, per-site hit count), so a
+// failing run replays exactly.
+//
+// Cost when disarmed: one relaxed atomic load and a predicted branch per
+// site. Building with -DSIMCARD_FAULT_INJECTION=OFF (which defines
+// SIMCARD_NO_FAULT_INJECTION) compiles every site down to `false` so release
+// hot paths carry no trace of the harness.
+//
+// Environment knobs (read once, at first use; the CLI also exposes --fault):
+//   SIMCARD_FAULT_POINTS  comma-separated site names, or "*" for all sites
+//   SIMCARD_FAULT_PROB    firing probability per hit (default 1.0)
+//   SIMCARD_FAULT_SEED    decision seed (default 0)
+//   SIMCARD_FAULT_MAX     stop firing after this many injections (default inf)
+//   SIMCARD_FAULT_SKIP    let the first N armed hits pass before firing
+#ifndef SIMCARD_COMMON_FAULT_H_
+#define SIMCARD_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+namespace simcard {
+namespace fault {
+
+/// \brief What to inject and when. See the file comment for semantics.
+struct FaultConfig {
+  /// Comma-separated site names; "*" arms every site; empty disarms.
+  std::string sites;
+  double probability = 1.0;
+  uint64_t seed = 0;
+  uint64_t max_injections = std::numeric_limits<uint64_t>::max();
+  uint64_t skip_first = 0;
+};
+
+#ifndef SIMCARD_NO_FAULT_INJECTION
+
+/// True when any site is armed (relaxed load; the disarmed fast path).
+bool Enabled();
+
+/// True when the fault at `site` fires for this hit. Always false while
+/// disarmed. Thread-safe; increments the site's hit counter when armed.
+bool ShouldFail(const char* site);
+
+#else
+
+constexpr bool Enabled() { return false; }
+constexpr bool ShouldFail(const char* /*site*/) { return false; }
+
+#endif  // SIMCARD_NO_FAULT_INJECTION
+
+/// Arms the harness programmatically (tests). Resets hit/injection counts.
+void Configure(const FaultConfig& config);
+
+/// Parses "points=a,b;prob=0.5;seed=7;max=3;skip=1" (any subset, any order)
+/// and arms the harness. The CLI's --fault flag routes here.
+Status ConfigureFromSpec(const std::string& spec);
+
+/// Disarms every site and resets counters.
+void Disable();
+
+/// Total faults fired since the last Configure/Disable.
+uint64_t InjectionCount();
+
+/// Convenience for injected failures: a Status tagged as injected so logs
+/// and tests can tell synthetic faults from real ones.
+Status InjectedError(const char* site);
+
+}  // namespace fault
+}  // namespace simcard
+
+#endif  // SIMCARD_COMMON_FAULT_H_

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/fault.h"
+
 namespace simcard {
 
 void Serializer::WriteRaw(const void* data, size_t size) {
@@ -12,21 +14,33 @@ void Serializer::WriteRaw(const void* data, size_t size) {
 }
 
 Status Serializer::SaveToFile(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write-to-temp + rename: a failed save (disk full, crash, injected
+  // fault) leaves any existing file at `path` untouched.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IoError("cannot open for writing: " + path);
+    return Status::IoError("cannot open for writing: " + tmp);
   }
   size_t written = bytes_.empty()
                        ? 0
                        : std::fwrite(bytes_.data(), 1, bytes_.size(), f);
+  if (fault::ShouldFail("io.save")) written = bytes_.size() + 1;  // short write
   int close_rc = std::fclose(f);
   if (written != bytes_.size() || close_rc != 0) {
-    return Status::IoError("short write to: " + path);
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " -> " + path);
   }
   return Status::OK();
 }
 
-Result<Deserializer> Deserializer::FromFile(const std::string& path) {
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  if (fault::ShouldFail("io.load")) {
+    return fault::InjectedError("io.load");
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IoError("cannot open for reading: " + path);
@@ -44,12 +58,26 @@ Result<Deserializer> Deserializer::FromFile(const std::string& path) {
   if (read != bytes.size()) {
     return Status::IoError("short read from: " + path);
   }
-  return Deserializer(std::move(bytes));
+  return bytes;
+}
+
+Result<Deserializer> Deserializer::FromFile(const std::string& path) {
+  auto bytes_or = ReadFileBytes(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  return Deserializer(std::move(bytes_or).value());
 }
 
 Status Deserializer::ReadString(std::string* s) {
   uint64_t n = 0;
   SIMCARD_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > remaining()) {
+    return Status::OutOfRange("string length " + std::to_string(n) +
+                              " exceeds remaining buffer (" +
+                              std::to_string(remaining()) + " bytes)");
+  }
+  if (fault::ShouldFail("deserialize.alloc")) {
+    return fault::InjectedError("deserialize.alloc");
+  }
   s->resize(n);
   if (n == 0) return Status::OK();
   return ReadRaw(s->data(), n);
@@ -58,6 +86,14 @@ Status Deserializer::ReadString(std::string* s) {
 Status Deserializer::ReadFloatVector(std::vector<float>* v) {
   uint64_t n = 0;
   SIMCARD_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > remaining() / sizeof(float)) {
+    return Status::OutOfRange("float vector length " + std::to_string(n) +
+                              " exceeds remaining buffer (" +
+                              std::to_string(remaining()) + " bytes)");
+  }
+  if (fault::ShouldFail("deserialize.alloc")) {
+    return fault::InjectedError("deserialize.alloc");
+  }
   v->resize(n);
   if (n == 0) return Status::OK();
   return ReadRaw(v->data(), n * sizeof(float));
@@ -66,6 +102,14 @@ Status Deserializer::ReadFloatVector(std::vector<float>* v) {
 Status Deserializer::ReadU64Vector(std::vector<uint64_t>* v) {
   uint64_t n = 0;
   SIMCARD_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > remaining() / sizeof(uint64_t)) {
+    return Status::OutOfRange("u64 vector length " + std::to_string(n) +
+                              " exceeds remaining buffer (" +
+                              std::to_string(remaining()) + " bytes)");
+  }
+  if (fault::ShouldFail("deserialize.alloc")) {
+    return fault::InjectedError("deserialize.alloc");
+  }
   v->resize(n);
   if (n == 0) return Status::OK();
   return ReadRaw(v->data(), n * sizeof(uint64_t));

@@ -40,9 +40,16 @@ class Serializer {
     WriteRaw(v.data(), v.size() * sizeof(uint64_t));
   }
 
+  /// Appends raw bytes with no length prefix (container formats that manage
+  /// their own framing, e.g. common/checked_file.h).
+  void WriteRawBytes(const void* data, size_t size) { WriteRaw(data, size); }
+
   const std::vector<uint8_t>& bytes() const { return bytes_; }
 
   /// Writes the accumulated bytes to `path`, replacing any existing file.
+  ///
+  /// Crash-safe: bytes go to `<path>.tmp` first and are renamed into place,
+  /// so a failed or interrupted save never truncates an existing good file.
   Status SaveToFile(const std::string& path) const;
 
  private:
@@ -52,6 +59,9 @@ class Serializer {
 
   std::vector<uint8_t> bytes_;
 };
+
+/// Loads a whole file into memory.
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
 
 /// \brief Sequential reader over a byte buffer produced by Serializer.
 ///
@@ -71,16 +81,28 @@ class Deserializer {
   Status ReadF32(float* v) { return ReadRaw(v, sizeof(*v)); }
   Status ReadF64(double* v) { return ReadRaw(v, sizeof(*v)); }
 
+  /// Length-prefixed reads. The length field is untrusted input: it is
+  /// validated against the remaining buffer *before* any allocation, so a
+  /// corrupt length cannot trigger a multi-GB resize.
   Status ReadString(std::string* s);
   Status ReadFloatVector(std::vector<float>* v);
   Status ReadU64Vector(std::vector<uint64_t>* v);
 
+  /// Reads raw bytes with no length prefix (see Serializer::WriteRawBytes).
+  Status ReadRawBytes(void* out, size_t size) { return ReadRaw(out, size); }
+
   /// True when the whole buffer has been consumed.
   bool AtEnd() const { return offset_ == bytes_.size(); }
 
+  /// Current read position / bytes left.
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return bytes_.size() - offset_; }
+
  private:
   Status ReadRaw(void* out, size_t size) {
-    if (offset_ + size > bytes_.size()) {
+    // Compare against the remaining span (not offset_ + size, which can
+    // wrap around for corrupt 64-bit sizes).
+    if (size > bytes_.size() - offset_) {
       return Status::OutOfRange("deserializer read past end of buffer");
     }
     std::memcpy(out, bytes_.data() + offset_, size);

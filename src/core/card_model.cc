@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
@@ -328,9 +330,10 @@ Result<std::unique_ptr<CardModel>> CardModel::LoadWithConfig(
   return model_or;
 }
 
-double TrainCardModel(CardModel* model, const Matrix& queries,
-                      const Matrix* aux, std::vector<SampleRef> samples,
-                      const CardTrainOptions& options) {
+Result<double> TrainCardModel(CardModel* model, const Matrix& queries,
+                              const Matrix* aux,
+                              std::vector<SampleRef> samples,
+                              const CardTrainOptions& options) {
   if (samples.empty()) return 0.0;
   Rng rng(options.seed);
 
@@ -385,35 +388,57 @@ double TrainCardModel(CardModel* model, const Matrix& queries,
     model->SetOutputBias(static_cast<float>(mean_log / samples.size()));
   }
 
-  nn::Adam opt(model->Parameters(), options.lr);
+  float lr = options.lr;
+  auto opt = std::make_unique<nn::Adam>(model->Parameters(), lr);
   nn::HybridCardLoss loss(options.lambda);
+  DivergenceWatchdog watchdog(options.watchdog, model->Parameters(),
+                              options.observer_tag.empty()
+                                  ? std::string("card")
+                                  : options.observer_tag);
 
   Stopwatch total_watch;
   Stopwatch epoch_watch;
   double best = std::numeric_limits<double>::infinity();
   size_t stall = 0;
   size_t epochs_run = 0;
-  double epoch_loss = 0.0;
+  double last_good_loss = 0.0;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     epoch_watch.Restart();
     rng.Shuffle(&samples);
-    epoch_loss = 0.0;
+    double epoch_loss = 0.0;
     size_t batches = 0;
     for (size_t first = 0; first < samples.size();
          first += options.batch_size) {
       const size_t count =
           std::min(options.batch_size, samples.size() - first);
       Batch batch = GatherBatch(queries, aux, samples, first, count);
-      opt.ZeroGrad();
+      opt->ZeroGrad();
       Matrix pred = model->Forward(batch.xq, batch.xtau, batch.xaux);
       Matrix grad;
       epoch_loss += loss.Compute(pred, batch.targets, &grad);
       model->Backward(grad);
-      opt.ClipGradNorm(options.grad_clip_norm);
-      opt.Step();
+      opt->ClipGradNorm(options.grad_clip_norm);
+      opt->Step();
       ++batches;
     }
     epoch_loss /= static_cast<double>(std::max<size_t>(1, batches));
+    if (fault::ShouldFail("train.nan_loss")) {
+      epoch_loss = std::numeric_limits<double>::quiet_NaN();
+    }
+    switch (watchdog.Observe(epoch, epoch_loss, &lr)) {
+      case DivergenceWatchdog::Verdict::kOk:
+        break;
+      case DivergenceWatchdog::Verdict::kRolledBack:
+        // Adam's moments were fed the diverging gradients; start fresh at
+        // the halved learning rate.
+        opt = std::make_unique<nn::Adam>(model->Parameters(), lr);
+        continue;
+      case DivergenceWatchdog::Verdict::kExhausted:
+        obs::NotifyTrainEnd(options.observer_tag, epochs_run, last_good_loss,
+                            total_watch.ElapsedSeconds());
+        return watchdog.ExhaustedStatus();
+    }
+    last_good_loss = epoch_loss;
     epochs_run = epoch + 1;
     obs::NotifyTrainEpoch(options.observer_tag, epoch, epoch_loss,
                           epoch_watch.ElapsedSeconds());
@@ -424,9 +449,9 @@ double TrainCardModel(CardModel* model, const Matrix& queries,
       break;
     }
   }
-  obs::NotifyTrainEnd(options.observer_tag, epochs_run, epoch_loss,
+  obs::NotifyTrainEnd(options.observer_tag, epochs_run, last_good_loss,
                       total_watch.ElapsedSeconds());
-  return epoch_loss;
+  return last_good_loss;
 }
 
 }  // namespace simcard

@@ -20,6 +20,7 @@
 
 #include "core/features.h"
 #include "core/qes.h"
+#include "core/train_watchdog.h"
 #include "nn/losses.h"
 #include "nn/monotone_head.h"
 #include "nn/sequential.h"
@@ -157,13 +158,19 @@ struct CardTrainOptions {
   /// Name under which per-epoch loss/time are reported to the observability
   /// layer (obs::NotifyTrainEpoch); empty = silent (e.g. tuner trial fits).
   std::string observer_tag;
+  /// Divergence watchdog policy (rollback + LR halving on NaN/exploding
+  /// loss; see core/train_watchdog.h).
+  WatchdogOptions watchdog;
 };
 
 /// Trains with Adam + the hybrid MAPE/Q-error loss (Algorithm 1). `aux` may
 /// be null when the model has no aux tower. Returns the final epoch loss.
-double TrainCardModel(CardModel* model, const Matrix& queries,
-                      const Matrix* aux, std::vector<SampleRef> samples,
-                      const CardTrainOptions& options);
+/// Fails (descriptive Status, model rolled back to its last good
+/// checkpoint) when the divergence watchdog exhausts its retries.
+Result<double> TrainCardModel(CardModel* model, const Matrix& queries,
+                              const Matrix* aux,
+                              std::vector<SampleRef> samples,
+                              const CardTrainOptions& options);
 
 }  // namespace simcard
 

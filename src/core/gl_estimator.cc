@@ -1,8 +1,12 @@
 #include "core/gl_estimator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 
+#include "common/checked_file.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/features.h"
@@ -136,8 +140,22 @@ Status GlEstimator::Train(const TrainContext& ctx) {
           static_cast<double>(segmentation_.members[s].size()));
       CardTrainOptions train_opts = config_.local_train;
       train_opts.seed = ctx.seed + 101 * s;
-      locals_.back()->Train(queries, xc, ctx.workload->train,
-                            config_.zero_keep_prob, train_opts);
+      auto loss_or = locals_.back()->Train(queries, xc, ctx.workload->train,
+                                           config_.zero_keep_prob, train_opts);
+      if (!loss_or.ok()) return loss_or.status();
+    }
+  }
+
+  // Retain a small member sample per segment so inference can degrade to a
+  // sampling estimate when a local model is quarantined or non-finite.
+  fallbacks_.clear();
+  fallbacks_.reserve(n_seg);
+  {
+    Rng fb_rng(ctx.seed + 7919);
+    for (size_t s = 0; s < n_seg; ++s) {
+      fallbacks_.push_back(SegmentFallback::FromSegment(
+          *ctx.dataset, segmentation_.members[s],
+          SegmentFallback::kDefaultSamples, &fb_rng));
     }
   }
 
@@ -167,7 +185,8 @@ Status GlEstimator::Train(const TrainContext& ctx) {
     GlobalTrainOptions gopts = config_.global_train;
     gopts.use_penalty = config_.use_penalty;
     gopts.seed = ctx.seed + 499;
-    TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
+    auto gloss_or = TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
+    if (!gloss_or.ok()) return gloss_or.status();
   }
 
   set_training_seconds(watch.ElapsedSeconds());
@@ -198,6 +217,13 @@ struct GlQueryMetrics {
   obs::Histogram* global_us = obs::GetHistogram("gl.latency.global_us");
   obs::Histogram* locals_us = obs::GetHistogram("gl.latency.locals_us");
   obs::Histogram* total_us = obs::GetHistogram("gl.latency.total_us");
+  // Degradation events, labeled by reason (see DESIGN.md, failure model).
+  obs::Counter* fb_invalid_query = obs::GetCounter("simcard.fallback.invalid_query");
+  obs::Counter* fb_invalid_tau = obs::GetCounter("simcard.fallback.invalid_tau");
+  obs::Counter* fb_local_missing = obs::GetCounter("simcard.fallback.local_missing");
+  obs::Counter* fb_local_nonfinite =
+      obs::GetCounter("simcard.fallback.local_nonfinite");
+  obs::Counter* fb_clamped = obs::GetCounter("simcard.fallback.clamped");
 };
 
 GlQueryMetrics& QueryMetrics() {
@@ -205,7 +231,28 @@ GlQueryMetrics& QueryMetrics() {
   return metrics;
 }
 
+bool VectorIsFinite(const float* v, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) {
+    if (!std::isfinite(v[i])) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+double GlEstimator::FallbackEstimate(size_t s, const float* query,
+                                     float tau) const {
+  if (s >= fallbacks_.size()) return 0.0;
+  return fallbacks_[s].Estimate(query, tau, dim_, metric_);
+}
+
+size_t GlEstimator::num_quarantined_locals() const {
+  size_t n = 0;
+  for (const auto& local : locals_) {
+    if (local == nullptr) ++n;
+  }
+  return n;
+}
 
 std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
     const float* query, float tau) {
@@ -213,6 +260,17 @@ std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
   GlQueryMetrics& m = QueryMetrics();
   Stopwatch total;
   Stopwatch phase;
+  // An estimator must never turn a malformed query into NaN arithmetic: a
+  // non-finite query vector or threshold has no meaningful cardinality, so
+  // answer 0 (the only estimate valid for every dataset) and record why.
+  if (query == nullptr || !VectorIsFinite(query, dim_)) {
+    if (enabled) m.fb_invalid_query->Increment();
+    return {};
+  }
+  if (!std::isfinite(tau) || tau < 0.0f) {
+    if (enabled) m.fb_invalid_tau->Increment();
+    return {};
+  }
   std::vector<float> xc =
       segmentation_.CentroidDistances(query, dim_, metric_);
   if (enabled) m.features_us->Record(phase.ElapsedMicros());
@@ -255,7 +313,22 @@ std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
   std::vector<std::pair<size_t, double>> out;
   out.reserve(selected.size());
   for (size_t s : selected) {
-    out.emplace_back(s, locals_[s]->Estimate(query, tau, xc.data()));
+    double est;
+    if (locals_[s] == nullptr) {
+      // Quarantined by a degraded load: the sampling fallback answers.
+      est = FallbackEstimate(s, query, tau);
+      if (enabled) m.fb_local_missing->Increment();
+    } else {
+      est = locals_[s]->Estimate(query, tau, xc.data());
+      if (fault::ShouldFail("gl.local_eval")) {
+        est = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(est) || est < 0.0) {
+        est = FallbackEstimate(s, query, tau);
+        if (enabled) m.fb_local_nonfinite->Increment();
+      }
+    }
+    out.emplace_back(s, est);
   }
   if (enabled) {
     m.locals_us->Record(phase.ElapsedMicros());
@@ -273,17 +346,32 @@ double GlEstimator::EstimateSearch(const float* query, float tau) {
   for (const auto& [seg, est] : EstimatePerSegment(query, tau)) {
     total += est;
   }
+  // A cardinality is a count over the dataset: clamp to [0, |D|] so no
+  // degradation path can surface an impossible answer.
+  const double dataset_size =
+      static_cast<double>(segmentation_.assignment.size());
+  if (!std::isfinite(total) || total < 0.0) {
+    if (obs::MetricsEnabled()) QueryMetrics().fb_clamped->Increment();
+    return 0.0;
+  }
+  if (total > dataset_size) {
+    if (obs::MetricsEnabled()) QueryMetrics().fb_clamped->Increment();
+    return dataset_size;
+  }
   return total;
 }
 
 size_t GlEstimator::ModelSizeBytes() const {
   size_t scalars = 0;
   for (const auto& local : locals_) {
+    if (local == nullptr) continue;  // quarantined by a degraded load
     scalars += const_cast<LocalModel*>(local.get())->NumScalars();
   }
   if (global_ != nullptr) scalars += global_->NumScalars();
-  // Centroids are part of the deployed model (x_C needs them).
+  // Centroids are part of the deployed model (x_C needs them), as are the
+  // retained fallback samples.
   scalars += segmentation_.centroids.size();
+  for (const auto& fb : fallbacks_) scalars += fb.samples.size();
   return scalars * sizeof(float);
 }
 
@@ -343,7 +431,13 @@ Status GlEstimator::ApplyDeletions(const Dataset& dataset,
   }
   const std::vector<size_t> touched =
       segmentation_.RemoveTrailingPoints(num_removed);
+  if (fallbacks_.size() < locals_.size()) fallbacks_.resize(locals_.size());
+  Rng fb_rng(seed + 7919);
   for (size_t s : touched) {
+    fallbacks_[s] = SegmentFallback::FromSegment(
+        dataset, segmentation_.members[s], SegmentFallback::kDefaultSamples,
+        &fb_rng);
+    if (locals_[s] == nullptr) continue;  // quarantined; fallback only
     locals_[s]->set_max_card(
         static_cast<double>(segmentation_.members[s].size()));
   }
@@ -353,10 +447,13 @@ Status GlEstimator::ApplyDeletions(const Dataset& dataset,
   const Matrix xc =
       BuildCentroidDistanceFeatures(queries, segmentation_, metric_);
   for (size_t s : touched) {
+    if (locals_[s] == nullptr) continue;
     CardTrainOptions opts = config_.local_train;
     opts.seed = seed + 41 * s + 3;
-    locals_[s]->FineTune(queries, xc, workload->train,
-                         config_.zero_keep_prob, opts, fine_tune_epochs);
+    auto ft_or = locals_[s]->FineTune(queries, xc, workload->train,
+                                      config_.zero_keep_prob, opts,
+                                      fine_tune_epochs);
+    if (!ft_or.ok()) return ft_or.status();
   }
   if (global_ != nullptr) {
     GlobalLabels labels =
@@ -365,7 +462,8 @@ Status GlEstimator::ApplyDeletions(const Dataset& dataset,
     gopts.use_penalty = config_.use_penalty;
     gopts.epochs = fine_tune_epochs;
     gopts.seed = seed + 43;
-    TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
+    auto gloss_or = TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
+    if (!gloss_or.ok()) return gloss_or.status();
   }
   return Status::OK();
 }
@@ -374,54 +472,192 @@ Status GlEstimator::SaveToFile(const std::string& path) const {
   if (locals_.empty()) {
     return Status::FailedPrecondition("SaveToFile: estimator not trained");
   }
-  Serializer out;
-  out.WriteString("simcard.gl.v1");
-  out.WriteU32(static_cast<uint32_t>(metric_));
-  out.WriteU64(dim_);
-  segmentation_.Serialize(&out);
-  tuned_qes_.Serialize(&out);
-  out.WriteU64(locals_.size());
-  for (const auto& local : locals_) local->Save(&out);
-  out.WriteU32(global_ != nullptr ? 1 : 0);
-  if (global_ != nullptr) global_->SaveWithConfig(&out);
-  return out.SaveToFile(path);
+  CheckedFileWriter writer;
+  Serializer* meta = writer.AddSection("meta");
+  meta->WriteU32(static_cast<uint32_t>(metric_));
+  meta->WriteU64(dim_);
+  meta->WriteU64(locals_.size());
+  meta->WriteU32(global_ != nullptr ? 1 : 0);
+  segmentation_.Serialize(writer.AddSection("segmentation"));
+  tuned_qes_.Serialize(writer.AddSection("qes"));
+  {
+    Serializer* fb = writer.AddSection("fallback");
+    fb->WriteU64(fallbacks_.size());
+    for (const auto& fallback : fallbacks_) fallback.Serialize(fb);
+  }
+  for (size_t s = 0; s < locals_.size(); ++s) {
+    Serializer* out = writer.AddSection("local." + std::to_string(s));
+    // A quarantined slot round-trips as "absent" so a degraded model can
+    // still be re-saved.
+    out->WriteU32(locals_[s] != nullptr ? 1 : 0);
+    if (locals_[s] != nullptr) locals_[s]->Save(out);
+  }
+  if (global_ != nullptr) {
+    global_->SaveWithConfig(writer.AddSection("global"));
+  }
+  return writer.Save(path);
 }
 
-Status GlEstimator::LoadFromFile(const std::string& path) {
-  auto in_or = Deserializer::FromFile(path);
-  if (!in_or.ok()) return in_or.status();
-  Deserializer in = std::move(in_or).value();
+Status GlEstimator::LoadLegacyV1(Deserializer* in, const std::string& path) {
   std::string magic;
-  SIMCARD_RETURN_IF_ERROR(in.ReadString(&magic));
+  SIMCARD_RETURN_IF_ERROR(in->ReadString(&magic));
   if (magic != "simcard.gl.v1") {
     return Status::InvalidArgument("not a simcard GL model file: " + path);
   }
   uint32_t metric = 0;
   uint64_t dim = 0;
-  SIMCARD_RETURN_IF_ERROR(in.ReadU32(&metric));
-  SIMCARD_RETURN_IF_ERROR(in.ReadU64(&dim));
+  SIMCARD_RETURN_IF_ERROR(in->ReadU32(&metric));
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&dim));
   metric_ = static_cast<Metric>(metric);
   dim_ = dim;
-  SIMCARD_RETURN_IF_ERROR(segmentation_.Deserialize(&in));
-  SIMCARD_RETURN_IF_ERROR(tuned_qes_.Deserialize(&in));
+  SIMCARD_RETURN_IF_ERROR(segmentation_.Deserialize(in));
+  SIMCARD_RETURN_IF_ERROR(tuned_qes_.Deserialize(in));
   uint64_t n_locals = 0;
-  SIMCARD_RETURN_IF_ERROR(in.ReadU64(&n_locals));
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&n_locals));
   locals_.clear();
   locals_.reserve(n_locals);
   for (uint64_t s = 0; s < n_locals; ++s) {
-    auto local_or = LocalModel::Load(&in);
+    auto local_or = LocalModel::Load(in);
     if (!local_or.ok()) return local_or.status();
     locals_.push_back(std::move(local_or.value()));
   }
   uint32_t has_global = 0;
-  SIMCARD_RETURN_IF_ERROR(in.ReadU32(&has_global));
+  SIMCARD_RETURN_IF_ERROR(in->ReadU32(&has_global));
   global_.reset();
   if (has_global != 0) {
-    auto global_or = GlobalModel::LoadWithConfig(&in);
+    auto global_or = GlobalModel::LoadWithConfig(in);
     if (!global_or.ok()) return global_or.status();
     global_ = std::move(global_or.value());
   }
+  // v1 files carry no retained samples: a quarantine-free load needs none,
+  // and any later degradation answers 0 for the affected segment (the same
+  // as an untrained local model). Segment sizes still bound estimates.
+  fallbacks_.assign(locals_.size(), SegmentFallback{});
+  for (size_t s = 0; s < locals_.size() && s < segmentation_.members.size();
+       ++s) {
+    fallbacks_[s].segment_size = segmentation_.members[s].size();
+  }
   return Status::OK();
+}
+
+Status GlEstimator::LoadChecked(std::vector<uint8_t> bytes, LoadMode mode) {
+  auto reader_or = CheckedFileReader::FromBytes(std::move(bytes));
+  if (!reader_or.ok()) return reader_or.status();
+  const CheckedFileReader reader = std::move(reader_or).value();
+
+  // Structural sections are required intact in both modes: without them
+  // there is no segmentation to route queries or bound estimates with.
+  auto meta_or = reader.OpenSection("meta");
+  if (!meta_or.ok()) return meta_or.status();
+  Deserializer meta = std::move(meta_or).value();
+  uint32_t metric = 0;
+  uint64_t dim = 0;
+  uint64_t n_locals = 0;
+  uint32_t has_global = 0;
+  SIMCARD_RETURN_IF_ERROR(meta.ReadU32(&metric));
+  SIMCARD_RETURN_IF_ERROR(meta.ReadU64(&dim));
+  SIMCARD_RETURN_IF_ERROR(meta.ReadU64(&n_locals));
+  SIMCARD_RETURN_IF_ERROR(meta.ReadU32(&has_global));
+  metric_ = static_cast<Metric>(metric);
+  dim_ = dim;
+
+  auto seg_or = reader.OpenSection("segmentation");
+  if (!seg_or.ok()) return seg_or.status();
+  Deserializer seg = std::move(seg_or).value();
+  SIMCARD_RETURN_IF_ERROR(segmentation_.Deserialize(&seg));
+  auto qes_or = reader.OpenSection("qes");
+  if (!qes_or.ok()) return qes_or.status();
+  Deserializer qes = std::move(qes_or).value();
+  SIMCARD_RETURN_IF_ERROR(tuned_qes_.Deserialize(&qes));
+
+  fallbacks_.clear();
+  {
+    auto fb_or = reader.OpenSection("fallback");
+    if (!fb_or.ok() && mode == LoadMode::kStrict) return fb_or.status();
+    if (fb_or.ok()) {
+      Deserializer fb = std::move(fb_or).value();
+      uint64_t n_fb = 0;
+      SIMCARD_RETURN_IF_ERROR(fb.ReadU64(&n_fb));
+      fallbacks_.reserve(n_fb);
+      for (uint64_t i = 0; i < n_fb; ++i) {
+        SegmentFallback fallback;
+        SIMCARD_RETURN_IF_ERROR(fallback.Deserialize(&fb));
+        fallbacks_.push_back(std::move(fallback));
+      }
+    } else {
+      SIMCARD_LOG(WARN) << "degraded load: fallback samples unavailable ("
+                        << fb_or.status().ToString() << ")";
+    }
+  }
+  if (fallbacks_.size() < n_locals) fallbacks_.resize(n_locals);
+
+  locals_.clear();
+  locals_.reserve(n_locals);
+  size_t quarantined = 0;
+  for (uint64_t s = 0; s < n_locals; ++s) {
+    const std::string name = "local." + std::to_string(s);
+    auto section_or = reader.OpenSection(name);
+    Status st = section_or.status();
+    if (section_or.ok()) {
+      Deserializer in = std::move(section_or).value();
+      uint32_t present = 0;
+      st = in.ReadU32(&present);
+      if (st.ok() && present == 0) {
+        locals_.push_back(nullptr);  // saved as absent; not corruption
+        continue;
+      }
+      if (st.ok()) {
+        auto local_or = LocalModel::Load(&in);
+        st = local_or.status();
+        if (st.ok()) {
+          locals_.push_back(std::move(local_or).value());
+          continue;
+        }
+      }
+    }
+    if (mode == LoadMode::kStrict) return st;
+    SIMCARD_LOG(WARN) << "degraded load: quarantining " << name << " ("
+                      << st.ToString() << ")";
+    locals_.push_back(nullptr);
+    ++quarantined;
+  }
+  if (obs::MetricsEnabled() && quarantined > 0) {
+    obs::GetCounter("simcard.load.quarantined")
+        ->Add(static_cast<int64_t>(quarantined));
+  }
+
+  global_.reset();
+  if (has_global != 0) {
+    auto section_or = reader.OpenSection("global");
+    Status st = section_or.status();
+    if (section_or.ok()) {
+      Deserializer in = std::move(section_or).value();
+      auto global_or = GlobalModel::LoadWithConfig(&in);
+      st = global_or.status();
+      if (st.ok()) global_ = std::move(global_or).value();
+    }
+    if (global_ == nullptr) {
+      if (mode == LoadMode::kStrict) return st;
+      // Without a router every local model is evaluated — slower, but the
+      // estimate quality only depends on the locals.
+      SIMCARD_LOG(WARN) << "degraded load: global model unavailable, "
+                        << "evaluating all segments (" << st.ToString()
+                        << ")";
+    }
+  }
+  return Status::OK();
+}
+
+Status GlEstimator::LoadFromFile(const std::string& path, LoadMode mode) {
+  auto bytes_or = ReadFileBytes(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  std::vector<uint8_t> bytes = std::move(bytes_or).value();
+  if (CheckedFileReader::LooksChecked(bytes)) {
+    return LoadChecked(std::move(bytes), mode);
+  }
+  // Pre-checksum (v1) files: best-effort structural validation only.
+  Deserializer in(std::move(bytes));
+  return LoadLegacyV1(&in, path);
 }
 
 Status GlEstimator::ApplyUpdates(const Dataset& dataset,
@@ -448,9 +684,17 @@ Status GlEstimator::ApplyUpdates(const Dataset& dataset,
     const size_t seg = segmentation_.NearestSegment(p, dim_, metric_);
     segmentation_.AddPoint(seg, row, p, dim_, metric_);
     touched.insert(seg);
+    if (locals_[seg] == nullptr) continue;  // quarantined; fallback only
     // Keep the clamp consistent with the grown segment.
     locals_[seg]->set_max_card(
         static_cast<double>(segmentation_.members[seg].size()));
+  }
+  if (fallbacks_.size() < locals_.size()) fallbacks_.resize(locals_.size());
+  Rng fb_rng(seed + 7919);
+  for (size_t s : touched) {
+    fallbacks_[s] = SegmentFallback::FromSegment(
+        dataset, segmentation_.members[s], SegmentFallback::kDefaultSamples,
+        &fb_rng);
   }
 
   // Step 2: refresh query labels against the grown dataset.
@@ -461,10 +705,13 @@ Status GlEstimator::ApplyUpdates(const Dataset& dataset,
   const Matrix xc =
       BuildCentroidDistanceFeatures(queries, segmentation_, metric_);
   for (size_t s : touched) {
+    if (locals_[s] == nullptr) continue;
     CardTrainOptions opts = config_.local_train;
     opts.seed = seed + 13 * s + 7;
-    locals_[s]->FineTune(queries, xc, workload->train,
-                         config_.zero_keep_prob, opts, fine_tune_epochs);
+    auto ft_or = locals_[s]->FineTune(queries, xc, workload->train,
+                                      config_.zero_keep_prob, opts,
+                                      fine_tune_epochs);
+    if (!ft_or.ok()) return ft_or.status();
   }
   if (global_ != nullptr) {
     GlobalLabels labels =
@@ -473,7 +720,8 @@ Status GlEstimator::ApplyUpdates(const Dataset& dataset,
     gopts.use_penalty = config_.use_penalty;
     gopts.epochs = fine_tune_epochs;
     gopts.seed = seed + 29;
-    TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
+    auto gloss_or = TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
+    if (!gloss_or.ok()) return gloss_or.status();
   }
   return Status::OK();
 }

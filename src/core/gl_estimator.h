@@ -20,6 +20,7 @@
 #include "core/estimator.h"
 #include "core/global_model.h"
 #include "core/local_model.h"
+#include "core/segment_fallback.h"
 #include "core/tuner.h"
 
 namespace simcard {
@@ -124,8 +125,25 @@ class GlEstimator : public Estimator {
   /// embedded in the file; LoadFromFile needs only a GlEstimatorConfig for
   /// the behavioral knobs (sigma, zero_keep_prob, training options for
   /// later fine-tunes).
+  ///
+  /// Files are written in the checked v2 container format (see
+  /// common/checked_file.h): versioned header plus a CRC-32 per section, so
+  /// truncation and bit flips are detected instead of deserialized. Legacy
+  /// v1 ("simcard.gl.v1") files are still read.
   Status SaveToFile(const std::string& path) const;
-  Status LoadFromFile(const std::string& path);
+
+  /// How LoadFromFile treats a file whose structural sections (header,
+  /// meta, segmentation, qes) are intact but whose model sections fail
+  /// their checksum.
+  enum class LoadMode {
+    kStrict,    ///< any corrupt section fails the load (default)
+    kDegraded,  ///< corrupt local models are quarantined (inference uses
+                ///< the per-segment sampling fallback); a corrupt global
+                ///< model degrades to evaluating every segment
+  };
+
+  Status LoadFromFile(const std::string& path,
+                      LoadMode mode = LoadMode::kStrict);
 
   const Segmentation& segmentation() const { return segmentation_; }
   GlobalModel* global_model() { return global_.get(); }
@@ -134,15 +152,25 @@ class GlEstimator : public Estimator {
   const GlEstimatorConfig& config() const { return config_; }
   const QesConfig& tuned_qes() const { return tuned_qes_; }
 
+  /// Number of local models quarantined by the last degraded load.
+  size_t num_quarantined_locals() const;
+
  private:
   CardModelConfig LocalConfig() const;
+  Status LoadLegacyV1(Deserializer* in, const std::string& path);
+  Status LoadChecked(std::vector<uint8_t> bytes, LoadMode mode);
+  /// Sampling-fallback estimate for segment `s` (0 when no samples).
+  double FallbackEstimate(size_t s, const float* query, float tau) const;
 
   GlEstimatorConfig config_;
   Segmentation segmentation_;  // owned mutable copy
   Metric metric_ = Metric::kL2;
   size_t dim_ = 0;
   QesConfig tuned_qes_;
+  // A slot is null when a degraded load quarantined that segment's model;
+  // inference then answers from fallbacks_[s].
   std::vector<std::unique_ptr<LocalModel>> locals_;
+  std::vector<SegmentFallback> fallbacks_;  // parallel to locals_
   std::unique_ptr<GlobalModel> global_;  // null for Local+
 };
 

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
@@ -252,9 +254,10 @@ Result<std::unique_ptr<GlobalModel>> GlobalModel::LoadWithConfig(
   return model_or;
 }
 
-double TrainGlobalModel(GlobalModel* model, const Matrix& queries,
-                        const Matrix& xc_features, const GlobalLabels& labels,
-                        const GlobalTrainOptions& options) {
+Result<double> TrainGlobalModel(GlobalModel* model, const Matrix& queries,
+                                const Matrix& xc_features,
+                                const GlobalLabels& labels,
+                                const GlobalTrainOptions& options) {
   const size_t total = labels.samples.size();
   if (total == 0) return 0.0;
   Rng rng(options.seed);
@@ -295,9 +298,14 @@ double TrainGlobalModel(GlobalModel* model, const Matrix& queries,
                                  std::move(shift), std::move(scale));
   }
 
-  nn::Adam opt(model->Parameters(), options.lr);
+  float lr = options.lr;
+  auto opt = std::make_unique<nn::Adam>(model->Parameters(), lr);
   nn::WeightedBceLoss loss;
   const size_t n_seg = labels.labels.cols();
+  DivergenceWatchdog watchdog(options.watchdog, model->Parameters(),
+                              options.observer_tag.empty()
+                                  ? std::string("global")
+                                  : options.observer_tag);
 
   std::vector<size_t> order(total);
   for (size_t i = 0; i < total; ++i) order[i] = i;
@@ -307,11 +315,11 @@ double TrainGlobalModel(GlobalModel* model, const Matrix& queries,
   double best = std::numeric_limits<double>::infinity();
   size_t stall = 0;
   size_t epochs_run = 0;
-  double epoch_loss = 0.0;
+  double last_good_loss = 0.0;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     epoch_watch.Restart();
     rng.Shuffle(&order);
-    epoch_loss = 0.0;
+    double epoch_loss = 0.0;
     size_t batches = 0;
     for (size_t first = 0; first < total; first += options.batch_size) {
       const size_t count = std::min(options.batch_size, total - first);
@@ -331,16 +339,31 @@ double TrainGlobalModel(GlobalModel* model, const Matrix& queries,
           penalty.SetRow(i, labels.penalty.Row(idx));
         }
       }
-      opt.ZeroGrad();
+      opt->ZeroGrad();
       Matrix logits = model->ForwardLogits(xq, xtau, xc);
       Matrix grad;
       epoch_loss += loss.Compute(logits, target, penalty, &grad);
       model->Backward(grad);
-      opt.ClipGradNorm(options.grad_clip_norm);
-      opt.Step();
+      opt->ClipGradNorm(options.grad_clip_norm);
+      opt->Step();
       ++batches;
     }
     epoch_loss /= static_cast<double>(std::max<size_t>(1, batches));
+    if (fault::ShouldFail("train.nan_loss")) {
+      epoch_loss = std::numeric_limits<double>::quiet_NaN();
+    }
+    switch (watchdog.Observe(epoch, epoch_loss, &lr)) {
+      case DivergenceWatchdog::Verdict::kOk:
+        break;
+      case DivergenceWatchdog::Verdict::kRolledBack:
+        opt = std::make_unique<nn::Adam>(model->Parameters(), lr);
+        continue;
+      case DivergenceWatchdog::Verdict::kExhausted:
+        obs::NotifyTrainEnd(options.observer_tag, epochs_run, last_good_loss,
+                            total_watch.ElapsedSeconds());
+        return watchdog.ExhaustedStatus();
+    }
+    last_good_loss = epoch_loss;
     epochs_run = epoch + 1;
     obs::NotifyTrainEpoch(options.observer_tag, epoch, epoch_loss,
                           epoch_watch.ElapsedSeconds());
@@ -351,9 +374,9 @@ double TrainGlobalModel(GlobalModel* model, const Matrix& queries,
       break;
     }
   }
-  obs::NotifyTrainEnd(options.observer_tag, epochs_run, epoch_loss,
+  obs::NotifyTrainEnd(options.observer_tag, epochs_run, last_good_loss,
                       total_watch.ElapsedSeconds());
-  return epoch_loss;
+  return last_good_loss;
 }
 
 }  // namespace simcard

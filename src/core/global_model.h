@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "core/qes.h"
+#include "core/train_watchdog.h"
 #include "nn/monotone_head.h"
 #include "nn/sequential.h"
 #include "workload/labels.h"
@@ -119,13 +120,18 @@ struct GlobalTrainOptions {
   size_t patience = 6;
   /// Observability tag for per-epoch loss reporting (see CardTrainOptions).
   std::string observer_tag = "global";
+  /// Divergence watchdog policy (see core/train_watchdog.h).
+  WatchdogOptions watchdog;
 };
 
 /// Trains on the flattened global labels; `xc_features` is the per-query
 /// x_C matrix ([num_queries, num_segments]). Returns the final epoch loss.
-double TrainGlobalModel(GlobalModel* model, const Matrix& queries,
-                        const Matrix& xc_features, const GlobalLabels& labels,
-                        const GlobalTrainOptions& options);
+/// Fails (descriptive Status, model rolled back to its last good
+/// checkpoint) when the divergence watchdog exhausts its retries.
+Result<double> TrainGlobalModel(GlobalModel* model, const Matrix& queries,
+                                const Matrix& xc_features,
+                                const GlobalLabels& labels,
+                                const GlobalTrainOptions& options);
 
 }  // namespace simcard
 

@@ -34,10 +34,11 @@ Result<std::unique_ptr<LocalModel>> LocalModel::Load(Deserializer* in) {
   return local;
 }
 
-double LocalModel::Train(const Matrix& queries, const Matrix& xc_features,
-                         const std::vector<LabeledQuery>& labeled,
-                         double zero_keep_prob,
-                         const CardTrainOptions& options) {
+Result<double> LocalModel::Train(const Matrix& queries,
+                                 const Matrix& xc_features,
+                                 const std::vector<LabeledQuery>& labeled,
+                                 double zero_keep_prob,
+                                 const CardTrainOptions& options) {
   Rng rng(options.seed + segment_index_);
   auto samples =
       FlattenSegment(labeled, segment_index_, zero_keep_prob, &rng);
@@ -53,14 +54,17 @@ double LocalModel::Train(const Matrix& queries, const Matrix& xc_features,
   if (opts.observer_tag.empty()) {
     opts.observer_tag = "local." + std::to_string(segment_index_);
   }
-  return TrainCardModel(model_.get(), queries, &xc_features,
-                        std::move(samples), opts);
+  auto loss_or = TrainCardModel(model_.get(), queries, &xc_features,
+                                std::move(samples), opts);
+  if (!loss_or.ok()) trained_ = false;  // degrade to 0, don't serve noise
+  return loss_or;
 }
 
-double LocalModel::FineTune(const Matrix& queries, const Matrix& xc_features,
-                            const std::vector<LabeledQuery>& labeled,
-                            double zero_keep_prob, CardTrainOptions options,
-                            size_t epochs) {
+Result<double> LocalModel::FineTune(const Matrix& queries,
+                                    const Matrix& xc_features,
+                                    const std::vector<LabeledQuery>& labeled,
+                                    double zero_keep_prob,
+                                    CardTrainOptions options, size_t epochs) {
   Rng rng(options.seed + 7777 + segment_index_);
   auto samples =
       FlattenSegment(labeled, segment_index_, zero_keep_prob, &rng);
@@ -70,11 +74,12 @@ double LocalModel::FineTune(const Matrix& queries, const Matrix& xc_features,
   }
   if (!trained_) {
     // First real samples for this segment: do a normal (anchored) fit.
-    trained_ = true;
     options.epochs = std::max(options.epochs, epochs);
     options.seed += 9000 + segment_index_;
-    return TrainCardModel(model_.get(), queries, &xc_features,
-                          std::move(samples), options);
+    auto loss_or = TrainCardModel(model_.get(), queries, &xc_features,
+                                  std::move(samples), options);
+    trained_ = loss_or.ok();
+    return loss_or;
   }
   options.epochs = epochs;
   options.seed += 9000 + segment_index_;

@@ -26,17 +26,20 @@ class LocalModel {
 
   /// Trains on this segment's flattened samples. Zero-cardinality samples
   /// are subsampled at `zero_keep_prob` so the model still learns to emit
-  /// ~0 for mis-routed queries without being swamped by zeros.
-  double Train(const Matrix& queries, const Matrix& xc_features,
-               const std::vector<LabeledQuery>& labeled,
-               double zero_keep_prob, const CardTrainOptions& options);
+  /// ~0 for mis-routed queries without being swamped by zeros. Returns the
+  /// final epoch loss; fails when the divergence watchdog gives up (the
+  /// model is left untrained so Estimate degrades to 0 instead of noise).
+  Result<double> Train(const Matrix& queries, const Matrix& xc_features,
+                       const std::vector<LabeledQuery>& labeled,
+                       double zero_keep_prob,
+                       const CardTrainOptions& options);
 
   /// Additional gradient steps on fresh samples (incremental updates,
   /// Section 5.3).
-  double FineTune(const Matrix& queries, const Matrix& xc_features,
-                  const std::vector<LabeledQuery>& labeled,
-                  double zero_keep_prob, CardTrainOptions options,
-                  size_t epochs);
+  Result<double> FineTune(const Matrix& queries, const Matrix& xc_features,
+                          const std::vector<LabeledQuery>& labeled,
+                          double zero_keep_prob, CardTrainOptions options,
+                          size_t epochs);
 
   /// Estimated cardinality of (q, tau) on this segment, clamped to the
   /// segment's population (a segment cannot contain more matches than

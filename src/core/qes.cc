@@ -70,6 +70,14 @@ Status QesConfig::Deserialize(Deserializer* in) {
   embed_dim = v;
   uint64_t layers = 0;
   SIMCARD_RETURN_IF_ERROR(in->ReadU64(&layers));
+  // Each layer encodes 5 u64 fields + 1 u32; reject counts the remaining
+  // buffer cannot possibly hold before allocating.
+  constexpr uint64_t kLayerBytes = 5 * sizeof(uint64_t) + sizeof(uint32_t);
+  if (layers > in->remaining() / kLayerBytes) {
+    return Status::OutOfRange("QesConfig: merge layer count " +
+                              std::to_string(layers) +
+                              " exceeds remaining buffer");
+  }
   merge_layers.resize(layers);
   for (auto& spec : merge_layers) {
     SIMCARD_RETURN_IF_ERROR(in->ReadU64(&v));

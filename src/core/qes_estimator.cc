@@ -67,7 +67,9 @@ Status FlatCardEstimator::Train(const TrainContext& ctx) {
 
   CardTrainOptions train_opts = config_.train;
   train_opts.seed = ctx.seed + 2;
-  TrainCardModel(model_.get(), queries, &xd, std::move(flat), train_opts);
+  auto loss_or =
+      TrainCardModel(model_.get(), queries, &xd, std::move(flat), train_opts);
+  if (!loss_or.ok()) return loss_or.status();
   set_training_seconds(watch.ElapsedSeconds());
   return Status::OK();
 }

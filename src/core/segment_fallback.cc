@@ -1,0 +1,57 @@
+#include "core/segment_fallback.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simcard {
+
+SegmentFallback SegmentFallback::FromSegment(
+    const Dataset& dataset, const std::vector<uint32_t>& members,
+    size_t max_samples, Rng* rng) {
+  SegmentFallback out;
+  out.segment_size = members.size();
+  const size_t dim = dataset.dim();
+  if (members.empty() || dim == 0) return out;
+
+  // Partial Fisher-Yates over a copy of the member list: the first
+  // `n_keep` entries are a uniform sample without replacement.
+  std::vector<uint32_t> pool = members;
+  const size_t n_keep = std::min(max_samples, pool.size());
+  for (size_t i = 0; i < n_keep; ++i) {
+    const size_t j = i + rng->NextBounded(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  out.samples.reserve(n_keep * dim);
+  for (size_t i = 0; i < n_keep; ++i) {
+    const float* p = dataset.Point(pool[i]);
+    out.samples.insert(out.samples.end(), p, p + dim);
+  }
+  return out;
+}
+
+double SegmentFallback::Estimate(const float* query, float tau, size_t dim,
+                                 Metric metric) const {
+  const size_t n = SampleCount(dim);
+  if (n == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (Distance(query, samples.data() + i * dim, dim, metric) <= tau) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) * static_cast<double>(segment_size) /
+         static_cast<double>(n);
+}
+
+void SegmentFallback::Serialize(Serializer* out) const {
+  out->WriteU64(segment_size);
+  out->WriteFloatVector(samples);
+}
+
+Status SegmentFallback::Deserialize(Deserializer* in) {
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&segment_size));
+  SIMCARD_RETURN_IF_ERROR(in->ReadFloatVector(&samples));
+  return Status::OK();
+}
+
+}  // namespace simcard

@@ -1,0 +1,69 @@
+#include "core/train_watchdog.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/training_observer.h"
+
+namespace simcard {
+
+DivergenceWatchdog::DivergenceWatchdog(const WatchdogOptions& options,
+                                       std::vector<nn::Parameter*> params,
+                                       std::string tag)
+    : options_(options),
+      params_(std::move(params)),
+      tag_(std::move(tag)) {
+  if (options_.enabled) {
+    checkpoint_ = nn::SnapshotParameters(params_);
+  }
+}
+
+bool DivergenceWatchdog::IsDivergent(double loss) const {
+  if (!std::isfinite(loss)) return true;
+  // The +1 floor keeps near-zero best losses from flagging ordinary noise.
+  return has_best_ && loss > options_.explode_factor * (best_loss_ + 1.0);
+}
+
+DivergenceWatchdog::Verdict DivergenceWatchdog::Observe(size_t epoch,
+                                                        double loss,
+                                                        float* lr) {
+  if (!options_.enabled) return Verdict::kOk;
+  if (!IsDivergent(loss)) {
+    if (!has_best_ || loss < best_loss_) {
+      best_loss_ = loss;
+      has_best_ = true;
+    }
+    checkpoint_ = nn::SnapshotParameters(params_);
+    return Verdict::kOk;
+  }
+  last_bad_loss_ = loss;
+  last_bad_epoch_ = epoch;
+  nn::RestoreParameters(checkpoint_, params_);
+  if (retries_ >= options_.max_retries) {
+    if (obs::MetricsEnabled()) {
+      obs::GetCounter("simcard.watchdog.retries_exhausted")->Increment();
+    }
+    return Verdict::kExhausted;
+  }
+  ++retries_;
+  *lr *= 0.5f;
+  SIMCARD_LOG(WARN) << "watchdog[" << tag_ << "]: epoch " << epoch
+                    << " loss " << loss << " diverged; rolled back, retry "
+                    << retries_ << "/" << options_.max_retries
+                    << " at lr " << *lr;
+  obs::NotifyDivergence(tag_, epoch, loss, retries_, *lr);
+  return Verdict::kRolledBack;
+}
+
+Status DivergenceWatchdog::ExhaustedStatus() const {
+  return Status::Internal(
+      "training diverged (tag '" + tag_ + "'): epoch " +
+      std::to_string(last_bad_epoch_) + " loss " +
+      std::to_string(last_bad_loss_) + " after " +
+      std::to_string(retries_) +
+      " rollback retries with halved learning rates; model restored to last "
+      "good checkpoint");
+}
+
+}  // namespace simcard

@@ -1,0 +1,86 @@
+// Divergence watchdog for the training loops.
+//
+// Small-batch training of the card/global models can diverge: a NaN sneaks
+// in through an exploding gradient, or the loss blows up past any useful
+// regime. Left alone, the NaN propagates into the weights and the trained
+// model silently poisons every estimate it contributes to (fatal under the
+// GL framework, where the final estimate is a *sum* of local models).
+//
+// The watchdog snapshots parameters after every good epoch; when an epoch's
+// loss is non-finite or explodes past `explode_factor` times the best loss
+// seen, it rolls the model back to the last good checkpoint, halves the
+// learning rate, and lets the loop retry with a fresh optimizer. After
+// `max_retries` rollbacks the loop gives up and returns a descriptive
+// Status — training never returns a NaN model.
+#ifndef SIMCARD_CORE_TRAIN_WATCHDOG_H_
+#define SIMCARD_CORE_TRAIN_WATCHDOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/parameter.h"
+
+namespace simcard {
+
+/// \brief Policy knobs for DivergenceWatchdog.
+struct WatchdogOptions {
+  bool enabled = true;
+  /// Rollback budget; exceeding it fails the training run.
+  size_t max_retries = 3;
+  /// An epoch loss above explode_factor * (best_loss + 1) counts as
+  /// divergence even when finite.
+  double explode_factor = 1e3;
+};
+
+/// \brief Epoch-level divergence detection + checkpoint rollback.
+///
+/// Usage inside a training loop:
+///
+///   DivergenceWatchdog dog(options.watchdog, model->Parameters(), tag);
+///   for (epoch ...) {
+///     ... run epoch, compute epoch_loss ...
+///     switch (dog.Observe(epoch, epoch_loss, &lr)) {
+///       case Verdict::kOk:         break;            // checkpointed
+///       case Verdict::kRolledBack: rebuild optimizer with lr; continue;
+///       case Verdict::kExhausted:  return dog.ExhaustedStatus();
+///     }
+///   }
+class DivergenceWatchdog {
+ public:
+  enum class Verdict { kOk, kRolledBack, kExhausted };
+
+  /// Snapshots the initial parameter values as epoch-(-1)'s checkpoint.
+  DivergenceWatchdog(const WatchdogOptions& options,
+                     std::vector<nn::Parameter*> params, std::string tag);
+
+  /// Judges one finished epoch. On kOk the current parameters become the
+  /// new checkpoint. On kRolledBack the parameters have been restored to
+  /// the last checkpoint and `*lr` halved; the caller must rebuild its
+  /// optimizer (momentum/Adam state is poisoned too). kExhausted means the
+  /// retry budget is spent and the parameters are restored; the caller
+  /// should return ExhaustedStatus().
+  Verdict Observe(size_t epoch, double loss, float* lr);
+
+  /// Descriptive terminal error for kExhausted.
+  Status ExhaustedStatus() const;
+
+  size_t retries() const { return retries_; }
+
+ private:
+  bool IsDivergent(double loss) const;
+
+  WatchdogOptions options_;
+  std::vector<nn::Parameter*> params_;
+  std::string tag_;
+  std::vector<Matrix> checkpoint_;
+  double best_loss_ = 0.0;
+  bool has_best_ = false;
+  double last_bad_loss_ = 0.0;
+  size_t last_bad_epoch_ = 0;
+  size_t retries_ = 0;
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_CORE_TRAIN_WATCHDOG_H_

@@ -64,7 +64,9 @@ class TrialRunner {
     CardTrainOptions train_opts;
     train_opts.epochs = options_.trial_epochs;
     train_opts.seed = seed + 1;
-    TrainCardModel(model, queries_, aux_, train_, train_opts);
+    auto loss_or = TrainCardModel(model, queries_, aux_, train_, train_opts);
+    // A diverged trial is a failed configuration, not a failed tuner run.
+    if (!loss_or.ok()) return std::numeric_limits<double>::infinity();
 
     // Geometric-mean Q-error: robust to the single-sample blowups that
     // dominate an arithmetic mean on a ~150-sample validation split.

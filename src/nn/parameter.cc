@@ -17,5 +17,25 @@ Status Parameter::Deserialize(Deserializer* in) {
   return Status::OK();
 }
 
+std::vector<Matrix> SnapshotParameters(
+    const std::vector<Parameter*>& params) {
+  std::vector<Matrix> snapshot;
+  snapshot.reserve(params.size());
+  for (const Parameter* p : params) {
+    snapshot.push_back(p->value());
+  }
+  return snapshot;
+}
+
+void RestoreParameters(const std::vector<Matrix>& snapshot,
+                       const std::vector<Parameter*>& params) {
+  assert(snapshot.size() == params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    assert(snapshot[i].rows() == params[i]->value().rows() &&
+           snapshot[i].cols() == params[i]->value().cols());
+    params[i]->value() = snapshot[i];
+  }
+}
+
 }  // namespace nn
 }  // namespace simcard

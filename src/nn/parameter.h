@@ -3,6 +3,7 @@
 #define SIMCARD_NN_PARAMETER_H_
 
 #include <string>
+#include <vector>
 
 #include "tensor/matrix.h"
 
@@ -39,6 +40,17 @@ class Parameter {
   Matrix value_;
   Matrix grad_;
 };
+
+/// Copies every parameter's value matrix (a training checkpoint — gradients
+/// and optimizer state are not captured; restoring implies a fresh
+/// optimizer). Used by the divergence watchdog to roll back a model whose
+/// loss went NaN or exploded.
+std::vector<Matrix> SnapshotParameters(const std::vector<Parameter*>& params);
+
+/// Restores values captured by SnapshotParameters. `snapshot` must come
+/// from the same parameter list (checked by shape).
+void RestoreParameters(const std::vector<Matrix>& snapshot,
+                       const std::vector<Parameter*>& params);
 
 }  // namespace nn
 }  // namespace simcard

@@ -66,5 +66,15 @@ void NotifyTrainEnd(const std::string& tag, size_t epochs_run,
   }
 }
 
+void NotifyDivergence(const std::string& tag, size_t epoch, double loss,
+                      size_t retry, float next_lr) {
+  if (MetricsEnabled()) {
+    GetCounter("simcard.watchdog.divergences")->Increment();
+  }
+  for (TrainingObserver* obs : SnapshotObservers()) {
+    obs->OnDivergence(tag, epoch, loss, retry, next_lr);
+  }
+}
+
 }  // namespace obs
 }  // namespace simcard

@@ -40,6 +40,20 @@ class TrainingObserver {
     (void)final_loss;
     (void)total_seconds;
   }
+
+  /// Called when the divergence watchdog fires: epoch `epoch` produced a
+  /// NaN/exploding loss `loss`, the model was rolled back to its last good
+  /// checkpoint, and training resumes at `next_lr` (retry number `retry`,
+  /// 1-based). Not called for the terminal give-up — the loop returns a
+  /// Status for that.
+  virtual void OnDivergence(const std::string& tag, size_t epoch, double loss,
+                            size_t retry, float next_lr) {
+    (void)tag;
+    (void)epoch;
+    (void)loss;
+    (void)retry;
+    (void)next_lr;
+  }
 };
 
 /// Registers/unregisters a process-wide observer (borrowed pointer; must
@@ -47,11 +61,14 @@ class TrainingObserver {
 void AddTrainingObserver(TrainingObserver* observer);
 void RemoveTrainingObserver(TrainingObserver* observer);
 
-/// Dispatch helpers called by the training loops. No-ops for empty tags.
+/// Dispatch helpers called by the training loops. No-ops for empty tags
+/// (except NotifyDivergence, whose watchdog counters always record).
 void NotifyTrainEpoch(const std::string& tag, size_t epoch, double loss,
                       double seconds);
 void NotifyTrainEnd(const std::string& tag, size_t epochs_run,
                     double final_loss, double total_seconds);
+void NotifyDivergence(const std::string& tag, size_t epoch, double loss,
+                      size_t retry, float next_lr);
 
 }  // namespace obs
 }  // namespace simcard

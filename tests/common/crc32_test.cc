@@ -1,0 +1,48 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace simcard {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The standard CRC-32 (IEEE 802.3) check value.
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check.data(), check.size()), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  const std::string a = "a";
+  EXPECT_EQ(Crc32(a.data(), a.size()), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{10}, data.size()}) {
+    const uint32_t first = Crc32(data.data(), split);
+    const uint32_t chained =
+        Crc32(data.data() + split, data.size() - split, first);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::vector<uint8_t> data(256);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  const uint32_t clean = Crc32(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); byte += 13) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<uint8_t>(1 << bit);
+      EXPECT_NE(Crc32(data.data(), data.size()), clean)
+          << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<uint8_t>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simcard

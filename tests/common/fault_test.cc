@@ -1,0 +1,112 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace simcard {
+namespace fault {
+namespace {
+
+// Every test leaves the harness disarmed so no other test is affected.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Disable(); }
+};
+
+TEST_F(FaultTest, DisarmedByDefault) {
+  Disable();
+  EXPECT_FALSE(Enabled());
+  EXPECT_FALSE(ShouldFail("io.load"));
+  EXPECT_EQ(InjectionCount(), 0u);
+}
+
+TEST_F(FaultTest, ArmedSiteFires) {
+  FaultConfig config;
+  config.sites = "io.load";
+  Configure(config);
+  EXPECT_TRUE(Enabled());
+  EXPECT_TRUE(ShouldFail("io.load"));
+  EXPECT_FALSE(ShouldFail("io.save"));  // not armed
+  EXPECT_EQ(InjectionCount(), 1u);
+}
+
+TEST_F(FaultTest, WildcardArmsEverySite) {
+  FaultConfig config;
+  config.sites = "*";
+  Configure(config);
+  EXPECT_TRUE(ShouldFail("io.load"));
+  EXPECT_TRUE(ShouldFail("gl.local_eval"));
+  EXPECT_EQ(InjectionCount(), 2u);
+}
+
+TEST_F(FaultTest, DecisionsAreDeterministic) {
+  FaultConfig config;
+  config.sites = "deserialize.alloc";
+  config.probability = 0.5;
+  config.seed = 1234;
+  auto run = [&] {
+    Configure(config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(ShouldFail("deserialize.alloc"));
+    }
+    return fired;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  // With prob 0.5 over 64 hits both outcomes must occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+
+  config.seed = 99;  // a different seed gives a different pattern
+  EXPECT_NE(run(), a);
+}
+
+TEST_F(FaultTest, MaxInjectionsBoundsFiring) {
+  FaultConfig config;
+  config.sites = "io.save";
+  config.max_injections = 2;
+  Configure(config);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (ShouldFail("io.save")) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(InjectionCount(), 2u);
+}
+
+TEST_F(FaultTest, SkipFirstDelaysFiring) {
+  FaultConfig config;
+  config.sites = "io.save";
+  config.skip_first = 3;
+  Configure(config);
+  EXPECT_FALSE(ShouldFail("io.save"));
+  EXPECT_FALSE(ShouldFail("io.save"));
+  EXPECT_FALSE(ShouldFail("io.save"));
+  EXPECT_TRUE(ShouldFail("io.save"));
+}
+
+TEST_F(FaultTest, SpecParsing) {
+  ASSERT_TRUE(
+      ConfigureFromSpec("points=io.load,io.save;prob=1.0;seed=7;max=1").ok());
+  EXPECT_TRUE(ShouldFail("io.load"));
+  EXPECT_FALSE(ShouldFail("io.save"));  // max=1 already consumed
+
+  EXPECT_FALSE(ConfigureFromSpec("prob=0.5").ok());  // no points
+  EXPECT_FALSE(ConfigureFromSpec("points=a;bogus=1").ok());
+  EXPECT_FALSE(ConfigureFromSpec("nonsense").ok());
+}
+
+TEST_F(FaultTest, InjectedErrorIsTagged) {
+  Status st = InjectedError("io.load");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("injected"), std::string::npos);
+  EXPECT_NE(st.ToString().find("io.load"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace simcard

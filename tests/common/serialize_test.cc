@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/fault.h"
+
 namespace simcard {
 namespace {
 
@@ -108,6 +110,88 @@ TEST(SerializeTest, MissingFileFails) {
   auto in_or = Deserializer::FromFile("/nonexistent/simcard.bin");
   EXPECT_FALSE(in_or.ok());
   EXPECT_EQ(in_or.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, HugeClaimedLengthsRejectedWithoutAllocating) {
+  // A corrupt 64-bit length must be validated against the bytes actually
+  // present before resize(); otherwise a flipped bit means a multi-GB
+  // allocation (or std::bad_alloc) instead of a Status.
+  Serializer out;
+  out.WriteU64(0xFFFFFFFFFFFFFFFFull);
+  out.WriteU32(0);  // a little trailing data so remaining() > 0
+
+  {
+    Deserializer in(out.bytes());
+    std::string s;
+    EXPECT_EQ(in.ReadString(&s).code(), StatusCode::kOutOfRange);
+  }
+  {
+    Deserializer in(out.bytes());
+    std::vector<float> v;
+    EXPECT_EQ(in.ReadFloatVector(&v).code(), StatusCode::kOutOfRange);
+  }
+  {
+    Deserializer in(out.bytes());
+    std::vector<uint64_t> v;
+    EXPECT_EQ(in.ReadU64Vector(&v).code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(SerializeTest, ElementCountOverflowRejected) {
+  // count * sizeof(elem) would wrap; the guard must compare in units that
+  // cannot overflow.
+  Serializer out;
+  out.WriteU64(0x2000000000000001ull);  // * 8 wraps to 8
+  out.WriteU64(0);
+  Deserializer in(out.bytes());
+  std::vector<uint64_t> v;
+  EXPECT_EQ(in.ReadU64Vector(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, SaveIsAtomic) {
+  // A failed write must leave the previous file contents intact and no
+  // .tmp file behind: SaveToFile writes <path>.tmp then renames.
+  const std::string path = testing::TempDir() + "/simcard_atomic_test.bin";
+  Serializer first;
+  first.WriteString("original");
+  ASSERT_TRUE(first.SaveToFile(path).ok());
+
+  fault::FaultConfig config;
+  config.sites = "io.save";
+  fault::Configure(config);
+  Serializer second;
+  second.WriteString("replacement");
+  Status st = second.SaveToFile(path);
+  fault::Disable();
+  EXPECT_FALSE(st.ok());
+
+  // Original survives; no temp file is left behind.
+  auto in_or = Deserializer::FromFile(path);
+  ASSERT_TRUE(in_or.ok());
+  std::string s;
+  Deserializer in = std::move(in_or).value();
+  ASSERT_TRUE(in.ReadString(&s).ok());
+  EXPECT_EQ(s, "original");
+  FILE* tmp = fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, InjectedLoadFaultSurfacesAsStatus) {
+  const std::string path = testing::TempDir() + "/simcard_load_fault.bin";
+  Serializer out;
+  out.WriteU32(42);
+  ASSERT_TRUE(out.SaveToFile(path).ok());
+
+  fault::FaultConfig config;
+  config.sites = "io.load";
+  fault::Configure(config);
+  auto in_or = Deserializer::FromFile(path);
+  fault::Disable();
+  EXPECT_FALSE(in_or.ok());
+  EXPECT_EQ(in_or.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
 }
 
 }  // namespace

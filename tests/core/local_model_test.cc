@@ -74,7 +74,8 @@ TEST(LocalModelTest, EmptySegmentStillEstimatesNearZero) {
   opts.epochs = 5;
   const double loss =
       local->Train(le.env.workload.train_queries, le.xc,
-                   le.env.workload.train, 0.0, opts);
+                   le.env.workload.train, 0.0, opts)
+          .value();
   EXPECT_EQ(loss, 0.0);  // nothing to train on
   const float* q = le.env.workload.test_queries.Row(0);
   std::vector<float> xc_row(le.config.aux_dim, 0.3f);

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "common/checked_file.h"
 #include "core/gl_estimator.h"
 #include "eval/harness.h"
 
@@ -72,10 +73,72 @@ TEST(SerializationRobustnessTest, EmptyFileFails) {
 
 TEST(SerializationRobustnessTest, WrongMagicFails) {
   auto bytes = TrainedModelBytes();
-  // The magic string starts after the u64 length prefix; flip one byte.
+  // Byte 9 sits in the version field of the v2 header; flipping it must be
+  // rejected (as must any flip in the magic itself, covered by the sweep).
   ASSERT_GT(bytes.size(), 12u);
   bytes[9] ^= 0xFF;
   EXPECT_FALSE(LoadFromBytes(bytes).ok());
+}
+
+TEST(SerializationRobustnessTest, TruncationAtEverySectionBoundaryFails) {
+  const auto& bytes = TrainedModelBytes();
+  auto reader_or = CheckedFileReader::FromBytes(bytes);
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status().ToString();
+  const auto& sections = reader_or.value().sections();
+  ASSERT_FALSE(sections.empty());
+  // Cut exactly at the start and end of every section, and one byte short
+  // of each boundary — each cut drops at least the last section's bytes.
+  std::vector<size_t> cuts{sections.front().offset,
+                           sections.front().offset - 1};
+  for (const auto& info : sections) {
+    cuts.push_back(info.offset);
+    cuts.push_back(info.offset + info.size - 1);
+  }
+  for (size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    Status st = LoadFromBytes(truncated);
+    EXPECT_FALSE(st.ok()) << "cut at " << cut << " of " << bytes.size();
+  }
+}
+
+TEST(SerializationRobustnessTest, BitFlipSweepFailsStrictLoad) {
+  const auto& bytes = TrainedModelBytes();
+  // One flipped bit anywhere in the file must fail a strict load: header
+  // flips break the magic/version/header CRC, payload flips break a section
+  // CRC. Sampled stride keeps the test fast while still crossing every
+  // section of the tiny model.
+  for (size_t off = 0; off < bytes.size(); off += 97) {
+    auto flipped = bytes;
+    flipped[off] ^= 0x10;
+    Status st = LoadFromBytes(flipped);
+    EXPECT_FALSE(st.ok()) << "bit flip at offset " << off;
+  }
+}
+
+TEST(SerializationRobustnessTest, DegradedLoadSurvivesLocalModelFlip) {
+  const auto& bytes = TrainedModelBytes();
+  auto reader_or = CheckedFileReader::FromBytes(bytes);
+  ASSERT_TRUE(reader_or.ok());
+  auto flipped = bytes;
+  bool found = false;
+  for (const auto& info : reader_or.value().sections()) {
+    if (info.name == "local.0") {
+      flipped[info.offset + info.size / 3] ^= 0x04;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  const std::string path = testing::TempDir() + "/robustness_degraded.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_EQ(fwrite(flipped.data(), 1, flipped.size(), f), flipped.size());
+  fclose(f);
+  GlEstimator est(GlEstimatorConfig::GlCnn());
+  EXPECT_FALSE(est.LoadFromFile(path).ok());  // strict refuses
+  EXPECT_TRUE(
+      est.LoadFromFile(path, GlEstimator::LoadMode::kDegraded).ok());
+  EXPECT_EQ(est.num_quarantined_locals(), 1u);
+  std::remove(path.c_str());
 }
 
 TEST(SerializationRobustnessTest, TrailingGarbageIsHarmless) {

@@ -1,0 +1,238 @@
+// Divergence watchdog: rollback semantics at the unit level, plus the full
+// training loops recovering from (or giving up on) injected NaN losses.
+#include "core/train_watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/fault.h"
+#include "core/card_model.h"
+#include "core/features.h"
+#include "core/global_model.h"
+#include "eval/harness.h"
+#include "obs/training_observer.h"
+#include "workload/labels.h"
+
+namespace simcard {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+nn::Parameter MakeParam(float fill) {
+  Matrix m(2, 2);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) m.at(r, c) = fill;
+  }
+  return nn::Parameter("w", std::move(m));
+}
+
+TEST(DivergenceWatchdogTest, GoodEpochsCheckpoint) {
+  nn::Parameter p = MakeParam(1.0f);
+  DivergenceWatchdog dog(WatchdogOptions{}, {&p}, "test");
+  float lr = 0.1f;
+  EXPECT_EQ(dog.Observe(0, 2.0, &lr), DivergenceWatchdog::Verdict::kOk);
+  p.value().at(0, 0) = 5.0f;  // epoch 1's update
+  EXPECT_EQ(dog.Observe(1, 1.0, &lr), DivergenceWatchdog::Verdict::kOk);
+  EXPECT_EQ(lr, 0.1f);
+  EXPECT_EQ(dog.retries(), 0u);
+}
+
+TEST(DivergenceWatchdogTest, NanLossRollsBackAndHalvesLr) {
+  nn::Parameter p = MakeParam(1.0f);
+  DivergenceWatchdog dog(WatchdogOptions{}, {&p}, "test");
+  float lr = 0.1f;
+  ASSERT_EQ(dog.Observe(0, 2.0, &lr), DivergenceWatchdog::Verdict::kOk);
+  p.value().at(0, 0) = 777.0f;  // the poisoned update
+  EXPECT_EQ(dog.Observe(1, kNaN, &lr),
+            DivergenceWatchdog::Verdict::kRolledBack);
+  EXPECT_EQ(p.value().at(0, 0), 1.0f);  // restored to the epoch-0 checkpoint
+  EXPECT_FLOAT_EQ(lr, 0.05f);
+  EXPECT_EQ(dog.retries(), 1u);
+}
+
+TEST(DivergenceWatchdogTest, RollbackBeforeFirstGoodEpochUsesInitialState) {
+  nn::Parameter p = MakeParam(3.0f);
+  DivergenceWatchdog dog(WatchdogOptions{}, {&p}, "test");
+  float lr = 0.2f;
+  p.value().at(1, 1) = -9.0f;
+  EXPECT_EQ(dog.Observe(0, kNaN, &lr),
+            DivergenceWatchdog::Verdict::kRolledBack);
+  EXPECT_EQ(p.value().at(1, 1), 3.0f);  // construction-time snapshot
+}
+
+TEST(DivergenceWatchdogTest, ExplodingFiniteLossCountsAsDivergence) {
+  nn::Parameter p = MakeParam(1.0f);
+  WatchdogOptions options;
+  options.explode_factor = 10.0;
+  DivergenceWatchdog dog(options, {&p}, "test");
+  float lr = 0.1f;
+  ASSERT_EQ(dog.Observe(0, 1.0, &lr), DivergenceWatchdog::Verdict::kOk);
+  // 50 > 10 * (1 + 1): divergent despite being finite.
+  EXPECT_EQ(dog.Observe(1, 50.0, &lr),
+            DivergenceWatchdog::Verdict::kRolledBack);
+  // 15 <= 10 * (1 + 1): merely bad, not divergent.
+  EXPECT_EQ(dog.Observe(2, 15.0, &lr), DivergenceWatchdog::Verdict::kOk);
+}
+
+TEST(DivergenceWatchdogTest, RetriesExhaustGracefully) {
+  nn::Parameter p = MakeParam(1.0f);
+  WatchdogOptions options;
+  options.max_retries = 2;
+  DivergenceWatchdog dog(options, {&p}, "seg7");
+  float lr = 0.1f;
+  EXPECT_EQ(dog.Observe(0, kNaN, &lr),
+            DivergenceWatchdog::Verdict::kRolledBack);
+  EXPECT_EQ(dog.Observe(1, kNaN, &lr),
+            DivergenceWatchdog::Verdict::kRolledBack);
+  EXPECT_EQ(dog.Observe(2, kNaN, &lr),
+            DivergenceWatchdog::Verdict::kExhausted);
+  Status st = dog.ExhaustedStatus();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("seg7"), std::string::npos);
+  EXPECT_NE(st.ToString().find("diverg"), std::string::npos);
+}
+
+TEST(DivergenceWatchdogTest, DisabledWatchdogNeverIntervenes) {
+  nn::Parameter p = MakeParam(1.0f);
+  WatchdogOptions options;
+  options.enabled = false;
+  DivergenceWatchdog dog(options, {&p}, "test");
+  float lr = 0.1f;
+  EXPECT_EQ(dog.Observe(0, kNaN, &lr), DivergenceWatchdog::Verdict::kOk);
+  EXPECT_EQ(lr, 0.1f);
+}
+
+// ---- Training loops under injected NaN losses -----------------------------
+
+// Synthetic learnable workload (same shape as the card_model tests):
+// card(q, tau) = round(1000 * tau * sigmoid(q[0])).
+struct TrainFixture {
+  Matrix queries;
+  std::vector<SampleRef> samples;
+  std::unique_ptr<CardModel> model;
+
+  TrainFixture() {
+    Rng data_rng(9);
+    queries = Matrix::Gaussian(40, 4, 1.0f, &data_rng);
+    for (uint32_t i = 0; i < queries.rows(); ++i) {
+      for (int t = 1; t <= 6; ++t) {
+        const float tau = 0.1f * static_cast<float>(t);
+        const float s = 1.0f / (1.0f + std::exp(-queries.at(i, 0)));
+        samples.push_back({i, tau, std::round(1000.0f * tau * s)});
+      }
+    }
+    CardModelConfig config;
+    config.query_dim = 4;
+    config.use_cnn_query_tower = false;
+    config.mlp_hidden = 16;
+    config.query_embed = 8;
+    config.aux_dim = 0;
+    config.head_hidden = 16;
+    Rng rng(11);
+    model = std::move(CardModel::Build(config, &rng).value());
+  }
+};
+
+class WatchdogObserverProbe : public obs::TrainingObserver {
+ public:
+  void OnEpochEnd(const std::string&, size_t, double, double) override {}
+  void OnDivergence(const std::string& tag, size_t, double loss, size_t retry,
+                    float) override {
+    ++divergences;
+    last_tag = tag;
+    last_retry = retry;
+    saw_nonfinite = saw_nonfinite || !std::isfinite(loss);
+  }
+  int divergences = 0;
+  size_t last_retry = 0;
+  std::string last_tag;
+  bool saw_nonfinite = false;
+};
+
+TEST(TrainWatchdogIntegrationTest, RecoverfromSingleNanEpoch) {
+  TrainFixture fx;
+  WatchdogObserverProbe probe;
+  obs::AddTrainingObserver(&probe);
+  fault::FaultConfig config;
+  config.sites = "train.nan_loss";
+  config.max_injections = 1;
+  fault::Configure(config);
+
+  CardTrainOptions opts;
+  opts.epochs = 8;
+  opts.observer_tag = "watchdog-recover";
+  auto loss_or = TrainCardModel(fx.model.get(), fx.queries, nullptr,
+                                fx.samples, opts);
+  fault::Disable();
+  obs::RemoveTrainingObserver(&probe);
+
+  ASSERT_TRUE(loss_or.ok()) << loss_or.status().ToString();
+  EXPECT_TRUE(std::isfinite(loss_or.value()));
+  EXPECT_EQ(probe.divergences, 1);
+  EXPECT_EQ(probe.last_tag, "watchdog-recover");
+  EXPECT_TRUE(probe.saw_nonfinite);
+  // The recovered model must estimate finite values.
+  EXPECT_TRUE(std::isfinite(
+      fx.model->EstimateCard(fx.queries.Row(0), 0.1f, nullptr)));
+}
+
+TEST(TrainWatchdogIntegrationTest, PersistentNanExhaustsRetries) {
+  TrainFixture fx;
+  fault::FaultConfig config;
+  config.sites = "train.nan_loss";  // every epoch goes NaN
+  fault::Configure(config);
+
+  CardTrainOptions opts;
+  opts.epochs = 20;
+  opts.watchdog.max_retries = 2;
+  auto loss_or = TrainCardModel(fx.model.get(), fx.queries, nullptr,
+                                fx.samples, opts);
+  fault::Disable();
+
+  ASSERT_FALSE(loss_or.ok());
+  EXPECT_NE(loss_or.status().ToString().find("diverg"), std::string::npos);
+  // Rolled back, not poisoned: weights still produce finite estimates.
+  EXPECT_TRUE(std::isfinite(
+      fx.model->EstimateCard(fx.queries.Row(0), 0.1f, nullptr)));
+}
+
+TEST(TrainWatchdogIntegrationTest, GlobalModelRecoversToo) {
+  ExperimentEnv env = std::move(
+      BuildEnvironment("glove-sim", Scale::kTiny, EnvOptions{}).value());
+  const Matrix xc = BuildCentroidDistanceFeatures(
+      env.workload.train_queries, env.segmentation, env.dataset.metric());
+  GlobalModelConfig config;
+  config.query_dim = env.dataset.dim();
+  config.num_segments = env.segmentation.num_segments();
+  config.use_cnn_query_tower = false;
+  config.mlp_hidden = 16;
+  config.query_embed = 8;
+  config.aux_hidden = 8;
+  config.head_hidden = 16;
+  Rng rng(5);
+  auto model = std::move(GlobalModel::Build(config, &rng).value());
+  GlobalLabels labels = BuildGlobalLabels(env.workload.train,
+                                          config.num_segments);
+
+  fault::FaultConfig fconfig;
+  fconfig.sites = "train.nan_loss";
+  fconfig.max_injections = 1;
+  fault::Configure(fconfig);
+  GlobalTrainOptions opts;
+  opts.epochs = 6;
+  auto loss_or = TrainGlobalModel(model.get(), env.workload.train_queries, xc,
+                                  labels, opts);
+  fault::Disable();
+
+  ASSERT_TRUE(loss_or.ok()) << loss_or.status().ToString();
+  EXPECT_TRUE(std::isfinite(loss_or.value()));
+  const float* q = env.workload.train_queries.Row(0);
+  for (float p : model->Probabilities(q, 0.1f, xc.Row(0))) {
+    EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+}  // namespace
+}  // namespace simcard
