@@ -23,3 +23,4 @@ simcard_bench(bench_fig12_join_setsize)
 simcard_bench(bench_fig13_join_latency)
 simcard_bench(bench_ablation_segmentation)
 simcard_bench(bench_ablation_tuning)
+simcard_bench(bench_serve_throughput)

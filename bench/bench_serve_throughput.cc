@@ -1,0 +1,184 @@
+// Serving-layer throughput: concurrent clients submitting through the
+// EstimationService vs. the same model called synchronously from one
+// thread. The interesting outputs are items_per_second (QPS) as the client
+// count grows and the simcard.serve.latency.* histograms in the --json
+// report (queue wait vs. eval time under load).
+//
+// Extra flags on top of the bench_common set:
+//   --serve-threads=N     worker threads in the service (default 4)
+//   --clients=a,b,c      client-thread sweep (default 1,2,4,8)
+//   --deadline-ms=D      per-request deadline (default 1000)
+//   --queue-capacity=N   admission-control bound (default 1024)
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/estimation_service.h"
+#include "serve/model_registry.h"
+
+namespace simcard {
+namespace bench {
+namespace {
+
+// Registry + service kept alive for the whole benchmark run; the service's
+// worker count is fixed while the client count sweeps.
+struct ServeFixture {
+  std::shared_ptr<ExperimentEnv> env;
+  std::shared_ptr<const GlEstimator> model;
+  serve::ModelRegistry registry;
+  std::unique_ptr<serve::EstimationService> service;
+  double deadline_ms = 1000.0;
+};
+
+// Cycles through test queries/thresholds so each iteration is a fresh query.
+struct QueryCycle {
+  const SearchWorkload* workload;
+  size_t index = 0;
+
+  std::pair<const float*, float> Next() {
+    const auto& lq = workload->test[index % workload->test.size()];
+    const auto& t =
+        lq.thresholds[(index / workload->test.size()) % lq.thresholds.size()];
+    ++index;
+    return {workload->test_queries.Row(lq.row), t.tau};
+  }
+};
+
+void RegisterServeBenchmarks(const std::string& dataset,
+                             const std::vector<int>& client_counts,
+                             std::shared_ptr<ServeFixture> fix) {
+  // Baseline: the raw const inference path, no queue, one thread.
+  ::benchmark::RegisterBenchmark(
+      (dataset + "/direct_1thread").c_str(),
+      [fix](::benchmark::State& state) {
+        QueryCycle cycle{&fix->env->workload};
+        for (auto _ : state) {
+          auto [q, tau] = cycle.Next();
+          ::benchmark::DoNotOptimize(
+              fix->model->EstimateSearch(q, tau, nullptr));
+        }
+        state.SetItemsProcessed(state.iterations());
+      })
+      ->Unit(::benchmark::kMicrosecond);
+
+  // Served round trip: every client thread submits one request and blocks
+  // on its future; items_per_second is the aggregate QPS across clients.
+  for (int clients : client_counts) {
+    ::benchmark::RegisterBenchmark(
+        (dataset + "/served_rtt").c_str(),
+        [fix](::benchmark::State& state) {
+          const Matrix& queries = fix->env->workload.test_queries;
+          QueryCycle cycle{&fix->env->workload};
+          // Offset each client so threads do not submit identical queries.
+          cycle.index = static_cast<size_t>(state.thread_index()) * 13;
+          size_t shed = 0;
+          for (auto _ : state) {
+            auto [q, tau] = cycle.Next();
+            std::vector<float> query(q, q + queries.cols());
+            serve::EstimateResponse response =
+                fix->service
+                    ->Submit(std::move(query), tau, fix->deadline_ms)
+                    .get();
+            if (!response.status.ok()) ++shed;
+            ::benchmark::DoNotOptimize(response.estimate);
+          }
+          state.SetItemsProcessed(state.iterations());
+          state.counters["shed_or_missed"] = static_cast<double>(shed);
+        })
+        ->Threads(clients)
+        ->Unit(::benchmark::kMicrosecond)
+        ->UseRealTime();
+  }
+
+  // Burst mode: one thread submits a whole batch, then drains. Measures the
+  // pipeline's capacity when callers do not wait per request.
+  ::benchmark::RegisterBenchmark(
+      (dataset + "/served_burst64").c_str(),
+      [fix](::benchmark::State& state) {
+        const Matrix& queries = fix->env->workload.test_queries;
+        QueryCycle cycle{&fix->env->workload};
+        constexpr size_t kBurst = 64;
+        std::vector<std::future<serve::EstimateResponse>> inflight;
+        inflight.reserve(kBurst);
+        for (auto _ : state) {
+          inflight.clear();
+          for (size_t i = 0; i < kBurst; ++i) {
+            auto [q, tau] = cycle.Next();
+            std::vector<float> query(q, q + queries.cols());
+            inflight.push_back(
+                fix->service->Submit(std::move(query), tau,
+                                     fix->deadline_ms));
+          }
+          for (auto& f : inflight) {
+            serve::EstimateResponse response = f.get();
+            ::benchmark::DoNotOptimize(response.estimate);
+          }
+        }
+        state.SetItemsProcessed(state.iterations() *
+                                static_cast<int64_t>(kBurst));
+      })
+      ->Unit(::benchmark::kMicrosecond)
+      ->UseRealTime();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcard
+
+int main(int argc, char** argv) {
+  using namespace simcard;
+  using namespace simcard::bench;
+  BenchArgs args =
+      ParseArgs(argc, argv, {"glove-sim"},
+                {"serve-threads", "clients", "deadline-ms", "queue-capacity"});
+  PrintBanner("Serve: concurrent estimation throughput", args);
+
+  serve::ServeOptions options;
+  options.num_threads =
+      static_cast<size_t>(args.cl.GetInt("serve-threads", 4));
+  options.queue_capacity =
+      static_cast<size_t>(args.cl.GetInt("queue-capacity", 1024));
+  const double deadline_ms = args.cl.GetDouble("deadline-ms", 1000.0);
+  options.default_deadline_ms = deadline_ms;
+
+  std::vector<int> client_counts;
+  for (const auto& c : args.cl.GetStringList("clients", {"1", "2", "4", "8"})) {
+    client_counts.push_back(std::max(1, std::atoi(c.c_str())));
+  }
+
+  std::vector<std::shared_ptr<ServeFixture>> fixtures;
+  for (const auto& dataset : args.datasets) {
+    auto fix = std::make_shared<ServeFixture>();
+    fix->env = std::make_shared<ExperimentEnv>(MustBuildEnv(dataset, args));
+    fix->deadline_ms = deadline_ms;
+
+    auto est = std::make_shared<GlEstimator>(GlEstimatorConfig::GlCnn());
+    TrainContext ctx = MakeTrainContext(*fix->env);
+    Stopwatch watch;
+    Status st = est->Train(ctx);
+    if (!st.ok()) {
+      std::fprintf(stderr, "training GL-CNN on %s: %s\n", dataset.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    SIMCARD_LOG(INFO) << dataset << " / GL-CNN: trained in "
+                      << watch.ElapsedSeconds() << "s";
+    fix->model = std::shared_ptr<const GlEstimator>(std::move(est));
+    fix->registry.Publish(fix->model);
+    fix->service =
+        std::make_unique<serve::EstimationService>(&fix->registry, options);
+
+    RegisterServeBenchmarks(dataset, client_counts, fix);
+    fixtures.push_back(std::move(fix));
+  }
+
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,23 +1,45 @@
 #!/usr/bin/env bash
-# Builds the tree with AddressSanitizer + UBSan and runs the tier-1 suite.
+# Builds the tree with sanitizers enabled and runs the tier-1 suite.
 #
-# Usage: scripts/check_sanitize.sh [build_dir] [extra ctest args...]
-#   build_dir defaults to build-sanitize (kept separate from the normal
-#   build so the instrumented objects never mix with release ones).
+# Usage: scripts/check_sanitize.sh [mode] [build_dir] [extra ctest args...]
+#   mode: asan (default) = AddressSanitizer + UBSan
+#         tsan           = ThreadSanitizer (for the serve/ concurrency tests)
+#   build_dir defaults to build-sanitize-<mode> (kept separate from the
+#   normal build so instrumented objects never mix with release ones).
+#
+# For backward compatibility a first argument that is not a known mode is
+# treated as the build directory for asan mode.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${1:-"${REPO_ROOT}/build-sanitize"}"
+
+MODE="asan"
+case "${1:-}" in
+  asan|tsan)
+    MODE="$1"
+    shift
+    ;;
+esac
+BUILD_DIR="${1:-"${REPO_ROOT}/build-sanitize-${MODE}"}"
 shift || true
+
+case "${MODE}" in
+  asan)
+    SANITIZERS="address;undefined"
+    # halt_on_error makes UBSan findings fail the test instead of logging.
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+    ;;
+  tsan)
+    SANITIZERS="thread"
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+    ;;
+esac
 
 cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  "-DSIMCARD_SANITIZE=address;undefined"
+  "-DSIMCARD_SANITIZE=${SANITIZERS}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-# halt_on_error makes UBSan findings fail the test instead of just logging.
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
-
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
-echo "sanitizer suite passed"
+echo "sanitizer suite passed (${MODE})"

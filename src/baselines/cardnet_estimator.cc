@@ -158,9 +158,9 @@ double CardNetEstimator::EstimateSearch(const float* query, float tau) {
 size_t CardNetEstimator::ModelSizeBytes() const {
   size_t scalars = bucket_upper_.size();
   scalars += nn::CountScalars(
-      const_cast<nn::Sequential*>(encoder_.get())->Parameters());
-  scalars +=
-      nn::CountScalars(const_cast<nn::Linear*>(decoder_.get())->Parameters());
+      static_cast<const nn::Layer*>(encoder_.get())->Parameters());
+  scalars += nn::CountScalars(
+      static_cast<const nn::Layer*>(decoder_.get())->Parameters());
   return scalars * sizeof(float);
 }
 

@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal = 5,
   kIoError = 6,
   kUnimplemented = 7,
+  kUnavailable = 8,        ///< transient overload; retry later (load shedding)
+  kDeadlineExceeded = 9,   ///< the request's deadline passed before completion
 };
 
 /// Returns a short human-readable name for a status code, e.g. "InvalidArgument".
@@ -60,6 +62,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

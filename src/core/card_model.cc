@@ -173,6 +173,19 @@ Matrix CardModel::Forward(const Matrix& xq, const Matrix& xtau,
   return head_->Forward(ConcatCols(parts));
 }
 
+Matrix CardModel::Apply(const Matrix& xq, const Matrix& xtau,
+                        const Matrix& xaux) const {
+  assert(xq.rows() == xtau.rows());
+  std::vector<Matrix> parts;
+  parts.push_back(query_tower_->Apply(xq));
+  parts.push_back(tau_tower_->Apply(NormalizeTau(xtau)));
+  if (aux_tower_ != nullptr) {
+    assert(xaux.rows() == xq.rows());
+    parts.push_back(aux_tower_->Apply(NormalizeAux(xaux)));
+  }
+  return head_->Apply(ConcatCols(parts));
+}
+
 void CardModel::Backward(const Matrix& grad) {
   assert(!last_forward_pooled_);
   Matrix gh = head_->Backward(grad);
@@ -239,7 +252,7 @@ void CardModel::BackwardPooled(const Matrix& grad) {
 }
 
 double CardModel::EstimateCard(const float* query, float tau,
-                               const float* aux) {
+                               const float* aux) const {
   Matrix xq(1, config_.query_dim);
   xq.SetRow(0, query);
   Matrix xtau(1, 1);
@@ -251,7 +264,7 @@ double CardModel::EstimateCard(const float* query, float tau,
     xaux.SetRow(0, aux);
   }
   const float u = std::min(
-      kLogCardHi, std::max(kLogCardLo, Forward(xq, xtau, xaux).at(0, 0)));
+      kLogCardHi, std::max(kLogCardLo, Apply(xq, xtau, xaux).at(0, 0)));
   return std::exp(static_cast<double>(u));
 }
 
@@ -268,7 +281,23 @@ std::vector<nn::Parameter*> CardModel::Parameters() {
   return out;
 }
 
-size_t CardModel::NumScalars() { return nn::CountScalars(Parameters()); }
+std::vector<const nn::Parameter*> CardModel::Parameters() const {
+  std::vector<const nn::Parameter*> out =
+      static_cast<const nn::Layer*>(query_tower_.get())->Parameters();
+  auto append = [&out](const nn::Layer* layer) {
+    if (layer == nullptr) return;
+    auto ps = layer->Parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  };
+  append(tau_tower_.get());
+  append(aux_tower_.get());
+  append(head_.get());
+  return out;
+}
+
+size_t CardModel::NumScalars() const {
+  return nn::CountScalars(Parameters());
+}
 
 void CardModel::SetOutputBias(float value) { head_->SetOutputBias(value); }
 

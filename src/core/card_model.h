@@ -61,6 +61,10 @@ class CardModel {
   /// Per-sample mode: returns [B,1] log-cardinality predictions.
   Matrix Forward(const Matrix& xq, const Matrix& xtau, const Matrix& xaux);
 
+  /// Stateless inference twin of Forward: same math through nn::Layer::Apply,
+  /// no cached activations, safe for concurrent callers sharing one model.
+  Matrix Apply(const Matrix& xq, const Matrix& xtau, const Matrix& xaux) const;
+
   /// Backprop for the last Forward; `grad` is [B,1].
   void Backward(const Matrix& grad);
 
@@ -85,10 +89,12 @@ class CardModel {
   void BackwardPooled(const Matrix& grad);
 
   /// Convenience single-query estimate (returns raw cardinality, not log).
-  double EstimateCard(const float* query, float tau, const float* aux);
+  /// Runs on the stateless Apply path, so it is const and thread-safe.
+  double EstimateCard(const float* query, float tau, const float* aux) const;
 
   std::vector<nn::Parameter*> Parameters();
-  size_t NumScalars();
+  std::vector<const nn::Parameter*> Parameters() const;
+  size_t NumScalars() const;
 
   /// Warm-starts the head's output bias (e.g. at mean log-card).
   void SetOutputBias(float value);

@@ -255,7 +255,7 @@ size_t GlEstimator::num_quarantined_locals() const {
 }
 
 std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
-    const float* query, float tau) {
+    const float* query, float tau, SegmentEvalPolicy* policy) const {
   const bool enabled = obs::MetricsEnabled();
   GlQueryMetrics& m = QueryMetrics();
   Stopwatch total;
@@ -318,12 +318,18 @@ std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
       // Quarantined by a degraded load: the sampling fallback answers.
       est = FallbackEstimate(s, query, tau);
       if (enabled) m.fb_local_missing->Increment();
+    } else if (policy != nullptr && policy->ForceFallback(s)) {
+      // The caller's policy (e.g. an open circuit breaker) short-circuits
+      // this segment to the fallback without touching the local model.
+      est = FallbackEstimate(s, query, tau);
     } else {
       est = locals_[s]->Estimate(query, tau, xc.data());
       if (fault::ShouldFail("gl.local_eval")) {
         est = std::numeric_limits<double>::quiet_NaN();
       }
-      if (!std::isfinite(est) || est < 0.0) {
+      const bool ok = std::isfinite(est) && est >= 0.0;
+      if (policy != nullptr) policy->OnLocalResult(s, ok);
+      if (!ok) {
         est = FallbackEstimate(s, query, tau);
         if (enabled) m.fb_local_nonfinite->Increment();
       }
@@ -342,8 +348,14 @@ std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
 }
 
 double GlEstimator::EstimateSearch(const float* query, float tau) {
+  return static_cast<const GlEstimator*>(this)->EstimateSearch(query, tau,
+                                                               nullptr);
+}
+
+double GlEstimator::EstimateSearch(const float* query, float tau,
+                                   SegmentEvalPolicy* policy) const {
   double total = 0.0;
-  for (const auto& [seg, est] : EstimatePerSegment(query, tau)) {
+  for (const auto& [seg, est] : EstimatePerSegment(query, tau, policy)) {
     total += est;
   }
   // A cardinality is a count over the dataset: clamp to [0, |D|] so no
@@ -365,7 +377,7 @@ size_t GlEstimator::ModelSizeBytes() const {
   size_t scalars = 0;
   for (const auto& local : locals_) {
     if (local == nullptr) continue;  // quarantined by a degraded load
-    scalars += const_cast<LocalModel*>(local.get())->NumScalars();
+    scalars += local->NumScalars();
   }
   if (global_ != nullptr) scalars += global_->NumScalars();
   // Centroids are part of the deployed model (x_C needs them), as are the
@@ -375,7 +387,7 @@ size_t GlEstimator::ModelSizeBytes() const {
   return scalars * sizeof(float);
 }
 
-double GlEstimator::MissingRate(const SearchWorkload& workload) {
+double GlEstimator::MissingRate(const SearchWorkload& workload) const {
   if (global_ == nullptr) return 0.0;
   double missing = 0.0;
   size_t counted = 0;
@@ -398,7 +410,8 @@ double GlEstimator::MissingRate(const SearchWorkload& workload) {
   return counted > 0 ? missing / static_cast<double>(counted) : 0.0;
 }
 
-double GlEstimator::MeanSelectedSegments(const SearchWorkload& workload) {
+double GlEstimator::MeanSelectedSegments(
+    const SearchWorkload& workload) const {
   if (global_ == nullptr) return static_cast<double>(locals_.size());
   double total = 0.0;
   size_t counted = 0;
@@ -468,11 +481,11 @@ Status GlEstimator::ApplyDeletions(const Dataset& dataset,
   return Status::OK();
 }
 
-Status GlEstimator::SaveToFile(const std::string& path) const {
+Status GlEstimator::WriteCheckedSections(CheckedFileWriter* writer_ptr) const {
   if (locals_.empty()) {
     return Status::FailedPrecondition("SaveToFile: estimator not trained");
   }
-  CheckedFileWriter writer;
+  CheckedFileWriter& writer = *writer_ptr;
   Serializer* meta = writer.AddSection("meta");
   meta->WriteU32(static_cast<uint32_t>(metric_));
   meta->WriteU64(dim_);
@@ -495,7 +508,27 @@ Status GlEstimator::SaveToFile(const std::string& path) const {
   if (global_ != nullptr) {
     global_->SaveWithConfig(writer.AddSection("global"));
   }
+  return Status::OK();
+}
+
+Status GlEstimator::SaveToFile(const std::string& path) const {
+  CheckedFileWriter writer;
+  SIMCARD_RETURN_IF_ERROR(WriteCheckedSections(&writer));
   return writer.Save(path);
+}
+
+std::vector<uint8_t> GlEstimator::SaveToBytes() const {
+  CheckedFileWriter writer;
+  if (!WriteCheckedSections(&writer).ok()) return {};
+  return writer.Assemble();
+}
+
+Status GlEstimator::LoadFromBytes(std::vector<uint8_t> bytes, LoadMode mode) {
+  if (!CheckedFileReader::LooksChecked(bytes)) {
+    return Status::InvalidArgument(
+        "LoadFromBytes: not a checked simcard container");
+  }
+  return LoadChecked(std::move(bytes), mode);
 }
 
 Status GlEstimator::LoadLegacyV1(Deserializer* in, const std::string& path) {

@@ -25,6 +25,8 @@
 
 namespace simcard {
 
+class CheckedFileWriter;
+
 /// \brief Configuration selecting a member of the GL family.
 struct GlEstimatorConfig {
   std::string name = "GL+";
@@ -74,7 +76,38 @@ struct GlEstimatorConfig {
   static GlEstimatorConfig GlPlus();
 };
 
+/// \brief Per-segment evaluation hook for serving layers.
+///
+/// EstimatePerSegment consults the policy before evaluating a segment's
+/// local model and reports each outcome afterwards, which lets a caller
+/// (e.g. the serve layer's circuit breaker) route persistently-failing
+/// segments to the sampling fallback without the estimator itself holding
+/// mutable per-request state — the estimator stays const and shareable.
+/// Implementations own their thread-safety; the estimator only calls the
+/// hooks from the thread running the estimate.
+class SegmentEvalPolicy {
+ public:
+  virtual ~SegmentEvalPolicy() = default;
+
+  /// Return true to skip segment `s`'s local model and answer from the
+  /// retained sampling fallback instead.
+  virtual bool ForceFallback(size_t s) = 0;
+
+  /// Called after each local-model evaluation; `ok` is false when the model
+  /// produced a non-finite or negative estimate (which the estimator then
+  /// replaces with the fallback answer).
+  virtual void OnLocalResult(size_t s, bool ok) = 0;
+};
+
 /// \brief Global-local cardinality estimator.
+///
+/// Inference (EstimateSearch / EstimatePerSegment / FallbackEstimate) is
+/// const and runs on the stateless nn Apply path, so any number of threads
+/// may share one trained instance; see src/serve/ for the serving layer
+/// built on that guarantee. Train / ApplyUpdates / ApplyDeletions /
+/// LoadFromFile mutate the estimator and must be externally serialized
+/// against concurrent readers (the serve layer clones via SaveToBytes /
+/// LoadFromBytes and swaps whole snapshots instead).
 class GlEstimator : public Estimator {
  public:
   explicit GlEstimator(GlEstimatorConfig config)
@@ -85,19 +118,24 @@ class GlEstimator : public Estimator {
   double EstimateSearch(const float* query, float tau) override;
   size_t ModelSizeBytes() const override;
 
+  /// Const inference entry point: identical to the Estimator override, with
+  /// an optional per-segment evaluation policy (see SegmentEvalPolicy).
+  double EstimateSearch(const float* query, float tau,
+                        SegmentEvalPolicy* policy) const;
+
   /// Per-segment estimates for the selected segments only; used by tests
   /// and the join estimator. Output pairs are (segment, estimate).
-  std::vector<std::pair<size_t, double>> EstimatePerSegment(const float* query,
-                                                            float tau);
+  std::vector<std::pair<size_t, double>> EstimatePerSegment(
+      const float* query, float tau, SegmentEvalPolicy* policy = nullptr) const;
 
   /// Fraction of the true cardinality that falls in segments the global
   /// model did NOT select, averaged over all test samples with nonzero
   /// cardinality (the Figure 9 "missing rate"). Requires per-segment labels
   /// in the workload.
-  double MissingRate(const SearchWorkload& workload);
+  double MissingRate(const SearchWorkload& workload) const;
 
   /// Average number of local models evaluated per test sample.
-  double MeanSelectedSegments(const SearchWorkload& workload);
+  double MeanSelectedSegments(const SearchWorkload& workload) const;
 
   /// \brief Incremental update (Section 5.3).
   ///
@@ -145,10 +183,24 @@ class GlEstimator : public Estimator {
   Status LoadFromFile(const std::string& path,
                       LoadMode mode = LoadMode::kStrict);
 
+  /// The checked v2 container as bytes — SaveToFile without the filesystem.
+  /// With LoadFromBytes this clones a trained estimator in memory, which is
+  /// how the serve layer builds a mutable snapshot off to the side while
+  /// readers keep using the published one.
+  std::vector<uint8_t> SaveToBytes() const;
+
+  /// Restores an estimator from SaveToBytes output (checked v2 only).
+  Status LoadFromBytes(std::vector<uint8_t> bytes,
+                       LoadMode mode = LoadMode::kStrict);
+
   const Segmentation& segmentation() const { return segmentation_; }
   GlobalModel* global_model() { return global_.get(); }
+  const GlobalModel* global_model() const { return global_.get(); }
   size_t num_local_models() const { return locals_.size(); }
   LocalModel* local_model(size_t i) { return locals_[i].get(); }
+  const LocalModel* local_model(size_t i) const { return locals_[i].get(); }
+  size_t dim() const { return dim_; }
+  Metric metric() const { return metric_; }
   const GlEstimatorConfig& config() const { return config_; }
   const QesConfig& tuned_qes() const { return tuned_qes_; }
 
@@ -159,6 +211,8 @@ class GlEstimator : public Estimator {
   CardModelConfig LocalConfig() const;
   Status LoadLegacyV1(Deserializer* in, const std::string& path);
   Status LoadChecked(std::vector<uint8_t> bytes, LoadMode mode);
+  /// Writes every section of the checked v2 container into `writer`.
+  Status WriteCheckedSections(CheckedFileWriter* writer) const;
   /// Sampling-fallback estimate for segment `s` (0 when no samples).
   double FallbackEstimate(size_t s, const float* query, float tau) const;
 

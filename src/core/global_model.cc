@@ -164,6 +164,16 @@ Matrix GlobalModel::ForwardLogits(const Matrix& xq, const Matrix& xtau,
   return head_->Forward(ConcatCols(parts));
 }
 
+Matrix GlobalModel::ApplyLogits(const Matrix& xq, const Matrix& xtau,
+                                const Matrix& xc) const {
+  assert(xq.rows() == xtau.rows() && xq.rows() == xc.rows());
+  std::vector<Matrix> parts;
+  parts.push_back(query_tower_->Apply(xq));
+  parts.push_back(tau_tower_->Apply(NormalizeTau(xtau)));
+  parts.push_back(aux_tower_->Apply(NormalizeXc(xc)));
+  return head_->Apply(ConcatCols(parts));
+}
+
 void GlobalModel::Backward(const Matrix& grad) {
   Matrix gh = head_->Backward(grad);
   size_t offset = 0;
@@ -175,14 +185,14 @@ void GlobalModel::Backward(const Matrix& grad) {
 }
 
 std::vector<float> GlobalModel::Probabilities(const float* query, float tau,
-                                              const float* xc) {
+                                              const float* xc) const {
   Matrix xq(1, config_.query_dim);
   xq.SetRow(0, query);
   Matrix xt(1, 1);
   xt.at(0, 0) = tau;
   Matrix xcm(1, config_.num_segments);
   xcm.SetRow(0, xc);
-  Matrix logits = ForwardLogits(xq, xt, xcm);
+  Matrix logits = ApplyLogits(xq, xt, xcm);
   std::vector<float> probs(config_.num_segments);
   for (size_t s = 0; s < probs.size(); ++s) {
     probs[s] = nn::SigmoidScalar(logits.at(0, s));
@@ -214,7 +224,22 @@ std::vector<nn::Parameter*> GlobalModel::Parameters() {
   return out;
 }
 
-size_t GlobalModel::NumScalars() { return nn::CountScalars(Parameters()); }
+std::vector<const nn::Parameter*> GlobalModel::Parameters() const {
+  std::vector<const nn::Parameter*> out =
+      static_cast<const nn::Layer*>(query_tower_.get())->Parameters();
+  for (const nn::Layer* layer :
+       {static_cast<const nn::Layer*>(tau_tower_.get()),
+        static_cast<const nn::Layer*>(aux_tower_.get()),
+        static_cast<const nn::Layer*>(head_.get())}) {
+    auto ps = layer->Parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+size_t GlobalModel::NumScalars() const {
+  return nn::CountScalars(Parameters());
+}
 
 void GlobalModel::Serialize(Serializer* out) const {
   out->WriteF32(tau_shift_);

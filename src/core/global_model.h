@@ -58,9 +58,15 @@ class GlobalModel {
   /// Backprop for the last ForwardLogits; `grad` is [B, num_segments].
   void Backward(const Matrix& grad);
 
-  /// Per-segment selection probabilities for one query.
+  /// Stateless inference twin of ForwardLogits (nn::Layer::Apply path): no
+  /// cached activations, safe for concurrent callers sharing one model.
+  Matrix ApplyLogits(const Matrix& xq, const Matrix& xtau,
+                     const Matrix& xc) const;
+
+  /// Per-segment selection probabilities for one query. Runs on the
+  /// stateless Apply path, so it is const and thread-safe.
   std::vector<float> Probabilities(const float* query, float tau,
-                                   const float* xc);
+                                   const float* xc) const;
 
   /// Indices of segments whose probability exceeds sigma. Never empty: when
   /// nothing clears sigma the single most probable segment is returned, so
@@ -68,7 +74,8 @@ class GlobalModel {
   std::vector<size_t> SelectSegments(const std::vector<float>& probs) const;
 
   std::vector<nn::Parameter*> Parameters();
-  size_t NumScalars();
+  std::vector<const nn::Parameter*> Parameters() const;
+  size_t NumScalars() const;
 
   /// Input standardization (see CardModel::SetInputNormalization): tau gets
   /// a positive-scale affine transform (monotonicity preserved), x_C is

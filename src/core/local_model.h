@@ -46,7 +46,7 @@ class LocalModel {
   /// members — this bound also caps out-of-distribution blow-ups). A model
   /// that never saw a training sample answers 0: no training query matched
   /// its segment, and an untrained network would emit noise.
-  double Estimate(const float* query, float tau, const float* xc_row) {
+  double Estimate(const float* query, float tau, const float* xc_row) const {
     if (!trained_) return 0.0;
     const double est = model_->EstimateCard(query, tau, xc_row);
     return max_card_ > 0.0 ? std::min(est, max_card_) : est;
@@ -57,7 +57,8 @@ class LocalModel {
 
   size_t segment_index() const { return segment_index_; }
   CardModel* model() { return model_.get(); }
-  size_t NumScalars() { return model_->NumScalars(); }
+  const CardModel* model() const { return model_.get(); }
+  size_t NumScalars() const { return model_->NumScalars(); }
 
   /// Self-describing persistence (segment metadata + model config + weights).
   void Save(Serializer* out) const;

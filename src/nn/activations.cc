@@ -22,6 +22,10 @@ float SoftplusScalar(float x) {
 
 Matrix Relu::Forward(const Matrix& input) {
   cached_input_ = input;
+  return Apply(input);
+}
+
+Matrix Relu::Apply(const Matrix& input) const {
   Matrix out = input;
   float* d = out.data();
   for (size_t i = 0; i < out.size(); ++i) {
@@ -41,10 +45,15 @@ Matrix Relu::Backward(const Matrix& grad_output) {
 }
 
 Matrix Sigmoid::Forward(const Matrix& input) {
+  Matrix out = Apply(input);
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Sigmoid::Apply(const Matrix& input) const {
   Matrix out = input;
   float* d = out.data();
   for (size_t i = 0; i < out.size(); ++i) d[i] = SigmoidScalar(d[i]);
-  cached_output_ = out;
   return out;
 }
 
@@ -57,10 +66,15 @@ Matrix Sigmoid::Backward(const Matrix& grad_output) {
 }
 
 Matrix Tanh::Forward(const Matrix& input) {
+  Matrix out = Apply(input);
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Tanh::Apply(const Matrix& input) const {
   Matrix out = input;
   float* d = out.data();
   for (size_t i = 0; i < out.size(); ++i) d[i] = std::tanh(d[i]);
-  cached_output_ = out;
   return out;
 }
 
@@ -74,6 +88,10 @@ Matrix Tanh::Backward(const Matrix& grad_output) {
 
 Matrix Softplus::Forward(const Matrix& input) {
   cached_input_ = input;
+  return Apply(input);
+}
+
+Matrix Softplus::Apply(const Matrix& input) const {
   Matrix out = input;
   float* d = out.data();
   for (size_t i = 0; i < out.size(); ++i) d[i] = SoftplusScalar(d[i]);

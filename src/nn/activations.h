@@ -12,6 +12,7 @@ namespace nn {
 class Relu : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
+  Matrix Apply(const Matrix& input) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Relu"; }
   size_t OutputCols(size_t input_cols) const override { return input_cols; }
@@ -24,6 +25,7 @@ class Relu : public Layer {
 class Sigmoid : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
+  Matrix Apply(const Matrix& input) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Sigmoid"; }
   size_t OutputCols(size_t input_cols) const override { return input_cols; }
@@ -36,6 +38,7 @@ class Sigmoid : public Layer {
 class Tanh : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
+  Matrix Apply(const Matrix& input) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Tanh"; }
   size_t OutputCols(size_t input_cols) const override { return input_cols; }
@@ -48,6 +51,7 @@ class Tanh : public Layer {
 class Softplus : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
+  Matrix Apply(const Matrix& input) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Softplus"; }
   size_t OutputCols(size_t input_cols) const override { return input_cols; }

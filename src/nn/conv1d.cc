@@ -39,8 +39,12 @@ Conv1D::Conv1D(size_t in_channels, size_t in_length, size_t out_channels,
 }
 
 Matrix Conv1D::Forward(const Matrix& input) {
-  assert(input.cols() == in_channels_ * in_length_);
   cached_input_ = input;
+  return Apply(input);
+}
+
+Matrix Conv1D::Apply(const Matrix& input) const {
+  assert(input.cols() == in_channels_ * in_length_);
   const size_t batch = input.rows();
   Matrix out(batch, out_channels_ * out_length_);
   const Matrix& w = weight_.value();
@@ -113,6 +117,10 @@ Matrix Conv1D::Backward(const Matrix& grad_output) {
 }
 
 std::vector<Parameter*> Conv1D::Parameters() { return {&weight_, &bias_}; }
+
+std::vector<const Parameter*> Conv1D::Parameters() const {
+  return {&weight_, &bias_};
+}
 
 size_t Conv1D::OutputCols(size_t input_cols) const {
   assert(input_cols == in_channels_ * in_length_);

@@ -25,8 +25,10 @@ class Conv1D : public Layer {
          size_t kernel, size_t stride, size_t pad, Rng* rng);
 
   Matrix Forward(const Matrix& input) override;
+  Matrix Apply(const Matrix& input) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override;
+  std::vector<const Parameter*> Parameters() const override;
   std::string Name() const override { return "Conv1D"; }
   size_t OutputCols(size_t input_cols) const override;
 

@@ -20,6 +20,8 @@ class Dropout : public Layer {
   Dropout(float rate, uint64_t seed);
 
   Matrix Forward(const Matrix& input) override;
+  /// Inference semantics: inverted dropout is the identity at eval time.
+  Matrix Apply(const Matrix& input) const override { return input; }
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Dropout"; }
   size_t OutputCols(size_t input_cols) const override { return input_cols; }

@@ -24,6 +24,13 @@ namespace nn {
 /// Forward's output; it accumulates parameter gradients (+=) and returns the
 /// gradient with respect to the input. Layers cache whatever Forward state
 /// Backward needs, so a layer instance is not reentrant across batches.
+///
+/// Inference without that restriction goes through Apply: a const,
+/// cache-free forward pass (dropout and friends behave as in inference
+/// mode) that touches no per-layer scratch, so any number of threads may
+/// Apply one shared layer concurrently. Forward is implemented as
+/// "cache the state Backward needs, then Apply" in every layer, keeping the
+/// two paths numerically identical by construction.
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -31,12 +38,20 @@ class Layer {
   /// Computes the layer output for a batch (rows = batch).
   virtual Matrix Forward(const Matrix& input) = 0;
 
+  /// Stateless forward pass: identical output to Forward (inference mode)
+  /// but writes no cached state. Safe to call concurrently from many
+  /// threads on one shared layer; does not arm Backward.
+  virtual Matrix Apply(const Matrix& input) const = 0;
+
   /// Propagates `grad_output` through the cached forward pass; accumulates
   /// parameter gradients and returns the gradient w.r.t. the input.
   virtual Matrix Backward(const Matrix& grad_output) = 0;
 
-  /// Trainable parameters, if any.
+  /// Trainable parameters, if any. The non-const overload hands mutable
+  /// pointers to optimizers; the const overload serves read-only uses
+  /// (serialization, size accounting).
   virtual std::vector<Parameter*> Parameters() { return {}; }
+  virtual std::vector<const Parameter*> Parameters() const { return {}; }
 
   /// Layer type tag for debugging/serialization sanity checks.
   virtual std::string Name() const = 0;
@@ -53,11 +68,10 @@ class Layer {
 
 /// Total scalar-parameter count over a set of layers.
 size_t CountScalars(const std::vector<Parameter*>& params);
+size_t CountScalars(const std::vector<const Parameter*>& params);
 
 inline void Layer::Serialize(Serializer* out) const {
-  // const_cast is safe: Parameters() is non-const only to hand mutable
-  // pointers to optimizers; serialization just reads values.
-  auto params = const_cast<Layer*>(this)->Parameters();
+  auto params = Parameters();
   out->WriteU64(params.size());
   for (const Parameter* p : params) p->Serialize(out);
 }
@@ -76,6 +90,12 @@ inline Status Layer::Deserialize(Deserializer* in) {
 }
 
 inline size_t CountScalars(const std::vector<Parameter*>& params) {
+  size_t n = 0;
+  for (const Parameter* p : params) n += p->NumScalars();
+  return n;
+}
+
+inline size_t CountScalars(const std::vector<const Parameter*>& params) {
   size_t n = 0;
   for (const Parameter* p : params) n += p->NumScalars();
   return n;

@@ -15,8 +15,12 @@ Linear::Linear(size_t in_dim, size_t out_dim, Rng* rng)
       bias_("linear.bias", Matrix(1, out_dim)) {}
 
 Matrix Linear::Forward(const Matrix& input) {
-  assert(input.cols() == in_dim_);
   cached_input_ = input;
+  return Apply(input);
+}
+
+Matrix Linear::Apply(const Matrix& input) const {
+  assert(input.cols() == in_dim_);
   return AddRowBroadcast(MatMul(input, weight_.value()), bias_.value());
 }
 
@@ -30,6 +34,10 @@ Matrix Linear::Backward(const Matrix& grad_output) {
 }
 
 std::vector<Parameter*> Linear::Parameters() { return {&weight_, &bias_}; }
+
+std::vector<const Parameter*> Linear::Parameters() const {
+  return {&weight_, &bias_};
+}
 
 size_t Linear::OutputCols(size_t input_cols) const {
   assert(input_cols == in_dim_);

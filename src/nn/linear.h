@@ -13,8 +13,10 @@ class Linear : public Layer {
   Linear(size_t in_dim, size_t out_dim, Rng* rng);
 
   Matrix Forward(const Matrix& input) override;
+  Matrix Apply(const Matrix& input) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override;
+  std::vector<const Parameter*> Parameters() const override;
   std::string Name() const override { return "Linear"; }
   size_t OutputCols(size_t input_cols) const override;
 

@@ -80,6 +80,15 @@ Matrix MonotoneHead::Forward(const Matrix& input) {
   return Add(mono2_.Forward(h_mono), free2_.Forward(h_free));
 }
 
+Matrix MonotoneHead::Apply(const Matrix& input) const {
+  assert(input.cols() == in_dim_);
+  Matrix h_mono = mono1_.Apply(input);
+  ReluInPlace(&h_mono);
+  Matrix h_free = free1_.Apply(DropSlice(input, tau_begin_, tau_end_));
+  ReluInPlace(&h_free);
+  return Add(mono2_.Apply(h_mono), free2_.Apply(h_free));
+}
+
 Matrix MonotoneHead::Backward(const Matrix& grad_output) {
   assert(grad_output.cols() == out_dim_);
   // Mono branch.
@@ -99,6 +108,18 @@ std::vector<Parameter*> MonotoneHead::Parameters() {
   for (Layer* layer :
        {static_cast<Layer*>(&mono1_), static_cast<Layer*>(&mono2_),
         static_cast<Layer*>(&free1_), static_cast<Layer*>(&free2_)}) {
+    auto ps = layer->Parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+std::vector<const Parameter*> MonotoneHead::Parameters() const {
+  std::vector<const Parameter*> out;
+  for (const Layer* layer :
+       {static_cast<const Layer*>(&mono1_), static_cast<const Layer*>(&mono2_),
+        static_cast<const Layer*>(&free1_),
+        static_cast<const Layer*>(&free2_)}) {
     auto ps = layer->Parameters();
     out.insert(out.end(), ps.begin(), ps.end());
   }

@@ -36,8 +36,10 @@ class MonotoneHead : public Layer {
                Rng* rng);
 
   Matrix Forward(const Matrix& input) override;
+  Matrix Apply(const Matrix& input) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override;
+  std::vector<const Parameter*> Parameters() const override;
   std::string Name() const override { return "MonotoneHead"; }
   size_t OutputCols(size_t input_cols) const override;
 

@@ -38,12 +38,21 @@ Pool1D::Pool1D(size_t channels, size_t in_length, size_t kernel, size_t stride,
 }
 
 Matrix Pool1D::Forward(const Matrix& input) {
+  cached_batch_ = input.rows();
+  return Compute(input, op_ == PoolOp::kMax ? &argmax_ : nullptr);
+}
+
+Matrix Pool1D::Apply(const Matrix& input) const {
+  return Compute(input, nullptr);
+}
+
+Matrix Pool1D::Compute(const Matrix& input,
+                       std::vector<uint32_t>* argmax) const {
   assert(input.cols() == channels_ * in_length_);
   const size_t batch = input.rows();
-  cached_batch_ = batch;
   Matrix out(batch, channels_ * out_length_);
-  if (op_ == PoolOp::kMax) {
-    argmax_.assign(batch * channels_ * out_length_, 0);
+  if (argmax != nullptr) {
+    argmax->assign(batch * channels_ * out_length_, 0);
   }
   for (size_t b = 0; b < batch; ++b) {
     const float* x = input.Row(b);
@@ -64,8 +73,10 @@ Matrix Pool1D::Forward(const Matrix& input) {
               }
             }
             ychan[ot] = best;
-            argmax_[(b * channels_ + c) * out_length_ + ot] =
-                static_cast<uint32_t>(c * in_length_ + best_t);
+            if (argmax != nullptr) {
+              (*argmax)[(b * channels_ + c) * out_length_ + ot] =
+                  static_cast<uint32_t>(c * in_length_ + best_t);
+            }
             break;
           }
           case PoolOp::kAvg: {

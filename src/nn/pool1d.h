@@ -27,6 +27,7 @@ class Pool1D : public Layer {
          PoolOp op);
 
   Matrix Forward(const Matrix& input) override;
+  Matrix Apply(const Matrix& input) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Pool1D"; }
   size_t OutputCols(size_t input_cols) const override;
@@ -44,6 +45,9 @@ class Pool1D : public Layer {
   size_t stride_;
   PoolOp op_;
   size_t out_length_;
+  // Shared pooling kernel; records per-output argmax indices when `argmax`
+  // is non-null (the training path), and touches no layer state otherwise.
+  Matrix Compute(const Matrix& input, std::vector<uint32_t>* argmax) const;
   // For max pooling: flat index (within the row) of each output's argmax.
   std::vector<uint32_t> argmax_;
   size_t cached_batch_ = 0;

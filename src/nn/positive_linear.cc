@@ -63,6 +63,11 @@ Matrix PartialPositiveLinear::Forward(const Matrix& input) {
   return AddRowBroadcast(MatMul(input, cached_effective_), bias_.value());
 }
 
+Matrix PartialPositiveLinear::Apply(const Matrix& input) const {
+  assert(input.cols() == in_dim_);
+  return AddRowBroadcast(MatMul(input, EffectiveWeight()), bias_.value());
+}
+
 Matrix PartialPositiveLinear::Backward(const Matrix& grad_output) {
   assert(grad_output.cols() == out_dim_);
   Matrix grad_eff = MatMulTransposeA(cached_input_, grad_output);
@@ -79,6 +84,10 @@ Matrix PartialPositiveLinear::Backward(const Matrix& grad_output) {
 }
 
 std::vector<Parameter*> PartialPositiveLinear::Parameters() {
+  return {&raw_weight_, &bias_};
+}
+
+std::vector<const Parameter*> PartialPositiveLinear::Parameters() const {
   return {&raw_weight_, &bias_};
 }
 

@@ -30,8 +30,10 @@ class PartialPositiveLinear : public Layer {
                         size_t pos_row_end, Rng* rng);
 
   Matrix Forward(const Matrix& input) override;
+  Matrix Apply(const Matrix& input) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override;
+  std::vector<const Parameter*> Parameters() const override;
   std::string Name() const override { return "PartialPositiveLinear"; }
   size_t OutputCols(size_t input_cols) const override;
 

@@ -16,6 +16,14 @@ Matrix Sequential::Forward(const Matrix& input) {
   return x;
 }
 
+Matrix Sequential::Apply(const Matrix& input) const {
+  Matrix x = input;
+  for (const auto& layer : layers_) {
+    x = layer->Apply(x);
+  }
+  return x;
+}
+
 Matrix Sequential::Backward(const Matrix& grad_output) {
   Matrix g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
@@ -28,6 +36,15 @@ std::vector<Parameter*> Sequential::Parameters() {
   std::vector<Parameter*> out;
   for (auto& layer : layers_) {
     auto ps = layer->Parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+std::vector<const Parameter*> Sequential::Parameters() const {
+  std::vector<const Parameter*> out;
+  for (const auto& layer : layers_) {
+    auto ps = static_cast<const Layer*>(layer.get())->Parameters();
     out.insert(out.end(), ps.begin(), ps.end());
   }
   return out;

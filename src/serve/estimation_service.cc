@@ -1,0 +1,239 @@
+#include "serve/estimation_service.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+namespace simcard {
+namespace serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+// Metric objects resolved once (registry pointers are stable); every
+// recording site is gated on obs::MetricsEnabled() by the caller.
+struct ServeMetrics {
+  obs::Counter* requests = obs::GetCounter("simcard.serve.requests");
+  obs::Counter* accepted = obs::GetCounter("simcard.serve.accepted");
+  obs::Counter* shed = obs::GetCounter("simcard.serve.shed");
+  obs::Counter* deadline_exceeded =
+      obs::GetCounter("simcard.serve.deadline_exceeded");
+  obs::Counter* completed = obs::GetCounter("simcard.serve.completed");
+  obs::Counter* no_model = obs::GetCounter("simcard.serve.no_model");
+  obs::Gauge* queue_depth = obs::GetGauge("simcard.serve.queue_depth");
+  obs::Histogram* queue_us =
+      obs::GetHistogram("simcard.serve.latency.queue_us");
+  obs::Histogram* eval_us = obs::GetHistogram("simcard.serve.latency.eval_us");
+  obs::Histogram* total_us =
+      obs::GetHistogram("simcard.serve.latency.total_us");
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+SegmentCircuitBreaker::SegmentCircuitBreaker(size_t failure_threshold,
+                                             size_t cooldown_requests,
+                                             size_t max_segments)
+    : failure_threshold_(failure_threshold > 0 ? failure_threshold : 1),
+      cooldown_requests_(cooldown_requests > 0 ? cooldown_requests : 1),
+      states_(max_segments) {}
+
+void SegmentCircuitBreaker::TripOpen(SegState* st) {
+  st->failures.store(0, std::memory_order_relaxed);
+  st->cooldown.store(static_cast<uint32_t>(cooldown_requests_),
+                     std::memory_order_relaxed);
+  st->state.store(kOpen, std::memory_order_release);
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("simcard.serve.breaker_open")->Increment();
+  }
+}
+
+bool SegmentCircuitBreaker::ForceFallback(size_t s) {
+  if (s >= states_.size()) return false;
+  SegState& st = states_[s];
+  const uint32_t cur = st.state.load(std::memory_order_acquire);
+  if (cur == kClosed) return false;
+  if (cur == kOpen) {
+    // Burn one cooldown slot; the request that takes the last slot becomes
+    // the half-open probe and evaluates the local model.
+    uint32_t c = st.cooldown.load(std::memory_order_relaxed);
+    while (c > 0 &&
+           !st.cooldown.compare_exchange_weak(c, c - 1,
+                                              std::memory_order_acq_rel)) {
+    }
+    if (c == 1) {
+      st.state.store(kHalfOpen, std::memory_order_release);
+      return false;  // this request probes
+    }
+  }
+  // kOpen with cooldown remaining, or kHalfOpen with a probe in flight.
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("simcard.serve.breaker_short_circuited")->Increment();
+  }
+  return true;
+}
+
+void SegmentCircuitBreaker::OnLocalResult(size_t s, bool ok) {
+  if (s >= states_.size()) return;
+  SegState& st = states_[s];
+  if (ok) {
+    st.failures.store(0, std::memory_order_relaxed);
+    st.state.store(kClosed, std::memory_order_release);
+    return;
+  }
+  if (st.state.load(std::memory_order_acquire) == kHalfOpen) {
+    TripOpen(&st);  // probe failed: back to open for another cooldown
+    return;
+  }
+  const uint32_t failures =
+      st.failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (failures >= failure_threshold_) TripOpen(&st);
+}
+
+bool SegmentCircuitBreaker::IsOpen(size_t s) const {
+  if (s >= states_.size()) return false;
+  return states_[s].state.load(std::memory_order_acquire) != kClosed;
+}
+
+void SegmentCircuitBreaker::Reset() {
+  for (auto& st : states_) {
+    st.state.store(kClosed, std::memory_order_release);
+    st.failures.store(0, std::memory_order_relaxed);
+    st.cooldown.store(0, std::memory_order_relaxed);
+  }
+}
+
+EstimationService::EstimationService(ModelRegistry* registry,
+                                     const ServeOptions& options)
+    : registry_(registry),
+      options_(options),
+      breaker_(options.breaker_failure_threshold,
+               options.breaker_cooldown_requests,
+               options.breaker_max_segments),
+      pool_(options.num_threads) {}
+
+EstimationService::~EstimationService() { Drain(); }
+
+void EstimationService::Drain() { pool_.Wait(); }
+
+std::future<EstimateResponse> EstimationService::Submit(const float* query,
+                                                        size_t dim,
+                                                        float tau) {
+  return Submit(std::vector<float>(query, query + dim), tau,
+                options_.default_deadline_ms);
+}
+
+std::future<EstimateResponse> EstimationService::Submit(
+    std::vector<float> query, float tau, double deadline_ms) {
+  const bool enabled = obs::MetricsEnabled();
+  ServeMetrics& m = Metrics();
+  if (enabled) m.requests->Increment();
+
+  // std::function requires a copyable callable, so the move-only promise
+  // rides in a shared_ptr.
+  auto promise = std::make_shared<std::promise<EstimateResponse>>();
+  std::future<EstimateResponse> future = promise->get_future();
+
+  // Admission control: the pending count covers queued + running requests.
+  // Over capacity (or a forced serve.queue_full fault) sheds immediately —
+  // a typed refusal now beats a deadline miss later.
+  const size_t prev = pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (prev >= options_.queue_capacity ||
+      fault::ShouldFail("serve.queue_full")) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    if (enabled) m.shed->Increment();
+    EstimateResponse response;
+    response.status =
+        Status::Unavailable("serve: queue full, request shed (capacity " +
+                            std::to_string(options_.queue_capacity) + ")");
+    promise->set_value(std::move(response));
+    return future;
+  }
+  if (enabled) {
+    m.accepted->Increment();
+    m.queue_depth->Set(static_cast<double>(prev + 1));
+  }
+
+  if (deadline_ms <= 0.0) deadline_ms = options_.default_deadline_ms;
+  const Clock::time_point submitted = Clock::now();
+  const Clock::time_point deadline =
+      submitted + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(deadline_ms));
+
+  pool_.Submit([this, promise, q = std::move(query), tau, submitted,
+                deadline]() mutable {
+    const bool metrics_on = obs::MetricsEnabled();
+    ServeMetrics& sm = Metrics();
+    EstimateResponse response;
+    response.queue_us = MicrosSince(submitted);
+
+    auto finish = [&]() {
+      response.total_us = MicrosSince(submitted);
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      if (metrics_on) {
+        sm.queue_depth->Set(
+            static_cast<double>(pending_.load(std::memory_order_relaxed)));
+        sm.queue_us->Record(response.queue_us);
+        sm.total_us->Record(response.total_us);
+      }
+      promise->set_value(std::move(response));
+    };
+
+    // Deadline check at dequeue: a request that waited out its budget in
+    // the queue must not consume eval capacity too.
+    if (Clock::now() > deadline) {
+      if (metrics_on) sm.deadline_exceeded->Increment();
+      response.status =
+          Status::DeadlineExceeded("serve: deadline passed in queue");
+      finish();
+      return;
+    }
+
+    const ModelSnapshot snapshot = registry_->Current();
+    if (snapshot.estimator == nullptr) {
+      if (metrics_on) sm.no_model->Increment();
+      response.status = Status::Unavailable("serve: no model published");
+      finish();
+      return;
+    }
+    response.model_epoch = snapshot.epoch;
+
+    const Clock::time_point eval_start = Clock::now();
+    response.estimate =
+        snapshot.estimator->EstimateSearch(q.data(), tau, &breaker_);
+    if (fault::ShouldFail("serve.slow_eval")) {
+      // Deterministically stall past this request's deadline so the
+      // post-eval check below fires.
+      std::this_thread::sleep_until(deadline + std::chrono::milliseconds(2));
+    }
+    response.eval_us = MicrosSince(eval_start);
+    if (metrics_on) sm.eval_us->Record(response.eval_us);
+
+    if (Clock::now() > deadline) {
+      if (metrics_on) sm.deadline_exceeded->Increment();
+      response.status =
+          Status::DeadlineExceeded("serve: evaluation exceeded deadline");
+      finish();
+      return;
+    }
+    if (metrics_on) sm.completed->Increment();
+    finish();
+  });
+  return future;
+}
+
+}  // namespace serve
+}  // namespace simcard

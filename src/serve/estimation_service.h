@@ -1,0 +1,151 @@
+// Concurrent estimation service: deadlines, load shedding, circuit breaker.
+//
+// Wraps the const inference path of a published GlEstimator (see
+// serve/model_registry.h) behind a fixed worker pool. Each request carries a
+// deadline; the service sheds load with a typed kUnavailable status when its
+// bounded queue is full, answers kDeadlineExceeded when a request's deadline
+// passes before (or during) evaluation, and routes segments whose local
+// model keeps failing to the sampling fallback through a per-segment circuit
+// breaker (the SegmentEvalPolicy hook in core/gl_estimator.h).
+//
+// Observability (all gated on obs::MetricsEnabled()):
+//   counters   simcard.serve.requests, .accepted, .shed, .deadline_exceeded,
+//              .completed, .no_model, .breaker_open, .breaker_short_circuited
+//   gauge      simcard.serve.queue_depth (plus .model_epoch / .publishes
+//              from the registry)
+//   histograms simcard.serve.latency.queue_us, .eval_us, .total_us
+//
+// Fault sites (common/fault.h):
+//   serve.queue_full  forces admission control to shed the request
+//   serve.slow_eval   stalls evaluation past the request's deadline
+#ifndef SIMCARD_SERVE_ESTIMATION_SERVICE_H_
+#define SIMCARD_SERVE_ESTIMATION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/gl_estimator.h"
+#include "serve/model_registry.h"
+
+namespace simcard {
+namespace serve {
+
+/// \brief Serving knobs.
+struct ServeOptions {
+  size_t num_threads = 2;          ///< worker threads (0 = hardware)
+  size_t queue_capacity = 64;      ///< max queued + running requests
+  double default_deadline_ms = 50.0;
+
+  /// Circuit breaker: consecutive local-model failures before a segment is
+  /// routed to its sampling fallback, and how many short-circuited requests
+  /// the segment sits out before a half-open probe re-tries the model.
+  size_t breaker_failure_threshold = 3;
+  size_t breaker_cooldown_requests = 32;
+  /// Segments tracked by the breaker; segments at or beyond this index are
+  /// never short-circuited (they still fall back on non-finite estimates).
+  size_t breaker_max_segments = 256;
+};
+
+/// \brief Outcome of one request.
+struct EstimateResponse {
+  Status status;
+  double estimate = 0.0;
+  uint64_t model_epoch = 0;  ///< epoch of the snapshot that answered
+  double queue_us = 0.0;     ///< submit -> worker pickup
+  double eval_us = 0.0;      ///< model evaluation only
+  double total_us = 0.0;     ///< submit -> response
+};
+
+/// \brief Per-segment circuit breaker implementing SegmentEvalPolicy.
+///
+/// closed --(threshold consecutive failures)--> open
+/// open   --(cooldown_requests short-circuits)--> half-open (one probe)
+/// probe ok -> closed; probe fails -> open again.
+///
+/// All state is atomic; concurrent requests may race on transitions, which
+/// is benign for a heuristic — at worst a segment probes once more or sits
+/// out a few extra requests.
+class SegmentCircuitBreaker : public SegmentEvalPolicy {
+ public:
+  SegmentCircuitBreaker(size_t failure_threshold, size_t cooldown_requests,
+                        size_t max_segments);
+
+  bool ForceFallback(size_t s) override;
+  void OnLocalResult(size_t s, bool ok) override;
+
+  /// True while segment `s` short-circuits to the fallback.
+  bool IsOpen(size_t s) const;
+
+  /// Total times any segment's breaker tripped open.
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+  /// Closes every breaker and clears failure counts (e.g. after publishing
+  /// a retrained model).
+  void Reset();
+
+ private:
+  enum : uint32_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+  struct SegState {
+    std::atomic<uint32_t> state{kClosed};
+    std::atomic<uint32_t> failures{0};
+    std::atomic<uint32_t> cooldown{0};
+  };
+
+  void TripOpen(SegState* st);
+
+  size_t failure_threshold_;
+  size_t cooldown_requests_;
+  std::vector<SegState> states_;
+  std::atomic<uint64_t> trips_{0};
+};
+
+/// \brief Thread-pooled estimation front end over a ModelRegistry.
+///
+/// Thread-safe: Submit may be called from any thread, including while a
+/// writer thread publishes replacement models through the registry. The
+/// destructor drains in-flight requests.
+class EstimationService {
+ public:
+  /// `registry` must outlive the service.
+  EstimationService(ModelRegistry* registry, const ServeOptions& options);
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  /// Enqueues an estimate of (query, tau) with the default deadline. The
+  /// query is copied, so the caller's buffer may be reused immediately.
+  std::future<EstimateResponse> Submit(const float* query, size_t dim,
+                                       float tau);
+
+  /// Enqueues with an explicit deadline (milliseconds from now; <= 0 uses
+  /// the default). Shed requests resolve immediately with kUnavailable.
+  std::future<EstimateResponse> Submit(std::vector<float> query, float tau,
+                                       double deadline_ms);
+
+  /// Blocks until every accepted request has completed.
+  void Drain();
+
+  /// Queued + running requests (admission-control view).
+  size_t pending() const { return pending_.load(std::memory_order_relaxed); }
+
+  SegmentCircuitBreaker* breaker() { return &breaker_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  ModelRegistry* registry_;
+  ServeOptions options_;
+  SegmentCircuitBreaker breaker_;
+  std::atomic<size_t> pending_{0};
+  ThreadPool pool_;
+};
+
+}  // namespace serve
+}  // namespace simcard
+
+#endif  // SIMCARD_SERVE_ESTIMATION_SERVICE_H_

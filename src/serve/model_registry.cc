@@ -1,0 +1,34 @@
+#include "serve/model_registry.h"
+
+#include "obs/metrics.h"
+
+namespace simcard {
+namespace serve {
+
+ModelSnapshot ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t ModelRegistry::Publish(std::shared_ptr<const GlEstimator> estimator) {
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = ++current_.epoch;
+    current_.estimator = std::move(estimator);
+  }
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("simcard.serve.publishes")->Increment();
+    obs::GetGauge("simcard.serve.model_epoch")
+        ->Set(static_cast<double>(epoch));
+  }
+  return epoch;
+}
+
+uint64_t ModelRegistry::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_.epoch;
+}
+
+}  // namespace serve
+}  // namespace simcard

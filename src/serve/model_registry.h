@@ -1,0 +1,65 @@
+// Epoch-published model registry for the concurrent serving layer.
+//
+// The registry holds one immutable published estimator at a time. Readers
+// take a cheap snapshot (a shared_ptr copy under a short mutex) and keep
+// using it for the whole request even if a writer publishes a replacement
+// mid-flight; the old model is destroyed when the last in-flight request
+// drops its reference. Writers build a new estimator entirely off to the
+// side (train, fine-tune, or clone via GlEstimator::SaveToBytes /
+// LoadFromBytes) and make it visible with a single Publish call — the
+// RCU-style "swap whole snapshots, never mutate in place" discipline that
+// keeps inference lock-free of model state.
+#ifndef SIMCARD_SERVE_MODEL_REGISTRY_H_
+#define SIMCARD_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/gl_estimator.h"
+
+namespace simcard {
+namespace serve {
+
+/// \brief What a reader sees: the shared immutable estimator plus the epoch
+/// it was published at (0 = nothing published yet, estimator == nullptr).
+struct ModelSnapshot {
+  std::shared_ptr<const GlEstimator> estimator;
+  uint64_t epoch = 0;
+};
+
+/// \brief Single-slot epoch-versioned model store.
+///
+/// Thread-safe: any number of concurrent Current() readers and Publish()
+/// writers. The mutex only guards the pointer/epoch pair, so the critical
+/// section is a few instructions — model evaluation happens entirely
+/// outside it.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// The currently published model, or {nullptr, 0} before first Publish.
+  ModelSnapshot Current() const;
+
+  /// Atomically replaces the published model and bumps the epoch. Passing
+  /// nullptr unpublishes (requests then shed with kUnavailable). Returns
+  /// the new epoch. Exposed metrics: bumps simcard.serve.publishes and sets
+  /// the simcard.serve.model_epoch gauge.
+  uint64_t Publish(std::shared_ptr<const GlEstimator> estimator);
+
+  /// Epoch of the last Publish (0 before the first).
+  uint64_t epoch() const;
+
+  bool has_model() const { return Current().estimator != nullptr; }
+
+ private:
+  mutable std::mutex mu_;
+  ModelSnapshot current_;
+};
+
+}  // namespace serve
+}  // namespace simcard
+
+#endif  // SIMCARD_SERVE_MODEL_REGISTRY_H_

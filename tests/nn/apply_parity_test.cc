@@ -1,0 +1,133 @@
+// Apply (stateless inference) must agree with Forward for every layer:
+// Forward is implemented as "cache, then Apply", so parity is exact by
+// construction — these tests pin that invariant against regressions, since
+// the concurrent serving layer depends on Apply being both correct and
+// side-effect free.
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/monotone_head.h"
+#include "nn/pool1d.h"
+#include "nn/positive_linear.h"
+#include "nn/sequential.h"
+
+namespace simcard {
+namespace nn {
+namespace {
+
+Matrix RandomInput(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  float* d = m.data();
+  for (size_t i = 0; i < m.size(); ++i) {
+    d[i] = 2.0f * rng.NextFloat() - 1.0f;
+  }
+  return m;
+}
+
+void ExpectSame(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+// Apply must equal Forward bit-for-bit (same arithmetic, no stochastic
+// path), and const Parameters() must alias the same parameter objects.
+void CheckLayer(Layer* layer, const Matrix& input) {
+  const Matrix applied = static_cast<const Layer*>(layer)->Apply(input);
+  const Matrix forwarded = layer->Forward(input);
+  ExpectSame(forwarded, applied);
+  // Apply after Forward must not perturb cached training state in a way
+  // that changes another Forward.
+  const Matrix applied2 = static_cast<const Layer*>(layer)->Apply(input);
+  ExpectSame(forwarded, applied2);
+
+  auto mutable_params = layer->Parameters();
+  auto const_params = static_cast<const Layer*>(layer)->Parameters();
+  ASSERT_EQ(mutable_params.size(), const_params.size());
+  for (size_t i = 0; i < mutable_params.size(); ++i) {
+    EXPECT_EQ(static_cast<const Parameter*>(mutable_params[i]),
+              const_params[i]);
+  }
+  EXPECT_EQ(CountScalars(mutable_params), CountScalars(const_params));
+}
+
+TEST(ApplyParityTest, Linear) {
+  Rng rng(7);
+  Linear layer(5, 3, &rng);
+  CheckLayer(&layer, RandomInput(4, 5, 11));
+}
+
+TEST(ApplyParityTest, Activations) {
+  const Matrix input = RandomInput(3, 6, 13);
+  Relu relu;
+  CheckLayer(&relu, input);
+  Sigmoid sigmoid;
+  CheckLayer(&sigmoid, input);
+  Tanh tanh_layer;
+  CheckLayer(&tanh_layer, input);
+  Softplus softplus;
+  CheckLayer(&softplus, input);
+}
+
+TEST(ApplyParityTest, Conv1D) {
+  Rng rng(17);
+  Conv1D layer(/*in_channels=*/2, /*in_length=*/8, /*out_channels=*/3,
+               /*kernel=*/4, /*stride=*/4, /*pad=*/0, &rng);
+  CheckLayer(&layer, RandomInput(2, 16, 19));
+}
+
+TEST(ApplyParityTest, Pool1D) {
+  for (PoolOp op : {PoolOp::kMax, PoolOp::kAvg, PoolOp::kSum}) {
+    Pool1D layer(/*channels=*/3, /*in_length=*/8, /*kernel=*/2, /*stride=*/2,
+                 op);
+    CheckLayer(&layer, RandomInput(2, 24, 23));
+  }
+}
+
+TEST(ApplyParityTest, PartialPositiveLinear) {
+  Rng rng(29);
+  PartialPositiveLinear layer(6, 4, /*pos_row_begin=*/2, /*pos_row_end=*/5,
+                              &rng);
+  CheckLayer(&layer, RandomInput(3, 6, 31));
+}
+
+TEST(ApplyParityTest, MonotoneHead) {
+  Rng rng(37);
+  MonotoneHead layer(/*in_dim=*/10, /*tau_begin=*/4, /*tau_end=*/7,
+                     /*mono_hidden=*/8, /*free_hidden=*/8, /*out_dim=*/2,
+                     &rng);
+  CheckLayer(&layer, RandomInput(3, 10, 41));
+}
+
+TEST(ApplyParityTest, DropoutApplyIsInferenceIdentity) {
+  Dropout layer(0.5f, /*seed=*/43);
+  const Matrix input = RandomInput(4, 5, 47);
+  // Apply is the inference-mode identity regardless of training mode.
+  ExpectSame(input, static_cast<const Layer*>(&layer)->Apply(input));
+  // In inference mode Forward matches Apply exactly.
+  layer.SetTraining(false);
+  ExpectSame(layer.Forward(input),
+             static_cast<const Layer*>(&layer)->Apply(input));
+}
+
+TEST(ApplyParityTest, SequentialTower) {
+  Rng rng(53);
+  Sequential tower;
+  tower.Emplace<Linear>(6, 8, &rng);
+  tower.Emplace<Relu>();
+  auto* dropout = tower.Emplace<Dropout>(0.3f, /*seed=*/59);
+  tower.Emplace<Linear>(8, 4, &rng);
+  tower.Emplace<Tanh>();
+  dropout->SetTraining(false);
+  CheckLayer(&tower, RandomInput(5, 6, 61));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace simcard
