@@ -24,3 +24,4 @@ simcard_bench(bench_fig13_join_latency)
 simcard_bench(bench_ablation_segmentation)
 simcard_bench(bench_ablation_tuning)
 simcard_bench(bench_serve_throughput)
+simcard_bench(bench_batch_throughput)

@@ -15,11 +15,15 @@ namespace {
 double UnderestimateRate(Estimator* est, const SearchWorkload& workload) {
   size_t under = 0;
   size_t total = 0;
+  const size_t dim = workload.test_queries.cols();
   for (const auto& lq : workload.test) {
-    const float* q = workload.test_queries.Row(lq.row);
+    EstimateRequest request;
+    request.query =
+        std::span<const float>(workload.test_queries.Row(lq.row), dim);
     for (const auto& t : lq.thresholds) {
       if (t.card <= 0.0f) continue;
-      under += est->EstimateSearch(q, t.tau) < t.card;
+      request.tau = t.tau;
+      under += est->Estimate(request) < t.card;
       ++total;
     }
   }

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -160,11 +161,15 @@ inline void WarmUpEstimator(Estimator* est, const SearchWorkload& workload,
   const bool record = obs::MetricsEnabled();
   size_t done = 0;
   Stopwatch watch;
+  const size_t dim = workload.test_queries.cols();
   for (const auto& lq : workload.test) {
-    const float* q = workload.test_queries.Row(lq.row);
+    EstimateRequest request;
+    request.query =
+        std::span<const float>(workload.test_queries.Row(lq.row), dim);
     for (const auto& t : lq.thresholds) {
+      request.tau = t.tau;
       watch.Restart();
-      volatile double sink = est->EstimateSearch(q, t.tau);
+      volatile double sink = est->Estimate(request);
       (void)sink;
       if (record) {
         (done == 0 ? cold : warm)->Record(

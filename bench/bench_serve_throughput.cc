@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <future>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,10 +58,13 @@ void RegisterServeBenchmarks(const std::string& dataset,
       (dataset + "/direct_1thread").c_str(),
       [fix](::benchmark::State& state) {
         QueryCycle cycle{&fix->env->workload};
+        const size_t dim = fix->env->workload.test_queries.cols();
         for (auto _ : state) {
           auto [q, tau] = cycle.Next();
-          ::benchmark::DoNotOptimize(
-              fix->model->EstimateSearch(q, tau, nullptr));
+          EstimateRequest request;
+          request.query = std::span<const float>(q, dim);
+          request.tau = tau;
+          ::benchmark::DoNotOptimize(fix->model->Estimate(request));
         }
         state.SetItemsProcessed(state.iterations());
       })
@@ -79,11 +83,12 @@ void RegisterServeBenchmarks(const std::string& dataset,
           size_t shed = 0;
           for (auto _ : state) {
             auto [q, tau] = cycle.Next();
-            std::vector<float> query(q, q + queries.cols());
+            EstimateRequest request;
+            request.query = std::span<const float>(q, queries.cols());
+            request.tau = tau;
+            request.options.deadline_ms = fix->deadline_ms;
             serve::EstimateResponse response =
-                fix->service
-                    ->Submit(std::move(query), tau, fix->deadline_ms)
-                    .get();
+                fix->service->Submit(request).get();
             if (!response.status.ok()) ++shed;
             ::benchmark::DoNotOptimize(response.estimate);
           }
@@ -109,10 +114,11 @@ void RegisterServeBenchmarks(const std::string& dataset,
           inflight.clear();
           for (size_t i = 0; i < kBurst; ++i) {
             auto [q, tau] = cycle.Next();
-            std::vector<float> query(q, q + queries.cols());
-            inflight.push_back(
-                fix->service->Submit(std::move(query), tau,
-                                     fix->deadline_ms));
+            EstimateRequest request;
+            request.query = std::span<const float>(q, queries.cols());
+            request.tau = tau;
+            request.options.deadline_ms = fix->deadline_ms;
+            inflight.push_back(fix->service->Submit(request));
           }
           for (auto& f : inflight) {
             serve::EstimateResponse response = f.get();

@@ -43,9 +43,13 @@ void RegisterEstimatorBenchmarks(const std::string& dataset,
         (dataset + "/" + method).c_str(),
         [est, env](::benchmark::State& state) {
           QueryCycle cycle{&env->workload};
+          const size_t dim = env->workload.test_queries.cols();
           for (auto _ : state) {
             auto [q, tau] = cycle.Next();
-            ::benchmark::DoNotOptimize(est->EstimateSearch(q, tau));
+            EstimateRequest request;
+            request.query = std::span<const float>(q, dim);
+            request.tau = tau;
+            ::benchmark::DoNotOptimize(est->Estimate(request));
           }
         })
         ->Unit(::benchmark::kMicrosecond);

@@ -11,6 +11,7 @@
 //
 // Run:  ./build/examples/image_search [--scale=tiny|small]
 #include <cstdio>
+#include <span>
 
 #include "common/cli.h"
 #include "core/gl_estimator.h"
@@ -68,9 +69,13 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < env.workload.test.size(); ++i) {
     const auto& lq = env.workload.test[i];
     const float* q = env.workload.test_queries.Row(lq.row);
+    EstimateRequest request;
+    request.query =
+        std::span<const float>(q, env.workload.test_queries.cols());
     for (size_t t = 0; t < lq.thresholds.size(); t += 4) {
       const float tau = lq.thresholds[t].tau;
-      const double est = estimator.EstimateSearch(q, tau);
+      request.tau = tau;
+      const double est = estimator.Estimate(request);
       const double truth = static_cast<double>(oracle.Count(q, tau));
       const char* plan_est = PlanFor(est, plan_threshold);
       const char* plan_true = PlanFor(truth, plan_threshold);

@@ -9,6 +9,7 @@
 //
 // Run:  ./build/examples/join_planning [--scale=tiny|small]
 #include <cstdio>
+#include <span>
 
 #include "common/cli.h"
 #include "common/stopwatch.h"
@@ -78,8 +79,12 @@ int main(int argc, char** argv) {
     watch.Restart();
     double loop_est = 0.0;
     for (uint32_t row : js.query_rows) {
-      loop_est += estimator.EstimateSearch(
-          env.workload.test_queries.Row(row), js.tau);
+      EstimateRequest request;
+      request.query = std::span<const float>(
+          env.workload.test_queries.Row(row),
+          env.workload.test_queries.cols());
+      request.tau = js.tau;
+      loop_est += estimator.Estimate(request);
     }
     loop_ms += watch.ElapsedMillis();
 

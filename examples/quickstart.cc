@@ -8,6 +8,7 @@
 //
 // Run:  ./build/examples/quickstart [--scale=tiny|small]
 #include <cstdio>
+#include <span>
 
 #include "common/cli.h"
 #include "core/gl_estimator.h"
@@ -57,9 +58,13 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < 3; ++i) {
     const auto& lq = env.workload.test[i];
     const float* q = env.workload.test_queries.Row(lq.row);
+    simcard::EstimateRequest request;
+    request.query = std::span<const float>(
+        q, env.workload.test_queries.cols());
     for (size_t t = 2; t < lq.thresholds.size(); t += 3) {
       const float tau = lq.thresholds[t].tau;
-      const double est = estimator.EstimateSearch(q, tau);
+      request.tau = tau;
+      const double est = estimator.Estimate(request);
       const size_t truth = exact.Count(q, tau);
       std::printf("%8.3f %10.1f %10zu %8.2f\n", tau, est, truth,
                   QError(est, static_cast<double>(truth)));

@@ -11,6 +11,7 @@
 // Run:  ./build/examples/radius_tuning [--scale=tiny|small] [--target=K]
 #include <cstdio>
 #include <cmath>
+#include <span>
 
 #include "common/cli.h"
 #include "core/gl_estimator.h"
@@ -53,7 +54,11 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < n_queries; ++i) {
     const float* q = env.workload.test_queries.Row(i);
     const float tau = InvertCardinality(&estimator, q, target, 0.0f, 1.0f);
-    const double est = estimator.EstimateSearch(q, tau);
+    EstimateRequest request;
+    request.query =
+        std::span<const float>(q, env.workload.test_queries.cols());
+    request.tau = tau;
+    const double est = estimator.Estimate(request);
     const size_t truth = exact.Count(q, tau);
     std::printf("%6zu %12.4f %12.1f %14zu\n", i, tau, est, truth);
     abs_log_err += std::fabs(std::log(std::max<double>(1.0, truth) / target));

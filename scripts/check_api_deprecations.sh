@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Gate on the deprecated estimation entry points: no in-tree production code
+# (src/, bench/, examples/) may call the legacy overloads that the unified
+# EstimateRequest API replaced:
+#
+#   Estimator/GlEstimator::EstimateSearch(const float*, float[, policy])
+#   EstimationService::Submit(const float*, size_t, float)
+#   EstimationService::Submit(std::vector<float>, float, double)
+#
+# The shims themselves stay (external callers get a migration window) and
+# tests/ intentionally keep exercising them, so the scan skips tests/ and
+# the files that define the shims.
+#
+# Usage: scripts/check_api_deprecations.sh [repo_root]
+set -euo pipefail
+
+REPO_ROOT="${1:-"$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"}"
+cd "${REPO_ROOT}"
+
+# Files allowed to mention the deprecated names: the shim definitions.
+ALLOWLIST=(
+  "src/core/estimator.h"
+  "src/core/gl_estimator.h"
+  "src/serve/estimation_service.h"
+)
+
+is_allowed() {
+  local file="$1"
+  for allowed in "${ALLOWLIST[@]}"; do
+    [[ "${file}" == "${allowed}" ]] && return 0
+  done
+  return 1
+}
+
+fail=0
+
+# `EstimateSearch(` matches calls and declarations of the deprecated single
+# overload but not EstimateSearchBatch(.
+while IFS=: read -r file line text; do
+  if ! is_allowed "${file}"; then
+    echo "deprecated EstimateSearch( call: ${file}:${line}: ${text}" >&2
+    fail=1
+  fi
+done < <(grep -rn --include='*.cc' --include='*.h' 'EstimateSearch(' \
+           src bench examples 2>/dev/null || true)
+
+# Legacy Submit overloads: a Submit call whose first argument is not an
+# EstimateRequest. Heuristic: flag Submit( followed by std::vector, a raw
+# pointer + dim pattern, or std::move of a float vector.
+while IFS=: read -r file line text; do
+  if ! is_allowed "${file}"; then
+    echo "deprecated Submit overload call: ${file}:${line}: ${text}" >&2
+    fail=1
+  fi
+done < <(grep -rnE --include='*.cc' --include='*.h' \
+           'Submit\((std::vector<float>|std::move\([a-zA-Z_]+\), *[a-zA-Z_0-9.]+, )' \
+           src bench examples 2>/dev/null || true)
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "check_api_deprecations: migrate the callers above to" >&2
+  echo "  Estimate(const EstimateRequest&) / Submit(const EstimateRequest&)" >&2
+  exit 1
+fi
+echo "check_api_deprecations: no deprecated estimation calls in src/ bench/ examples/"

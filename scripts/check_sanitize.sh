@@ -42,4 +42,15 @@ cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" \
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
+
+if [[ "${MODE}" == "tsan" ]]; then
+  # Focused re-run of the micro-batched serving stress test: the batched
+  # worker loop (linger wait, shared EstimateSearchBatch, per-request promise
+  # fulfillment) is the newest concurrency surface, so give TSan extra
+  # repetitions on it beyond the one pass in the full suite above.
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+    -R "ServeStressTest.ReadersRaceModelSwapsMicroBatched" \
+    --repeat until-fail:3
+fi
+
 echo "sanitizer suite passed (${MODE})"

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <ostream>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,7 +32,9 @@ constexpr char kUsage[] =
     "  evaluate --data=FILE --model=FILE [--segments=N] [--seed=N]\n"
     "  serve-bench --data=FILE --model=FILE [--threads=N] [--clients=N]\n"
     "           [--requests=N] [--tau=X] [--deadline-ms=D]\n"
-    "           [--queue-capacity=N]  (concurrent serving throughput)\n"
+    "           [--queue-capacity=N] [--max-batch=N] [--linger-us=U]\n"
+    "           (concurrent serving throughput; max-batch > 1 coalesces\n"
+    "           queued requests into one batched forward pass)\n"
     "every command also accepts --metrics-out=FILE to write a JSON metrics\n"
     "report (SIMCARD_METRICS=1 enables collection without a report file),\n"
     "--fault=SPEC to arm deterministic fault injection (e.g.\n"
@@ -184,8 +187,11 @@ int CmdEstimate(const CommandLine& cl, std::ostream& out, std::ostream& err) {
     return 2;
   }
   const float tau = static_cast<float>(cl.GetDouble("tau", 0.1));
-  const double estimate =
-      est_or.value()->EstimateSearch(dataset.Point(row), tau);
+  EstimateRequest request;
+  request.query =
+      std::span<const float>(dataset.Point(row), dataset.dim());
+  request.tau = tau;
+  const double estimate = est_or.value()->Estimate(request);
   out << "card(row " << row << ", tau " << tau
       << ") ~= " << FormatPaperNumber(estimate) << "\n";
   return 0;
@@ -244,6 +250,9 @@ int CmdServeBench(const CommandLine& cl, std::ostream& out,
   options.queue_capacity =
       static_cast<size_t>(cl.GetInt("queue-capacity", 1024));
   options.default_deadline_ms = cl.GetDouble("deadline-ms", 100.0);
+  options.max_batch = static_cast<size_t>(
+      std::max<int64_t>(1, cl.GetInt("max-batch", 1)));
+  options.batch_linger_us = cl.GetDouble("linger-us", 50.0);
   const size_t clients =
       std::max<int64_t>(1, cl.GetInt("clients", 4));
   const size_t per_client =
@@ -266,12 +275,12 @@ int CmdServeBench(const CommandLine& cl, std::ostream& out,
       latencies[c].reserve(per_client);
       for (size_t i = 0; i < per_client; ++i) {
         const size_t row = (c * per_client + i) % dataset.size();
-        const float* q = dataset.Point(row);
-        serve::EstimateResponse response =
-            service
-                .Submit(std::vector<float>(q, q + dataset.dim()), tau,
-                        options.default_deadline_ms)
-                .get();
+        EstimateRequest request;
+        request.query =
+            std::span<const float>(dataset.Point(row), dataset.dim());
+        request.tau = tau;
+        request.options.deadline_ms = options.default_deadline_ms;
+        serve::EstimateResponse response = service.Submit(request).get();
         switch (response.status.code()) {
           case StatusCode::kOk:
             ok.fetch_add(1);
@@ -305,7 +314,8 @@ int CmdServeBench(const CommandLine& cl, std::ostream& out,
   const uint64_t total = clients * per_client;
   out << "serve-bench: " << total << " requests, " << clients
       << " clients, " << options.num_threads << " workers, deadline "
-      << FormatPaperNumber(options.default_deadline_ms) << " ms\n";
+      << FormatPaperNumber(options.default_deadline_ms) << " ms, max-batch "
+      << options.max_batch << "\n";
   out << "  ok " << ok.load() << ", shed " << shed.load()
       << ", deadline-exceeded " << deadline.load() << " (breaker trips "
       << service.breaker()->trips() << ")\n";
@@ -331,7 +341,7 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
       "dataset", "scale", "seed", "out",  "data",        "method",
       "segments", "model", "query-row", "tau", "metrics-out",
       "fault", "degraded", "threads", "clients", "requests",
-      "deadline-ms", "queue-capacity"};
+      "deadline-ms", "queue-capacity", "max-batch", "linger-us"};
   auto cl_or = ParseFlags(argc, argv, known);
   if (!cl_or.ok()) return Fail(err, cl_or.status());
   const CommandLine& cl = cl_or.value();

@@ -146,13 +146,13 @@ double CardNetEstimator::PredictCard(const Matrix& increments_row, float tau,
   return card;
 }
 
-double CardNetEstimator::EstimateSearch(const float* query, float tau) {
+double CardNetEstimator::Estimate(const EstimateRequest& request) {
   Matrix row(1, query_dim_);
-  row.SetRow(0, query);
+  row.SetRow(0, request.query.data());
   Matrix raw = decoder_->Forward(encoder_->Forward(row));
   std::vector<float> inclusion;
   // No query can match more objects than the dataset holds.
-  return std::min(PredictCard(raw, tau, &inclusion), max_card_);
+  return std::min(PredictCard(raw, request.tau, &inclusion), max_card_);
 }
 
 size_t CardNetEstimator::ModelSizeBytes() const {

@@ -43,7 +43,7 @@ class CardNetEstimator : public Estimator {
 
   std::string Name() const override { return "CardNet"; }
   Status Train(const TrainContext& ctx) override;
-  double EstimateSearch(const float* query, float tau) override;
+  double Estimate(const EstimateRequest& request) override;
   size_t ModelSizeBytes() const override;
 
   /// Exposed for the monotonicity property tests.

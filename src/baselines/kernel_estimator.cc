@@ -32,7 +32,9 @@ Status KernelEstimator::Train(const TrainContext& ctx) {
   return Status::OK();
 }
 
-double KernelEstimator::EstimateSearch(const float* query, float tau) {
+double KernelEstimator::Estimate(const EstimateRequest& request) {
+  const float* query = request.query.data();
+  const float tau = request.tau;
   const size_t k = sample_.rows();
   std::vector<double> dists(k);
   double mean = 0.0;

@@ -24,7 +24,7 @@ class KernelEstimator : public Estimator {
 
   std::string Name() const override { return name_; }
   Status Train(const TrainContext& ctx) override;
-  double EstimateSearch(const float* query, float tau) override;
+  double Estimate(const EstimateRequest& request) override;
   size_t ModelSizeBytes() const override;
 
  private:

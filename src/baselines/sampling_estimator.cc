@@ -41,7 +41,9 @@ Status SamplingEstimator::Train(const TrainContext& ctx) {
   return Status::OK();
 }
 
-double SamplingEstimator::EstimateSearch(const float* query, float tau) {
+double SamplingEstimator::Estimate(const EstimateRequest& request) {
+  const float* query = request.query.data();
+  const float tau = request.tau;
   size_t hits = 0;
   if (use_bits_) {
     const auto packed = sample_bits_.PackVector(query);

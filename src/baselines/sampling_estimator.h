@@ -28,7 +28,7 @@ class SamplingEstimator : public Estimator {
 
   std::string Name() const override { return name_; }
   Status Train(const TrainContext& ctx) override;
-  double EstimateSearch(const float* query, float tau) override;
+  double Estimate(const EstimateRequest& request) override;
   size_t ModelSizeBytes() const override;
 
   size_t sample_rows() const { return sample_.rows(); }

@@ -268,6 +268,19 @@ double CardModel::EstimateCard(const float* query, float tau,
   return std::exp(static_cast<double>(u));
 }
 
+std::vector<double> CardModel::ApplyBatch(const Matrix& xq,
+                                          const Matrix& xtau,
+                                          const Matrix& xaux) const {
+  const Matrix u = aux_tower_ != nullptr ? Apply(xq, xtau, xaux)
+                                         : Apply(xq, xtau, Matrix());
+  std::vector<double> out(u.rows());
+  for (size_t r = 0; r < u.rows(); ++r) {
+    const float c = std::min(kLogCardHi, std::max(kLogCardLo, u.at(r, 0)));
+    out[r] = std::exp(static_cast<double>(c));
+  }
+  return out;
+}
+
 std::vector<nn::Parameter*> CardModel::Parameters() {
   std::vector<nn::Parameter*> out = query_tower_->Parameters();
   auto append = [&out](nn::Layer* layer) {

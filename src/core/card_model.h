@@ -92,6 +92,14 @@ class CardModel {
   /// Runs on the stateless Apply path, so it is const and thread-safe.
   double EstimateCard(const float* query, float tau, const float* aux) const;
 
+  /// Batch twin of EstimateCard: one Apply over all rows, then the same
+  /// per-row log-card clamp and exponentiation. Row i of the result equals
+  /// EstimateCard(xq.Row(i), xtau.at(i,0), xaux.Row(i)) bitwise (every
+  /// layer is row-independent; see DESIGN.md §11). `xaux` is ignored when
+  /// the model has no aux tower.
+  std::vector<double> ApplyBatch(const Matrix& xq, const Matrix& xtau,
+                                 const Matrix& xaux) const;
+
   std::vector<nn::Parameter*> Parameters();
   std::vector<const nn::Parameter*> Parameters() const;
   size_t NumScalars() const;

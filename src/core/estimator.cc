@@ -2,21 +2,43 @@
 
 namespace simcard {
 
+std::vector<double> Estimator::EstimateBatch(
+    const BatchEstimateRequest& request) {
+  std::vector<double> out;
+  if (request.queries == nullptr) return out;
+  const Matrix& queries = *request.queries;
+  out.reserve(queries.rows());
+  for (size_t r = 0; r < queries.rows(); ++r) {
+    const float tau = r < request.taus.size() ? request.taus[r] : 0.0f;
+    out.push_back(Estimate(EstimateRequest{
+        std::span<const float>(queries.Row(r), queries.cols()), tau,
+        request.options}));
+  }
+  return out;
+}
+
 double Estimator::EstimateJoin(const Matrix& queries,
                                const std::vector<uint32_t>& rows, float tau) {
   double total = 0.0;
   for (uint32_t row : rows) {
-    total += EstimateSearch(queries.Row(row), tau);
+    total += Estimate(EstimateRequest{
+        std::span<const float>(queries.Row(row), queries.cols()), tau, {}});
   }
   return total;
 }
 
 float InvertCardinality(Estimator* estimator, const float* query,
                         double target, float lo, float hi, int iterations) {
-  if (estimator->EstimateSearch(query, hi) < target) return hi;
+  // The caller hands us a bare pointer, so the request carries the
+  // legacy empty-span encoding (length unknown, trust dim()).
+  const auto at = [&](float tau) {
+    return estimator->Estimate(EstimateRequest{
+        std::span<const float>(query, static_cast<size_t>(0)), tau, {}});
+  };
+  if (at(hi) < target) return hi;
   for (int i = 0; i < iterations && lo < hi; ++i) {
     const float mid = 0.5f * (lo + hi);
-    if (estimator->EstimateSearch(query, mid) >= target) {
+    if (at(mid) >= target) {
       hi = mid;
     } else {
       lo = mid;

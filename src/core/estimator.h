@@ -1,8 +1,16 @@
 // Common interface implemented by every cardinality estimator (the paper's
 // methods 1-13 in Table 2 plus the non-learned baselines).
+//
+// Since PR 4 the estimation surface is request-based: callers build an
+// EstimateRequest (or a BatchEstimateRequest for batch-of-queries
+// inference) and pass it to Estimate / EstimateBatch. The old
+// `EstimateSearch(const float*, float)` overloads survive as thin
+// deprecated shims so out-of-tree callers keep compiling; in-tree code must
+// use the request types (enforced by scripts/check_api_deprecations.sh).
 #ifndef SIMCARD_CORE_ESTIMATOR_H_
 #define SIMCARD_CORE_ESTIMATOR_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +31,61 @@ struct TrainContext {
   uint64_t seed = 51;
 };
 
+/// \brief Per-segment evaluation hook for serving layers.
+///
+/// Segmented estimators (the GL family) consult the policy before
+/// evaluating a segment's local model and report each outcome afterwards,
+/// which lets a caller (e.g. the serve layer's circuit breaker) route
+/// persistently-failing segments to the sampling fallback without the
+/// estimator itself holding mutable per-request state — the estimator stays
+/// const and shareable. Implementations own their thread-safety; the
+/// estimator only calls the hooks from the thread running the estimate.
+class SegmentEvalPolicy {
+ public:
+  virtual ~SegmentEvalPolicy() = default;
+
+  /// Return true to skip segment `s`'s local model and answer from the
+  /// retained sampling fallback instead.
+  virtual bool ForceFallback(size_t s) = 0;
+
+  /// Called after each local-model evaluation; `ok` is false when the model
+  /// produced a non-finite or negative estimate (which the estimator then
+  /// replaces with the fallback answer).
+  virtual void OnLocalResult(size_t s, bool ok) = 0;
+};
+
+/// \brief Knobs that ride along with a request.
+///
+/// `policy` is honored by segmented estimators and ignored by flat ones;
+/// `deadline_ms` is consumed by the serving layer (direct calls ignore it —
+/// an estimator never preempts itself).
+struct EstimateOptions {
+  SegmentEvalPolicy* policy = nullptr;
+  double deadline_ms = 0.0;  ///< 0 = use the server's default deadline
+};
+
+/// \brief One search-cardinality question: card(query, tau, D).
+///
+/// `query` must hold the estimator's dim() floats. An empty span with a
+/// non-null data() pointer is the legacy-shim encoding ("length unknown,
+/// trust the pointer for dim() floats"); implementations validate the size
+/// only when it is nonzero.
+struct EstimateRequest {
+  std::span<const float> query;
+  float tau = 0.0f;
+  EstimateOptions options;
+};
+
+/// \brief A batch of search-cardinality questions sharing one options set.
+///
+/// Row i of `*queries` pairs with `taus[i]`; `taus.size()` must equal
+/// `queries->rows()`. The matrix is borrowed for the duration of the call.
+struct BatchEstimateRequest {
+  const Matrix* queries = nullptr;
+  std::span<const float> taus;
+  EstimateOptions options;
+};
+
 /// \brief A similarity-query cardinality estimator.
 class Estimator {
  public:
@@ -36,7 +99,14 @@ class Estimator {
 
   /// Estimated card(q, tau, D). Non-const because implementations reuse
   /// internal forward-pass buffers.
-  virtual double EstimateSearch(const float* query, float tau) = 0;
+  virtual double Estimate(const EstimateRequest& request) = 0;
+
+  /// Estimated card(q_i, tau_i, D) for every row of the batch. The default
+  /// loops Estimate per row; batch-native estimators (GlEstimator) override
+  /// with one forward pass per segment and guarantee bitwise-identical
+  /// per-row answers in the default (non-SIMD) build.
+  virtual std::vector<double> EstimateBatch(
+      const BatchEstimateRequest& request);
 
   /// Estimated card(Q, tau, D) for the multiset of rows of `queries`
   /// selected by `rows`. The default sums per-query search estimates; join
@@ -47,6 +117,15 @@ class Estimator {
   /// Serialized model size in bytes (Table 5). For sampling baselines this
   /// is the retained sample; for learned models, float32 weights.
   virtual size_t ModelSizeBytes() const = 0;
+
+  /// Deprecated: build an EstimateRequest and call Estimate instead. Kept
+  /// as a non-virtual shim for out-of-tree callers; the span it forwards is
+  /// empty (length unknown), so implementations trust the pointer for
+  /// dim() floats exactly as the old signature did.
+  double EstimateSearch(const float* query, float tau) {
+    return Estimate(EstimateRequest{
+        std::span<const float>(query, static_cast<size_t>(0)), tau, {}});
+  }
 
   /// Wall-clock seconds of the last Train call (Figure 14).
   double training_seconds() const { return training_seconds_; }

@@ -16,15 +16,7 @@ std::vector<float> SampleDistanceRow(const float* query, const Matrix& samples,
 Matrix BuildSampleDistanceFeatures(const Matrix& queries,
                                    const Matrix& samples, Metric metric) {
   assert(queries.cols() == samples.cols());
-  Matrix out(queries.rows(), samples.rows());
-  for (size_t r = 0; r < queries.rows(); ++r) {
-    const float* q = queries.Row(r);
-    float* dst = out.Row(r);
-    for (size_t i = 0; i < samples.rows(); ++i) {
-      dst[i] = Distance(q, samples.Row(i), samples.cols(), metric);
-    }
-  }
-  return out;
+  return BatchDistances(queries, samples, metric);
 }
 
 std::vector<float> CentroidDistanceRow(const float* query,
@@ -35,12 +27,10 @@ std::vector<float> CentroidDistanceRow(const float* query,
 
 Matrix BuildCentroidDistanceFeatures(const Matrix& queries,
                                      const Segmentation& seg, Metric metric) {
-  Matrix out(queries.rows(), seg.num_segments());
-  for (size_t r = 0; r < queries.rows(); ++r) {
-    auto row = seg.CentroidDistances(queries.Row(r), queries.cols(), metric);
-    out.SetRow(r, row.data());
-  }
-  return out;
+  assert(queries.cols() == seg.centroids.cols());
+  // Bitwise-matches the per-query CentroidDistances path: BatchDistances
+  // evaluates each (query, centroid) pair with the same scalar kernel.
+  return BatchDistances(queries, seg.centroids, metric);
 }
 
 Batch GatherBatch(const Matrix& queries, const Matrix* aux_features,

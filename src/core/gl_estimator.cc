@@ -217,6 +217,16 @@ struct GlQueryMetrics {
   obs::Histogram* global_us = obs::GetHistogram("gl.latency.global_us");
   obs::Histogram* locals_us = obs::GetHistogram("gl.latency.locals_us");
   obs::Histogram* total_us = obs::GetHistogram("gl.latency.total_us");
+  // Batch-path phase timings are recorded per *batch* (the per-query
+  // gl.latency.* histograms stay single-path only so their distributions
+  // keep meaning "one query's cost").
+  obs::Histogram* batch_rows = obs::GetHistogram(
+      "gl.batch.rows", obs::Histogram::LinearBuckets(1.0, 1.0, 64));
+  obs::Histogram* batch_features_us =
+      obs::GetHistogram("gl.batch.features_us");
+  obs::Histogram* batch_global_us = obs::GetHistogram("gl.batch.global_us");
+  obs::Histogram* batch_locals_us = obs::GetHistogram("gl.batch.locals_us");
+  obs::Histogram* batch_total_us = obs::GetHistogram("gl.batch.total_us");
   // Degradation events, labeled by reason (see DESIGN.md, failure model).
   obs::Counter* fb_invalid_query = obs::GetCounter("simcard.fallback.invalid_query");
   obs::Counter* fb_invalid_tau = obs::GetCounter("simcard.fallback.invalid_tau");
@@ -254,7 +264,53 @@ size_t GlEstimator::num_quarantined_locals() const {
   return n;
 }
 
-std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
+void GlEstimator::SelectWithGuards(const float* probs, const float* xc,
+                                   float tau, SelectScratch* scratch,
+                                   std::vector<size_t>* selected_out,
+                                   std::vector<char>* forced_out) const {
+  const bool enabled = obs::MetricsEnabled();
+  GlQueryMetrics& m = QueryMetrics();
+  const size_t n_seg = locals_.size();
+  std::vector<size_t>& selected = *selected_out;
+  global_->SelectSegmentsInto(std::span<const float>(probs, n_seg),
+                              &selected);
+  std::vector<char>& forced = scratch->forced;
+  forced.assign(n_seg, 0);
+  if (config_.use_triangle_guards) {
+    // Exclusion: |d(q,p) - d(q,c)| <= d(c,p) <= radius for all members p,
+    // so xc[s] > tau + radius[s] proves the segment holds no match.
+    std::vector<char>& keep = scratch->keep;
+    keep.assign(n_seg, 0);
+    for (size_t s : selected) {
+      keep[s] = xc[s] <= tau + segmentation_.radius[s];
+      if (enabled && keep[s] == 0) m.triangle_excluded->Increment();
+    }
+    // Inclusion: a centroid within tau strongly indicates matches; back-
+    // stop a global-model miss.
+    for (size_t s = 0; s < n_seg; ++s) {
+      if (xc[s] <= tau) {
+        if (keep[s] == 0) {
+          forced[s] = 1;
+          if (enabled) m.triangle_forced->Increment();
+        }
+        keep[s] = 1;
+      }
+    }
+    selected.clear();
+    for (size_t s = 0; s < n_seg; ++s) {
+      if (keep[s]) selected.push_back(s);
+    }
+  }
+  // The forced flags come back parallel to the selected list; callers that
+  // only need the segment set (the batch path) pass null and skip the copy.
+  if (forced_out != nullptr) {
+    forced_out->clear();
+    forced_out->reserve(selected.size());
+    for (size_t s : selected) forced_out->push_back(forced[s]);
+  }
+}
+
+std::vector<SegmentEstimate> GlEstimator::EstimatePerSegment(
     const float* query, float tau, SegmentEvalPolicy* policy) const {
   const bool enabled = obs::MetricsEnabled();
   GlQueryMetrics& m = QueryMetrics();
@@ -275,55 +331,43 @@ std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
       segmentation_.CentroidDistances(query, dim_, metric_);
   if (enabled) m.features_us->Record(phase.ElapsedMicros());
   std::vector<size_t> selected;
+  std::vector<char> forced;
   if (global_ != nullptr) {
     if (enabled) phase.Restart();
     const std::vector<float> probs = global_->Probabilities(query, tau,
                                                             xc.data());
-    selected = global_->SelectSegments(probs);
     if (enabled) {
       m.global_us->Record(phase.ElapsedMicros());
       for (float p : probs) m.global_prob->Record(p);
     }
-    if (config_.use_triangle_guards) {
-      // Exclusion: |d(q,p) - d(q,c)| <= d(c,p) <= radius for all members p,
-      // so xc[s] > tau + radius[s] proves the segment holds no match.
-      std::vector<char> keep(locals_.size(), 0);
-      for (size_t s : selected) {
-        keep[s] = xc[s] <= tau + segmentation_.radius[s];
-        if (enabled && keep[s] == 0) m.triangle_excluded->Increment();
-      }
-      // Inclusion: a centroid within tau strongly indicates matches; back-
-      // stop a global-model miss.
-      for (size_t s = 0; s < locals_.size(); ++s) {
-        if (xc[s] <= tau) {
-          if (enabled && keep[s] == 0) m.triangle_forced->Increment();
-          keep[s] = 1;
-        }
-      }
-      selected.clear();
-      for (size_t s = 0; s < locals_.size(); ++s) {
-        if (keep[s]) selected.push_back(s);
-      }
-    }
+    SelectScratch scratch;
+    SelectWithGuards(probs.data(), xc.data(), tau, &scratch, &selected,
+                     &forced);
   } else {
     selected.resize(locals_.size());
     for (size_t s = 0; s < locals_.size(); ++s) selected[s] = s;
+    forced.assign(locals_.size(), 0);
   }
   if (enabled) phase.Restart();
-  std::vector<std::pair<size_t, double>> out;
+  std::vector<SegmentEstimate> out;
   out.reserve(selected.size());
-  for (size_t s : selected) {
-    double est;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const size_t s = selected[i];
+    SegmentEstimate se;
+    se.segment = s;
+    se.forced = forced[i] != 0;
     if (locals_[s] == nullptr) {
       // Quarantined by a degraded load: the sampling fallback answers.
-      est = FallbackEstimate(s, query, tau);
+      se.estimate = FallbackEstimate(s, query, tau);
+      se.used_fallback = true;
       if (enabled) m.fb_local_missing->Increment();
     } else if (policy != nullptr && policy->ForceFallback(s)) {
       // The caller's policy (e.g. an open circuit breaker) short-circuits
       // this segment to the fallback without touching the local model.
-      est = FallbackEstimate(s, query, tau);
+      se.estimate = FallbackEstimate(s, query, tau);
+      se.used_fallback = true;
     } else {
-      est = locals_[s]->Estimate(query, tau, xc.data());
+      double est = locals_[s]->Estimate(query, tau, xc.data());
       if (fault::ShouldFail("gl.local_eval")) {
         est = std::numeric_limits<double>::quiet_NaN();
       }
@@ -331,10 +375,12 @@ std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
       if (policy != nullptr) policy->OnLocalResult(s, ok);
       if (!ok) {
         est = FallbackEstimate(s, query, tau);
+        se.used_fallback = true;
         if (enabled) m.fb_local_nonfinite->Increment();
       }
+      se.estimate = est;
     }
-    out.emplace_back(s, est);
+    out.push_back(se);
   }
   if (enabled) {
     m.locals_us->Record(phase.ElapsedMicros());
@@ -347,16 +393,21 @@ std::vector<std::pair<size_t, double>> GlEstimator::EstimatePerSegment(
   return out;
 }
 
-double GlEstimator::EstimateSearch(const float* query, float tau) {
-  return static_cast<const GlEstimator*>(this)->EstimateSearch(query, tau,
-                                                               nullptr);
+double GlEstimator::Estimate(const EstimateRequest& request) {
+  return static_cast<const GlEstimator*>(this)->Estimate(request);
 }
 
-double GlEstimator::EstimateSearch(const float* query, float tau,
-                                   SegmentEvalPolicy* policy) const {
+double GlEstimator::Estimate(const EstimateRequest& request) const {
+  // A sized span must match the trained dimensionality; the legacy shims
+  // pass an empty span (length unknown, trusted for dim_ floats).
+  if (!request.query.empty() && request.query.size() != dim_) {
+    if (obs::MetricsEnabled()) QueryMetrics().fb_invalid_query->Increment();
+    return 0.0;
+  }
   double total = 0.0;
-  for (const auto& [seg, est] : EstimatePerSegment(query, tau, policy)) {
-    total += est;
+  for (const SegmentEstimate& se : EstimatePerSegment(
+           request.query.data(), request.tau, request.options.policy)) {
+    total += se.estimate;
   }
   // A cardinality is a count over the dataset: clamp to [0, |D|] so no
   // degradation path can surface an impossible answer.
@@ -371,6 +422,177 @@ double GlEstimator::EstimateSearch(const float* query, float tau,
     return dataset_size;
   }
   return total;
+}
+
+std::vector<double> GlEstimator::EstimateBatch(
+    const BatchEstimateRequest& request) {
+  if (request.queries == nullptr) return {};
+  return EstimateSearchBatch(*request.queries, request.taus,
+                             request.options.policy);
+}
+
+std::vector<double> GlEstimator::EstimateSearchBatch(
+    const Matrix& queries, std::span<const float> taus,
+    SegmentEvalPolicy* policy) const {
+  const bool enabled = obs::MetricsEnabled();
+  GlQueryMetrics& m = QueryMetrics();
+  const size_t batch = queries.rows();
+  std::vector<double> out(batch, 0.0);
+  if (batch == 0) return out;
+  Stopwatch total;
+  Stopwatch phase;
+  if (enabled) m.batch_rows->Record(static_cast<double>(batch));
+
+  // Per-row validation mirrors the single-query path: malformed rows answer
+  // 0 (with the same fallback counters) and drop out of the packed batch.
+  std::vector<size_t> valid;
+  valid.reserve(batch);
+  for (size_t r = 0; r < batch; ++r) {
+    if (queries.cols() != dim_ || !VectorIsFinite(queries.Row(r), dim_)) {
+      if (enabled) m.fb_invalid_query->Increment();
+      continue;
+    }
+    const float tau = r < taus.size()
+                          ? taus[r]
+                          : std::numeric_limits<float>::quiet_NaN();
+    if (!std::isfinite(tau) || tau < 0.0f) {
+      if (enabled) m.fb_invalid_tau->Increment();
+      continue;
+    }
+    valid.push_back(r);
+  }
+  if (valid.empty()) return out;
+  const size_t nv = valid.size();
+  const size_t n_seg = locals_.size();
+
+  // One x_C feature build for the whole batch (BatchDistances kernel). The
+  // common all-rows-valid batch runs on the caller's matrix directly; only
+  // a batch with rejected rows pays for a packed copy. valid[i] == i when
+  // nothing was rejected, so vq->Row(i) is the right row either way, and
+  // taus[valid[i]] is row i's threshold in both cases.
+  Matrix packed;
+  const Matrix* vq = &queries;
+  if (nv != batch) {
+    packed = Matrix::Uninit(nv, dim_);
+    for (size_t i = 0; i < nv; ++i) packed.SetRow(i, queries.Row(valid[i]));
+    vq = &packed;
+  }
+  const Matrix xc =
+      BuildCentroidDistanceFeatures(*vq, segmentation_, metric_);
+  if (enabled) m.batch_features_us->Record(phase.ElapsedMicros());
+
+  // One global forward for the whole batch; routing is thresholded row by
+  // row through the same SelectWithGuards as the single-query path, so the
+  // per-query pruning decisions are identical. Each row's segment set is
+  // scattered straight into the per-segment row lists (the inverted
+  // routing): segments are walked in ascending order downstream, and each
+  // row was admitted to its segments in ascending order here, so every
+  // row's contributions accumulate in ascending-segment order — the same
+  // summation order as the single-query path, which is what keeps the
+  // final totals bitwise identical.
+  std::vector<std::vector<size_t>> rows_for_seg(n_seg);
+  std::vector<uint32_t> sel_count(nv, 0);
+  if (enabled) phase.Restart();
+  if (global_ != nullptr) {
+    Matrix vtau = Matrix::Uninit(nv, 1);
+    for (size_t i = 0; i < nv; ++i) vtau.at(i, 0) = taus[valid[i]];
+    const Matrix probs = global_->ApplyBatch(*vq, vtau, xc);
+    SelectScratch scratch;
+    std::vector<size_t> selected_row;
+    for (size_t i = 0; i < nv; ++i) {
+      const float* src = probs.Row(i);
+      if (enabled) {
+        for (size_t s = 0; s < n_seg; ++s) m.global_prob->Record(src[s]);
+      }
+      SelectWithGuards(src, xc.Row(i), taus[valid[i]], &scratch,
+                       &selected_row, nullptr);
+      sel_count[i] = static_cast<uint32_t>(selected_row.size());
+      for (size_t s : selected_row) rows_for_seg[s].push_back(i);
+    }
+  } else {
+    for (size_t s = 0; s < n_seg; ++s) {
+      rows_for_seg[s].resize(nv);
+      for (size_t i = 0; i < nv; ++i) rows_for_seg[s][i] = i;
+    }
+    for (size_t i = 0; i < nv; ++i) sel_count[i] = static_cast<uint32_t>(n_seg);
+  }
+  if (enabled) m.batch_global_us->Record(phase.ElapsedMicros());
+
+  if (enabled) phase.Restart();
+  std::vector<double> sums(nv, 0.0);
+  std::vector<size_t> eval_rows;
+  for (size_t s = 0; s < n_seg; ++s) {
+    const std::vector<size_t>& rows = rows_for_seg[s];
+    if (rows.empty()) continue;
+    if (locals_[s] == nullptr) {
+      // Quarantined by a degraded load: the sampling fallback answers.
+      for (size_t i : rows) {
+        sums[i] += FallbackEstimate(s, vq->Row(i), taus[valid[i]]);
+        if (enabled) m.fb_local_missing->Increment();
+      }
+      continue;
+    }
+    // The policy is consulted once per (row, segment) pair, matching the
+    // single path's call count; rows it diverts answer from the fallback.
+    eval_rows.clear();
+    for (size_t i : rows) {
+      if (policy != nullptr && policy->ForceFallback(s)) {
+        sums[i] += FallbackEstimate(s, vq->Row(i), taus[valid[i]]);
+      } else {
+        eval_rows.push_back(i);
+      }
+    }
+    if (eval_rows.empty()) continue;
+    Matrix sq = Matrix::Uninit(eval_rows.size(), dim_);
+    Matrix stau = Matrix::Uninit(eval_rows.size(), 1);
+    Matrix sxc = Matrix::Uninit(eval_rows.size(), xc.cols());
+    for (size_t j = 0; j < eval_rows.size(); ++j) {
+      const size_t i = eval_rows[j];
+      sq.SetRow(j, vq->Row(i));
+      stau.at(j, 0) = taus[valid[i]];
+      sxc.SetRow(j, xc.Row(i));
+    }
+    const std::vector<double> ests = locals_[s]->EstimateBatch(sq, stau, sxc);
+    for (size_t j = 0; j < eval_rows.size(); ++j) {
+      const size_t i = eval_rows[j];
+      double est = ests[j];
+      if (fault::ShouldFail("gl.local_eval")) {
+        est = std::numeric_limits<double>::quiet_NaN();
+      }
+      const bool ok = std::isfinite(est) && est >= 0.0;
+      if (policy != nullptr) policy->OnLocalResult(s, ok);
+      if (!ok) {
+        est = FallbackEstimate(s, vq->Row(i), taus[valid[i]]);
+        if (enabled) m.fb_local_nonfinite->Increment();
+      }
+      sums[i] += est;
+    }
+  }
+  if (enabled) m.batch_locals_us->Record(phase.ElapsedMicros());
+
+  // Per-row clamp to [0, |D|] plus the per-query counters, identical to
+  // the single-query path.
+  const double dataset_size =
+      static_cast<double>(segmentation_.assignment.size());
+  for (size_t i = 0; i < nv; ++i) {
+    double v = sums[i];
+    if (!std::isfinite(v) || v < 0.0) {
+      if (enabled) m.fb_clamped->Increment();
+      v = 0.0;
+    } else if (v > dataset_size) {
+      if (enabled) m.fb_clamped->Increment();
+      v = dataset_size;
+    }
+    out[valid[i]] = v;
+    if (enabled) {
+      m.queries->Increment();
+      m.evaluated->Add(static_cast<int64_t>(sel_count[i]));
+      m.pruned->Add(static_cast<int64_t>(n_seg - sel_count[i]));
+      m.selected_hist->Record(static_cast<double>(sel_count[i]));
+    }
+  }
+  if (enabled) m.batch_total_us->Record(total.ElapsedMicros());
+  return out;
 }
 
 size_t GlEstimator::ModelSizeBytes() const {

@@ -76,38 +76,30 @@ struct GlEstimatorConfig {
   static GlEstimatorConfig GlPlus();
 };
 
-/// \brief Per-segment evaluation hook for serving layers.
+/// \brief One segment's contribution to an estimate, with provenance.
 ///
-/// EstimatePerSegment consults the policy before evaluating a segment's
-/// local model and reports each outcome afterwards, which lets a caller
-/// (e.g. the serve layer's circuit breaker) route persistently-failing
-/// segments to the sampling fallback without the estimator itself holding
-/// mutable per-request state — the estimator stays const and shareable.
-/// Implementations own their thread-safety; the estimator only calls the
-/// hooks from the thread running the estimate.
-class SegmentEvalPolicy {
- public:
-  virtual ~SegmentEvalPolicy() = default;
-
-  /// Return true to skip segment `s`'s local model and answer from the
-  /// retained sampling fallback instead.
-  virtual bool ForceFallback(size_t s) = 0;
-
-  /// Called after each local-model evaluation; `ok` is false when the model
-  /// produced a non-finite or negative estimate (which the estimator then
-  /// replaces with the fallback answer).
-  virtual void OnLocalResult(size_t s, bool ok) = 0;
+/// Returned by EstimatePerSegment for the evaluated (selected) segments
+/// only. `used_fallback` is true when the answer came from the retained
+/// sampling fallback (quarantined model, policy override, or a non-finite
+/// local result); `forced` is true when the segment entered the selection
+/// through the triangle-inequality force-include rather than the global
+/// model's routing.
+struct SegmentEstimate {
+  size_t segment = 0;
+  double estimate = 0.0;
+  bool used_fallback = false;
+  bool forced = false;
 };
 
 /// \brief Global-local cardinality estimator.
 ///
-/// Inference (EstimateSearch / EstimatePerSegment / FallbackEstimate) is
-/// const and runs on the stateless nn Apply path, so any number of threads
-/// may share one trained instance; see src/serve/ for the serving layer
-/// built on that guarantee. Train / ApplyUpdates / ApplyDeletions /
-/// LoadFromFile mutate the estimator and must be externally serialized
-/// against concurrent readers (the serve layer clones via SaveToBytes /
-/// LoadFromBytes and swaps whole snapshots instead).
+/// Inference (Estimate / EstimateSearchBatch / EstimatePerSegment /
+/// FallbackEstimate) is const and runs on the stateless nn Apply path, so
+/// any number of threads may share one trained instance; see src/serve/ for
+/// the serving layer built on that guarantee. Train / ApplyUpdates /
+/// ApplyDeletions / LoadFromFile mutate the estimator and must be
+/// externally serialized against concurrent readers (the serve layer clones
+/// via SaveToBytes / LoadFromBytes and swaps whole snapshots instead).
 class GlEstimator : public Estimator {
  public:
   explicit GlEstimator(GlEstimatorConfig config)
@@ -115,17 +107,45 @@ class GlEstimator : public Estimator {
 
   std::string Name() const override { return config_.name; }
   Status Train(const TrainContext& ctx) override;
-  double EstimateSearch(const float* query, float tau) override;
+  double Estimate(const EstimateRequest& request) override;
+  std::vector<double> EstimateBatch(
+      const BatchEstimateRequest& request) override;
   size_t ModelSizeBytes() const override;
 
-  /// Const inference entry point: identical to the Estimator override, with
-  /// an optional per-segment evaluation policy (see SegmentEvalPolicy).
+  /// Const inference entry point: identical to the Estimator override.
+  double Estimate(const EstimateRequest& request) const;
+
+  /// \brief Batch-of-queries inference: one centroid-feature build and one
+  /// global forward for the whole batch, then one local forward per
+  /// *segment* covering every query routed to it, instead of one forward
+  /// per (query, segment).
+  ///
+  /// Row i of `queries` pairs with `taus[i]`. Per-query routing decisions
+  /// (global-model thresholding, triangle guards, validation failures) are
+  /// identical to the single-query path, and in the default (non-SIMD)
+  /// build each returned estimate is bitwise equal to
+  /// Estimate(EstimateRequest{queries.Row(i), taus[i]}) — see DESIGN.md §11
+  /// and tests/core/batch_parity_test.cc. A stateful `policy` is the one
+  /// exception: its hooks fire in segment-major order here versus
+  /// query-major order in the single path, so order-sensitive policies
+  /// (e.g. a tripping circuit breaker) may diverge across the two.
+  std::vector<double> EstimateSearchBatch(const Matrix& queries,
+                                          std::span<const float> taus,
+                                          SegmentEvalPolicy* policy =
+                                              nullptr) const;
+
+  /// Deprecated: build an EstimateRequest and call Estimate instead.
   double EstimateSearch(const float* query, float tau,
-                        SegmentEvalPolicy* policy) const;
+                        SegmentEvalPolicy* policy = nullptr) const {
+    EstimateRequest request{
+        std::span<const float>(query, static_cast<size_t>(0)), tau, {}};
+    request.options.policy = policy;
+    return Estimate(request);
+  }
 
   /// Per-segment estimates for the selected segments only; used by tests
-  /// and the join estimator. Output pairs are (segment, estimate).
-  std::vector<std::pair<size_t, double>> EstimatePerSegment(
+  /// and the join estimator.
+  std::vector<SegmentEstimate> EstimatePerSegment(
       const float* query, float tau, SegmentEvalPolicy* policy = nullptr) const;
 
   /// Fraction of the true cardinality that falls in segments the global
@@ -209,6 +229,23 @@ class GlEstimator : public Estimator {
 
  private:
   CardModelConfig LocalConfig() const;
+  /// Reusable buffers for SelectWithGuards: the batch path routes many rows
+  /// back to back, so the per-segment guard masks live in caller scratch
+  /// instead of being reallocated per row.
+  struct SelectScratch {
+    std::vector<char> keep;
+    std::vector<char> forced;
+  };
+  /// Routing shared by the single-query and batch paths: thresholds the
+  /// global probabilities (`probs` holds one value per segment), applies
+  /// the triangle guards, and fills the evaluated segment set (ascending)
+  /// with a parallel forced-include flag (`forced_out` may be null when the
+  /// caller does not need the flags). Keeping one implementation is what
+  /// guarantees identical per-query pruning decisions across the two paths.
+  void SelectWithGuards(const float* probs, const float* xc, float tau,
+                        SelectScratch* scratch,
+                        std::vector<size_t>* selected_out,
+                        std::vector<char>* forced_out) const;
   Status LoadLegacyV1(Deserializer* in, const std::string& path);
   Status LoadChecked(std::vector<uint8_t> bytes, LoadMode mode);
   /// Writes every section of the checked v2 container into `writer`.

@@ -200,17 +200,32 @@ std::vector<float> GlobalModel::Probabilities(const float* query, float tau,
   return probs;
 }
 
+Matrix GlobalModel::ApplyBatch(const Matrix& xq, const Matrix& xtau,
+                               const Matrix& xc) const {
+  Matrix probs = ApplyLogits(xq, xtau, xc);
+  float* d = probs.data();
+  for (size_t i = 0; i < probs.size(); ++i) d[i] = nn::SigmoidScalar(d[i]);
+  return probs;
+}
+
 std::vector<size_t> GlobalModel::SelectSegments(
     const std::vector<float>& probs) const {
   std::vector<size_t> selected;
+  SelectSegmentsInto(std::span<const float>(probs.data(), probs.size()),
+                     &selected);
+  return selected;
+}
+
+void GlobalModel::SelectSegmentsInto(std::span<const float> probs,
+                                     std::vector<size_t>* out) const {
+  out->clear();
   for (size_t s = 0; s < probs.size(); ++s) {
-    if (probs[s] > config_.sigma) selected.push_back(s);
+    if (probs[s] > config_.sigma) out->push_back(s);
   }
-  if (selected.empty() && !probs.empty()) {
-    selected.push_back(static_cast<size_t>(
+  if (out->empty() && !probs.empty()) {
+    out->push_back(static_cast<size_t>(
         std::max_element(probs.begin(), probs.end()) - probs.begin()));
   }
-  return selected;
 }
 
 std::vector<nn::Parameter*> GlobalModel::Parameters() {

@@ -15,6 +15,7 @@
 #define SIMCARD_CORE_GLOBAL_MODEL_H_
 
 #include <memory>
+#include <span>
 
 #include "core/qes.h"
 #include "core/train_watchdog.h"
@@ -68,10 +69,22 @@ class GlobalModel {
   std::vector<float> Probabilities(const float* query, float tau,
                                    const float* xc) const;
 
+  /// Batch twin of Probabilities: one ApplyLogits over all rows, sigmoid
+  /// per element, returned as [B, num_segments]. Row i matches
+  /// Probabilities(xq.Row(i), xtau.at(i,0), xc.Row(i)) bitwise (all layers
+  /// are row-independent).
+  Matrix ApplyBatch(const Matrix& xq, const Matrix& xtau,
+                    const Matrix& xc) const;
+
   /// Indices of segments whose probability exceeds sigma. Never empty: when
   /// nothing clears sigma the single most probable segment is returned, so
   /// the estimator cannot return an unconditionally-zero estimate.
   std::vector<size_t> SelectSegments(const std::vector<float>& probs) const;
+
+  /// Allocation-free SelectSegments: clears and refills `out` (capacity is
+  /// reused), so per-row selection in the batch path costs no heap traffic.
+  void SelectSegmentsInto(std::span<const float> probs,
+                          std::vector<size_t>* out) const;
 
   std::vector<nn::Parameter*> Parameters();
   std::vector<const nn::Parameter*> Parameters() const;

@@ -96,8 +96,8 @@ Status CnnJoinEstimator::FineTuneOnJoins(const TrainContext& ctx,
   return Status::OK();
 }
 
-double CnnJoinEstimator::EstimateSearch(const float* query, float tau) {
-  return flat_->EstimateSearch(query, tau);
+double CnnJoinEstimator::Estimate(const EstimateRequest& request) {
+  return flat_->Estimate(request);
 }
 
 double CnnJoinEstimator::EstimateJoin(const Matrix& queries,
@@ -202,8 +202,8 @@ Status GlJoinEstimator::FineTuneOnJoins(const TrainContext& ctx,
   return Status::OK();
 }
 
-double GlJoinEstimator::EstimateSearch(const float* query, float tau) {
-  return gl_->EstimateSearch(query, tau);
+double GlJoinEstimator::Estimate(const EstimateRequest& request) {
+  return gl_->Estimate(request);
 }
 
 double GlJoinEstimator::EstimateJoin(const Matrix& queries,

@@ -76,7 +76,7 @@ class CnnJoinEstimator : public Estimator {
   /// Phase 2: pooled fine-tune on the join workload's training sets.
   Status FineTuneOnJoins(const TrainContext& ctx, const JoinWorkload& joins);
 
-  double EstimateSearch(const float* query, float tau) override;
+  double Estimate(const EstimateRequest& request) override;
   double EstimateJoin(const Matrix& queries, const std::vector<uint32_t>& rows,
                       float tau) override;
   size_t ModelSizeBytes() const override;
@@ -107,7 +107,7 @@ class GlJoinEstimator : public Estimator {
   Status Train(const TrainContext& ctx) override;
   Status FineTuneOnJoins(const TrainContext& ctx, const JoinWorkload& joins);
 
-  double EstimateSearch(const float* query, float tau) override;
+  double Estimate(const EstimateRequest& request) override;
 
   /// Mask-based routing + per-segment pooled evaluation (Figure 6).
   double EstimateJoin(const Matrix& queries, const std::vector<uint32_t>& rows,

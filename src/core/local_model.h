@@ -52,6 +52,19 @@ class LocalModel {
     return max_card_ > 0.0 ? std::min(est, max_card_) : est;
   }
 
+  /// Batch twin of Estimate: row i answers Estimate(xq.Row(i), xtau.at(i,0),
+  /// xc.Row(i)) bitwise — same untrained-zero and population-clamp
+  /// semantics, one CardModel forward for all rows.
+  std::vector<double> EstimateBatch(const Matrix& xq, const Matrix& xtau,
+                                    const Matrix& xc) const {
+    if (!trained_) return std::vector<double>(xq.rows(), 0.0);
+    std::vector<double> out = model_->ApplyBatch(xq, xtau, xc);
+    if (max_card_ > 0.0) {
+      for (double& est : out) est = std::min(est, max_card_);
+    }
+    return out;
+  }
+
   /// Sets the clamp to the segment's member count.
   void set_max_card(double max_card) { max_card_ = max_card; }
 

@@ -74,9 +74,10 @@ Status FlatCardEstimator::Train(const TrainContext& ctx) {
   return Status::OK();
 }
 
-double FlatCardEstimator::EstimateSearch(const float* query, float tau) {
+double FlatCardEstimator::Estimate(const EstimateRequest& request) {
+  const float* query = request.query.data();
   const auto xd = SampleDistanceRow(query, samples_, metric_);
-  const double est = model_->EstimateCard(query, tau, xd.data());
+  const double est = model_->EstimateCard(query, request.tau, xd.data());
   // No query can match more objects than the dataset holds.
   return std::min(est, max_card_);
 }

@@ -48,7 +48,7 @@ class FlatCardEstimator : public Estimator {
 
   std::string Name() const override { return config_.name; }
   Status Train(const TrainContext& ctx) override;
-  double EstimateSearch(const float* query, float tau) override;
+  double Estimate(const EstimateRequest& request) override;
   size_t ModelSizeBytes() const override;
 
   CardModel* model() { return model_.get(); }

@@ -43,6 +43,18 @@ float L2Squared(const float* a, const float* b, size_t d);
 /// Distance between two length-d vectors under `metric`.
 float Distance(const float* a, const float* b, size_t d, Metric metric);
 
+/// \brief All-pairs distances: out[i][j] = Distance(queries.Row(i),
+/// points.Row(j), d, metric) as a [queries.rows() x points.rows()] matrix.
+///
+/// This is the batched kernel behind the x_D / x_C feature builders: it
+/// tiles the query and point blocks for cache reuse and, for kCosine /
+/// kAngular, hoists the per-row norms out of the pair loop. Every pair is
+/// still evaluated with exactly the scalar expressions used by Distance()
+/// (same accumulation order, same zero-norm branches), so each entry is
+/// bitwise identical to the per-pair call.
+Matrix BatchDistances(const Matrix& queries, const Matrix& points,
+                      Metric metric);
+
 /// In-place L2 normalization; leaves all-zero vectors untouched.
 void NormalizeRow(float* v, size_t d);
 

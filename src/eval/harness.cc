@@ -1,5 +1,7 @@
 #include "eval/harness.h"
 
+#include <span>
+
 #include "baselines/cardnet_estimator.h"
 #include "baselines/kernel_estimator.h"
 #include "baselines/mlp_estimator.h"
@@ -175,11 +177,15 @@ EvalResult EvaluateSearch(Estimator* estimator,
       "eval.qerror", obs::Histogram::ExponentialBuckets(1.0, 1.5, 24));
   Stopwatch watch;
   double total_ms = 0.0;
+  const size_t dim = workload.test_queries.cols();
   for (const auto& lq : workload.test) {
-    const float* q = workload.test_queries.Row(lq.row);
+    EstimateRequest request;
+    request.query = std::span<const float>(
+        workload.test_queries.Row(lq.row), dim);
     for (const auto& t : lq.thresholds) {
+      request.tau = t.tau;
       watch.Restart();
-      const double est = estimator->EstimateSearch(q, t.tau);
+      const double est = estimator->Estimate(request);
       const double elapsed_ms = watch.ElapsedMillis();
       total_ms += elapsed_ms;
       result.qerrors.push_back(QError(est, t.card));

@@ -27,11 +27,15 @@ Matrix Relu::Forward(const Matrix& input) {
 
 Matrix Relu::Apply(const Matrix& input) const {
   Matrix out = input;
-  float* d = out.data();
-  for (size_t i = 0; i < out.size(); ++i) {
+  ApplyInPlace(&out);
+  return out;
+}
+
+void Relu::ApplyInPlace(Matrix* m) const {
+  float* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) {
     if (d[i] < 0.0f) d[i] = 0.0f;
   }
-  return out;
 }
 
 Matrix Relu::Backward(const Matrix& grad_output) {
@@ -52,9 +56,13 @@ Matrix Sigmoid::Forward(const Matrix& input) {
 
 Matrix Sigmoid::Apply(const Matrix& input) const {
   Matrix out = input;
-  float* d = out.data();
-  for (size_t i = 0; i < out.size(); ++i) d[i] = SigmoidScalar(d[i]);
+  ApplyInPlace(&out);
   return out;
+}
+
+void Sigmoid::ApplyInPlace(Matrix* m) const {
+  float* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) d[i] = SigmoidScalar(d[i]);
 }
 
 Matrix Sigmoid::Backward(const Matrix& grad_output) {
@@ -73,9 +81,13 @@ Matrix Tanh::Forward(const Matrix& input) {
 
 Matrix Tanh::Apply(const Matrix& input) const {
   Matrix out = input;
-  float* d = out.data();
-  for (size_t i = 0; i < out.size(); ++i) d[i] = std::tanh(d[i]);
+  ApplyInPlace(&out);
   return out;
+}
+
+void Tanh::ApplyInPlace(Matrix* m) const {
+  float* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) d[i] = std::tanh(d[i]);
 }
 
 Matrix Tanh::Backward(const Matrix& grad_output) {
@@ -93,9 +105,13 @@ Matrix Softplus::Forward(const Matrix& input) {
 
 Matrix Softplus::Apply(const Matrix& input) const {
   Matrix out = input;
-  float* d = out.data();
-  for (size_t i = 0; i < out.size(); ++i) d[i] = SoftplusScalar(d[i]);
+  ApplyInPlace(&out);
   return out;
+}
+
+void Softplus::ApplyInPlace(Matrix* m) const {
+  float* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) d[i] = SoftplusScalar(d[i]);
 }
 
 Matrix Softplus::Backward(const Matrix& grad_output) {

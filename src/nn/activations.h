@@ -13,6 +13,8 @@ class Relu : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
   Matrix Apply(const Matrix& input) const override;
+  bool SupportsInPlaceApply() const override { return true; }
+  void ApplyInPlace(Matrix* m) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Relu"; }
   size_t OutputCols(size_t input_cols) const override { return input_cols; }
@@ -26,6 +28,8 @@ class Sigmoid : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
   Matrix Apply(const Matrix& input) const override;
+  bool SupportsInPlaceApply() const override { return true; }
+  void ApplyInPlace(Matrix* m) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Sigmoid"; }
   size_t OutputCols(size_t input_cols) const override { return input_cols; }
@@ -39,6 +43,8 @@ class Tanh : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
   Matrix Apply(const Matrix& input) const override;
+  bool SupportsInPlaceApply() const override { return true; }
+  void ApplyInPlace(Matrix* m) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Tanh"; }
   size_t OutputCols(size_t input_cols) const override { return input_cols; }
@@ -52,6 +58,8 @@ class Softplus : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
   Matrix Apply(const Matrix& input) const override;
+  bool SupportsInPlaceApply() const override { return true; }
+  void ApplyInPlace(Matrix* m) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Softplus"; }
   size_t OutputCols(size_t input_cols) const override { return input_cols; }

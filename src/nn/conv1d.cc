@@ -1,5 +1,6 @@
 #include "nn/conv1d.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "nn/init.h"
@@ -46,7 +47,7 @@ Matrix Conv1D::Forward(const Matrix& input) {
 Matrix Conv1D::Apply(const Matrix& input) const {
   assert(input.cols() == in_channels_ * in_length_);
   const size_t batch = input.rows();
-  Matrix out(batch, out_channels_ * out_length_);
+  Matrix out = Matrix::Uninit(batch, out_channels_ * out_length_);
   const Matrix& w = weight_.value();
   const float* bias = bias_.value().data();
   for (size_t b = 0; b < batch; ++b) {
@@ -59,14 +60,20 @@ Matrix Conv1D::Apply(const Matrix& input) const {
         // Window start in (unpadded) input coordinates; may be negative.
         const long s =
             static_cast<long>(ot * stride_) - static_cast<long>(pad_);
+        // Valid tap range [k_lo, k_hi): the padding boundary conditions are
+        // hoisted out of the accumulation loop, which walks the same taps
+        // in the same ascending (ic, k) order as the branchy form — the
+        // accumulated sum is bitwise identical.
+        const size_t k_lo = s < 0 ? static_cast<size_t>(-s) : 0;
+        const long hi = static_cast<long>(in_length_) - s;
+        const size_t k_hi =
+            hi <= 0 ? k_lo : std::min(kernel_, static_cast<size_t>(hi));
         float acc = bias[oc];
         for (size_t ic = 0; ic < in_channels_; ++ic) {
           const float* xchan = x + ic * in_length_;
           const float* fk = filter + ic * kernel_;
-          for (size_t k = 0; k < kernel_; ++k) {
-            const long t = s + static_cast<long>(k);
-            if (t < 0 || t >= static_cast<long>(in_length_)) continue;
-            acc += fk[k] * xchan[t];
+          for (size_t k = k_lo; k < k_hi; ++k) {
+            acc += fk[k] * xchan[static_cast<size_t>(s + static_cast<long>(k))];
           }
         }
         ychan[ot] = acc;

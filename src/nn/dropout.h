@@ -22,6 +22,8 @@ class Dropout : public Layer {
   Matrix Forward(const Matrix& input) override;
   /// Inference semantics: inverted dropout is the identity at eval time.
   Matrix Apply(const Matrix& input) const override { return input; }
+  bool SupportsInPlaceApply() const override { return true; }
+  void ApplyInPlace(Matrix*) const override {}  // identity at eval time
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "Dropout"; }
   size_t OutputCols(size_t input_cols) const override { return input_cols; }

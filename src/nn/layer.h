@@ -43,6 +43,15 @@ class Layer {
   /// threads on one shared layer; does not arm Backward.
   virtual Matrix Apply(const Matrix& input) const = 0;
 
+  /// True when ApplyInPlace produces Apply's exact output without a fresh
+  /// allocation (element-wise layers). Sequential::Apply uses it to mutate
+  /// the flowing intermediate instead of copying it per activation.
+  virtual bool SupportsInPlaceApply() const { return false; }
+
+  /// In-place twin of Apply for layers that report SupportsInPlaceApply.
+  /// The default falls back to Apply for the rest.
+  virtual void ApplyInPlace(Matrix* m) const { *m = Apply(*m); }
+
   /// Propagates `grad_output` through the cached forward pass; accumulates
   /// parameter gradients and returns the gradient w.r.t. the input.
   virtual Matrix Backward(const Matrix& grad_output) = 0;

@@ -10,7 +10,7 @@ namespace {
 
 // Drops the tau slice from a batch of rows.
 Matrix DropSlice(const Matrix& input, size_t begin, size_t end) {
-  Matrix out(input.rows(), input.cols() - (end - begin));
+  Matrix out = Matrix::Uninit(input.rows(), input.cols() - (end - begin));
   for (size_t r = 0; r < input.rows(); ++r) {
     const float* src = input.Row(r);
     float* dst = out.Row(r);

@@ -50,7 +50,7 @@ Matrix Pool1D::Compute(const Matrix& input,
                        std::vector<uint32_t>* argmax) const {
   assert(input.cols() == channels_ * in_length_);
   const size_t batch = input.rows();
-  Matrix out(batch, channels_ * out_length_);
+  Matrix out = Matrix::Uninit(batch, channels_ * out_length_);
   if (argmax != nullptr) {
     argmax->assign(batch * channels_ * out_length_, 0);
   }

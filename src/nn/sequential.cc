@@ -17,10 +17,28 @@ Matrix Sequential::Forward(const Matrix& input) {
 }
 
 Matrix Sequential::Apply(const Matrix& input) const {
-  Matrix x = input;
+  // The first non-in-place layer consumes `input` directly; after that the
+  // intermediate is ours, so element-wise layers mutate it in place instead
+  // of copying it. Values are identical to chaining Apply calls.
+  Matrix x;
+  bool own = false;
   for (const auto& layer : layers_) {
-    x = layer->Apply(x);
+    if (!own) {
+      if (layer->SupportsInPlaceApply()) {
+        x = input;
+        own = true;
+        layer->ApplyInPlace(&x);
+      } else {
+        x = layer->Apply(input);
+        own = true;
+      }
+    } else if (layer->SupportsInPlaceApply()) {
+      layer->ApplyInPlace(&x);
+    } else {
+      x = layer->Apply(x);
+    }
   }
+  if (!own) return input;
   return x;
 }
 

@@ -1,11 +1,14 @@
 #include "serve/estimation_service.h"
 
+#include <algorithm>
 #include <chrono>
-#include <thread>
+#include <span>
+#include <string>
 #include <utility>
 
 #include "common/fault.h"
 #include "obs/metrics.h"
+#include "tensor/matrix.h"
 
 namespace simcard {
 namespace serve {
@@ -28,12 +31,18 @@ struct ServeMetrics {
       obs::GetCounter("simcard.serve.deadline_exceeded");
   obs::Counter* completed = obs::GetCounter("simcard.serve.completed");
   obs::Counter* no_model = obs::GetCounter("simcard.serve.no_model");
+  obs::Counter* batch_evals = obs::GetCounter("simcard.batch.evals");
+  obs::Counter* batch_coalesced = obs::GetCounter("simcard.batch.coalesced");
+  obs::Counter* batch_isolated_errors =
+      obs::GetCounter("simcard.batch.isolated_errors");
   obs::Gauge* queue_depth = obs::GetGauge("simcard.serve.queue_depth");
   obs::Histogram* queue_us =
       obs::GetHistogram("simcard.serve.latency.queue_us");
   obs::Histogram* eval_us = obs::GetHistogram("simcard.serve.latency.eval_us");
   obs::Histogram* total_us =
       obs::GetHistogram("simcard.serve.latency.total_us");
+  obs::Histogram* batch_size = obs::GetHistogram(
+      "simcard.serve.batch_size", obs::Histogram::LinearBuckets(1.0, 1.0, 64));
 };
 
 ServeMetrics& Metrics() {
@@ -122,30 +131,48 @@ EstimationService::EstimationService(ModelRegistry* registry,
       options_(options),
       breaker_(options.breaker_failure_threshold,
                options.breaker_cooldown_requests,
-               options.breaker_max_segments),
-      pool_(options.num_threads) {}
+               options.breaker_max_segments) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
 
-EstimationService::~EstimationService() { Drain(); }
+EstimationService::~EstimationService() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
 
-void EstimationService::Drain() { pool_.Wait(); }
-
-std::future<EstimateResponse> EstimationService::Submit(const float* query,
-                                                        size_t dim,
-                                                        float tau) {
-  return Submit(std::vector<float>(query, query + dim), tau,
-                options_.default_deadline_ms);
+void EstimationService::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && running_ == 0; });
 }
 
 std::future<EstimateResponse> EstimationService::Submit(
+    const EstimateRequest& request) {
+  return SubmitInternal(
+      std::vector<float>(request.query.begin(), request.query.end()),
+      request.tau, request.options.deadline_ms);
+}
+
+std::future<EstimateResponse> EstimationService::SubmitInternal(
     std::vector<float> query, float tau, double deadline_ms) {
   const bool enabled = obs::MetricsEnabled();
   ServeMetrics& m = Metrics();
   if (enabled) m.requests->Increment();
 
-  // std::function requires a copyable callable, so the move-only promise
-  // rides in a shared_ptr.
-  auto promise = std::make_shared<std::promise<EstimateResponse>>();
-  std::future<EstimateResponse> future = promise->get_future();
+  std::promise<EstimateResponse> promise;
+  std::future<EstimateResponse> future = promise.get_future();
 
   // Admission control: the pending count covers queued + running requests.
   // Over capacity (or a forced serve.queue_full fault) sheds immediately —
@@ -159,7 +186,7 @@ std::future<EstimateResponse> EstimationService::Submit(
     response.status =
         Status::Unavailable("serve: queue full, request shed (capacity " +
                             std::to_string(options_.queue_capacity) + ")");
-    promise->set_value(std::move(response));
+    promise.set_value(std::move(response));
     return future;
   }
   if (enabled) {
@@ -168,71 +195,186 @@ std::future<EstimateResponse> EstimationService::Submit(
   }
 
   if (deadline_ms <= 0.0) deadline_ms = options_.default_deadline_ms;
-  const Clock::time_point submitted = Clock::now();
-  const Clock::time_point deadline =
-      submitted + std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double, std::milli>(deadline_ms));
+  Pending item;
+  item.query = std::move(query);
+  item.tau = tau;
+  item.submitted = Clock::now();
+  item.deadline =
+      item.submitted +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(deadline_ms));
+  item.promise = std::move(promise);
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(item));
+    depth = queue_.size();
+  }
+  // Notify only on the transitions that matter: empty -> non-empty (liveness
+  // — workers never block on cv_ while the queue is non-empty, because the
+  // wait predicate is evaluated under mu_) and reaching a full batch (cuts a
+  // lingering worker's wait_for short). Enqueues in between stay silent, so
+  // a worker lingering for its batch to fill is not woken once per submit.
+  if (depth == 1 || depth >= options_.max_batch) cv_.notify_one();
+  return future;
+}
 
-  pool_.Submit([this, promise, q = std::move(query), tau, submitted,
-                deadline]() mutable {
-    const bool metrics_on = obs::MetricsEnabled();
-    ServeMetrics& sm = Metrics();
-    EstimateResponse response;
-    response.queue_us = MicrosSince(submitted);
+void EstimationService::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Micro-batching: give a burst batch_linger_us to fill the batch before
+    // evaluating what we have. A full batch (or shutdown) cuts the wait
+    // short, so a lone request pays at most the linger.
+    if (options_.max_batch > 1 && options_.batch_linger_us > 0.0 &&
+        queue_.size() < options_.max_batch && !stop_) {
+      cv_.wait_for(
+          lk,
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::micro>(
+                  options_.batch_linger_us)),
+          [this] { return stop_ || queue_.size() >= options_.max_batch; });
+    }
+    std::vector<Pending> batch;
+    const size_t take = std::min(queue_.size(), options_.max_batch);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (batch.empty()) continue;
+    ++running_;
+    lk.unlock();
+    ProcessBatch(&batch);
+    lk.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+}
 
-    auto finish = [&]() {
-      response.total_us = MicrosSince(submitted);
-      pending_.fetch_sub(1, std::memory_order_acq_rel);
-      if (metrics_on) {
-        sm.queue_depth->Set(
-            static_cast<double>(pending_.load(std::memory_order_relaxed)));
-        sm.queue_us->Record(response.queue_us);
-        sm.total_us->Record(response.total_us);
-      }
-      promise->set_value(std::move(response));
-    };
+void EstimationService::ProcessBatch(std::vector<Pending>* batch_ptr) {
+  std::vector<Pending>& batch = *batch_ptr;
+  const size_t n = batch.size();
+  const bool metrics_on = obs::MetricsEnabled();
+  ServeMetrics& m = Metrics();
+  if (metrics_on) {
+    m.batch_size->Record(static_cast<double>(n));
+    if (n > 1) m.batch_coalesced->Add(static_cast<int64_t>(n));
+  }
 
-    // Deadline check at dequeue: a request that waited out its budget in
-    // the queue must not consume eval capacity too.
-    if (Clock::now() > deadline) {
-      if (metrics_on) sm.deadline_exceeded->Increment();
-      response.status =
+  std::vector<EstimateResponse> responses(n);
+  auto finish = [&](size_t i) {
+    EstimateResponse& response = responses[i];
+    response.batch_size = n;
+    response.total_us = MicrosSince(batch[i].submitted);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    if (metrics_on) {
+      m.queue_depth->Set(
+          static_cast<double>(pending_.load(std::memory_order_relaxed)));
+      m.queue_us->Record(response.queue_us);
+      m.total_us->Record(response.total_us);
+    }
+    batch[i].promise.set_value(std::move(response));
+  };
+
+  // Per-request dequeue checks. A request that waited out its deadline in
+  // the queue must not consume eval capacity, and a serve.batch_eval fault
+  // poisons only its own request — batch mates proceed to evaluation.
+  std::vector<size_t> live;
+  live.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    responses[i].queue_us = MicrosSince(batch[i].submitted);
+    if (Clock::now() > batch[i].deadline) {
+      if (metrics_on) m.deadline_exceeded->Increment();
+      responses[i].status =
           Status::DeadlineExceeded("serve: deadline passed in queue");
-      finish();
-      return;
+      finish(i);
+      continue;
     }
-
-    const ModelSnapshot snapshot = registry_->Current();
-    if (snapshot.estimator == nullptr) {
-      if (metrics_on) sm.no_model->Increment();
-      response.status = Status::Unavailable("serve: no model published");
-      finish();
-      return;
+    if (fault::ShouldFail("serve.batch_eval")) {
+      if (metrics_on) m.batch_isolated_errors->Increment();
+      responses[i].status = fault::InjectedError("serve.batch_eval");
+      finish(i);
+      continue;
     }
-    response.model_epoch = snapshot.epoch;
+    live.push_back(i);
+  }
+  if (live.empty()) return;
 
-    const Clock::time_point eval_start = Clock::now();
-    response.estimate =
-        snapshot.estimator->EstimateSearch(q.data(), tau, &breaker_);
+  const ModelSnapshot snapshot = registry_->Current();
+  if (snapshot.estimator == nullptr) {
+    for (size_t i : live) {
+      if (metrics_on) m.no_model->Increment();
+      responses[i].status = Status::Unavailable("serve: no model published");
+      finish(i);
+    }
+    return;
+  }
+
+  const size_t dim = snapshot.estimator->dim();
+  std::vector<size_t> eval;
+  eval.reserve(live.size());
+  for (size_t i : live) {
+    if (batch[i].query.size() != dim) {
+      responses[i].status = Status::InvalidArgument(
+          "serve: query has " + std::to_string(batch[i].query.size()) +
+          " dims, model expects " + std::to_string(dim));
+      finish(i);
+      continue;
+    }
+    responses[i].model_epoch = snapshot.epoch;
+    eval.push_back(i);
+  }
+  if (eval.empty()) return;
+
+  const Clock::time_point eval_start = Clock::now();
+  std::vector<double> estimates;
+  if (eval.size() == 1) {
+    // A batch of one takes the single-query path: identical estimates (the
+    // batch kernel is parity-tested against it) and no Matrix staging.
+    const Pending& p = batch[eval[0]];
+    EstimateRequest request;
+    request.query = std::span<const float>(p.query.data(), p.query.size());
+    request.tau = p.tau;
+    request.options.policy = &breaker_;
+    estimates.push_back(snapshot.estimator->Estimate(request));
+  } else {
+    if (metrics_on) m.batch_evals->Increment();
+    Matrix queries = Matrix::Uninit(eval.size(), dim);
+    std::vector<float> taus(eval.size());
+    for (size_t j = 0; j < eval.size(); ++j) {
+      queries.SetRow(j, batch[eval[j]].query.data());
+      taus[j] = batch[eval[j]].tau;
+    }
+    estimates = snapshot.estimator->EstimateSearchBatch(
+        queries, std::span<const float>(taus.data(), taus.size()), &breaker_);
+  }
+
+  for (size_t j = 0; j < eval.size(); ++j) {
+    const size_t i = eval[j];
+    responses[i].estimate = estimates[j];
     if (fault::ShouldFail("serve.slow_eval")) {
       // Deterministically stall past this request's deadline so the
       // post-eval check below fires.
-      std::this_thread::sleep_until(deadline + std::chrono::milliseconds(2));
+      std::this_thread::sleep_until(batch[i].deadline +
+                                    std::chrono::milliseconds(2));
     }
-    response.eval_us = MicrosSince(eval_start);
-    if (metrics_on) sm.eval_us->Record(response.eval_us);
-
-    if (Clock::now() > deadline) {
-      if (metrics_on) sm.deadline_exceeded->Increment();
-      response.status =
+    responses[i].eval_us = MicrosSince(eval_start);
+    if (metrics_on) m.eval_us->Record(responses[i].eval_us);
+    if (Clock::now() > batch[i].deadline) {
+      if (metrics_on) m.deadline_exceeded->Increment();
+      responses[i].status =
           Status::DeadlineExceeded("serve: evaluation exceeded deadline");
-      finish();
-      return;
+      finish(i);
+      continue;
     }
-    if (metrics_on) sm.completed->Increment();
-    finish();
-  });
-  return future;
+    if (metrics_on) m.completed->Increment();
+    finish(i);
+  }
 }
 
 }  // namespace serve

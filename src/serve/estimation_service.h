@@ -1,4 +1,5 @@
-// Concurrent estimation service: deadlines, load shedding, circuit breaker.
+// Concurrent estimation service: deadlines, load shedding, circuit breaker,
+// and request micro-batching.
 //
 // Wraps the const inference path of a published GlEstimator (see
 // serve/model_registry.h) behind a fixed worker pool. Each request carries a
@@ -6,29 +7,47 @@
 // bounded queue is full, answers kDeadlineExceeded when a request's deadline
 // passes before (or during) evaluation, and routes segments whose local
 // model keeps failing to the sampling fallback through a per-segment circuit
-// breaker (the SegmentEvalPolicy hook in core/gl_estimator.h).
+// breaker (the SegmentEvalPolicy hook in core/estimator.h).
+//
+// Micro-batching: when ServeOptions::max_batch > 1 each worker drains up to
+// max_batch queued requests per pass — waiting up to batch_linger_us for a
+// burst to accumulate — and evaluates them through
+// GlEstimator::EstimateSearchBatch (one feature build + one global forward +
+// one local forward per segment for the whole batch). Every future is still
+// fulfilled individually, deadlines are still checked per request at dequeue
+// and after evaluation, and a failure injected into one batch member never
+// touches its batch mates. max_batch = 1 (the default) preserves the
+// one-request-per-worker behavior exactly.
 //
 // Observability (all gated on obs::MetricsEnabled()):
 //   counters   simcard.serve.requests, .accepted, .shed, .deadline_exceeded,
-//              .completed, .no_model, .breaker_open, .breaker_short_circuited
+//              .completed, .no_model, .breaker_open, .breaker_short_circuited,
+//              simcard.batch.evals, .coalesced, .isolated_errors
 //   gauge      simcard.serve.queue_depth (plus .model_epoch / .publishes
 //              from the registry)
-//   histograms simcard.serve.latency.queue_us, .eval_us, .total_us
+//   histograms simcard.serve.latency.queue_us, .eval_us, .total_us,
+//              simcard.serve.batch_size
 //
 // Fault sites (common/fault.h):
 //   serve.queue_full  forces admission control to shed the request
 //   serve.slow_eval   stalls evaluation past the request's deadline
+//   serve.batch_eval  poisons one batch member with an injected error
+//                     (its batch mates must still succeed)
 #ifndef SIMCARD_SERVE_ESTIMATION_SERVICE_H_
 #define SIMCARD_SERVE_ESTIMATION_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "core/gl_estimator.h"
 #include "serve/model_registry.h"
 
@@ -40,6 +59,14 @@ struct ServeOptions {
   size_t num_threads = 2;          ///< worker threads (0 = hardware)
   size_t queue_capacity = 64;      ///< max queued + running requests
   double default_deadline_ms = 50.0;
+
+  /// Micro-batching: max requests one worker drains per pass (1 = no
+  /// batching) and how long an under-filled worker waits for stragglers
+  /// before evaluating what it has. The linger is bounded by max_batch
+  /// arrivals, so it adds at most batch_linger_us to a lone request's
+  /// latency while letting bursts share one forward pass.
+  size_t max_batch = 1;
+  double batch_linger_us = 50.0;
 
   /// Circuit breaker: consecutive local-model failures before a segment is
   /// routed to its sampling fallback, and how many short-circuited requests
@@ -57,8 +84,9 @@ struct EstimateResponse {
   double estimate = 0.0;
   uint64_t model_epoch = 0;  ///< epoch of the snapshot that answered
   double queue_us = 0.0;     ///< submit -> worker pickup
-  double eval_us = 0.0;      ///< model evaluation only
+  double eval_us = 0.0;      ///< model evaluation only (shared by the batch)
   double total_us = 0.0;     ///< submit -> response
+  size_t batch_size = 1;     ///< requests drained in the same worker pass
 };
 
 /// \brief Per-segment circuit breaker implementing SegmentEvalPolicy.
@@ -104,7 +132,7 @@ class SegmentCircuitBreaker : public SegmentEvalPolicy {
   std::atomic<uint64_t> trips_{0};
 };
 
-/// \brief Thread-pooled estimation front end over a ModelRegistry.
+/// \brief Worker-pooled estimation front end over a ModelRegistry.
 ///
 /// Thread-safe: Submit may be called from any thread, including while a
 /// writer thread publishes replacement models through the registry. The
@@ -118,15 +146,26 @@ class EstimationService {
   EstimationService(const EstimationService&) = delete;
   EstimationService& operator=(const EstimationService&) = delete;
 
-  /// Enqueues an estimate of (query, tau) with the default deadline. The
-  /// query is copied, so the caller's buffer may be reused immediately.
-  std::future<EstimateResponse> Submit(const float* query, size_t dim,
-                                       float tau);
+  /// Enqueues one request. `request.query` must be a sized span of the
+  /// model's dim() floats (it is copied, so the caller's buffer may be
+  /// reused immediately); `request.options.deadline_ms` <= 0 uses the
+  /// default deadline; `request.options.policy` is ignored — the service
+  /// applies its own circuit breaker. Shed requests resolve immediately
+  /// with kUnavailable.
+  std::future<EstimateResponse> Submit(const EstimateRequest& request);
 
-  /// Enqueues with an explicit deadline (milliseconds from now; <= 0 uses
-  /// the default). Shed requests resolve immediately with kUnavailable.
+  /// Deprecated: build an EstimateRequest and call Submit(request) instead.
+  std::future<EstimateResponse> Submit(const float* query, size_t dim,
+                                       float tau) {
+    return SubmitInternal(std::vector<float>(query, query + dim), tau,
+                          options_.default_deadline_ms);
+  }
+
+  /// Deprecated: build an EstimateRequest and call Submit(request) instead.
   std::future<EstimateResponse> Submit(std::vector<float> query, float tau,
-                                       double deadline_ms);
+                                       double deadline_ms) {
+    return SubmitInternal(std::move(query), tau, deadline_ms);
+  }
 
   /// Blocks until every accepted request has completed.
   void Drain();
@@ -138,11 +177,33 @@ class EstimationService {
   const ServeOptions& options() const { return options_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    std::vector<float> query;
+    float tau = 0.0f;
+    Clock::time_point submitted;
+    Clock::time_point deadline;
+    std::promise<EstimateResponse> promise;
+  };
+
+  std::future<EstimateResponse> SubmitInternal(std::vector<float> query,
+                                               float tau, double deadline_ms);
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Pending>* batch);
+
   ModelRegistry* registry_;
   ServeOptions options_;
   SegmentCircuitBreaker breaker_;
   std::atomic<size_t> pending_{0};
-  ThreadPool pool_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // queue has work / stopping
+  std::condition_variable idle_cv_;  // queue empty and no batch running
+  std::deque<Pending> queue_;
+  size_t running_ = 0;  // workers currently evaluating a batch
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace serve

@@ -36,7 +36,7 @@ void Matrix::SetRow(size_t r, const float* src) {
 
 Matrix Matrix::SliceRows(size_t begin, size_t end) const {
   assert(begin <= end && end <= rows_);
-  Matrix out(end - begin, cols_);
+  Matrix out = Uninit(end - begin, cols_);
   std::memcpy(out.data(), data_.data() + begin * cols_,
               (end - begin) * cols_ * sizeof(float));
   return out;
@@ -44,7 +44,7 @@ Matrix Matrix::SliceRows(size_t begin, size_t end) const {
 
 Matrix Matrix::SliceCols(size_t begin, size_t end) const {
   assert(begin <= end && end <= cols_);
-  Matrix out(rows_, end - begin);
+  Matrix out = Uninit(rows_, end - begin);
   for (size_t r = 0; r < rows_; ++r) {
     std::memcpy(out.Row(r), Row(r) + begin, (end - begin) * sizeof(float));
   }
@@ -92,7 +92,10 @@ std::string Matrix::ToString(size_t max_elems) const {
 void Matrix::Serialize(Serializer* out) const {
   out->WriteU64(rows_);
   out->WriteU64(cols_);
-  out->WriteFloatVector(data_);
+  // Same framing as WriteFloatVector (u64 count + raw floats); spelled out
+  // because data_ uses the default-init allocator type.
+  out->WriteU64(data_.size());
+  out->WriteRawBytes(data_.data(), data_.size() * sizeof(float));
 }
 
 Status Matrix::Deserialize(Deserializer* in) {
@@ -107,7 +110,7 @@ Status Matrix::Deserialize(Deserializer* in) {
   }
   rows_ = rows;
   cols_ = cols;
-  data_ = std::move(data);
+  data_.assign(data.begin(), data.end());
   return Status::OK();
 }
 

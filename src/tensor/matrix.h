@@ -9,7 +9,9 @@
 
 #include <cassert>
 #include <cstddef>
+#include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/rng.h"
@@ -18,19 +20,54 @@
 
 namespace simcard {
 
+/// \brief Allocator whose valueless construct() default-initializes — a
+/// no-op for float — so Matrix::Uninit can skip the zero-fill for outputs
+/// every element of which is about to be written. Explicit fills
+/// (vector(n, 0.0f), assign, push_back) still construct values as usual.
+template <class T>
+struct DefaultInitAllocator : std::allocator<T> {
+  using std::allocator<T>::allocator;
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  template <class U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
 /// \brief Row-major float32 matrix with value semantics.
 class Matrix {
  public:
+  using Buffer = std::vector<float, DefaultInitAllocator<float>>;
+
   Matrix() : rows_(0), cols_(0) {}
   Matrix(size_t rows, size_t cols)
       : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
-  Matrix(size_t rows, size_t cols, std::vector<float> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
+  Matrix(size_t rows, size_t cols, const std::vector<float>& data)
+      : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
     assert(data_.size() == rows_ * cols_);
   }
 
   /// All-zeros matrix.
   static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  /// Matrix with UNINITIALIZED contents: the kernels' fast path for outputs
+  /// that write every element before any read. Reading an element before
+  /// writing it is undefined — never hand one of these out partially
+  /// written.
+  static Matrix Uninit(size_t rows, size_t cols) {
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = Buffer(rows * cols);
+    return m;
+  }
 
   /// Constant-filled matrix.
   static Matrix Full(size_t rows, size_t cols, float value);
@@ -66,7 +103,7 @@ class Matrix {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  const std::vector<float>& storage() const { return data_; }
+  const Buffer& storage() const { return data_; }
 
   /// Sets every element to `value`.
   void Fill(float value);
@@ -101,7 +138,7 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<float> data_;
+  Buffer data_;
 };
 
 }  // namespace simcard

@@ -3,7 +3,59 @@
 #include <algorithm>
 #include <cassert>
 
+// SIMCARD_SIMD_HINTS (cmake -DSIMCARD_SIMD=ON) turns on explicit
+// vectorization hints: ivdep-style pragmas on the stride-1 inner loops and a
+// four-accumulator dot product. The multi-accumulator reduction REASSOCIATES
+// the floating-point sum, so results may differ in the last ulp from the
+// default build — which is why it is off by default: the batch/single parity
+// guarantee (DESIGN.md §11) and the golden-value tests are stated for the
+// strict accumulation order.
+#if defined(SIMCARD_SIMD_HINTS)
+#if defined(__clang__)
+#define SIMCARD_IVDEP _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define SIMCARD_IVDEP _Pragma("GCC ivdep")
+#else
+#define SIMCARD_IVDEP
+#endif
+#else
+#define SIMCARD_IVDEP
+#endif
+
 namespace simcard {
+namespace {
+
+// Cache-blocking tile sizes. The models here are small (hidden widths in the
+// tens to low hundreds), so the tiles are sized for L1: a 64x128 float tile
+// of B is 32 KiB.
+constexpr size_t kBlockP = 64;   // reduction-dimension tile
+constexpr size_t kBlockJ = 128;  // output-column tile
+constexpr size_t kBlockI = 64;   // output-row tile (MatMulTransposeB)
+
+// Stride-1 dot product. The default build keeps a single accumulator in
+// ascending index order so every caller gets the same bits as the naive
+// loop; the SIMD build trades that for four independent accumulators.
+inline float Dot1(const float* a, const float* b, size_t k) {
+#if defined(SIMCARD_SIMD_HINTS)
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    acc0 += a[p] * b[p];
+    acc1 += a[p + 1] * b[p + 1];
+    acc2 += a[p + 2] * b[p + 2];
+    acc3 += a[p + 3] * b[p + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; p < k; ++p) acc += a[p] * b[p];
+  return acc;
+#else
+  float acc = 0.0f;
+  for (size_t p = 0; p < k; ++p) acc += a[p] * b[p];
+  return acc;
+#endif
+}
+
+}  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
@@ -11,15 +63,27 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const size_t n = a.rows();
   const size_t k = a.cols();
   const size_t m = b.cols();
-  for (size_t i = 0; i < n; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(p);
-      for (size_t j = 0; j < m; ++j) {
-        crow[j] += av * brow[j];
+  // Blocked ikj: tile the reduction (p) and output-column (j) loops so a
+  // kBlockP x kBlockJ panel of B stays cache-hot across every row of A.
+  // Each output element still accumulates its products in ascending-p order
+  // (blocks ascend, p ascends within a block), so the result is bitwise
+  // identical to the unblocked loop for finite inputs.
+  for (size_t jb = 0; jb < m; jb += kBlockJ) {
+    const size_t jend = std::min(m, jb + kBlockJ);
+    for (size_t pb = 0; pb < k; pb += kBlockP) {
+      const size_t pend = std::min(k, pb + kBlockP);
+      for (size_t i = 0; i < n; ++i) {
+        const float* arow = a.Row(i);
+        float* crow = c.Row(i);
+        for (size_t p = pb; p < pend; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;  // ReLU activations are often sparse
+          const float* brow = b.Row(p);
+          SIMCARD_IVDEP
+          for (size_t j = jb; j < jend; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
       }
     }
   }
@@ -28,16 +92,22 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
-  Matrix c(a.rows(), b.rows());
+  Matrix c = Matrix::Uninit(a.rows(), b.rows());
   const size_t k = a.cols();
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const float* brow = b.Row(j);
-      float acc = 0.0f;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
+  // Blocked over both output dimensions: a tile of B rows is reused against
+  // a tile of A rows before moving on. The per-(i,j) reduction is a single
+  // stride-1 dot product (see Dot1 for the accumulation-order contract).
+  for (size_t ib = 0; ib < a.rows(); ib += kBlockI) {
+    const size_t iend = std::min(a.rows(), ib + kBlockI);
+    for (size_t jb = 0; jb < b.rows(); jb += kBlockI) {
+      const size_t jend = std::min(b.rows(), jb + kBlockI);
+      for (size_t i = ib; i < iend; ++i) {
+        const float* arow = a.Row(i);
+        float* crow = c.Row(i);
+        for (size_t j = jb; j < jend; ++j) {
+          crow[j] = Dot1(arow, b.Row(j), k);
+        }
+      }
     }
   }
   return c;
@@ -53,6 +123,7 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
       const float av = arow[i];
       if (av == 0.0f) continue;
       float* crow = c.Row(i);
+      SIMCARD_IVDEP
       for (size_t j = 0; j < b.cols(); ++j) {
         crow[j] += av * brow[j];
       }
@@ -62,7 +133,7 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
 }
 
 Matrix Transpose(const Matrix& a) {
-  Matrix t(a.cols(), a.rows());
+  Matrix t = Matrix::Uninit(a.cols(), a.rows());
   for (size_t i = 0; i < a.rows(); ++i) {
     for (size_t j = 0; j < a.cols(); ++j) {
       t.at(j, i) = a.at(i, j);
@@ -134,7 +205,7 @@ Matrix ConcatCols(const std::vector<Matrix>& parts) {
     assert(p.rows() == rows);
     cols += p.cols();
   }
-  Matrix out(rows, cols);
+  Matrix out = Matrix::Uninit(rows, cols);
   for (size_t r = 0; r < rows; ++r) {
     float* dst = out.Row(r);
     for (const auto& p : parts) {

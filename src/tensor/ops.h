@@ -1,8 +1,14 @@
 // Numerical kernels over Matrix.
 //
 // These are the only places where simcard does heavy floating-point work on
-// matrices; everything is written as simple loops in an auto-vectorizable
-// order (ikj for matmul) since the target environment is a single CPU core.
+// matrices. The forward-path kernels (MatMul, MatMulTransposeB) are cache
+// blocked for batched inference, but every output element still accumulates
+// its products in ascending reduction-index order, so results are bitwise
+// identical to the naive loops — that ordering contract is what makes
+// batch-of-queries inference reproduce single-query results exactly
+// (DESIGN.md §11). Building with -DSIMCARD_SIMD=ON adds explicit
+// vectorization hints and a multi-accumulator dot product that reassociate
+// the FP sums for extra throughput at the cost of that guarantee.
 #ifndef SIMCARD_TENSOR_OPS_H_
 #define SIMCARD_TENSOR_OPS_H_
 

@@ -108,7 +108,9 @@ TEST(GlEstimatorTest, SumOfSegmentsEqualsSearchEstimate) {
   const float* q = env.workload.test_queries.Row(1);
   const float tau = env.workload.test[1].thresholds[3].tau;
   double sum = 0.0;
-  for (const auto& [seg, e] : est.EstimatePerSegment(q, tau)) sum += e;
+  for (const SegmentEstimate& se : est.EstimatePerSegment(q, tau)) {
+    sum += se.estimate;
+  }
   EXPECT_NEAR(est.EstimateSearch(q, tau), sum, 1e-9 + 1e-6 * sum);
 }
 

@@ -41,7 +41,10 @@ GlEstimatorConfig FastConfig(GlEstimatorConfig config) {
   return config;
 }
 
-TEST(ServeStressTest, ReadersRaceModelSwaps) {
+// Shared body for the hot-swap races below: readers hammer the service
+// (single-request or micro-batched, per `options`) while a writer keeps
+// publishing freshly loaded clones.
+void RunReadersRaceModelSwaps(ServeOptions options) {
   const ExperimentEnv& env = SharedEnv();
   const GlEstimatorConfig config = FastConfig(GlEstimatorConfig::GlCnn());
 
@@ -54,10 +57,6 @@ TEST(ServeStressTest, ReadersRaceModelSwaps) {
   ModelRegistry registry;
   registry.Publish(std::shared_ptr<const GlEstimator>(initial));
 
-  ServeOptions options;
-  options.num_threads = 4;
-  options.queue_capacity = 256;
-  options.default_deadline_ms = 10000.0;
   EstimationService service(&registry, options);
 
   constexpr int kReaders = 4;
@@ -120,6 +119,28 @@ TEST(ServeStressTest, ReadersRaceModelSwaps) {
   EXPECT_GT(answered.load(), 0);
   EXPECT_EQ(registry.epoch(), static_cast<uint64_t>(kSwaps) + 1);
   EXPECT_EQ(service.pending(), 0u);
+}
+
+TEST(ServeStressTest, ReadersRaceModelSwaps) {
+  ServeOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 256;
+  options.default_deadline_ms = 10000.0;
+  RunReadersRaceModelSwaps(options);
+}
+
+// Same race with micro-batching on: workers coalesce concurrent readers'
+// requests into shared EstimateSearchBatch calls while models hot-swap.
+// This is the TSan target for the batched worker loop (linger wait, batch
+// drain, per-request promise fulfillment).
+TEST(ServeStressTest, ReadersRaceModelSwapsMicroBatched) {
+  ServeOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 256;
+  options.default_deadline_ms = 10000.0;
+  options.max_batch = 8;
+  options.batch_linger_us = 200.0;
+  RunReadersRaceModelSwaps(options);
 }
 
 TEST(ServeStressTest, ConcurrentEstimatesMatchSerialOnSharedModel) {
