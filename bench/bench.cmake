@@ -25,3 +25,4 @@ simcard_bench(bench_ablation_segmentation)
 simcard_bench(bench_ablation_tuning)
 simcard_bench(bench_serve_throughput)
 simcard_bench(bench_batch_throughput)
+simcard_bench(bench_update_staleness)

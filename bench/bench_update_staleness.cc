@@ -1,0 +1,196 @@
+// Exp-11 trade-off for the online-update subsystem: after a delta of
+// inserts + deletes, how does the drift-aware incremental refresh compare
+// to (a) serving the stale pre-delta model and (b) a full re-segment +
+// retrain? Expected shape: refreshed strictly better than stale on the
+// relabeled workload, within a small factor of the full retrain, at a
+// fraction of its cost.
+#include "core/gl_estimator.h"
+
+#include "common/rng.h"
+#include "serve/model_registry.h"
+#include "update/update_manager.h"
+
+#include "bench_common.h"
+
+namespace simcard {
+namespace bench {
+namespace {
+
+// Clones `src` into a mutable estimator (EvaluateSearch wants Estimator*).
+std::unique_ptr<GlEstimator> CloneEstimator(const GlEstimator& src) {
+  auto clone = std::make_unique<GlEstimator>(src.config());
+  Status st = clone->LoadFromBytes(src.SaveToBytes());
+  if (!st.ok()) {
+    std::fprintf(stderr, "cloning estimator: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return clone;
+}
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv, {"glove-sim"},
+                             {"delta_fraction", "refresh_epochs"});
+  PrintBanner("Update staleness: stale vs refreshed vs full retrain", args);
+  const double delta_fraction = args.cl.GetDouble("delta_fraction", 0.2);
+  const size_t refresh_epochs =
+      static_cast<size_t>(args.cl.GetInt("refresh_epochs", 3));
+
+  for (const auto& dataset_name : args.datasets) {
+    ExperimentEnv env = MustBuildEnv(dataset_name, args);
+    const size_t base_rows = env.dataset.size();
+    const size_t num_inserts =
+        static_cast<size_t>(base_rows * delta_fraction / 2.0);
+    const size_t num_erases = num_inserts;
+
+    auto base = MakeEstimatorByName("GL-CNN", args.scale).value();
+    auto* gl = static_cast<GlEstimator*>(base.get());
+    TrainContext ctx = MakeTrainContext(env);
+    Status st = gl->Train(ctx);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    // The stale contender: the pre-delta model, frozen now.
+    std::unique_ptr<GlEstimator> stale = CloneEstimator(*gl);
+
+    serve::ModelRegistry registry;
+    update::UpdateOptions opts;
+    opts.fine_tune_epochs = refresh_epochs;
+    opts.seed = args.seed;
+    // This bench measures the incremental path; the escalation ceiling is
+    // covered by tests/update/ and stays out of the way here.
+    opts.allow_full_reseg = false;
+    update::UpdateManager manager(std::move(env.dataset),
+                                  std::move(env.workload), &registry, opts);
+    st = manager.Start(*gl);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    // Stage the delta: new rows from the dataset's analog generator,
+    // erases sampled uniformly without replacement.
+    Matrix inserts =
+        MakeAnalogUpdates(dataset_name, args.scale, num_inserts,
+                          args.seed + 1)
+            .value();
+    for (size_t i = 0; i < inserts.rows(); ++i) {
+      st = manager.Insert(
+          std::span<const float>(inserts.Row(i), inserts.cols()));
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    Rng rng(args.seed + 2);
+    for (size_t row : rng.SampleWithoutReplacement(base_rows, num_erases)) {
+      st = manager.Erase(static_cast<uint32_t>(row));
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+
+    Stopwatch refresh_watch;
+    auto outcome_or = manager.Refresh();
+    if (!outcome_or.ok()) {
+      std::fprintf(stderr, "%s\n", outcome_or.status().ToString().c_str());
+      return 1;
+    }
+    const update::RefreshOutcome outcome = outcome_or.value();
+    const double refresh_seconds = refresh_watch.ElapsedSeconds();
+
+    // Full-retrain contender: fresh PCA + K-means on the updated dataset,
+    // trained from scratch on the relabeled workload.
+    SegmentationOptions sopts;
+    sopts.target_segments = args.segments;
+    sopts.seed = args.seed + 3;
+    auto seg_or = SegmentData(manager.dataset(), sopts);
+    if (!seg_or.ok()) {
+      std::fprintf(stderr, "%s\n", seg_or.status().ToString().c_str());
+      return 1;
+    }
+    auto retrain = MakeEstimatorByName("GL-CNN", args.scale).value();
+    auto* retrain_gl = static_cast<GlEstimator*>(retrain.get());
+    TrainContext rctx;
+    rctx.dataset = &manager.dataset();
+    rctx.workload = &manager.workload();
+    rctx.segmentation = &seg_or.value();
+    rctx.seed = args.seed + 4;
+    Stopwatch retrain_watch;
+    st = retrain_gl->Train(rctx);
+    const double retrain_seconds = retrain_watch.ElapsedSeconds();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    // All three answer the same post-delta workload. The refreshed model is
+    // re-cloned mutable because EvaluateSearch takes Estimator*.
+    std::unique_ptr<GlEstimator> refreshed =
+        CloneEstimator(*registry.Current().estimator);
+    const EvalResult stale_eval =
+        EvaluateSearch(stale.get(), manager.workload());
+    const EvalResult refreshed_eval =
+        EvaluateSearch(refreshed.get(), manager.workload());
+    const EvalResult retrain_eval =
+        EvaluateSearch(retrain_gl, manager.workload());
+
+    TableReporter table({"Model", "Mean Q-error", "Median Q-error",
+                         "Build time (s)"});
+    table.AddRow({"stale (pre-delta)",
+                  FormatPaperNumber(stale_eval.qerror.mean),
+                  FormatPaperNumber(stale_eval.qerror.median), "-"});
+    table.AddRow({"refreshed (incremental)",
+                  FormatPaperNumber(refreshed_eval.qerror.mean),
+                  FormatPaperNumber(refreshed_eval.qerror.median),
+                  FormatPaperNumber(refresh_seconds)});
+    table.AddRow({"full retrain",
+                  FormatPaperNumber(retrain_eval.qerror.mean),
+                  FormatPaperNumber(retrain_eval.qerror.median),
+                  FormatPaperNumber(retrain_seconds)});
+    std::cout << "--- " << dataset_name << " (" << outcome.applied_inserts
+              << " inserts + " << outcome.applied_erases << " erases = "
+              << (delta_fraction * 100.0) << "% delta; "
+              << outcome.stale_segments.size()
+              << " stale segments fine-tuned, epoch " << outcome.epoch
+              << ") ---\n";
+    table.Print(std::cout);
+
+    const double vs_stale =
+        stale_eval.qerror.mean / refreshed_eval.qerror.mean;
+    const double vs_retrain =
+        refreshed_eval.qerror.mean / retrain_eval.qerror.mean;
+    std::cout << "refreshed improves on stale by "
+              << FormatPaperNumber(vs_stale) << "x; refreshed / retrain = "
+              << FormatPaperNumber(vs_retrain) << " (want <= 1.2); refresh "
+              << FormatPaperNumber(refresh_seconds) << "s vs retrain "
+              << FormatPaperNumber(retrain_seconds) << "s\n\n";
+
+    if (obs::MetricsEnabled()) {
+      const std::string prefix = "bench.update_staleness." + dataset_name;
+      obs::GetGauge(prefix + ".stale_qerror")->Set(stale_eval.qerror.mean);
+      obs::GetGauge(prefix + ".refreshed_qerror")
+          ->Set(refreshed_eval.qerror.mean);
+      obs::GetGauge(prefix + ".retrain_qerror")
+          ->Set(retrain_eval.qerror.mean);
+      obs::GetGauge(prefix + ".refreshed_vs_stale")->Set(vs_stale);
+      obs::GetGauge(prefix + ".refreshed_vs_retrain")->Set(vs_retrain);
+      obs::GetGauge(prefix + ".refresh_seconds")->Set(refresh_seconds);
+      obs::GetGauge(prefix + ".retrain_seconds")->Set(retrain_seconds);
+    }
+  }
+  std::cout << "Expected shape (Exp-11): the drift-aware refresh recovers "
+               "most of the stale model's lost accuracy at a fraction of "
+               "the full-retrain cost.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcard
+
+int main(int argc, char** argv) {
+  return simcard::bench::Run(argc, argv);
+}

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Gate on the deprecated estimation entry points: no in-tree production code
-# (src/, bench/, examples/) may call the legacy overloads that the unified
+# Gate on the deprecated estimation entry points: no in-tree code (src/,
+# bench/, examples/, tests/) may call the legacy overloads that the unified
 # EstimateRequest API replaced:
 #
 #   Estimator/GlEstimator::EstimateSearch(const float*, float[, policy])
 #   EstimationService::Submit(const float*, size_t, float)
 #   EstimationService::Submit(std::vector<float>, float, double)
 #
-# The shims themselves stay (external callers get a migration window) and
-# tests/ intentionally keep exercising them, so the scan skips tests/ and
-# the files that define the shims.
+# The shims themselves stay (external callers get a migration window): the
+# defining headers are allowlisted, and tests/core/deprecated_shim_test.cc
+# is the one test allowed to call them — it pins each shim to the request
+# API answer so the compatibility surface keeps working. Everything else in
+# tests/ goes through tests/support/request_helpers.h or builds an
+# EstimateRequest directly.
 #
 # Usage: scripts/check_api_deprecations.sh [repo_root]
 set -euo pipefail
@@ -17,11 +20,15 @@ set -euo pipefail
 REPO_ROOT="${1:-"$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"}"
 cd "${REPO_ROOT}"
 
-# Files allowed to mention the deprecated names: the shim definitions.
+SCAN_DIRS=(src bench examples tests)
+
+# Files allowed to mention the deprecated names: the shim definitions and
+# the parity test that keeps them covered.
 ALLOWLIST=(
   "src/core/estimator.h"
   "src/core/gl_estimator.h"
   "src/serve/estimation_service.h"
+  "tests/core/deprecated_shim_test.cc"
 )
 
 is_allowed() {
@@ -42,23 +49,30 @@ while IFS=: read -r file line text; do
     fail=1
   fi
 done < <(grep -rn --include='*.cc' --include='*.h' 'EstimateSearch(' \
-           src bench examples 2>/dev/null || true)
+           "${SCAN_DIRS[@]}" 2>/dev/null || true)
 
 # Legacy Submit overloads: a Submit call whose first argument is not an
-# EstimateRequest. Heuristic: flag Submit( followed by std::vector, a raw
-# pointer + dim pattern, or std::move of a float vector.
+# EstimateRequest. Heuristic, tuned to the shapes that appear in practice:
+#   Submit(std::vector<float>...)        explicit vector first arg
+#   Submit(std::move(q), tau, ...)       moved vector + two more args
+#   Submit(MakeQuery(), tau, ...)        function-call first arg + more args
+#   Submit(q.data(), dim, tau)           pointer + dim shim
+# ThreadPool::Submit(lambda) is not caught: a lambda first arg starts with
+# `[`, and single-argument std::move(fn) has no trailing comma.
 while IFS=: read -r file line text; do
   if ! is_allowed "${file}"; then
     echo "deprecated Submit overload call: ${file}:${line}: ${text}" >&2
     fail=1
   fi
 done < <(grep -rnE --include='*.cc' --include='*.h' \
-           'Submit\((std::vector<float>|std::move\([a-zA-Z_]+\), *[a-zA-Z_0-9.]+, )' \
-           src bench examples 2>/dev/null || true)
+           'Submit\((std::vector<float>|std::move\([a-zA-Z_]+\), *[a-zA-Z_0-9.]+, |[a-zA-Z_][a-zA-Z_0-9]*\(\), |[a-zA-Z_][a-zA-Z_0-9.]*\.data\(\), )' \
+           "${SCAN_DIRS[@]}" 2>/dev/null || true)
 
 if [[ "${fail}" -ne 0 ]]; then
   echo "check_api_deprecations: migrate the callers above to" >&2
   echo "  Estimate(const EstimateRequest&) / Submit(const EstimateRequest&)" >&2
+  echo "  (tests can use tests/support/request_helpers.h)" >&2
   exit 1
 fi
-echo "check_api_deprecations: no deprecated estimation calls in src/ bench/ examples/"
+echo "check_api_deprecations: no deprecated estimation calls in" \
+     "src/ bench/ examples/ tests/"

@@ -28,6 +28,23 @@ REQUIRED_SECTIONS = ("schema", "meta", "counters", "gauges", "histograms",
 HISTOGRAM_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p90",
                     "p95", "p99", "buckets")
 
+# The online-update pipeline (src/update/) registers its whole family
+# eagerly on first use, so a report containing any simcard.update.* metric
+# must contain all of these. simcard.update.dropped_erases is the one lazy
+# exception: it only appears once a carried erase actually got dropped.
+UPDATE_COUNTERS = (
+    "simcard.update.inserts",
+    "simcard.update.erases",
+    "simcard.update.refreshes",
+    "simcard.update.segments_refreshed",
+    "simcard.update.segments_cloned",
+    "simcard.update.epochs_published",
+    "simcard.update.full_resegs",
+)
+UPDATE_GAUGES = ("simcard.update.pending_deltas",)
+UPDATE_HISTOGRAMS = ("simcard.update.refresh_ms",
+                     "simcard.update.deltas_per_refresh")
+
 
 def check_histogram(name, hist, problems):
     for field in HISTOGRAM_FIELDS:
@@ -65,6 +82,36 @@ def check_histogram(name, hist, problems):
             problems.append(f"histogram {name}: mean outside [min, max]")
 
 
+def check_update_metrics(report, problems):
+    """Family + cross-consistency checks for simcard.update.* metrics."""
+    names = (set(report["counters"]) | set(report["gauges"])
+             | set(report["histograms"]))
+    if not any(n.startswith("simcard.update.") for n in names):
+        return
+    for name in UPDATE_COUNTERS:
+        if name not in report["counters"]:
+            problems.append(f"update family: missing counter {name}")
+    for name in UPDATE_GAUGES:
+        if name not in report["gauges"]:
+            problems.append(f"update family: missing gauge {name}")
+    for name in UPDATE_HISTOGRAMS:
+        if name not in report["histograms"]:
+            problems.append(f"update family: missing histogram {name}")
+    if problems:
+        return
+    # Each successful refresh records the counter and both histograms
+    # exactly once, so within one process report they must agree.
+    refreshes = report["counters"]["simcard.update.refreshes"]
+    for name in UPDATE_HISTOGRAMS:
+        count = report["histograms"][name]["count"]
+        if count != refreshes:
+            problems.append(
+                f"update family: {name} has count {count}, expected "
+                f"{refreshes} (== simcard.update.refreshes)")
+    if report["gauges"]["simcard.update.pending_deltas"] < 0:
+        problems.append("update family: negative pending_deltas gauge")
+
+
 def check_report(path):
     problems = []
     try:
@@ -100,6 +147,7 @@ def check_report(path):
         # No ordering constraint on steps: one process may train several
         # estimators, each appending its own epoch numbering to the same
         # series, so steps legitimately reset or repeat across runs.
+    check_update_metrics(report, problems)
     return problems
 
 
@@ -124,6 +172,8 @@ def emit_with(cli_path):
          f"--out={model}"], report_name="train.json")
     run(["evaluate", f"--data={data}", f"--model={model}", "--segments=4",
          "--scale=tiny"], report_name="evaluate.json")
+    run(["update-bench", f"--data={data}", f"--model={model}",
+         "--segments=4", "--scale=tiny"], report_name="update.json")
     return reports
 
 

@@ -44,12 +44,16 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
 
 if [[ "${MODE}" == "tsan" ]]; then
-  # Focused re-run of the micro-batched serving stress test: the batched
-  # worker loop (linger wait, shared EstimateSearchBatch, per-request promise
-  # fulfillment) is the newest concurrency surface, so give TSan extra
-  # repetitions on it beyond the one pass in the full suite above.
+  # Focused re-runs of the two hottest concurrency surfaces beyond their one
+  # pass in the full suite above: the micro-batched worker loop (linger
+  # wait, shared EstimateSearchBatch, per-request promise fulfillment) and
+  # the online-update pipeline (delta ingestion + drift refresh + epoch
+  # hot-swap racing live readers).
   ctest --test-dir "${BUILD_DIR}" --output-on-failure \
     -R "ServeStressTest.ReadersRaceModelSwapsMicroBatched" \
+    --repeat until-fail:3
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+    -R "UpdateStressTest.ReadersRaceDeltaIngestionAndRefreshes" \
     --repeat until-fail:3
 fi
 

@@ -11,19 +11,23 @@
 
 #include "common/cli.h"
 #include "common/fault.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/gl_estimator.h"
+#include "data/generators.h"
 #include "eval/harness.h"
 #include "eval/reporter.h"
 #include "obs/metrics.h"
 #include "serve/estimation_service.h"
 #include "serve/model_registry.h"
+#include "update/update_manager.h"
 
 namespace simcard {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: simcard_cli <generate|train|estimate|evaluate|serve-bench> "
+    "usage: simcard_cli "
+    "<generate|train|estimate|evaluate|serve-bench|update-bench> "
     "[flags]\n"
     "  generate --dataset=<analog> [--scale=S] [--seed=N] --out=FILE\n"
     "  train    --data=FILE --method=M [--segments=N] [--scale=S]\n"
@@ -35,6 +39,16 @@ constexpr char kUsage[] =
     "           [--queue-capacity=N] [--max-batch=N] [--linger-us=U]\n"
     "           (concurrent serving throughput; max-batch > 1 coalesces\n"
     "           queued requests into one batched forward pass)\n"
+    "  update-bench --data=FILE --model=FILE [--delta-fraction=F]\n"
+    "           [--refresh-threshold=N] [--refresh-epochs=N]\n"
+    "           [--refresh-stale-fraction=F] [--refresh-stale-shift=F]\n"
+    "           [--refresh-full-reseg=F] [--segments=N] [--scale=S]\n"
+    "           [--seed=N]\n"
+    "           (online-update drill: stages F*|D| inserts+erases against a\n"
+    "           served model, runs a drift-aware refresh, and reports stale\n"
+    "           vs refreshed q-error; --refresh-threshold=N refreshes via\n"
+    "           periodic Tick once N deltas are pending instead of one\n"
+    "           explicit Refresh)\n"
     "every command also accepts --metrics-out=FILE to write a JSON metrics\n"
     "report (SIMCARD_METRICS=1 enables collection without a report file),\n"
     "--fault=SPEC to arm deterministic fault injection (e.g.\n"
@@ -328,6 +342,124 @@ int CmdServeBench(const CommandLine& cl, std::ostream& out,
   return ok.load() > 0 ? 0 : 1;
 }
 
+// Online-update drill: loads a served model, stages --delta-fraction of the
+// dataset as inserts + erases through an UpdateManager, runs a drift-aware
+// refresh (threshold Tick or explicit Refresh), and reports stale vs
+// refreshed q-error on the relabeled workload. With --metrics-out this is
+// the canonical producer of the simcard.update.* metric families.
+int CmdUpdateBench(const CommandLine& cl, std::ostream& out,
+                   std::ostream& err) {
+  const std::string data_path = cl.GetString("data", "");
+  const std::string model_path = cl.GetString("model", "");
+  if (data_path.empty() || model_path.empty()) {
+    err << "update-bench: --data and --model are required\n";
+    return 2;
+  }
+  auto scale_or = ParseScale(cl.GetString("scale", "small"));
+  if (!scale_or.ok()) return Fail(err, scale_or.status());
+  auto data_or = LoadDataset(data_path);
+  if (!data_or.ok()) return Fail(err, data_or.status());
+  const std::string dataset_name = data_or.value().name();
+  const uint64_t seed = static_cast<uint64_t>(cl.GetInt("seed", 2026));
+  const size_t segments = static_cast<size_t>(cl.GetInt("segments", 16));
+  auto env_or = RebuildEnv(std::move(data_or).value(), segments, seed,
+                           scale_or.value());
+  if (!env_or.ok()) return Fail(err, env_or.status());
+  ExperimentEnv env = std::move(env_or).value();
+  auto est_or = LoadModel(cl, model_path);
+  if (!est_or.ok()) return Fail(err, est_or.status());
+
+  const double delta_fraction = cl.GetDouble("delta-fraction", 0.2);
+  update::UpdateOptions opts;
+  opts.refresh_delta_threshold =
+      static_cast<size_t>(cl.GetInt("refresh-threshold", 0));
+  opts.fine_tune_epochs =
+      static_cast<size_t>(cl.GetInt("refresh-epochs", 3));
+  opts.seed = seed + 17;
+  opts.drift.stale_delta_fraction = cl.GetDouble(
+      "refresh-stale-fraction", opts.drift.stale_delta_fraction);
+  opts.drift.stale_centroid_shift = cl.GetDouble(
+      "refresh-stale-shift", opts.drift.stale_centroid_shift);
+  const double reseg_fraction = cl.GetDouble(
+      "refresh-full-reseg", opts.drift.full_reseg_fraction);
+  opts.allow_full_reseg = reseg_fraction > 0.0;
+  if (opts.allow_full_reseg) opts.drift.full_reseg_fraction = reseg_fraction;
+
+  const size_t base_rows = env.dataset.size();
+  const size_t num_inserts =
+      static_cast<size_t>(static_cast<double>(base_rows) * delta_fraction /
+                          2.0);
+  auto inserts_or = MakeAnalogUpdates(dataset_name, scale_or.value(),
+                                      num_inserts, seed + 18);
+  if (!inserts_or.ok()) return Fail(err, inserts_or.status());
+  const Matrix& inserts = inserts_or.value();
+
+  serve::ModelRegistry registry;
+  update::UpdateManager manager(std::move(env.dataset),
+                                std::move(env.workload), &registry, opts);
+  if (Status st = manager.Start(*est_or.value()); !st.ok()) {
+    return Fail(err, st);
+  }
+  // The stale contender keeps answering from the pre-delta weights.
+  std::unique_ptr<GlEstimator> stale = std::move(est_or).value();
+
+  for (size_t i = 0; i < inserts.rows(); ++i) {
+    Status st = manager.Insert(
+        std::span<const float>(inserts.Row(i), inserts.cols()));
+    if (!st.ok()) return Fail(err, st);
+  }
+  Rng erase_rng(seed + 19);
+  for (size_t row :
+       erase_rng.SampleWithoutReplacement(base_rows, num_inserts)) {
+    if (Status st = manager.Erase(static_cast<uint32_t>(row)); !st.ok()) {
+      return Fail(err, st);
+    }
+  }
+  out << "update-bench: staged " << inserts.rows() << " inserts + "
+      << num_inserts << " erases (" << (delta_fraction * 100.0)
+      << "% of " << base_rows << " rows), pending " << manager.pending()
+      << "\n";
+
+  auto outcome_or = opts.refresh_delta_threshold > 0 ? manager.Tick()
+                                                     : manager.Refresh();
+  if (!outcome_or.ok()) return Fail(err, outcome_or.status());
+  const update::RefreshOutcome& outcome = outcome_or.value();
+  if (!outcome.refreshed) {
+    out << "update-bench: refresh not due (pending " << manager.pending()
+        << " < threshold " << opts.refresh_delta_threshold << ")\n";
+    return 0;
+  }
+  out << "update-bench: " << (outcome.full_reseg
+                                  ? "full re-segmentation"
+                                  : "incremental refresh")
+      << " published epoch " << outcome.epoch << " in "
+      << FormatPaperNumber(outcome.refresh_ms) << " ms ("
+      << outcome.segments_refreshed << " locals fine-tuned, "
+      << outcome.segments_cloned << " cloned)\n";
+
+  // Both contenders answer the post-delta relabeled workload.
+  auto refreshed = std::make_unique<GlEstimator>(stale->config());
+  if (Status st = refreshed->LoadFromBytes(
+          registry.Current().estimator->SaveToBytes());
+      !st.ok()) {
+    return Fail(err, st);
+  }
+  const EvalResult stale_eval =
+      EvaluateSearch(stale.get(), manager.workload());
+  const EvalResult fresh_eval =
+      EvaluateSearch(refreshed.get(), manager.workload());
+  TableReporter table({"Model", "Mean Q-error", "Median Q-error"});
+  table.AddRow({"stale (pre-delta)", FormatPaperNumber(stale_eval.qerror.mean),
+                FormatPaperNumber(stale_eval.qerror.median)});
+  table.AddRow({"refreshed", FormatPaperNumber(fresh_eval.qerror.mean),
+                FormatPaperNumber(fresh_eval.qerror.median)});
+  table.Print(out);
+  out << "refreshed improves on stale by "
+      << FormatPaperNumber(stale_eval.qerror.mean / fresh_eval.qerror.mean)
+      << "x on " << fresh_eval.qerror.count << " test samples\n";
+  return 0;
+}
+
 }  // namespace
 
 int RunCliApp(int argc, const char* const* argv, std::ostream& out,
@@ -341,7 +473,9 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
       "dataset", "scale", "seed", "out",  "data",        "method",
       "segments", "model", "query-row", "tau", "metrics-out",
       "fault", "degraded", "threads", "clients", "requests",
-      "deadline-ms", "queue-capacity", "max-batch", "linger-us"};
+      "deadline-ms", "queue-capacity", "max-batch", "linger-us",
+      "delta-fraction", "refresh-threshold", "refresh-epochs",
+      "refresh-stale-fraction", "refresh-stale-shift", "refresh-full-reseg"};
   auto cl_or = ParseFlags(argc, argv, known);
   if (!cl_or.ok()) return Fail(err, cl_or.status());
   const CommandLine& cl = cl_or.value();
@@ -369,6 +503,8 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
     rc = CmdEvaluate(cl, out, err);
   } else if (command == "serve-bench") {
     rc = CmdServeBench(cl, out, err);
+  } else if (command == "update-bench") {
+    rc = CmdUpdateBench(cl, out, err);
   } else {
     err << "unknown command: " << command << "\n" << kUsage;
     return 2;

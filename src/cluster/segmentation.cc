@@ -10,6 +10,7 @@
 #include "cluster/lsh.h"
 #include "cluster/pca.h"
 #include "common/rng.h"
+#include "data/delta_overlay.h"
 
 namespace simcard {
 
@@ -69,6 +70,52 @@ void Segmentation::AddPoint(size_t seg, uint32_t index, const float* point,
     center[j] += eta * (point[j] - center[j]);
   }
   radius[seg] = std::max(radius[seg], Distance(point, center, dim, metric));
+}
+
+std::vector<size_t> Segmentation::EraseRows(
+    const std::vector<uint32_t>& rows) {
+  if (rows.empty()) return {};
+  const std::vector<uint32_t> remap = BuildEraseRemap(assignment.size(), rows);
+  std::set<size_t> touched;
+  for (uint32_t row : rows) {
+    if (row < assignment.size()) touched.insert(assignment[row]);
+  }
+  for (auto& m : members) {
+    size_t out = 0;
+    for (uint32_t idx : m) {
+      if (remap[idx] != kRemovedRow) m[out++] = remap[idx];
+    }
+    m.resize(out);
+  }
+  std::vector<uint32_t> compact(assignment.size() - rows.size());
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (remap[i] != kRemovedRow) compact[remap[i]] = assignment[i];
+  }
+  assignment = std::move(compact);
+  return std::vector<size_t>(touched.begin(), touched.end());
+}
+
+void Segmentation::RecomputeSummaries(const Dataset& dataset,
+                                      const std::vector<size_t>& segments) {
+  const size_t dim = dataset.dim();
+  for (size_t s : segments) {
+    if (s >= members.size()) continue;
+    radius[s] = 0.0f;
+    if (members[s].empty()) continue;  // keep the last centroid, radius 0
+    float* center = centroids.Row(s);
+    for (size_t j = 0; j < dim; ++j) center[j] = 0.0f;
+    for (uint32_t idx : members[s]) {
+      const float* p = dataset.Point(idx);
+      for (size_t j = 0; j < dim; ++j) center[j] += p[j];
+    }
+    const float inv = 1.0f / static_cast<float>(members[s].size());
+    for (size_t j = 0; j < dim; ++j) center[j] *= inv;
+    for (uint32_t idx : members[s]) {
+      radius[s] = std::max(
+          radius[s], Distance(dataset.Point(idx), center, dim,
+                              dataset.metric()));
+    }
+  }
 }
 
 std::vector<size_t> Segmentation::RemoveTrailingPoints(size_t n) {

@@ -52,6 +52,22 @@ struct Segmentation {
   /// the subsequent fine-tune absorbs; returns the set of touched segments.
   std::vector<size_t> RemoveTrailingPoints(size_t n);
 
+  /// Removes arbitrary points `rows` (ascending, unique) and remaps every
+  /// surviving index by the same stable compaction as Dataset::EraseRows,
+  /// so assignment/members stay aligned with the compacted dataset.
+  /// Centroids/radii are left as-is (call RecomputeSummaries on the
+  /// returned touched segments when the refresh wants exact summaries).
+  std::vector<size_t> EraseRows(const std::vector<uint32_t>& rows);
+
+  /// Recomputes `centroids` (member mean) and `radius` (max member-to-
+  /// centroid distance) for the given segments from their current member
+  /// lists — the centroid-recompute half of an incremental refresh, which
+  /// undoes the drift that AddPoint's running mean and erased members leave
+  /// behind. An emptied segment keeps its last centroid (it can still be
+  /// routed to) with radius 0.
+  void RecomputeSummaries(const Dataset& dataset,
+                          const std::vector<size_t>& segments);
+
   void Serialize(Serializer* out) const;
   Status Deserialize(Deserializer* in);
 };

@@ -248,6 +248,42 @@ bool VectorIsFinite(const float* v, size_t dim) {
   return true;
 }
 
+// Merges `extra` into the caller's touched-segment list, keeping it
+// ascending and unique (callers chain RouteInserts / EraseRows and want one
+// combined set).
+void MergeTouched(const std::set<size_t>& extra, std::vector<size_t>* out) {
+  if (out == nullptr) return;
+  std::set<size_t> merged(out->begin(), out->end());
+  merged.insert(extra.begin(), extra.end());
+  out->assign(merged.begin(), merged.end());
+}
+
+// Restores the exact per-segment member lists from a "members" section.
+// Validated against the already-loaded segmentation; on any mismatch the
+// segmentation keeps its assignment-derived lists and the caller decides
+// whether that is fatal (kStrict) or a degradation (kDegraded).
+Status RestoreExactMembers(Deserializer* in, Segmentation* seg) {
+  uint64_t n = 0;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&n));
+  if (n != seg->members.size()) {
+    return Status::Internal("members: segment count mismatch");
+  }
+  std::vector<std::vector<uint32_t>> lists(n);
+  for (uint64_t s = 0; s < n; ++s) {
+    std::vector<uint64_t> m64;
+    SIMCARD_RETURN_IF_ERROR(in->ReadU64Vector(&m64));
+    lists[s].reserve(m64.size());
+    for (uint64_t idx : m64) {
+      if (idx >= seg->assignment.size()) {
+        return Status::Internal("members: index out of range");
+      }
+      lists[s].push_back(static_cast<uint32_t>(idx));
+    }
+  }
+  seg->members = std::move(lists);
+  return Status::OK();
+}
+
 }  // namespace
 
 double GlEstimator::FallbackEstimate(size_t s, const float* query,
@@ -666,41 +702,141 @@ Status GlEstimator::ApplyDeletions(const Dataset& dataset,
   }
   const std::vector<size_t> touched =
       segmentation_.RemoveTrailingPoints(num_removed);
-  if (fallbacks_.size() < locals_.size()) fallbacks_.resize(locals_.size());
-  Rng fb_rng(seed + 7919);
-  for (size_t s : touched) {
-    fallbacks_[s] = SegmentFallback::FromSegment(
-        dataset, segmentation_.members[s], SegmentFallback::kDefaultSamples,
-        &fb_rng);
-    if (locals_[s] == nullptr) continue;  // quarantined; fallback only
+  RebuildFallbacks(dataset, touched, seed);
+  SIMCARD_RETURN_IF_ERROR(RelabelWorkload(dataset, &segmentation_, workload));
+
+  const Matrix xc = BuildCentroidDistanceFeatures(workload->train_queries,
+                                                  segmentation_, metric_);
+  SIMCARD_RETURN_IF_ERROR(FineTuneLocalsSeeded(*workload, xc, touched, seed,
+                                               41, 3, fine_tune_epochs));
+  return FineTuneGlobalWithFeatures(*workload, xc, seed + 43,
+                                    fine_tune_epochs);
+}
+
+Status GlEstimator::RouteInserts(const Dataset& dataset,
+                                 const std::vector<uint32_t>& new_rows,
+                                 std::vector<size_t>* touched) {
+  if (locals_.empty()) {
+    return Status::FailedPrecondition("RouteInserts: estimator not trained");
+  }
+  for (uint32_t row : new_rows) {
+    if (row >= dataset.size()) {
+      return Status::InvalidArgument(
+          "RouteInserts: new_rows must index appended dataset rows");
+    }
+  }
+  std::set<size_t> t;
+  for (uint32_t row : new_rows) {
+    const float* p = dataset.Point(row);
+    const size_t seg = segmentation_.NearestSegment(p, dim_, metric_);
+    segmentation_.AddPoint(seg, row, p, dim_, metric_);
+    t.insert(seg);
+    if (locals_[seg] == nullptr) continue;  // quarantined; fallback only
+    // Keep the clamp consistent with the grown segment.
+    locals_[seg]->set_max_card(
+        static_cast<double>(segmentation_.members[seg].size()));
+  }
+  MergeTouched(t, touched);
+  return Status::OK();
+}
+
+Status GlEstimator::EraseRows(const Dataset& dataset,
+                              const std::vector<uint32_t>& rows,
+                              std::vector<size_t>* touched,
+                              bool recompute_summaries) {
+  if (locals_.empty()) {
+    return Status::FailedPrecondition("EraseRows: estimator not trained");
+  }
+  if (rows.empty()) return Status::OK();
+  for (size_t i = 0; i + 1 < rows.size(); ++i) {
+    if (rows[i] >= rows[i + 1]) {
+      return Status::InvalidArgument(
+          "EraseRows: rows must be ascending and unique");
+    }
+  }
+  if (dataset.size() + rows.size() != segmentation_.assignment.size() ||
+      rows.back() >= segmentation_.assignment.size()) {
+    return Status::InvalidArgument(
+        "EraseRows: dataset must already be compacted by exactly these rows");
+  }
+  const std::vector<size_t> t = segmentation_.EraseRows(rows);
+  if (recompute_summaries) segmentation_.RecomputeSummaries(dataset, t);
+  for (size_t s : t) {
+    if (locals_[s] == nullptr) continue;
     locals_[s]->set_max_card(
         static_cast<double>(segmentation_.members[s].size()));
   }
-  SIMCARD_RETURN_IF_ERROR(RelabelWorkload(dataset, &segmentation_, workload));
+  MergeTouched(std::set<size_t>(t.begin(), t.end()), touched);
+  return Status::OK();
+}
 
-  const Matrix& queries = workload->train_queries;
-  const Matrix xc =
-      BuildCentroidDistanceFeatures(queries, segmentation_, metric_);
-  for (size_t s : touched) {
-    if (locals_[s] == nullptr) continue;
+void GlEstimator::RebuildFallbacks(const Dataset& dataset,
+                                   const std::vector<size_t>& segments,
+                                   uint64_t seed) {
+  if (fallbacks_.size() < locals_.size()) fallbacks_.resize(locals_.size());
+  Rng fb_rng(seed + 7919);
+  for (size_t s : segments) {
+    if (s >= fallbacks_.size()) continue;
+    fallbacks_[s] = SegmentFallback::FromSegment(
+        dataset, segmentation_.members[s], SegmentFallback::kDefaultSamples,
+        &fb_rng);
+    if (s >= locals_.size() || locals_[s] == nullptr) continue;
+    locals_[s]->set_max_card(
+        static_cast<double>(segmentation_.members[s].size()));
+  }
+}
+
+Status GlEstimator::FineTuneLocalsSeeded(const SearchWorkload& workload,
+                                         const Matrix& xc,
+                                         const std::vector<size_t>& segments,
+                                         uint64_t base_seed, uint64_t mul,
+                                         uint64_t add, size_t epochs) {
+  const Matrix& queries = workload.train_queries;
+  for (size_t s : segments) {
+    if (s >= locals_.size() || locals_[s] == nullptr) continue;
     CardTrainOptions opts = config_.local_train;
-    opts.seed = seed + 41 * s + 3;
-    auto ft_or = locals_[s]->FineTune(queries, xc, workload->train,
-                                      config_.zero_keep_prob, opts,
-                                      fine_tune_epochs);
+    opts.seed = base_seed + mul * s + add;
+    auto ft_or = locals_[s]->FineTune(queries, xc, workload.train,
+                                      config_.zero_keep_prob, opts, epochs);
     if (!ft_or.ok()) return ft_or.status();
   }
-  if (global_ != nullptr) {
-    GlobalLabels labels =
-        BuildGlobalLabels(workload->train, segmentation_.num_segments());
-    GlobalTrainOptions gopts = config_.global_train;
-    gopts.use_penalty = config_.use_penalty;
-    gopts.epochs = fine_tune_epochs;
-    gopts.seed = seed + 43;
-    auto gloss_or = TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
-    if (!gloss_or.ok()) return gloss_or.status();
-  }
   return Status::OK();
+}
+
+Status GlEstimator::FineTuneGlobalWithFeatures(const SearchWorkload& workload,
+                                               const Matrix& xc, uint64_t seed,
+                                               size_t epochs) {
+  if (global_ == nullptr) return Status::OK();
+  GlobalLabels labels =
+      BuildGlobalLabels(workload.train, segmentation_.num_segments());
+  GlobalTrainOptions gopts = config_.global_train;
+  gopts.use_penalty = config_.use_penalty;
+  gopts.epochs = epochs;
+  gopts.seed = seed;
+  auto gloss_or = TrainGlobalModel(global_.get(), workload.train_queries, xc,
+                                   labels, gopts);
+  if (!gloss_or.ok()) return gloss_or.status();
+  return Status::OK();
+}
+
+Status GlEstimator::FineTuneSegments(const SearchWorkload& workload,
+                                     const std::vector<size_t>& segments,
+                                     uint64_t seed, size_t epochs) {
+  if (locals_.empty()) {
+    return Status::FailedPrecondition(
+        "FineTuneSegments: estimator not trained");
+  }
+  const Matrix xc = BuildCentroidDistanceFeatures(workload.train_queries,
+                                                  segmentation_, metric_);
+  return FineTuneLocalsSeeded(workload, xc, segments, seed, 13, 7, epochs);
+}
+
+Status GlEstimator::FineTuneGlobal(const SearchWorkload& workload,
+                                   uint64_t seed, size_t epochs) {
+  if (global_ == nullptr) return Status::OK();
+  const Matrix xc = BuildCentroidDistanceFeatures(workload.train_queries,
+                                                  segmentation_, metric_);
+  return FineTuneGlobalWithFeatures(workload, xc, seed, epochs);
 }
 
 Status GlEstimator::WriteCheckedSections(CheckedFileWriter* writer_ptr) const {
@@ -714,6 +850,18 @@ Status GlEstimator::WriteCheckedSections(CheckedFileWriter* writer_ptr) const {
   meta->WriteU64(locals_.size());
   meta->WriteU32(global_ != nullptr ? 1 : 0);
   segmentation_.Serialize(writer.AddSection("segmentation"));
+  {
+    // The segmentation section only carries `assignment`; deriving member
+    // lists from it loses their ORDER (which seeds fallback re-sampling)
+    // and mis-files rows that AddPoint's resize zero-filled but never
+    // routed. Persisting the exact lists makes a snapshot taken mid-refresh
+    // round-trip bit-for-bit.
+    Serializer* mem = writer.AddSection("members");
+    mem->WriteU64(segmentation_.members.size());
+    for (const auto& m : segmentation_.members) {
+      mem->WriteU64Vector(std::vector<uint64_t>(m.begin(), m.end()));
+    }
+  }
   tuned_qes_.Serialize(writer.AddSection("qes"));
   {
     Serializer* fb = writer.AddSection("fallback");
@@ -820,6 +968,24 @@ Status GlEstimator::LoadChecked(std::vector<uint8_t> bytes, LoadMode mode) {
   if (!seg_or.ok()) return seg_or.status();
   Deserializer seg = std::move(seg_or).value();
   SIMCARD_RETURN_IF_ERROR(segmentation_.Deserialize(&seg));
+  // Exact member lists, when present (files written before the section
+  // existed keep the assignment-derived lists). Corruption fails a strict
+  // load; a degraded load keeps the derived lists — routing still works,
+  // only fallback re-sampling order is lost.
+  if (reader.HasSection("members")) {
+    auto mem_or = reader.OpenSection("members");
+    Status st = mem_or.status();
+    if (mem_or.ok()) {
+      Deserializer mem = std::move(mem_or).value();
+      st = RestoreExactMembers(&mem, &segmentation_);
+    }
+    if (!st.ok()) {
+      if (mode == LoadMode::kStrict) return st;
+      SIMCARD_LOG(WARN) << "degraded load: exact member lists unavailable, "
+                        << "keeping assignment-derived lists ("
+                        << st.ToString() << ")";
+    }
+  }
   auto qes_or = reader.OpenSection("qes");
   if (!qes_or.ok()) return qes_or.status();
   Deserializer qes = std::move(qes_or).value();
@@ -925,60 +1091,22 @@ Status GlEstimator::ApplyUpdates(const Dataset& dataset,
   if (workload == nullptr) {
     return Status::InvalidArgument("ApplyUpdates: workload required");
   }
-  for (uint32_t row : new_rows) {
-    if (row >= dataset.size()) {
-      return Status::InvalidArgument(
-          "ApplyUpdates: new_rows must index appended dataset rows");
-    }
-  }
 
   // Step 1 (Section 5.3): route each inserted point to its nearest segment.
-  std::set<size_t> touched;
-  for (uint32_t row : new_rows) {
-    const float* p = dataset.Point(row);
-    const size_t seg = segmentation_.NearestSegment(p, dim_, metric_);
-    segmentation_.AddPoint(seg, row, p, dim_, metric_);
-    touched.insert(seg);
-    if (locals_[seg] == nullptr) continue;  // quarantined; fallback only
-    // Keep the clamp consistent with the grown segment.
-    locals_[seg]->set_max_card(
-        static_cast<double>(segmentation_.members[seg].size()));
-  }
-  if (fallbacks_.size() < locals_.size()) fallbacks_.resize(locals_.size());
-  Rng fb_rng(seed + 7919);
-  for (size_t s : touched) {
-    fallbacks_[s] = SegmentFallback::FromSegment(
-        dataset, segmentation_.members[s], SegmentFallback::kDefaultSamples,
-        &fb_rng);
-  }
+  std::vector<size_t> touched;
+  SIMCARD_RETURN_IF_ERROR(RouteInserts(dataset, new_rows, &touched));
+  RebuildFallbacks(dataset, touched, seed);
 
   // Step 2: refresh query labels against the grown dataset.
   SIMCARD_RETURN_IF_ERROR(RelabelWorkload(dataset, &segmentation_, workload));
 
   // Step 3: fine-tune the affected local models and the global model.
-  const Matrix& queries = workload->train_queries;
-  const Matrix xc =
-      BuildCentroidDistanceFeatures(queries, segmentation_, metric_);
-  for (size_t s : touched) {
-    if (locals_[s] == nullptr) continue;
-    CardTrainOptions opts = config_.local_train;
-    opts.seed = seed + 13 * s + 7;
-    auto ft_or = locals_[s]->FineTune(queries, xc, workload->train,
-                                      config_.zero_keep_prob, opts,
-                                      fine_tune_epochs);
-    if (!ft_or.ok()) return ft_or.status();
-  }
-  if (global_ != nullptr) {
-    GlobalLabels labels =
-        BuildGlobalLabels(workload->train, segmentation_.num_segments());
-    GlobalTrainOptions gopts = config_.global_train;
-    gopts.use_penalty = config_.use_penalty;
-    gopts.epochs = fine_tune_epochs;
-    gopts.seed = seed + 29;
-    auto gloss_or = TrainGlobalModel(global_.get(), queries, xc, labels, gopts);
-    if (!gloss_or.ok()) return gloss_or.status();
-  }
-  return Status::OK();
+  const Matrix xc = BuildCentroidDistanceFeatures(workload->train_queries,
+                                                  segmentation_, metric_);
+  SIMCARD_RETURN_IF_ERROR(FineTuneLocalsSeeded(*workload, xc, touched, seed,
+                                               13, 7, fine_tune_epochs));
+  return FineTuneGlobalWithFeatures(*workload, xc, seed + 29,
+                                    fine_tune_epochs);
 }
 
 }  // namespace simcard

@@ -168,6 +168,52 @@ class GlEstimator : public Estimator {
                       const std::vector<uint32_t>& new_rows, uint64_t seed,
                       size_t fine_tune_epochs = 3);
 
+  /// \name Incremental-refresh building blocks (Section 5.3)
+  ///
+  /// ApplyUpdates / ApplyDeletions are single-shot conveniences composed
+  /// from these pieces; update::UpdateManager drives them individually
+  /// against a cloned snapshot (route/erase -> rebuild fallbacks -> relabel
+  /// -> fine-tune only the stale segments -> publish). All of them mutate
+  /// the estimator and must be serialized against concurrent readers.
+  ///@{
+
+  /// Routes rows already appended to `dataset` to their nearest segment
+  /// centroids (updating the owned segmentation's running means/radii and
+  /// the routed segments' population clamps). Appends the touched segment
+  /// ids, ascending and unique, to `touched`.
+  Status RouteInserts(const Dataset& dataset,
+                      const std::vector<uint32_t>& new_rows,
+                      std::vector<size_t>* touched);
+
+  /// Drops `rows` (ascending, unique; already compacted out of `dataset`)
+  /// from the owned segmentation, updating clamps, and — unlike the
+  /// trailing-deletion path, which leaves summaries for the fine-tune to
+  /// absorb — recomputes the touched segments' centroids and radii when
+  /// `recompute_summaries` is set, so routing quality survives large
+  /// deletes. Appends touched segment ids, ascending and unique.
+  Status EraseRows(const Dataset& dataset, const std::vector<uint32_t>& rows,
+                   std::vector<size_t>* touched,
+                   bool recompute_summaries = true);
+
+  /// Re-samples the retained SegmentFallback members and refreshes the
+  /// population clamp |D^[i]| for the given segments — required after any
+  /// membership change, or the degradation path answers from vectors that
+  /// may no longer exist in the dataset.
+  void RebuildFallbacks(const Dataset& dataset,
+                        const std::vector<size_t>& segments, uint64_t seed);
+
+  /// Fine-tunes the given segments' local models for `epochs` on the
+  /// (already relabeled) workload. Quarantined slots are skipped.
+  Status FineTuneSegments(const SearchWorkload& workload,
+                          const std::vector<size_t>& segments, uint64_t seed,
+                          size_t epochs);
+
+  /// Short global-model fine-tune on relabeled (x_q, x_tau, x_C) examples;
+  /// a no-op Status::OK for Local+ (no global model).
+  Status FineTuneGlobal(const SearchWorkload& workload, uint64_t seed,
+                        size_t epochs);
+  ///@}
+
   /// \brief Incremental deletion (Section 5.3): the caller has already
   /// Truncate()d the trailing `num_removed` rows off `dataset`; the removed
   /// points are dropped from their segments, labels are refreshed, and the
@@ -219,6 +265,10 @@ class GlEstimator : public Estimator {
   size_t num_local_models() const { return locals_.size(); }
   LocalModel* local_model(size_t i) { return locals_[i].get(); }
   const LocalModel* local_model(size_t i) const { return locals_[i].get(); }
+  /// The retained sampling fallback for segment `i` (parallel to locals).
+  const SegmentFallback& segment_fallback(size_t i) const {
+    return fallbacks_[i];
+  }
   size_t dim() const { return dim_; }
   Metric metric() const { return metric_; }
   const GlEstimatorConfig& config() const { return config_; }
@@ -248,6 +298,18 @@ class GlEstimator : public Estimator {
                         std::vector<char>* forced_out) const;
   Status LoadLegacyV1(Deserializer* in, const std::string& path);
   Status LoadChecked(std::vector<uint8_t> bytes, LoadMode mode);
+  /// Fine-tunes `segments` (ascending) with per-segment seed
+  /// `base_seed + mul*s + add` — the one implementation behind
+  /// ApplyUpdates (13s+7), ApplyDeletions (41s+3), and FineTuneSegments,
+  /// so each path keeps its historical RNG stream bitwise.
+  Status FineTuneLocalsSeeded(const SearchWorkload& workload, const Matrix& xc,
+                              const std::vector<size_t>& segments,
+                              uint64_t base_seed, uint64_t mul, uint64_t add,
+                              size_t epochs);
+  /// Global fine-tune against precomputed centroid features.
+  Status FineTuneGlobalWithFeatures(const SearchWorkload& workload,
+                                    const Matrix& xc, uint64_t seed,
+                                    size_t epochs);
   /// Writes every section of the checked v2 container into `writer`.
   Status WriteCheckedSections(CheckedFileWriter* writer) const;
   /// Sampling-fallback estimate for segment `s` (0 when no samples).

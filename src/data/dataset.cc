@@ -36,6 +36,25 @@ void Dataset::Truncate(size_t n) {
   bits_.reset();
 }
 
+void Dataset::EraseRows(const std::vector<uint32_t>& rows) {
+  if (rows.empty()) return;
+  assert(rows.back() < points_.rows());
+  Matrix compact = Matrix::Uninit(points_.rows() - rows.size(),
+                                  points_.cols());
+  size_t next = 0;
+  size_t out = 0;
+  for (size_t r = 0; r < points_.rows(); ++r) {
+    if (next < rows.size() && rows[next] == r) {
+      ++next;
+      continue;
+    }
+    compact.SetRow(out++, points_.Row(r));
+  }
+  assert(out == compact.rows());
+  points_ = std::move(compact);
+  bits_.reset();
+}
+
 void Dataset::Serialize(Serializer* out) const {
   out->WriteString(name_);
   out->WriteU32(static_cast<uint32_t>(metric_));

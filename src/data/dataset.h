@@ -2,8 +2,10 @@
 #ifndef SIMCARD_DATA_DATASET_H_
 #define SIMCARD_DATA_DATASET_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "dist/metric.h"
 #include "tensor/matrix.h"
@@ -45,6 +47,13 @@ class Dataset {
 
   /// Removes the trailing `n` rows (used by deletion tests).
   void Truncate(size_t n);
+
+  /// Removes the given rows (ascending, unique, in range) by stable
+  /// compaction: surviving rows keep their relative order, so old row r
+  /// lands at BuildEraseRemap(size(), rows)[r]. Invalidates the bit cache.
+  /// Arbitrary-row deletion for the online-update path (Section 5.3);
+  /// Truncate(n) is the trailing-rows special case.
+  void EraseRows(const std::vector<uint32_t>& rows);
 
   void Serialize(Serializer* out) const;
   static Result<Dataset> Deserialize(Deserializer* in);

@@ -1,0 +1,91 @@
+#include "data/delta_overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace simcard {
+
+std::vector<uint32_t> BuildEraseRemap(
+    size_t n, const std::vector<uint32_t>& sorted_rows) {
+  std::vector<uint32_t> remap(n);
+  size_t next = 0;
+  uint32_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (next < sorted_rows.size() && sorted_rows[next] == i) {
+      remap[i] = kRemovedRow;
+      ++next;
+    } else {
+      remap[i] = out++;
+    }
+  }
+  return remap;
+}
+
+Status DeltaOverlay::StageInsert(std::span<const float> point) {
+  if (point.size() != dim_) {
+    return Status::InvalidArgument("DeltaOverlay: insert has wrong dimension");
+  }
+  for (float v : point) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("DeltaOverlay: non-finite insert");
+    }
+  }
+  inserts_.insert(inserts_.end(), point.begin(), point.end());
+  return Status::OK();
+}
+
+Status DeltaOverlay::StageErase(uint32_t row) {
+  if (row >= base_rows_) {
+    return Status::InvalidArgument(
+        "DeltaOverlay: erase row out of range (inserted rows cannot be "
+        "erased until the overlay is applied)");
+  }
+  if (IsErased(row)) {
+    return Status::InvalidArgument("DeltaOverlay: row already erased");
+  }
+  erases_.push_back(row);
+  return Status::OK();
+}
+
+bool DeltaOverlay::IsErased(uint32_t row) const {
+  return std::find(erases_.begin(), erases_.end(), row) != erases_.end();
+}
+
+Matrix DeltaOverlay::InsertMatrix() const {
+  const size_t n = num_inserts();
+  Matrix out = Matrix::Uninit(n, dim_);
+  if (n > 0) {
+    std::memcpy(out.data(), inserts_.data(), inserts_.size() * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<uint32_t> DeltaOverlay::SortedErases() const {
+  std::vector<uint32_t> out = erases_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<DeltaApplication> DeltaOverlay::ApplyTo(Dataset* dataset) const {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("DeltaOverlay: null dataset");
+  }
+  if (dataset->size() != base_rows_ || dataset->dim() != dim_) {
+    return Status::FailedPrecondition(
+        "DeltaOverlay: dataset shape no longer matches the staged epoch");
+  }
+  DeltaApplication app;
+  const std::vector<uint32_t> sorted = SortedErases();
+  app.remap = BuildEraseRemap(base_rows_, sorted);
+  dataset->EraseRows(sorted);
+  const uint32_t first_new = static_cast<uint32_t>(dataset->size());
+  if (num_inserts() > 0) dataset->Append(InsertMatrix());
+  app.new_rows.resize(num_inserts());
+  for (size_t i = 0; i < app.new_rows.size(); ++i) {
+    app.new_rows[i] = first_new + static_cast<uint32_t>(i);
+  }
+  return app;
+}
+
+}  // namespace simcard

@@ -1,0 +1,89 @@
+// Delta overlay: staged pending mutations against a base dataset.
+//
+// The online-update subsystem (src/update/) ingests inserts and erases
+// while serving continues, then applies them in one shot at refresh time
+// (Section 5.3). The overlay is the staging half of that split: it records
+// pending rows without touching the base dataset, and ApplyTo materializes
+// them — erased rows are removed by stable compaction (surviving rows keep
+// their relative order), inserted rows are appended after the survivors.
+//
+// The overlay itself is not synchronized; update::DeltaBuffer wraps it with
+// a mutex plus centroid routing for concurrent writers.
+#ifndef SIMCARD_DATA_DELTA_OVERLAY_H_
+#define SIMCARD_DATA_DELTA_OVERLAY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace simcard {
+
+/// Sentinel in a row remap: the row was erased and has no new index.
+inline constexpr uint32_t kRemovedRow = 0xFFFFFFFFu;
+
+/// Old-row -> new-row map for erasing `sorted_rows` (ascending, unique)
+/// from `n` rows by stable compaction; erased rows map to kRemovedRow.
+/// Shared by Dataset::EraseRows and Segmentation::EraseRows so the two
+/// always agree on where a surviving row lands.
+std::vector<uint32_t> BuildEraseRemap(size_t n,
+                                      const std::vector<uint32_t>& sorted_rows);
+
+/// \brief What ApplyTo did to the dataset, in terms callers can act on.
+struct DeltaApplication {
+  /// Old row -> new row (kRemovedRow for erased rows). Sized to the base
+  /// row count the overlay was staged against.
+  std::vector<uint32_t> remap;
+  /// Row ids of the staged inserts in the updated dataset, in staging order.
+  std::vector<uint32_t> new_rows;
+};
+
+/// \brief Pending inserts and erases staged against one dataset epoch.
+class DeltaOverlay {
+ public:
+  DeltaOverlay() = default;
+  DeltaOverlay(size_t base_rows, size_t dim)
+      : base_rows_(base_rows), dim_(dim) {}
+
+  /// Stages one appended row. The vector must hold exactly dim() finite
+  /// floats (a malformed delta must never reach the dataset).
+  Status StageInsert(std::span<const float> point);
+
+  /// Stages the removal of base row `row`. Rows appended by StageInsert
+  /// cannot be erased in the same overlay (they have no row id until
+  /// ApplyTo); out-of-range and duplicate erases are rejected.
+  Status StageErase(uint32_t row);
+
+  size_t base_rows() const { return base_rows_; }
+  size_t dim() const { return dim_; }
+  size_t num_inserts() const { return dim_ == 0 ? 0 : inserts_.size() / dim_; }
+  size_t num_erases() const { return erases_.size(); }
+  size_t pending() const { return num_inserts() + num_erases(); }
+  bool IsErased(uint32_t row) const;
+
+  /// The staged inserts as a [num_inserts, dim] matrix (staging order).
+  Matrix InsertMatrix() const;
+
+  /// The staged erases, ascending and unique.
+  std::vector<uint32_t> SortedErases() const;
+
+  /// Row `i` of the staged inserts (i < num_inserts()).
+  const float* InsertRow(size_t i) const { return inserts_.data() + i * dim_; }
+
+  /// Erases the staged rows from `dataset` (stable compaction) and appends
+  /// the staged inserts, in that order. `dataset` must still have exactly
+  /// base_rows() rows — the overlay is only valid against the epoch it was
+  /// staged on.
+  Result<DeltaApplication> ApplyTo(Dataset* dataset) const;
+
+ private:
+  size_t base_rows_ = 0;
+  size_t dim_ = 0;
+  std::vector<float> inserts_;    // flattened [num_inserts, dim]
+  std::vector<uint32_t> erases_;  // insertion order; sorted on demand
+};
+
+}  // namespace simcard
+
+#endif  // SIMCARD_DATA_DELTA_OVERLAY_H_

@@ -141,9 +141,16 @@ EstimationService::EstimationService(ModelRegistry* registry,
   for (size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  // A publish replaces the model the breaker was judging: failure history
+  // against the old weights says nothing about the new ones, so start the
+  // new epoch with every segment closed instead of serving fallbacks until
+  // cooldowns expire.
+  publish_listener_id_ = registry_->AddListener(
+      [this](const ModelSnapshot&) { breaker_.Reset(); });
 }
 
 EstimationService::~EstimationService() {
+  registry_->RemoveListener(publish_listener_id_);
   Drain();
   {
     std::lock_guard<std::mutex> lk(mu_);

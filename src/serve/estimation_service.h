@@ -195,6 +195,7 @@ class EstimationService {
   ModelRegistry* registry_;
   ServeOptions options_;
   SegmentCircuitBreaker breaker_;
+  uint64_t publish_listener_id_ = 0;  // breaker reset on model hot-swap
   std::atomic<size_t> pending_{0};
 
   std::mutex mu_;

@@ -12,11 +12,17 @@ ModelSnapshot ModelRegistry::Current() const {
 
 uint64_t ModelRegistry::Publish(std::shared_ptr<const GlEstimator> estimator) {
   uint64_t epoch = 0;
+  ModelSnapshot published;
+  std::vector<std::pair<uint64_t, std::function<void(const ModelSnapshot&)>>>
+      listeners;
   {
     std::lock_guard<std::mutex> lock(mu_);
     epoch = ++current_.epoch;
     current_.estimator = std::move(estimator);
+    published = current_;
+    listeners = listeners_;  // invoke outside the lock
   }
+  for (const auto& [id, fn] : listeners) fn(published);
   if (obs::MetricsEnabled()) {
     obs::GetCounter("simcard.serve.publishes")->Increment();
     obs::GetGauge("simcard.serve.model_epoch")
@@ -28,6 +34,24 @@ uint64_t ModelRegistry::Publish(std::shared_ptr<const GlEstimator> estimator) {
 uint64_t ModelRegistry::epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_.epoch;
+}
+
+uint64_t ModelRegistry::AddListener(
+    std::function<void(const ModelSnapshot&)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void ModelRegistry::RemoveListener(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == id) {
+      listeners_.erase(it);
+      return;
+    }
+  }
 }
 
 }  // namespace serve

@@ -13,8 +13,11 @@
 #define SIMCARD_SERVE_MODEL_REGISTRY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "core/gl_estimator.h"
 
@@ -54,9 +57,24 @@ class ModelRegistry {
 
   bool has_model() const { return Current().estimator != nullptr; }
 
+  /// Registers a callback invoked after every Publish with the snapshot
+  /// just published. Listeners run on the publishing thread, OUTSIDE the
+  /// registry lock (Current() from a listener is fine) and must be cheap
+  /// and thread-safe — publishes can come from any thread. Returns an id
+  /// for RemoveListener.
+  uint64_t AddListener(std::function<void(const ModelSnapshot&)> listener);
+
+  /// Unregisters; after return the listener is never invoked again by a
+  /// later Publish (a concurrent in-flight Publish may still be calling
+  /// it — callers tearing down must stop publishers first).
+  void RemoveListener(uint64_t id);
+
  private:
   mutable std::mutex mu_;
   ModelSnapshot current_;
+  uint64_t next_listener_id_ = 1;
+  std::vector<std::pair<uint64_t, std::function<void(const ModelSnapshot&)>>>
+      listeners_;
 };
 
 }  // namespace serve

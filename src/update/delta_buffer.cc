@@ -1,0 +1,148 @@
+#include "update/delta_buffer.h"
+
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace simcard {
+namespace update {
+
+void DeltaBuffer::ResetLocked(const Segmentation& seg, size_t base_rows,
+                              size_t dim, Metric metric) {
+  centroids_ = seg.centroids;
+  assignment_ = seg.assignment;
+  // AddPoint's resize can leave the routing copy short of the dataset (rows
+  // appended but never routed); pad with segment 0 so Erase stays total.
+  if (assignment_.size() < base_rows) assignment_.resize(base_rows, 0);
+  metric_ = metric;
+  dim_ = dim;
+  overlay_ = DeltaOverlay(base_rows, dim);
+  per_segment_.assign(seg.num_segments(), 0);
+  insert_segments_.clear();
+  armed_ = true;
+}
+
+void DeltaBuffer::Rearm(const Segmentation& seg, size_t base_rows, size_t dim,
+                        Metric metric) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResetLocked(seg, base_rows, dim, metric);
+}
+
+void DeltaBuffer::RearmAfterRefresh(const Segmentation& seg, size_t base_rows,
+                                    size_t dim, Metric metric,
+                                    const std::vector<uint32_t>& remap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const DeltaOverlay carried = std::move(overlay_);
+  ResetLocked(seg, base_rows, dim, metric);
+  // Inserts staged mid-refresh carry over unchanged (they are new vectors,
+  // not epoch-bound) but re-route against the refreshed centroids. Staging
+  // cannot fail here — the vectors already passed validation once.
+  for (size_t i = 0; i < carried.num_inserts(); ++i) {
+    const Status st = InsertLocked(
+        std::span<const float>(carried.InsertRow(i), carried.dim()));
+    (void)st;
+  }
+  // Erases named rows of the previous epoch: translate through the
+  // refresh's compaction remap. A row the refresh already removed has
+  // nothing left to erase — drop it.
+  size_t dropped = 0;
+  for (uint32_t row : carried.SortedErases()) {
+    const uint32_t moved = row < remap.size() ? remap[row] : kRemovedRow;
+    if (moved == kRemovedRow || !overlay_.StageErase(moved).ok()) {
+      ++dropped;
+      continue;
+    }
+    const size_t seg = moved < assignment_.size() ? assignment_[moved] : 0;
+    if (seg < per_segment_.size()) ++per_segment_[seg];
+  }
+  if (dropped > 0) {
+    dropped_erases_ += dropped;
+    if (obs::MetricsEnabled()) {
+      obs::GetCounter("simcard.update.dropped_erases")
+          ->Add(static_cast<int64_t>(dropped));
+    }
+  }
+}
+
+Status DeltaBuffer::Insert(std::span<const float> point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InsertLocked(point);
+}
+
+Status DeltaBuffer::InsertLocked(std::span<const float> point) {
+  if (!armed_) {
+    return Status::FailedPrecondition("DeltaBuffer: not armed");
+  }
+  SIMCARD_RETURN_IF_ERROR(overlay_.StageInsert(point));
+  const size_t seg = NearestSegmentLocked(point.data());
+  if (seg < per_segment_.size()) ++per_segment_[seg];
+  insert_segments_.push_back(seg);
+  return Status::OK();
+}
+
+Status DeltaBuffer::Erase(uint32_t row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) {
+    return Status::FailedPrecondition("DeltaBuffer: not armed");
+  }
+  SIMCARD_RETURN_IF_ERROR(overlay_.StageErase(row));
+  const size_t seg = row < assignment_.size() ? assignment_[row] : 0;
+  if (seg < per_segment_.size()) ++per_segment_[seg];
+  return Status::OK();
+}
+
+size_t DeltaBuffer::NearestSegmentLocked(const float* point) const {
+  size_t best = 0;
+  float best_dist = std::numeric_limits<float>::infinity();
+  for (size_t s = 0; s < centroids_.rows(); ++s) {
+    const float dist = Distance(point, centroids_.Row(s), dim_, metric_);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = s;
+    }
+  }
+  return best;
+}
+
+DeltaSnapshot DeltaBuffer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DeltaSnapshot snap;
+  snap.overlay = std::move(overlay_);
+  snap.per_segment = std::move(per_segment_);
+  snap.insert_segments = std::move(insert_segments_);
+  // Stay armed against the same epoch: ingestion continues while the
+  // refresh runs, and RearmAfterRefresh translates what accumulates.
+  overlay_ = DeltaOverlay(snap.overlay.base_rows(), dim_);
+  per_segment_.assign(snap.per_segment.size(), 0);
+  insert_segments_.clear();
+  return snap;
+}
+
+size_t DeltaBuffer::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlay_.pending();
+}
+
+std::vector<size_t> DeltaBuffer::PerSegmentDeltas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_segment_;
+}
+
+uint64_t DeltaBuffer::dropped_erases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_erases_;
+}
+
+bool DeltaBuffer::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_;
+}
+
+size_t DeltaBuffer::base_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlay_.base_rows();
+}
+
+}  // namespace update
+}  // namespace simcard

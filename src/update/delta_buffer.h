@@ -1,0 +1,102 @@
+// Thread-safe delta ingestion for the online-update subsystem.
+//
+// Writers Insert/Erase vectors while the serving layer keeps answering from
+// the published model (Section 5.3). Each delta is routed to its nearest
+// segment centroid at ingestion time — against a copy of the published
+// segmentation taken at Rearm() — so the drift monitor can attribute
+// pending deltas to segments without touching the live estimator.
+//
+// Epoch discipline: erases name rows of the dataset epoch the buffer is
+// armed against. A refresh Drain()s the staged overlay, applies it, and
+// calls RearmAfterRefresh() with the compaction remap; deltas that arrived
+// mid-refresh are translated to the new epoch (erases of rows the refresh
+// itself removed are dropped and counted).
+#ifndef SIMCARD_UPDATE_DELTA_BUFFER_H_
+#define SIMCARD_UPDATE_DELTA_BUFFER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "cluster/segmentation.h"
+#include "data/delta_overlay.h"
+
+namespace simcard {
+namespace update {
+
+/// \brief One refresh's worth of drained deltas, with routing.
+struct DeltaSnapshot {
+  DeltaOverlay overlay;
+  /// Routed delta count (inserts + erases) per segment of the armed epoch.
+  std::vector<size_t> per_segment;
+  /// Staged-insert i -> segment it was routed to.
+  std::vector<size_t> insert_segments;
+};
+
+/// \brief Mutex-guarded staging buffer with nearest-centroid routing.
+///
+/// Thread-safe: any number of concurrent Insert/Erase/pending callers, plus
+/// one refresher calling Drain/Rearm*. Ingestion never blocks on model
+/// work — the critical section is one routing scan plus a vector append.
+class DeltaBuffer {
+ public:
+  DeltaBuffer() = default;
+  DeltaBuffer(const DeltaBuffer&) = delete;
+  DeltaBuffer& operator=(const DeltaBuffer&) = delete;
+
+  /// Arms ingestion against a published segmentation of a `base_rows`-row
+  /// dataset, discarding any staged deltas (first arm / full retrain).
+  void Rearm(const Segmentation& seg, size_t base_rows, size_t dim,
+             Metric metric);
+
+  /// Re-arms after a refresh: deltas staged since the Drain() are carried
+  /// over — inserts re-routed against the new centroids, erases translated
+  /// through `remap` (old row -> new row; erases of rows the refresh
+  /// removed are dropped and counted in dropped_erases()).
+  void RearmAfterRefresh(const Segmentation& seg, size_t base_rows,
+                         size_t dim, Metric metric,
+                         const std::vector<uint32_t>& remap);
+
+  /// Stages one inserted vector (dim() finite floats) and routes it to its
+  /// nearest segment centroid. FailedPrecondition before the first Rearm.
+  Status Insert(std::span<const float> point);
+
+  /// Stages the erase of base row `row` of the armed epoch.
+  Status Erase(uint32_t row);
+
+  /// Moves the staged deltas out for a refresh; the buffer stays armed
+  /// against the same epoch so ingestion continues during the refresh.
+  DeltaSnapshot Drain();
+
+  size_t pending() const;
+  std::vector<size_t> PerSegmentDeltas() const;
+  /// Erases invalidated because a refresh removed their target row first.
+  uint64_t dropped_erases() const;
+  bool armed() const;
+  size_t base_rows() const;
+
+ private:
+  /// Routing + bookkeeping shared by Insert and the rearm carry-over path;
+  /// mu_ must be held.
+  Status InsertLocked(std::span<const float> point);
+  void ResetLocked(const Segmentation& seg, size_t base_rows, size_t dim,
+                   Metric metric);
+  size_t NearestSegmentLocked(const float* point) const;
+
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  Matrix centroids_;                  // routing copy of the armed epoch
+  std::vector<uint32_t> assignment_;  // base row -> segment (routing copy)
+  Metric metric_ = Metric::kL2;
+  size_t dim_ = 0;
+  DeltaOverlay overlay_;
+  std::vector<size_t> per_segment_;
+  std::vector<size_t> insert_segments_;
+  uint64_t dropped_erases_ = 0;
+};
+
+}  // namespace update
+}  // namespace simcard
+
+#endif  // SIMCARD_UPDATE_DELTA_BUFFER_H_

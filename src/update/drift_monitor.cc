@@ -1,0 +1,99 @@
+#include "update/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace simcard {
+namespace update {
+
+namespace {
+
+// Accumulated deltas for one segment while scanning a snapshot.
+struct PendingDeltas {
+  size_t inserts = 0;
+  size_t erases = 0;
+  std::vector<float> sum;  // Σ inserted - Σ erased, lazily sized
+};
+
+}  // namespace
+
+DriftReport DriftMonitor::Assess(const Segmentation& seg,
+                                 const Dataset& dataset,
+                                 const DeltaSnapshot& snap) const {
+  const size_t dim = dataset.dim();
+  DriftReport report;
+
+  std::map<size_t, PendingDeltas> by_segment;
+  for (size_t i = 0; i < snap.overlay.num_inserts(); ++i) {
+    const size_t s = i < snap.insert_segments.size() ? snap.insert_segments[i]
+                                                     : 0;
+    PendingDeltas& d = by_segment[s];
+    ++d.inserts;
+    if (d.sum.empty()) d.sum.assign(dim, 0.0f);
+    const float* p = snap.overlay.InsertRow(i);
+    for (size_t j = 0; j < dim; ++j) d.sum[j] += p[j];
+  }
+  for (uint32_t row : snap.overlay.SortedErases()) {
+    if (row >= dataset.size() || row >= seg.assignment.size()) continue;
+    PendingDeltas& d = by_segment[seg.assignment[row]];
+    ++d.erases;
+    if (d.sum.empty()) d.sum.assign(dim, 0.0f);
+    const float* p = dataset.Point(row);
+    for (size_t j = 0; j < dim; ++j) d.sum[j] -= p[j];
+  }
+
+  for (const auto& [s, d] : by_segment) {
+    SegmentDrift drift;
+    drift.segment = s;
+    drift.size = s < seg.members.size() ? seg.members[s].size() : 0;
+    drift.inserts = d.inserts;
+    drift.erases = d.erases;
+    const double denom = std::max<double>(1.0, drift.size);
+    drift.delta_fraction = (d.inserts + d.erases) / denom;
+    drift.card_shift =
+        std::abs(static_cast<double>(d.inserts) -
+                 static_cast<double>(d.erases)) /
+        denom;
+
+    // Predicted centroid after the batch, by the same mean arithmetic the
+    // apply path uses: (size*c + Σins - Σdel) / (size + ins - del).
+    if (s < seg.num_segments() && !d.sum.empty()) {
+      const double new_count = static_cast<double>(drift.size) +
+                               static_cast<double>(d.inserts) -
+                               static_cast<double>(d.erases);
+      if (new_count >= 1.0) {
+        const float* c = seg.centroids.Row(s);
+        std::vector<float> moved(dim);
+        for (size_t j = 0; j < dim; ++j) {
+          moved[j] = static_cast<float>(
+              (static_cast<double>(drift.size) * c[j] + d.sum[j]) /
+              new_count);
+        }
+        const float dist =
+            Distance(moved.data(), c, dim, dataset.metric());
+        const float radius = s < seg.radius.size() ? seg.radius[s] : 0.0f;
+        drift.centroid_shift = dist / std::max(radius, 1e-3f);
+      } else {
+        // The batch empties the segment: maximal drift by definition.
+        drift.centroid_shift = 1.0;
+      }
+    }
+
+    drift.stale =
+        drift.delta_fraction >= thresholds_.stale_delta_fraction ||
+        drift.centroid_shift >= thresholds_.stale_centroid_shift;
+    if (drift.stale) report.stale_segments.push_back(s);
+    report.segments.push_back(drift);
+  }
+
+  report.total_delta_fraction =
+      static_cast<double>(snap.overlay.pending()) /
+      std::max<double>(1.0, dataset.size());
+  report.escalate_full_reseg =
+      report.total_delta_fraction >= thresholds_.full_reseg_fraction;
+  return report;
+}
+
+}  // namespace update
+}  // namespace simcard

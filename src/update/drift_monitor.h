@@ -1,0 +1,82 @@
+// Per-segment staleness assessment for the online-update subsystem.
+//
+// A refresh should fine-tune only the segments whose pending deltas
+// actually moved their data distribution (Section 5.3 fine-tunes affected
+// local models; Exp-11 shows full retrains are rarely worth their cost).
+// The monitor turns one drained DeltaSnapshot into per-segment drift stats
+// and a verdict: which segments are stale enough to fine-tune, and whether
+// total churn crossed the ceiling where only a full re-segmentation (PCA +
+// K-means redo) restores routing quality.
+#ifndef SIMCARD_UPDATE_DRIFT_MONITOR_H_
+#define SIMCARD_UPDATE_DRIFT_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/segmentation.h"
+#include "data/dataset.h"
+#include "update/delta_buffer.h"
+
+namespace simcard {
+namespace update {
+
+/// \brief Staleness thresholds, all as fractions.
+struct DriftThresholds {
+  /// A segment is stale when its (inserts + erases) / size reaches this.
+  double stale_delta_fraction = 0.05;
+  /// ... or when its predicted centroid displacement reaches this fraction
+  /// of the segment radius.
+  double stale_centroid_shift = 0.25;
+  /// Escalate to a full re-segmentation when total deltas reach this
+  /// fraction of the dataset.
+  double full_reseg_fraction = 0.5;
+};
+
+/// \brief One segment's drift stats for a pending delta batch.
+struct SegmentDrift {
+  size_t segment = 0;
+  size_t size = 0;     ///< members before applying the deltas
+  size_t inserts = 0;
+  size_t erases = 0;
+  double delta_fraction = 0.0;  ///< (inserts + erases) / max(1, size)
+  /// Predicted centroid displacement after applying the deltas, in units
+  /// of the segment radius (running-mean simulation; see DriftMonitor).
+  double centroid_shift = 0.0;
+  /// Net cardinality-shift estimate: |inserts - erases| / max(1, size) —
+  /// how far the segment's population clamp |D^[i]| will move.
+  double card_shift = 0.0;
+  bool stale = false;
+};
+
+/// \brief The monitor's verdict on one drained snapshot.
+struct DriftReport {
+  /// One entry per segment *with pending deltas*, ascending by segment id.
+  std::vector<SegmentDrift> segments;
+  /// Segment ids flagged stale, ascending (a subset of `segments`).
+  std::vector<size_t> stale_segments;
+  double total_delta_fraction = 0.0;  ///< pending / max(1, dataset rows)
+  bool escalate_full_reseg = false;
+};
+
+/// \brief Stateless assessor: thresholds in, verdict out.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftThresholds thresholds = {})
+      : thresholds_(thresholds) {}
+
+  /// Assesses `snap` against the segmentation it was routed with.
+  /// `dataset` must be the PRE-apply epoch (erased rows are looked up to
+  /// simulate their removal from the centroid mean).
+  DriftReport Assess(const Segmentation& seg, const Dataset& dataset,
+                     const DeltaSnapshot& snap) const;
+
+  const DriftThresholds& thresholds() const { return thresholds_; }
+
+ private:
+  DriftThresholds thresholds_;
+};
+
+}  // namespace update
+}  // namespace simcard
+
+#endif  // SIMCARD_UPDATE_DRIFT_MONITOR_H_

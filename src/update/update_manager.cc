@@ -1,0 +1,248 @@
+#include "update/update_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace simcard {
+namespace update {
+
+namespace {
+
+// Refresh-path instrumentation, resolved once (registry pointers are
+// stable) and gated on MetricsEnabled() at every recording site.
+struct UpdateMetrics {
+  obs::Counter* inserts = obs::GetCounter("simcard.update.inserts");
+  obs::Counter* erases = obs::GetCounter("simcard.update.erases");
+  obs::Counter* refreshes = obs::GetCounter("simcard.update.refreshes");
+  obs::Counter* segments_refreshed =
+      obs::GetCounter("simcard.update.segments_refreshed");
+  obs::Counter* segments_cloned =
+      obs::GetCounter("simcard.update.segments_cloned");
+  obs::Counter* epochs_published =
+      obs::GetCounter("simcard.update.epochs_published");
+  obs::Counter* full_resegs = obs::GetCounter("simcard.update.full_resegs");
+  obs::Gauge* pending = obs::GetGauge("simcard.update.pending_deltas");
+  obs::Histogram* refresh_ms = obs::GetHistogram("simcard.update.refresh_ms");
+  obs::Histogram* deltas_per_refresh = obs::GetHistogram(
+      "simcard.update.deltas_per_refresh",
+      obs::Histogram::ExponentialBuckets(1.0, 2.0, 16));
+};
+
+UpdateMetrics& Metrics() {
+  static UpdateMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+UpdateManager::UpdateManager(Dataset dataset, SearchWorkload workload,
+                             serve::ModelRegistry* registry,
+                             UpdateOptions options)
+    : dataset_(std::move(dataset)),
+      workload_(std::move(workload)),
+      registry_(registry),
+      options_(options),
+      monitor_(options.drift) {}
+
+Status UpdateManager::Start(const GlEstimator& trained) {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  if (trained.segmentation().assignment.size() != dataset_.size()) {
+    return Status::InvalidArgument(
+        "UpdateManager: estimator was not trained on this dataset epoch");
+  }
+  // Publish a CLONE so the caller's instance stays theirs to mutate; the
+  // registry's copy is immutable from here on.
+  auto clone = std::make_shared<GlEstimator>(trained.config());
+  std::vector<uint8_t> bytes = trained.SaveToBytes();
+  if (bytes.empty()) {
+    return Status::FailedPrecondition(
+        "UpdateManager: estimator not trained (clone failed)");
+  }
+  SIMCARD_RETURN_IF_ERROR(clone->LoadFromBytes(std::move(bytes)));
+  registry_->Publish(clone);
+  buffer_.Rearm(clone->segmentation(), dataset_.size(), dataset_.dim(),
+                dataset_.metric());
+  if (obs::MetricsEnabled()) {
+    Metrics().epochs_published->Increment();
+  }
+  return Status::OK();
+}
+
+Status UpdateManager::Insert(std::span<const float> point) {
+  SIMCARD_RETURN_IF_ERROR(buffer_.Insert(point));
+  if (obs::MetricsEnabled()) Metrics().inserts->Increment();
+  UpdatePendingGauge();
+  return Status::OK();
+}
+
+Status UpdateManager::Erase(uint32_t row) {
+  SIMCARD_RETURN_IF_ERROR(buffer_.Erase(row));
+  if (obs::MetricsEnabled()) Metrics().erases->Increment();
+  UpdatePendingGauge();
+  return Status::OK();
+}
+
+void UpdateManager::UpdatePendingGauge() const {
+  if (obs::MetricsEnabled()) {
+    Metrics().pending->Set(static_cast<double>(buffer_.pending()));
+  }
+}
+
+Result<RefreshOutcome> UpdateManager::Refresh() { return DoRefresh(false); }
+
+Result<RefreshOutcome> UpdateManager::Tick() { return DoRefresh(true); }
+
+Result<RefreshOutcome> UpdateManager::DoRefresh(bool only_if_due) {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  if (only_if_due &&
+      (options_.refresh_delta_threshold == 0 ||
+       buffer_.pending() < options_.refresh_delta_threshold)) {
+    return RefreshOutcome{};
+  }
+  const serve::ModelSnapshot current = registry_->Current();
+  if (current.estimator == nullptr) {
+    return Status::FailedPrecondition("UpdateManager: Start() first");
+  }
+  DeltaSnapshot snap = buffer_.Drain();
+  UpdatePendingGauge();
+  const size_t pending = snap.overlay.pending();
+  if (pending == 0) return RefreshOutcome{};
+
+  obs::TraceSpan span("update.refresh");
+  Stopwatch watch;
+  const DriftReport report =
+      monitor_.Assess(current.estimator->segmentation(), dataset_, snap);
+  ++refresh_count_;
+  const uint64_t refresh_seed = options_.seed + 9973 * refresh_count_;
+
+  Result<RefreshOutcome> out_or =
+      (report.escalate_full_reseg && options_.allow_full_reseg)
+          ? FullResegRefresh(current.estimator, std::move(snap), refresh_seed)
+          : IncrementalRefresh(current.estimator, std::move(snap), report,
+                               refresh_seed);
+  if (!out_or.ok()) return out_or.status();
+  RefreshOutcome outcome = std::move(out_or).value();
+  outcome.refresh_ms = watch.ElapsedMillis();
+  UpdatePendingGauge();
+  if (obs::MetricsEnabled()) {
+    UpdateMetrics& m = Metrics();
+    m.refreshes->Increment();
+    m.epochs_published->Increment();
+    m.segments_refreshed->Add(
+        static_cast<int64_t>(outcome.segments_refreshed));
+    m.segments_cloned->Add(static_cast<int64_t>(outcome.segments_cloned));
+    if (outcome.full_reseg) m.full_resegs->Increment();
+    m.refresh_ms->Record(outcome.refresh_ms);
+    m.deltas_per_refresh->Record(static_cast<double>(pending));
+  }
+  return outcome;
+}
+
+Result<RefreshOutcome> UpdateManager::IncrementalRefresh(
+    const std::shared_ptr<const GlEstimator>& current, DeltaSnapshot snap,
+    const DriftReport& report, uint64_t refresh_seed) {
+  RefreshOutcome outcome;
+  outcome.refreshed = true;
+  outcome.applied_inserts = snap.overlay.num_inserts();
+  outcome.applied_erases = snap.overlay.num_erases();
+  outcome.stale_segments = report.stale_segments;
+
+  // Build the successor entirely off to the side: readers keep answering
+  // from `current` until the single Publish below.
+  auto clone = std::make_shared<GlEstimator>(current->config());
+  std::vector<uint8_t> bytes = current->SaveToBytes();
+  if (bytes.empty()) {
+    return Status::Internal("UpdateManager: published model failed to clone");
+  }
+  SIMCARD_RETURN_IF_ERROR(clone->LoadFromBytes(std::move(bytes)));
+
+  std::vector<size_t> touched;
+  const std::vector<uint32_t> sorted = snap.overlay.SortedErases();
+  const std::vector<uint32_t> remap =
+      BuildEraseRemap(dataset_.size(), sorted);
+  if (!sorted.empty()) {
+    dataset_.EraseRows(sorted);
+    SIMCARD_RETURN_IF_ERROR(clone->EraseRows(dataset_, sorted, &touched,
+                                             /*recompute_summaries=*/true));
+  }
+  if (snap.overlay.num_inserts() > 0) {
+    const size_t first_new = dataset_.size();
+    dataset_.Append(snap.overlay.InsertMatrix());
+    std::vector<uint32_t> new_rows(snap.overlay.num_inserts());
+    for (size_t i = 0; i < new_rows.size(); ++i) {
+      new_rows[i] = static_cast<uint32_t>(first_new + i);
+    }
+    SIMCARD_RETURN_IF_ERROR(clone->RouteInserts(dataset_, new_rows,
+                                                &touched));
+  }
+  // Membership changed in every touched segment: re-sample fallbacks and
+  // refresh the |D^[i]| clamps before anything answers from them.
+  clone->RebuildFallbacks(dataset_, touched, refresh_seed);
+
+  // Relabel (x_q, x_tau, x_C) examples against the updated dataset, then
+  // fine-tune only what the monitor flagged stale; the rest of the local
+  // models ride along as byte-identical clones.
+  SIMCARD_RETURN_IF_ERROR(
+      RelabelWorkload(dataset_, &clone->segmentation(), &workload_));
+  SIMCARD_RETURN_IF_ERROR(clone->FineTuneSegments(workload_,
+                                                  report.stale_segments,
+                                                  refresh_seed,
+                                                  options_.fine_tune_epochs));
+  SIMCARD_RETURN_IF_ERROR(clone->FineTuneGlobal(workload_, refresh_seed + 29,
+                                                options_.fine_tune_epochs));
+
+  outcome.segments_refreshed = report.stale_segments.size();
+  outcome.segments_cloned =
+      clone->num_local_models() - outcome.segments_refreshed;
+  outcome.epoch = registry_->Publish(clone);
+  buffer_.RearmAfterRefresh(clone->segmentation(), dataset_.size(),
+                            dataset_.dim(), dataset_.metric(), remap);
+  return outcome;
+}
+
+Result<RefreshOutcome> UpdateManager::FullResegRefresh(
+    const std::shared_ptr<const GlEstimator>& current, DeltaSnapshot snap,
+    uint64_t refresh_seed) {
+  RefreshOutcome outcome;
+  outcome.refreshed = true;
+  outcome.full_reseg = true;
+  outcome.applied_inserts = snap.overlay.num_inserts();
+  outcome.applied_erases = snap.overlay.num_erases();
+
+  auto app_or = snap.overlay.ApplyTo(&dataset_);
+  if (!app_or.ok()) return app_or.status();
+
+  // Drift exceeded the ceiling: the old partition no longer describes the
+  // data, so redo PCA + K-means and train a fresh estimator on it.
+  SegmentationOptions sopts = options_.reseg;
+  if (sopts.target_segments == 0) {
+    sopts.target_segments = current->segmentation().num_segments();
+  }
+  sopts.seed = refresh_seed + 5;
+  auto seg_or = SegmentData(dataset_, sopts);
+  if (!seg_or.ok()) return seg_or.status();
+  const Segmentation seg = std::move(seg_or).value();
+  SIMCARD_RETURN_IF_ERROR(RelabelWorkload(dataset_, &seg, &workload_));
+
+  auto fresh = std::make_shared<GlEstimator>(current->config());
+  TrainContext ctx;
+  ctx.dataset = &dataset_;
+  ctx.workload = &workload_;
+  ctx.segmentation = &seg;
+  ctx.seed = refresh_seed;
+  SIMCARD_RETURN_IF_ERROR(fresh->Train(ctx));
+
+  outcome.segments_refreshed = fresh->num_local_models();
+  outcome.epoch = registry_->Publish(fresh);
+  buffer_.RearmAfterRefresh(fresh->segmentation(), dataset_.size(),
+                            dataset_.dim(), dataset_.metric(),
+                            app_or.value().remap);
+  return outcome;
+}
+
+}  // namespace update
+}  // namespace simcard

@@ -1,0 +1,143 @@
+// Refresh orchestration for the online-update subsystem (Section 5.3).
+//
+// The manager owns the authoritative dataset + workload, ingests deltas
+// through a DeltaBuffer, and on trigger (delta-count threshold via Tick(),
+// or an explicit Refresh()) produces a refreshed estimator OFF TO THE SIDE
+// and publishes it through serve::ModelRegistry — the same zero-downtime
+// epoch hot-swap the serving layer already uses for retrains. Readers never
+// see a half-updated model; ingestion stays open during a refresh and is
+// re-armed against the new epoch afterwards.
+//
+// Refresh paths, chosen by the DriftMonitor:
+//   incremental — clone the published estimator (SaveToBytes/LoadFromBytes),
+//     apply erases + route inserts on the clone's segmentation, rebuild the
+//     touched segments' SegmentFallback samples and |D^[i]| clamps, relabel
+//     the workload, fine-tune ONLY the stale local models plus a short
+//     global fine-tune, publish;
+//   full re-segmentation — when total churn crosses the hard ceiling, redo
+//     PCA + K-means on the updated dataset and train a fresh estimator.
+//
+// Observability (gated on obs::MetricsEnabled()):
+//   counters   simcard.update.inserts, .erases, .refreshes,
+//              .segments_refreshed, .segments_cloned, .epochs_published,
+//              .full_resegs, .dropped_erases
+//   gauge      simcard.update.pending_deltas
+//   histograms simcard.update.refresh_ms, simcard.update.deltas_per_refresh
+#ifndef SIMCARD_UPDATE_UPDATE_MANAGER_H_
+#define SIMCARD_UPDATE_UPDATE_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/gl_estimator.h"
+#include "serve/model_registry.h"
+#include "update/delta_buffer.h"
+#include "update/drift_monitor.h"
+#include "workload/queries.h"
+
+namespace simcard {
+namespace update {
+
+/// \brief Refresh policy knobs.
+struct UpdateOptions {
+  /// Tick() refreshes once pending deltas reach this count (0 disables the
+  /// threshold trigger; Refresh() always works).
+  size_t refresh_delta_threshold = 0;
+  /// Fine-tune epochs for stale local models and the global model.
+  size_t fine_tune_epochs = 3;
+  /// Base seed for refresh RNG streams (fallback re-sampling, fine-tunes);
+  /// each refresh derives its own stream so repeated refreshes differ
+  /// deterministically.
+  uint64_t seed = 104729;
+  DriftThresholds drift;
+  /// Allow escalation to a full re-segmentation + retrain.
+  bool allow_full_reseg = true;
+  /// Segmentation options for the escalation path. target_segments == 0
+  /// (the default here, overriding SegmentationOptions' own 16) keeps the
+  /// published estimator's segment count.
+  SegmentationOptions reseg{.target_segments = 0};
+};
+
+/// \brief What one Refresh()/Tick() did.
+struct RefreshOutcome {
+  bool refreshed = false;  ///< false: nothing pending (or threshold not met)
+  bool full_reseg = false;
+  uint64_t epoch = 0;  ///< registry epoch of the published model
+  size_t applied_inserts = 0;
+  size_t applied_erases = 0;
+  std::vector<size_t> stale_segments;
+  size_t segments_refreshed = 0;  ///< locals fine-tuned
+  size_t segments_cloned = 0;     ///< locals carried over untouched
+  double refresh_ms = 0.0;
+};
+
+/// \brief Owns the mutable dataset/workload and drives refreshes.
+///
+/// Thread-safe: Insert/Erase/pending from any thread; Refresh/Tick from
+/// any thread (serialized internally — a second caller waits). dataset()
+/// and workload() are only stable while no refresh is in flight; they are
+/// meant for single-threaded benchmarking and tests.
+class UpdateManager {
+ public:
+  /// `registry` must outlive the manager.
+  UpdateManager(Dataset dataset, SearchWorkload workload,
+                serve::ModelRegistry* registry, UpdateOptions options);
+
+  /// Publishes a clone of `trained` as the first served epoch and arms
+  /// delta ingestion against it. The estimator must have been trained on
+  /// (a segmentation of) the manager's dataset.
+  Status Start(const GlEstimator& trained);
+
+  /// Stages one inserted vector (copied; dim() finite floats).
+  Status Insert(std::span<const float> point);
+
+  /// Stages the erase of row `row` of the currently armed dataset epoch.
+  Status Erase(uint32_t row);
+
+  /// Drains pending deltas and refreshes now (no-op outcome when nothing
+  /// is pending).
+  Result<RefreshOutcome> Refresh();
+
+  /// Threshold trigger: refreshes only when pending deltas have reached
+  /// UpdateOptions::refresh_delta_threshold. Call periodically (or after
+  /// ingestion bursts); returns refreshed = false when not due.
+  Result<RefreshOutcome> Tick();
+
+  size_t pending() const { return buffer_.pending(); }
+  const DeltaBuffer& buffer() const { return buffer_; }
+  const DriftMonitor& monitor() const { return monitor_; }
+
+  /// The authoritative post-apply dataset/workload. Only stable while no
+  /// refresh is in flight.
+  const Dataset& dataset() const { return dataset_; }
+  const SearchWorkload& workload() const { return workload_; }
+
+ private:
+  Result<RefreshOutcome> DoRefresh(bool only_if_due);
+  Result<RefreshOutcome> IncrementalRefresh(
+      const std::shared_ptr<const GlEstimator>& current, DeltaSnapshot snap,
+      const DriftReport& report, uint64_t refresh_seed);
+  Result<RefreshOutcome> FullResegRefresh(
+      const std::shared_ptr<const GlEstimator>& current, DeltaSnapshot snap,
+      uint64_t refresh_seed);
+  void UpdatePendingGauge() const;
+
+  Dataset dataset_;
+  SearchWorkload workload_;
+  serve::ModelRegistry* registry_;
+  UpdateOptions options_;
+  DeltaBuffer buffer_;
+  DriftMonitor monitor_;
+
+  /// Serializes refreshes; dataset_/workload_ only mutate under this.
+  std::mutex refresh_mu_;
+  uint64_t refresh_count_ = 0;  // guarded by refresh_mu_
+};
+
+}  // namespace update
+}  // namespace simcard
+
+#endif  // SIMCARD_UPDATE_UPDATE_MANAGER_H_

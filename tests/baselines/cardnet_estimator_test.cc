@@ -4,9 +4,12 @@
 #include <cmath>
 
 #include "eval/harness.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
+
+using testsupport::EstimateCard;
 
 ExperimentEnv MakeEnv(const char* name = "glove-sim") {
   EnvOptions opts;
@@ -29,7 +32,7 @@ TEST(CardNetTest, TrainsAndEstimates) {
   ASSERT_TRUE(est.Train(ctx).ok());
   EXPECT_GT(est.num_buckets(), 0u);
   const float* q = env.workload.test_queries.Row(0);
-  const double estimate = est.EstimateSearch(q, 0.2f);
+  const double estimate = EstimateCard(est, q, 0.2f);
   EXPECT_GE(estimate, 0.0);
   EXPECT_LE(estimate, static_cast<double>(env.dataset.size()));
 }
@@ -47,7 +50,7 @@ TEST(CardNetTest, MonotoneInTauByConstruction) {
     const float* q = env.workload.test_queries.Row(row);
     double prev = -1.0;
     for (float tau = 0.0f; tau <= 0.8f; tau += 0.02f) {
-      const double estimate = est.EstimateSearch(q, tau);
+      const double estimate = EstimateCard(est, q, tau);
       EXPECT_GE(estimate, prev - 1e-9) << "tau=" << tau;
       prev = estimate;
     }
@@ -68,7 +71,7 @@ TEST(CardNetTest, BetterThanChanceOnTraining) {
   for (const auto& lq : env.workload.train) {
     const float* q = env.workload.train_queries.Row(lq.row);
     for (const auto& t : lq.thresholds) {
-      qsum += QError(est.EstimateSearch(q, t.tau), t.card);
+      qsum += QError(EstimateCard(est, q, t.tau), t.card);
       ++n;
     }
   }

@@ -4,9 +4,12 @@
 #include <algorithm>
 
 #include "eval/harness.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
+
+using testsupport::EstimateCard;
 
 ExperimentEnv MakeEnv() {
   EnvOptions opts;
@@ -29,7 +32,7 @@ TEST(KernelEstimatorTest, EstimateMonotoneInTau) {
   const float* q = env.workload.test_queries.Row(0);
   double prev = -1.0;
   for (float tau = 0.02f; tau <= 0.6f; tau += 0.02f) {
-    const double estimate = est.EstimateSearch(q, tau);
+    const double estimate = EstimateCard(est, q, tau);
     EXPECT_GE(estimate, prev);
     prev = estimate;
   }
@@ -42,7 +45,7 @@ TEST(KernelEstimatorTest, NoZeroTupleProblem) {
   TrainContext ctx = MakeTrainContext(env);
   ASSERT_TRUE(est.Train(ctx).ok());
   const float* q = env.workload.test_queries.Row(2);
-  EXPECT_GT(est.EstimateSearch(q, 0.05f), 0.0);
+  EXPECT_GT(EstimateCard(est, q, 0.05f), 0.0);
 }
 
 TEST(KernelEstimatorTest, LargeTauApproachesDatasetSize) {
@@ -51,7 +54,7 @@ TEST(KernelEstimatorTest, LargeTauApproachesDatasetSize) {
   TrainContext ctx = MakeTrainContext(env);
   ASSERT_TRUE(est.Train(ctx).ok());
   const float* q = env.workload.test_queries.Row(1);
-  const double estimate = est.EstimateSearch(q, 10.0f);  // >> any distance
+  const double estimate = EstimateCard(est, q, 10.0f);  // >> any distance
   EXPECT_NEAR(estimate, static_cast<double>(env.dataset.size()),
               env.dataset.size() * 0.02);
 }
@@ -70,7 +73,7 @@ TEST(KernelEstimatorTest, RoughlyCalibratedAtModerateSelectivity) {
     const float* q = env.workload.test_queries.Row(lq.row);
     for (const auto& t : lq.thresholds) {
       if (t.card < 10) continue;
-      const double ratio = est.EstimateSearch(q, t.tau) / t.card;
+      const double ratio = EstimateCard(est, q, t.tau) / t.card;
       EXPECT_LT(ratio, 100.0);
       EXPECT_GT(ratio, 0.01);
       ratios.push_back(ratio);

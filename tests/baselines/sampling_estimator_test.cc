@@ -5,9 +5,12 @@
 
 #include "eval/harness.h"
 #include "index/ground_truth.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
+
+using testsupport::EstimateCard;
 
 ExperimentEnv MakeEnv() {
   EnvOptions opts;
@@ -32,7 +35,7 @@ TEST(SamplingEstimatorTest, FullSampleIsExact) {
   GroundTruth gt(&env.dataset);
   const float* q = env.workload.test_queries.Row(0);
   for (float tau : {0.05f, 0.2f, 0.4f}) {
-    EXPECT_DOUBLE_EQ(est.EstimateSearch(q, tau),
+    EXPECT_DOUBLE_EQ(EstimateCard(est, q, tau),
                      static_cast<double>(gt.Count(q, tau)));
   }
 }
@@ -46,7 +49,7 @@ TEST(SamplingEstimatorTest, EstimateScalesByInverseRatio) {
   const double unit = static_cast<double>(env.dataset.size()) /
                       static_cast<double>(est.sample_rows());
   const float* q = env.workload.test_queries.Row(1);
-  const double estimate = est.EstimateSearch(q, 0.3f);
+  const double estimate = EstimateCard(est, q, 0.3f);
   EXPECT_NEAR(std::fmod(estimate, unit), 0.0, 1e-6);
 }
 
@@ -63,7 +66,7 @@ TEST(SamplingEstimatorTest, ZeroTupleProblemOnLowSelectivity) {
     const float* q = env.workload.test_queries.Row(lq.row);
     for (const auto& t : lq.thresholds) {
       if (t.card > 0 && t.card < 20) {
-        zeros += est.EstimateSearch(q, t.tau) == 0.0;
+        zeros += EstimateCard(est, q, t.tau) == 0.0;
         ++total;
       }
     }
@@ -94,7 +97,7 @@ TEST(SamplingEstimatorTest, HammingFastPathMatchesGroundTruthAtFullSample) {
   GroundTruth gt(&env.dataset);
   const float* q = env.workload.test_queries.Row(0);
   for (float tau : {0.1f, 0.3f}) {
-    EXPECT_DOUBLE_EQ(est.EstimateSearch(q, tau),
+    EXPECT_DOUBLE_EQ(EstimateCard(est, q, tau),
                      static_cast<double>(gt.Count(q, tau)));
   }
 }

@@ -1,0 +1,105 @@
+// The deprecated call shims exist for out-of-tree callers, so no migrated
+// test exercises them anymore — this file is their only coverage, pinned
+// to answer bit-for-bit what the request API answers. It is allowlisted in
+// scripts/check_api_deprecations.sh; every other test goes through
+// tests/support/request_helpers.h or builds EstimateRequest directly.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/sampling_estimator.h"
+#include "core/gl_estimator.h"
+#include "eval/harness.h"
+#include "serve/estimation_service.h"
+#include "serve/model_registry.h"
+#include "support/request_helpers.h"
+
+namespace simcard {
+namespace {
+
+using serve::EstimateResponse;
+using serve::EstimationService;
+using serve::ModelRegistry;
+using serve::ServeOptions;
+
+const ExperimentEnv& SharedEnv() {
+  static const ExperimentEnv* env = [] {
+    EnvOptions opts;
+    opts.num_segments = 4;
+    return new ExperimentEnv(std::move(
+        BuildEnvironment("glove-sim", Scale::kTiny, opts).value()));
+  }();
+  return *env;
+}
+
+const GlEstimator& SharedGl() {
+  static const GlEstimator* est = [] {
+    GlEstimatorConfig config = GlEstimatorConfig::GlCnn();
+    config.local_train.epochs = 8;
+    config.global_train.epochs = 8;
+    config.tuner.max_trials = 2;
+    config.tuner.trial_epochs = 4;
+    config.tune_per_segment = false;
+    auto* e = new GlEstimator(config);
+    TrainContext ctx = MakeTrainContext(SharedEnv());
+    EXPECT_TRUE(e->Train(ctx).ok());
+    return e;
+  }();
+  return *est;
+}
+
+TEST(DeprecatedShimTest, EstimatorSearchShimMatchesRequestApi) {
+  SamplingEstimator est("full", 1.0);
+  TrainContext ctx = MakeTrainContext(SharedEnv());
+  ASSERT_TRUE(est.Train(ctx).ok());
+  const float* q = SharedEnv().workload.test_queries.Row(0);
+  for (float tau : {0.1f, 0.3f, 0.6f}) {
+    EXPECT_DOUBLE_EQ(est.EstimateSearch(q, tau),
+                     testsupport::EstimateCard(est, q, tau));
+  }
+}
+
+TEST(DeprecatedShimTest, GlConstSearchShimMatchesRequestApi) {
+  const GlEstimator& est = SharedGl();
+  const Matrix& queries = SharedEnv().workload.test_queries;
+  for (size_t row = 0; row < 3; ++row) {
+    const float* q = queries.Row(row);
+    EXPECT_DOUBLE_EQ(est.EstimateSearch(q, 0.4f, nullptr),
+                     testsupport::EstimateCard(est, q, 0.4f));
+  }
+}
+
+TEST(DeprecatedShimTest, ServiceSubmitShimsMatchRequestApi) {
+  const GlEstimator& model = SharedGl();
+  ModelRegistry registry;
+  registry.Publish(std::shared_ptr<const GlEstimator>(
+      std::shared_ptr<const GlEstimator>(), &model));
+  EstimationService service(&registry, ServeOptions{});
+
+  const Matrix& queries = SharedEnv().workload.test_queries;
+  const float* q = queries.Row(1);
+  std::vector<float> query(q, q + queries.cols());
+
+  EstimateRequest request;
+  request.query = std::span<const float>(query);
+  request.tau = 0.5f;
+  request.options.deadline_ms = 10000.0;
+  EstimateResponse via_request = service.Submit(request).get();
+  ASSERT_TRUE(via_request.status.ok()) << via_request.status.ToString();
+
+  // Pointer+dim shim.
+  EstimateResponse via_ptr =
+      service.Submit(query.data(), query.size(), 0.5f).get();
+  ASSERT_TRUE(via_ptr.status.ok()) << via_ptr.status.ToString();
+  EXPECT_DOUBLE_EQ(via_ptr.estimate, via_request.estimate);
+
+  // Owned-vector shim.
+  EstimateResponse via_vec =
+      service.Submit(std::vector<float>(query), 0.5f, 10000.0).get();
+  ASSERT_TRUE(via_vec.status.ok()) << via_vec.status.ToString();
+  EXPECT_DOUBLE_EQ(via_vec.estimate, via_request.estimate);
+}
+
+}  // namespace
+}  // namespace simcard

@@ -14,9 +14,12 @@
 #include "core/segment_fallback.h"
 #include "eval/harness.h"
 #include "obs/metrics.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
+
+using testsupport::EstimateCard;
 
 constexpr float kNaNf = std::numeric_limits<float>::quiet_NaN();
 
@@ -116,7 +119,7 @@ TEST(GlEstimatorGuardTest, NanQueryAnswersZero) {
   double out = -1.0;
   const int64_t delta =
       CounterDelta("simcard.fallback.invalid_query",
-                   [&] { out = est.EstimateSearch(q.data(), 0.2f); });
+                   [&] { out = EstimateCard(est, q.data(), 0.2f); });
   EXPECT_EQ(out, 0.0);
   EXPECT_EQ(delta, 1);
 }
@@ -125,7 +128,7 @@ TEST(GlEstimatorGuardTest, InfQueryAnswersZero) {
   GlEstimator& est = TrainedEstimator();
   std::vector<float> q(16, 0.1f);
   q[0] = std::numeric_limits<float>::infinity();
-  EXPECT_EQ(est.EstimateSearch(q.data(), 0.2f), 0.0);
+  EXPECT_EQ(EstimateCard(est, q.data(), 0.2f), 0.0);
 }
 
 TEST(GlEstimatorGuardTest, BadTauAnswersZero) {
@@ -134,8 +137,8 @@ TEST(GlEstimatorGuardTest, BadTauAnswersZero) {
   double nan_out = -1.0, neg_out = -1.0;
   const int64_t delta =
       CounterDelta("simcard.fallback.invalid_tau", [&] {
-        nan_out = est.EstimateSearch(q.data(), kNaNf);
-        neg_out = est.EstimateSearch(q.data(), -0.5f);
+        nan_out = EstimateCard(est, q.data(), kNaNf);
+        neg_out = EstimateCard(est, q.data(), -0.5f);
       });
   EXPECT_EQ(nan_out, 0.0);
   EXPECT_EQ(neg_out, 0.0);
@@ -152,7 +155,7 @@ TEST(GlEstimatorGuardTest, InjectedLocalFaultFallsBackFinite) {
   double out = std::numeric_limits<double>::quiet_NaN();
   const int64_t delta =
       CounterDelta("simcard.fallback.local_nonfinite",
-                   [&] { out = est.EstimateSearch(q.data(), 0.3f); });
+                   [&] { out = EstimateCard(est, q.data(), 0.3f); });
   fault::Disable();
 
   EXPECT_TRUE(std::isfinite(out));
@@ -161,7 +164,7 @@ TEST(GlEstimatorGuardTest, InjectedLocalFaultFallsBackFinite) {
   EXPECT_GE(delta, 1);  // at least one segment fell back
 
   // Disarmed again: the normal path answers without touching the counter.
-  EXPECT_TRUE(std::isfinite(est.EstimateSearch(q.data(), 0.3f)));
+  EXPECT_TRUE(std::isfinite(EstimateCard(est, q.data(), 0.3f)));
 }
 
 TEST(GlEstimatorGuardTest, EstimateNeverExceedsDatasetSize) {
@@ -169,7 +172,7 @@ TEST(GlEstimatorGuardTest, EstimateNeverExceedsDatasetSize) {
   // A huge tau drives every model to its ceiling; the sum of per-segment
   // clamps already bounds by |D|, and the final clamp guarantees it.
   std::vector<float> q(16, 0.0f);
-  const double out = est.EstimateSearch(q.data(), 1e6f);
+  const double out = EstimateCard(est, q.data(), 1e6f);
   EXPECT_TRUE(std::isfinite(out));
   EXPECT_LE(out, DatasetSize(est));
 }
@@ -238,7 +241,7 @@ TEST(GlEstimatorGuardTest, DegradedLoadQuarantinesCorruptLocal) {
   double out = std::numeric_limits<double>::quiet_NaN();
   const int64_t delta =
       CounterDelta("simcard.fallback.local_missing",
-                   [&] { out = degraded.EstimateSearch(q.data(), 0.5f); });
+                   [&] { out = EstimateCard(degraded, q.data(), 0.5f); });
   EXPECT_TRUE(std::isfinite(out));
   EXPECT_GE(out, 0.0);
   EXPECT_LE(out, DatasetSize(degraded));
@@ -256,8 +259,8 @@ TEST(GlEstimatorGuardTest, CheckedRoundTripPreservesEstimates) {
   GlEstimator& orig = TrainedEstimator();
   std::vector<float> q(16, 0.05f);
   for (float tau : {0.05f, 0.2f, 0.5f}) {
-    EXPECT_DOUBLE_EQ(loaded.EstimateSearch(q.data(), tau),
-                     orig.EstimateSearch(q.data(), tau))
+    EXPECT_DOUBLE_EQ(EstimateCard(loaded, q.data(), tau),
+                     EstimateCard(orig, q.data(), tau))
         << "tau " << tau;
   }
   std::remove(saved.path.c_str());

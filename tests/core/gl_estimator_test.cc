@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include "eval/harness.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
+
+using testsupport::EstimateCard;
 
 // A shared tiny environment; building it once keeps this suite fast.
 const ExperimentEnv& SharedEnv() {
@@ -111,7 +114,7 @@ TEST(GlEstimatorTest, SumOfSegmentsEqualsSearchEstimate) {
   for (const SegmentEstimate& se : est.EstimatePerSegment(q, tau)) {
     sum += se.estimate;
   }
-  EXPECT_NEAR(est.EstimateSearch(q, tau), sum, 1e-9 + 1e-6 * sum);
+  EXPECT_NEAR(EstimateCard(est, q, tau), sum, 1e-9 + 1e-6 * sum);
 }
 
 TEST(GlEstimatorTest, EstimateMonotoneInTau) {
@@ -125,7 +128,7 @@ TEST(GlEstimatorTest, EstimateMonotoneInTau) {
   const float* q = env.workload.test_queries.Row(2);
   double prev = -1.0;
   for (float tau = 0.02f; tau <= 0.4f; tau += 0.02f) {
-    const double est_v = est.EstimateSearch(q, tau);
+    const double est_v = EstimateCard(est, q, tau);
     EXPECT_GE(est_v, prev * (1.0 - 1e-6));
     prev = est_v;
   }

@@ -2,9 +2,12 @@
 
 #include "eval/harness.h"
 #include "index/ground_truth.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
+
+using testsupport::EstimateCard;
 
 struct InvertEnv {
   ExperimentEnv env;
@@ -33,11 +36,11 @@ TEST(InvertCardinalityTest, EstimateAtInvertedTauReachesTarget) {
   for (double target : {3.0, 10.0, 25.0}) {
     const float tau =
         InvertCardinality(s.estimator.get(), q, target, 0.0f, 1.0f);
-    EXPECT_GE(s.estimator->EstimateSearch(q, tau), target * 0.999);
+    EXPECT_GE(EstimateCard(*s.estimator, q, tau), target * 0.999);
     // Just below tau the estimate must fall short (minimality), unless the
     // search bottomed out at lo.
     if (tau > 1e-4f) {
-      EXPECT_LT(s.estimator->EstimateSearch(q, tau * 0.95f), target * 1.5);
+      EXPECT_LT(EstimateCard(*s.estimator, q, tau * 0.95f), target * 1.5);
     }
   }
 }

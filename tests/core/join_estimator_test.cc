@@ -6,9 +6,12 @@
 #include "common/stopwatch.h"
 
 #include "eval/harness.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
+
+using testsupport::EstimateCard;
 
 struct JoinEnv {
   ExperimentEnv env;
@@ -121,8 +124,8 @@ TEST(GlJoinTest, BatchFasterThanPerQueryOnLargeSets) {
     // Per-query path: sum of individual search estimates (GL+ style).
     double total = 0.0;
     for (uint32_t row : js.query_rows) {
-      total += est.EstimateSearch(je.env.workload.test_queries.Row(row),
-                                  js.tau);
+      total += EstimateCard(est, je.env.workload.test_queries.Row(row),
+                            js.tau);
     }
     (void)total;
   }
@@ -136,7 +139,7 @@ TEST(GlJoinTest, SearchEstimatesDelegateToGl) {
   TrainContext ctx = MakeTrainContext(je.env);
   ASSERT_TRUE(est.Train(ctx).ok());
   const float* q = je.env.workload.test_queries.Row(0);
-  EXPECT_NEAR(est.EstimateSearch(q, 0.2f), est.gl()->EstimateSearch(q, 0.2f),
+  EXPECT_NEAR(EstimateCard(est, q, 0.2f), EstimateCard(*est.gl(), q, 0.2f),
               1e-9);
 }
 

@@ -6,9 +6,12 @@
 #include <cmath>
 
 #include "eval/harness.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
+
+using testsupport::EstimateCard;
 
 struct MonotoneCase {
   std::string estimator;
@@ -39,7 +42,7 @@ TEST_P(MonotonicityTest, EstimateNonDecreasingInTau) {
     double prev = -1.0;
     for (int step = 0; step <= 20; ++step) {
       const float tau = tau_hi * static_cast<float>(step) / 20.0f;
-      const double estimate = est->EstimateSearch(q, tau);
+      const double estimate = EstimateCard(*est, q, tau);
       // Tolerate float jitter of one part in 1e-5.
       EXPECT_GE(estimate, prev * (1.0 - 1e-5) - 1e-9)
           << c.estimator << " on " << c.dataset << " at tau=" << tau;

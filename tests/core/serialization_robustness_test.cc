@@ -12,6 +12,15 @@
 namespace simcard {
 namespace {
 
+// ctest runs every test of this binary as its own parallel process, so any
+// scratch file must carry the test name or concurrent tests clobber each
+// other's bytes mid-read.
+std::string ScratchPath(const char* stem) {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  return testing::TempDir() + "/" + stem + "." +
+         (info != nullptr ? info->name() : "fixture") + ".bin";
+}
+
 // A trained, serialized GL model (bytes) shared by the tests.
 const std::vector<uint8_t>& TrainedModelBytes() {
   static const std::vector<uint8_t>* bytes = [] {
@@ -25,7 +34,7 @@ const std::vector<uint8_t>& TrainedModelBytes() {
     GlEstimator est(config);
     TrainContext ctx = MakeTrainContext(env);
     EXPECT_TRUE(est.Train(ctx).ok());
-    const std::string path = testing::TempDir() + "/robustness_model.bin";
+    const std::string path = ScratchPath("robustness_model");
     EXPECT_TRUE(est.SaveToFile(path).ok());
     auto* out = new std::vector<uint8_t>();
     FILE* f = fopen(path.c_str(), "rb");
@@ -42,7 +51,7 @@ const std::vector<uint8_t>& TrainedModelBytes() {
 }
 
 Status LoadFromBytes(const std::vector<uint8_t>& bytes) {
-  const std::string path = testing::TempDir() + "/robustness_variant.bin";
+  const std::string path = ScratchPath("robustness_variant");
   FILE* f = fopen(path.c_str(), "wb");
   if (!bytes.empty()) fwrite(bytes.data(), 1, bytes.size(), f);
   fclose(f);
@@ -129,7 +138,7 @@ TEST(SerializationRobustnessTest, DegradedLoadSurvivesLocalModelFlip) {
     }
   }
   ASSERT_TRUE(found);
-  const std::string path = testing::TempDir() + "/robustness_degraded.bin";
+  const std::string path = ScratchPath("robustness_degraded");
   FILE* f = fopen(path.c_str(), "wb");
   ASSERT_EQ(fwrite(flipped.data(), 1, flipped.size(), f), flipped.size());
   fclose(f);
@@ -139,6 +148,47 @@ TEST(SerializationRobustnessTest, DegradedLoadSurvivesLocalModelFlip) {
       est.LoadFromFile(path, GlEstimator::LoadMode::kDegraded).ok());
   EXPECT_EQ(est.num_quarantined_locals(), 1u);
   std::remove(path.c_str());
+}
+
+// Corruption sweep over the exact-members section added for mid-refresh
+// snapshots: a strict load must refuse it, a degraded load must fall back
+// to assignment-derived member lists that still cover every row.
+TEST(SerializationRobustnessTest, MembersSectionFlipDegradesToDerivedLists) {
+  const auto& bytes = TrainedModelBytes();
+  auto reader_or = CheckedFileReader::FromBytes(bytes);
+  ASSERT_TRUE(reader_or.ok());
+  const CheckedFileReader::SectionInfo* members = nullptr;
+  for (const auto& info : reader_or.value().sections()) {
+    if (info.name == "members") members = &info;
+  }
+  ASSERT_NE(members, nullptr) << "model file lost the members section";
+
+  // Sweep a few offsets across the section payload.
+  for (size_t step : {size_t{0}, members->size / 2, members->size - 1}) {
+    auto flipped = bytes;
+    flipped[members->offset + step] ^= 0x20;
+    EXPECT_FALSE(LoadFromBytes(flipped).ok()) << "offset " << step;
+
+    const std::string path = ScratchPath("robustness_members");
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_EQ(fwrite(flipped.data(), 1, flipped.size(), f), flipped.size());
+    fclose(f);
+    GlEstimator est(GlEstimatorConfig::GlCnn());
+    ASSERT_TRUE(
+        est.LoadFromFile(path, GlEstimator::LoadMode::kDegraded).ok());
+    std::remove(path.c_str());
+    // Derived lists: every row present exactly once, in its assigned
+    // segment — degraded, but internally consistent.
+    const Segmentation& seg = est.segmentation();
+    size_t total = 0;
+    for (size_t s = 0; s < seg.num_segments(); ++s) {
+      for (uint32_t row : seg.members[s]) {
+        EXPECT_EQ(seg.assignment[row], s);
+      }
+      total += seg.members[s].size();
+    }
+    EXPECT_EQ(total, seg.assignment.size());
+  }
 }
 
 TEST(SerializationRobustnessTest, TrailingGarbageIsHarmless) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "eval/harness.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
@@ -32,8 +33,8 @@ TEST_P(DeterminismTest, TrainTwiceEstimateIdentically) {
     const auto& lq = env_a.workload.test[i];
     const float* q = env_a.workload.test_queries.Row(lq.row);
     for (const auto& t : lq.thresholds) {
-      EXPECT_DOUBLE_EQ(est_a->EstimateSearch(q, t.tau),
-                       est_b->EstimateSearch(q, t.tau))
+      EXPECT_DOUBLE_EQ(testsupport::EstimateCard(*est_a, q, t.tau),
+                       testsupport::EstimateCard(*est_b, q, t.tau))
           << method;
     }
   }

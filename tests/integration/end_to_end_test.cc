@@ -7,6 +7,7 @@
 #include <map>
 
 #include "eval/harness.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
@@ -106,8 +107,8 @@ TEST(EndToEndTest, DefaultJoinEstimateIsSumOfSearches) {
   const float tau = 0.2f;
   double expected = 0.0;
   for (uint32_t row : rows) {
-    expected +=
-        est->EstimateSearch(env.workload.test_queries.Row(row), tau);
+    expected += testsupport::EstimateCard(
+        *est, env.workload.test_queries.Row(row), tau);
   }
   EXPECT_NEAR(
       est->EstimateJoin(env.workload.test_queries, rows, tau), expected,

@@ -11,6 +11,7 @@
 #include "core/gl_estimator.h"
 #include "eval/harness.h"
 #include "obs/metrics.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace {
@@ -123,10 +124,12 @@ TEST(ReportSchemaTest, DisabledMetricsRecordNothing) {
   obs::Counter* queries = obs::GetCounter("gl.queries");
   const int64_t before = queries->Value();
   const float* q = SharedEnv().workload.test_queries.Row(0);
-  for (int i = 0; i < 5; ++i) est.EstimateSearch(q, 0.2f + 0.05f * i);
+  for (int i = 0; i < 5; ++i) {
+    testsupport::EstimateCard(est, q, 0.2f + 0.05f * i);
+  }
   EXPECT_EQ(queries->Value(), before);
   obs::SetMetricsEnabled(true);
-  est.EstimateSearch(q, 0.3f);
+  testsupport::EstimateCard(est, q, 0.3f);
   EXPECT_EQ(queries->Value(), before + 1);
 }
 

@@ -16,6 +16,7 @@
 #include "eval/harness.h"
 #include "obs/metrics.h"
 #include "serve/model_registry.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace serve {
@@ -100,7 +101,7 @@ TEST_F(ServeBatchTest, BurstCoalescesAndMatchesSinglePath) {
     }
     EXPECT_DOUBLE_EQ(
         response.estimate,
-        SharedModel()->EstimateSearch(queries.Row(i), 0.4f, nullptr));
+        testsupport::EstimateCard(*SharedModel(), queries.Row(i), 0.4f));
   }
   service.Drain();
 }
@@ -190,7 +191,7 @@ TEST_F(ServeBatchTest, MaxBatchOneKeepsSingleSemantics) {
   const Matrix& queries = SharedEnv().workload.test_queries;
   EXPECT_DOUBLE_EQ(
       response.estimate,
-      SharedModel()->EstimateSearch(queries.Row(1), 0.5f, nullptr));
+      testsupport::EstimateCard(*SharedModel(), queries.Row(1), 0.5f));
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "eval/harness.h"
 #include "serve/estimation_service.h"
 #include "serve/model_registry.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace serve {
@@ -77,9 +78,11 @@ void RunReadersRaceModelSwaps(ServeOptions options) {
         const float* q = queries.Row(row);
         std::vector<float> query(q, q + queries.cols());
         const float tau = 0.3f + 0.05f * static_cast<float>(i % 5);
-        EstimateResponse response =
-            service.Submit(std::move(query), tau, /*deadline_ms=*/10000.0)
-                .get();
+        EstimateRequest request;
+        request.query = std::span<const float>(query);
+        request.tau = tau;
+        request.options.deadline_ms = 10000.0;
+        EstimateResponse response = service.Submit(request).get();
         if (response.status.code() == StatusCode::kUnavailable) {
           continue;  // shed under burst load: acceptable, just not counted
         }
@@ -155,7 +158,7 @@ TEST(ServeStressTest, ConcurrentEstimatesMatchSerialOnSharedModel) {
   const size_t n = std::min<size_t>(queries.rows(), 32);
   std::vector<double> serial(n);
   for (size_t i = 0; i < n; ++i) {
-    serial[i] = model->EstimateSearch(queries.Row(i), 0.5f, nullptr);
+    serial[i] = testsupport::EstimateCard(*model, queries.Row(i), 0.5f);
   }
 
   // The same estimates computed by many threads through the const Apply
@@ -169,7 +172,7 @@ TEST(ServeStressTest, ConcurrentEstimatesMatchSerialOnSharedModel) {
     threads.emplace_back([&] {
       for (size_t i = 0; i < n; ++i) {
         const double got =
-            model->EstimateSearch(queries.Row(i), 0.5f, nullptr);
+            testsupport::EstimateCard(*model, queries.Row(i), 0.5f);
         if (got != serial[i]) mismatches.fetch_add(1);
       }
     });

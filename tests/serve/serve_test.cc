@@ -13,6 +13,7 @@
 #include "eval/harness.h"
 #include "obs/metrics.h"
 #include "serve/model_registry.h"
+#include "support/request_helpers.h"
 
 namespace simcard {
 namespace serve {
@@ -61,6 +62,18 @@ uint64_t CounterValue(const char* name) {
   return obs::GetCounter(name)->Value();
 }
 
+// Unified-API submit; the service copies the query, so taking the vector by
+// value keeps the span alive exactly long enough.
+std::future<EstimateResponse> SubmitQuery(EstimationService& service,
+                                          std::vector<float> query, float tau,
+                                          double deadline_ms) {
+  EstimateRequest request;
+  request.query = std::span<const float>(query);
+  request.tau = tau;
+  request.options.deadline_ms = deadline_ms;
+  return service.Submit(request);
+}
+
 class ServeTest : public ::testing::Test {
  protected:
   void SetUp() override { obs::SetMetricsEnabled(true); }
@@ -95,9 +108,8 @@ TEST_F(ServeTest, SubmitWithoutModelReturnsUnavailable) {
   EstimationService service(&registry, ServeOptions{});
   const uint64_t no_model_before = CounterValue("simcard.serve.no_model");
 
-  std::vector<float> query = TestQuery();
   EstimateResponse response =
-      service.Submit(std::move(query), 0.5f, /*deadline_ms=*/1000.0).get();
+      SubmitQuery(service, TestQuery(), 0.5f, /*deadline_ms=*/1000.0).get();
   EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
   EXPECT_EQ(CounterValue("simcard.serve.no_model"), no_model_before + 1);
 }
@@ -108,7 +120,7 @@ TEST_F(ServeTest, AnswersWithPublishedModel) {
   EstimationService service(&registry, ServeOptions{});
 
   EstimateResponse response =
-      service.Submit(TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get();
+      SubmitQuery(service, TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get();
   ASSERT_TRUE(response.status.ok()) << response.status.ToString();
   EXPECT_TRUE(std::isfinite(response.estimate));
   EXPECT_GE(response.estimate, 0.0);
@@ -117,7 +129,8 @@ TEST_F(ServeTest, AnswersWithPublishedModel) {
 
   // Sanity: the served estimate matches a direct synchronous call.
   std::vector<float> q = TestQuery();
-  const double direct = SharedModel()->EstimateSearch(q.data(), 0.5f, nullptr);
+  const double direct =
+      testsupport::EstimateCard(*SharedModel(), q.data(), 0.5f);
   EXPECT_DOUBLE_EQ(response.estimate, direct);
 }
 
@@ -131,7 +144,7 @@ TEST_F(ServeTest, ZeroCapacityShedsEveryRequest) {
 
   for (int i = 0; i < 3; ++i) {
     EstimateResponse response =
-        service.Submit(TestQuery(), 0.5f, /*deadline_ms=*/1000.0).get();
+        SubmitQuery(service, TestQuery(), 0.5f, /*deadline_ms=*/1000.0).get();
     EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
   }
   EXPECT_EQ(CounterValue("simcard.serve.shed"), shed_before + 3);
@@ -149,13 +162,13 @@ TEST_F(ServeTest, QueueFullFaultForcesShed) {
   const uint64_t shed_before = CounterValue("simcard.serve.shed");
 
   EstimateResponse response =
-      service.Submit(TestQuery(), 0.5f, /*deadline_ms=*/1000.0).get();
+      SubmitQuery(service, TestQuery(), 0.5f, /*deadline_ms=*/1000.0).get();
   EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
   EXPECT_EQ(CounterValue("simcard.serve.shed"), shed_before + 1);
 
   fault::Disable();
   EXPECT_TRUE(
-      service.Submit(TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get()
+      SubmitQuery(service, TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get()
           .status.ok());
 }
 
@@ -172,14 +185,14 @@ TEST_F(ServeTest, SlowEvalFaultExceedsDeadline) {
       CounterValue("simcard.serve.deadline_exceeded");
 
   EstimateResponse response =
-      service.Submit(TestQuery(), 0.5f, /*deadline_ms=*/5.0).get();
+      SubmitQuery(service, TestQuery(), 0.5f, /*deadline_ms=*/5.0).get();
   EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_GE(CounterValue("simcard.serve.deadline_exceeded"),
             exceeded_before + 1);
 
   fault::Disable();
   EXPECT_TRUE(
-      service.Submit(TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get()
+      SubmitQuery(service, TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get()
           .status.ok());
 }
 
@@ -201,7 +214,7 @@ TEST_F(ServeTest, BreakerTripsOnLocalFailuresAndRecovers) {
 
   for (int i = 0; i < 6; ++i) {
     EstimateResponse response =
-        service.Submit(TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get();
+        SubmitQuery(service, TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get();
     // Fallback still produces an answer; the request itself succeeds.
     ASSERT_TRUE(response.status.ok()) << response.status.ToString();
     EXPECT_TRUE(std::isfinite(response.estimate));
@@ -219,7 +232,7 @@ TEST_F(ServeTest, BreakerTripsOnLocalFailuresAndRecovers) {
   fault::Disable();
   for (int i = 0; i < 12; ++i) {
     ASSERT_TRUE(
-        service.Submit(TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get()
+        SubmitQuery(service, TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get()
             .status.ok());
   }
   for (size_t s = 0; s < SharedModel()->num_local_models(); ++s) {

@@ -1,0 +1,43 @@
+// Shared test plumbing for the unified estimation API: builds an
+// EstimateRequest the way production callers do, so tests stop going
+// through the deprecated EstimateSearch/Submit shims (enforced by
+// scripts/check_api_deprecations.sh, which gates tests/ too; the shims
+// themselves stay covered by tests/core/deprecated_shim_test.cc).
+#ifndef SIMCARD_TESTS_SUPPORT_REQUEST_HELPERS_H_
+#define SIMCARD_TESTS_SUPPORT_REQUEST_HELPERS_H_
+
+#include <span>
+
+#include "core/estimator.h"
+#include "core/gl_estimator.h"
+
+namespace simcard {
+namespace testsupport {
+
+// Single-query estimate card(q, tau, D) through Estimate(EstimateRequest).
+// The span is passed in the legacy length-unknown encoding (empty span,
+// non-null data) because most tests hold a bare row pointer; the estimator
+// trusts it for dim() floats, exactly like the shim the tests migrated off.
+inline double EstimateCard(Estimator& est, const float* query, float tau,
+                           SegmentEvalPolicy* policy = nullptr) {
+  EstimateRequest request;
+  request.query = std::span<const float>(query, static_cast<size_t>(0));
+  request.tau = tau;
+  request.options.policy = policy;
+  return est.Estimate(request);
+}
+
+// Const-path twin for shared (published) GL models.
+inline double EstimateCard(const GlEstimator& est, const float* query,
+                           float tau, SegmentEvalPolicy* policy = nullptr) {
+  EstimateRequest request;
+  request.query = std::span<const float>(query, static_cast<size_t>(0));
+  request.tau = tau;
+  request.options.policy = policy;
+  return est.Estimate(request);
+}
+
+}  // namespace testsupport
+}  // namespace simcard
+
+#endif  // SIMCARD_TESTS_SUPPORT_REQUEST_HELPERS_H_

@@ -1,0 +1,156 @@
+// Delta ingestion: nearest-centroid routing, epoch discipline across
+// Drain/Rearm, and translation of mid-refresh deltas through the
+// compaction remap.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/segmentation.h"
+#include "data/delta_overlay.h"
+#include "data/generators.h"
+#include "update/delta_buffer.h"
+
+namespace simcard {
+namespace update {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  Segmentation seg;
+
+  Fixture() {
+    dataset = MakeAnalogDataset("glove-sim", Scale::kTiny, 11).value();
+    SegmentationOptions opts;
+    opts.target_segments = 6;
+    opts.seed = 12;
+    seg = SegmentData(dataset, opts).value();
+  }
+
+  void Arm(DeltaBuffer* buffer) const {
+    buffer->Rearm(seg, dataset.size(), dataset.dim(), dataset.metric());
+  }
+
+  std::vector<float> Centroid(size_t s) const {
+    const float* c = seg.centroids.Row(s);
+    return std::vector<float>(c, c + dataset.dim());
+  }
+};
+
+TEST(DeltaBufferTest, UnarmedRejectsIngestion) {
+  DeltaBuffer buffer;
+  std::vector<float> point(16, 0.0f);
+  EXPECT_FALSE(buffer.armed());
+  EXPECT_FALSE(buffer.Insert(point).ok());
+  EXPECT_FALSE(buffer.Erase(0).ok());
+}
+
+TEST(DeltaBufferTest, RoutesInsertToNearestCentroid) {
+  Fixture f;
+  DeltaBuffer buffer;
+  f.Arm(&buffer);
+  // A point sitting exactly on a centroid must route to that segment.
+  for (size_t s = 0; s < f.seg.num_segments(); ++s) {
+    ASSERT_TRUE(buffer.Insert(f.Centroid(s)).ok());
+  }
+  const auto per_segment = buffer.PerSegmentDeltas();
+  ASSERT_EQ(per_segment.size(), f.seg.num_segments());
+  for (size_t s = 0; s < per_segment.size(); ++s) {
+    EXPECT_EQ(per_segment[s], 1u) << "segment " << s;
+  }
+  EXPECT_EQ(buffer.pending(), f.seg.num_segments());
+}
+
+TEST(DeltaBufferTest, EraseChargedToOwningSegment) {
+  Fixture f;
+  DeltaBuffer buffer;
+  f.Arm(&buffer);
+  const uint32_t row = 42;
+  ASSERT_TRUE(buffer.Erase(row).ok());
+  const auto per_segment = buffer.PerSegmentDeltas();
+  EXPECT_EQ(per_segment[f.seg.assignment[row]], 1u);
+  EXPECT_EQ(buffer.pending(), 1u);
+}
+
+TEST(DeltaBufferTest, RejectsMalformedDeltas) {
+  Fixture f;
+  DeltaBuffer buffer;
+  f.Arm(&buffer);
+  // Wrong dimensionality.
+  EXPECT_FALSE(buffer.Insert(std::vector<float>(3, 0.0f)).ok());
+  // Out-of-range and duplicate erases.
+  EXPECT_FALSE(
+      buffer.Erase(static_cast<uint32_t>(f.dataset.size())).ok());
+  ASSERT_TRUE(buffer.Erase(7).ok());
+  EXPECT_FALSE(buffer.Erase(7).ok());
+}
+
+TEST(DeltaBufferTest, DrainKeepsIngestionOpen) {
+  Fixture f;
+  DeltaBuffer buffer;
+  f.Arm(&buffer);
+  ASSERT_TRUE(buffer.Insert(f.Centroid(0)).ok());
+  ASSERT_TRUE(buffer.Erase(3).ok());
+
+  DeltaSnapshot snap = buffer.Drain();
+  EXPECT_EQ(snap.overlay.num_inserts(), 1u);
+  EXPECT_EQ(snap.overlay.num_erases(), 1u);
+  ASSERT_EQ(snap.insert_segments.size(), 1u);
+  EXPECT_EQ(snap.insert_segments[0], 0u);
+
+  // Still armed against the same epoch; new deltas keep flowing while the
+  // refresh works off the snapshot.
+  EXPECT_TRUE(buffer.armed());
+  EXPECT_EQ(buffer.pending(), 0u);
+  EXPECT_TRUE(buffer.Erase(3).ok());  // new overlay: not a duplicate
+  EXPECT_EQ(buffer.pending(), 1u);
+}
+
+TEST(DeltaBufferTest, RearmAfterRefreshTranslatesCarriedDeltas) {
+  Fixture f;
+  DeltaBuffer buffer;
+  f.Arm(&buffer);
+
+  // The refresh drains {erase 10}.
+  ASSERT_TRUE(buffer.Erase(10).ok());
+  DeltaSnapshot snap = buffer.Drain();
+
+  // Mid-refresh, three more deltas arrive against the OLD epoch: an erase
+  // of a row the refresh is about to remove (must be dropped), an erase of
+  // a surviving row (must be shifted down by the compaction), and an
+  // insert (must be carried over and re-routed).
+  ASSERT_TRUE(buffer.Erase(10).ok());
+  ASSERT_TRUE(buffer.Erase(20).ok());
+  ASSERT_TRUE(buffer.Insert(f.Centroid(1)).ok());
+
+  // Apply the snapshot the way a refresh would.
+  auto app = snap.overlay.ApplyTo(&f.dataset).value();
+  SegmentationOptions opts;
+  opts.target_segments = 6;
+  opts.seed = 13;
+  Segmentation seg2 = SegmentData(f.dataset, opts).value();
+  buffer.RearmAfterRefresh(seg2, f.dataset.size(), f.dataset.dim(),
+                           f.dataset.metric(), app.remap);
+
+  EXPECT_EQ(buffer.dropped_erases(), 1u);
+  EXPECT_EQ(buffer.pending(), 2u);  // erase 20 -> 19, plus the insert
+  DeltaSnapshot carried = buffer.Drain();
+  EXPECT_EQ(carried.overlay.num_inserts(), 1u);
+  const std::vector<uint32_t> erases = carried.overlay.SortedErases();
+  ASSERT_EQ(erases.size(), 1u);
+  EXPECT_EQ(erases[0], 19u);  // row 20, shifted down past erased row 10
+}
+
+TEST(DeltaBufferTest, RearmDiscardsStagedDeltas) {
+  Fixture f;
+  DeltaBuffer buffer;
+  f.Arm(&buffer);
+  ASSERT_TRUE(buffer.Erase(0).ok());
+  ASSERT_TRUE(buffer.Insert(f.Centroid(0)).ok());
+  f.Arm(&buffer);  // full re-arm, e.g. after a retrain from scratch
+  EXPECT_EQ(buffer.pending(), 0u);
+  EXPECT_EQ(buffer.dropped_erases(), 0u);
+}
+
+}  // namespace
+}  // namespace update
+}  // namespace simcard

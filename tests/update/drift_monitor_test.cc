@@ -1,0 +1,150 @@
+// Drift assessment: which segments a pending delta batch makes stale, and
+// when total churn forces a full re-segmentation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/segmentation.h"
+#include "data/generators.h"
+#include "update/drift_monitor.h"
+
+namespace simcard {
+namespace update {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  Segmentation seg;
+
+  Fixture() {
+    dataset = MakeAnalogDataset("glove-sim", Scale::kTiny, 21).value();
+    SegmentationOptions opts;
+    opts.target_segments = 6;
+    opts.seed = 22;
+    seg = SegmentData(dataset, opts).value();
+  }
+
+  DeltaSnapshot EmptySnapshot() const {
+    DeltaSnapshot snap;
+    snap.overlay = DeltaOverlay(dataset.size(), dataset.dim());
+    snap.per_segment.assign(seg.num_segments(), 0);
+    return snap;
+  }
+
+  // Stages `count` inserts pinned to `segment`, each `scale` times the
+  // segment radius away from the centroid along the first axis.
+  void StageInsertsAt(DeltaSnapshot* snap, size_t segment, size_t count,
+                      float scale) const {
+    const float* c = seg.centroids.Row(segment);
+    std::vector<float> point(c, c + dataset.dim());
+    point[0] += scale * std::max(seg.radius[segment], 1e-3f);
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_TRUE(snap->overlay.StageInsert(point).ok());
+      snap->insert_segments.push_back(segment);
+      ++snap->per_segment[segment];
+    }
+  }
+};
+
+TEST(DriftMonitorTest, QuietSegmentIsNotStale) {
+  Fixture f;
+  DeltaSnapshot snap = f.EmptySnapshot();
+  // One on-centroid insert into a ~300-member segment: fraction and
+  // predicted displacement both sit far below the thresholds.
+  f.StageInsertsAt(&snap, 0, 1, 0.0f);
+
+  DriftMonitor monitor;
+  DriftReport report = monitor.Assess(f.seg, f.dataset, snap);
+  ASSERT_EQ(report.segments.size(), 1u);
+  EXPECT_EQ(report.segments[0].segment, 0u);
+  EXPECT_FALSE(report.segments[0].stale);
+  EXPECT_TRUE(report.stale_segments.empty());
+  EXPECT_FALSE(report.escalate_full_reseg);
+}
+
+TEST(DriftMonitorTest, HeavyChurnFlagsSegmentStale) {
+  Fixture f;
+  DeltaSnapshot snap = f.EmptySnapshot();
+  // Erase 10% of segment 0's members: over the 5% delta-fraction bar.
+  const size_t s = 0;
+  const size_t count = f.seg.members[s].size() / 10;
+  ASSERT_GT(count, 0u);
+  std::vector<uint32_t> rows(f.seg.members[s].begin(),
+                             f.seg.members[s].begin() + count);
+  std::sort(rows.begin(), rows.end());
+  for (uint32_t row : rows) {
+    ASSERT_TRUE(snap.overlay.StageErase(row).ok());
+    ++snap.per_segment[s];
+  }
+
+  DriftMonitor monitor;
+  DriftReport report = monitor.Assess(f.seg, f.dataset, snap);
+  ASSERT_EQ(report.stale_segments.size(), 1u);
+  EXPECT_EQ(report.stale_segments[0], s);
+  EXPECT_GE(report.segments[0].delta_fraction, 0.05);
+  EXPECT_GE(report.segments[0].card_shift, 0.05);
+}
+
+TEST(DriftMonitorTest, OutlierInsertsTripCentroidShift) {
+  Fixture f;
+  DeltaSnapshot snap = f.EmptySnapshot();
+  // Few inserts (under the count bar) but far away: the predicted
+  // running-mean centroid moves by more than a quarter radius.
+  const size_t s = 1;
+  const size_t count =
+      std::max<size_t>(1, f.seg.members[s].size() / 25);  // 4% < 5%
+  f.StageInsertsAt(&snap, s, count, 50.0f);
+
+  DriftMonitor monitor;
+  DriftReport report = monitor.Assess(f.seg, f.dataset, snap);
+  ASSERT_EQ(report.segments.size(), 1u);
+  EXPECT_LT(report.segments[0].delta_fraction, 0.05);
+  EXPECT_GE(report.segments[0].centroid_shift, 0.25);
+  EXPECT_TRUE(report.segments[0].stale);
+}
+
+TEST(DriftMonitorTest, EmptyingASegmentIsMaximalDrift) {
+  Fixture f;
+  DeltaSnapshot snap = f.EmptySnapshot();
+  const size_t s = 2;
+  std::vector<uint32_t> rows(f.seg.members[s].begin(),
+                             f.seg.members[s].end());
+  std::sort(rows.begin(), rows.end());
+  for (uint32_t row : rows) {
+    ASSERT_TRUE(snap.overlay.StageErase(row).ok());
+    ++snap.per_segment[s];
+  }
+
+  DriftMonitor monitor;
+  DriftReport report = monitor.Assess(f.seg, f.dataset, snap);
+  ASSERT_EQ(report.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.segments[0].centroid_shift, 1.0);
+  EXPECT_TRUE(report.segments[0].stale);
+}
+
+TEST(DriftMonitorTest, TotalChurnEscalatesToFullReseg) {
+  Fixture f;
+  DeltaSnapshot snap = f.EmptySnapshot();
+  const size_t count = f.dataset.size() / 2;  // exactly the 0.5 ceiling
+  for (uint32_t row = 0; row < count; ++row) {
+    ASSERT_TRUE(snap.overlay.StageErase(row).ok());
+    ++snap.per_segment[f.seg.assignment[row]];
+  }
+
+  DriftMonitor monitor;
+  DriftReport report = monitor.Assess(f.seg, f.dataset, snap);
+  EXPECT_GE(report.total_delta_fraction, 0.5);
+  EXPECT_TRUE(report.escalate_full_reseg);
+
+  // A raised ceiling tolerates the same batch.
+  DriftThresholds relaxed;
+  relaxed.full_reseg_fraction = 0.9;
+  DriftReport tolerant =
+      DriftMonitor(relaxed).Assess(f.seg, f.dataset, snap);
+  EXPECT_FALSE(tolerant.escalate_full_reseg);
+}
+
+}  // namespace
+}  // namespace update
+}  // namespace simcard

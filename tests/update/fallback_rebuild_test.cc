@@ -1,0 +1,137 @@
+// SegmentFallback maintenance across membership changes: after inserts are
+// routed in or members erased, RebuildFallbacks must re-sample the retained
+// members from the CURRENT dataset and move the population clamp |D^[i]|
+// with the segment — otherwise the degradation path answers from vectors
+// that no longer exist (or clamps to a stale population).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/gl_estimator.h"
+#include "eval/harness.h"
+
+namespace simcard {
+namespace {
+
+GlEstimatorConfig FastConfig() {
+  GlEstimatorConfig config = GlEstimatorConfig::GlCnn();
+  config.local_train.epochs = 5;
+  config.global_train.epochs = 5;
+  config.tuner.max_trials = 2;
+  config.tuner.trial_epochs = 3;
+  config.tune_per_segment = false;
+  return config;
+}
+
+struct Fixture {
+  ExperimentEnv env;
+  GlEstimator est{FastConfig()};
+
+  Fixture() {
+    EnvOptions opts;
+    opts.num_segments = 6;
+    env = std::move(
+        BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+    TrainContext ctx = MakeTrainContext(env);
+    EXPECT_TRUE(est.Train(ctx).ok());
+  }
+};
+
+// True when every retained sample row-matches some vector in `dataset`.
+bool SamplesExistInDataset(const SegmentFallback& fb, const Dataset& dataset) {
+  const size_t dim = dataset.dim();
+  for (size_t i = 0; i < fb.SampleCount(dim); ++i) {
+    const float* sample = fb.samples.data() + i * dim;
+    bool found = false;
+    for (size_t row = 0; row < dataset.size() && !found; ++row) {
+      found = std::memcmp(sample, dataset.Point(row),
+                          dim * sizeof(float)) == 0;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+TEST(FallbackRebuildTest, InsertsGrowClampAndResample) {
+  Fixture f;
+  // Append copies of segment 0's centroid so routing is deterministic.
+  const size_t s = 0;
+  const size_t before_members = f.est.segmentation().members[s].size();
+  const std::vector<float> old_samples = f.est.segment_fallback(s).samples;
+  ASSERT_EQ(f.est.segment_fallback(s).segment_size, before_members);
+
+  const size_t added = 40;
+  Matrix extra(added, f.env.dataset.dim());
+  const float* c = f.est.segmentation().centroids.Row(s);
+  for (size_t i = 0; i < added; ++i) {
+    std::memcpy(extra.Row(i), c, f.env.dataset.dim() * sizeof(float));
+  }
+  std::vector<uint32_t> new_rows;
+  for (size_t i = 0; i < added; ++i) {
+    new_rows.push_back(static_cast<uint32_t>(f.env.dataset.size() + i));
+  }
+  f.env.dataset.Append(extra);
+
+  std::vector<size_t> touched;
+  ASSERT_TRUE(f.est.RouteInserts(f.env.dataset, new_rows, &touched).ok());
+  ASSERT_EQ(touched, std::vector<size_t>{s});
+  f.est.RebuildFallbacks(f.env.dataset, touched, /*seed=*/99);
+
+  const SegmentFallback& fb = f.est.segment_fallback(s);
+  EXPECT_EQ(fb.segment_size, before_members + added);
+  EXPECT_EQ(fb.segment_size, f.est.segmentation().members[s].size());
+  // The member pool changed, so the retained sample must too.
+  EXPECT_NE(fb.samples, old_samples);
+  EXPECT_TRUE(SamplesExistInDataset(fb, f.env.dataset));
+}
+
+TEST(FallbackRebuildTest, ErasesShrinkClampAndDropDeadVectors) {
+  Fixture f;
+  const size_t s = 0;
+  const auto& members = f.est.segmentation().members[s];
+  const size_t before_members = members.size();
+  ASSERT_GT(before_members, 8u);
+
+  // Erase half of segment 0's members (plus nothing else), so the segment's
+  // population halves while other segments only shift row ids.
+  std::vector<uint32_t> rows(members.begin(),
+                             members.begin() + before_members / 2);
+  std::sort(rows.begin(), rows.end());
+  f.env.dataset.EraseRows(rows);
+  std::vector<size_t> touched;
+  ASSERT_TRUE(f.est.EraseRows(f.env.dataset, rows, &touched).ok());
+  EXPECT_FALSE(touched.empty());
+  // Every segment's stored row ids shifted, so rebuild them all.
+  std::vector<size_t> all(f.est.num_local_models());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  f.est.RebuildFallbacks(f.env.dataset, all, /*seed=*/100);
+
+  const SegmentFallback& fb = f.est.segment_fallback(s);
+  EXPECT_EQ(fb.segment_size, before_members - rows.size());
+  EXPECT_EQ(fb.segment_size, f.est.segmentation().members[s].size());
+  for (size_t i = 0; i < f.est.num_local_models(); ++i) {
+    EXPECT_TRUE(SamplesExistInDataset(f.est.segment_fallback(i),
+                                      f.env.dataset))
+        << "segment " << i << " retained an erased vector";
+  }
+}
+
+TEST(FallbackRebuildTest, RebuildIsSeedDeterministic) {
+  Fixture f;
+  std::vector<size_t> all(f.est.num_local_models());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  f.est.RebuildFallbacks(f.env.dataset, all, /*seed=*/7);
+  std::vector<std::vector<float>> first;
+  for (size_t i = 0; i < all.size(); ++i) {
+    first.push_back(f.est.segment_fallback(i).samples);
+  }
+  f.est.RebuildFallbacks(f.env.dataset, all, /*seed=*/7);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(f.est.segment_fallback(i).samples, first[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace simcard

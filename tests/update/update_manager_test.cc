@@ -1,0 +1,234 @@
+// Refresh orchestration end to end: publish-on-start, no-op refreshes,
+// incremental fine-tune vs full re-segmentation, threshold ticks, and
+// deterministic republish.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "eval/harness.h"
+#include "serve/model_registry.h"
+#include "update/update_manager.h"
+
+namespace simcard {
+namespace update {
+namespace {
+
+GlEstimatorConfig FastConfig() {
+  GlEstimatorConfig config = GlEstimatorConfig::GlCnn();
+  config.local_train.epochs = 8;
+  config.global_train.epochs = 8;
+  config.tuner.max_trials = 2;
+  config.tuner.trial_epochs = 3;
+  config.tune_per_segment = false;
+  return config;
+}
+
+struct Fixture {
+  ExperimentEnv env;
+  std::unique_ptr<GlEstimator> est;
+  serve::ModelRegistry registry;
+
+  explicit Fixture(uint64_t seed = 31) {
+    EnvOptions opts;
+    opts.num_segments = 6;
+    opts.seed = seed;
+    env = std::move(
+        BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+    est = std::make_unique<GlEstimator>(FastConfig());
+    TrainContext ctx = MakeTrainContext(env);
+    EXPECT_TRUE(est->Train(ctx).ok());
+  }
+
+  UpdateManager MakeManager(UpdateOptions opts) {
+    return UpdateManager(std::move(env.dataset), std::move(env.workload),
+                         &registry, opts);
+  }
+};
+
+// Stages fraction/2 inserts + fraction/2 erases through `manager`.
+void StageDelta(UpdateManager* manager, size_t base_rows, double fraction,
+                uint64_t seed) {
+  const size_t half =
+      static_cast<size_t>(static_cast<double>(base_rows) * fraction / 2.0);
+  Matrix inserts =
+      MakeAnalogUpdates("glove-sim", Scale::kTiny, half, seed).value();
+  for (size_t i = 0; i < inserts.rows(); ++i) {
+    ASSERT_TRUE(
+        manager
+            ->Insert(std::span<const float>(inserts.Row(i), inserts.cols()))
+            .ok());
+  }
+  Rng rng(seed + 1);
+  for (size_t row : rng.SampleWithoutReplacement(base_rows, half)) {
+    ASSERT_TRUE(manager->Erase(static_cast<uint32_t>(row)).ok());
+  }
+}
+
+TEST(UpdateManagerTest, StartPublishesCloneAndArmsIngestion) {
+  Fixture f;
+  UpdateManager manager = f.MakeManager(UpdateOptions{});
+  ASSERT_TRUE(manager.Start(*f.est).ok());
+  EXPECT_EQ(f.registry.epoch(), 1u);
+  ASSERT_NE(f.registry.Current().estimator, nullptr);
+  // The published model is a clone, not the caller's instance.
+  EXPECT_NE(f.registry.Current().estimator.get(), f.est.get());
+  EXPECT_TRUE(manager.buffer().armed());
+}
+
+TEST(UpdateManagerTest, StartRejectsMismatchedEstimator) {
+  Fixture f;
+  // Trained against a DIFFERENT dataset epoch (one row short).
+  f.env.dataset.Truncate(1);
+  UpdateManager manager = f.MakeManager(UpdateOptions{});
+  EXPECT_FALSE(manager.Start(*f.est).ok());
+}
+
+TEST(UpdateManagerTest, RefreshBeforeStartFails) {
+  Fixture f;
+  UpdateManager manager = f.MakeManager(UpdateOptions{});
+  ASSERT_TRUE(manager.Erase(0).ok() == false);  // buffer not armed yet
+  EXPECT_FALSE(manager.Refresh().ok());
+}
+
+TEST(UpdateManagerTest, RefreshWithoutDeltasIsNoop) {
+  Fixture f;
+  UpdateManager manager = f.MakeManager(UpdateOptions{});
+  ASSERT_TRUE(manager.Start(*f.est).ok());
+  auto outcome = manager.Refresh().value();
+  EXPECT_FALSE(outcome.refreshed);
+  EXPECT_EQ(f.registry.epoch(), 1u);
+}
+
+TEST(UpdateManagerTest, IncrementalRefreshPublishesAndImproves) {
+  Fixture f;
+  const size_t base_rows = f.env.dataset.size();
+  UpdateOptions opts;
+  opts.allow_full_reseg = false;
+  opts.fine_tune_epochs = 3;
+  UpdateManager manager = f.MakeManager(opts);
+  ASSERT_TRUE(manager.Start(*f.est).ok());
+  StageDelta(&manager, base_rows, 0.2, 41);
+  const size_t half = manager.pending() / 2;
+
+  auto outcome = manager.Refresh().value();
+  EXPECT_TRUE(outcome.refreshed);
+  EXPECT_FALSE(outcome.full_reseg);
+  EXPECT_EQ(outcome.epoch, 2u);
+  EXPECT_EQ(outcome.applied_inserts, half);
+  EXPECT_EQ(outcome.applied_erases, half);
+  EXPECT_FALSE(outcome.stale_segments.empty());
+  EXPECT_EQ(outcome.segments_refreshed + outcome.segments_cloned,
+            f.registry.Current().estimator->num_local_models());
+  // The authoritative dataset tracked the delta (equal inserts/erases).
+  EXPECT_EQ(manager.dataset().size(), base_rows);
+  EXPECT_EQ(manager.pending(), 0u);
+
+  // Published segmentation matches the post-apply dataset.
+  const auto published = f.registry.Current().estimator;
+  EXPECT_EQ(published->segmentation().assignment.size(),
+            manager.dataset().size());
+
+  // Exp-11 shape: the refreshed model answers the relabeled workload
+  // better than the stale pre-delta weights.
+  auto stale = std::make_unique<GlEstimator>(f.est->config());
+  ASSERT_TRUE(stale->LoadFromBytes(f.est->SaveToBytes()).ok());
+  auto refreshed = std::make_unique<GlEstimator>(f.est->config());
+  ASSERT_TRUE(refreshed->LoadFromBytes(published->SaveToBytes()).ok());
+  const double stale_q =
+      EvaluateSearch(stale.get(), manager.workload()).qerror.mean;
+  const double fresh_q =
+      EvaluateSearch(refreshed.get(), manager.workload()).qerror.mean;
+  EXPECT_LT(fresh_q, stale_q);
+}
+
+TEST(UpdateManagerTest, TickHonorsThreshold) {
+  Fixture f;
+  UpdateOptions opts;
+  opts.refresh_delta_threshold = 10;
+  opts.allow_full_reseg = false;
+  UpdateManager manager = f.MakeManager(opts);
+  ASSERT_TRUE(manager.Start(*f.est).ok());
+
+  for (uint32_t row = 0; row < 5; ++row) {
+    ASSERT_TRUE(manager.Erase(row).ok());
+  }
+  EXPECT_FALSE(manager.Tick().value().refreshed);
+  EXPECT_EQ(f.registry.epoch(), 1u);
+
+  for (uint32_t row = 5; row < 10; ++row) {
+    ASSERT_TRUE(manager.Erase(row).ok());
+  }
+  auto outcome = manager.Tick().value();
+  EXPECT_TRUE(outcome.refreshed);
+  EXPECT_EQ(f.registry.epoch(), 2u);
+  EXPECT_EQ(outcome.applied_erases, 10u);
+}
+
+TEST(UpdateManagerTest, HeavyChurnEscalatesToFullReseg) {
+  Fixture f;
+  const size_t base_rows = f.env.dataset.size();
+  UpdateOptions opts;
+  opts.drift.full_reseg_fraction = 0.1;  // low ceiling to force the path
+  opts.allow_full_reseg = true;
+  UpdateManager manager = f.MakeManager(opts);
+  ASSERT_TRUE(manager.Start(*f.est).ok());
+  StageDelta(&manager, base_rows, 0.2, 43);
+
+  auto outcome = manager.Refresh().value();
+  EXPECT_TRUE(outcome.refreshed);
+  EXPECT_TRUE(outcome.full_reseg);
+  EXPECT_EQ(outcome.epoch, 2u);
+  const auto published = f.registry.Current().estimator;
+  EXPECT_EQ(published->segmentation().assignment.size(),
+            manager.dataset().size());
+  EXPECT_EQ(outcome.segments_refreshed, published->num_local_models());
+  // Default reseg options keep the served model's segment count instead of
+  // silently re-partitioning to SegmentationOptions' own default.
+  EXPECT_EQ(published->num_local_models(), f.est->num_local_models());
+  // Buffer re-armed against the re-segmented epoch.
+  EXPECT_TRUE(manager.buffer().armed());
+  EXPECT_EQ(manager.buffer().base_rows(), manager.dataset().size());
+}
+
+TEST(UpdateManagerTest, FullResegDisabledStaysIncremental) {
+  Fixture f;
+  const size_t base_rows = f.env.dataset.size();
+  UpdateOptions opts;
+  opts.drift.full_reseg_fraction = 0.1;
+  opts.allow_full_reseg = false;
+  UpdateManager manager = f.MakeManager(opts);
+  ASSERT_TRUE(manager.Start(*f.est).ok());
+  StageDelta(&manager, base_rows, 0.2, 47);
+  auto outcome = manager.Refresh().value();
+  EXPECT_TRUE(outcome.refreshed);
+  EXPECT_FALSE(outcome.full_reseg);
+}
+
+TEST(UpdateManagerTest, RefreshIsDeterministic) {
+  auto run = [](std::vector<uint8_t>* bytes) {
+    Fixture f(/*seed=*/53);
+    const size_t base_rows = f.env.dataset.size();
+    UpdateOptions opts;
+    opts.allow_full_reseg = false;
+    opts.seed = 777;
+    UpdateManager manager = f.MakeManager(opts);
+    ASSERT_TRUE(manager.Start(*f.est).ok());
+    StageDelta(&manager, base_rows, 0.1, 59);
+    ASSERT_TRUE(manager.Refresh().ok());
+    *bytes = f.registry.Current().estimator->SaveToBytes();
+  };
+  std::vector<uint8_t> first;
+  std::vector<uint8_t> second;
+  run(&first);
+  run(&second);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace update
+}  // namespace simcard

@@ -1,0 +1,157 @@
+// Concurrency stress for the online-update subsystem: writer threads keep
+// pushing deltas and triggering refreshes (epoch hot-swaps) while reader
+// threads hammer EstimationService::Submit. Run under TSan
+// (scripts/check_sanitize.sh tsan) to prove ingestion, refresh, and
+// publish are data-race free against concurrent serving; plain builds
+// still check the functional invariants (finite estimates, monotone
+// epochs per reader, no lost refreshes).
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "eval/harness.h"
+#include "serve/estimation_service.h"
+#include "serve/model_registry.h"
+#include "update/update_manager.h"
+
+namespace simcard {
+namespace update {
+namespace {
+
+GlEstimatorConfig FastConfig() {
+  GlEstimatorConfig config = GlEstimatorConfig::GlCnn();
+  config.local_train.epochs = 6;
+  config.global_train.epochs = 6;
+  config.tuner.max_trials = 2;
+  config.tuner.trial_epochs = 3;
+  config.tune_per_segment = false;
+  return config;
+}
+
+TEST(UpdateStressTest, ReadersRaceDeltaIngestionAndRefreshes) {
+  EnvOptions env_opts;
+  env_opts.num_segments = 5;
+  ExperimentEnv env = std::move(
+      BuildEnvironment("glove-sim", Scale::kTiny, env_opts).value());
+  const size_t dim = env.dataset.dim();
+  const size_t base_rows = env.dataset.size();
+  const Matrix queries = env.workload.test_queries;  // copy: env moves away
+
+  GlEstimator initial(FastConfig());
+  TrainContext ctx = MakeTrainContext(env);
+  ASSERT_TRUE(initial.Train(ctx).ok());
+
+  serve::ModelRegistry registry;
+  UpdateOptions opts;
+  opts.allow_full_reseg = false;
+  opts.fine_tune_epochs = 1;  // keep each refresh short; we want many swaps
+  UpdateManager manager(std::move(env.dataset), std::move(env.workload),
+                       &registry, opts);
+  ASSERT_TRUE(manager.Start(initial).ok());
+
+  serve::ServeOptions serve_opts;
+  serve_opts.num_threads = 3;
+  serve_opts.queue_capacity = 256;
+  serve_opts.default_deadline_ms = 10000.0;
+  serve::EstimationService service(&registry, serve_opts);
+
+  const Matrix inserts =
+      MakeAnalogUpdates("glove-sim", Scale::kTiny, 256, 61).value();
+
+  constexpr int kReaders = 3;
+  constexpr int kRequestsPerReader = 80;
+  constexpr int kRefreshes = 4;
+  std::atomic<int> answered{0};
+  std::atomic<int> failures{0};
+  std::atomic<bool> writers_done{false};
+
+  // Writer 1: a stream of inserts.
+  std::thread inserter([&] {
+    for (size_t i = 0; !writers_done.load() && i < inserts.rows(); ++i) {
+      Status st = manager.Insert(
+          std::span<const float>(inserts.Row(i % inserts.rows()), dim));
+      if (!st.ok()) failures.fetch_add(1);  // inserts never expire
+      std::this_thread::yield();
+    }
+  });
+
+  // Writer 2: erases against whatever epoch is armed. Races with refresh
+  // re-arms are expected — a row may vanish or duplicate mid-flight — so
+  // rejected erases are fine; only crashes/races would fail the test.
+  std::thread eraser([&] {
+    uint32_t row = 1;
+    while (!writers_done.load()) {
+      (void)manager.Erase(row % static_cast<uint32_t>(base_rows));
+      row += 7;
+      std::this_thread::yield();
+    }
+  });
+
+  // Writer 3: periodic refreshes hot-swapping the served model. Each round
+  // stages one insert of its own so the refresh always has a delta to
+  // apply (the concurrent erases may or may not land in time).
+  std::thread refresher([&] {
+    for (int i = 0; i < kRefreshes; ++i) {
+      if (!manager.Insert(std::span<const float>(inserts.Row(0), dim))
+               .ok()) {
+        failures.fetch_add(1);
+        break;
+      }
+      auto outcome_or = manager.Refresh();
+      if (!outcome_or.ok() || !outcome_or.value().refreshed) {
+        failures.fetch_add(1);
+        break;
+      }
+      std::this_thread::yield();
+    }
+    writers_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_epoch = 0;
+      for (int i = 0; i < kRequestsPerReader; ++i) {
+        const size_t row = static_cast<size_t>(r + i) % queries.rows();
+        EstimateRequest request;
+        request.query = std::span<const float>(queries.Row(row), dim);
+        request.tau = 0.3f + 0.05f * static_cast<float>(i % 5);
+        request.options.deadline_ms = serve_opts.default_deadline_ms;
+        serve::EstimateResponse response = service.Submit(request).get();
+        if (response.status.code() == StatusCode::kUnavailable) continue;
+        if (!response.status.ok() || !std::isfinite(response.estimate) ||
+            response.estimate < 0.0) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (response.model_epoch < last_epoch) failures.fetch_add(1);
+        last_epoch = response.model_epoch;
+        answered.fetch_add(1);
+      }
+    });
+  }
+
+  for (auto& t : readers) t.join();
+  inserter.join();
+  eraser.join();
+  refresher.join();
+  service.Drain();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(answered.load(), 0);
+  // Start published epoch 1; each non-empty refresh re-published. The
+  // eraser guarantees pending deltas, so all refreshes took effect.
+  EXPECT_EQ(registry.epoch(), static_cast<uint64_t>(kRefreshes) + 1);
+  EXPECT_EQ(service.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace update
+}  // namespace simcard
