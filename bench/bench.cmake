@@ -26,3 +26,4 @@ simcard_bench(bench_ablation_tuning)
 simcard_bench(bench_serve_throughput)
 simcard_bench(bench_batch_throughput)
 simcard_bench(bench_update_staleness)
+simcard_bench(bench_obs_overhead)

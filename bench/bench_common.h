@@ -7,8 +7,17 @@
 //   --json=PATH               enable metrics and write a JSON run report
 //                             (the "simcard.metrics.v1" schema; validate
 //                             with scripts/check_metrics_json.py)
+//   --trace-out=PATH          enable request tracing and write the
+//                             tail-sampled "simcard.traces.v1" report
+//   --telemetry-out=STEM      write a "simcard.telemetry.v1" snapshot
+//                             (STEM-latest.json + STEM.prom) at exit
+// Every --json report shares one schema version and one meta header block
+// (timestamp_utc from the registry, plus host / compiler / build written
+// here) so reports from different benches and machines diff cleanly.
 #ifndef SIMCARD_BENCH_BENCH_COMMON_H_
 #define SIMCARD_BENCH_BENCH_COMMON_H_
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +32,8 @@
 #include "eval/harness.h"
 #include "eval/reporter.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/telemetry.h"
 
 namespace simcard {
 namespace bench {
@@ -32,29 +43,87 @@ struct BenchArgs {
   std::vector<std::string> datasets;
   size_t segments = 16;
   uint64_t seed = 2026;
-  std::string json_out;  ///< empty = no report
+  std::string json_out;       ///< empty = no report
+  std::string trace_out;      ///< empty = no trace report
+  std::string telemetry_out;  ///< empty = no telemetry snapshot
   CommandLine cl;
 };
 
 namespace internal {
 
-// The report is written from an atexit hook so every bench gets it without
-// touching its main(); google-benchmark exits through normal return paths.
+// The reports are written from an atexit hook so every bench gets them
+// without touching its main(); google-benchmark exits through normal
+// return paths.
 inline std::string& JsonOutPath() {
   static std::string path;
   return path;
 }
 
+inline std::string& TraceOutPath() {
+  static std::string path;
+  return path;
+}
+
+inline std::string& TelemetryOutStem() {
+  static std::string stem;
+  return stem;
+}
+
 inline void WriteReportAtExit() {
   const std::string& path = JsonOutPath();
-  if (path.empty()) return;
-  Status st = obs::DumpMetricsJson(path);
-  if (!st.ok()) {
-    std::fprintf(stderr, "writing metrics report: %s\n",
-                 st.ToString().c_str());
-    return;
+  if (!path.empty()) {
+    Status st = obs::DumpMetricsJson(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing metrics report: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "metrics report -> %s\n", path.c_str());
+    }
   }
-  std::fprintf(stderr, "metrics report -> %s\n", path.c_str());
+  const std::string& trace_path = TraceOutPath();
+  if (!trace_path.empty()) {
+    Status st = obs::DumpTraceJson(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing trace report: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "trace report -> %s\n", trace_path.c_str());
+    }
+  }
+  const std::string& stem = TelemetryOutStem();
+  if (!stem.empty()) {
+    obs::TelemetryOptions topts;
+    const size_t slash = stem.find_last_of('/');
+    topts.dir = slash == std::string::npos ? "." : stem.substr(0, slash);
+    topts.basename =
+        slash == std::string::npos ? stem : stem.substr(slash + 1);
+    obs::TelemetryExporter exporter(topts);
+    Status st = exporter.DumpNow();
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing telemetry snapshot: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "telemetry snapshot -> %s/%s-latest.json\n",
+                   topts.dir.c_str(), topts.basename.c_str());
+    }
+  }
+}
+
+// The shared meta header every --json bench stamps: one hostname lookup,
+// compiler + build mode baked in at compile time. timestamp_utc is added
+// by MetricsRegistry::ToJson itself.
+inline void SetCommonReportMeta(obs::MetricsRegistry& registry) {
+  char host[256] = {0};
+  if (gethostname(host, sizeof(host) - 1) != 0) {
+    std::snprintf(host, sizeof(host), "unknown");
+  }
+  registry.SetMetaString("host", host);
+  registry.SetMetaString("compiler", __VERSION__);
+#ifdef NDEBUG
+  registry.SetMetaString("build", "release");
+#else
+  registry.SetMetaString("build", "debug");
+#endif
 }
 
 }  // namespace internal
@@ -63,8 +132,10 @@ inline void WriteReportAtExit() {
 inline BenchArgs ParseArgs(int argc, char** argv,
                            std::vector<std::string> default_datasets,
                            std::vector<std::string> extra_flags = {}) {
-  std::vector<std::string> known = {"scale", "datasets", "segments", "seed",
-                                    "json"};
+  std::vector<std::string> known = {"scale",     "datasets",
+                                    "segments",  "seed",
+                                    "json",      "trace-out",
+                                    "telemetry-out"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   auto cl_or = CommandLine::Parse(argc, argv, known);
   if (!cl_or.ok()) {
@@ -83,9 +154,18 @@ inline BenchArgs ParseArgs(int argc, char** argv,
   args.segments = static_cast<size_t>(args.cl.GetInt("segments", 16));
   args.seed = static_cast<uint64_t>(args.cl.GetInt("seed", 2026));
   args.json_out = args.cl.GetString("json", "");
-  if (!args.json_out.empty()) {
+  args.trace_out = args.cl.GetString("trace-out", "");
+  args.telemetry_out = args.cl.GetString("telemetry-out", "");
+  const bool any_report = !args.json_out.empty() ||
+                          !args.trace_out.empty() ||
+                          !args.telemetry_out.empty();
+  if (!args.json_out.empty() || !args.telemetry_out.empty()) {
     obs::SetMetricsEnabled(true);
+  }
+  if (!args.trace_out.empty()) obs::SetTracingEnabled(true);
+  if (any_report) {
     auto& registry = obs::MetricsRegistry::Default();
+    internal::SetCommonReportMeta(registry);
     registry.SetMetaString("binary", argc > 0 ? argv[0] : "bench");
     registry.SetMetaString("scale", ScaleName(args.scale));
     registry.SetMetaNumber("segments", static_cast<double>(args.segments));
@@ -97,6 +177,8 @@ inline BenchArgs ParseArgs(int argc, char** argv,
     }
     registry.SetMetaString("datasets", datasets);
     internal::JsonOutPath() = args.json_out;
+    internal::TraceOutPath() = args.trace_out;
+    internal::TelemetryOutStem() = args.telemetry_out;
     std::atexit(internal::WriteReportAtExit);
   }
   return args;

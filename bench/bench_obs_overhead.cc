@@ -1,0 +1,146 @@
+// Observability overhead microbench: the disabled fast path of every obs
+// timing primitive (ScopedTimer, TraceSpan, TraceContext) against its
+// enabled cost, plus the raw TraceSink publish. The disabled numbers are
+// the ones that matter — these primitives sit on the serving hot path, so
+// "off" must mean a branch, not a clock read (the clock_reads_per_iter
+// counter must print 0.000; tests/obs/trace_fastpath_test.cc pins the same
+// invariant as a hard assertion).
+//
+// Run: build/bench/bench_obs_overhead [--json=PATH]
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/trace.h"
+
+namespace simcard {
+namespace bench {
+namespace {
+
+// Attaches clock reads/iteration to the benchmark's counters; 0 on every
+// *_disabled benchmark is the invariant this binary exists to watch.
+struct ClockReadProbe {
+  uint64_t start = obs::internal::ClockReadsThisThread();
+
+  void Report(::benchmark::State& state) {
+    const uint64_t reads = obs::internal::ClockReadsThisThread() - start;
+    state.counters["clock_reads_per_iter"] =
+        ::benchmark::Counter(static_cast<double>(reads),
+                             ::benchmark::Counter::kAvgIterations);
+  }
+};
+
+void BM_ScopedTimerDisabled(::benchmark::State& state) {
+  obs::SetMetricsEnabled(false);
+  obs::Histogram* hist = obs::GetHistogram("bench.obs.scoped_us");
+  ClockReadProbe probe;
+  for (auto _ : state) {
+    obs::ScopedTimer timer(hist);
+    ::benchmark::DoNotOptimize(&timer);
+  }
+  probe.Report(state);
+}
+BENCHMARK(BM_ScopedTimerDisabled);
+
+void BM_ScopedTimerEnabled(::benchmark::State& state) {
+  obs::SetMetricsEnabled(true);
+  obs::Histogram* hist = obs::GetHistogram("bench.obs.scoped_us");
+  ClockReadProbe probe;
+  for (auto _ : state) {
+    obs::ScopedTimer timer(hist);
+    ::benchmark::DoNotOptimize(&timer);
+  }
+  probe.Report(state);
+  obs::SetMetricsEnabled(false);
+}
+BENCHMARK(BM_ScopedTimerEnabled);
+
+void BM_TraceSpanDisabled(::benchmark::State& state) {
+  obs::SetMetricsEnabled(false);
+  ClockReadProbe probe;
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.obs.span");
+    ::benchmark::DoNotOptimize(&span);
+  }
+  probe.Report(state);
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(::benchmark::State& state) {
+  obs::SetMetricsEnabled(true);
+  ClockReadProbe probe;
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.obs.span");
+    ::benchmark::DoNotOptimize(&span);
+  }
+  probe.Report(state);
+  obs::SetMetricsEnabled(false);
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+// The per-request shape the service runs when tracing is off: Start, one
+// would-be instant, Finish. Must cost a few branches and nothing else.
+void BM_TraceContextDisabled(::benchmark::State& state) {
+  obs::SetTracingEnabled(false);
+  ClockReadProbe probe;
+  for (auto _ : state) {
+    obs::TraceContext ctx;
+    ctx.Start("bench.request");
+    ctx.RecordInstant("bench.instant");
+    ctx.Finish();
+    ::benchmark::DoNotOptimize(&ctx);
+  }
+  probe.Report(state);
+}
+BENCHMARK(BM_TraceContextDisabled);
+
+void BM_TraceContextEnabled(::benchmark::State& state) {
+  obs::SetTracingEnabled(true);
+  ClockReadProbe probe;
+  for (auto _ : state) {
+    obs::TraceContext ctx;
+    ctx.Start("bench.request");
+    ctx.RecordInstant("bench.instant");
+    ctx.Finish();
+    ::benchmark::DoNotOptimize(&ctx);
+  }
+  probe.Report(state);
+  obs::SetTracingEnabled(false);
+}
+BENCHMARK(BM_TraceContextEnabled);
+
+// Raw sink cost: one seqlock-guarded slot write, no clock involved.
+void BM_TraceSinkPublish(::benchmark::State& state) {
+  obs::TraceSink sink(/*thread_ordinal=*/0);
+  obs::TraceEvent event;
+  event.trace_id = 1;
+  event.span_id = 2;
+  event.parent_id = 1;
+  event.name = "bench.publish";
+  event.dur_us = -1;
+  for (auto _ : state) {
+    sink.Publish(event);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSinkPublish);
+
+}  // namespace
+}  // namespace bench
+}  // namespace simcard
+
+int main(int argc, char** argv) {
+  using namespace simcard;
+  using namespace simcard::bench;
+  // No dataset work here; ParseArgs still gives --json the shared header.
+  BenchArgs args = ParseArgs(argc, argv, {});
+  PrintBanner("Obs: disabled-path overhead", args);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

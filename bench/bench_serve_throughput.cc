@@ -130,6 +130,52 @@ void RegisterServeBenchmarks(const std::string& dataset,
       })
       ->Unit(::benchmark::kMicrosecond)
       ->UseRealTime();
+
+  // Exporter overhead A/B: the same burst pipeline with the background
+  // TelemetryExporter running at its production-default cadence (1 s) for
+  // the whole measurement. Compare items_per_second against served_burst64
+  // — the budget (DESIGN.md §13) is <= 1% QPS lost; use a multi-second
+  // --benchmark_min_time so the window spans several snapshots. Snapshots
+  // rotate in the working directory.
+  ::benchmark::RegisterBenchmark(
+      (dataset + "/served_burst64_exporter").c_str(),
+      [fix](::benchmark::State& state) {
+        obs::TelemetryOptions topts;
+        topts.basename = "bench_serve_telemetry";
+        topts.max_snapshots = 2;
+        obs::TelemetryExporter exporter(topts);
+        if (Status st = exporter.Start(); !st.ok()) {
+          state.SkipWithError(st.ToString().c_str());
+          return;
+        }
+        const Matrix& queries = fix->env->workload.test_queries;
+        QueryCycle cycle{&fix->env->workload};
+        constexpr size_t kBurst = 64;
+        std::vector<std::future<serve::EstimateResponse>> inflight;
+        inflight.reserve(kBurst);
+        for (auto _ : state) {
+          inflight.clear();
+          for (size_t i = 0; i < kBurst; ++i) {
+            auto [q, tau] = cycle.Next();
+            EstimateRequest request;
+            request.query = std::span<const float>(q, queries.cols());
+            request.tau = tau;
+            request.options.deadline_ms = fix->deadline_ms;
+            inflight.push_back(fix->service->Submit(request));
+          }
+          for (auto& f : inflight) {
+            serve::EstimateResponse response = f.get();
+            ::benchmark::DoNotOptimize(response.estimate);
+          }
+        }
+        exporter.Stop();
+        state.SetItemsProcessed(state.iterations() *
+                                static_cast<int64_t>(kBurst));
+        state.counters["snapshots"] =
+            static_cast<double>(exporter.snapshots_written());
+      })
+      ->Unit(::benchmark::kMicrosecond)
+      ->UseRealTime();
 }
 
 }  // namespace

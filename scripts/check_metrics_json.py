@@ -1,17 +1,31 @@
 #!/usr/bin/env python3
-"""Sanity-checks a simcard metrics JSON run report.
+"""Sanity-checks simcard observability JSON documents.
 
-Validates the "simcard.metrics.v1" schema produced by obs::DumpMetricsJson
-(simcard_cli --metrics-out, bench --json): required sections, histogram
-internal consistency (count == sum of bucket counts, min <= p50 <= p99 <=
-max), well-formed [step, value] series points, and non-negative counters.
+Validates three schemas, dispatched on each document's "schema" field:
+
+  simcard.metrics.v1    obs::DumpMetricsJson (simcard_cli --metrics-out,
+                        bench --json): required sections, histogram internal
+                        consistency (count == sum of bucket counts, min <=
+                        p50 <= p99 <= max), well-formed [step, value] series
+                        points, and non-negative counters.
+  simcard.traces.v1     obs::DumpTraceJson (--trace-out): Chrome trace-event
+                        shape, and per trace exactly one root plus complete
+                        parent-linked span chains (every parent_id resolves
+                        inside its trace).
+  simcard.telemetry.v1  obs::TelemetryExporter snapshots (--telemetry-out,
+                        telemetry-dump): embedded metrics document, segment
+                        health rows, accuracy windows.
 
 Usage:
   check_metrics_json.py report.json [report2.json ...]
   check_metrics_json.py --emit-with /path/to/simcard_cli
-      Runs a tiny generate+train+evaluate pipeline with --metrics-out into a
-      temp directory and validates the reports it produces (the ctest entry
-      point, so the checker is exercised against a fresh binary).
+      Runs a tiny generate+train+evaluate+update pipeline with
+      --metrics-out AND a telemetry-dump drill with --trace-out /
+      --telemetry-out into a temp directory, then validates everything the
+      binary produced (the ctest entry point). The drill's trace report
+      must contain at least one shed, one deadline-exceeded, and one
+      fallback-served trace, and the telemetry snapshot must carry
+      ReportActual-fed accuracy windows.
 
 Exits 0 when every report passes, 1 with a list of problems otherwise.
 """
@@ -22,11 +36,19 @@ import subprocess
 import sys
 import tempfile
 
-SCHEMA = "simcard.metrics.v1"
+METRICS_SCHEMA = "simcard.metrics.v1"
+TRACES_SCHEMA = "simcard.traces.v1"
+TELEMETRY_SCHEMA = "simcard.telemetry.v1"
+
 REQUIRED_SECTIONS = ("schema", "meta", "counters", "gauges", "histograms",
                      "series")
 HISTOGRAM_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p90",
                     "p95", "p99", "buckets")
+
+# TraceFlag bits (obs/request_trace.h).
+FLAG_SHED = 1 << 0
+FLAG_DEADLINE = 1 << 1
+FLAG_FALLBACK = 1 << 2
 
 # The online-update pipeline (src/update/) registers its whole family
 # eagerly on first use, so a report containing any simcard.update.* metric
@@ -44,6 +66,12 @@ UPDATE_COUNTERS = (
 UPDATE_GAUGES = ("simcard.update.pending_deltas",)
 UPDATE_HISTOGRAMS = ("simcard.update.refresh_ms",
                      "simcard.update.deltas_per_refresh")
+
+SEGMENT_HEALTH_FIELDS = ("segment", "evals", "fallbacks", "fallback_rate",
+                         "breaker_state", "breaker_trips", "quarantined",
+                         "drift_delta_fraction", "drift_centroid_shift",
+                         "drift_stale", "delta_backlog")
+BREAKER_STATES = ("closed", "open", "half-open")
 
 
 def check_histogram(name, hist, problems):
@@ -112,22 +140,12 @@ def check_update_metrics(report, problems):
         problems.append("update family: negative pending_deltas gauge")
 
 
-def check_report(path):
-    problems = []
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            report = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        return [f"cannot parse: {e}"]
-
+def check_metrics_report(report, problems):
     for section in REQUIRED_SECTIONS:
         if section not in report:
             problems.append(f"missing top-level section '{section}'")
     if problems:
-        return problems
-    if report["schema"] != SCHEMA:
-        problems.append(f"schema is '{report['schema']}', expected "
-                        f"'{SCHEMA}'")
+        return
     if "timestamp_utc" not in report["meta"]:
         problems.append("meta: missing timestamp_utc")
 
@@ -148,11 +166,186 @@ def check_report(path):
         # estimators, each appending its own epoch numbering to the same
         # series, so steps legitimately reset or repeat across runs.
     check_update_metrics(report, problems)
+
+
+def group_traces(report):
+    """trace_id -> list of events; assumes the document already parsed."""
+    traces = {}
+    for event in report.get("traceEvents", []):
+        tid = event.get("args", {}).get("trace_id")
+        traces.setdefault(tid, []).append(event)
+    return traces
+
+
+def check_traces_report(report, problems):
+    for key in ("meta", "traceEvents", "displayTimeUnit"):
+        if key not in report:
+            problems.append(f"missing top-level key '{key}'")
+    if problems:
+        return
+    meta = report["meta"]
+    for key in ("timestamp_utc", "traces_seen", "traces_kept",
+                "kept_flagged", "kept_slowest", "incomplete_dropped"):
+        if key not in meta:
+            problems.append(f"meta: missing '{key}'")
+    kept = 0
+    for event in report["traceEvents"]:
+        args = event.get("args", {})
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {event}: missing '{key}'")
+                return
+        for key in ("trace_id", "span_id", "parent_id"):
+            if key not in args:
+                problems.append(
+                    f"event {event['name']}: args missing '{key}'")
+                return
+        if event["ph"] not in ("X", "i"):
+            problems.append(f"event {event['name']}: ph '{event['ph']}' "
+                            "is neither a duration nor an instant")
+        if event["ph"] == "X" and event.get("dur", -1) < 0:
+            problems.append(f"event {event['name']}: duration event "
+                            "without a non-negative 'dur'")
+
+    for trace_id, events in group_traces(report).items():
+        roots = [e for e in events if e["args"]["parent_id"] == 0]
+        if len(roots) != 1:
+            problems.append(f"trace {trace_id}: expected exactly one root "
+                            f"event, found {len(roots)}")
+            continue
+        kept += 1
+        root = roots[0]
+        if "flags" not in root["args"] or "flag_names" not in root["args"]:
+            problems.append(f"trace {trace_id}: root event lacks "
+                            "flags/flag_names")
+        # Complete parent links: every non-root event's parent span must
+        # itself be present in the trace.
+        span_ids = {e["args"]["span_id"] for e in events}
+        for event in events:
+            parent = event["args"]["parent_id"]
+            if parent != 0 and parent not in span_ids:
+                problems.append(
+                    f"trace {trace_id}: event '{event['name']}' has "
+                    f"dangling parent span {parent}")
+    if kept != report["meta"].get("traces_kept"):
+        problems.append(f"meta: traces_kept says "
+                        f"{report['meta'].get('traces_kept')}, document "
+                        f"contains {kept} complete traces")
+
+
+def check_accuracy_stats(prefix, stats, problems):
+    for key in ("reports", "mean", "p50", "p90", "p99", "max"):
+        if key not in stats:
+            problems.append(f"{prefix}: missing '{key}'")
+            return
+    if stats["reports"] > 0:
+        qs = [stats["p50"], stats["p90"], stats["p99"]]
+        if sorted(qs) != qs:
+            problems.append(f"{prefix}: quantiles not monotone {qs}")
+        if min(qs) < 1.0 - 1e-9:
+            problems.append(f"{prefix}: q-error below 1 ({min(qs)})")
+
+
+def check_telemetry_report(report, problems):
+    for key in ("meta", "metrics", "segment_health", "accuracy"):
+        if key not in report:
+            problems.append(f"missing top-level key '{key}'")
+    if problems:
+        return
+    for key in ("timestamp_utc", "seq", "interval_ms"):
+        if key not in report["meta"]:
+            problems.append(f"meta: missing '{key}'")
+    metrics = report["metrics"]
+    if metrics.get("schema") != METRICS_SCHEMA:
+        problems.append("embedded metrics document has schema "
+                        f"{metrics.get('schema')!r}, expected "
+                        f"'{METRICS_SCHEMA}'")
+    else:
+        check_metrics_report(metrics, problems)
+    for row in report["segment_health"]:
+        for field in SEGMENT_HEALTH_FIELDS:
+            if field not in row:
+                problems.append(f"segment_health row {row.get('segment')}: "
+                                f"missing '{field}'")
+                break
+        else:
+            if row["breaker_state"] not in BREAKER_STATES:
+                problems.append(
+                    f"segment_health row {row['segment']}: breaker_state "
+                    f"{row['breaker_state']!r} not in {BREAKER_STATES}")
+            if not (0.0 <= row["fallback_rate"] <= 1.0):
+                problems.append(f"segment_health row {row['segment']}: "
+                                "fallback_rate outside [0, 1]")
+    accuracy = report["accuracy"]
+    if accuracy:
+        for key in ("window", "total_reports", "overall", "by_tau",
+                    "by_segment"):
+            if key not in accuracy:
+                problems.append(f"accuracy: missing '{key}'")
+        if "overall" in accuracy:
+            check_accuracy_stats("accuracy.overall", accuracy["overall"],
+                                 problems)
+        for row in accuracy.get("by_segment", []):
+            check_accuracy_stats(f"accuracy.segment[{row.get('segment')}]",
+                                 row.get("stats", {}), problems)
+
+
+def check_report(path):
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"cannot parse: {e}"]
+
+    schema = report.get("schema")
+    if schema == METRICS_SCHEMA:
+        check_metrics_report(report, problems)
+    elif schema == TRACES_SCHEMA:
+        check_traces_report(report, problems)
+    elif schema == TELEMETRY_SCHEMA:
+        check_telemetry_report(report, problems)
+    else:
+        problems.append(f"unknown schema {schema!r} (expected one of "
+                        f"{METRICS_SCHEMA}, {TRACES_SCHEMA}, "
+                        f"{TELEMETRY_SCHEMA})")
+    return problems
+
+
+def check_drill_outputs(trace_path, telemetry_path):
+    """The telemetry-dump drill's hard requirements beyond schema shape."""
+    problems = []
+    with open(trace_path, "r", encoding="utf-8") as f:
+        traces = json.load(f)
+    flag_classes = {FLAG_SHED: 0, FLAG_DEADLINE: 0, FLAG_FALLBACK: 0}
+    for events in group_traces(traces).values():
+        roots = [e for e in events if e["args"]["parent_id"] == 0]
+        if len(roots) != 1:
+            continue
+        flags = roots[0]["args"].get("flags", 0)
+        for bit in flag_classes:
+            if flags & bit:
+                flag_classes[bit] += 1
+    names = {FLAG_SHED: "shed", FLAG_DEADLINE: "deadline-exceeded",
+             FLAG_FALLBACK: "fallback-served"}
+    for bit, count in flag_classes.items():
+        if count == 0:
+            problems.append(f"drill traces: no {names[bit]} trace kept")
+
+    with open(telemetry_path, "r", encoding="utf-8") as f:
+        telemetry = json.load(f)
+    accuracy = telemetry.get("accuracy") or {}
+    if accuracy.get("total_reports", 0) <= 0:
+        problems.append("drill telemetry: accuracy windows are empty "
+                        "(ReportActual feedback missing)")
+    if not telemetry.get("segment_health"):
+        problems.append("drill telemetry: segment_health is empty")
     return problems
 
 
 def emit_with(cli_path):
-    """Runs the CLI pipeline on a tiny dataset, returns report paths."""
+    """Runs the CLI pipeline on a tiny dataset, returns report paths and
+    any drill-level problems."""
     tmp = tempfile.mkdtemp(prefix="simcard_metrics_check_")
     data = os.path.join(tmp, "data.bin")
     model = os.path.join(tmp, "model.bin")
@@ -174,12 +367,24 @@ def emit_with(cli_path):
          "--scale=tiny"], report_name="evaluate.json")
     run(["update-bench", f"--data={data}", f"--model={model}",
          "--segments=4", "--scale=tiny"], report_name="update.json")
-    return reports
+
+    # The observability drill: phased traffic through the serving stack,
+    # with the trace report and the telemetry snapshot as hard gates.
+    trace_path = os.path.join(tmp, "traces.json")
+    telemetry_stem = os.path.join(tmp, "telemetry")
+    run(["telemetry-dump", f"--data={data}", f"--model={model}",
+         f"--trace-out={trace_path}",
+         f"--telemetry-out={telemetry_stem}"])
+    telemetry_path = telemetry_stem + "-latest.json"
+    reports.append(trace_path)
+    reports.append(telemetry_path)
+    return reports, check_drill_outputs(trace_path, telemetry_path)
 
 
 def main(argv):
+    drill_problems = []
     if len(argv) >= 2 and argv[0] == "--emit-with":
-        paths = emit_with(argv[1])
+        paths, drill_problems = emit_with(argv[1])
     elif argv:
         paths = argv
     else:
@@ -196,6 +401,14 @@ def main(argv):
                 print(f"  - {p}")
         else:
             print(f"OK   {path}")
+    if drill_problems:
+        failures += 1
+        print("FAIL telemetry-dump drill")
+        for p in drill_problems:
+            print(f"  - {p}")
+    elif len(argv) >= 2 and argv[0] == "--emit-with":
+        print("OK   telemetry-dump drill (shed + deadline + fallback traces"
+              ", accuracy windows)")
     return 1 if failures else 0
 
 

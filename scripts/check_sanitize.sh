@@ -44,16 +44,21 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
 
 if [[ "${MODE}" == "tsan" ]]; then
-  # Focused re-runs of the two hottest concurrency surfaces beyond their one
+  # Focused re-runs of the hottest concurrency surfaces beyond their one
   # pass in the full suite above: the micro-batched worker loop (linger
-  # wait, shared EstimateSearchBatch, per-request promise fulfillment) and
-  # the online-update pipeline (delta ingestion + drift refresh + epoch
-  # hot-swap racing live readers).
+  # wait, shared EstimateSearchBatch, per-request promise fulfillment), the
+  # online-update pipeline (delta ingestion + drift refresh + epoch
+  # hot-swap racing live readers), and the trace pipeline (per-thread
+  # seqlock TraceSink writers racing the tail-sampling collector while
+  # models hot-swap).
   ctest --test-dir "${BUILD_DIR}" --output-on-failure \
     -R "ServeStressTest.ReadersRaceModelSwapsMicroBatched" \
     --repeat until-fail:3
   ctest --test-dir "${BUILD_DIR}" --output-on-failure \
     -R "UpdateStressTest.ReadersRaceDeltaIngestionAndRefreshes" \
+    --repeat until-fail:3
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+    -R "TraceStressTest.WritersRaceCollectorDuringModelSwap" \
     --repeat until-fail:3
 fi
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench snapshots at the repo root:
+#
+#   BENCH_serve.json    bench_serve_throughput   (serving-layer QPS)
+#   BENCH_batch.json    bench_batch_throughput   (batched pipeline QPS)
+#   BENCH_table6.json   bench_table6_search_latency (per-query latency)
+#   BENCH_update.json   bench_update_staleness   (refresh cost/accuracy)
+#
+# The snapshots pin the perf trajectory for review: regenerate on a perf-
+# relevant change and commit the diff alongside it. Numbers are machine-
+# dependent — reviewers compare metric *presence and ratios* across a
+# snapshot's history on comparable hardware, not absolute values across
+# machines (each report's meta block records host/compiler/build for that).
+#
+#   scripts/update_bench_snapshots.sh [scale]   # default tiny (fast; the
+#                                               # committed snapshots' scale)
+#
+# Every report is validated against the simcard.metrics.v1 schema before it
+# replaces the committed file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-tiny}"
+BUILD_DIR="${BUILD_DIR:-build}"
+# Short but non-trivial measurement window (plain seconds — the bundled
+# google-benchmark does not parse the "0.1s" suffixed form).
+MIN_TIME="${MIN_TIME:-0.1}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j --target \
+  bench_serve_throughput bench_batch_throughput \
+  bench_table6_search_latency bench_update_staleness
+
+run() {
+  local binary="$1" out="$2"
+  shift 2
+  echo "=== $binary -> $out ==="
+  "$BUILD_DIR/bench/$binary" --scale="$SCALE" --seed=2026 --json="$out" \
+    --benchmark_min_time="$MIN_TIME" "$@"
+  python3 scripts/check_metrics_json.py "$out"
+}
+
+run bench_serve_throughput BENCH_serve.json --clients=1,2 --serve-threads=2
+run bench_batch_throughput BENCH_batch.json
+run bench_table6_search_latency BENCH_table6.json
+# update_staleness is a table bench, not google-benchmark: no min-time flag.
+echo "=== bench_update_staleness -> BENCH_update.json ==="
+"$BUILD_DIR/bench/bench_update_staleness" --scale="$SCALE" --seed=2026 \
+  --json=BENCH_update.json
+python3 scripts/check_metrics_json.py BENCH_update.json
+
+echo "snapshots updated: BENCH_serve.json BENCH_batch.json" \
+     "BENCH_table6.json BENCH_update.json"

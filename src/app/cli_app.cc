@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <future>
 #include <memory>
 #include <ostream>
 #include <span>
@@ -15,9 +16,12 @@
 #include "common/stopwatch.h"
 #include "core/gl_estimator.h"
 #include "data/generators.h"
+#include "dist/metric.h"
 #include "eval/harness.h"
 #include "eval/reporter.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/telemetry.h"
 #include "serve/estimation_service.h"
 #include "serve/model_registry.h"
 #include "update/update_manager.h"
@@ -27,7 +31,8 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: simcard_cli "
-    "<generate|train|estimate|evaluate|serve-bench|update-bench> "
+    "<generate|train|estimate|evaluate|serve-bench|update-bench|"
+    "telemetry-dump> "
     "[flags]\n"
     "  generate --dataset=<analog> [--scale=S] [--seed=N] --out=FILE\n"
     "  train    --data=FILE --method=M [--segments=N] [--scale=S]\n"
@@ -49,8 +54,19 @@ constexpr char kUsage[] =
     "           vs refreshed q-error; --refresh-threshold=N refreshes via\n"
     "           periodic Tick once N deltas are pending instead of one\n"
     "           explicit Refresh)\n"
+    "  telemetry-dump --data=FILE --model=FILE [--requests=N] [--tau=X]\n"
+    "           [--threads=N] [--deadline-ms=D] [--max-batch=N]\n"
+    "           [--telemetry-out=STEM] [--trace-out=FILE]\n"
+    "           (observability drill: serves phased traffic — normal with\n"
+    "           ground-truth ReportActual, forced sheds, forced deadline\n"
+    "           misses, forced local-model failures — then writes a\n"
+    "           telemetry snapshot + Prometheus text; arms its own faults)\n"
     "every command also accepts --metrics-out=FILE to write a JSON metrics\n"
     "report (SIMCARD_METRICS=1 enables collection without a report file),\n"
+    "--trace-out=FILE to enable request tracing and write the tail-sampled\n"
+    "simcard.traces.v1 report at exit (SIMCARD_TRACE=1 enables collection\n"
+    "without a report file), --telemetry-out=STEM to write a telemetry\n"
+    "snapshot (STEM-latest.json + STEM.prom) at exit,\n"
     "--fault=SPEC to arm deterministic fault injection (e.g.\n"
     "\"points=io.load;prob=0.5;seed=7\"; see SIMCARD_FAULT_* env knobs),\n"
     "and estimate/evaluate accept --degraded to quarantine corrupt model\n"
@@ -460,6 +476,173 @@ int CmdUpdateBench(const CommandLine& cl, std::ostream& out,
   return 0;
 }
 
+// --telemetry-out takes a path STEM ("out/telem" or "out/telem.json"); the
+// exporter then writes STEM-<seq>.json, STEM-latest.json, and STEM.prom.
+obs::TelemetryOptions TelemetryOptionsForStem(std::string stem) {
+  if (stem.size() > 5 && stem.ends_with(".json")) {
+    stem.resize(stem.size() - 5);
+  }
+  obs::TelemetryOptions topts;
+  const size_t slash = stem.find_last_of('/');
+  if (slash == std::string::npos) {
+    topts.basename = stem;
+  } else {
+    topts.dir = stem.substr(0, slash);
+    topts.basename = stem.substr(slash + 1);
+  }
+  if (topts.dir.empty()) topts.dir = ".";
+  if (topts.basename.empty()) topts.basename = "telemetry";
+  return topts;
+}
+
+int WriteTelemetrySnapshot(const std::string& stem,
+                           const obs::QErrorTracker* accuracy,
+                           std::ostream& out, std::ostream& err) {
+  const obs::TelemetryOptions topts = TelemetryOptionsForStem(stem);
+  obs::TelemetryExporter exporter(topts, accuracy);
+  if (Status st = exporter.DumpNow(); !st.ok()) {
+    err << "writing telemetry snapshot: " << st.ToString() << "\n";
+    return 1;
+  }
+  out << "telemetry snapshot -> " << topts.dir << "/" << topts.basename
+      << "-latest.json (+ .prom)\n";
+  return 0;
+}
+
+// Observability drill: serves phased traffic against a saved model — normal
+// requests (answered with brute-force ground truth through ReportActual),
+// forced sheds, forced deadline misses, forced local-model failures — so a
+// single run populates every telemetry surface: serve/batch metrics,
+// per-segment health, Q-error accuracy windows, and flag-marked traces
+// (shed / deadline-exceeded / fallback / breaker). Arms and disarms its own
+// fault sites; combine with --trace-out for the trace report.
+int CmdTelemetryDump(const CommandLine& cl, std::ostream& out,
+                     std::ostream& err) {
+  const std::string data_path = cl.GetString("data", "");
+  const std::string model_path = cl.GetString("model", "");
+  if (data_path.empty() || model_path.empty()) {
+    err << "telemetry-dump: --data and --model are required\n";
+    return 2;
+  }
+  // The drill is pointless without collection: imply both switches (the
+  // global --trace-out/--metrics-out handling may have set them already).
+  obs::SetMetricsEnabled(true);
+  obs::SetTracingEnabled(true);
+
+  auto data_or = LoadDataset(data_path);
+  if (!data_or.ok()) return Fail(err, data_or.status());
+  const Dataset& dataset = data_or.value();
+  auto est_or = LoadModel(cl, model_path);
+  if (!est_or.ok()) return Fail(err, est_or.status());
+  const std::shared_ptr<const GlEstimator> model = std::move(est_or).value();
+
+  serve::ServeOptions options;
+  options.num_threads = static_cast<size_t>(cl.GetInt("threads", 2));
+  options.queue_capacity = 64;
+  options.default_deadline_ms = cl.GetDouble("deadline-ms", 25.0);
+  options.max_batch = static_cast<size_t>(
+      std::max<int64_t>(1, cl.GetInt("max-batch", 4)));
+  // A low trip threshold so the failure phase also exercises the breaker
+  // (open -> short-circuit -> half-open probe shows up in segment health).
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_requests = 4;
+  const size_t per_phase =
+      static_cast<size_t>(std::max<int64_t>(1, cl.GetInt("requests", 24)));
+  const float tau = static_cast<float>(cl.GetDouble("tau", 0.1));
+
+  serve::ModelRegistry registry;
+  registry.Publish(model);
+  serve::EstimationService service(&registry, options);
+
+  auto wave = [&](size_t count) {
+    std::vector<std::future<serve::EstimateResponse>> futures;
+    futures.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t row = i % dataset.size();
+      EstimateRequest request;
+      request.query =
+          std::span<const float>(dataset.Point(row), dataset.dim());
+      request.tau = tau;
+      request.options.deadline_ms = options.default_deadline_ms;
+      futures.push_back(service.Submit(request));
+    }
+    std::vector<serve::EstimateResponse> responses;
+    responses.reserve(count);
+    for (auto& f : futures) responses.push_back(f.get());
+    return responses;
+  };
+  auto count_ok = [](const std::vector<serve::EstimateResponse>& rs) {
+    size_t n = 0;
+    for (const auto& r : rs) n += r.status.ok() ? 1 : 0;
+    return n;
+  };
+
+  // Phase 1 — normal traffic, then close the loop on accuracy: brute-force
+  // the true cardinality for a handful of completed requests and feed it
+  // back through ReportActual so the Q-error windows populate.
+  const std::vector<serve::EstimateResponse> normal = wave(per_phase);
+  size_t reported = 0;
+  constexpr size_t kMaxGroundTruth = 16;  // bounds the O(n^2) distance scan
+  for (size_t i = 0; i < normal.size() && reported < kMaxGroundTruth; ++i) {
+    if (!normal[i].status.ok()) continue;
+    const size_t row = i % dataset.size();
+    const float* q = dataset.Point(row);
+    size_t true_card = 0;
+    for (size_t r = 0; r < dataset.size(); ++r) {
+      if (Distance(q, dataset.Point(r), dataset.dim(), dataset.metric()) <=
+          tau) {
+        ++true_card;
+      }
+    }
+    if (service
+            .ReportActual(normal[i].request_id,
+                          static_cast<double>(true_card))
+            .ok()) {
+      ++reported;
+    }
+  }
+
+  // Phase 2 — admission control: every submit is refused, flag-marking a
+  // shed trace per request.
+  fault::Configure({.sites = "serve.queue_full", .probability = 1.0});
+  const std::vector<serve::EstimateResponse> shed = wave(per_phase);
+
+  // Phase 3 — evaluation stalls past the deadline.
+  fault::Configure({.sites = "serve.slow_eval", .probability = 1.0});
+  const std::vector<serve::EstimateResponse> late = wave(per_phase);
+
+  // Phase 4 — local models fail: segments answer from their sampling
+  // fallback and the circuit breaker trips open.
+  fault::Configure({.sites = "gl.local_eval", .probability = 1.0});
+  const std::vector<serve::EstimateResponse> degraded = wave(per_phase);
+  fault::Disable();
+
+  service.Drain();
+
+  size_t fallback_served = 0;
+  for (const auto& r : degraded) {
+    fallback_served += r.fallback_segments > 0 ? 1 : 0;
+  }
+  size_t deadline_missed = 0;
+  for (const auto& r : late) {
+    deadline_missed +=
+        r.status.code() == StatusCode::kDeadlineExceeded ? 1 : 0;
+  }
+  out << "telemetry-dump: " << 4 * per_phase << " requests in 4 phases\n";
+  out << "  normal: ok " << count_ok(normal) << ", accuracy reports "
+      << reported << "\n";
+  out << "  shed: " << (shed.size() - count_ok(shed)) << "/" << shed.size()
+      << " refused\n";
+  out << "  deadline: " << deadline_missed << "/" << late.size()
+      << " exceeded\n";
+  out << "  degraded: " << fallback_served << "/" << degraded.size()
+      << " fallback-served (breaker trips " << service.breaker()->trips()
+      << ")\n";
+
+  return WriteTelemetrySnapshot(cl.GetString("telemetry-out", "telemetry"),
+                                &service.accuracy(), out, err);
+}
+
 }  // namespace
 
 int RunCliApp(int argc, const char* const* argv, std::ostream& out,
@@ -475,7 +658,8 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
       "fault", "degraded", "threads", "clients", "requests",
       "deadline-ms", "queue-capacity", "max-batch", "linger-us",
       "delta-fraction", "refresh-threshold", "refresh-epochs",
-      "refresh-stale-fraction", "refresh-stale-shift", "refresh-full-reseg"};
+      "refresh-stale-fraction", "refresh-stale-shift", "refresh-full-reseg",
+      "trace-out", "telemetry-out"};
   auto cl_or = ParseFlags(argc, argv, known);
   if (!cl_or.ok()) return Fail(err, cl_or.status());
   const CommandLine& cl = cl_or.value();
@@ -485,6 +669,12 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
     obs::SetMetricsEnabled(true);
     obs::MetricsRegistry::Default().SetMetaString("command", command);
   }
+  // Collection must be on before the command runs; the reports are written
+  // after it returns (events survive in process-wide registries/sinks).
+  const std::string trace_out = cl.GetString("trace-out", "");
+  if (!trace_out.empty()) obs::SetTracingEnabled(true);
+  const std::string telemetry_out = cl.GetString("telemetry-out", "");
+  if (!telemetry_out.empty()) obs::SetMetricsEnabled(true);
   const std::string fault_spec = cl.GetString("fault", "");
   if (!fault_spec.empty()) {
     if (Status st = fault::ConfigureFromSpec(fault_spec); !st.ok()) {
@@ -505,6 +695,8 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
     rc = CmdServeBench(cl, out, err);
   } else if (command == "update-bench") {
     rc = CmdUpdateBench(cl, out, err);
+  } else if (command == "telemetry-dump") {
+    rc = CmdTelemetryDump(cl, out, err);
   } else {
     err << "unknown command: " << command << "\n" << kUsage;
     return 2;
@@ -517,6 +709,20 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
     } else {
       out << "metrics report -> " << metrics_out << "\n";
     }
+  }
+  if (!trace_out.empty()) {
+    if (Status st = obs::DumpTraceJson(trace_out); !st.ok()) {
+      err << "writing trace report: " << st.ToString() << "\n";
+      if (rc == 0) rc = 1;
+    } else {
+      out << "trace report -> " << trace_out << "\n";
+    }
+  }
+  // telemetry-dump already wrote its snapshot, with the service's accuracy
+  // windows attached; the generic exit-path write has no accuracy source.
+  if (!telemetry_out.empty() && command != "telemetry-dump") {
+    const int trc = WriteTelemetrySnapshot(telemetry_out, nullptr, out, err);
+    if (rc == 0) rc = trc;
   }
   return rc;
 }

@@ -20,6 +20,10 @@
 
 namespace simcard {
 
+namespace obs {
+class TraceContext;  // obs/request_trace.h; core stays decoupled from obs
+}  // namespace obs
+
 /// \brief Everything an estimator may use during training.
 ///
 /// All pointers are borrowed and must outlive the estimator. `segmentation`
@@ -54,14 +58,44 @@ class SegmentEvalPolicy {
   virtual void OnLocalResult(size_t s, bool ok) = 0;
 };
 
+/// \brief Per-request evaluation probe filled in by segmented estimators.
+///
+/// Fixed-size and allocation-free so the serving layer can hang one off
+/// every request without touching the heap. Collects which segments
+/// contributed to the estimate (capped at kMaxSegments; `evaluated` keeps
+/// the true count) and, when `trace` is set, lets the estimator publish
+/// per-segment trace events parented under `trace_parent`.
+struct EstimateProbe {
+  static constexpr size_t kMaxSegments = 16;
+
+  obs::TraceContext* trace = nullptr;  ///< optional; borrowed
+  uint32_t trace_parent = 0;  ///< span id per-segment events hang under
+
+  uint32_t segments[kMaxSegments] = {};  ///< first `stored` evaluated ids
+  uint16_t stored = 0;
+  uint16_t evaluated = 0;          ///< total segments evaluated (uncapped)
+  uint16_t fallback_segments = 0;  ///< answered by the sampling fallback
+  uint16_t forced_segments = 0;    ///< triangle-guard force-includes
+
+  void NoteSegment(uint32_t s, bool used_fallback) {
+    ++evaluated;
+    if (used_fallback) ++fallback_segments;
+    if (stored < kMaxSegments) segments[stored++] = s;
+  }
+  void NoteForced() { ++forced_segments; }
+};
+
 /// \brief Knobs that ride along with a request.
 ///
 /// `policy` is honored by segmented estimators and ignored by flat ones;
 /// `deadline_ms` is consumed by the serving layer (direct calls ignore it —
-/// an estimator never preempts itself).
+/// an estimator never preempts itself); `probe`, when non-null, is filled
+/// with per-segment provenance by segmented estimators and left untouched
+/// by flat ones.
 struct EstimateOptions {
   SegmentEvalPolicy* policy = nullptr;
   double deadline_ms = 0.0;  ///< 0 = use the server's default deadline
+  EstimateProbe* probe = nullptr;
 };
 
 /// \brief One search-cardinality question: card(query, tau, D).

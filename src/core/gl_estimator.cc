@@ -11,6 +11,8 @@
 #include "common/stopwatch.h"
 #include "core/features.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/segment_health.h"
 #include "obs/trace.h"
 
 namespace simcard {
@@ -241,6 +243,46 @@ GlQueryMetrics& QueryMetrics() {
   return metrics;
 }
 
+// How one selected segment was answered; drives the probe/trace/health
+// bookkeeping shared by the single and batch eval loops.
+enum class SegOutcome {
+  kLocal,     // local model produced the answer
+  kFallback,  // sampling fallback (quarantined slot or non-finite local)
+  kBreaker,   // policy (circuit breaker) diverted to the fallback
+};
+
+// Records one (segment, outcome): per-segment health registry (when
+// metrics are on), the request probe, and — when the probe carries an
+// active TraceContext — a per-segment trace instant parented under the
+// request's eval span. Static-literal event names keep this path
+// allocation-free.
+void NoteSegmentOutcome(EstimateProbe* probe, bool metrics_enabled, size_t s,
+                        SegOutcome outcome) {
+  const bool used_fallback = outcome != SegOutcome::kLocal;
+  if (metrics_enabled) {
+    obs::SegmentHealthRegistry::Default().RecordEval(s, used_fallback);
+  }
+  if (probe == nullptr) return;
+  probe->NoteSegment(static_cast<uint32_t>(s), used_fallback);
+  obs::TraceContext* trace = probe->trace;
+  if (trace == nullptr || !trace->active()) return;
+  const char* name = "gl.segment";
+  switch (outcome) {
+    case SegOutcome::kLocal:
+      break;
+    case SegOutcome::kFallback:
+      name = "gl.segment.fallback";
+      trace->AddFlag(obs::kTraceFallback);
+      break;
+    case SegOutcome::kBreaker:
+      name = "gl.segment.breaker";
+      trace->AddFlag(obs::kTraceFallback | obs::kTraceBreakerShortCircuit);
+      break;
+  }
+  trace->RecordInstant(name, probe->trace_parent, "segment",
+                       static_cast<double>(s));
+}
+
 bool VectorIsFinite(const float* v, size_t dim) {
   for (size_t i = 0; i < dim; ++i) {
     if (!std::isfinite(v[i])) return false;
@@ -347,7 +389,8 @@ void GlEstimator::SelectWithGuards(const float* probs, const float* xc,
 }
 
 std::vector<SegmentEstimate> GlEstimator::EstimatePerSegment(
-    const float* query, float tau, SegmentEvalPolicy* policy) const {
+    const float* query, float tau, SegmentEvalPolicy* policy,
+    EstimateProbe* probe) const {
   const bool enabled = obs::MetricsEnabled();
   GlQueryMetrics& m = QueryMetrics();
   Stopwatch total;
@@ -392,16 +435,19 @@ std::vector<SegmentEstimate> GlEstimator::EstimatePerSegment(
     SegmentEstimate se;
     se.segment = s;
     se.forced = forced[i] != 0;
+    if (probe != nullptr && se.forced) probe->NoteForced();
     if (locals_[s] == nullptr) {
       // Quarantined by a degraded load: the sampling fallback answers.
       se.estimate = FallbackEstimate(s, query, tau);
       se.used_fallback = true;
       if (enabled) m.fb_local_missing->Increment();
+      NoteSegmentOutcome(probe, enabled, s, SegOutcome::kFallback);
     } else if (policy != nullptr && policy->ForceFallback(s)) {
       // The caller's policy (e.g. an open circuit breaker) short-circuits
       // this segment to the fallback without touching the local model.
       se.estimate = FallbackEstimate(s, query, tau);
       se.used_fallback = true;
+      NoteSegmentOutcome(probe, enabled, s, SegOutcome::kBreaker);
     } else {
       double est = locals_[s]->Estimate(query, tau, xc.data());
       if (fault::ShouldFail("gl.local_eval")) {
@@ -415,6 +461,8 @@ std::vector<SegmentEstimate> GlEstimator::EstimatePerSegment(
         if (enabled) m.fb_local_nonfinite->Increment();
       }
       se.estimate = est;
+      NoteSegmentOutcome(probe, enabled, s,
+                         ok ? SegOutcome::kLocal : SegOutcome::kFallback);
     }
     out.push_back(se);
   }
@@ -441,8 +489,9 @@ double GlEstimator::Estimate(const EstimateRequest& request) const {
     return 0.0;
   }
   double total = 0.0;
-  for (const SegmentEstimate& se : EstimatePerSegment(
-           request.query.data(), request.tau, request.options.policy)) {
+  for (const SegmentEstimate& se :
+       EstimatePerSegment(request.query.data(), request.tau,
+                          request.options.policy, request.options.probe)) {
     total += se.estimate;
   }
   // A cardinality is a count over the dataset: clamp to [0, |D|] so no
@@ -469,8 +518,16 @@ std::vector<double> GlEstimator::EstimateBatch(
 
 std::vector<double> GlEstimator::EstimateSearchBatch(
     const Matrix& queries, std::span<const float> taus,
-    SegmentEvalPolicy* policy) const {
+    SegmentEvalPolicy* policy,
+    std::span<EstimateProbe* const> probes) const {
   const bool enabled = obs::MetricsEnabled();
+  // `probes` is indexed by original row; packed index i maps back through
+  // valid[i]. Short spans and null entries mean "no probe for that row".
+  auto probe_for = [&](size_t packed_i, const std::vector<size_t>& valid)
+      -> EstimateProbe* {
+    const size_t r = valid[packed_i];
+    return r < probes.size() ? probes[r] : nullptr;
+  };
   GlQueryMetrics& m = QueryMetrics();
   const size_t batch = queries.rows();
   std::vector<double> out(batch, 0.0);
@@ -535,14 +592,23 @@ std::vector<double> GlEstimator::EstimateSearchBatch(
     const Matrix probs = global_->ApplyBatch(*vq, vtau, xc);
     SelectScratch scratch;
     std::vector<size_t> selected_row;
+    std::vector<char> forced_row;
     for (size_t i = 0; i < nv; ++i) {
       const float* src = probs.Row(i);
       if (enabled) {
         for (size_t s = 0; s < n_seg; ++s) m.global_prob->Record(src[s]);
       }
+      // Forced-include flags are only materialized when this row has a
+      // probe to receive them; probe-less batches keep the cheaper call.
+      EstimateProbe* probe = probe_for(i, valid);
       SelectWithGuards(src, xc.Row(i), taus[valid[i]], &scratch,
-                       &selected_row, nullptr);
+                       &selected_row, probe != nullptr ? &forced_row : nullptr);
       sel_count[i] = static_cast<uint32_t>(selected_row.size());
+      if (probe != nullptr) {
+        for (char f : forced_row) {
+          if (f) probe->NoteForced();
+        }
+      }
       for (size_t s : selected_row) rows_for_seg[s].push_back(i);
     }
   } else {
@@ -565,6 +631,8 @@ std::vector<double> GlEstimator::EstimateSearchBatch(
       for (size_t i : rows) {
         sums[i] += FallbackEstimate(s, vq->Row(i), taus[valid[i]]);
         if (enabled) m.fb_local_missing->Increment();
+        NoteSegmentOutcome(probe_for(i, valid), enabled, s,
+                           SegOutcome::kFallback);
       }
       continue;
     }
@@ -574,6 +642,8 @@ std::vector<double> GlEstimator::EstimateSearchBatch(
     for (size_t i : rows) {
       if (policy != nullptr && policy->ForceFallback(s)) {
         sums[i] += FallbackEstimate(s, vq->Row(i), taus[valid[i]]);
+        NoteSegmentOutcome(probe_for(i, valid), enabled, s,
+                           SegOutcome::kBreaker);
       } else {
         eval_rows.push_back(i);
       }
@@ -601,6 +671,8 @@ std::vector<double> GlEstimator::EstimateSearchBatch(
         est = FallbackEstimate(s, vq->Row(i), taus[valid[i]]);
         if (enabled) m.fb_local_nonfinite->Increment();
       }
+      NoteSegmentOutcome(probe_for(i, valid), enabled, s,
+                         ok ? SegOutcome::kLocal : SegOutcome::kFallback);
       sums[i] += est;
     }
   }

@@ -129,10 +129,15 @@ class GlEstimator : public Estimator {
   /// exception: its hooks fire in segment-major order here versus
   /// query-major order in the single path, so order-sensitive policies
   /// (e.g. a tripping circuit breaker) may diverge across the two.
-  std::vector<double> EstimateSearchBatch(const Matrix& queries,
-                                          std::span<const float> taus,
-                                          SegmentEvalPolicy* policy =
-                                              nullptr) const;
+  ///
+  /// `probes`, when non-empty, is indexed by ORIGINAL row (probes[i] pairs
+  /// with queries.Row(i)); null entries and short spans are fine. Each
+  /// row's probe receives the same per-segment provenance (and trace
+  /// events) the single-query path would produce for that row.
+  std::vector<double> EstimateSearchBatch(
+      const Matrix& queries, std::span<const float> taus,
+      SegmentEvalPolicy* policy = nullptr,
+      std::span<EstimateProbe* const> probes = {}) const;
 
   /// Deprecated: build an EstimateRequest and call Estimate instead.
   double EstimateSearch(const float* query, float tau,
@@ -144,9 +149,11 @@ class GlEstimator : public Estimator {
   }
 
   /// Per-segment estimates for the selected segments only; used by tests
-  /// and the join estimator.
+  /// and the join estimator. `probe`, when non-null, collects per-segment
+  /// provenance (and publishes trace events when its TraceContext is set).
   std::vector<SegmentEstimate> EstimatePerSegment(
-      const float* query, float tau, SegmentEvalPolicy* policy = nullptr) const;
+      const float* query, float tau, SegmentEvalPolicy* policy = nullptr,
+      EstimateProbe* probe = nullptr) const;
 
   /// Fraction of the true cardinality that falls in segments the global
   /// model did NOT select, averaged over all test samples with nonzero

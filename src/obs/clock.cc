@@ -1,0 +1,14 @@
+#include "obs/clock.h"
+
+namespace simcard {
+namespace obs {
+namespace internal {
+
+uint64_t& ClockReadsThisThread() {
+  thread_local uint64_t reads = 0;
+  return reads;
+}
+
+}  // namespace internal
+}  // namespace obs
+}  // namespace simcard

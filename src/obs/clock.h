@@ -1,0 +1,34 @@
+// Monotonic clock access for instrumentation, with a per-thread read
+// counter so tests can pin the disabled-telemetry fast path ("no clock
+// read when metrics/tracing are off") as an invariant instead of a
+// benchmark assertion.
+//
+// Every obs-layer timing primitive (ScopedTimer, TraceSpan, TraceContext)
+// reads time through ReadMonotonicClock(); the counter bump is one
+// thread-local increment (no atomics, no TLS-destructor ordering hazards)
+// and is negligible next to the vDSO clock read itself.
+#ifndef SIMCARD_OBS_CLOCK_H_
+#define SIMCARD_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace simcard {
+namespace obs {
+
+namespace internal {
+/// Count of ReadMonotonicClock() calls made by the calling thread since it
+/// started. Test-only readback; writable so tests can zero it.
+uint64_t& ClockReadsThisThread();
+}  // namespace internal
+
+/// The one way obs code reads the monotonic clock.
+inline std::chrono::steady_clock::time_point ReadMonotonicClock() {
+  ++internal::ClockReadsThisThread();
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace obs
+}  // namespace simcard
+
+#endif  // SIMCARD_OBS_CLOCK_H_

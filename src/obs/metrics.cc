@@ -46,6 +46,8 @@ void AtomicMax(std::atomic<double>* target, double value) {
   }
 }
 
+}  // namespace
+
 std::string WallClockIso8601() {
   const auto now = std::chrono::system_clock::now();
   const std::time_t t = std::chrono::system_clock::to_time_t(now);
@@ -55,8 +57,6 @@ std::string WallClockIso8601() {
   std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
   return buf;
 }
-
-}  // namespace
 
 bool MetricsEnabled() {
   return EnabledFlag().load(std::memory_order_relaxed);
@@ -368,9 +368,7 @@ std::string MetricsRegistry::ToCsv() const {
   return out.str();
 }
 
-namespace {
-
-Status WriteFile(const std::string& path, const std::string& contents) {
+Status WriteTextFile(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out << contents;
@@ -379,16 +377,14 @@ Status WriteFile(const std::string& path, const std::string& contents) {
   return Status::OK();
 }
 
-}  // namespace
-
 Status DumpMetricsJson(const std::string& path) {
-  return WriteFile(path,
-                   MetricsRegistry::Default().ToJson().Dump(/*indent=*/2) +
-                       "\n");
+  return WriteTextFile(
+      path,
+      MetricsRegistry::Default().ToJson().Dump(/*indent=*/2) + "\n");
 }
 
 Status DumpMetricsCsv(const std::string& path) {
-  return WriteFile(path, MetricsRegistry::Default().ToCsv());
+  return WriteTextFile(path, MetricsRegistry::Default().ToCsv());
 }
 
 }  // namespace obs

@@ -41,6 +41,10 @@ bool MetricsEnabled();
 /// Flips recording on/off process-wide (e.g. when --metrics-out is given).
 void SetMetricsEnabled(bool enabled);
 
+/// UTC wall-clock "YYYY-MM-DDTHH:MM:SSZ" — the timestamp format every
+/// exported report (metrics, telemetry, traces, bench JSON) shares.
+std::string WallClockIso8601();
+
 /// \brief Monotonically increasing counter.
 class Counter {
  public:
@@ -187,6 +191,9 @@ Status DumpMetricsJson(const std::string& path);
 
 /// Writes the default registry's CSV report.
 Status DumpMetricsCsv(const std::string& path);
+
+/// Truncate-and-write helper shared by the obs exporters.
+Status WriteTextFile(const std::string& path, const std::string& contents);
 
 }  // namespace obs
 }  // namespace simcard

@@ -1,0 +1,172 @@
+#include "obs/qerror_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simcard {
+namespace obs {
+
+QErrorTracker::QErrorTracker(QErrorTrackerOptions options)
+    : options_(std::move(options)) {
+  if (options_.window == 0) options_.window = 1;
+  std::sort(options_.tau_edges.begin(), options_.tau_edges.end());
+  by_tau_.resize(num_tau_buckets());
+}
+
+double QErrorTracker::QError(double estimate, double actual) {
+  const double est = std::max(std::abs(estimate), 1.0);
+  const double act = std::max(std::abs(actual), 1.0);
+  return est >= act ? est / act : act / est;
+}
+
+void QErrorTracker::Ring::Push(double v, size_t capacity) {
+  if (values.size() < capacity) {
+    values.push_back(v);
+  } else {
+    values[next] = v;
+    next = (next + 1) % capacity;
+  }
+  count = values.size();
+  ++total;
+}
+
+void QErrorTracker::Record(double estimate, double actual, float tau,
+                           std::span<const uint32_t> segments) {
+  if (!std::isfinite(estimate) || !std::isfinite(actual)) return;
+  const double q = QError(estimate, actual);
+  std::lock_guard<std::mutex> lk(mu_);
+  overall_.Push(q, options_.window);
+  by_tau_[TauBucketIndexLocked(tau)].Push(q, options_.window);
+  for (uint32_t s : segments) {
+    if (s >= options_.max_segments) continue;
+    by_segment_[s].Push(q, options_.window);
+  }
+}
+
+size_t QErrorTracker::TauBucketIndexLocked(float tau) const {
+  size_t b = 0;
+  while (b < options_.tau_edges.size() && tau > options_.tau_edges[b]) ++b;
+  return b;
+}
+
+QErrorWindow QErrorTracker::StatsLocked(const Ring& ring) const {
+  QErrorWindow w;
+  w.reports = ring.count;
+  if (ring.count == 0) return w;
+  std::vector<double> sorted(ring.values.begin(),
+                             ring.values.begin() + ring.count);
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  w.mean = sum / static_cast<double>(sorted.size());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  };
+  w.p50 = quantile(0.5);
+  w.p90 = quantile(0.9);
+  w.p99 = quantile(0.99);
+  w.max = sorted.back();
+  return w;
+}
+
+QErrorWindow QErrorTracker::Overall() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return StatsLocked(overall_);
+}
+
+QErrorWindow QErrorTracker::TauBucket(size_t b) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (b >= by_tau_.size()) return {};
+  return StatsLocked(by_tau_[b]);
+}
+
+QErrorWindow QErrorTracker::Segment(size_t s) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = by_segment_.find(s);
+  if (it == by_segment_.end()) return {};
+  return StatsLocked(it->second);
+}
+
+std::vector<ObservedSegmentAccuracy> QErrorTracker::PerSegment() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ObservedSegmentAccuracy> out;
+  out.reserve(by_segment_.size());
+  for (const auto& [s, ring] : by_segment_) {
+    const QErrorWindow w = StatsLocked(ring);
+    if (w.reports == 0) continue;
+    ObservedSegmentAccuracy acc;
+    acc.segment = s;
+    acc.reports = w.reports;
+    acc.qerror_p50 = w.p50;
+    acc.qerror_p90 = w.p90;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+uint64_t QErrorTracker::total_reports() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return overall_.total;
+}
+
+namespace {
+
+JsonValue WindowToJson(const QErrorWindow& w) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("reports", JsonValue::Int(static_cast<int64_t>(w.reports)));
+  obj.Set("mean", JsonValue::Number(w.mean));
+  obj.Set("p50", JsonValue::Number(w.p50));
+  obj.Set("p90", JsonValue::Number(w.p90));
+  obj.Set("p99", JsonValue::Number(w.p99));
+  obj.Set("max", JsonValue::Number(w.max));
+  return obj;
+}
+
+}  // namespace
+
+JsonValue QErrorTracker::ToJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JsonValue doc = JsonValue::Object();
+  doc.Set("window", JsonValue::Int(static_cast<int64_t>(options_.window)));
+  doc.Set("total_reports",
+          JsonValue::Int(static_cast<int64_t>(overall_.total)));
+  doc.Set("overall", WindowToJson(StatsLocked(overall_)));
+
+  JsonValue by_tau = JsonValue::Array();
+  for (size_t b = 0; b < by_tau_.size(); ++b) {
+    JsonValue bucket = JsonValue::Object();
+    const bool overflow = b >= options_.tau_edges.size();
+    bucket.Set("tau_le",
+               overflow ? JsonValue::Null()
+                        : JsonValue::Number(options_.tau_edges[b]));
+    bucket.Set("stats", WindowToJson(StatsLocked(by_tau_[b])));
+    by_tau.Append(std::move(bucket));
+  }
+  doc.Set("by_tau", std::move(by_tau));
+
+  JsonValue by_segment = JsonValue::Array();
+  for (const auto& [s, ring] : by_segment_) {
+    const QErrorWindow w = StatsLocked(ring);
+    if (w.reports == 0) continue;
+    JsonValue seg = JsonValue::Object();
+    seg.Set("segment", JsonValue::Int(static_cast<int64_t>(s)));
+    seg.Set("stats", WindowToJson(w));
+    by_segment.Append(std::move(seg));
+  }
+  doc.Set("by_segment", std::move(by_segment));
+  return doc;
+}
+
+void QErrorTracker::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  overall_ = Ring{};
+  for (Ring& r : by_tau_) r = Ring{};
+  by_segment_.clear();
+}
+
+}  // namespace obs
+}  // namespace simcard

@@ -1,0 +1,124 @@
+// Online accuracy accounting from served ground truth.
+//
+// The serving layer cannot know the true cardinality of a query at answer
+// time, but callers often learn it later (they ran the actual search). The
+// ROADMAP's serve-time feedback loop — modeled on AQO-style execution
+// feedback — starts here: EstimationService::ReportActual feeds
+// (estimate, actual) pairs into this tracker, which maintains sliding-
+// window Q-error quantiles overall, bucketed by tau, and per segment. The
+// paper's own evaluation metric (q-error = max(est/act, act/est), Section
+// 6.1) is used unchanged, with both sides clamped to >= 1 so empty results
+// do not divide by zero.
+//
+// Consumers: the TelemetryExporter surfaces the windows in every snapshot,
+// and update::DriftMonitor treats a segment's observed q-error as a
+// staleness input — degraded accuracy can trigger a fine-tune even when no
+// deltas accumulated (concept drift in the query stream).
+#ifndef SIMCARD_OBS_QERROR_TRACKER_H_
+#define SIMCARD_OBS_QERROR_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace simcard {
+namespace obs {
+
+/// \brief Window sizing and bucketing knobs.
+struct QErrorTrackerOptions {
+  /// Sliding-window length (reports) for each scope: overall, every tau
+  /// bucket, and every segment window.
+  size_t window = 512;
+  /// Upper edges of the tau buckets: bucket i covers (edge{i-1}, edge{i}],
+  /// plus one overflow bucket above the last edge.
+  std::vector<float> tau_edges = {0.25f, 0.5f, 1.0f};
+  /// Segments tracked individually; ids at or beyond this are untracked.
+  size_t max_segments = 256;
+};
+
+/// \brief Quantiles over one sliding window.
+struct QErrorWindow {
+  size_t reports = 0;  ///< reports currently in the window
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// \brief One segment's observed accuracy, for DriftMonitor consumption.
+struct ObservedSegmentAccuracy {
+  size_t segment = 0;
+  size_t reports = 0;
+  double qerror_p50 = 0.0;
+  double qerror_p90 = 0.0;
+};
+
+/// \brief Mutex-guarded sliding-window Q-error quantile tracker.
+///
+/// Thread-safe. Record is off the per-query hot path (it only runs when a
+/// caller reports ground truth), so a mutex plus ring buffers is the right
+/// simplicity/perf trade.
+class QErrorTracker {
+ public:
+  explicit QErrorTracker(QErrorTrackerOptions options = {});
+
+  QErrorTracker(const QErrorTracker&) = delete;
+  QErrorTracker& operator=(const QErrorTracker&) = delete;
+
+  /// Q-error as the paper computes it: max(est, 1) / max(act, 1), folded
+  /// to >= 1. Exposed for reuse by the eval harness and tests.
+  static double QError(double estimate, double actual);
+
+  /// Feeds one ground-truth report. `segments` are the segments that
+  /// contributed to the served estimate (from the request's probe); each
+  /// tracked segment's window receives the same q-error.
+  void Record(double estimate, double actual, float tau,
+              std::span<const uint32_t> segments = {});
+
+  QErrorWindow Overall() const;
+  /// Bucket `b` in [0, num_tau_buckets()); the last bucket is overflow.
+  QErrorWindow TauBucket(size_t b) const;
+  size_t num_tau_buckets() const { return options_.tau_edges.size() + 1; }
+  QErrorWindow Segment(size_t s) const;
+
+  /// Every segment with at least one report, ascending by id.
+  std::vector<ObservedSegmentAccuracy> PerSegment() const;
+
+  uint64_t total_reports() const;
+
+  /// {"window", "total_reports", "overall", "by_tau", "by_segment"} — the
+  /// "accuracy" section of the telemetry snapshot.
+  JsonValue ToJson() const;
+
+  void Reset();
+
+  const QErrorTrackerOptions& options() const { return options_; }
+
+ private:
+  struct Ring {
+    std::vector<double> values;  // capacity = options_.window
+    size_t next = 0;
+    size_t count = 0;  // <= capacity
+    uint64_t total = 0;
+    void Push(double v, size_t capacity);
+  };
+
+  QErrorWindow StatsLocked(const Ring& ring) const;
+  size_t TauBucketIndexLocked(float tau) const;
+
+  QErrorTrackerOptions options_;
+  mutable std::mutex mu_;
+  Ring overall_;
+  std::vector<Ring> by_tau_;               // num_tau_buckets entries
+  std::map<size_t, Ring> by_segment_;      // touched segments only
+};
+
+}  // namespace obs
+}  // namespace simcard
+
+#endif  // SIMCARD_OBS_QERROR_TRACKER_H_

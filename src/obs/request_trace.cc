@@ -1,0 +1,366 @@
+#include "obs/request_trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "obs/metrics.h"
+
+namespace simcard {
+namespace obs {
+namespace {
+
+bool TracingFromEnv() {
+  const char* env = std::getenv("SIMCARD_TRACE");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0;
+}
+
+std::atomic<bool>& TracingFlag() {
+  static std::atomic<bool> enabled(TracingFromEnv());
+  return enabled;
+}
+
+// Fixed per-process origin for trace timestamps; taken once, before any
+// event, so every ts/dur in an export shares the same epoch.
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return TracingFlag().load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  TraceEpoch();  // pin the epoch before the first event
+  TracingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::string TraceFlagNames(uint32_t flags) {
+  static constexpr struct {
+    uint32_t bit;
+    const char* name;
+  } kNames[] = {
+      {kTraceShed, "shed"},
+      {kTraceDeadlineExceeded, "deadline_exceeded"},
+      {kTraceFallback, "fallback"},
+      {kTraceBreakerShortCircuit, "breaker_short_circuit"},
+      {kTraceError, "error"},
+      {kTraceNoModel, "no_model"},
+  };
+  std::string out;
+  for (const auto& entry : kNames) {
+    if ((flags & entry.bit) == 0) continue;
+    if (!out.empty()) out += "|";
+    out += entry.name;
+  }
+  return out;
+}
+
+int64_t TraceTimeUs(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(tp -
+                                                               TraceEpoch())
+      .count();
+}
+
+int64_t TraceNowUs() { return TraceTimeUs(ReadMonotonicClock()); }
+
+// ---------------------------------------------------------------------------
+// TraceSink: per-slot seqlock over relaxed atomics.
+//
+// Writer (owning thread only):  seq -> odd, release fence, fields, release
+// fence, seq -> even.  Reader: load seq (acquire); skip if odd or zero;
+// read fields; acquire fence; re-load seq; accept only if unchanged. The
+// fences make any new field value a reader observes imply it also observes
+// the odd seq, so torn slots are always detected and skipped.
+// ---------------------------------------------------------------------------
+
+TraceSink::TraceSink(uint32_t thread_ordinal, size_t capacity)
+    : thread_ordinal_(thread_ordinal),
+      slots_(capacity > 0 ? capacity : kDefaultCapacity) {}
+
+void TraceSink::Publish(const TraceEvent& event) {
+  const uint64_t pos = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[pos % slots_.size()];
+  const uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);  // odd: in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.trace_id.store(event.trace_id, std::memory_order_relaxed);
+  slot.span_id.store(event.span_id, std::memory_order_relaxed);
+  slot.parent_id.store(event.parent_id, std::memory_order_relaxed);
+  slot.name.store(event.name, std::memory_order_relaxed);
+  slot.start_us.store(event.start_us, std::memory_order_relaxed);
+  slot.dur_us.store(event.dur_us, std::memory_order_relaxed);
+  slot.flags.store(event.flags, std::memory_order_relaxed);
+  slot.arg_name.store(event.arg_name, std::memory_order_relaxed);
+  slot.arg.store(event.arg, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: stable
+  head_.store(pos + 1, std::memory_order_release);
+}
+
+size_t TraceSink::Collect(std::vector<TraceEvent>* out) const {
+  size_t appended = 0;
+  for (const Slot& slot : slots_) {
+    const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1) != 0) continue;  // never written / mid-write
+    TraceEvent event;
+    event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    event.span_id = slot.span_id.load(std::memory_order_relaxed);
+    event.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+    event.name = slot.name.load(std::memory_order_relaxed);
+    event.start_us = slot.start_us.load(std::memory_order_relaxed);
+    event.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+    event.flags = slot.flags.load(std::memory_order_relaxed);
+    event.arg_name = slot.arg_name.load(std::memory_order_relaxed);
+    event.arg = slot.arg.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+    event.thread_ordinal = thread_ordinal_;
+    out->push_back(event);
+    ++appended;
+  }
+  return appended;
+}
+
+void TraceSink::ResetForTesting() {
+  for (Slot& slot : slots_) {
+    slot.seq.store(0, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// TraceCollector
+// ---------------------------------------------------------------------------
+
+TraceCollector& TraceCollector::Default() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+TraceSink* TraceCollector::SinkForThisThread() {
+  thread_local TraceSink* cached = nullptr;
+  if (cached == nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    sinks_.push_back(std::make_unique<TraceSink>(
+        static_cast<uint32_t>(sinks_.size())));
+    cached = sinks_.back().get();
+  }
+  return cached;
+}
+
+std::vector<TraceEvent> TraceCollector::CollectAll() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& sink : sinks_) sink->Collect(&events);
+  return events;
+}
+
+size_t TraceCollector::num_sinks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sinks_.size();
+}
+
+uint64_t TraceCollector::dropped_events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t dropped = 0;
+  for (const auto& sink : sinks_) dropped += sink->dropped();
+  return dropped;
+}
+
+void TraceCollector::ResetForTesting() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& sink : sinks_) sink->ResetForTesting();
+}
+
+namespace {
+
+struct TraceGroup {
+  std::vector<TraceEvent> events;
+  const TraceEvent* root = nullptr;  // parent_id == 0
+  uint32_t flags = 0;                // OR over events (root carries most)
+};
+
+JsonValue EventToJson(const TraceEvent& event) {
+  JsonValue e = JsonValue::Object();
+  e.Set("name", JsonValue::Str(event.name != nullptr ? event.name : "?"));
+  e.Set("ph", JsonValue::Str(event.dur_us < 0 ? "i" : "X"));
+  e.Set("ts", JsonValue::Int(event.start_us));
+  if (event.dur_us >= 0) e.Set("dur", JsonValue::Int(event.dur_us));
+  if (event.dur_us < 0) e.Set("s", JsonValue::Str("t"));
+  e.Set("pid", JsonValue::Int(1));
+  e.Set("tid", JsonValue::Int(event.thread_ordinal));
+  JsonValue args = JsonValue::Object();
+  args.Set("trace_id", JsonValue::Int(static_cast<int64_t>(event.trace_id)));
+  args.Set("span_id", JsonValue::Int(event.span_id));
+  args.Set("parent_id", JsonValue::Int(event.parent_id));
+  if (event.parent_id == 0) {
+    args.Set("flags", JsonValue::Int(event.flags));
+    args.Set("flag_names", JsonValue::Str(TraceFlagNames(event.flags)));
+  }
+  if (event.arg_name != nullptr) {
+    args.Set(event.arg_name, JsonValue::Number(event.arg));
+  }
+  e.Set("args", std::move(args));
+  return e;
+}
+
+}  // namespace
+
+JsonValue TraceCollector::ToJson(double keep_slowest_fraction) const {
+  std::vector<TraceEvent> events = CollectAll();
+
+  std::map<uint64_t, TraceGroup> by_trace;
+  for (const TraceEvent& event : events) {
+    TraceGroup& g = by_trace[event.trace_id];
+    g.events.push_back(event);
+    g.flags |= event.flags;
+  }
+  size_t incomplete = 0;
+  for (auto& [id, g] : by_trace) {
+    for (const TraceEvent& event : g.events) {
+      if (event.parent_id == 0) g.root = &event;
+    }
+    if (g.root == nullptr) ++incomplete;
+  }
+
+  // Tail sampling: flagged traces are always kept; the unflagged complete
+  // rest competes on root duration for the slowest-fraction slots.
+  std::vector<const TraceGroup*> kept;
+  std::vector<const TraceGroup*> unflagged;
+  for (const auto& [id, g] : by_trace) {
+    if (g.root == nullptr) continue;
+    if (g.flags != 0) {
+      kept.push_back(&g);
+    } else {
+      unflagged.push_back(&g);
+    }
+  }
+  const size_t kept_flagged = kept.size();
+  size_t slow_slots = 0;
+  if (!unflagged.empty() && keep_slowest_fraction > 0.0) {
+    slow_slots = std::max<size_t>(
+        1, static_cast<size_t>(keep_slowest_fraction *
+                               static_cast<double>(unflagged.size())));
+    slow_slots = std::min(slow_slots, unflagged.size());
+    std::partial_sort(unflagged.begin(), unflagged.begin() + slow_slots,
+                      unflagged.end(),
+                      [](const TraceGroup* a, const TraceGroup* b) {
+                        return a->root->dur_us > b->root->dur_us;
+                      });
+    kept.insert(kept.end(), unflagged.begin(), unflagged.begin() + slow_slots);
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::Str("simcard.traces.v1"));
+  JsonValue meta = JsonValue::Object();
+  meta.Set("timestamp_utc", JsonValue::Str(WallClockIso8601()));
+  meta.Set("traces_seen", JsonValue::Int(static_cast<int64_t>(by_trace.size())));
+  meta.Set("traces_kept", JsonValue::Int(static_cast<int64_t>(kept.size())));
+  meta.Set("kept_flagged", JsonValue::Int(static_cast<int64_t>(kept_flagged)));
+  meta.Set("kept_slowest", JsonValue::Int(static_cast<int64_t>(slow_slots)));
+  meta.Set("incomplete_dropped", JsonValue::Int(static_cast<int64_t>(incomplete)));
+  meta.Set("ring_dropped_events",
+           JsonValue::Int(static_cast<int64_t>(dropped_events())));
+  meta.Set("keep_slowest_fraction", JsonValue::Number(keep_slowest_fraction));
+  doc.Set("meta", std::move(meta));
+  doc.Set("displayTimeUnit", JsonValue::Str("ms"));
+
+  // Stable order: by trace id, then span start, then span id.
+  std::sort(kept.begin(), kept.end(),
+            [](const TraceGroup* a, const TraceGroup* b) {
+              return a->root->trace_id < b->root->trace_id;
+            });
+  JsonValue trace_events = JsonValue::Array();
+  for (const TraceGroup* g : kept) {
+    std::vector<TraceEvent> ordered = g->events;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                return a.span_id < b.span_id;
+              });
+    for (const TraceEvent& event : ordered) {
+      trace_events.Append(EventToJson(event));
+    }
+  }
+  doc.Set("traceEvents", std::move(trace_events));
+  return doc;
+}
+
+Status TraceCollector::DumpJson(const std::string& path,
+                                double keep_slowest_fraction) const {
+  return WriteTextFile(path,
+                       ToJson(keep_slowest_fraction).Dump(/*indent=*/2) + "\n");
+}
+
+Status DumpTraceJson(const std::string& path, double keep_slowest_fraction) {
+  return TraceCollector::Default().DumpJson(path, keep_slowest_fraction);
+}
+
+// ---------------------------------------------------------------------------
+// TraceContext
+// ---------------------------------------------------------------------------
+
+void TraceContext::Start(const char* root_name) {
+  if (!TracingEnabled() || active()) return;
+  trace_id_ = TraceCollector::Default().NextTraceId();
+  next_span_ = kRootSpan + 1;
+  flags_ = 0;
+  root_name_ = root_name;
+  start_us_ = TraceNowUs();
+}
+
+void TraceContext::RecordSpan(const char* name, int64_t start_us,
+                              int64_t end_us, uint32_t span_id,
+                              uint32_t parent_id, const char* arg_name,
+                              double arg) {
+  if (!active()) return;
+  TraceEvent event;
+  event.trace_id = trace_id_;
+  event.span_id = span_id;
+  event.parent_id = parent_id;
+  event.name = name;
+  event.start_us = start_us;
+  event.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  event.arg_name = arg_name;
+  event.arg = arg;
+  TraceCollector::Default().SinkForThisThread()->Publish(event);
+}
+
+void TraceContext::RecordInstant(const char* name, uint32_t parent_id,
+                                 const char* arg_name, double arg) {
+  if (!active()) return;
+  TraceEvent event;
+  event.trace_id = trace_id_;
+  event.span_id = NewSpanId();
+  event.parent_id = parent_id;
+  event.name = name;
+  event.start_us = TraceNowUs();
+  event.dur_us = -1;  // instant
+  event.arg_name = arg_name;
+  event.arg = arg;
+  TraceCollector::Default().SinkForThisThread()->Publish(event);
+}
+
+void TraceContext::Finish() {
+  if (!active()) return;
+  TraceEvent event;
+  event.trace_id = trace_id_;
+  event.span_id = kRootSpan;
+  event.parent_id = 0;
+  event.name = root_name_ != nullptr ? root_name_ : "request";
+  event.start_us = start_us_;
+  event.dur_us = TraceNowUs() - start_us_;
+  event.flags = flags_;
+  TraceCollector::Default().SinkForThisThread()->Publish(event);
+  trace_id_ = 0;
+}
+
+}  // namespace obs
+}  // namespace simcard

@@ -1,0 +1,306 @@
+// Request-scoped tracing for the serving stack.
+//
+// A request picks up a TraceContext at EstimationService::Submit and carries
+// it through micro-batch assembly, GlEstimator per-segment evaluation,
+// circuit-breaker/fallback decisions, deadline checks, and the reply. Each
+// span/instant event is published into the *recording thread's* TraceSink —
+// a single-writer, lock-free ring of seqlock-guarded slots — so the hot
+// path never takes a lock and never allocates; parent links (trace id +
+// span id + parent span id) stitch the cross-thread chain back together at
+// export time.
+//
+// Tail-based sampling happens at export, where it is free: the exporter
+// groups the rings' events by trace id and keeps (a) every trace flagged
+// interesting — shed, deadline-exceeded, fallback-served, breaker
+// short-circuit, error, no-model — and (b) the slowest fraction of the
+// rest. Everything else ages out of the rings naturally.
+//
+// Export format: "simcard.traces.v1" — a JSON object whose `traceEvents`
+// array is Chrome trace-event compatible (load it in chrome://tracing or
+// Perfetto as-is; ph "X" duration events in microseconds, instants as ph
+// "i"). Schema details in DESIGN.md §13 and scripts/check_metrics_json.py.
+//
+// Enablement is a separate flag from metrics: SetTracingEnabled(true), or
+// SIMCARD_TRACE=1 in the environment. Disabled, TraceContext::Start is one
+// relaxed atomic load — no clock read, no allocation, no trace-id handed
+// out (pinned by tests/obs/trace_fastpath_test.cc).
+#ifndef SIMCARD_OBS_REQUEST_TRACE_H_
+#define SIMCARD_OBS_REQUEST_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/clock.h"
+#include "obs/json.h"
+
+namespace simcard {
+namespace obs {
+
+/// True when requests should record trace events. Initialized once from the
+/// SIMCARD_TRACE environment variable ("1"/"true" enable).
+bool TracingEnabled();
+
+/// Flips tracing on/off process-wide (e.g. when --trace-out is given).
+void SetTracingEnabled(bool enabled);
+
+/// Why a trace is always kept by the tail sampler. Bits accumulate on the
+/// context and are emitted on the trace's root event.
+enum TraceFlag : uint32_t {
+  kTraceShed = 1u << 0,              ///< admission control refused it
+  kTraceDeadlineExceeded = 1u << 1,  ///< deadline passed in queue or eval
+  kTraceFallback = 1u << 2,          ///< >=1 segment answered from fallback
+  kTraceBreakerShortCircuit = 1u << 3,  ///< >=1 segment skipped by breaker
+  kTraceError = 1u << 4,             ///< request failed (injected or real)
+  kTraceNoModel = 1u << 5,           ///< no model published at eval time
+};
+
+/// Dotted lowercase names for the flag bits, "shed|fallback" style.
+std::string TraceFlagNames(uint32_t flags);
+
+/// \brief One recorded span or instant. Plain data; `name`/`arg_name` must
+/// be string literals (the sink stores the pointers, never copies).
+struct TraceEvent {
+  uint64_t trace_id = 0;
+  uint32_t span_id = 0;
+  uint32_t parent_id = 0;  ///< 0 only on the trace's root event
+  const char* name = nullptr;
+  int64_t start_us = 0;  ///< microseconds since the process trace epoch
+  int64_t dur_us = 0;    ///< -1 encodes an instant event
+  uint32_t thread_ordinal = 0;
+  uint32_t flags = 0;  ///< root event carries the trace's accumulated flags
+  const char* arg_name = nullptr;  ///< optional scalar annotation
+  double arg = 0.0;
+};
+
+/// \brief Single-writer lock-free event ring (one per recording thread).
+///
+/// Writes are wait-free: each slot is a seqlock of relaxed atomics (odd
+/// sequence = write in progress), so a concurrent Collect from another
+/// thread either sees a consistent slot or skips it — no locks, no torn
+/// events, clean under TSan (tests/obs/trace_stress_test.cc). The ring
+/// overwrites oldest-first; dropped() counts overwritten events.
+class TraceSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 2048;
+
+  explicit TraceSink(uint32_t thread_ordinal,
+                     size_t capacity = kDefaultCapacity);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Records one event. Must only be called by the sink's owning thread.
+  void Publish(const TraceEvent& event);
+
+  /// Appends every currently-consistent event to `out` (any thread; slots
+  /// being overwritten concurrently are skipped). Returns events appended.
+  size_t Collect(std::vector<TraceEvent>* out) const;
+
+  uint32_t thread_ordinal() const { return thread_ordinal_; }
+  size_t capacity() const { return slots_.size(); }
+  uint64_t published() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    const uint64_t h = published();
+    return h > slots_.size() ? h - slots_.size() : 0;
+  }
+
+  /// Empties the ring. Requires the owning thread to be quiescent.
+  void ResetForTesting();
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  ///< 0 = never written; odd = in progress
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint32_t> span_id{0};
+    std::atomic<uint32_t> parent_id{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<int64_t> start_us{0};
+    std::atomic<int64_t> dur_us{0};
+    std::atomic<uint32_t> flags{0};
+    std::atomic<const char*> arg_name{nullptr};
+    std::atomic<double> arg{0.0};
+  };
+
+  uint32_t thread_ordinal_;
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> head_{0};  ///< next write position (monotonic)
+};
+
+/// \brief Process-wide sink registry + trace-id source + tail-sampled
+/// exporter. Use TraceCollector::Default(); sinks are created lazily per
+/// recording thread and live for the process lifetime (ResetForTesting
+/// empties them but never frees, so cached thread_local pointers stay
+/// valid).
+class TraceCollector {
+ public:
+  static TraceCollector& Default();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// The calling thread's sink, created and registered on first use.
+  TraceSink* SinkForThisThread();
+
+  uint64_t NextTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Every currently-consistent event across all sinks (unsampled).
+  std::vector<TraceEvent> CollectAll() const;
+
+  /// Tail-sampled "simcard.traces.v1" document: keeps every trace whose
+  /// accumulated flags are non-zero plus the slowest
+  /// `keep_slowest_fraction` (at least one) of the unflagged complete
+  /// traces. Traces whose root event was overwritten are dropped and
+  /// counted in meta.incomplete_dropped.
+  JsonValue ToJson(double keep_slowest_fraction = 0.05) const;
+
+  Status DumpJson(const std::string& path,
+                  double keep_slowest_fraction = 0.05) const;
+
+  size_t num_sinks() const;
+  /// Sum of TraceSink::dropped() over all sinks.
+  uint64_t dropped_events() const;
+
+  /// Empties every sink. Requires recording threads to be quiescent.
+  void ResetForTesting();
+
+ private:
+  TraceCollector() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TraceSink>> sinks_;  // append-only
+  std::atomic<uint64_t> next_trace_id_{1};
+};
+
+/// Writes TraceCollector::Default()'s sampled report to `path`.
+Status DumpTraceJson(const std::string& path,
+                     double keep_slowest_fraction = 0.05);
+
+/// Microseconds since the process trace epoch, without reading the clock —
+/// for retro-spans over timestamps the caller already holds.
+int64_t TraceTimeUs(std::chrono::steady_clock::time_point tp);
+
+/// Microseconds since the process trace epoch, now (one clock read).
+int64_t TraceNowUs();
+
+/// \brief Per-request trace handle, carried by value through the service.
+///
+/// Inactive (default-constructed, or Start while tracing is disabled) it is
+/// a no-op whose every method is a branch on a zero trace id. Active, it
+/// hands out span ids and publishes events into the calling thread's sink —
+/// a context may hop threads (submit thread -> worker) as long as only one
+/// thread uses it at a time, which the service's queue handoff guarantees.
+class TraceContext {
+ public:
+  /// Span id of the implicit root span (the whole request).
+  static constexpr uint32_t kRootSpan = 1;
+
+  TraceContext() = default;
+  ~TraceContext() { Finish(); }
+
+  TraceContext(TraceContext&& other) noexcept { *this = std::move(other); }
+  TraceContext& operator=(TraceContext&& other) noexcept {
+    if (this != &other) {
+      Finish();
+      trace_id_ = other.trace_id_;
+      next_span_ = other.next_span_;
+      flags_ = other.flags_;
+      start_us_ = other.start_us_;
+      root_name_ = other.root_name_;
+      other.trace_id_ = 0;
+    }
+    return *this;
+  }
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// Activates the context (no-op while tracing is disabled). `root_name`
+  /// must be a string literal; it names the root span.
+  void Start(const char* root_name);
+
+  bool active() const { return trace_id_ != 0; }
+  uint64_t trace_id() const { return trace_id_; }
+
+  void AddFlag(uint32_t flag) { flags_ |= flag; }  // TraceFlag bits OR'd
+  uint32_t flags() const { return flags_; }
+
+  /// Fresh span id for a child span (ids are per-trace, root = 1).
+  uint32_t NewSpanId() { return next_span_++; }
+
+  /// Publishes a completed span [start_us, end_us] under `parent_id`.
+  void RecordSpan(const char* name, int64_t start_us, int64_t end_us,
+                  uint32_t span_id, uint32_t parent_id = kRootSpan,
+                  const char* arg_name = nullptr, double arg = 0.0);
+
+  /// Publishes a zero-duration marker at now (one clock read).
+  void RecordInstant(const char* name, uint32_t parent_id = kRootSpan,
+                     const char* arg_name = nullptr, double arg = 0.0);
+
+  /// Publishes the root span (with the accumulated flags) and deactivates
+  /// the context. Idempotent; also run by the destructor.
+  void Finish();
+
+ private:
+  uint64_t trace_id_ = 0;
+  uint32_t next_span_ = kRootSpan + 1;
+  uint32_t flags_ = 0;
+  int64_t start_us_ = 0;
+  const char* root_name_ = nullptr;
+};
+
+/// \brief RAII child span on a TraceContext. One clock read at entry and
+/// one at exit when the context is active; nothing otherwise.
+class TraceScope {
+ public:
+  TraceScope(TraceContext* ctx, const char* name,
+             uint32_t parent_id = TraceContext::kRootSpan)
+      : ctx_(ctx != nullptr && ctx->active() ? ctx : nullptr), name_(name),
+        parent_id_(parent_id) {
+    if (ctx_ != nullptr) {
+      span_id_ = ctx_->NewSpanId();
+      start_us_ = TraceNowUs();
+    }
+  }
+
+  ~TraceScope() {
+    if (ctx_ != nullptr) {
+      ctx_->RecordSpan(name_, start_us_, TraceNowUs(), span_id_, parent_id_,
+                       arg_name_, arg_);
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// Attaches one scalar annotation, emitted with the span.
+  void SetArg(const char* name, double value) {
+    arg_name_ = name;
+    arg_ = value;
+  }
+
+  /// 0 when the context is inactive.
+  uint32_t span_id() const { return span_id_; }
+
+ private:
+  TraceContext* ctx_;
+  const char* name_;
+  uint32_t parent_id_;
+  uint32_t span_id_ = 0;
+  int64_t start_us_ = 0;
+  const char* arg_name_ = nullptr;
+  double arg_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace simcard
+
+#endif  // SIMCARD_OBS_REQUEST_TRACE_H_

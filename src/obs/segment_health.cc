@@ -1,0 +1,131 @@
+#include "obs/segment_health.h"
+
+namespace simcard {
+namespace obs {
+
+SegmentHealthRegistry::SegmentHealthRegistry() : slots_(kMaxSegments) {}
+
+SegmentHealthRegistry& SegmentHealthRegistry::Default() {
+  static SegmentHealthRegistry* registry = new SegmentHealthRegistry();
+  return *registry;
+}
+
+void SegmentHealthRegistry::RecordEval(size_t s, bool used_fallback) {
+  Slot* sl = slot(s);
+  if (sl == nullptr) return;
+  sl->evals.fetch_add(1, std::memory_order_relaxed);
+  if (used_fallback) sl->fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SegmentHealthRegistry::SetBreakerState(size_t s, BreakerHealth state) {
+  Slot* sl = slot(s);
+  if (sl == nullptr) return;
+  sl->breaker.store(static_cast<uint32_t>(state), std::memory_order_relaxed);
+}
+
+void SegmentHealthRegistry::RecordBreakerTrip(size_t s) {
+  Slot* sl = slot(s);
+  if (sl == nullptr) return;
+  sl->breaker_trips.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SegmentHealthRegistry::SetQuarantined(size_t s, bool quarantined) {
+  Slot* sl = slot(s);
+  if (sl == nullptr) return;
+  sl->quarantined.store(quarantined ? 1 : 0, std::memory_order_relaxed);
+}
+
+void SegmentHealthRegistry::SetDriftScore(size_t s, double delta_fraction,
+                                          double centroid_shift, bool stale) {
+  Slot* sl = slot(s);
+  if (sl == nullptr) return;
+  sl->drift_delta_fraction.store(delta_fraction, std::memory_order_relaxed);
+  sl->drift_centroid_shift.store(centroid_shift, std::memory_order_relaxed);
+  sl->drift_stale.store(stale ? 1 : 0, std::memory_order_relaxed);
+}
+
+void SegmentHealthRegistry::SetDeltaBacklog(size_t s, uint64_t pending) {
+  Slot* sl = slot(s);
+  if (sl == nullptr) return;
+  sl->delta_backlog.store(pending, std::memory_order_relaxed);
+}
+
+std::vector<SegmentHealth> SegmentHealthRegistry::Snapshot() const {
+  std::vector<SegmentHealth> out;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    const Slot& sl = slots_[s];
+    if (sl.touched.load(std::memory_order_relaxed) == 0) continue;
+    SegmentHealth h;
+    h.segment = s;
+    h.evals = sl.evals.load(std::memory_order_relaxed);
+    h.fallbacks = sl.fallbacks.load(std::memory_order_relaxed);
+    h.breaker =
+        static_cast<BreakerHealth>(sl.breaker.load(std::memory_order_relaxed));
+    h.breaker_trips = sl.breaker_trips.load(std::memory_order_relaxed);
+    h.quarantined = sl.quarantined.load(std::memory_order_relaxed) != 0;
+    h.drift_delta_fraction =
+        sl.drift_delta_fraction.load(std::memory_order_relaxed);
+    h.drift_centroid_shift =
+        sl.drift_centroid_shift.load(std::memory_order_relaxed);
+    h.drift_stale = sl.drift_stale.load(std::memory_order_relaxed) != 0;
+    h.delta_backlog = sl.delta_backlog.load(std::memory_order_relaxed);
+    out.push_back(h);
+  }
+  return out;
+}
+
+namespace {
+
+const char* BreakerName(BreakerHealth state) {
+  switch (state) {
+    case BreakerHealth::kClosed:
+      return "closed";
+    case BreakerHealth::kOpen:
+      return "open";
+    case BreakerHealth::kHalfOpen:
+      return "half_open";
+  }
+  return "closed";
+}
+
+}  // namespace
+
+JsonValue SegmentHealthRegistry::ToJson() const {
+  JsonValue arr = JsonValue::Array();
+  for (const SegmentHealth& h : Snapshot()) {
+    JsonValue seg = JsonValue::Object();
+    seg.Set("segment", JsonValue::Int(static_cast<int64_t>(h.segment)));
+    seg.Set("evals", JsonValue::Int(static_cast<int64_t>(h.evals)));
+    seg.Set("fallbacks", JsonValue::Int(static_cast<int64_t>(h.fallbacks)));
+    seg.Set("fallback_rate", JsonValue::Number(h.fallback_rate()));
+    seg.Set("breaker_state", JsonValue::Str(BreakerName(h.breaker)));
+    seg.Set("breaker_trips",
+            JsonValue::Int(static_cast<int64_t>(h.breaker_trips)));
+    seg.Set("quarantined", JsonValue::Bool(h.quarantined));
+    seg.Set("drift_delta_fraction", JsonValue::Number(h.drift_delta_fraction));
+    seg.Set("drift_centroid_shift", JsonValue::Number(h.drift_centroid_shift));
+    seg.Set("drift_stale", JsonValue::Bool(h.drift_stale));
+    seg.Set("delta_backlog",
+            JsonValue::Int(static_cast<int64_t>(h.delta_backlog)));
+    arr.Append(std::move(seg));
+  }
+  return arr;
+}
+
+void SegmentHealthRegistry::ResetForTesting() {
+  for (Slot& sl : slots_) {
+    sl.touched.store(0, std::memory_order_relaxed);
+    sl.evals.store(0, std::memory_order_relaxed);
+    sl.fallbacks.store(0, std::memory_order_relaxed);
+    sl.breaker.store(0, std::memory_order_relaxed);
+    sl.breaker_trips.store(0, std::memory_order_relaxed);
+    sl.quarantined.store(0, std::memory_order_relaxed);
+    sl.drift_delta_fraction.store(0.0, std::memory_order_relaxed);
+    sl.drift_centroid_shift.store(0.0, std::memory_order_relaxed);
+    sl.drift_stale.store(0, std::memory_order_relaxed);
+    sl.delta_backlog.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace simcard

@@ -1,0 +1,111 @@
+// Per-segment health rollup for live telemetry.
+//
+// The serving and update layers each know one sliver of a segment's state:
+// the circuit breaker knows whether its local model keeps failing, the
+// estimator knows how often the segment answered from its sampling
+// fallback, the published model knows which locals are quarantined, the
+// drift monitor knows how far pending deltas moved the segment, and the
+// delta buffer knows the backlog routed at it. This registry unifies those
+// slivers into one fixed-size array of atomic slots that the
+// TelemetryExporter snapshots — writers pay a handful of relaxed stores,
+// never a lock.
+//
+// Slots are keyed by segment id and capped at kMaxSegments (beyond that,
+// updates are dropped — consistent with the breaker's own max_segments
+// cap). A slot reports only after it was touched at least once.
+#ifndef SIMCARD_OBS_SEGMENT_HEALTH_H_
+#define SIMCARD_OBS_SEGMENT_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace simcard {
+namespace obs {
+
+/// Breaker state codes mirrored from serve::SegmentCircuitBreaker.
+enum class BreakerHealth : uint32_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+/// \brief One segment's unified health, as read by a snapshot.
+struct SegmentHealth {
+  size_t segment = 0;
+  uint64_t evals = 0;      ///< per-segment evaluations since reset
+  uint64_t fallbacks = 0;  ///< of which answered by the sampling fallback
+  BreakerHealth breaker = BreakerHealth::kClosed;
+  uint64_t breaker_trips = 0;
+  bool quarantined = false;
+  double drift_delta_fraction = 0.0;  ///< last DriftMonitor assessment
+  double drift_centroid_shift = 0.0;
+  bool drift_stale = false;
+  uint64_t delta_backlog = 0;  ///< pending deltas routed at this segment
+  double fallback_rate() const {
+    return evals > 0 ? static_cast<double>(fallbacks) /
+                           static_cast<double>(evals)
+                     : 0.0;
+  }
+};
+
+/// \brief Process-wide registry of atomic per-segment slots.
+///
+/// Thread-safe: every setter is a few relaxed atomic stores; Snapshot
+/// reads the same atomics. Writers should gate on MetricsEnabled() the
+/// same way other instrumentation sites do.
+class SegmentHealthRegistry {
+ public:
+  static constexpr size_t kMaxSegments = 512;
+
+  SegmentHealthRegistry();
+  SegmentHealthRegistry(const SegmentHealthRegistry&) = delete;
+  SegmentHealthRegistry& operator=(const SegmentHealthRegistry&) = delete;
+
+  static SegmentHealthRegistry& Default();
+
+  /// One local-model-or-fallback evaluation of segment `s`.
+  void RecordEval(size_t s, bool used_fallback);
+
+  void SetBreakerState(size_t s, BreakerHealth state);
+  void RecordBreakerTrip(size_t s);
+  void SetQuarantined(size_t s, bool quarantined);
+  void SetDriftScore(size_t s, double delta_fraction, double centroid_shift,
+                     bool stale);
+  void SetDeltaBacklog(size_t s, uint64_t pending);
+
+  /// Health of every touched segment, ascending by segment id.
+  std::vector<SegmentHealth> Snapshot() const;
+
+  /// JSON array used by the "simcard.telemetry.v1" snapshot.
+  JsonValue ToJson() const;
+
+  /// Zeroes every slot (keeps nothing marked touched).
+  void ResetForTesting();
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> touched{0};
+    std::atomic<uint64_t> evals{0};
+    std::atomic<uint64_t> fallbacks{0};
+    std::atomic<uint32_t> breaker{0};
+    std::atomic<uint64_t> breaker_trips{0};
+    std::atomic<uint32_t> quarantined{0};
+    std::atomic<double> drift_delta_fraction{0.0};
+    std::atomic<double> drift_centroid_shift{0.0};
+    std::atomic<uint32_t> drift_stale{0};
+    std::atomic<uint64_t> delta_backlog{0};
+  };
+
+  Slot* slot(size_t s) {
+    if (s >= slots_.size()) return nullptr;
+    Slot& sl = slots_[s];
+    sl.touched.store(1, std::memory_order_relaxed);
+    return &sl;
+  }
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace obs
+}  // namespace simcard
+
+#endif  // SIMCARD_OBS_SEGMENT_HEALTH_H_

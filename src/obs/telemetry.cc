@@ -1,0 +1,206 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/segment_health.h"
+
+namespace simcard {
+namespace obs {
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; simcard names use dots.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string PromNumber(double v) {
+  JsonValue num = JsonValue::Number(v);
+  return num.Dump();  // JSON number formatting is Prometheus-compatible
+}
+
+}  // namespace
+
+TelemetryExporter::TelemetryExporter(TelemetryOptions options,
+                                     const QErrorTracker* accuracy)
+    : options_(std::move(options)), accuracy_(accuracy) {
+  if (options_.interval_ms <= 0.0) options_.interval_ms = 1000.0;
+  if (options_.basename.empty()) options_.basename = std::string("telemetry");
+  if (options_.dir.empty()) options_.dir = std::string(".");
+}
+
+TelemetryExporter::~TelemetryExporter() { Stop(); }
+
+Status TelemetryExporter::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("telemetry exporter already running");
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = false;
+  }
+  worker_ = std::thread([this] { RunLoop(); });
+  return Status::OK();
+}
+
+void TelemetryExporter::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void TelemetryExporter::RunLoop() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.interval_ms));
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lk, interval, [this] { return stop_requested_; })) {
+      break;
+    }
+    lk.unlock();
+    // Best effort: a full disk or removed directory must not kill serving.
+    (void)WriteSnapshot();
+    lk.lock();
+  }
+}
+
+std::string TelemetryExporter::PathFor(const std::string& leaf) const {
+  return options_.dir + "/" + leaf;
+}
+
+JsonValue TelemetryExporter::SnapshotJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::Str("simcard.telemetry.v1"));
+  JsonValue meta = JsonValue::Object();
+  meta.Set("timestamp_utc", JsonValue::Str(WallClockIso8601()));
+  meta.Set("seq", JsonValue::Int(
+                      static_cast<int64_t>(snapshots_written_.load(
+                          std::memory_order_relaxed))));
+  meta.Set("interval_ms", JsonValue::Number(options_.interval_ms));
+  doc.Set("meta", std::move(meta));
+  doc.Set("metrics", MetricsRegistry::Default().ToJson());
+  doc.Set("segment_health", SegmentHealthRegistry::Default().ToJson());
+  doc.Set("accuracy",
+          accuracy_ != nullptr ? accuracy_->ToJson() : JsonValue::Object());
+  return doc;
+}
+
+Status TelemetryExporter::WriteSnapshot() {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    seq = next_seq_++;
+  }
+  const JsonValue doc = SnapshotJson();
+  const std::string stem = options_.basename + "-" + std::to_string(seq);
+  Status status = WriteTextFile(PathFor(stem + ".json"),
+                                doc.Dump(/*indent=*/2) + "\n");
+  if (!status.ok()) return status;
+  status = WriteTextFile(PathFor(options_.basename + "-latest.json"),
+                         doc.Dump(/*indent=*/2) + "\n");
+  if (!status.ok()) return status;
+  if (options_.write_prometheus) {
+    status = WriteTextFile(PathFor(options_.basename + ".prom"),
+                           PrometheusText());
+    if (!status.ok()) return status;
+  }
+  if (options_.max_snapshots > 0 && seq >= options_.max_snapshots) {
+    const std::string stale =
+        PathFor(options_.basename + "-" +
+                std::to_string(seq - options_.max_snapshots) + ".json");
+    std::remove(stale.c_str());  // best-effort rotation
+  }
+  snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TelemetryExporter::DumpNow() { return WriteSnapshot(); }
+
+std::string TelemetryExporter::PrometheusText() const {
+  std::ostringstream out;
+  const JsonValue metrics = MetricsRegistry::Default().ToJson();
+
+  for (const auto& [name, v] : metrics.Get("counters").members()) {
+    const std::string p = PromName(name);
+    out << "# TYPE " << p << " counter\n"
+        << p << " " << v.Dump() << "\n";
+  }
+  for (const auto& [name, v] : metrics.Get("gauges").members()) {
+    const std::string p = PromName(name);
+    out << "# TYPE " << p << " gauge\n"
+        << p << " " << v.Dump() << "\n";
+  }
+  for (const auto& [name, h] : metrics.Get("histograms").members()) {
+    const std::string p = PromName(name);
+    out << "# TYPE " << p << " histogram\n";
+    // Buckets in the JSON report are sparse per-bucket counts; Prometheus
+    // wants cumulative counts per upper bound.
+    uint64_t cumulative = 0;
+    const JsonValue& buckets = h.Get("buckets");
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      const JsonValue& b = buckets.at(i);
+      cumulative += static_cast<uint64_t>(b.Get("count").number_value());
+      const JsonValue& le = b.Get("le");
+      const std::string bound =
+          le.is_string() ? "+Inf" : PromNumber(le.number_value());
+      out << p << "_bucket{le=\"" << bound << "\"} " << cumulative << "\n";
+    }
+    const uint64_t count =
+        static_cast<uint64_t>(h.Get("count").number_value());
+    if (cumulative < count || buckets.size() == 0 ||
+        !buckets.at(buckets.size() - 1).Get("le").is_string()) {
+      out << p << "_bucket{le=\"+Inf\"} " << count << "\n";
+    }
+    out << p << "_sum " << PromNumber(h.Get("sum").number_value()) << "\n";
+    out << p << "_count " << count << "\n";
+  }
+
+  for (const SegmentHealth& sh : SegmentHealthRegistry::Default().Snapshot()) {
+    const std::string label = "{segment=\"" + std::to_string(sh.segment) +
+                              "\"}";
+    out << "simcard_segment_evals" << label << " " << sh.evals << "\n";
+    out << "simcard_segment_fallbacks" << label << " " << sh.fallbacks
+        << "\n";
+    out << "simcard_segment_fallback_rate" << label << " "
+        << PromNumber(sh.fallback_rate()) << "\n";
+    out << "simcard_segment_breaker_state" << label << " "
+        << static_cast<uint32_t>(sh.breaker) << "\n";
+    out << "simcard_segment_quarantined" << label << " "
+        << (sh.quarantined ? 1 : 0) << "\n";
+    out << "simcard_segment_drift_delta_fraction" << label << " "
+        << PromNumber(sh.drift_delta_fraction) << "\n";
+    out << "simcard_segment_delta_backlog" << label << " "
+        << sh.delta_backlog << "\n";
+  }
+
+  if (accuracy_ != nullptr) {
+    const QErrorWindow w = accuracy_->Overall();
+    out << "# TYPE simcard_accuracy_qerror summary\n";
+    out << "simcard_accuracy_qerror{quantile=\"0.5\"} " << PromNumber(w.p50)
+        << "\n";
+    out << "simcard_accuracy_qerror{quantile=\"0.9\"} " << PromNumber(w.p90)
+        << "\n";
+    out << "simcard_accuracy_qerror{quantile=\"0.99\"} " << PromNumber(w.p99)
+        << "\n";
+    out << "simcard_accuracy_qerror_count " << accuracy_->total_reports()
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace simcard

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include "common/logging.h"
+#include "obs/clock.h"
 
 namespace simcard {
 namespace obs {
@@ -10,7 +11,7 @@ thread_local int g_span_depth = 0;
 
 int64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - start)
+             ReadMonotonicClock() - start)
       .count();
 }
 
@@ -24,10 +25,10 @@ int64_t ScopedTimer::Stop() {
   return us;
 }
 
-TraceSpan::TraceSpan(std::string name) : name_(std::move(name)) {
+TraceSpan::TraceSpan(const char* name) : name_(name) {
   if (!MetricsEnabled()) return;
   active_ = true;
-  start_ = std::chrono::steady_clock::now();
+  start_ = ReadMonotonicClock();
   ++g_span_depth;
 }
 
@@ -35,7 +36,8 @@ TraceSpan::~TraceSpan() {
   if (!active_) return;
   const int64_t us = ElapsedUs(start_);
   --g_span_depth;
-  GetHistogram("span." + name_ + "_us")->Record(static_cast<double>(us));
+  GetHistogram(std::string("span.") + name_ + "_us")
+      ->Record(static_cast<double>(us));
   SIMCARD_LOG(DEBUG) << std::string(static_cast<size_t>(g_span_depth) * 2, ' ')
                      << "span " << name_ << ": " << us << "us";
 }

@@ -10,10 +10,12 @@
 //     BuildFeatures();
 //   }
 //
-// Both are no-ops (no clock read) while MetricsEnabled() is false, so they
-// can sit on hot paths. TraceSpan additionally tracks per-thread nesting
-// depth and, at SIMCARD_LOG_LEVEL=debug, logs an indented enter/exit line —
-// a poor man's flame graph for single runs.
+// Both are no-ops (no clock read, no allocation) while MetricsEnabled() is
+// false, so they can sit on hot paths — pinned by tests/obs/
+// trace_fastpath_test.cc via the obs/clock.h read counter. TraceSpan
+// additionally tracks per-thread nesting depth and, at
+// SIMCARD_LOG_LEVEL=debug, logs an indented enter/exit line — a poor man's
+// flame graph for single runs.
 #ifndef SIMCARD_OBS_TRACE_H_
 #define SIMCARD_OBS_TRACE_H_
 
@@ -21,6 +23,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/clock.h"
 #include "obs/metrics.h"
 
 namespace simcard {
@@ -33,7 +36,7 @@ class ScopedTimer {
   /// the histogram exists and metrics are enabled at construction time.
   explicit ScopedTimer(Histogram* hist)
       : hist_(MetricsEnabled() ? hist : nullptr) {
-    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+    if (hist_ != nullptr) start_ = ReadMonotonicClock();
   }
 
   ~ScopedTimer() { Stop(); }
@@ -51,9 +54,13 @@ class ScopedTimer {
 };
 
 /// \brief Named span: histogram "span.<name>_us" + nesting-aware debug log.
+///
+/// `name` must outlive the span (in practice: a string literal). Taking a
+/// pointer instead of a std::string keeps the disabled path free of even
+/// an SSO-defeating string copy.
 class TraceSpan {
  public:
-  explicit TraceSpan(std::string name);
+  explicit TraceSpan(const char* name);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -63,7 +70,7 @@ class TraceSpan {
   static int CurrentDepth();
 
  private:
-  std::string name_;
+  const char* name_;
   bool active_ = false;
   std::chrono::steady_clock::time_point start_;
 };

@@ -8,6 +8,8 @@
 
 #include "common/fault.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/segment_health.h"
 #include "tensor/matrix.h"
 
 namespace simcard {
@@ -35,6 +37,10 @@ struct ServeMetrics {
   obs::Counter* batch_coalesced = obs::GetCounter("simcard.batch.coalesced");
   obs::Counter* batch_isolated_errors =
       obs::GetCounter("simcard.batch.isolated_errors");
+  obs::Counter* actual_reports =
+      obs::GetCounter("simcard.serve.actual_reports");
+  obs::Counter* actual_unmatched =
+      obs::GetCounter("simcard.serve.actual_unmatched");
   obs::Gauge* queue_depth = obs::GetGauge("simcard.serve.queue_depth");
   obs::Histogram* queue_us =
       obs::GetHistogram("simcard.serve.latency.queue_us");
@@ -67,6 +73,10 @@ void SegmentCircuitBreaker::TripOpen(SegState* st) {
   trips_.fetch_add(1, std::memory_order_relaxed);
   if (obs::MetricsEnabled()) {
     obs::GetCounter("simcard.serve.breaker_open")->Increment();
+    const size_t s = static_cast<size_t>(st - states_.data());
+    obs::SegmentHealthRegistry::Default().RecordBreakerTrip(s);
+    obs::SegmentHealthRegistry::Default().SetBreakerState(
+        s, obs::BreakerHealth::kOpen);
   }
 }
 
@@ -85,6 +95,10 @@ bool SegmentCircuitBreaker::ForceFallback(size_t s) {
     }
     if (c == 1) {
       st.state.store(kHalfOpen, std::memory_order_release);
+      if (obs::MetricsEnabled()) {
+        obs::SegmentHealthRegistry::Default().SetBreakerState(
+            s, obs::BreakerHealth::kHalfOpen);
+      }
       return false;  // this request probes
     }
   }
@@ -99,8 +113,16 @@ void SegmentCircuitBreaker::OnLocalResult(size_t s, bool ok) {
   if (s >= states_.size()) return;
   SegState& st = states_[s];
   if (ok) {
+    // Avoid spamming the health registry on the common path: only a
+    // not-closed -> closed transition is worth recording.
+    const bool was_open =
+        st.state.load(std::memory_order_acquire) != kClosed;
     st.failures.store(0, std::memory_order_relaxed);
     st.state.store(kClosed, std::memory_order_release);
+    if (was_open && obs::MetricsEnabled()) {
+      obs::SegmentHealthRegistry::Default().SetBreakerState(
+          s, obs::BreakerHealth::kClosed);
+    }
     return;
   }
   if (st.state.load(std::memory_order_acquire) == kHalfOpen) {
@@ -118,10 +140,18 @@ bool SegmentCircuitBreaker::IsOpen(size_t s) const {
 }
 
 void SegmentCircuitBreaker::Reset() {
-  for (auto& st : states_) {
+  const bool enabled = obs::MetricsEnabled();
+  for (size_t s = 0; s < states_.size(); ++s) {
+    SegState& st = states_[s];
+    const bool was_open =
+        st.state.load(std::memory_order_acquire) != kClosed;
     st.state.store(kClosed, std::memory_order_release);
     st.failures.store(0, std::memory_order_relaxed);
     st.cooldown.store(0, std::memory_order_relaxed);
+    if (was_open && enabled) {
+      obs::SegmentHealthRegistry::Default().SetBreakerState(
+          s, obs::BreakerHealth::kClosed);
+    }
   }
 }
 
@@ -131,8 +161,11 @@ EstimationService::EstimationService(ModelRegistry* registry,
       options_(options),
       breaker_(options.breaker_failure_threshold,
                options.breaker_cooldown_requests,
-               options.breaker_max_segments) {
+               options.breaker_max_segments),
+      accuracy_(options.accuracy) {
   if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.recent_capacity == 0) options_.track_accuracy = false;
+  if (options_.track_accuracy) recent_.resize(options_.recent_capacity);
   size_t threads = options_.num_threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -180,6 +213,10 @@ std::future<EstimateResponse> EstimationService::SubmitInternal(
 
   std::promise<EstimateResponse> promise;
   std::future<EstimateResponse> future = promise.get_future();
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceContext trace;
+  trace.Start("serve.request");  // no-op while tracing is disabled
 
   // Admission control: the pending count covers queued + running requests.
   // Over capacity (or a forced serve.queue_full fault) sheds immediately —
@@ -189,7 +226,15 @@ std::future<EstimateResponse> EstimationService::SubmitInternal(
       fault::ShouldFail("serve.queue_full")) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     if (enabled) m.shed->Increment();
+    if (trace.active()) {
+      trace.AddFlag(obs::kTraceShed);
+      trace.RecordInstant("serve.shed", obs::TraceContext::kRootSpan,
+                          "queue_capacity",
+                          static_cast<double>(options_.queue_capacity));
+    }
+    trace.Finish();
     EstimateResponse response;
+    response.request_id = request_id;
     response.status =
         Status::Unavailable("serve: queue full, request shed (capacity " +
                             std::to_string(options_.queue_capacity) + ")");
@@ -200,11 +245,17 @@ std::future<EstimateResponse> EstimationService::SubmitInternal(
     m.accepted->Increment();
     m.queue_depth->Set(static_cast<double>(prev + 1));
   }
+  if (trace.active()) {
+    trace.RecordInstant("serve.enqueue", obs::TraceContext::kRootSpan,
+                        "queue_depth", static_cast<double>(prev + 1));
+  }
 
   if (deadline_ms <= 0.0) deadline_ms = options_.default_deadline_ms;
   Pending item;
   item.query = std::move(query);
   item.tau = tau;
+  item.request_id = request_id;
+  item.trace = std::move(trace);
   item.submitted = Clock::now();
   item.deadline =
       item.submitted +
@@ -285,6 +336,10 @@ void EstimationService::ProcessBatch(std::vector<Pending>* batch_ptr) {
       m.queue_us->Record(response.queue_us);
       m.total_us->Record(response.total_us);
     }
+    // Publish the root span (with accumulated outcome flags) before the
+    // caller is unblocked, so a DumpTraceJson right after future.get()
+    // always sees a complete trace.
+    batch[i].trace.Finish();
     batch[i].promise.set_value(std::move(response));
   };
 
@@ -294,9 +349,23 @@ void EstimationService::ProcessBatch(std::vector<Pending>* batch_ptr) {
   std::vector<size_t> live;
   live.reserve(n);
   for (size_t i = 0; i < n; ++i) {
+    responses[i].request_id = batch[i].request_id;
     responses[i].queue_us = MicrosSince(batch[i].submitted);
+    obs::TraceContext& trace = batch[i].trace;
+    if (trace.active()) {
+      // Retro-span over the time the request sat in the queue: the submit
+      // timestamp is already on hand, so this costs one clock read.
+      const int64_t enq_us = obs::TraceTimeUs(batch[i].submitted);
+      trace.RecordSpan("serve.queue", enq_us, obs::TraceNowUs(),
+                       trace.NewSpanId(), obs::TraceContext::kRootSpan,
+                       "batch_size", static_cast<double>(n));
+    }
     if (Clock::now() > batch[i].deadline) {
       if (metrics_on) m.deadline_exceeded->Increment();
+      if (trace.active()) {
+        trace.AddFlag(obs::kTraceDeadlineExceeded);
+        trace.RecordInstant("serve.deadline.queue");
+      }
       responses[i].status =
           Status::DeadlineExceeded("serve: deadline passed in queue");
       finish(i);
@@ -304,6 +373,10 @@ void EstimationService::ProcessBatch(std::vector<Pending>* batch_ptr) {
     }
     if (fault::ShouldFail("serve.batch_eval")) {
       if (metrics_on) m.batch_isolated_errors->Increment();
+      if (trace.active()) {
+        trace.AddFlag(obs::kTraceError);
+        trace.RecordInstant("serve.fault.batch_eval");
+      }
       responses[i].status = fault::InjectedError("serve.batch_eval");
       finish(i);
       continue;
@@ -316,6 +389,11 @@ void EstimationService::ProcessBatch(std::vector<Pending>* batch_ptr) {
   if (snapshot.estimator == nullptr) {
     for (size_t i : live) {
       if (metrics_on) m.no_model->Increment();
+      obs::TraceContext& trace = batch[i].trace;
+      if (trace.active()) {
+        trace.AddFlag(obs::kTraceNoModel);
+        trace.RecordInstant("serve.no_model");
+      }
       responses[i].status = Status::Unavailable("serve: no model published");
       finish(i);
     }
@@ -327,6 +405,11 @@ void EstimationService::ProcessBatch(std::vector<Pending>* batch_ptr) {
   eval.reserve(live.size());
   for (size_t i : live) {
     if (batch[i].query.size() != dim) {
+      obs::TraceContext& trace = batch[i].trace;
+      if (trace.active()) {
+        trace.AddFlag(obs::kTraceError);
+        trace.RecordInstant("serve.bad_request");
+      }
       responses[i].status = Status::InvalidArgument(
           "serve: query has " + std::to_string(batch[i].query.size()) +
           " dims, model expects " + std::to_string(dim));
@@ -338,6 +421,22 @@ void EstimationService::ProcessBatch(std::vector<Pending>* batch_ptr) {
   }
   if (eval.empty()) return;
 
+  // One probe per evaluated request: the estimator fills in per-segment
+  // provenance (and parents its per-segment trace events under a
+  // pre-allocated "serve.eval" span id — the span itself is recorded
+  // retroactively after evaluation, which is legal because span ids are
+  // just counters).
+  std::vector<EstimateProbe> probes(eval.size());
+  std::vector<EstimateProbe*> probe_ptrs(eval.size());
+  for (size_t j = 0; j < eval.size(); ++j) {
+    obs::TraceContext& trace = batch[eval[j]].trace;
+    if (trace.active()) {
+      probes[j].trace = &trace;
+      probes[j].trace_parent = trace.NewSpanId();
+    }
+    probe_ptrs[j] = &probes[j];
+  }
+
   const Clock::time_point eval_start = Clock::now();
   std::vector<double> estimates;
   if (eval.size() == 1) {
@@ -348,6 +447,7 @@ void EstimationService::ProcessBatch(std::vector<Pending>* batch_ptr) {
     request.query = std::span<const float>(p.query.data(), p.query.size());
     request.tau = p.tau;
     request.options.policy = &breaker_;
+    request.options.probe = &probes[0];
     estimates.push_back(snapshot.estimator->Estimate(request));
   } else {
     if (metrics_on) m.batch_evals->Increment();
@@ -358,12 +458,16 @@ void EstimationService::ProcessBatch(std::vector<Pending>* batch_ptr) {
       taus[j] = batch[eval[j]].tau;
     }
     estimates = snapshot.estimator->EstimateSearchBatch(
-        queries, std::span<const float>(taus.data(), taus.size()), &breaker_);
+        queries, std::span<const float>(taus.data(), taus.size()), &breaker_,
+        std::span<EstimateProbe* const>(probe_ptrs.data(),
+                                        probe_ptrs.size()));
   }
 
   for (size_t j = 0; j < eval.size(); ++j) {
     const size_t i = eval[j];
+    obs::TraceContext& trace = batch[i].trace;
     responses[i].estimate = estimates[j];
+    responses[i].fallback_segments = probes[j].fallback_segments;
     if (fault::ShouldFail("serve.slow_eval")) {
       // Deterministically stall past this request's deadline so the
       // post-eval check below fires.
@@ -372,16 +476,75 @@ void EstimationService::ProcessBatch(std::vector<Pending>* batch_ptr) {
     }
     responses[i].eval_us = MicrosSince(eval_start);
     if (metrics_on) m.eval_us->Record(responses[i].eval_us);
+    if (trace.active()) {
+      const int64_t start_us = obs::TraceTimeUs(eval_start);
+      trace.RecordSpan("serve.eval", start_us,
+                       start_us + static_cast<int64_t>(responses[i].eval_us),
+                       probes[j].trace_parent, obs::TraceContext::kRootSpan,
+                       "segments_evaluated",
+                       static_cast<double>(probes[j].evaluated));
+    }
     if (Clock::now() > batch[i].deadline) {
       if (metrics_on) m.deadline_exceeded->Increment();
+      if (trace.active()) {
+        trace.AddFlag(obs::kTraceDeadlineExceeded);
+        trace.RecordInstant("serve.deadline.eval", probes[j].trace_parent);
+      }
       responses[i].status =
           Status::DeadlineExceeded("serve: evaluation exceeded deadline");
       finish(i);
       continue;
     }
     if (metrics_on) m.completed->Increment();
+    RememberCompleted(batch[i], estimates[j], probes[j]);
     finish(i);
   }
+}
+
+void EstimationService::RememberCompleted(const Pending& item,
+                                          double estimate,
+                                          const EstimateProbe& probe) {
+  if (recent_.empty()) return;
+  RecentRequest entry;
+  entry.id = item.request_id;
+  entry.estimate = estimate;
+  entry.tau = item.tau;
+  entry.num_segments = probe.stored;
+  for (uint16_t k = 0; k < probe.stored; ++k) {
+    entry.segments[k] = probe.segments[k];
+  }
+  std::lock_guard<std::mutex> lk(recent_mu_);
+  recent_[item.request_id % recent_.size()] = entry;
+}
+
+Status EstimationService::ReportActual(uint64_t request_id,
+                                       double true_card) {
+  if (!options_.track_accuracy) {
+    return Status::FailedPrecondition(
+        "serve: accuracy tracking disabled (ServeOptions::track_accuracy)");
+  }
+  if (request_id == 0) {
+    return Status::InvalidArgument("serve: request id 0 is never issued");
+  }
+  RecentRequest entry;
+  {
+    std::lock_guard<std::mutex> lk(recent_mu_);
+    RecentRequest& slot = recent_[request_id % recent_.size()];
+    if (slot.id != request_id) {
+      if (obs::MetricsEnabled()) Metrics().actual_unmatched->Increment();
+      return Status::NotFound(
+          "serve: request " + std::to_string(request_id) +
+          " not in the recent-request ring (unknown, evicted, or already "
+          "reported)");
+    }
+    entry = slot;
+    slot.id = 0;  // consume: each ticket matches at most once
+  }
+  accuracy_.Record(entry.estimate, true_card, entry.tau,
+                   std::span<const uint32_t>(entry.segments,
+                                             entry.num_segments));
+  if (obs::MetricsEnabled()) Metrics().actual_reports->Increment();
+  return Status::OK();
 }
 
 }  // namespace serve

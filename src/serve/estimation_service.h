@@ -22,11 +22,25 @@
 // Observability (all gated on obs::MetricsEnabled()):
 //   counters   simcard.serve.requests, .accepted, .shed, .deadline_exceeded,
 //              .completed, .no_model, .breaker_open, .breaker_short_circuited,
+//              .actual_reports, .actual_unmatched,
 //              simcard.batch.evals, .coalesced, .isolated_errors
 //   gauge      simcard.serve.queue_depth (plus .model_epoch / .publishes
 //              from the registry)
 //   histograms simcard.serve.latency.queue_us, .eval_us, .total_us,
 //              simcard.serve.batch_size
+//
+// Request tracing (gated on obs::TracingEnabled(), see obs/request_trace.h):
+// every submitted request carries a TraceContext; the service publishes a
+// "serve.request" root span plus "serve.queue" / "serve.eval" child spans
+// and instants for shed, deadline, no-model, and fault outcomes, and the
+// estimator parents its per-segment events under the eval span. Shed,
+// deadline-exceeded, fallback-served, and breaker-short-circuited requests
+// are flag-marked so tail sampling always keeps them.
+//
+// Online accuracy: completed requests are remembered in a fixed ring;
+// ReportActual(request_id, true_card) matches a ticket to its estimate and
+// feeds sliding Q-error windows (overall / per tau bucket / per evaluated
+// segment) exposed via accuracy() for telemetry export and drift gating.
 //
 // Fault sites (common/fault.h):
 //   serve.queue_full  forces admission control to shed the request
@@ -49,6 +63,8 @@
 
 #include "common/status.h"
 #include "core/gl_estimator.h"
+#include "obs/qerror_tracker.h"
+#include "obs/request_trace.h"
 #include "serve/model_registry.h"
 
 namespace simcard {
@@ -76,17 +92,29 @@ struct ServeOptions {
   /// Segments tracked by the breaker; segments at or beyond this index are
   /// never short-circuited (they still fall back on non-finite estimates).
   size_t breaker_max_segments = 256;
+
+  /// Online accuracy accounting: completed requests are remembered in a
+  /// fixed ring of `recent_capacity` entries so a later
+  /// ReportActual(request_id, true_card) can be matched to its estimate and
+  /// fed into the sliding Q-error windows. 0 (or track_accuracy = false)
+  /// disables the ledger; ReportActual then answers kFailedPrecondition.
+  bool track_accuracy = true;
+  size_t recent_capacity = 4096;
+  /// Knobs for the Q-error windows (window size, tau bucket edges).
+  obs::QErrorTrackerOptions accuracy;
 };
 
 /// \brief Outcome of one request.
 struct EstimateResponse {
   Status status;
   double estimate = 0.0;
+  uint64_t request_id = 0;   ///< ticket for ReportActual (never 0)
   uint64_t model_epoch = 0;  ///< epoch of the snapshot that answered
   double queue_us = 0.0;     ///< submit -> worker pickup
   double eval_us = 0.0;      ///< model evaluation only (shared by the batch)
   double total_us = 0.0;     ///< submit -> response
   size_t batch_size = 1;     ///< requests drained in the same worker pass
+  size_t fallback_segments = 0;  ///< segments answered by the fallback
 };
 
 /// \brief Per-segment circuit breaker implementing SegmentEvalPolicy.
@@ -170,6 +198,22 @@ class EstimationService {
   /// Blocks until every accepted request has completed.
   void Drain();
 
+  /// \brief Feeds the true cardinality for an answered request into the
+  /// online Q-error windows (overall, per tau bucket, per evaluated
+  /// segment).
+  ///
+  /// `request_id` is the ticket from the request's EstimateResponse. Each
+  /// ticket matches at most once; a ticket that was never issued, was
+  /// evicted from the recent-request ring (capacity
+  /// ServeOptions::recent_capacity), already matched, or belongs to a
+  /// request that did not produce an estimate answers kNotFound.
+  /// kFailedPrecondition when accuracy tracking is disabled.
+  Status ReportActual(uint64_t request_id, double true_card);
+
+  /// The online accuracy windows fed by ReportActual. Valid for the
+  /// service's lifetime; hand to TelemetryExporter / UpdateManager.
+  const obs::QErrorTracker& accuracy() const { return accuracy_; }
+
   /// Queued + running requests (admission-control view).
   size_t pending() const { return pending_.load(std::memory_order_relaxed); }
 
@@ -182,10 +226,26 @@ class EstimationService {
   struct Pending {
     std::vector<float> query;
     float tau = 0.0f;
+    uint64_t request_id = 0;
     Clock::time_point submitted;
     Clock::time_point deadline;
+    obs::TraceContext trace;  // inactive unless tracing is enabled
     std::promise<EstimateResponse> promise;
   };
+
+  /// One completed request remembered for ReportActual matching. A slot is
+  /// valid only while `id` matches the ticket being reported (the ring
+  /// overwrites at id % capacity, so eviction is implicit).
+  struct RecentRequest {
+    uint64_t id = 0;
+    double estimate = 0.0;
+    float tau = 0.0f;
+    uint16_t num_segments = 0;
+    uint32_t segments[EstimateProbe::kMaxSegments] = {};
+  };
+
+  void RememberCompleted(const Pending& item, double estimate,
+                         const EstimateProbe& probe);
 
   std::future<EstimateResponse> SubmitInternal(std::vector<float> query,
                                                float tau, double deadline_ms);
@@ -197,6 +257,11 @@ class EstimationService {
   SegmentCircuitBreaker breaker_;
   uint64_t publish_listener_id_ = 0;  // breaker reset on model hot-swap
   std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> next_request_id_{1};
+
+  obs::QErrorTracker accuracy_;
+  std::mutex recent_mu_;
+  std::vector<RecentRequest> recent_;  // empty when tracking is disabled
 
   std::mutex mu_;
   std::condition_variable cv_;       // queue has work / stopping

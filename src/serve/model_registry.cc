@@ -1,6 +1,7 @@
 #include "serve/model_registry.h"
 
 #include "obs/metrics.h"
+#include "obs/segment_health.h"
 
 namespace simcard {
 namespace serve {
@@ -27,6 +28,16 @@ uint64_t ModelRegistry::Publish(std::shared_ptr<const GlEstimator> estimator) {
     obs::GetCounter("simcard.serve.publishes")->Increment();
     obs::GetGauge("simcard.serve.model_epoch")
         ->Set(static_cast<double>(epoch));
+    // Refresh the per-segment quarantine flags against the new snapshot: a
+    // null local-model slot means the segment answers from its sampling
+    // fallback until the next full retrain.
+    if (published.estimator != nullptr) {
+      auto& health = obs::SegmentHealthRegistry::Default();
+      for (size_t s = 0; s < published.estimator->num_local_models(); ++s) {
+        health.SetQuarantined(s,
+                              published.estimator->local_model(s) == nullptr);
+      }
+    }
   }
   return epoch;
 }

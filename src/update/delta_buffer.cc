@@ -4,9 +4,21 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/segment_health.h"
 
 namespace simcard {
 namespace update {
+namespace {
+
+// Mirrors one segment's pending-delta count into the health registry so
+// telemetry sees the backlog without taking the buffer's lock.
+void PublishBacklog(size_t seg, const std::vector<size_t>& per_segment) {
+  if (!obs::MetricsEnabled() || seg >= per_segment.size()) return;
+  obs::SegmentHealthRegistry::Default().SetDeltaBacklog(seg,
+                                                        per_segment[seg]);
+}
+
+}  // namespace
 
 void DeltaBuffer::ResetLocked(const Segmentation& seg, size_t base_rows,
                               size_t dim, Metric metric) {
@@ -78,6 +90,7 @@ Status DeltaBuffer::InsertLocked(std::span<const float> point) {
   const size_t seg = NearestSegmentLocked(point.data());
   if (seg < per_segment_.size()) ++per_segment_[seg];
   insert_segments_.push_back(seg);
+  PublishBacklog(seg, per_segment_);
   return Status::OK();
 }
 
@@ -89,6 +102,7 @@ Status DeltaBuffer::Erase(uint32_t row) {
   SIMCARD_RETURN_IF_ERROR(overlay_.StageErase(row));
   const size_t seg = row < assignment_.size() ? assignment_[row] : 0;
   if (seg < per_segment_.size()) ++per_segment_[seg];
+  PublishBacklog(seg, per_segment_);
   return Status::OK();
 }
 
@@ -116,6 +130,14 @@ DeltaSnapshot DeltaBuffer::Drain() {
   overlay_ = DeltaOverlay(snap.overlay.base_rows(), dim_);
   per_segment_.assign(snap.per_segment.size(), 0);
   insert_segments_.clear();
+  // The drained deltas are the refresh's problem now; telemetry's backlog
+  // view resets with the buffer.
+  if (obs::MetricsEnabled()) {
+    auto& health = obs::SegmentHealthRegistry::Default();
+    for (size_t s = 0; s < snap.per_segment.size(); ++s) {
+      if (snap.per_segment[s] > 0) health.SetDeltaBacklog(s, 0);
+    }
+  }
   return snap;
 }
 

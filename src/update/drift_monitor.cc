@@ -21,6 +21,13 @@ struct PendingDeltas {
 DriftReport DriftMonitor::Assess(const Segmentation& seg,
                                  const Dataset& dataset,
                                  const DeltaSnapshot& snap) const {
+  return Assess(seg, dataset, snap, {});
+}
+
+DriftReport DriftMonitor::Assess(
+    const Segmentation& seg, const Dataset& dataset,
+    const DeltaSnapshot& snap,
+    std::span<const obs::ObservedSegmentAccuracy> observed) const {
   const size_t dim = dataset.dim();
   DriftReport report;
 
@@ -41,6 +48,20 @@ DriftReport DriftMonitor::Assess(const Segmentation& seg,
     if (d.sum.empty()) d.sum.assign(dim, 0.0f);
     const float* p = dataset.Point(row);
     for (size_t j = 0; j < dim; ++j) d.sum[j] -= p[j];
+  }
+
+  // Observed-accuracy staleness: the serving layer's windowed q-error per
+  // evaluated segment. A degraded segment may have zero pending deltas
+  // (query drift rather than data drift), so trusted entries get a
+  // deltas-free row in the report.
+  std::map<size_t, double> observed_p90;
+  if (thresholds_.stale_observed_qerror > 0.0) {
+    for (const obs::ObservedSegmentAccuracy& acc : observed) {
+      if (acc.reports < thresholds_.min_observed_reports) continue;
+      if (acc.segment >= seg.num_segments()) continue;
+      observed_p90[acc.segment] = acc.qerror_p90;
+      by_segment[acc.segment];  // ensure a (possibly zero-delta) entry
+    }
   }
 
   for (const auto& [s, d] : by_segment) {
@@ -80,9 +101,19 @@ DriftReport DriftMonitor::Assess(const Segmentation& seg,
       }
     }
 
-    drift.stale =
-        drift.delta_fraction >= thresholds_.stale_delta_fraction ||
-        drift.centroid_shift >= thresholds_.stale_centroid_shift;
+    if (const auto it = observed_p90.find(s); it != observed_p90.end()) {
+      drift.observed_qerror = it->second;
+    }
+    // A pure-accuracy entry has zero deltas, so only the observed input
+    // can flag it; a delta-bearing entry may be flagged by either signal.
+    const bool delta_stale =
+        (d.inserts + d.erases) > 0 &&
+        (drift.delta_fraction >= thresholds_.stale_delta_fraction ||
+         drift.centroid_shift >= thresholds_.stale_centroid_shift);
+    const bool accuracy_stale =
+        thresholds_.stale_observed_qerror > 0.0 &&
+        drift.observed_qerror >= thresholds_.stale_observed_qerror;
+    drift.stale = delta_stale || accuracy_stale;
     if (drift.stale) report.stale_segments.push_back(s);
     report.segments.push_back(drift);
   }

@@ -11,10 +11,12 @@
 #define SIMCARD_UPDATE_DRIFT_MONITOR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cluster/segmentation.h"
 #include "data/dataset.h"
+#include "obs/qerror_tracker.h"
 #include "update/delta_buffer.h"
 
 namespace simcard {
@@ -30,6 +32,14 @@ struct DriftThresholds {
   /// Escalate to a full re-segmentation when total deltas reach this
   /// fraction of the dataset.
   double full_reseg_fraction = 0.5;
+
+  /// Observed-accuracy staleness (fed by the serving layer's ReportActual
+  /// Q-error windows): a segment whose windowed q-error p90 reaches this
+  /// value is stale even with zero pending deltas — the live workload says
+  /// its local model has degraded. 0 disables the input.
+  double stale_observed_qerror = 0.0;
+  /// Minimum reports in a segment's window before its q-error is trusted.
+  size_t min_observed_reports = 16;
 };
 
 /// \brief One segment's drift stats for a pending delta batch.
@@ -45,12 +55,16 @@ struct SegmentDrift {
   /// Net cardinality-shift estimate: |inserts - erases| / max(1, size) —
   /// how far the segment's population clamp |D^[i]| will move.
   double card_shift = 0.0;
+  /// Windowed q-error p90 observed for this segment (0 when no accuracy
+  /// input was provided or the window is under min_observed_reports).
+  double observed_qerror = 0.0;
   bool stale = false;
 };
 
 /// \brief The monitor's verdict on one drained snapshot.
 struct DriftReport {
-  /// One entry per segment *with pending deltas*, ascending by segment id.
+  /// One entry per segment *with pending deltas or trusted observed
+  /// q-error*, ascending by segment id.
   std::vector<SegmentDrift> segments;
   /// Segment ids flagged stale, ascending (a subset of `segments`).
   std::vector<size_t> stale_segments;
@@ -69,6 +83,17 @@ class DriftMonitor {
   /// simulate their removal from the centroid mean).
   DriftReport Assess(const Segmentation& seg, const Dataset& dataset,
                      const DeltaSnapshot& snap) const;
+
+  /// Same, with the serving layer's observed per-segment accuracy as an
+  /// additional staleness input. A segment whose windowed q-error p90
+  /// reaches stale_observed_qerror (with at least min_observed_reports
+  /// reports) is stale even when it has no pending deltas; such segments
+  /// get a deltas-free SegmentDrift entry so the report stays one-row-per-
+  /// segment. No-op when stale_observed_qerror is 0 or `observed` is empty.
+  DriftReport Assess(const Segmentation& seg, const Dataset& dataset,
+                     const DeltaSnapshot& snap,
+                     std::span<const obs::ObservedSegmentAccuracy> observed)
+      const;
 
   const DriftThresholds& thresholds() const { return thresholds_; }
 

@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/segment_health.h"
 #include "obs/trace.h"
 
 namespace simcard {
@@ -96,12 +97,34 @@ Result<RefreshOutcome> UpdateManager::Refresh() { return DoRefresh(false); }
 
 Result<RefreshOutcome> UpdateManager::Tick() { return DoRefresh(true); }
 
+void UpdateManager::SetAccuracySource(const obs::QErrorTracker* tracker) {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  accuracy_ = tracker;
+}
+
 Result<RefreshOutcome> UpdateManager::DoRefresh(bool only_if_due) {
   std::lock_guard<std::mutex> lock(refresh_mu_);
-  if (only_if_due &&
-      (options_.refresh_delta_threshold == 0 ||
-       buffer_.pending() < options_.refresh_delta_threshold)) {
-    return RefreshOutcome{};
+  // Observed per-segment accuracy (the serving layer's ReportActual
+  // windows) joins the delta count as a refresh trigger: query drift can
+  // degrade a segment's model without a single pending delta.
+  std::vector<obs::ObservedSegmentAccuracy> observed;
+  if (accuracy_ != nullptr && options_.drift.stale_observed_qerror > 0.0) {
+    observed = accuracy_->PerSegment();
+  }
+  const bool accuracy_stale = [&] {
+    for (const obs::ObservedSegmentAccuracy& acc : observed) {
+      if (acc.reports >= options_.drift.min_observed_reports &&
+          acc.qerror_p90 >= options_.drift.stale_observed_qerror) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  if (only_if_due) {
+    const bool deltas_due =
+        options_.refresh_delta_threshold > 0 &&
+        buffer_.pending() >= options_.refresh_delta_threshold;
+    if (!deltas_due && !accuracy_stale) return RefreshOutcome{};
   }
   const serve::ModelSnapshot current = registry_->Current();
   if (current.estimator == nullptr) {
@@ -110,12 +133,20 @@ Result<RefreshOutcome> UpdateManager::DoRefresh(bool only_if_due) {
   DeltaSnapshot snap = buffer_.Drain();
   UpdatePendingGauge();
   const size_t pending = snap.overlay.pending();
-  if (pending == 0) return RefreshOutcome{};
+  if (pending == 0 && !accuracy_stale) return RefreshOutcome{};
 
   obs::TraceSpan span("update.refresh");
   Stopwatch watch;
-  const DriftReport report =
-      monitor_.Assess(current.estimator->segmentation(), dataset_, snap);
+  const DriftReport report = monitor_.Assess(
+      current.estimator->segmentation(), dataset_, snap,
+      std::span<const obs::ObservedSegmentAccuracy>(observed));
+  if (obs::MetricsEnabled()) {
+    auto& health = obs::SegmentHealthRegistry::Default();
+    for (const SegmentDrift& d : report.segments) {
+      health.SetDriftScore(d.segment, d.delta_fraction, d.centroid_shift,
+                           d.stale);
+    }
+  }
   ++refresh_count_;
   const uint64_t refresh_seed = options_.seed + 9973 * refresh_count_;
 
@@ -185,9 +216,13 @@ Result<RefreshOutcome> UpdateManager::IncrementalRefresh(
 
   // Relabel (x_q, x_tau, x_C) examples against the updated dataset, then
   // fine-tune only what the monitor flagged stale; the rest of the local
-  // models ride along as byte-identical clones.
-  SIMCARD_RETURN_IF_ERROR(
-      RelabelWorkload(dataset_, &clone->segmentation(), &workload_));
+  // models ride along as byte-identical clones. An accuracy-only refresh
+  // (zero deltas, observed q-error crossed the threshold) leaves the data
+  // and therefore the labels untouched — skip straight to the fine-tune.
+  if (snap.overlay.pending() > 0) {
+    SIMCARD_RETURN_IF_ERROR(
+        RelabelWorkload(dataset_, &clone->segmentation(), &workload_));
+  }
   SIMCARD_RETURN_IF_ERROR(clone->FineTuneSegments(workload_,
                                                   report.stale_segments,
                                                   refresh_seed,

@@ -102,9 +102,21 @@ class UpdateManager {
   Result<RefreshOutcome> Refresh();
 
   /// Threshold trigger: refreshes only when pending deltas have reached
-  /// UpdateOptions::refresh_delta_threshold. Call periodically (or after
-  /// ingestion bursts); returns refreshed = false when not due.
+  /// UpdateOptions::refresh_delta_threshold, or when the observed-accuracy
+  /// input (SetAccuracySource + DriftThresholds::stale_observed_qerror)
+  /// flags a segment stale. Call periodically (or after ingestion bursts);
+  /// returns refreshed = false when not due.
   Result<RefreshOutcome> Tick();
+
+  /// \brief Wires the serving layer's online Q-error windows (see
+  /// serve::EstimationService::accuracy()) into drift assessment.
+  ///
+  /// With DriftThresholds::stale_observed_qerror > 0, a segment whose
+  /// windowed q-error p90 crosses the threshold is fine-tuned on the next
+  /// refresh even when it has zero pending deltas — observed accuracy
+  /// degradation (query drift) triggers repair the same way data drift
+  /// does. `tracker` must outlive the manager; nullptr disconnects.
+  void SetAccuracySource(const obs::QErrorTracker* tracker);
 
   size_t pending() const { return buffer_.pending(); }
   const DeltaBuffer& buffer() const { return buffer_; }
@@ -131,6 +143,7 @@ class UpdateManager {
   UpdateOptions options_;
   DeltaBuffer buffer_;
   DriftMonitor monitor_;
+  const obs::QErrorTracker* accuracy_ = nullptr;  // guarded by refresh_mu_
 
   /// Serializes refreshes; dataset_/workload_ only mutate under this.
   std::mutex refresh_mu_;

@@ -1,0 +1,138 @@
+// Unit tests for the sliding-window Q-error tracker: the paper's q-error
+// formula, window eviction, tau bucketing, per-segment windows, and the
+// JSON shape the telemetry snapshot embeds.
+#include "obs/qerror_tracker.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace obs {
+namespace {
+
+TEST(QErrorTest, MatchesPaperFormula) {
+  // q = max(est, act) / min(est, act), both sides clamped to >= 1.
+  EXPECT_DOUBLE_EQ(QErrorTracker::QError(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(QErrorTracker::QError(20.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(QErrorTracker::QError(10.0, 20.0), 2.0);
+  // Empty results must not divide by zero.
+  EXPECT_DOUBLE_EQ(QErrorTracker::QError(5.0, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(QErrorTracker::QError(0.0, 0.0), 1.0);
+  // Sub-1 estimates clamp too.
+  EXPECT_DOUBLE_EQ(QErrorTracker::QError(0.25, 4.0), 4.0);
+}
+
+TEST(QErrorTrackerTest, OverallWindowStats) {
+  QErrorTracker tracker;
+  // Perfect, 2x over, 4x under: q-errors {1, 2, 4}.
+  tracker.Record(10.0, 10.0, 0.1f);
+  tracker.Record(20.0, 10.0, 0.1f);
+  tracker.Record(10.0, 40.0, 0.1f);
+
+  const QErrorWindow overall = tracker.Overall();
+  EXPECT_EQ(overall.reports, 3u);
+  EXPECT_NEAR(overall.mean, (1.0 + 2.0 + 4.0) / 3.0, 1e-9);
+  EXPECT_NEAR(overall.p50, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(overall.max, 4.0);
+  EXPECT_EQ(tracker.total_reports(), 3u);
+}
+
+TEST(QErrorTrackerTest, WindowEvictsOldest) {
+  QErrorTrackerOptions options;
+  options.window = 4;
+  QErrorTracker tracker(options);
+  // Four terrible reports, then four perfect ones: the bad reports must
+  // age out entirely.
+  for (int i = 0; i < 4; ++i) tracker.Record(1000.0, 1.0, 0.1f);
+  for (int i = 0; i < 4; ++i) tracker.Record(7.0, 7.0, 0.1f);
+
+  const QErrorWindow overall = tracker.Overall();
+  EXPECT_EQ(overall.reports, 4u);
+  EXPECT_DOUBLE_EQ(overall.max, 1.0);
+  // total_reports counts lifetime, not window occupancy.
+  EXPECT_EQ(tracker.total_reports(), 8u);
+}
+
+TEST(QErrorTrackerTest, TauBucketsSplitReports) {
+  QErrorTrackerOptions options;
+  options.tau_edges = {0.5f};
+  QErrorTracker tracker(options);
+  ASSERT_EQ(tracker.num_tau_buckets(), 2u);
+
+  tracker.Record(2.0, 1.0, 0.25f);  // bucket 0: tau <= 0.5
+  tracker.Record(8.0, 1.0, 0.75f);  // bucket 1: overflow
+
+  EXPECT_EQ(tracker.TauBucket(0).reports, 1u);
+  EXPECT_DOUBLE_EQ(tracker.TauBucket(0).max, 2.0);
+  EXPECT_EQ(tracker.TauBucket(1).reports, 1u);
+  EXPECT_DOUBLE_EQ(tracker.TauBucket(1).max, 8.0);
+}
+
+TEST(QErrorTrackerTest, SegmentWindowsTrackContributors) {
+  QErrorTracker tracker;
+  const std::vector<uint32_t> segs12 = {1, 2};
+  const std::vector<uint32_t> segs2 = {2};
+  tracker.Record(2.0, 1.0, 0.1f, std::span<const uint32_t>(segs12));
+  tracker.Record(16.0, 1.0, 0.1f, std::span<const uint32_t>(segs2));
+
+  EXPECT_EQ(tracker.Segment(1).reports, 1u);
+  EXPECT_DOUBLE_EQ(tracker.Segment(1).max, 2.0);
+  EXPECT_EQ(tracker.Segment(2).reports, 2u);
+  EXPECT_DOUBLE_EQ(tracker.Segment(2).max, 16.0);
+  EXPECT_EQ(tracker.Segment(3).reports, 0u);
+
+  const std::vector<ObservedSegmentAccuracy> per = tracker.PerSegment();
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_EQ(per[0].segment, 1u);
+  EXPECT_EQ(per[1].segment, 2u);
+  EXPECT_EQ(per[1].reports, 2u);
+  EXPECT_GE(per[1].qerror_p90, per[1].qerror_p50);
+}
+
+TEST(QErrorTrackerTest, IgnoresNonFiniteInputs) {
+  QErrorTracker tracker;
+  tracker.Record(std::nan(""), 10.0, 0.1f);
+  tracker.Record(10.0, std::numeric_limits<double>::infinity(), 0.1f);
+  EXPECT_EQ(tracker.total_reports(), 0u);
+}
+
+TEST(QErrorTrackerTest, UntrackedSegmentIdsAreDropped) {
+  QErrorTrackerOptions options;
+  options.max_segments = 4;
+  QErrorTracker tracker(options);
+  const std::vector<uint32_t> segs = {2, 9};
+  tracker.Record(2.0, 1.0, 0.1f, std::span<const uint32_t>(segs));
+  EXPECT_EQ(tracker.Segment(2).reports, 1u);
+  EXPECT_EQ(tracker.PerSegment().size(), 1u);
+}
+
+TEST(QErrorTrackerTest, JsonShapeMatchesTelemetrySchema) {
+  QErrorTracker tracker;
+  const std::vector<uint32_t> segs = {0};
+  tracker.Record(2.0, 1.0, 0.3f, std::span<const uint32_t>(segs));
+
+  const std::string json = tracker.ToJson().Dump();
+  EXPECT_NE(json.find("\"window\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_reports\""), std::string::npos);
+  EXPECT_NE(json.find("\"overall\""), std::string::npos);
+  EXPECT_NE(json.find("\"by_tau\""), std::string::npos);
+  EXPECT_NE(json.find("\"by_segment\""), std::string::npos);
+}
+
+TEST(QErrorTrackerTest, ResetEmptiesEveryWindow) {
+  QErrorTracker tracker;
+  const std::vector<uint32_t> segs = {1};
+  tracker.Record(4.0, 1.0, 0.1f, std::span<const uint32_t>(segs));
+  tracker.Reset();
+  EXPECT_EQ(tracker.Overall().reports, 0u);
+  EXPECT_EQ(tracker.total_reports(), 0u);
+  EXPECT_TRUE(tracker.PerSegment().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace simcard

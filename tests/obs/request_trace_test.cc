@@ -1,0 +1,230 @@
+// Unit tests for request-scoped tracing: TraceContext lifecycle, the
+// single-writer seqlock TraceSink ring (overwrite + dropped accounting),
+// TraceScope parent links, and TraceCollector's tail-sampled
+// simcard.traces.v1 export.
+#include "obs/request_trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace obs {
+namespace {
+
+class RequestTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Default().ResetForTesting();
+    SetTracingEnabled(true);
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    TraceCollector::Default().ResetForTesting();
+  }
+};
+
+std::vector<TraceEvent> EventsFor(uint64_t trace_id) {
+  std::vector<TraceEvent> all = TraceCollector::Default().CollectAll();
+  std::vector<TraceEvent> mine;
+  for (const TraceEvent& e : all) {
+    if (e.trace_id == trace_id) mine.push_back(e);
+  }
+  return mine;
+}
+
+TEST_F(RequestTraceTest, InactiveContextPublishesNothing) {
+  SetTracingEnabled(false);
+  TraceContext ctx;
+  ctx.Start("serve.request");
+  EXPECT_FALSE(ctx.active());
+  ctx.RecordInstant("serve.shed");
+  ctx.Finish();
+  EXPECT_TRUE(TraceCollector::Default().CollectAll().empty());
+}
+
+TEST_F(RequestTraceTest, FinishEmitsRootWithAccumulatedFlags) {
+  TraceContext ctx;
+  ctx.Start("serve.request");
+  ASSERT_TRUE(ctx.active());
+  const uint64_t id = ctx.trace_id();
+  EXPECT_NE(id, 0u);
+
+  ctx.AddFlag(kTraceShed);
+  ctx.AddFlag(kTraceFallback);
+  ctx.Finish();
+  EXPECT_FALSE(ctx.active());
+
+  const std::vector<TraceEvent> events = EventsFor(id);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].span_id, TraceContext::kRootSpan);
+  EXPECT_EQ(events[0].parent_id, 0u);
+  EXPECT_EQ(events[0].flags, kTraceShed | kTraceFallback);
+  EXPECT_STREQ(events[0].name, "serve.request");
+  EXPECT_GE(events[0].dur_us, 0);
+
+  // Finish is idempotent: a second call must not emit a second root.
+  ctx.Finish();
+  EXPECT_EQ(EventsFor(id).size(), 1u);
+}
+
+TEST_F(RequestTraceTest, ScopesAndInstantsLinkToParents) {
+  TraceContext ctx;
+  ctx.Start("serve.request");
+  const uint64_t id = ctx.trace_id();
+
+  uint32_t eval_span = 0;
+  {
+    TraceScope eval(&ctx, "serve.eval");
+    eval_span = eval.span_id();
+    ASSERT_NE(eval_span, 0u);
+    eval.SetArg("batch", 3.0);
+    TraceScope seg(&ctx, "gl.segment", eval_span);
+    ctx.RecordInstant("gl.segment.fallback", seg.span_id(), "segment", 2.0);
+  }
+  ctx.Finish();
+
+  const std::vector<TraceEvent> events = EventsFor(id);
+  ASSERT_EQ(events.size(), 4u);  // fallback instant, segment, eval, root
+
+  const TraceEvent* eval = nullptr;
+  const TraceEvent* seg = nullptr;
+  const TraceEvent* instant = nullptr;
+  for (const TraceEvent& e : events) {
+    const std::string name = e.name;
+    if (name == "serve.eval") eval = &e;
+    if (name == "gl.segment") seg = &e;
+    if (name == "gl.segment.fallback") instant = &e;
+  }
+  ASSERT_NE(eval, nullptr);
+  ASSERT_NE(seg, nullptr);
+  ASSERT_NE(instant, nullptr);
+
+  EXPECT_EQ(eval->parent_id, TraceContext::kRootSpan);
+  EXPECT_STREQ(eval->arg_name, "batch");
+  EXPECT_DOUBLE_EQ(eval->arg, 3.0);
+  EXPECT_EQ(seg->parent_id, eval_span);
+  EXPECT_EQ(instant->parent_id, seg->span_id);
+  EXPECT_EQ(instant->dur_us, -1);  // instant encoding
+  EXPECT_DOUBLE_EQ(instant->arg, 2.0);
+}
+
+TEST_F(RequestTraceTest, MoveTransfersOwnershipOfTheRootEmission) {
+  TraceContext a;
+  a.Start("serve.request");
+  const uint64_t id = a.trace_id();
+  TraceContext b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): pinned
+  EXPECT_TRUE(b.active());
+  EXPECT_EQ(b.trace_id(), id);
+  b.Finish();
+  EXPECT_EQ(EventsFor(id).size(), 1u);  // exactly one root, from b
+}
+
+TEST_F(RequestTraceTest, RetroSpansUseCallerTimestamps) {
+  TraceContext ctx;
+  ctx.Start("serve.request");
+  const uint64_t id = ctx.trace_id();
+  const uint32_t queue_span = ctx.NewSpanId();
+  ctx.RecordSpan("serve.queue", /*start_us=*/100, /*end_us=*/250, queue_span);
+  ctx.Finish();
+
+  const std::vector<TraceEvent> events = EventsFor(id);
+  const auto it = std::find_if(
+      events.begin(), events.end(),
+      [](const TraceEvent& e) { return std::string(e.name) == "serve.queue"; });
+  ASSERT_NE(it, events.end());
+  EXPECT_EQ(it->start_us, 100);
+  EXPECT_EQ(it->dur_us, 150);
+}
+
+TEST_F(RequestTraceTest, SinkOverwritesOldestAndCountsDrops) {
+  TraceSink sink(/*thread_ordinal=*/99, /*capacity=*/4);
+  for (uint32_t i = 1; i <= 6; ++i) {
+    TraceEvent e;
+    e.trace_id = 1;
+    e.span_id = i;
+    e.name = "x";
+    sink.Publish(e);
+  }
+  EXPECT_EQ(sink.published(), 6u);
+  EXPECT_EQ(sink.dropped(), 2u);
+
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(sink.Collect(&out), 4u);
+  std::vector<uint32_t> ids;
+  for (const TraceEvent& e : out) ids.push_back(e.span_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint32_t>{3, 4, 5, 6}));
+
+  sink.ResetForTesting();
+  out.clear();
+  EXPECT_EQ(sink.Collect(&out), 0u);
+}
+
+TEST_F(RequestTraceTest, TailSamplerKeepsFlaggedAndSlowestTraces) {
+  // Three traces: one flagged (shed), one slow, many fast unflagged.
+  {
+    TraceContext shed;
+    shed.Start("serve.request");
+    shed.AddFlag(kTraceShed);
+    shed.Finish();
+  }
+  uint64_t slow_id = 0;
+  {
+    TraceContext slow;
+    slow.Start("serve.request");
+    slow_id = slow.trace_id();
+    // Slowness competes on ROOT duration: hold the root open long enough to
+    // dominate the sub-microsecond fast traces deterministically.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    slow.Finish();
+  }
+  for (int i = 0; i < 10; ++i) {
+    TraceContext fast;
+    fast.Start("serve.request");
+    fast.Finish();
+  }
+
+  const std::string json =
+      TraceCollector::Default().ToJson(/*keep_slowest_fraction=*/0.05).Dump(2);
+  EXPECT_NE(json.find("\"simcard.traces.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"shed\""), std::string::npos);  // flag names on root
+  // With 12 traces and a 5% slow quota, kept = 1 flagged + 1 slowest.
+  EXPECT_NE(json.find("\"traces_kept\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kept_flagged\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"kept_slowest\": 1"), std::string::npos);
+  // The slowest-kept trace must be the one with the long span.
+  EXPECT_NE(json.find("\"trace_id\": " + std::to_string(slow_id)),
+            std::string::npos);
+}
+
+TEST_F(RequestTraceTest, CollectorTracksSinksAndTraceIds) {
+  auto& collector = TraceCollector::Default();
+  const uint64_t a = collector.NextTraceId();
+  const uint64_t b = collector.NextTraceId();
+  EXPECT_EQ(b, a + 1);
+  TraceSink* sink = collector.SinkForThisThread();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(collector.SinkForThisThread(), sink);  // cached per thread
+  EXPECT_GE(collector.num_sinks(), 1u);
+}
+
+TEST_F(RequestTraceTest, FlagNamesRenderAsPipeList) {
+  EXPECT_EQ(TraceFlagNames(0), "");
+  EXPECT_EQ(TraceFlagNames(kTraceShed), "shed");
+  const std::string names =
+      TraceFlagNames(kTraceDeadlineExceeded | kTraceFallback);
+  EXPECT_NE(names.find("deadline"), std::string::npos);
+  EXPECT_NE(names.find("fallback"), std::string::npos);
+  EXPECT_NE(names.find('|'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace simcard

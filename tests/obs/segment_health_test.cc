@@ -1,0 +1,110 @@
+// Unit tests for the per-segment health rollup: touched-only snapshots,
+// the eval/fallback counters, breaker/quarantine/drift/backlog fields, and
+// the JSON array shape embedded in telemetry snapshots.
+#include "obs/segment_health.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace simcard {
+namespace obs {
+namespace {
+
+class SegmentHealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SegmentHealthRegistry::Default().ResetForTesting(); }
+  void TearDown() override {
+    SegmentHealthRegistry::Default().ResetForTesting();
+  }
+};
+
+TEST_F(SegmentHealthTest, SnapshotReportsOnlyTouchedSegments) {
+  auto& health = SegmentHealthRegistry::Default();
+  EXPECT_TRUE(health.Snapshot().empty());
+
+  health.RecordEval(3, /*used_fallback=*/false);
+  health.RecordEval(7, /*used_fallback=*/true);
+
+  const std::vector<SegmentHealth> snap = health.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].segment, 3u);
+  EXPECT_EQ(snap[0].evals, 1u);
+  EXPECT_EQ(snap[0].fallbacks, 0u);
+  EXPECT_EQ(snap[1].segment, 7u);
+  EXPECT_EQ(snap[1].fallbacks, 1u);
+  EXPECT_DOUBLE_EQ(snap[1].fallback_rate(), 1.0);
+}
+
+TEST_F(SegmentHealthTest, BreakerAndTripAccounting) {
+  auto& health = SegmentHealthRegistry::Default();
+  health.SetBreakerState(2, BreakerHealth::kOpen);
+  health.RecordBreakerTrip(2);
+  health.RecordBreakerTrip(2);
+
+  std::vector<SegmentHealth> snap = health.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].breaker, BreakerHealth::kOpen);
+  EXPECT_EQ(snap[0].breaker_trips, 2u);
+
+  health.SetBreakerState(2, BreakerHealth::kHalfOpen);
+  EXPECT_EQ(health.Snapshot()[0].breaker, BreakerHealth::kHalfOpen);
+  health.SetBreakerState(2, BreakerHealth::kClosed);
+  EXPECT_EQ(health.Snapshot()[0].breaker, BreakerHealth::kClosed);
+  // Trips persist across state transitions.
+  EXPECT_EQ(health.Snapshot()[0].breaker_trips, 2u);
+}
+
+TEST_F(SegmentHealthTest, DriftQuarantineAndBacklogFields) {
+  auto& health = SegmentHealthRegistry::Default();
+  health.SetQuarantined(1, true);
+  health.SetDriftScore(1, 0.125, 0.5, /*stale=*/true);
+  health.SetDeltaBacklog(1, 42);
+
+  const SegmentHealth h = health.Snapshot()[0];
+  EXPECT_TRUE(h.quarantined);
+  EXPECT_DOUBLE_EQ(h.drift_delta_fraction, 0.125);
+  EXPECT_DOUBLE_EQ(h.drift_centroid_shift, 0.5);
+  EXPECT_TRUE(h.drift_stale);
+  EXPECT_EQ(h.delta_backlog, 42u);
+
+  health.SetQuarantined(1, false);
+  health.SetDeltaBacklog(1, 0);
+  EXPECT_FALSE(health.Snapshot()[0].quarantined);
+  EXPECT_EQ(health.Snapshot()[0].delta_backlog, 0u);
+}
+
+TEST_F(SegmentHealthTest, OutOfRangeSegmentsAreDropped) {
+  auto& health = SegmentHealthRegistry::Default();
+  health.RecordEval(SegmentHealthRegistry::kMaxSegments, false);
+  health.RecordEval(SegmentHealthRegistry::kMaxSegments + 100, true);
+  EXPECT_TRUE(health.Snapshot().empty());
+}
+
+TEST_F(SegmentHealthTest, JsonRowsCarryEveryField) {
+  auto& health = SegmentHealthRegistry::Default();
+  health.RecordEval(0, true);
+  health.SetBreakerState(0, BreakerHealth::kOpen);
+
+  const std::string json = health.ToJson().Dump();
+  for (const char* field :
+       {"\"segment\"", "\"evals\"", "\"fallbacks\"", "\"fallback_rate\"",
+        "\"breaker_state\"", "\"breaker_trips\"", "\"quarantined\"",
+        "\"drift_delta_fraction\"", "\"drift_centroid_shift\"",
+        "\"drift_stale\"", "\"delta_backlog\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(json.find("\"open\""), std::string::npos);
+}
+
+TEST_F(SegmentHealthTest, ResetClearsTouchedMarks) {
+  auto& health = SegmentHealthRegistry::Default();
+  health.RecordEval(5, false);
+  ASSERT_EQ(health.Snapshot().size(), 1u);
+  health.ResetForTesting();
+  EXPECT_TRUE(health.Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace simcard

@@ -1,0 +1,173 @@
+// Unit tests for the telemetry exporter: snapshot document shape,
+// Prometheus text exposition, file rotation, DumpNow without Start, and the
+// background thread lifecycle.
+#include "obs/telemetry.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/qerror_tracker.h"
+#include "obs/segment_health.h"
+
+namespace simcard {
+namespace obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabled(true);
+    MetricsRegistry::Default().ResetForTesting();
+    SegmentHealthRegistry::Default().ResetForTesting();
+    dir_ = fs::path(::testing::TempDir()) /
+           ("telemetry_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    MetricsRegistry::Default().ResetForTesting();
+    SegmentHealthRegistry::Default().ResetForTesting();
+    SetMetricsEnabled(false);
+  }
+
+  TelemetryOptions OptionsHere() {
+    TelemetryOptions topts;
+    topts.dir = dir_.string();
+    topts.basename = "snap";
+    return topts;
+  }
+
+  static std::string Slurp(const fs::path& path) {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TelemetryTest, SnapshotJsonCarriesEverySection) {
+  GetCounter("serve.requests_total")->Add(3);
+  SegmentHealthRegistry::Default().RecordEval(2, /*used_fallback=*/true);
+
+  QErrorTracker accuracy;
+  accuracy.Record(20.0, 10.0, 0.25f);
+
+  TelemetryExporter exporter(OptionsHere(), &accuracy);
+  const std::string json = exporter.SnapshotJson().Dump(2);
+
+  EXPECT_NE(json.find("\"simcard.telemetry.v1\""), std::string::npos);
+  for (const char* key :
+       {"\"meta\"", "\"timestamp_utc\"", "\"seq\"", "\"interval_ms\"",
+        "\"metrics\"", "\"simcard.metrics.v1\"", "\"segment_health\"",
+        "\"accuracy\"", "\"total_reports\"", "\"by_tau\"", "\"by_segment\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("serve.requests_total"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, NullAccuracyYieldsEmptyAccuracySection) {
+  TelemetryExporter exporter(OptionsHere());
+  const std::string json = exporter.SnapshotJson().Dump(2);
+  EXPECT_NE(json.find("\"accuracy\""), std::string::npos);
+  EXPECT_EQ(json.find("\"total_reports\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, DumpNowWritesFilesWithoutStart) {
+  GetCounter("serve.requests_total")->Increment();
+  TelemetryExporter exporter(OptionsHere());
+  ASSERT_TRUE(exporter.DumpNow().ok());
+
+  EXPECT_TRUE(fs::exists(dir_ / "snap-0.json"));
+  EXPECT_TRUE(fs::exists(dir_ / "snap-latest.json"));
+  EXPECT_TRUE(fs::exists(dir_ / "snap.prom"));
+  EXPECT_EQ(exporter.snapshots_written(), 1u);
+  EXPECT_FALSE(exporter.running());
+
+  const std::string latest = Slurp(dir_ / "snap-latest.json");
+  EXPECT_NE(latest.find("simcard.telemetry.v1"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, RotationDeletesOldestBeyondMaxSnapshots) {
+  TelemetryOptions topts = OptionsHere();
+  topts.max_snapshots = 2;
+  TelemetryExporter exporter(topts);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(exporter.DumpNow().ok());
+
+  EXPECT_FALSE(fs::exists(dir_ / "snap-0.json"));
+  EXPECT_FALSE(fs::exists(dir_ / "snap-1.json"));
+  EXPECT_TRUE(fs::exists(dir_ / "snap-2.json"));
+  EXPECT_TRUE(fs::exists(dir_ / "snap-3.json"));
+  EXPECT_TRUE(fs::exists(dir_ / "snap-latest.json"));
+  EXPECT_EQ(exporter.snapshots_written(), 4u);
+}
+
+TEST_F(TelemetryTest, PrometheusTextExposesMetricsHealthAndAccuracy) {
+  GetCounter("serve.requests_total")->Add(7);
+  SegmentHealthRegistry::Default().RecordEval(1, /*used_fallback=*/false);
+  SegmentHealthRegistry::Default().SetBreakerState(1, BreakerHealth::kOpen);
+  QErrorTracker accuracy;
+  accuracy.Record(30.0, 10.0, 0.25f);
+
+  TelemetryExporter exporter(OptionsHere(), &accuracy);
+  const std::string prom = exporter.PrometheusText();
+
+  // Exposition format: TYPE comments, sanitized metric names, labels.
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos);
+  EXPECT_NE(prom.find("serve_requests_total 7"), std::string::npos);
+  EXPECT_NE(prom.find("segment=\"1\""), std::string::npos);
+  EXPECT_NE(prom.find("simcard_segment_evals"), std::string::npos);
+  EXPECT_NE(prom.find("simcard_accuracy_qerror{quantile=\"0.5\"}"),
+            std::string::npos);
+  // Text exposition ends with a newline (scrapers require it).
+  ASSERT_FALSE(prom.empty());
+  EXPECT_EQ(prom.back(), '\n');
+}
+
+TEST_F(TelemetryTest, BackgroundThreadWritesAndStops) {
+  TelemetryOptions topts = OptionsHere();
+  topts.interval_ms = 5.0;
+  TelemetryExporter exporter(topts);
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_TRUE(exporter.running());
+  EXPECT_FALSE(exporter.Start().ok());  // double-start refused
+
+  // Wait (bounded) for at least two periodic snapshots.
+  for (int i = 0; i < 400 && exporter.snapshots_written() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  EXPECT_GE(exporter.snapshots_written(), 2u);
+  EXPECT_TRUE(fs::exists(dir_ / "snap-latest.json"));
+
+  const uint64_t after_stop = exporter.snapshots_written();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(exporter.snapshots_written(), after_stop);
+  exporter.Stop();  // idempotent
+}
+
+TEST_F(TelemetryTest, MissingDirectoryIsAnError) {
+  TelemetryOptions topts;
+  topts.dir = (dir_ / "does" / "not" / "exist").string();
+  TelemetryExporter exporter(topts);
+  EXPECT_FALSE(exporter.DumpNow().ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace simcard

@@ -1,0 +1,194 @@
+// Concurrency stress for the trace pipeline. Two layers:
+//
+//  - PublishersRaceCollector: raw seqlock race — writer threads publish
+//    into their per-thread TraceSinks while a collector thread repeatedly
+//    drains CollectAll/ToJson. Proves the odd/even seqlock protocol yields
+//    no torn events and no data races.
+//  - WritersRaceCollectorDuringModelSwap: the full serving stack with
+//    tracing on — worker threads record request spans while a writer
+//    hot-swaps models and a collector exports concurrently. This is the
+//    TSan target wired into scripts/check_sanitize.sh tsan.
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "obs/request_trace.h"
+#include "serve/estimation_service.h"
+#include "serve/model_registry.h"
+
+namespace simcard {
+namespace obs {
+namespace {
+
+class TraceStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Default().ResetForTesting();
+    SetTracingEnabled(true);
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    TraceCollector::Default().ResetForTesting();
+  }
+};
+
+TEST_F(TraceStressTest, PublishersRaceCollector) {
+  constexpr int kWriters = 4;
+  constexpr int kTracesPerWriter = 400;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> started{0};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      started.fetch_add(1);
+      for (int i = 0; i < kTracesPerWriter; ++i) {
+        TraceContext ctx;
+        ctx.Start("serve.request");
+        {
+          TraceScope eval(&ctx, "serve.eval");
+          eval.SetArg("writer", static_cast<double>(w));
+          ctx.RecordInstant("gl.segment.fallback", eval.span_id(), "segment",
+                            static_cast<double>(i % 8));
+        }
+        if (i % 7 == 0) ctx.AddFlag(kTraceFallback);
+        ctx.Finish();
+      }
+    });
+  }
+
+  // Collector races the writers the whole time: every event it sees must be
+  // internally consistent (seqlock skipped the torn ones).
+  std::thread collector([&] {
+    while (started.load() < kWriters) std::this_thread::yield();
+    int torn = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<TraceEvent> events =
+          TraceCollector::Default().CollectAll();
+      for (const TraceEvent& e : events) {
+        if (e.trace_id == 0 || e.span_id == 0 || e.name == nullptr) ++torn;
+      }
+      (void)TraceCollector::Default().ToJson(0.05);
+    }
+    EXPECT_EQ(torn, 0);
+  });
+
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  collector.join();
+
+  // Every writer thread registered a sink and nothing published there was
+  // structurally invalid once quiescent.
+  EXPECT_GE(TraceCollector::Default().num_sinks(),
+            static_cast<size_t>(kWriters));
+  for (const TraceEvent& e : TraceCollector::Default().CollectAll()) {
+    EXPECT_NE(e.trace_id, 0u);
+    EXPECT_NE(e.name, nullptr);
+  }
+}
+
+TEST_F(TraceStressTest, WritersRaceCollectorDuringModelSwap) {
+  EnvOptions env_opts;
+  env_opts.num_segments = 6;
+  const ExperimentEnv env =
+      std::move(BuildEnvironment("glove-sim", Scale::kTiny, env_opts).value());
+
+  GlEstimatorConfig config = GlEstimatorConfig::GlCnn();
+  config.local_train.epochs = 15;
+  config.global_train.epochs = 15;
+  config.tuner.max_trials = 4;
+  config.tuner.trial_epochs = 6;
+  config.tuner.train_subsample = 200;
+  config.tuner.val_subsample = 60;
+  config.tune_per_segment = false;
+
+  auto initial = std::make_shared<GlEstimator>(config);
+  TrainContext ctx = MakeTrainContext(env);
+  ASSERT_TRUE(initial->Train(ctx).ok());
+  const std::vector<uint8_t> bytes = initial->SaveToBytes();
+  ASSERT_FALSE(bytes.empty());
+
+  serve::ModelRegistry registry;
+  registry.Publish(std::shared_ptr<const GlEstimator>(initial));
+
+  serve::ServeOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 256;
+  options.default_deadline_ms = 10000.0;
+  options.max_batch = 8;
+  options.batch_linger_us = 200.0;
+  serve::EstimationService service(&registry, options);
+
+  const Matrix& queries = env.workload.test_queries;
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 50;
+  constexpr int kSwaps = 6;
+  std::atomic<int> answered{0};
+  std::atomic<bool> stop{false};
+
+  // Clients: every Submit records spans from the submit thread AND the
+  // worker threads into their respective per-thread sinks.
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const size_t row = static_cast<size_t>(c + i) % queries.rows();
+        const float* q = queries.Row(row);
+        std::vector<float> query(q, q + queries.cols());
+        EstimateRequest request;
+        request.query = std::span<const float>(query);
+        request.tau = 0.3f + 0.05f * static_cast<float>(i % 5);
+        request.options.deadline_ms = 10000.0;
+        serve::EstimateResponse response = service.Submit(request).get();
+        if (response.status.ok()) answered.fetch_add(1);
+      }
+    });
+  }
+
+  // Writer: hot-swaps models while traces are being recorded.
+  std::thread writer([&] {
+    for (int i = 0; i < kSwaps; ++i) {
+      auto clone = std::make_shared<GlEstimator>(config);
+      ASSERT_TRUE(
+          clone->LoadFromBytes(bytes, GlEstimator::LoadMode::kStrict).ok());
+      registry.Publish(std::shared_ptr<const GlEstimator>(std::move(clone)));
+      std::this_thread::yield();
+    }
+  });
+
+  // Collector: concurrent tail-sampled exports while everything races.
+  std::thread collector([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)TraceCollector::Default().ToJson(0.05);
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : clients) t.join();
+  writer.join();
+  service.Drain();
+  stop.store(true, std::memory_order_relaxed);
+  collector.join();
+
+  EXPECT_EQ(answered.load(), kClients * kRequestsPerClient);
+  // Quiescent now: the final export sees well-formed events only.
+  for (const TraceEvent& e : TraceCollector::Default().CollectAll()) {
+    EXPECT_NE(e.trace_id, 0u);
+    EXPECT_NE(e.name, nullptr);
+  }
+  EXPECT_GT(TraceCollector::Default().CollectAll().size(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace simcard

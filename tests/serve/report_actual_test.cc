@@ -1,0 +1,211 @@
+// Unit tests for online accuracy accounting: ReportActual ticket matching
+// (OK / consumed / evicted / never issued / tracking disabled), the
+// Q-error windows it feeds (overall, tau bucket, per evaluated segment),
+// and the fallback_segments surface on EstimateResponse.
+#include <cmath>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "eval/harness.h"
+#include "obs/metrics.h"
+#include "serve/estimation_service.h"
+#include "serve/model_registry.h"
+#include "support/request_helpers.h"
+
+namespace simcard {
+namespace serve {
+namespace {
+
+const ExperimentEnv& SharedEnv() {
+  static const ExperimentEnv* env = [] {
+    EnvOptions opts;
+    opts.num_segments = 6;
+    return new ExperimentEnv(std::move(
+        BuildEnvironment("glove-sim", Scale::kTiny, opts).value()));
+  }();
+  return *env;
+}
+
+GlEstimatorConfig FastConfig(GlEstimatorConfig config) {
+  config.local_train.epochs = 15;
+  config.global_train.epochs = 15;
+  config.tuner.max_trials = 4;
+  config.tuner.trial_epochs = 6;
+  config.tuner.train_subsample = 200;
+  config.tuner.val_subsample = 60;
+  config.tune_per_segment = false;
+  return config;
+}
+
+// One trained model shared across the suite; training dominates test time.
+std::shared_ptr<const GlEstimator> SharedModel() {
+  static std::shared_ptr<const GlEstimator> model = [] {
+    auto est =
+        std::make_shared<GlEstimator>(FastConfig(GlEstimatorConfig::GlCnn()));
+    TrainContext ctx = MakeTrainContext(SharedEnv());
+    EXPECT_TRUE(est->Train(ctx).ok());
+    return std::shared_ptr<const GlEstimator>(est);
+  }();
+  return model;
+}
+
+std::vector<float> TestQuery(size_t row = 0) {
+  const Matrix& queries = SharedEnv().workload.test_queries;
+  const float* q = queries.Row(row);
+  return std::vector<float>(q, q + queries.cols());
+}
+
+std::future<EstimateResponse> SubmitQuery(EstimationService& service,
+                                          std::vector<float> query, float tau,
+                                          double deadline_ms) {
+  EstimateRequest request;
+  request.query = std::span<const float>(query);
+  request.tau = tau;
+  request.options.deadline_ms = deadline_ms;
+  return service.Submit(request);
+}
+
+class ReportActualTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::SetMetricsEnabled(true); }
+  void TearDown() override {
+    fault::Disable();
+    obs::SetMetricsEnabled(false);
+  }
+};
+
+TEST_F(ReportActualTest, TicketMatchesOnceAndFeedsWindows) {
+  ModelRegistry registry;
+  registry.Publish(SharedModel());
+  EstimationService service(&registry, ServeOptions{});
+
+  EstimateResponse response =
+      SubmitQuery(service, TestQuery(), 0.5f, /*deadline_ms=*/10000.0).get();
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_NE(response.request_id, 0u);
+
+  EXPECT_EQ(service.accuracy().total_reports(), 0u);
+  EXPECT_TRUE(
+      service.ReportActual(response.request_id, /*true_card=*/40.0).ok());
+  EXPECT_EQ(service.accuracy().total_reports(), 1u);
+
+  // The report lands in the overall window with the paper's q-error.
+  const obs::QErrorWindow overall = service.accuracy().Overall();
+  EXPECT_EQ(overall.reports, 1u);
+  EXPECT_NEAR(overall.max,
+              obs::QErrorTracker::QError(response.estimate, 40.0), 1e-9);
+
+  // ...and in the per-segment windows of the evaluated segments.
+  EXPECT_FALSE(service.accuracy().PerSegment().empty());
+
+  // A ticket is consumed by its first match.
+  EXPECT_EQ(service.ReportActual(response.request_id, 40.0).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ReportActualTest, UnknownAndEvictedTicketsAnswerNotFound) {
+  ModelRegistry registry;
+  registry.Publish(SharedModel());
+  ServeOptions options;
+  options.recent_capacity = 2;  // tiny ring: two completions evict the first
+  EstimationService service(&registry, options);
+
+  EXPECT_EQ(service.ReportActual(12345, 1.0).code(), StatusCode::kNotFound);
+
+  EstimateResponse first =
+      SubmitQuery(service, TestQuery(0), 0.5f, 10000.0).get();
+  ASSERT_TRUE(first.status.ok());
+  for (size_t row = 1; row <= 2; ++row) {
+    ASSERT_TRUE(
+        SubmitQuery(service, TestQuery(row), 0.5f, 10000.0).get().status.ok());
+  }
+  EXPECT_EQ(service.ReportActual(first.request_id, 1.0).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ReportActualTest, DisabledTrackingAnswersFailedPrecondition) {
+  ModelRegistry registry;
+  registry.Publish(SharedModel());
+  ServeOptions options;
+  options.track_accuracy = false;
+  EstimationService service(&registry, options);
+
+  EstimateResponse response =
+      SubmitQuery(service, TestQuery(), 0.5f, 10000.0).get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(service.ReportActual(response.request_id, 10.0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.accuracy().total_reports(), 0u);
+}
+
+TEST_F(ReportActualTest, FailedRequestsYieldNoTicketMatch) {
+  ModelRegistry registry;
+  registry.Publish(SharedModel());
+  EstimationService service(&registry, ServeOptions{});
+
+  fault::Configure({.sites = "serve.queue_full", .probability = 1.0});
+  EstimateResponse shed =
+      SubmitQuery(service, TestQuery(), 0.5f, 10000.0).get();
+  fault::Disable();
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  // Shed requests are never remembered: the ticket cannot match.
+  EXPECT_EQ(service.ReportActual(shed.request_id, 5.0).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ReportActualTest, TauBucketsSplitByRequestTau) {
+  ModelRegistry registry;
+  registry.Publish(SharedModel());
+  ServeOptions options;
+  options.accuracy.tau_edges = {0.4f};
+  EstimationService service(&registry, options);
+
+  EstimateResponse low =
+      SubmitQuery(service, TestQuery(0), 0.3f, 10000.0).get();
+  EstimateResponse high =
+      SubmitQuery(service, TestQuery(1), 0.6f, 10000.0).get();
+  ASSERT_TRUE(low.status.ok());
+  ASSERT_TRUE(high.status.ok());
+  ASSERT_TRUE(service.ReportActual(low.request_id, 10.0).ok());
+  ASSERT_TRUE(service.ReportActual(high.request_id, 10.0).ok());
+
+  EXPECT_EQ(service.accuracy().TauBucket(0).reports, 1u);
+  EXPECT_EQ(service.accuracy().TauBucket(1).reports, 1u);
+}
+
+TEST_F(ReportActualTest, FallbackServedRequestsExposeSegmentCount) {
+  ModelRegistry registry;
+  registry.Publish(SharedModel());
+  ServeOptions options;
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_requests = 8;
+  EstimationService service(&registry, options);
+
+  // Healthy request: the response reports zero fallback segments.
+  EstimateResponse healthy =
+      SubmitQuery(service, TestQuery(), 0.5f, 10000.0).get();
+  ASSERT_TRUE(healthy.status.ok());
+  EXPECT_EQ(healthy.fallback_segments, 0u);
+
+  // Break every local eval: segments route to the sampling fallback and the
+  // response says how many.
+  fault::Configure({.sites = "gl.local_eval", .probability = 1.0});
+  EstimateResponse degraded =
+      SubmitQuery(service, TestQuery(), 0.5f, 10000.0).get();
+  ASSERT_TRUE(degraded.status.ok());
+  EXPECT_GT(degraded.fallback_segments, 0u);
+  EXPECT_TRUE(std::isfinite(degraded.estimate));
+
+  // ReportActual on a fallback-served request still matches and records.
+  fault::Disable();
+  EXPECT_TRUE(service.ReportActual(degraded.request_id, 25.0).ok());
+  EXPECT_EQ(service.accuracy().total_reports(), 1u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simcard

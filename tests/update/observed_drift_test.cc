@@ -1,0 +1,181 @@
+// Observed-accuracy drift gating end to end: the serving layer's Q-error
+// windows (fed by ReportActual) drive DriftMonitor staleness and
+// UpdateManager refreshes even when NO deltas are pending — query drift
+// triggers repair the same way data drift does.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "eval/harness.h"
+#include "obs/qerror_tracker.h"
+#include "serve/model_registry.h"
+#include "update/drift_monitor.h"
+#include "update/update_manager.h"
+
+namespace simcard {
+namespace update {
+namespace {
+
+GlEstimatorConfig FastConfig() {
+  GlEstimatorConfig config = GlEstimatorConfig::GlCnn();
+  config.local_train.epochs = 8;
+  config.global_train.epochs = 8;
+  config.tuner.max_trials = 2;
+  config.tuner.trial_epochs = 3;
+  config.tune_per_segment = false;
+  return config;
+}
+
+struct Fixture {
+  ExperimentEnv env;
+  std::unique_ptr<GlEstimator> est;
+  serve::ModelRegistry registry;
+
+  explicit Fixture(uint64_t seed = 47) {
+    EnvOptions opts;
+    opts.num_segments = 6;
+    opts.seed = seed;
+    env = std::move(
+        BuildEnvironment("glove-sim", Scale::kTiny, opts).value());
+    est = std::make_unique<GlEstimator>(FastConfig());
+    TrainContext ctx = MakeTrainContext(env);
+    EXPECT_TRUE(est->Train(ctx).ok());
+  }
+
+  UpdateManager MakeManager(UpdateOptions opts) {
+    return UpdateManager(std::move(env.dataset), std::move(env.workload),
+                         &registry, opts);
+  }
+};
+
+// Feeds `reports` degraded (q-error = 20x) observations for `segment`.
+void DegradeSegment(obs::QErrorTracker* tracker, uint32_t segment,
+                    size_t reports) {
+  const std::vector<uint32_t> segs = {segment};
+  for (size_t i = 0; i < reports; ++i) {
+    tracker->Record(200.0, 10.0, 0.3f, std::span<const uint32_t>(segs));
+  }
+}
+
+TEST(ObservedDriftTest, MonitorFlagsDegradedSegmentsWithoutDeltas) {
+  Fixture f;
+  DriftThresholds thresholds;
+  thresholds.stale_observed_qerror = 4.0;
+  thresholds.min_observed_reports = 8;
+  DriftMonitor monitor(thresholds);
+
+  obs::QErrorTracker tracker;
+  DegradeSegment(&tracker, /*segment=*/2, /*reports=*/12);
+  // Segment 4 is accurate: q-error 1.
+  const std::vector<uint32_t> seg4 = {4};
+  for (int i = 0; i < 12; ++i) {
+    tracker.Record(10.0, 10.0, 0.3f, std::span<const uint32_t>(seg4));
+  }
+  const std::vector<obs::ObservedSegmentAccuracy> observed =
+      tracker.PerSegment();
+
+  const Segmentation& seg = f.est->segmentation();
+  DeltaSnapshot empty_snap;  // zero pending deltas
+  const DriftReport report =
+      monitor.Assess(seg, f.env.dataset, empty_snap, observed);
+
+  // Only the degraded segment is stale, via a deltas-free row.
+  ASSERT_EQ(report.stale_segments.size(), 1u);
+  EXPECT_EQ(report.stale_segments[0], 2u);
+  bool found = false;
+  for (const SegmentDrift& d : report.segments) {
+    if (d.segment != 2) continue;
+    found = true;
+    EXPECT_TRUE(d.stale);
+    EXPECT_EQ(d.inserts, 0u);
+    EXPECT_EQ(d.erases, 0u);
+    EXPECT_GE(d.observed_qerror, thresholds.stale_observed_qerror);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(report.escalate_full_reseg);
+}
+
+TEST(ObservedDriftTest, UnderReportedWindowsAreNotTrusted) {
+  Fixture f;
+  DriftThresholds thresholds;
+  thresholds.stale_observed_qerror = 4.0;
+  thresholds.min_observed_reports = 16;
+  DriftMonitor monitor(thresholds);
+
+  obs::QErrorTracker tracker;
+  DegradeSegment(&tracker, 2, /*reports=*/8);  // below min_observed_reports
+
+  const std::vector<obs::ObservedSegmentAccuracy> observed =
+      tracker.PerSegment();
+  const DriftReport report = monitor.Assess(f.est->segmentation(),
+                                            f.env.dataset, DeltaSnapshot{},
+                                            observed);
+  EXPECT_TRUE(report.stale_segments.empty());
+}
+
+TEST(ObservedDriftTest, ThresholdZeroDisablesTheInput) {
+  Fixture f;
+  DriftMonitor monitor;  // stale_observed_qerror defaults to 0 = off
+  obs::QErrorTracker tracker;
+  DegradeSegment(&tracker, 2, 32);
+  const std::vector<obs::ObservedSegmentAccuracy> observed =
+      tracker.PerSegment();
+  const DriftReport report = monitor.Assess(f.est->segmentation(),
+                                            f.env.dataset, DeltaSnapshot{},
+                                            observed);
+  EXPECT_TRUE(report.stale_segments.empty());
+}
+
+// The acceptance path: degraded observed accuracy, ZERO pending deltas, and
+// Tick() still refreshes — fine-tuning the flagged segment and publishing a
+// new epoch.
+TEST(ObservedDriftTest, TickRefreshesOnAccuracyAloneWithZeroDeltas) {
+  Fixture f;
+  UpdateOptions opts;
+  opts.allow_full_reseg = false;
+  opts.fine_tune_epochs = 2;
+  opts.refresh_delta_threshold = 1000000;  // delta trigger effectively off
+  opts.drift.stale_observed_qerror = 4.0;
+  opts.drift.min_observed_reports = 8;
+  UpdateManager manager = f.MakeManager(opts);
+  ASSERT_TRUE(manager.Start(*f.est).ok());
+  ASSERT_EQ(f.registry.epoch(), 1u);
+
+  // Healthy accuracy: not due, nothing published.
+  obs::QErrorTracker tracker;
+  manager.SetAccuracySource(&tracker);
+  const std::vector<uint32_t> seg1 = {1};
+  for (int i = 0; i < 12; ++i) {
+    tracker.Record(10.0, 10.0, 0.3f, std::span<const uint32_t>(seg1));
+  }
+  auto idle = manager.Tick().value();
+  EXPECT_FALSE(idle.refreshed);
+  EXPECT_EQ(f.registry.epoch(), 1u);
+
+  // Degrade one segment's observed accuracy. No Insert/Erase anywhere.
+  DegradeSegment(&tracker, /*segment=*/3, /*reports=*/12);
+  ASSERT_EQ(manager.pending(), 0u);
+
+  auto outcome = manager.Tick().value();
+  EXPECT_TRUE(outcome.refreshed);
+  EXPECT_FALSE(outcome.full_reseg);
+  EXPECT_EQ(outcome.applied_inserts, 0u);
+  EXPECT_EQ(outcome.applied_erases, 0u);
+  ASSERT_EQ(outcome.stale_segments.size(), 1u);
+  EXPECT_EQ(outcome.stale_segments[0], 3u);
+  EXPECT_EQ(outcome.segments_refreshed, 1u);
+  EXPECT_EQ(outcome.epoch, 2u);
+  EXPECT_EQ(f.registry.epoch(), 2u);
+
+  // Disconnecting the source stops further accuracy-driven refreshes.
+  manager.SetAccuracySource(nullptr);
+  auto after = manager.Tick().value();
+  EXPECT_FALSE(after.refreshed);
+  EXPECT_EQ(f.registry.epoch(), 2u);
+}
+
+}  // namespace
+}  // namespace update
+}  // namespace simcard
