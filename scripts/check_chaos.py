@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Chaos-drill gate: runs `simcard_cli chaos-drill` (serve traffic + delta
+ingestion + refreshes under a seeded fault schedule with simulated process
+kills and journal recovery) and validates the printed invariants.
+
+Usage:
+    check_chaos.py --run-with PATH/TO/simcard_cli [--seeds 2026,7]
+
+For each seed the drill is run twice — once with the default group-commit
+journal and once with fsync-per-record (--group-commit=1) plus a tight
+delta capacity, so both the batched-durability path and the backpressure +
+replay-over-capacity path stay covered. The script independently re-checks
+the key=value lines instead of trusting the binary's own PASS verdict:
+
+  - lost_inserts == 0 and final_rows == expected_rows  (zero acked loss)
+  - epochs_monotone == 1                               (no epoch regression)
+  - clamp_violations == 0                              (estimates clamped)
+  - kills >= 1 and recoveries == kills                 (recovery converged)
+  - faults_armed >= 1                                  (the drill actually
+                                                        injected faults)
+  - estimates_checked > 0                              (serving really ran)
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+LINE_RE = re.compile(r"(\w+)=(-?\d+)")
+
+
+def run_cli(cli, args, timeout=600):
+    proc = subprocess.run([cli] + args, capture_output=True, text=True,
+                          timeout=timeout)
+    return proc
+
+
+def parse_kv(stdout):
+    """Folds every key=value pair on the chaos-drill lines into one dict."""
+    values = {}
+    for line in stdout.splitlines():
+        if not line.startswith("chaos-drill:"):
+            continue
+        for key, value in LINE_RE.findall(line):
+            values[key] = int(value)
+    return values
+
+
+def check_drill(cli, data, model, journal, extra, label):
+    problems = []
+    args = ["chaos-drill", f"--data={data}", f"--model={model}",
+            "--scale=tiny", "--segments=4", f"--journal={journal}"] + extra
+    proc = run_cli(cli, args)
+    out = proc.stdout
+    if "chaos-drill: PASS" not in out:
+        problems.append(f"{label}: drill did not print PASS "
+                        f"(exit {proc.returncode})\n{out}\n{proc.stderr}")
+        return problems
+    if proc.returncode != 0:
+        problems.append(f"{label}: PASS printed but exit code is "
+                        f"{proc.returncode}")
+    kv = parse_kv(out)
+
+    def expect(cond, message):
+        if not cond:
+            problems.append(f"{label}: {message} ({kv})")
+
+    required = ["lost_inserts", "final_rows", "expected_rows",
+                "epochs_monotone", "clamp_violations", "kills", "recoveries",
+                "faults_armed", "estimates_checked", "acked_inserts"]
+    missing = [key for key in required if key not in kv]
+    if missing:
+        problems.append(f"{label}: missing drill fields {missing}")
+        return problems
+    expect(kv["lost_inserts"] == 0, "acknowledged inserts were lost")
+    expect(kv["final_rows"] == kv["expected_rows"],
+           "final row count disagrees with the ack ledger")
+    expect(kv["epochs_monotone"] == 1, "served epoch moved backwards")
+    expect(kv["clamp_violations"] == 0, "an estimate escaped the clamps")
+    expect(kv["kills"] >= 1, "the drill never simulated a kill")
+    expect(kv["recoveries"] == kv["kills"], "a recovery did not converge")
+    expect(kv["faults_armed"] >= 1, "the drill armed no faults")
+    expect(kv["estimates_checked"] > 0, "no estimates were served")
+    expect(kv["acked_inserts"] > 0, "no deltas were acknowledged")
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--run-with", required=True, metavar="CLI",
+                        help="path to the simcard_cli binary")
+    parser.add_argument("--seeds", default="2026,7",
+                        help="comma-separated drill seeds")
+    opts = parser.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="simcard_chaos_check_")
+    data = os.path.join(tmp, "data.bin")
+    model = os.path.join(tmp, "model.bin")
+    for step in (["generate", "--dataset=glove-sim", "--scale=tiny",
+                  f"--out={data}"],
+                 ["train", f"--data={data}", "--segments=4", "--scale=tiny",
+                  f"--out={model}"]):
+        proc = run_cli(opts.run_with, step)
+        if proc.returncode != 0:
+            print(f"chaos check: setup step {step[0]} failed:\n{proc.stderr}")
+            return 1
+
+    problems = []
+    for seed in opts.seeds.split(","):
+        seed = seed.strip()
+        journal = os.path.join(tmp, f"wal-{seed}")
+        problems += check_drill(
+            opts.run_with, data, model, journal,
+            [f"--seed={seed}"], f"seed={seed} default")
+        problems += check_drill(
+            opts.run_with, data, model, journal,
+            [f"--seed={seed}", "--group-commit=1", "--delta-capacity=6",
+             "--rounds=6"], f"seed={seed} fsync-per-record")
+
+    if problems:
+        print("chaos check: FAILED")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("chaos check: ok (every drill variant held its invariants)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,10 +62,35 @@ UPDATE_COUNTERS = (
     "simcard.update.segments_cloned",
     "simcard.update.epochs_published",
     "simcard.update.full_resegs",
+    "simcard.update.refresh_failures",
+    "simcard.update.delta_shed",
+    "simcard.update.retry.scheduled",
+    "simcard.update.retry.exhausted",
 )
-UPDATE_GAUGES = ("simcard.update.pending_deltas",)
+UPDATE_GAUGES = ("simcard.update.pending_deltas", "simcard.update.degraded")
 UPDATE_HISTOGRAMS = ("simcard.update.refresh_ms",
                      "simcard.update.deltas_per_refresh")
+
+# The write-ahead journal and crash-recovery families register eagerly as a
+# group on first journal / recovery use (durable mode only), so they are
+# all-or-nothing per report just like the update family.
+JOURNAL_COUNTERS = (
+    "simcard.update.journal.appends",
+    "simcard.update.journal.syncs",
+    "simcard.update.journal.bytes",
+    "simcard.update.journal.append_failures",
+    "simcard.update.journal.replays",
+    "simcard.update.journal.replayed_records",
+    "simcard.update.journal.discarded_bytes",
+)
+RECOVERY_COUNTERS = (
+    "simcard.update.recovery.attempts",
+    "simcard.update.recovery.successes",
+    "simcard.update.recovery.replayed_inserts",
+    "simcard.update.recovery.replayed_erases",
+    "simcard.update.recovery.truncated_tails",
+    "simcard.update.recovery.quarantined",
+)
 
 SEGMENT_HEALTH_FIELDS = ("segment", "evals", "fallbacks", "fallback_rate",
                          "breaker_state", "breaker_trips", "quarantined",
@@ -138,6 +163,28 @@ def check_update_metrics(report, problems):
                 f"{refreshes} (== simcard.update.refreshes)")
     if report["gauges"]["simcard.update.pending_deltas"] < 0:
         problems.append("update family: negative pending_deltas gauge")
+    if report["gauges"]["simcard.update.degraded"] not in (0, 1):
+        problems.append("update family: degraded gauge must be 0 or 1")
+
+    # Durability families: all-or-nothing, plus the few cross-counter
+    # relations that hold in any process.
+    for family, members in (("journal", JOURNAL_COUNTERS),
+                            ("recovery", RECOVERY_COUNTERS)):
+        prefix = f"simcard.update.{family}."
+        if not any(n.startswith(prefix) for n in names):
+            continue
+        missing = [n for n in members if n not in report["counters"]]
+        if missing:
+            problems.append(f"{family} family: missing counters {missing}")
+    counters = report["counters"]
+    if "simcard.update.recovery.attempts" in counters:
+        if (counters["simcard.update.recovery.successes"]
+                > counters["simcard.update.recovery.attempts"]):
+            problems.append("recovery family: more successes than attempts")
+    if "simcard.update.journal.appends" in counters:
+        if (counters["simcard.update.journal.bytes"]
+                < counters["simcard.update.journal.appends"]):
+            problems.append("journal family: fewer bytes than appends")
 
 
 def check_metrics_report(report, problems):
@@ -367,6 +414,14 @@ def emit_with(cli_path):
          "--scale=tiny"], report_name="evaluate.json")
     run(["update-bench", f"--data={data}", f"--model={model}",
          "--segments=4", "--scale=tiny"], report_name="update.json")
+
+    # The chaos drill exercises the durable path (journal appends/syncs,
+    # simulated kills, journal recovery), so its report must carry the
+    # simcard.update.journal.* and simcard.update.recovery.* families.
+    run(["chaos-drill", f"--data={data}", f"--model={model}",
+         "--segments=4", "--scale=tiny",
+         f"--journal={os.path.join(tmp, 'chaos-wal')}"],
+        report_name="chaos.json")
 
     # The observability drill: phased traffic through the serving stack,
     # with the trace report and the telemetry snapshot as hard gates.

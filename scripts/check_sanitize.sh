@@ -4,6 +4,10 @@
 # Usage: scripts/check_sanitize.sh [mode] [build_dir] [extra ctest args...]
 #   mode: asan (default) = AddressSanitizer + UBSan
 #         tsan           = ThreadSanitizer (for the serve/ concurrency tests)
+#         chaos          = the serve+update chaos drill (concurrent serving
+#                          + ingestion + faulted refreshes + kill/recover)
+#                          under BOTH sanitizer builds, instead of the full
+#                          suite
 #   build_dir defaults to build-sanitize-<mode> (kept separate from the
 #   normal build so instrumented objects never mix with release ones).
 #
@@ -15,13 +19,25 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 MODE="asan"
 case "${1:-}" in
-  asan|tsan)
+  asan|tsan|chaos)
     MODE="$1"
     shift
     ;;
 esac
 BUILD_DIR="${1:-"${REPO_ROOT}/build-sanitize-${MODE}"}"
 shift || true
+
+if [[ "${MODE}" == "chaos" ]]; then
+  # The chaos drill under both sanitizers: ASan+UBSan catches lifetime bugs
+  # on the kill/recover path (manager + registry torn down mid-traffic),
+  # TSan catches races between serve clients, the ingestion thread, and the
+  # faulted refresh. Each sub-build reuses this script's normal modes but
+  # runs only the drill gate.
+  "${BASH_SOURCE[0]}" asan "${BUILD_DIR}-asan" -R chaos_drill_check "$@"
+  "${BASH_SOURCE[0]}" tsan "${BUILD_DIR}-tsan" -R chaos_drill_check "$@"
+  echo "sanitizer suite passed (chaos)"
+  exit 0
+fi
 
 case "${MODE}" in
   asan)

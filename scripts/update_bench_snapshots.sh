@@ -5,6 +5,7 @@
 #   BENCH_batch.json    bench_batch_throughput   (batched pipeline QPS)
 #   BENCH_table6.json   bench_table6_search_latency (per-query latency)
 #   BENCH_update.json   bench_update_staleness   (refresh cost/accuracy)
+#   BENCH_journal.json  bench_journal_overhead   (WAL durability tax)
 #
 # The snapshots pin the perf trajectory for review: regenerate on a perf-
 # relevant change and commit the diff alongside it. Numbers are machine-
@@ -30,7 +31,8 @@ if [[ ! -d "$BUILD_DIR" ]]; then
 fi
 cmake --build "$BUILD_DIR" -j --target \
   bench_serve_throughput bench_batch_throughput \
-  bench_table6_search_latency bench_update_staleness
+  bench_table6_search_latency bench_update_staleness \
+  bench_journal_overhead
 
 run() {
   local binary="$1" out="$2"
@@ -49,6 +51,11 @@ echo "=== bench_update_staleness -> BENCH_update.json ==="
 "$BUILD_DIR/bench/bench_update_staleness" --scale="$SCALE" --seed=2026 \
   --json=BENCH_update.json
 python3 scripts/check_metrics_json.py BENCH_update.json
+# journal_overhead is a table bench too (WAL durability tax on serving).
+echo "=== bench_journal_overhead -> BENCH_journal.json ==="
+"$BUILD_DIR/bench/bench_journal_overhead" --scale="$SCALE" --seed=2026 \
+  --json=BENCH_journal.json
+python3 scripts/check_metrics_json.py BENCH_journal.json
 
 echo "snapshots updated: BENCH_serve.json BENCH_batch.json" \
-     "BENCH_table6.json BENCH_update.json"
+     "BENCH_table6.json BENCH_update.json BENCH_journal.json"

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <ostream>
@@ -32,7 +35,7 @@ namespace {
 constexpr char kUsage[] =
     "usage: simcard_cli "
     "<generate|train|estimate|evaluate|serve-bench|update-bench|"
-    "telemetry-dump> "
+    "telemetry-dump|chaos-drill> "
     "[flags]\n"
     "  generate --dataset=<analog> [--scale=S] [--seed=N] --out=FILE\n"
     "  train    --data=FILE --method=M [--segments=N] [--scale=S]\n"
@@ -61,6 +64,18 @@ constexpr char kUsage[] =
     "           ground-truth ReportActual, forced sheds, forced deadline\n"
     "           misses, forced local-model failures — then writes a\n"
     "           telemetry snapshot + Prometheus text; arms its own faults)\n"
+    "  chaos-drill --data=FILE --model=FILE [--journal=DIR] [--rounds=N]\n"
+    "           [--requests=N] [--deltas=N] [--threads=N] [--tau=X]\n"
+    "           [--group-commit=N] [--delta-capacity=N]\n"
+    "           [--refresh-retry-budget=N] [--refresh-retry-base-ms=D]\n"
+    "           [--refresh-retry-max-ms=D] [--segments=N] [--scale=S]\n"
+    "           [--seed=N]\n"
+    "           (durability drill: concurrent serving + delta ingestion +\n"
+    "           refreshes under a seeded fault schedule with simulated\n"
+    "           process kills + journal recovery between rounds; verifies\n"
+    "           zero acked-delta loss, monotone epochs, clamped estimates,\n"
+    "           and recovery convergence, then prints key=value invariants\n"
+    "           and PASS/FAIL)\n"
     "every command also accepts --metrics-out=FILE to write a JSON metrics\n"
     "report (SIMCARD_METRICS=1 enables collection without a report file),\n"
     "--trace-out=FILE to enable request tracing and write the tail-sampled\n"
@@ -643,6 +658,285 @@ int CmdTelemetryDump(const CommandLine& cl, std::ostream& out,
                                 &service.accuracy(), out, err);
 }
 
+// Chaos drill: serve traffic, delta ingestion, and refreshes run
+// concurrently for --rounds rounds while a seeded schedule arms refresh-path
+// fault sites and, after every even round, a simulated process kill
+// (manager + registry torn down, RecoverFrom from the journal directory).
+// The drill verifies the durability invariants end to end and prints them
+// as key=value lines for scripts/check_chaos.py:
+//   - no acknowledged delta is lost (every acked insert is a row of the
+//     final dataset; the final row count reflects every ack exactly once),
+//   - the served epoch never moves backwards, including across kills,
+//   - every successful estimate stays within the guard clamps,
+//   - recovery converges (RecoverFrom succeeds, a final refresh drains).
+int CmdChaosDrill(const CommandLine& cl, std::ostream& out,
+                  std::ostream& err) {
+  const std::string data_path = cl.GetString("data", "");
+  const std::string model_path = cl.GetString("model", "");
+  if (data_path.empty() || model_path.empty()) {
+    err << "chaos-drill: --data and --model are required\n";
+    return 2;
+  }
+  auto scale_or = ParseScale(cl.GetString("scale", "tiny"));
+  if (!scale_or.ok()) return Fail(err, scale_or.status());
+  auto data_or = LoadDataset(data_path);
+  if (!data_or.ok()) return Fail(err, data_or.status());
+  const std::string dataset_name = data_or.value().name();
+  const uint64_t seed = static_cast<uint64_t>(cl.GetInt("seed", 2026));
+  const size_t segments = static_cast<size_t>(cl.GetInt("segments", 6));
+  auto env_or = RebuildEnv(std::move(data_or).value(), segments, seed,
+                           scale_or.value());
+  if (!env_or.ok()) return Fail(err, env_or.status());
+  ExperimentEnv env = std::move(env_or).value();
+  auto est_or = LoadModel(cl, model_path);
+  if (!est_or.ok()) return Fail(err, est_or.status());
+  const GlEstimatorConfig model_config = est_or.value()->config();
+
+  const size_t rounds =
+      static_cast<size_t>(std::max<int64_t>(1, cl.GetInt("rounds", 4)));
+  const size_t per_round = static_cast<size_t>(
+      std::max<int64_t>(2, cl.GetInt("requests", 64)));
+  const size_t deltas_per_round = static_cast<size_t>(
+      std::max<int64_t>(2, cl.GetInt("deltas", 8)));
+  const float tau = static_cast<float>(cl.GetDouble("tau", 0.1));
+
+  update::UpdateOptions opts;
+  opts.allow_full_reseg = false;
+  opts.fine_tune_epochs =
+      static_cast<size_t>(cl.GetInt("refresh-epochs", 2));
+  opts.seed = seed + 17;
+  opts.journal_dir = cl.GetString("journal", "chaos-journal");
+  opts.journal.group_commit = static_cast<size_t>(
+      std::max<int64_t>(1, cl.GetInt("group-commit", 8)));
+  opts.delta_capacity =
+      static_cast<size_t>(cl.GetInt("delta-capacity", 0));
+  opts.refresh_retry_budget = static_cast<size_t>(
+      cl.GetInt("refresh-retry-budget", 8));
+  opts.refresh_backoff_base_ms =
+      cl.GetDouble("refresh-retry-base-ms", 1.0);
+  opts.refresh_backoff_max_ms = cl.GetDouble("refresh-retry-max-ms", 50.0);
+  std::filesystem::remove_all(opts.journal_dir);  // always a fresh drill
+
+  const size_t base_rows = env.dataset.size();
+  const size_t dim = env.dataset.dim();
+  const Matrix probe_queries = env.workload.test_queries;
+  auto pool_or = MakeAnalogUpdates(dataset_name, scale_or.value(),
+                                   rounds * deltas_per_round, seed + 21);
+  if (!pool_or.ok()) return Fail(err, pool_or.status());
+  const Matrix& pool = pool_or.value();
+  // The largest the dataset can ever get; valid guard clamp for any epoch.
+  const double clamp_bound =
+      static_cast<double>(base_rows + pool.rows()) + 1e-6;
+
+  auto registry = std::make_unique<serve::ModelRegistry>();
+  auto manager = std::make_unique<update::UpdateManager>(
+      std::move(env.dataset), std::move(env.workload), registry.get(), opts);
+  if (Status st = manager->Start(*est_or.value()); !st.ok()) {
+    return Fail(err, st);
+  }
+
+  serve::ServeOptions sopts;
+  sopts.num_threads = static_cast<size_t>(cl.GetInt("threads", 2));
+  sopts.default_deadline_ms = cl.GetDouble("deadline-ms", 100.0);
+  sopts.max_batch = 4;
+
+  // The acked-delta ledger: only OK acks enter. Erase rows come from a
+  // monotone cursor so no two acks ever name the same row of one epoch —
+  // that keeps the row-count invariant exact (each acked erase removes
+  // exactly one row; each acked insert adds exactly one).
+  std::vector<std::vector<float>> acked_inserts;
+  size_t acked_erases = 0;
+  size_t shed = 0;
+  size_t next_insert = 0;
+  uint32_t next_erase = 0;
+  size_t faults_armed = 0;
+  size_t refresh_failures = 0;
+  size_t kills = 0;
+  size_t recoveries = 0;
+  std::atomic<size_t> estimates_checked{0};
+  std::atomic<size_t> clamp_violations{0};
+  bool epochs_monotone = true;
+  uint64_t last_epoch = registry->epoch();
+  size_t dropped_erases = 0;
+  Rng chaos(seed ^ 0xC4A05D211ull);
+
+  for (size_t round = 1; round <= rounds; ++round) {
+    {
+      serve::EstimationService service(registry.get(), sopts);
+      std::thread ingest([&] {
+        for (size_t k = 0; k < deltas_per_round; ++k) {
+          Status st;
+          if (k % 2 == 0 && next_insert < pool.rows()) {
+            const float* row = pool.Row(next_insert);
+            st = manager->Insert(std::span<const float>(row, dim));
+            if (st.ok()) {
+              acked_inserts.emplace_back(row, row + dim);
+            }
+            ++next_insert;
+          } else {
+            st = manager->Erase(next_erase);
+            if (st.ok()) ++acked_erases;
+            ++next_erase;
+          }
+          if (!st.ok()) ++shed;
+        }
+      });
+      auto client = [&](size_t offset) {
+        for (size_t i = 0; i < per_round / 2; ++i) {
+          const size_t q = (offset + i) % probe_queries.rows();
+          EstimateRequest request;
+          request.query =
+              std::span<const float>(probe_queries.Row(q), dim);
+          request.tau = tau;
+          request.options.deadline_ms = sopts.default_deadline_ms;
+          const serve::EstimateResponse response =
+              service.Submit(request).get();
+          if (!response.status.ok()) continue;
+          ++estimates_checked;
+          if (!std::isfinite(response.estimate) || response.estimate < 0.0 ||
+              response.estimate > clamp_bound) {
+            ++clamp_violations;
+          }
+        }
+      };
+      std::thread left(client, 0);
+      std::thread right(client, probe_queries.rows() / 2);
+
+      // The seeded fault schedule rotates over the refresh-path sites; the
+      // skip index walks the distinct hits of each site so repeated rounds
+      // cover the whole durable-commit window.
+      std::string armed;
+      switch (round % 4) {
+        case 1:
+          armed = "update.refresh_finetune";
+          break;
+        case 2:
+          armed = "update.journal_io";
+          break;
+        case 0:
+          armed = "io.save";
+          break;
+        default:
+          break;  // a clean round: the refresh should commit
+      }
+      if (!armed.empty()) {
+        fault::FaultConfig config;
+        config.sites = armed;
+        config.max_injections = 1;
+        config.skip_first =
+            armed == "update.refresh_finetune"
+                ? 0
+                : chaos.NextBounded(armed == "io.save" ? 3 : 4);
+        fault::Configure(config);
+        ++faults_armed;
+      }
+      const auto refresh = manager->Refresh();
+      fault::Disable();
+      if (!refresh.ok()) ++refresh_failures;
+
+      ingest.join();
+      left.join();
+      right.join();
+      service.Drain();
+    }
+    {
+      const uint64_t epoch = registry->epoch();
+      if (epoch < last_epoch) epochs_monotone = false;
+      last_epoch = epoch;
+    }
+
+    // Simulated process kill after every even round (and whenever a
+    // mid-commit failure quarantined the manager): tear down the manager
+    // and registry with no shutdown hook and recover from the files.
+    if (round % 2 == 0 || manager->needs_recovery()) {
+      dropped_erases += manager->buffer().dropped_erases();
+      manager.reset();
+      registry = std::make_unique<serve::ModelRegistry>();
+      auto recovered =
+          update::UpdateManager::RecoverFrom(registry.get(), opts,
+                                             &model_config);
+      if (!recovered.ok()) {
+        err << "chaos-drill: recovery after round " << round
+            << " failed: " << recovered.status().ToString() << "\n";
+        out << "chaos-drill: FAIL\n";
+        return 1;
+      }
+      manager = std::move(recovered).value();
+      ++kills;
+      ++recoveries;
+      if (registry->epoch() < last_epoch) epochs_monotone = false;
+      last_epoch = registry->epoch();
+    }
+  }
+
+  // Convergence: with faults cleared, one explicit refresh must drain
+  // everything the drill acknowledged into the dataset.
+  if (manager->needs_recovery()) {
+    dropped_erases += manager->buffer().dropped_erases();
+    manager.reset();
+    registry = std::make_unique<serve::ModelRegistry>();
+    auto recovered = update::UpdateManager::RecoverFrom(registry.get(), opts,
+                                                        &model_config);
+    if (!recovered.ok()) {
+      err << "chaos-drill: final recovery failed: "
+          << recovered.status().ToString() << "\n";
+      out << "chaos-drill: FAIL\n";
+      return 1;
+    }
+    manager = std::move(recovered).value();
+    ++kills;
+    ++recoveries;
+  }
+  if (auto final_refresh = manager->Refresh(); !final_refresh.ok()) {
+    err << "chaos-drill: final refresh failed: "
+        << final_refresh.status().ToString() << "\n";
+    out << "chaos-drill: FAIL\n";
+    return 1;
+  }
+  if (registry->epoch() < last_epoch) epochs_monotone = false;
+  dropped_erases += manager->buffer().dropped_erases();
+
+  // Zero-loss audit. Every acked insert vector must be a row of the final
+  // dataset, and the row count must reflect every ack exactly once.
+  const Matrix& points = manager->dataset().points();
+  size_t lost_inserts = 0;
+  for (const std::vector<float>& ins : acked_inserts) {
+    bool found = false;
+    for (size_t r = 0; r < points.rows() && !found; ++r) {
+      found = std::memcmp(points.Row(r), ins.data(),
+                          dim * sizeof(float)) == 0;
+    }
+    if (!found) ++lost_inserts;
+  }
+  const size_t expected_rows =
+      base_rows + acked_inserts.size() - (acked_erases - dropped_erases);
+  const size_t final_rows = manager->dataset().size();
+
+  out << "chaos-drill: rounds=" << rounds << " requests_per_round="
+      << per_round << " deltas_per_round=" << deltas_per_round
+      << " seed=" << seed << " group_commit=" << opts.journal.group_commit
+      << "\n";
+  out << "chaos-drill: faults_armed=" << faults_armed
+      << " refresh_failures=" << refresh_failures << " kills=" << kills
+      << " recoveries=" << recoveries << "\n";
+  out << "chaos-drill: acked_inserts=" << acked_inserts.size()
+      << " acked_erases=" << acked_erases << " shed=" << shed
+      << " dropped_erases=" << dropped_erases << "\n";
+  out << "chaos-drill: estimates_checked=" << estimates_checked.load()
+      << " clamp_violations=" << clamp_violations.load() << "\n";
+  out << "chaos-drill: epochs_monotone=" << (epochs_monotone ? 1 : 0)
+      << " final_epoch=" << registry->epoch() << "\n";
+  out << "chaos-drill: base_rows=" << base_rows << " final_rows="
+      << final_rows << " expected_rows=" << expected_rows
+      << " lost_inserts=" << lost_inserts << "\n";
+
+  const bool pass = lost_inserts == 0 && final_rows == expected_rows &&
+                    epochs_monotone && clamp_violations.load() == 0 &&
+                    manager->pending() == 0;
+  out << "chaos-drill: " << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int RunCliApp(int argc, const char* const* argv, std::ostream& out,
@@ -659,7 +953,9 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
       "deadline-ms", "queue-capacity", "max-batch", "linger-us",
       "delta-fraction", "refresh-threshold", "refresh-epochs",
       "refresh-stale-fraction", "refresh-stale-shift", "refresh-full-reseg",
-      "trace-out", "telemetry-out"};
+      "trace-out", "telemetry-out", "journal", "rounds", "deltas",
+      "group-commit", "delta-capacity", "refresh-retry-budget",
+      "refresh-retry-base-ms", "refresh-retry-max-ms"};
   auto cl_or = ParseFlags(argc, argv, known);
   if (!cl_or.ok()) return Fail(err, cl_or.status());
   const CommandLine& cl = cl_or.value();
@@ -697,6 +993,8 @@ int RunCliApp(int argc, const char* const* argv, std::ostream& out,
     rc = CmdUpdateBench(cl, out, err);
   } else if (command == "telemetry-dump") {
     rc = CmdTelemetryDump(cl, out, err);
+  } else if (command == "chaos-drill") {
+    rc = CmdChaosDrill(cl, out, err);
   } else {
     err << "unknown command: " << command << "\n" << kUsage;
     return 2;

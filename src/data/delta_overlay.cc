@@ -48,6 +48,16 @@ Status DeltaOverlay::StageErase(uint32_t row) {
   return Status::OK();
 }
 
+void DeltaOverlay::UnstageLastInsert() {
+  if (inserts_.size() >= dim_ && dim_ > 0) {
+    inserts_.resize(inserts_.size() - dim_);
+  }
+}
+
+void DeltaOverlay::UnstageLastErase() {
+  if (!erases_.empty()) erases_.pop_back();
+}
+
 bool DeltaOverlay::IsErased(uint32_t row) const {
   return std::find(erases_.begin(), erases_.end(), row) != erases_.end();
 }

@@ -55,6 +55,14 @@ class DeltaOverlay {
   /// ApplyTo); out-of-range and duplicate erases are rejected.
   Status StageErase(uint32_t row);
 
+  /// Rolls back the most recently staged insert / erase. The update layer
+  /// needs these when the journal append for a freshly staged delta fails:
+  /// the caller sees an error (no ack), so the delta must not survive in
+  /// the overlay or the next refresh would apply a mutation that was never
+  /// acknowledged nor made durable. No-ops on an empty overlay.
+  void UnstageLastInsert();
+  void UnstageLastErase();
+
   size_t base_rows() const { return base_rows_; }
   size_t dim() const { return dim_; }
   size_t num_inserts() const { return dim_ == 0 ? 0 : inserts_.size() / dim_; }

@@ -50,6 +50,14 @@ void SegmentHealthRegistry::SetDeltaBacklog(size_t s, uint64_t pending) {
   sl->delta_backlog.store(pending, std::memory_order_relaxed);
 }
 
+void SegmentHealthRegistry::SetUpdateDegraded(bool degraded) {
+  update_degraded_.store(degraded ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool SegmentHealthRegistry::update_degraded() const {
+  return update_degraded_.load(std::memory_order_relaxed) != 0;
+}
+
 std::vector<SegmentHealth> SegmentHealthRegistry::Snapshot() const {
   std::vector<SegmentHealth> out;
   for (size_t s = 0; s < slots_.size(); ++s) {
@@ -113,6 +121,7 @@ JsonValue SegmentHealthRegistry::ToJson() const {
 }
 
 void SegmentHealthRegistry::ResetForTesting() {
+  update_degraded_.store(0, std::memory_order_relaxed);
   for (Slot& sl : slots_) {
     sl.touched.store(0, std::memory_order_relaxed);
     sl.evals.store(0, std::memory_order_relaxed);

@@ -72,6 +72,14 @@ class SegmentHealthRegistry {
                      bool stale);
   void SetDeltaBacklog(size_t s, uint64_t pending);
 
+  /// Manager-level flag: the update subsystem exhausted its refresh retry
+  /// budget and stopped auto-refreshing (an explicit Refresh() or crash
+  /// recovery heals it). Not per-segment — the whole update loop is down —
+  /// but surfaced here so telemetry snapshots carry it alongside segment
+  /// state.
+  void SetUpdateDegraded(bool degraded);
+  bool update_degraded() const;
+
   /// Health of every touched segment, ascending by segment id.
   std::vector<SegmentHealth> Snapshot() const;
 
@@ -103,6 +111,7 @@ class SegmentHealthRegistry {
   }
 
   std::vector<Slot> slots_;
+  std::atomic<uint32_t> update_degraded_{0};
 };
 
 }  // namespace obs

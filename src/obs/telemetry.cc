@@ -94,6 +94,8 @@ JsonValue TelemetryExporter::SnapshotJson() const {
   doc.Set("meta", std::move(meta));
   doc.Set("metrics", MetricsRegistry::Default().ToJson());
   doc.Set("segment_health", SegmentHealthRegistry::Default().ToJson());
+  doc.Set("update_degraded",
+          JsonValue::Bool(SegmentHealthRegistry::Default().update_degraded()));
   doc.Set("accuracy",
           accuracy_ != nullptr ? accuracy_->ToJson() : JsonValue::Object());
   return doc;

@@ -1,5 +1,7 @@
 #include "serve/model_registry.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/segment_health.h"
 
@@ -12,13 +14,19 @@ ModelSnapshot ModelRegistry::Current() const {
 }
 
 uint64_t ModelRegistry::Publish(std::shared_ptr<const GlEstimator> estimator) {
+  return PublishAt(std::move(estimator), 0);
+}
+
+uint64_t ModelRegistry::PublishAt(
+    std::shared_ptr<const GlEstimator> estimator, uint64_t at_epoch) {
   uint64_t epoch = 0;
   ModelSnapshot published;
   std::vector<std::pair<uint64_t, std::function<void(const ModelSnapshot&)>>>
       listeners;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    epoch = ++current_.epoch;
+    epoch = std::max(at_epoch, current_.epoch + 1);
+    current_.epoch = epoch;
     current_.estimator = std::move(estimator);
     published = current_;
     listeners = listeners_;  // invoke outside the lock

@@ -52,6 +52,13 @@ class ModelRegistry {
   /// the simcard.serve.model_epoch gauge.
   uint64_t Publish(std::shared_ptr<const GlEstimator> estimator);
 
+  /// Publish at an explicit epoch — crash recovery resuming the durable
+  /// epoch sequence on a fresh registry. The epoch never moves backwards:
+  /// the published epoch is max(epoch, current + 1), returned. Listeners
+  /// and metrics behave exactly as for Publish.
+  uint64_t PublishAt(std::shared_ptr<const GlEstimator> estimator,
+                     uint64_t epoch);
+
   /// Epoch of the last Publish (0 before the first).
   uint64_t epoch() const;
 

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/segment_health.h"
+#include "update/delta_journal.h"
 
 namespace simcard {
 namespace update {
@@ -36,28 +37,36 @@ void DeltaBuffer::ResetLocked(const Segmentation& seg, size_t base_rows,
 }
 
 void DeltaBuffer::Rearm(const Segmentation& seg, size_t base_rows, size_t dim,
-                        Metric metric) {
+                        Metric metric, DeltaJournal* journal) {
   std::lock_guard<std::mutex> lock(mu_);
   ResetLocked(seg, base_rows, dim, metric);
+  journal_ = journal;
 }
 
-void DeltaBuffer::RearmAfterRefresh(const Segmentation& seg, size_t base_rows,
-                                    size_t dim, Metric metric,
-                                    const std::vector<uint32_t>& remap) {
+Status DeltaBuffer::RearmAfterRefresh(
+    const Segmentation& seg, size_t base_rows, size_t dim, Metric metric,
+    const std::vector<uint32_t>& remap, DeltaJournal* journal,
+    const std::function<Status()>& durable_commit) {
   std::lock_guard<std::mutex> lock(mu_);
   const DeltaOverlay carried = std::move(overlay_);
   ResetLocked(seg, base_rows, dim, metric);
+  journal_ = journal;
+  Status journal_status;
   // Inserts staged mid-refresh carry over unchanged (they are new vectors,
   // not epoch-bound) but re-route against the refreshed centroids. Staging
-  // cannot fail here — the vectors already passed validation once.
+  // cannot fail here — the vectors already passed validation once. They
+  // re-journal into the new epoch's file so the old file can be retired.
   for (size_t i = 0; i < carried.num_inserts(); ++i) {
-    const Status st = InsertLocked(
-        std::span<const float>(carried.InsertRow(i), carried.dim()));
+    const std::span<const float> point(carried.InsertRow(i), carried.dim());
+    const Status st = InsertLocked(point);
     (void)st;
+    if (journal_ != nullptr && journal_status.ok()) {
+      journal_status = journal_->AppendInsert(point);
+    }
   }
   // Erases named rows of the previous epoch: translate through the
   // refresh's compaction remap. A row the refresh already removed has
-  // nothing left to erase — drop it.
+  // nothing left to erase — drop it. Survivors re-journal translated.
   size_t dropped = 0;
   for (uint32_t row : carried.SortedErases()) {
     const uint32_t moved = row < remap.size() ? remap[row] : kRemovedRow;
@@ -67,6 +76,9 @@ void DeltaBuffer::RearmAfterRefresh(const Segmentation& seg, size_t base_rows,
     }
     const size_t seg = moved < assignment_.size() ? assignment_[moved] : 0;
     if (seg < per_segment_.size()) ++per_segment_[seg];
+    if (journal_ != nullptr && journal_status.ok()) {
+      journal_status = journal_->AppendErase(moved);
+    }
   }
   if (dropped > 0) {
     dropped_erases_ += dropped;
@@ -75,11 +87,43 @@ void DeltaBuffer::RearmAfterRefresh(const Segmentation& seg, size_t base_rows,
           ->Add(static_cast<int64_t>(dropped));
     }
   }
+  if (journal_ != nullptr && journal_status.ok()) {
+    journal_status = journal_->Sync();
+  }
+  if (durable_commit && journal_status.ok()) {
+    journal_status = durable_commit();
+  }
+  return journal_status;
+}
+
+void DeltaBuffer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+}
+
+void DeltaBuffer::AttachJournal(DeltaJournal* journal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = journal;
 }
 
 Status DeltaBuffer::Insert(std::span<const float> point) {
   std::lock_guard<std::mutex> lock(mu_);
-  return InsertLocked(point);
+  SIMCARD_RETURN_IF_ERROR(CheckCapacityLocked());
+  SIMCARD_RETURN_IF_ERROR(InsertLocked(point));
+  if (journal_ != nullptr) {
+    if (Status st = journal_->AppendInsert(point); !st.ok()) {
+      // The caller sees an error, so there is no ack: the delta must not
+      // survive in the overlay or the next refresh would apply a mutation
+      // that was neither acknowledged nor made durable.
+      overlay_.UnstageLastInsert();
+      const size_t seg = insert_segments_.back();
+      insert_segments_.pop_back();
+      if (seg < per_segment_.size()) --per_segment_[seg];
+      PublishBacklog(seg, per_segment_);
+      return st;
+    }
+  }
+  return Status::OK();
 }
 
 Status DeltaBuffer::InsertLocked(std::span<const float> point) {
@@ -99,11 +143,32 @@ Status DeltaBuffer::Erase(uint32_t row) {
   if (!armed_) {
     return Status::FailedPrecondition("DeltaBuffer: not armed");
   }
+  SIMCARD_RETURN_IF_ERROR(CheckCapacityLocked());
   SIMCARD_RETURN_IF_ERROR(overlay_.StageErase(row));
   const size_t seg = row < assignment_.size() ? assignment_[row] : 0;
   if (seg < per_segment_.size()) ++per_segment_[seg];
   PublishBacklog(seg, per_segment_);
+  if (journal_ != nullptr) {
+    if (Status st = journal_->AppendErase(row); !st.ok()) {
+      // No ack, so roll the staged erase back out (see Insert above).
+      overlay_.UnstageLastErase();
+      if (seg < per_segment_.size()) --per_segment_[seg];
+      PublishBacklog(seg, per_segment_);
+      return st;
+    }
+  }
   return Status::OK();
+}
+
+Status DeltaBuffer::CheckCapacityLocked() {
+  if (capacity_ == 0 || overlay_.pending() < capacity_) return Status::OK();
+  ++shed_;
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("simcard.update.delta_shed")->Increment();
+  }
+  return Status::Unavailable(
+      "DeltaBuffer at capacity (" + std::to_string(capacity_) +
+      " staged deltas); retry after the next refresh");
 }
 
 size_t DeltaBuffer::NearestSegmentLocked(const float* point) const {
@@ -141,9 +206,43 @@ DeltaSnapshot DeltaBuffer::Drain() {
   return snap;
 }
 
+void DeltaBuffer::Restage(DeltaSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Deltas staged since the Drain() go behind the restaged generation so
+  // insert order (and therefore insert_segments alignment) is preserved.
+  DeltaOverlay newer = std::move(overlay_);
+  overlay_ = std::move(snapshot.overlay);
+  per_segment_ = std::move(snapshot.per_segment);
+  if (per_segment_.empty()) per_segment_.assign(centroids_.rows(), 0);
+  insert_segments_ = std::move(snapshot.insert_segments);
+  for (size_t i = 0; i < newer.num_inserts(); ++i) {
+    const Status st = InsertLocked(
+        std::span<const float>(newer.InsertRow(i), newer.dim()));
+    (void)st;  // already validated when first staged
+  }
+  for (uint32_t row : newer.SortedErases()) {
+    // A duplicate (row erased in both generations) collapses silently: the
+    // restaged erase already covers it.
+    if (!overlay_.StageErase(row).ok()) continue;
+    const size_t seg = row < assignment_.size() ? assignment_[row] : 0;
+    if (seg < per_segment_.size()) ++per_segment_[seg];
+  }
+  if (obs::MetricsEnabled()) {
+    auto& health = obs::SegmentHealthRegistry::Default();
+    for (size_t s = 0; s < per_segment_.size(); ++s) {
+      if (per_segment_[s] > 0) health.SetDeltaBacklog(s, per_segment_[s]);
+    }
+  }
+}
+
 size_t DeltaBuffer::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return overlay_.pending();
+}
+
+uint64_t DeltaBuffer::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
 }
 
 std::vector<size_t> DeltaBuffer::PerSegmentDeltas() const {

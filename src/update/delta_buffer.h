@@ -15,6 +15,7 @@
 #define SIMCARD_UPDATE_DELTA_BUFFER_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -24,6 +25,8 @@
 
 namespace simcard {
 namespace update {
+
+class DeltaJournal;
 
 /// \brief One refresh's worth of drained deltas, with routing.
 struct DeltaSnapshot {
@@ -47,29 +50,69 @@ class DeltaBuffer {
 
   /// Arms ingestion against a published segmentation of a `base_rows`-row
   /// dataset, discarding any staged deltas (first arm / full retrain).
+  /// `journal`, when non-null, becomes the durability sink: every
+  /// acknowledged Insert/Erase is appended to it before the ack (non-owning;
+  /// the caller keeps it alive until the next Rearm*).
   void Rearm(const Segmentation& seg, size_t base_rows, size_t dim,
-             Metric metric);
+             Metric metric, DeltaJournal* journal = nullptr);
 
   /// Re-arms after a refresh: deltas staged since the Drain() are carried
   /// over — inserts re-routed against the new centroids, erases translated
   /// through `remap` (old row -> new row; erases of rows the refresh
-  /// removed are dropped and counted in dropped_erases()).
-  void RearmAfterRefresh(const Segmentation& seg, size_t base_rows,
-                         size_t dim, Metric metric,
-                         const std::vector<uint32_t>& remap);
+  /// removed are dropped and counted in dropped_erases()). `journal` (the
+  /// NEW epoch's journal) replaces the previous sink, and the carried
+  /// deltas are re-journaled into it in translated form so the old epoch's
+  /// file can be retired.
+  ///
+  /// `durable_commit` (when set) runs INSIDE the buffer's critical section
+  /// after the carried deltas are re-journaled and synced — the manager
+  /// passes the manifest rename here, which makes the journal switch
+  /// atomic against concurrent acks: every ack lands either in the old
+  /// journal while the old manifest is committed, or in the new journal
+  /// after the new one is. Returns the first re-journaling or commit
+  /// error, with the carried deltas staged in memory regardless.
+  Status RearmAfterRefresh(const Segmentation& seg, size_t base_rows,
+                           size_t dim, Metric metric,
+                           const std::vector<uint32_t>& remap,
+                           DeltaJournal* journal = nullptr,
+                           const std::function<Status()>& durable_commit = {});
 
-  /// Stages one inserted vector (dim() finite floats) and routes it to its
-  /// nearest segment centroid. FailedPrecondition before the first Rearm.
+  /// Caps staged deltas: Insert/Erase past the cap shed with kUnavailable
+  /// (counter simcard.update.delta_shed). 0 = unbounded (the default).
+  void SetCapacity(size_t capacity);
+
+  /// Attaches/replaces the durability sink without touching staged state.
+  /// Recovery uses this: replayed deltas are already in the journal, so
+  /// they stage journal-free and the re-opened journal attaches after.
+  void AttachJournal(DeltaJournal* journal);
+
+  /// Stages one inserted vector (dim() finite floats), routes it to its
+  /// nearest segment centroid, and journals it when a sink is attached.
+  /// FailedPrecondition before the first Rearm; kUnavailable at capacity.
+  /// A journal-append failure is returned (the caller must not treat the
+  /// delta as durable) but the delta stays staged: at-least-once, never
+  /// silently dropped.
   Status Insert(std::span<const float> point);
 
-  /// Stages the erase of base row `row` of the armed epoch.
+  /// Stages the erase of base row `row` of the armed epoch. Same capacity
+  /// and journaling contract as Insert.
   Status Erase(uint32_t row);
 
   /// Moves the staged deltas out for a refresh; the buffer stays armed
   /// against the same epoch so ingestion continues during the refresh.
   DeltaSnapshot Drain();
 
+  /// Puts a Drain()ed snapshot back after a failed refresh: the restaged
+  /// deltas are merged ahead of anything staged since the drain, so no
+  /// acknowledged delta is lost when the refresh could not apply them.
+  /// Duplicate erases (same row staged again post-drain) collapse. The
+  /// journal is untouched — both generations are already in the current
+  /// epoch's file.
+  void Restage(DeltaSnapshot snapshot);
+
   size_t pending() const;
+  /// Inserts/erases shed by the capacity bound over the buffer's lifetime.
+  uint64_t shed() const;
   std::vector<size_t> PerSegmentDeltas() const;
   /// Erases invalidated because a refresh removed their target row first.
   uint64_t dropped_erases() const;
@@ -80,6 +123,8 @@ class DeltaBuffer {
   /// Routing + bookkeeping shared by Insert and the rearm carry-over path;
   /// mu_ must be held.
   Status InsertLocked(std::span<const float> point);
+  /// kUnavailable (and one shed tick) when the capacity bound is hit.
+  Status CheckCapacityLocked();
   void ResetLocked(const Segmentation& seg, size_t base_rows, size_t dim,
                    Metric metric);
   size_t NearestSegmentLocked(const float* point) const;
@@ -94,6 +139,9 @@ class DeltaBuffer {
   std::vector<size_t> per_segment_;
   std::vector<size_t> insert_segments_;
   uint64_t dropped_erases_ = 0;
+  size_t capacity_ = 0;  // 0 = unbounded
+  uint64_t shed_ = 0;
+  DeltaJournal* journal_ = nullptr;  // non-owning durability sink
 };
 
 }  // namespace update

@@ -1,20 +1,32 @@
 #include "update/update_manager.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <utility>
 
+#include "common/fault.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/segment_health.h"
 #include "obs/trace.h"
+#include "update/recovery.h"
 
 namespace simcard {
 namespace update {
 
 namespace {
 
+// Simulated refresh failures: the durable save phase and the fine-tune
+// phase (on top of the organic divergence path, train.nan_loss).
+constexpr const char kRefreshIoSite[] = "update.refresh_io";
+constexpr const char kRefreshFineTuneSite[] = "update.refresh_finetune";
+
 // Refresh-path instrumentation, resolved once (registry pointers are
-// stable) and gated on MetricsEnabled() at every recording site.
+// stable) and gated on MetricsEnabled() at every recording site. The
+// retry/failure/shed counters are resolved here too so the whole family
+// registers together — reports carry zeros instead of omitting them.
 struct UpdateMetrics {
   obs::Counter* inserts = obs::GetCounter("simcard.update.inserts");
   obs::Counter* erases = obs::GetCounter("simcard.update.erases");
@@ -26,7 +38,15 @@ struct UpdateMetrics {
   obs::Counter* epochs_published =
       obs::GetCounter("simcard.update.epochs_published");
   obs::Counter* full_resegs = obs::GetCounter("simcard.update.full_resegs");
+  obs::Counter* refresh_failures =
+      obs::GetCounter("simcard.update.refresh_failures");
+  obs::Counter* delta_shed = obs::GetCounter("simcard.update.delta_shed");
+  obs::Counter* retry_scheduled =
+      obs::GetCounter("simcard.update.retry.scheduled");
+  obs::Counter* retry_exhausted =
+      obs::GetCounter("simcard.update.retry.exhausted");
   obs::Gauge* pending = obs::GetGauge("simcard.update.pending_deltas");
+  obs::Gauge* degraded = obs::GetGauge("simcard.update.degraded");
   obs::Histogram* refresh_ms = obs::GetHistogram("simcard.update.refresh_ms");
   obs::Histogram* deltas_per_refresh = obs::GetHistogram(
       "simcard.update.deltas_per_refresh",
@@ -38,6 +58,11 @@ UpdateMetrics& Metrics() {
   return metrics;
 }
 
+// Deep copy of a Dataset (not copyable directly: it owns a lazy bit-cache).
+Dataset CopyDataset(const Dataset& ds) {
+  return Dataset(ds.name(), ds.points(), ds.metric(), ds.tau_max());
+}
+
 }  // namespace
 
 UpdateManager::UpdateManager(Dataset dataset, SearchWorkload workload,
@@ -47,7 +72,9 @@ UpdateManager::UpdateManager(Dataset dataset, SearchWorkload workload,
       workload_(std::move(workload)),
       registry_(registry),
       options_(options),
-      monitor_(options.drift) {}
+      monitor_(options.drift) {
+  buffer_.SetCapacity(options_.delta_capacity);
+}
 
 Status UpdateManager::Start(const GlEstimator& trained) {
   std::lock_guard<std::mutex> lock(refresh_mu_);
@@ -64,9 +91,42 @@ Status UpdateManager::Start(const GlEstimator& trained) {
         "UpdateManager: estimator not trained (clone failed)");
   }
   SIMCARD_RETURN_IF_ERROR(clone->LoadFromBytes(std::move(bytes)));
-  registry_->Publish(clone);
+
+  const uint64_t epoch = registry_->epoch() + 1;
+  std::unique_ptr<DeltaJournal> journal;
+  if (durable()) {
+    // Files first, manifest last: a crash anywhere during Start leaves
+    // either no manifest (caller retrains from scratch) or a complete
+    // epoch. Acks cannot happen before Start returns, so nothing
+    // acknowledged can fall in the gap.
+    const std::string& dir = options_.journal_dir;
+    SIMCARD_RETURN_IF_ERROR(EnsureDir(dir));
+    Serializer wl;
+    SerializeQueries(workload_, &wl);
+    SIMCARD_RETURN_IF_ERROR(wl.SaveToFile(WorkloadPath(dir)));
+    SIMCARD_RETURN_IF_ERROR(PersistEpochArtifacts(epoch, *clone, dataset_));
+    auto journal_or = DeltaJournal::Create(JournalPath(dir, epoch),
+                                           dataset_.dim(), options_.journal);
+    SIMCARD_RETURN_IF_ERROR(journal_or.status());
+    journal = std::move(journal_or).value();
+    SIMCARD_RETURN_IF_ERROR(
+        journal->AppendEpochMark(epoch, dataset_.size()));
+    SIMCARD_RETURN_IF_ERROR(journal->Sync());
+    DurableManifest manifest;
+    manifest.epoch = epoch;
+    manifest.base_rows = dataset_.size();
+    manifest.dim = dataset_.dim();
+    manifest.model_file = "model-" + std::to_string(epoch) + ".bin";
+    manifest.dataset_file = "dataset-" + std::to_string(epoch) + ".bin";
+    manifest.workload_file = "workload.bin";
+    manifest.journal_file = "journal-" + std::to_string(epoch) + ".wal";
+    SIMCARD_RETURN_IF_ERROR(SaveManifest(dir, manifest));
+    durable_epoch_ = epoch;
+  }
+  registry_->PublishAt(clone, epoch);
+  journal_ = std::move(journal);
   buffer_.Rearm(clone->segmentation(), dataset_.size(), dataset_.dim(),
-                dataset_.metric());
+                dataset_.metric(), journal_.get());
   if (obs::MetricsEnabled()) {
     Metrics().epochs_published->Increment();
   }
@@ -74,6 +134,10 @@ Status UpdateManager::Start(const GlEstimator& trained) {
 }
 
 Status UpdateManager::Insert(std::span<const float> point) {
+  if (needs_recovery_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "UpdateManager: durable commit failed; recover via RecoverFrom");
+  }
   SIMCARD_RETURN_IF_ERROR(buffer_.Insert(point));
   if (obs::MetricsEnabled()) Metrics().inserts->Increment();
   UpdatePendingGauge();
@@ -81,6 +145,10 @@ Status UpdateManager::Insert(std::span<const float> point) {
 }
 
 Status UpdateManager::Erase(uint32_t row) {
+  if (needs_recovery_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "UpdateManager: durable commit failed; recover via RecoverFrom");
+  }
   SIMCARD_RETURN_IF_ERROR(buffer_.Erase(row));
   if (obs::MetricsEnabled()) Metrics().erases->Increment();
   UpdatePendingGauge();
@@ -102,8 +170,27 @@ void UpdateManager::SetAccuracySource(const obs::QErrorTracker* tracker) {
   accuracy_ = tracker;
 }
 
+bool UpdateManager::degraded() const {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  return degraded_;
+}
+
+size_t UpdateManager::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  return consecutive_failures_;
+}
+
+uint64_t UpdateManager::durable_epoch() const {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  return durable_epoch_;
+}
+
 Result<RefreshOutcome> UpdateManager::DoRefresh(bool only_if_due) {
   std::lock_guard<std::mutex> lock(refresh_mu_);
+  if (needs_recovery_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "UpdateManager: durable commit failed; recover via RecoverFrom");
+  }
   // Observed per-segment accuracy (the serving layer's ReportActual
   // windows) joins the delta count as a refresh trigger: query drift can
   // degrade a segment's model without a single pending delta.
@@ -121,6 +208,13 @@ Result<RefreshOutcome> UpdateManager::DoRefresh(bool only_if_due) {
     return false;
   }();
   if (only_if_due) {
+    // Circuit: degraded managers stop auto-refreshing (explicit Refresh()
+    // still probes and heals); backed-off managers wait out their window.
+    if (degraded_) return RefreshOutcome{};
+    if (next_retry_ != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() < next_retry_) {
+      return RefreshOutcome{};
+    }
     const bool deltas_due =
         options_.refresh_delta_threshold > 0 &&
         buffer_.pending() >= options_.refresh_delta_threshold;
@@ -149,13 +243,19 @@ Result<RefreshOutcome> UpdateManager::DoRefresh(bool only_if_due) {
   }
   ++refresh_count_;
   const uint64_t refresh_seed = options_.seed + 9973 * refresh_count_;
+  const uint64_t next_epoch = current.epoch + 1;
 
   Result<RefreshOutcome> out_or =
       (report.escalate_full_reseg && options_.allow_full_reseg)
-          ? FullResegRefresh(current.estimator, std::move(snap), refresh_seed)
-          : IncrementalRefresh(current.estimator, std::move(snap), report,
+          ? FullResegRefresh(current.estimator, next_epoch, snap,
+                             refresh_seed)
+          : IncrementalRefresh(current.estimator, next_epoch, snap, report,
                                refresh_seed);
-  if (!out_or.ok()) return out_or.status();
+  if (!out_or.ok()) {
+    OnRefreshFailure(std::move(snap));
+    return out_or.status();
+  }
+  OnRefreshSuccess();
   RefreshOutcome outcome = std::move(out_or).value();
   outcome.refresh_ms = watch.ElapsedMillis();
   UpdatePendingGauge();
@@ -173,46 +273,193 @@ Result<RefreshOutcome> UpdateManager::DoRefresh(bool only_if_due) {
   return outcome;
 }
 
+void UpdateManager::OnRefreshFailure(DeltaSnapshot snap) {
+  // Nothing the refresh touched was committed (it worked on copies), so
+  // restaging the drained snapshot restores exactly the pre-refresh state:
+  // every acknowledged delta is pending again. A manager that instead
+  // failed mid-commit is quarantined via needs_recovery_ before reaching
+  // here and keeps the snapshot out of the buffer (the journal still has
+  // it — recovery replays).
+  if (!needs_recovery_.load(std::memory_order_relaxed)) {
+    buffer_.Restage(std::move(snap));
+  }
+  UpdatePendingGauge();
+  ++consecutive_failures_;
+  const bool metrics = obs::MetricsEnabled();
+  if (metrics) Metrics().refresh_failures->Increment();
+  // Exponential backoff with deterministic jitter: the n-th consecutive
+  // failure waits base*2^(n-1) ms (clamped), scaled by [0.5, 1.5).
+  double backoff_ms =
+      options_.refresh_backoff_base_ms *
+      std::pow(2.0, static_cast<double>(consecutive_failures_ - 1));
+  backoff_ms = std::min(backoff_ms, options_.refresh_backoff_max_ms);
+  Rng jitter(options_.seed ^ (0x9E3779B97F4A7C15ULL *
+                              static_cast<uint64_t>(consecutive_failures_)));
+  backoff_ms *= 0.5 + jitter.NextDouble();
+  next_retry_ = std::chrono::steady_clock::now() +
+                std::chrono::microseconds(
+                    static_cast<int64_t>(backoff_ms * 1000.0));
+  if (consecutive_failures_ > options_.refresh_retry_budget) {
+    if (!degraded_ && metrics) Metrics().retry_exhausted->Increment();
+    degraded_ = true;
+    obs::SegmentHealthRegistry::Default().SetUpdateDegraded(true);
+    if (metrics) Metrics().degraded->Set(1.0);
+  } else if (metrics) {
+    Metrics().retry_scheduled->Increment();
+  }
+}
+
+void UpdateManager::OnRefreshSuccess() {
+  consecutive_failures_ = 0;
+  next_retry_ = std::chrono::steady_clock::time_point{};
+  if (degraded_) {
+    degraded_ = false;
+    obs::SegmentHealthRegistry::Default().SetUpdateDegraded(false);
+    if (obs::MetricsEnabled()) Metrics().degraded->Set(0.0);
+  }
+}
+
+Status UpdateManager::PersistEpochArtifacts(uint64_t epoch,
+                                            const GlEstimator& model,
+                                            const Dataset& dataset) const {
+  if (fault::ShouldFail(kRefreshIoSite)) {
+    return fault::InjectedError(kRefreshIoSite);
+  }
+  Serializer ds;
+  dataset.Serialize(&ds);
+  SIMCARD_RETURN_IF_ERROR(
+      ds.SaveToFile(DatasetPath(options_.journal_dir, epoch)));
+  SIMCARD_RETURN_IF_ERROR(
+      model.SaveToFile(ModelPath(options_.journal_dir, epoch)));
+  return Status::OK();
+}
+
+Status UpdateManager::CommitRefresh(std::shared_ptr<GlEstimator> next,
+                                    Dataset new_dataset,
+                                    SearchWorkload new_workload,
+                                    uint64_t next_epoch,
+                                    const std::vector<uint32_t>& remap,
+                                    RefreshOutcome* outcome) {
+  const std::string& dir = options_.journal_dir;
+  std::unique_ptr<DeltaJournal> new_journal;
+  if (durable()) {
+    // Fallible persistence first, while everything in memory is still the
+    // old epoch: a failure here aborts the refresh cleanly (the caller
+    // restages the drained snapshot) and quarantines the partial files.
+    Status persisted = PersistEpochArtifacts(next_epoch, *next, new_dataset);
+    if (persisted.ok()) {
+      auto journal_or = DeltaJournal::Create(JournalPath(dir, next_epoch),
+                                             new_dataset.dim(),
+                                             options_.journal);
+      if (journal_or.ok()) {
+        new_journal = std::move(journal_or).value();
+        persisted = new_journal->AppendEpochMark(next_epoch,
+                                                 new_dataset.size());
+        if (persisted.ok()) persisted = new_journal->Sync();
+      } else {
+        persisted = journal_or.status();
+      }
+    }
+    if (!persisted.ok()) {
+      QuarantineEpochArtifacts(dir, next_epoch);
+      return persisted;
+    }
+  }
+
+  // Point of no return: infallible in-memory swaps, then the manifest
+  // rename inside the buffer's critical section (see RearmAfterRefresh's
+  // durable_commit contract — it makes the journal handoff atomic against
+  // concurrent acks).
+  dataset_ = std::move(new_dataset);
+  workload_ = std::move(new_workload);
+  const uint64_t old_epoch = durable_epoch_;
+  std::function<Status()> commit;
+  if (durable()) {
+    commit = [this, next_epoch] {
+      DurableManifest manifest;
+      manifest.epoch = next_epoch;
+      manifest.base_rows = dataset_.size();
+      manifest.dim = dataset_.dim();
+      manifest.model_file = "model-" + std::to_string(next_epoch) + ".bin";
+      manifest.dataset_file =
+          "dataset-" + std::to_string(next_epoch) + ".bin";
+      manifest.workload_file = "workload.bin";
+      manifest.journal_file =
+          "journal-" + std::to_string(next_epoch) + ".wal";
+      return SaveManifest(options_.journal_dir, manifest);
+    };
+  }
+  const Status rearmed = buffer_.RearmAfterRefresh(
+      next->segmentation(), dataset_.size(), dataset_.dim(),
+      dataset_.metric(), remap, new_journal.get(), commit);
+  if (!rearmed.ok()) {
+    // Disk (old manifest) and memory (new dataset, rearmed buffer) now
+    // disagree. Served traffic continues on the old model; everything
+    // acknowledged sits in the old journal, so RecoverFrom restores a
+    // consistent old-epoch state with zero loss. Until then this manager
+    // refuses new work.
+    buffer_.AttachJournal(nullptr);  // new_journal dies with this frame
+    needs_recovery_.store(true, std::memory_order_relaxed);
+    obs::SegmentHealthRegistry::Default().SetUpdateDegraded(true);
+    if (obs::MetricsEnabled()) Metrics().degraded->Set(1.0);
+    QuarantineEpochArtifacts(dir, next_epoch);
+    return rearmed;
+  }
+  journal_ = std::move(new_journal);  // closes the old epoch's journal
+  if (durable()) durable_epoch_ = next_epoch;
+  outcome->epoch = registry_->PublishAt(std::move(next), next_epoch);
+  if (durable() && old_epoch != 0 && old_epoch != next_epoch) {
+    RemoveEpochArtifacts(dir, old_epoch);
+  }
+  return Status::OK();
+}
+
 Result<RefreshOutcome> UpdateManager::IncrementalRefresh(
-    const std::shared_ptr<const GlEstimator>& current, DeltaSnapshot snap,
-    const DriftReport& report, uint64_t refresh_seed) {
+    const std::shared_ptr<const GlEstimator>& current, uint64_t next_epoch,
+    const DeltaSnapshot& snap, const DriftReport& report,
+    uint64_t refresh_seed) {
   RefreshOutcome outcome;
   outcome.refreshed = true;
   outcome.applied_inserts = snap.overlay.num_inserts();
   outcome.applied_erases = snap.overlay.num_erases();
   outcome.stale_segments = report.stale_segments;
 
-  // Build the successor entirely off to the side: readers keep answering
-  // from `current` until the single Publish below.
+  // Build the successor entirely off to the side — clone of the model AND
+  // working copies of the dataset/workload — so a failure at any fallible
+  // step below leaves the served epoch byte-identical and the drained
+  // snapshot restageable. Readers keep answering from `current` until the
+  // single Publish in CommitRefresh.
   auto clone = std::make_shared<GlEstimator>(current->config());
   std::vector<uint8_t> bytes = current->SaveToBytes();
   if (bytes.empty()) {
     return Status::Internal("UpdateManager: published model failed to clone");
   }
   SIMCARD_RETURN_IF_ERROR(clone->LoadFromBytes(std::move(bytes)));
+  Dataset new_dataset = CopyDataset(dataset_);
+  SearchWorkload new_workload = workload_;
 
   std::vector<size_t> touched;
   const std::vector<uint32_t> sorted = snap.overlay.SortedErases();
   const std::vector<uint32_t> remap =
-      BuildEraseRemap(dataset_.size(), sorted);
+      BuildEraseRemap(new_dataset.size(), sorted);
   if (!sorted.empty()) {
-    dataset_.EraseRows(sorted);
-    SIMCARD_RETURN_IF_ERROR(clone->EraseRows(dataset_, sorted, &touched,
+    new_dataset.EraseRows(sorted);
+    SIMCARD_RETURN_IF_ERROR(clone->EraseRows(new_dataset, sorted, &touched,
                                              /*recompute_summaries=*/true));
   }
   if (snap.overlay.num_inserts() > 0) {
-    const size_t first_new = dataset_.size();
-    dataset_.Append(snap.overlay.InsertMatrix());
+    const size_t first_new = new_dataset.size();
+    new_dataset.Append(snap.overlay.InsertMatrix());
     std::vector<uint32_t> new_rows(snap.overlay.num_inserts());
     for (size_t i = 0; i < new_rows.size(); ++i) {
       new_rows[i] = static_cast<uint32_t>(first_new + i);
     }
-    SIMCARD_RETURN_IF_ERROR(clone->RouteInserts(dataset_, new_rows,
+    SIMCARD_RETURN_IF_ERROR(clone->RouteInserts(new_dataset, new_rows,
                                                 &touched));
   }
   // Membership changed in every touched segment: re-sample fallbacks and
   // refresh the |D^[i]| clamps before anything answers from them.
-  clone->RebuildFallbacks(dataset_, touched, refresh_seed);
+  clone->RebuildFallbacks(new_dataset, touched, refresh_seed);
 
   // Relabel (x_q, x_tau, x_C) examples against the updated dataset, then
   // fine-tune only what the monitor flagged stale; the rest of the local
@@ -221,34 +468,41 @@ Result<RefreshOutcome> UpdateManager::IncrementalRefresh(
   // and therefore the labels untouched — skip straight to the fine-tune.
   if (snap.overlay.pending() > 0) {
     SIMCARD_RETURN_IF_ERROR(
-        RelabelWorkload(dataset_, &clone->segmentation(), &workload_));
+        RelabelWorkload(new_dataset, &clone->segmentation(), &new_workload));
   }
-  SIMCARD_RETURN_IF_ERROR(clone->FineTuneSegments(workload_,
+  if (fault::ShouldFail(kRefreshFineTuneSite)) {
+    return fault::InjectedError(kRefreshFineTuneSite);
+  }
+  SIMCARD_RETURN_IF_ERROR(clone->FineTuneSegments(new_workload,
                                                   report.stale_segments,
                                                   refresh_seed,
                                                   options_.fine_tune_epochs));
-  SIMCARD_RETURN_IF_ERROR(clone->FineTuneGlobal(workload_, refresh_seed + 29,
+  SIMCARD_RETURN_IF_ERROR(clone->FineTuneGlobal(new_workload,
+                                                refresh_seed + 29,
                                                 options_.fine_tune_epochs));
 
   outcome.segments_refreshed = report.stale_segments.size();
   outcome.segments_cloned =
       clone->num_local_models() - outcome.segments_refreshed;
-  outcome.epoch = registry_->Publish(clone);
-  buffer_.RearmAfterRefresh(clone->segmentation(), dataset_.size(),
-                            dataset_.dim(), dataset_.metric(), remap);
+  SIMCARD_RETURN_IF_ERROR(CommitRefresh(std::move(clone),
+                                        std::move(new_dataset),
+                                        std::move(new_workload), next_epoch,
+                                        remap, &outcome));
   return outcome;
 }
 
 Result<RefreshOutcome> UpdateManager::FullResegRefresh(
-    const std::shared_ptr<const GlEstimator>& current, DeltaSnapshot snap,
-    uint64_t refresh_seed) {
+    const std::shared_ptr<const GlEstimator>& current, uint64_t next_epoch,
+    const DeltaSnapshot& snap, uint64_t refresh_seed) {
   RefreshOutcome outcome;
   outcome.refreshed = true;
   outcome.full_reseg = true;
   outcome.applied_inserts = snap.overlay.num_inserts();
   outcome.applied_erases = snap.overlay.num_erases();
 
-  auto app_or = snap.overlay.ApplyTo(&dataset_);
+  Dataset new_dataset = CopyDataset(dataset_);
+  SearchWorkload new_workload = workload_;
+  auto app_or = snap.overlay.ApplyTo(&new_dataset);
   if (!app_or.ok()) return app_or.status();
 
   // Drift exceeded the ceiling: the old partition no longer describes the
@@ -258,24 +512,27 @@ Result<RefreshOutcome> UpdateManager::FullResegRefresh(
     sopts.target_segments = current->segmentation().num_segments();
   }
   sopts.seed = refresh_seed + 5;
-  auto seg_or = SegmentData(dataset_, sopts);
+  auto seg_or = SegmentData(new_dataset, sopts);
   if (!seg_or.ok()) return seg_or.status();
   const Segmentation seg = std::move(seg_or).value();
-  SIMCARD_RETURN_IF_ERROR(RelabelWorkload(dataset_, &seg, &workload_));
+  SIMCARD_RETURN_IF_ERROR(RelabelWorkload(new_dataset, &seg, &new_workload));
 
+  if (fault::ShouldFail(kRefreshFineTuneSite)) {
+    return fault::InjectedError(kRefreshFineTuneSite);
+  }
   auto fresh = std::make_shared<GlEstimator>(current->config());
   TrainContext ctx;
-  ctx.dataset = &dataset_;
-  ctx.workload = &workload_;
+  ctx.dataset = &new_dataset;
+  ctx.workload = &new_workload;
   ctx.segmentation = &seg;
   ctx.seed = refresh_seed;
   SIMCARD_RETURN_IF_ERROR(fresh->Train(ctx));
 
   outcome.segments_refreshed = fresh->num_local_models();
-  outcome.epoch = registry_->Publish(fresh);
-  buffer_.RearmAfterRefresh(fresh->segmentation(), dataset_.size(),
-                            dataset_.dim(), dataset_.metric(),
-                            app_or.value().remap);
+  SIMCARD_RETURN_IF_ERROR(CommitRefresh(std::move(fresh),
+                                        std::move(new_dataset),
+                                        std::move(new_workload), next_epoch,
+                                        app_or.value().remap, &outcome));
   return outcome;
 }
 

@@ -17,24 +17,43 @@
 //   full re-segmentation — when total churn crosses the hard ceiling, redo
 //     PCA + K-means on the updated dataset and train a fresh estimator.
 //
+// Durability (UpdateOptions::journal_dir non-empty): every acknowledged
+// Insert/Erase is appended to an epoch-scoped write-ahead journal before
+// the ack, each published epoch persists its model + dataset + journal
+// behind an atomically-renamed manifest, and RecoverFrom (recovery.cc)
+// rebuilds a serving manager from those files after a crash with zero
+// acknowledged-delta loss. A refresh that fails leaves the served epoch
+// and the staged deltas untouched (the drained snapshot is restaged) and
+// Tick reschedules it with exponential backoff + jitter; exhausting the
+// retry budget trips a degraded state (simcard.update.degraded gauge +
+// SegmentHealthRegistry::update_degraded) that an explicit Refresh() or
+// recovery heals.
+//
 // Observability (gated on obs::MetricsEnabled()):
 //   counters   simcard.update.inserts, .erases, .refreshes,
 //              .segments_refreshed, .segments_cloned, .epochs_published,
-//              .full_resegs, .dropped_erases
-//   gauge      simcard.update.pending_deltas
+//              .full_resegs, .dropped_erases, .refresh_failures,
+//              .delta_shed, .retry.scheduled, .retry.exhausted
+//   gauges     simcard.update.pending_deltas, simcard.update.degraded
 //   histograms simcard.update.refresh_ms, simcard.update.deltas_per_refresh
+//   (plus simcard.update.journal.* in delta_journal.cc and
+//    simcard.update.recovery.* in recovery.cc)
 #ifndef SIMCARD_UPDATE_UPDATE_MANAGER_H_
 #define SIMCARD_UPDATE_UPDATE_MANAGER_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/gl_estimator.h"
 #include "serve/model_registry.h"
 #include "update/delta_buffer.h"
+#include "update/delta_journal.h"
 #include "update/drift_monitor.h"
 #include "workload/queries.h"
 
@@ -59,6 +78,25 @@ struct UpdateOptions {
   /// (the default here, overriding SegmentationOptions' own 16) keeps the
   /// published estimator's segment count.
   SegmentationOptions reseg{.target_segments = 0};
+
+  /// Durability root: non-empty enables the write-ahead delta journal and
+  /// epoch manifests under this directory (created if missing). Empty (the
+  /// default) keeps the PR 5 in-memory-only behavior.
+  std::string journal_dir;
+  /// Journal group-commit / fsync knobs (only read when journal_dir set).
+  JournalOptions journal;
+  /// DeltaBuffer capacity: Insert/Erase past this many staged deltas shed
+  /// with kUnavailable. 0 = unbounded.
+  size_t delta_capacity = 0;
+  /// Consecutive Tick-refresh failures tolerated before the manager trips
+  /// degraded (auto-refresh stops; explicit Refresh() still works and
+  /// heals). 0 = degrade on the first failure.
+  size_t refresh_retry_budget = 3;
+  /// Exponential backoff between Tick retry attempts: the n-th consecutive
+  /// failure schedules the next attempt base*2^(n-1) ms out (clamped to
+  /// max), jittered by a deterministic factor in [0.5, 1.5).
+  double refresh_backoff_base_ms = 200.0;
+  double refresh_backoff_max_ms = 10000.0;
 };
 
 /// \brief What one Refresh()/Tick() did.
@@ -88,8 +126,24 @@ class UpdateManager {
 
   /// Publishes a clone of `trained` as the first served epoch and arms
   /// delta ingestion against it. The estimator must have been trained on
-  /// (a segmentation of) the manager's dataset.
+  /// (a segmentation of) the manager's dataset. With journal_dir set, also
+  /// persists the epoch's model/dataset/workload, opens its journal, and
+  /// commits the first manifest.
   Status Start(const GlEstimator& trained);
+
+  /// Rebuilds a serving manager from the last committed manifest under
+  /// `options.journal_dir` (which RecoverFrom forces non-empty): loads the
+  /// manifest's model + dataset + workload queries, relabels the workload,
+  /// publishes at the recovered epoch through `registry`, replays the
+  /// journal's valid prefix into a fresh DeltaBuffer (any torn tail is
+  /// truncated off), and re-opens the journal for append. Every delta
+  /// acknowledged before the crash is pending again afterwards.
+  /// `config` supplies the estimator's behavioral knobs (fine-tune
+  /// options; the geometry is embedded in the model file) — nullptr uses
+  /// GlEstimatorConfig::GlCnn() like the CLI. Implemented in recovery.cc.
+  static Result<std::unique_ptr<UpdateManager>> RecoverFrom(
+      serve::ModelRegistry* registry, UpdateOptions options,
+      const GlEstimatorConfig* config = nullptr);
 
   /// Stages one inserted vector (copied; dim() finite floats).
   Status Insert(std::span<const float> point);
@@ -122,6 +176,18 @@ class UpdateManager {
   const DeltaBuffer& buffer() const { return buffer_; }
   const DriftMonitor& monitor() const { return monitor_; }
 
+  /// True once consecutive Tick-refresh failures exhausted the retry
+  /// budget: Tick no-ops until an explicit Refresh() succeeds.
+  bool degraded() const;
+  size_t consecutive_failures() const;
+  /// True after a failure inside the durable-commit window left disk and
+  /// memory out of step: the manager refuses further work and must be
+  /// replaced via RecoverFrom (recovery replays the still-committed old
+  /// manifest; nothing acknowledged is lost).
+  bool needs_recovery() const { return needs_recovery_.load(); }
+  /// Epoch of the last committed manifest (0 when not durable).
+  uint64_t durable_epoch() const;
+
   /// The authoritative post-apply dataset/workload. Only stable while no
   /// refresh is in flight.
   const Dataset& dataset() const { return dataset_; }
@@ -130,11 +196,27 @@ class UpdateManager {
  private:
   Result<RefreshOutcome> DoRefresh(bool only_if_due);
   Result<RefreshOutcome> IncrementalRefresh(
-      const std::shared_ptr<const GlEstimator>& current, DeltaSnapshot snap,
-      const DriftReport& report, uint64_t refresh_seed);
-  Result<RefreshOutcome> FullResegRefresh(
-      const std::shared_ptr<const GlEstimator>& current, DeltaSnapshot snap,
+      const std::shared_ptr<const GlEstimator>& current, uint64_t next_epoch,
+      const DeltaSnapshot& snap, const DriftReport& report,
       uint64_t refresh_seed);
+  Result<RefreshOutcome> FullResegRefresh(
+      const std::shared_ptr<const GlEstimator>& current, uint64_t next_epoch,
+      const DeltaSnapshot& snap, uint64_t refresh_seed);
+  /// Applies `snap` + fine-tunes onto working copies, persists the new
+  /// epoch's artifacts, swaps them in, and commits the manifest under the
+  /// buffer lock. Shared tail of both refresh paths.
+  Status CommitRefresh(std::shared_ptr<GlEstimator> next, Dataset new_dataset,
+                       SearchWorkload new_workload, uint64_t next_epoch,
+                       const std::vector<uint32_t>& remap,
+                       RefreshOutcome* outcome);
+  /// Saves epoch `epoch`'s dataset + model files (fault: update.refresh_io).
+  Status PersistEpochArtifacts(uint64_t epoch, const GlEstimator& model,
+                               const Dataset& dataset) const;
+  /// Records a refresh failure: restages the snapshot, bumps the failure
+  /// counters, and schedules the Tick backoff window.
+  void OnRefreshFailure(DeltaSnapshot snap);
+  void OnRefreshSuccess();
+  bool durable() const { return !options_.journal_dir.empty(); }
   void UpdatePendingGauge() const;
 
   Dataset dataset_;
@@ -146,8 +228,19 @@ class UpdateManager {
   const obs::QErrorTracker* accuracy_ = nullptr;  // guarded by refresh_mu_
 
   /// Serializes refreshes; dataset_/workload_ only mutate under this.
-  std::mutex refresh_mu_;
+  mutable std::mutex refresh_mu_;
   uint64_t refresh_count_ = 0;  // guarded by refresh_mu_
+
+  // Durability state, guarded by refresh_mu_ (except needs_recovery_,
+  // which ingestion reads without the lock).
+  std::unique_ptr<DeltaJournal> journal_;
+  uint64_t durable_epoch_ = 0;
+  std::atomic<bool> needs_recovery_{false};
+
+  // Retry/backoff state, guarded by refresh_mu_.
+  size_t consecutive_failures_ = 0;
+  bool degraded_ = false;
+  std::chrono::steady_clock::time_point next_retry_{};
 };
 
 }  // namespace update

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "common/stopwatch.h"
 
 namespace simcard {
@@ -148,6 +149,63 @@ Status RelabelWorkload(const Dataset& dataset, const Segmentation* seg,
     if (keep_test) workload->test_profiles[i] = std::move(profile);
   }
   return Status::OK();
+}
+
+namespace {
+
+void SerializeQuerySet(const std::vector<LabeledQuery>& queries,
+                       Serializer* out) {
+  out->WriteU64(queries.size());
+  for (const LabeledQuery& lq : queries) {
+    out->WriteU32(lq.row);
+    out->WriteU64(lq.thresholds.size());
+    for (const ThresholdLabel& t : lq.thresholds) out->WriteF32(t.tau);
+  }
+}
+
+Status DeserializeQuerySet(Deserializer* in,
+                           std::vector<LabeledQuery>* queries) {
+  uint64_t n = 0;
+  SIMCARD_RETURN_IF_ERROR(in->ReadU64(&n));
+  if (n > in->remaining()) {
+    return Status::OutOfRange("query set count exceeds buffer");
+  }
+  queries->resize(n);
+  for (LabeledQuery& lq : *queries) {
+    SIMCARD_RETURN_IF_ERROR(in->ReadU32(&lq.row));
+    uint64_t taus = 0;
+    SIMCARD_RETURN_IF_ERROR(in->ReadU64(&taus));
+    if (taus * sizeof(float) > in->remaining()) {
+      return Status::OutOfRange("threshold count exceeds buffer");
+    }
+    lq.thresholds.resize(taus);
+    for (ThresholdLabel& t : lq.thresholds) {
+      SIMCARD_RETURN_IF_ERROR(in->ReadF32(&t.tau));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SerializeQueries(const SearchWorkload& workload, Serializer* out) {
+  workload.train_queries.Serialize(out);
+  workload.test_queries.Serialize(out);
+  SerializeQuerySet(workload.train, out);
+  SerializeQuerySet(workload.test, out);
+}
+
+Result<SearchWorkload> DeserializeQueries(Deserializer* in) {
+  SearchWorkload wl;
+  SIMCARD_RETURN_IF_ERROR(wl.train_queries.Deserialize(in));
+  SIMCARD_RETURN_IF_ERROR(wl.test_queries.Deserialize(in));
+  SIMCARD_RETURN_IF_ERROR(DeserializeQuerySet(in, &wl.train));
+  SIMCARD_RETURN_IF_ERROR(DeserializeQuerySet(in, &wl.test));
+  // Pre-size the profile slots so the first RelabelWorkload rebuilds and
+  // keeps them (it only stores profiles when the sizes already agree).
+  wl.train_profiles.resize(wl.train.size());
+  wl.test_profiles.resize(wl.test.size());
+  return wl;
 }
 
 }  // namespace simcard

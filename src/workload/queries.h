@@ -68,6 +68,16 @@ Result<SearchWorkload> BuildSearchWorkload(const Dataset& dataset,
 Status RelabelWorkload(const Dataset& dataset, const Segmentation* seg,
                        SearchWorkload* workload);
 
+/// Persists the immutable half of a workload: query matrices plus each
+/// labeled query's row and threshold taus. Labels, per-segment cards, and
+/// distance profiles are all derived data — RelabelWorkload rebuilds them
+/// against whatever dataset epoch is recovered — so they are not written.
+void SerializeQueries(const SearchWorkload& workload, Serializer* out);
+
+/// Restores SerializeQueries output. The result has zeroed labels and
+/// default-sized profiles; callers must RelabelWorkload before use.
+Result<SearchWorkload> DeserializeQueries(Deserializer* in);
+
 }  // namespace simcard
 
 #endif  // SIMCARD_WORKLOAD_QUERIES_H_
